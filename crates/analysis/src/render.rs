@@ -1,0 +1,81 @@
+//! Plain-text table rendering.
+
+/// Render rows as a column-aligned text table with a header rule.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let ncol = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(ncol) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let render_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        }
+        line.trim_end().to_string()
+    };
+    let headers: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&render_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncol - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+/// Format a count with thousands separators.
+pub fn count(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["name", "n"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // The count column is aligned under its header.
+        assert_eq!(lines[0].find('n'), Some(0));
+    }
+
+    #[test]
+    fn pct_and_count_format() {
+        assert_eq!(pct(0.517), "51.7%");
+        assert_eq!(count(23_000_000), "23,000,000");
+        assert_eq!(count(42), "42");
+        assert_eq!(count(1_000), "1,000");
+    }
+}

@@ -1,0 +1,170 @@
+//! Basic statistics: percentiles, summaries, and empirical CDFs.
+
+use serde::{Deserialize, Serialize};
+
+/// The `p`-th percentile (0–100) by linear interpolation on sorted data.
+/// Returns 0.0 for an empty slice.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let idx = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Five-number-style summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub n: usize,
+    pub min: f64,
+    pub p25: f64,
+    pub p50: f64,
+    pub p75: f64,
+    pub p95: f64,
+    pub max: f64,
+    pub mean: f64,
+}
+
+impl Summary {
+    /// Summarize a sample (unsorted input accepted).
+    pub fn of(values: &[f64]) -> Summary {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        if v.is_empty() {
+            return Summary { n: 0, min: 0.0, p25: 0.0, p50: 0.0, p75: 0.0, p95: 0.0, max: 0.0, mean: 0.0 };
+        }
+        Summary {
+            n: v.len(),
+            min: v[0],
+            p25: percentile(&v, 25.0),
+            p50: percentile(&v, 50.0),
+            p75: percentile(&v, 75.0),
+            p95: percentile(&v, 95.0),
+            max: *v.last().expect("nonempty"),
+            mean: v.iter().sum::<f64>() / v.len() as f64,
+        }
+    }
+}
+
+/// An empirical CDF: sorted values with cumulative fractions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cdf {
+    /// `(value, F(value))` points, ascending in value.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Cdf {
+    /// Build from a sample.
+    pub fn of(values: &[f64]) -> Cdf {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = v.len() as f64;
+        Cdf {
+            points: v
+                .into_iter()
+                .enumerate()
+                .map(|(i, x)| (x, (i + 1) as f64 / n))
+                .collect(),
+        }
+    }
+
+    /// `F(x)`: fraction of the sample ≤ `x`.
+    pub fn at(&self, x: f64) -> f64 {
+        match self
+            .points
+            .binary_search_by(|(v, _)| v.partial_cmp(&x).expect("finite"))
+        {
+            Ok(mut i) => {
+                // Step up over ties.
+                while i + 1 < self.points.len() && self.points[i + 1].0 == x {
+                    i += 1;
+                }
+                self.points[i].1
+            }
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Inverse CDF: smallest value with `F(value) ≥ q`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let q = q.clamp(0.0, 1.0);
+        self.points
+            .iter()
+            .find(|(_, f)| *f >= q)
+            .or(self.points.last())
+            .map(|(v, _)| *v)
+            .unwrap_or(0.0)
+    }
+
+    /// Downsample to at most `k` points for plotting (keeps endpoints).
+    pub fn downsample(&self, k: usize) -> Vec<(f64, f64)> {
+        let n = self.points.len();
+        if n <= k || k < 2 {
+            return self.points.clone();
+        }
+        (0..k)
+            .map(|i| self.points[i * (n - 1) / (k - 1)])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert_eq!(percentile(&v, 50.0), 2.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]);
+        assert_eq!(s.n, 4);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.p50, 2.5);
+        assert_eq!(s.mean, 2.5);
+    }
+
+    #[test]
+    fn summary_ignores_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 2.0, f64::INFINITY]);
+        assert_eq!(s.n, 2);
+        assert_eq!(s.max, 2.0);
+    }
+
+    #[test]
+    fn cdf_basics() {
+        let c = Cdf::of(&[1.0, 2.0, 2.0, 4.0]);
+        assert_eq!(c.at(0.5), 0.0);
+        assert_eq!(c.at(1.0), 0.25);
+        assert_eq!(c.at(2.0), 0.75);
+        assert_eq!(c.at(3.0), 0.75);
+        assert_eq!(c.at(9.0), 1.0);
+        assert_eq!(c.quantile(0.5), 2.0);
+        assert_eq!(c.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn cdf_downsample_keeps_endpoints() {
+        let c = Cdf::of(&(0..100).map(|i| i as f64).collect::<Vec<_>>());
+        let d = c.downsample(10);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d[0], c.points[0]);
+        assert_eq!(d[9], *c.points.last().unwrap());
+    }
+}

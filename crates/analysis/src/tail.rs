@@ -1,0 +1,96 @@
+//! Heavy-tail analytics: top-k shares and rank-size series (Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of `total` held by the top `frac` (0–1) of items.
+/// Input need not be sorted.
+pub fn top_share(values: &[u64], frac: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let k = ((v.len() as f64 * frac).round() as usize).clamp(1, v.len());
+    let top: u64 = v.iter().take(k).sum();
+    let total: u64 = v.iter().sum();
+    if total == 0 {
+        0.0
+    } else {
+        top as f64 / total as f64
+    }
+}
+
+/// One point of the Figure 3 rank plot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RankPoint {
+    /// 1-based rank (descending by value).
+    pub rank: usize,
+    pub value: u64,
+}
+
+/// Log-spaced rank-size series: the Figure 3 curve (applets sorted by add
+/// count, both axes log scale). Returns ≤ `points` samples including the
+/// first and last rank.
+pub fn rank_series(values: &[u64], points: usize) -> Vec<RankPoint> {
+    if values.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut v = values.to_vec();
+    v.sort_unstable_by(|a, b| b.cmp(a));
+    let n = v.len();
+    let mut ranks: Vec<usize> = (0..points)
+        .map(|i| {
+            let t = i as f64 / (points.max(2) - 1) as f64;
+            ((n as f64).powf(t).round() as usize).clamp(1, n)
+        })
+        .collect();
+    ranks.dedup();
+    ranks
+        .into_iter()
+        .map(|r| RankPoint { rank: r, value: v[r - 1] })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_share_of_uniform_is_proportional() {
+        let v = vec![10u64; 100];
+        assert!((top_share(&v, 0.1) - 0.1).abs() < 1e-9);
+        assert!((top_share(&v, 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_share_of_concentrated_is_high() {
+        let mut v = vec![1u64; 99];
+        v.push(901);
+        assert!((top_share(&v, 0.01) - 0.901).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_share_edge_cases() {
+        assert_eq!(top_share(&[], 0.1), 0.0);
+        assert_eq!(top_share(&[0, 0], 0.5), 0.0);
+        // frac rounding to zero still takes at least one item.
+        assert!((top_share(&[5, 5], 0.001) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rank_series_is_log_spaced_and_sorted() {
+        let values: Vec<u64> = (1..=1000).rev().collect();
+        let s = rank_series(&values, 20);
+        assert_eq!(s.first().unwrap().rank, 1);
+        assert_eq!(s.last().unwrap().rank, 1000);
+        assert!(s.windows(2).all(|w| w[0].rank < w[1].rank));
+        // Values descend with rank.
+        assert!(s.windows(2).all(|w| w[0].value >= w[1].value));
+        assert_eq!(s.first().unwrap().value, 1000);
+    }
+
+    #[test]
+    fn rank_series_empty_input() {
+        assert!(rank_series(&[], 10).is_empty());
+    }
+}

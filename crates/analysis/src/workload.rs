@@ -1,0 +1,130 @@
+//! Engine-workload analytics for the §6 push-vs-poll discussion.
+//!
+//! "If all trigger services perform push, the incurred instantaneous
+//! workload may be too high: IoT workload is known to be highly bursty
+//! \[24\]". This module turns a stream of request timestamps into a
+//! rate time series and the peak-to-mean ratio that quantifies burstiness.
+
+use serde::{Deserialize, Serialize};
+
+/// A request-rate time series in fixed-width buckets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadReport {
+    /// Bucket width in seconds.
+    pub bucket_secs: f64,
+    /// Requests per bucket, from t=0.
+    pub buckets: Vec<u64>,
+    /// Total requests.
+    pub total: u64,
+}
+
+impl WorkloadReport {
+    /// Bucket `timestamps` (seconds) into `bucket_secs`-wide bins spanning
+    /// `[0, horizon_secs)`.
+    pub fn of(timestamps: &[f64], bucket_secs: f64, horizon_secs: f64) -> WorkloadReport {
+        let n = (horizon_secs / bucket_secs).ceil().max(1.0) as usize;
+        let mut buckets = vec![0u64; n];
+        let mut total = 0;
+        for &t in timestamps {
+            if t < 0.0 || t >= horizon_secs {
+                continue;
+            }
+            buckets[(t / bucket_secs) as usize] += 1;
+            total += 1;
+        }
+        WorkloadReport { bucket_secs, buckets, total }
+    }
+
+    /// Mean requests per bucket.
+    pub fn mean(&self) -> f64 {
+        if self.buckets.is_empty() {
+            0.0
+        } else {
+            self.total as f64 / self.buckets.len() as f64
+        }
+    }
+
+    /// Peak bucket.
+    pub fn peak(&self) -> u64 {
+        self.buckets.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peak-to-mean ratio — the burstiness measure (1.0 = perfectly
+    /// smooth). Returns 0 for an empty series.
+    pub fn peak_to_mean(&self) -> f64 {
+        let mean = self.mean();
+        if mean == 0.0 {
+            0.0
+        } else {
+            self.peak() as f64 / mean
+        }
+    }
+
+    /// Text rendering: a sparkline-style bar chart plus the headline ratio.
+    pub fn render(&self, label: &str) -> String {
+        let glyphs = [' ', '.', ':', '+', 'x', 'X', '#', '@'];
+        let peak = self.peak().max(1) as f64;
+        let bars: String = self
+            .buckets
+            .iter()
+            .map(|&b| {
+                let t = b as f64 / peak;
+                glyphs[((t * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
+            })
+            .collect();
+        format!(
+            "{label}: total {} reqs, mean {:.1}/bucket, peak {} (peak/mean {:.1}x)\n[{bars}]\n",
+            self.total,
+            self.mean(),
+            self.peak(),
+            self.peak_to_mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucketing_counts_and_clips() {
+        let ts = [0.5, 0.9, 1.5, 9.9, -1.0, 10.0, 100.0];
+        let w = WorkloadReport::of(&ts, 1.0, 10.0);
+        assert_eq!(w.buckets.len(), 10);
+        assert_eq!(w.buckets[0], 2);
+        assert_eq!(w.buckets[1], 1);
+        assert_eq!(w.buckets[9], 1);
+        assert_eq!(w.total, 4);
+    }
+
+    #[test]
+    fn smooth_traffic_has_ratio_near_one() {
+        let ts: Vec<f64> = (0..100).map(|i| i as f64 + 0.5).collect();
+        let w = WorkloadReport::of(&ts, 1.0, 100.0);
+        assert!((w.peak_to_mean() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bursty_traffic_has_high_ratio() {
+        // 100 requests all in one second of a 100-second horizon.
+        let ts: Vec<f64> = (0..100).map(|i| 42.0 + i as f64 * 0.001).collect();
+        let w = WorkloadReport::of(&ts, 1.0, 100.0);
+        assert_eq!(w.peak(), 100);
+        assert!((w.peak_to_mean() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_series_is_zero() {
+        let w = WorkloadReport::of(&[], 1.0, 10.0);
+        assert_eq!(w.peak_to_mean(), 0.0);
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    fn render_shows_ratio() {
+        let w = WorkloadReport::of(&[1.0, 1.1, 5.0], 1.0, 10.0);
+        let text = w.render("poll");
+        assert!(text.contains("peak/mean"));
+        assert!(text.contains("poll"));
+    }
+}

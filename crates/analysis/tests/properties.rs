@@ -1,0 +1,83 @@
+//! Property-based tests for the statistics toolkit.
+
+use analysis::stats::{percentile, Cdf, Summary};
+use analysis::tail::{rank_series, top_share};
+use proptest::prelude::*;
+
+proptest! {
+    /// Percentiles are monotone in p and bracketed by min/max.
+    #[test]
+    fn percentiles_monotone(mut xs in proptest::collection::vec(-1e9f64..1e9, 1..200)) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 100.0] {
+            let v = percentile(&xs, p);
+            prop_assert!(v >= last);
+            prop_assert!(v >= xs[0] && v <= *xs.last().unwrap());
+            last = v;
+        }
+    }
+
+    /// Summary invariants: min ≤ p25 ≤ p50 ≤ p75 ≤ p95 ≤ max and the mean
+    /// lies within [min, max].
+    #[test]
+    fn summary_is_ordered(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&xs);
+        prop_assert!(s.min <= s.p25 && s.p25 <= s.p50);
+        prop_assert!(s.p50 <= s.p75 && s.p75 <= s.p95 && s.p95 <= s.max);
+        prop_assert!(s.mean >= s.min - 1e-9 && s.mean <= s.max + 1e-9);
+        prop_assert_eq!(s.n, xs.len());
+    }
+
+    /// The CDF is a proper distribution function: monotone from >0 to 1,
+    /// and quantile() is a right-inverse of at().
+    #[test]
+    fn cdf_is_monotone_to_one(xs in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let c = Cdf::of(&xs);
+        let mut last = 0.0;
+        for (_, f) in &c.points {
+            prop_assert!(*f >= last);
+            last = *f;
+        }
+        prop_assert!((last - 1.0).abs() < 1e-9);
+        for q in [0.1, 0.5, 0.9, 1.0] {
+            let v = c.quantile(q);
+            prop_assert!(c.at(v) >= q - 1e-9);
+        }
+    }
+
+    /// Top-share is monotone in the fraction and bounded by [0, 1].
+    #[test]
+    fn top_share_monotone(xs in proptest::collection::vec(0u64..1_000_000, 1..300)) {
+        let mut last = 0.0;
+        for frac in [0.01, 0.05, 0.1, 0.5, 1.0] {
+            let s = top_share(&xs, frac);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s));
+            prop_assert!(s >= last - 1e-9);
+            last = s;
+        }
+        let total: u64 = xs.iter().sum();
+        if total > 0 {
+            prop_assert!((top_share(&xs, 1.0) - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// Rank series are strictly increasing in rank, non-increasing in
+    /// value, and bounded by the data.
+    #[test]
+    fn rank_series_wellformed(
+        xs in proptest::collection::vec(0u64..1_000_000, 1..500),
+        points in 2usize..40,
+    ) {
+        let s = rank_series(&xs, points);
+        prop_assert!(!s.is_empty());
+        prop_assert_eq!(s[0].rank, 1);
+        prop_assert_eq!(s.last().unwrap().rank, xs.len());
+        for w in s.windows(2) {
+            prop_assert!(w[0].rank < w[1].rank);
+            prop_assert!(w[0].value >= w[1].value);
+        }
+        let max = xs.iter().copied().max().unwrap();
+        prop_assert_eq!(s[0].value, max);
+    }
+}

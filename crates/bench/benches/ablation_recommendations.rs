@@ -1,0 +1,169 @@
+//! Ablations for the §6 recommendations: each design change the paper
+//! proposes, measured against the production baseline.
+//!
+//! 1. **Push / realtime hints**: honoring a service's realtime hints
+//!    (Alexa-style) vs. ignoring them.
+//! 2. **Smart polling**: spend the polling budget preferentially on
+//!    popular applets — hot applets speed up, cold applets slow down, at a
+//!    comparable aggregate poll rate.
+//! 3. **Fine-grained permissions**: capabilities granted beyond need under
+//!    service-level vs. per-capability grants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::engine::{Applet, Capability, EngineConfig, Granularity, PermissionManager, PollPolicy};
+use ifttt_core::tap_protocol::ServiceSlug;
+use ifttt_core::testbed::applets::{paper_applet, ServiceVariant, ALL_PAPER_APPLETS};
+use ifttt_core::testbed::experiments::{measure_t2a, T2aScenario};
+use ifttt_core::testbed::experiments::run_workload;
+use ifttt_core::testbed::PaperApplet;
+
+/// Median T2A for A5 (Alexa → Hue) with and without honoring hints.
+fn realtime_ablation(text: &mut String) {
+    let hinted = measure_t2a(&T2aScenario::official(PaperApplet::A5, 10, 4001));
+    let mut cfg = EngineConfig::ifttt_like();
+    cfg.realtime_allowlist.clear();
+    let unhinted = measure_t2a(&T2aScenario {
+        applet: PaperApplet::A5,
+        variant: ServiceVariant::Official,
+        engine: cfg,
+        runs: 10,
+        seed: 4002,
+        add_count: 0,
+    });
+    text.push_str("── realtime hints (push) ──\n");
+    text.push_str(&format!("honored:  {}\n", hinted.render_line()));
+    text.push_str(&format!("ignored:  {}\n", unhinted.render_line()));
+    text.push_str(&format!(
+        "speedup at median: {:.0}x\n\n",
+        unhinted.summary().p50 / hinted.summary().p50.max(0.001)
+    ));
+}
+
+/// Smart polling: a hot applet under Smart vs IftttLike; a cold one too.
+fn smart_polling_ablation(text: &mut String) {
+    let smart = |add_count: u64, seed: u64| {
+        let mut cfg = EngineConfig::ifttt_like();
+        cfg.polling = PollPolicy::smart(1_000);
+        measure_t2a(&T2aScenario {
+            applet: PaperApplet::A2,
+            variant: ServiceVariant::Official,
+            engine: cfg,
+            runs: 8,
+            seed,
+            add_count,
+        })
+    };
+    let baseline = measure_t2a(&T2aScenario::official(PaperApplet::A2, 8, 4010));
+    let hot = smart(1_000_000, 4011);
+    let cold = smart(10, 4012);
+    text.push_str("── smart polling (budget on popular applets) ──\n");
+    text.push_str(&format!("baseline (IftttLike): {}\n", baseline.render_line()));
+    text.push_str(&format!("smart, hot applet:    {}\n", hot.render_line()));
+    text.push_str(&format!("smart, cold applet:   {}\n", cold.render_line()));
+    // Expected per-applet poll rates.
+    let dummy = paper_applet(PaperApplet::A2, ServiceVariant::Official);
+    let mut hot_applet: Applet = dummy.clone();
+    hot_applet.add_count = 1_000_000;
+    let rates = (
+        PollPolicy::ifttt_like().expected_rate(&dummy),
+        PollPolicy::smart(1_000).expected_rate(&hot_applet),
+        PollPolicy::smart(1_000).expected_rate(&dummy),
+    );
+    text.push_str(&format!(
+        "expected poll rates (polls/s): baseline {:.4}, smart-hot {:.4}, smart-cold {:.4}\n",
+        rates.0, rates.1, rates.2
+    ));
+    text.push_str(
+        "(\"Such optimizations only need to apply to top applets that dominate the \
+         usage\" — §6; Figure 3's top 1% hold 84% of adds)\n\n",
+    );
+}
+
+/// Permission audit: installing the 7 paper applets under both models.
+fn permissions_ablation(text: &mut String) {
+    // A representative capability surface per service.
+    let catalog: &[(&str, &[&str])] = &[
+        ("gmail", &["read_email", "delete_email", "send_email", "manage_labels"]),
+        ("philips_hue", &["read_state", "control_lights", "manage_scenes", "firmware_update"]),
+        ("wemo", &["read_state", "control_switch", "schedule"]),
+        ("google_sheets", &["read_sheets", "append_rows", "delete_sheets", "share_sheets"]),
+        ("google_drive", &["read_files", "write_files", "delete_files", "share_files"]),
+        ("amazon_alexa", &["read_utterances", "read_lists", "manage_lists"]),
+    ];
+    let run = |granularity: Granularity| -> usize {
+        let mut pm = PermissionManager::new(granularity);
+        for (svc, caps) in catalog {
+            pm.register_service(
+                ServiceSlug::new(*svc),
+                caps.iter().map(|c| Capability::new(*c)),
+            );
+        }
+        for a in ALL_PAPER_APPLETS {
+            let applet = paper_applet(a, ServiceVariant::Official);
+            pm.request(
+                &applet.owner,
+                &applet.trigger.service,
+                Capability::new(format!("trigger:{}", applet.trigger.trigger)),
+            );
+            pm.request(
+                &applet.owner,
+                &applet.action.service,
+                Capability::new(format!("action:{}", applet.action.action)),
+            );
+        }
+        pm.total_excess()
+    };
+    let coarse = run(Granularity::ServiceLevel);
+    let fine = run(Granularity::PerCapability);
+    text.push_str("── permission granularity ──\n");
+    text.push_str(&format!(
+        "capabilities granted beyond need, 7 applets: service-level {coarse}, per-capability {fine}\n"
+    ));
+    text.push_str(
+        "(§6: \"installing an applet with the trigger 'new email arrives' requires \
+         permissions for reading, deleting, sending, and managing emails\")\n",
+    );
+}
+
+/// Push-vs-poll engine workload burstiness (§6's reason why IFTTT has not
+/// adopted push wholesale).
+fn workload_ablation(text: &mut String) {
+    let poll = run_workload(false, 6, 12, 4, 90, 4021);
+    let push = run_workload(true, 6, 12, 4, 90, 4022);
+    text.push_str("── engine workload: poll vs push (6 services x 12 applets, 4 correlated bursts) ──\n");
+    text.push_str(&poll.report.render("poll  "));
+    text.push_str(&push.report.render("push  "));
+    text.push_str(&format!(
+        "both regimes executed all {} actions; push trades steady load for {:.0}x burst peaks\n",
+        poll.actions_ok,
+        push.report.peak_to_mean() / poll.report.peak_to_mean().max(0.01)
+    ));
+    text.push_str(
+        "(§6: \"if all trigger services perform push, the incurred instantaneous \
+         workload may be too high: IoT workload is known to be highly bursty\")\n\n",
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    let mut text = String::from("# §6 recommendation ablations\n\n");
+    realtime_ablation(&mut text);
+    smart_polling_ablation(&mut text);
+    workload_ablation(&mut text);
+    permissions_ablation(&mut text);
+    emit("ablation_recommendations.txt", &text);
+
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    group.bench_function("hinted_a5_3runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            measure_t2a(&T2aScenario::official(PaperApplet::A5, 3, std::hint::black_box(seed)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 2: the trigger-category × action-category interaction heat map.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::Heatmap;
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snap = lab.snapshot();
+
+    let heatmap = Heatmap::of(&snap);
+    let mut text = heatmap.render();
+    text.push_str("\nhottest cells (trigger cat → action cat, share of adds):\n");
+    for (t, a, share) in heatmap.hottest(8) {
+        text.push_str(&format!("  {t:>2} → {a:<2}  {:.1}%\n", share * 100.0));
+    }
+    text.push_str(
+        "\n(paper: IoT triggers pair with action categories 1/5/9; IoT actions with \
+         trigger categories 1/7/9/12)\n",
+    );
+    emit("fig2_heatmap.txt", &text);
+
+    c.bench_function("fig2/heatmap_of_snapshot", |b| {
+        b.iter(|| Heatmap::of(std::hint::black_box(&snap)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 3: applet add count vs. rank (the heavy tail of applet usage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::tail::{rank_series, top_share};
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snap = lab.snapshot();
+    let adds: Vec<u64> = snap.applets.iter().map(|a| a.add_count).collect();
+
+    let mut text = String::from("# rank\tadd_count (log-log series)\n");
+    for p in rank_series(&adds, 25) {
+        text.push_str(&format!("{}\t{}\n", p.rank, p.value));
+    }
+    text.push_str(&format!(
+        "\ntop 1%  of applets hold {:.1}% of adds (paper 84.1%)\n\
+         top 10% of applets hold {:.1}% of adds (paper 97.6%)\n",
+        top_share(&adds, 0.01) * 100.0,
+        top_share(&adds, 0.10) * 100.0
+    ));
+    emit("fig3_addcount_tail.txt", &text);
+
+    c.bench_function("fig3/rank_series", |b| {
+        b.iter(|| rank_series(std::hint::black_box(&adds), 100))
+    });
+    c.bench_function("fig3/top_share", |b| {
+        b.iter(|| top_share(std::hint::black_box(&adds), 0.01))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Figure 4: trigger-to-action latency CDFs for applets A1–A7 on the
+//! official partner services.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::testbed::applets::ALL_PAPER_APPLETS;
+use ifttt_core::testbed::experiments::{measure_t2a, T2aScenario};
+
+fn bench(c: &mut Criterion) {
+    // Reproduction artifact: 20 runs per applet (the paper used 50; use
+    // `cargo run --release --example testbed_experiments -- 50` for that).
+    let mut text = String::from(
+        "# Figure 4: T2A latency (paper: A1-A4 p25/p50/p75 = 58/84/122 s, max ~15 min; \
+         A5-A7 = seconds)\n\n",
+    );
+    let mut slow_cdf = String::new();
+    let mut fast_cdf = String::new();
+    for (i, applet) in ALL_PAPER_APPLETS.iter().enumerate() {
+        let report = measure_t2a(&T2aScenario::official(*applet, 20, 2017 + i as u64));
+        text.push_str(&report.render_line());
+        text.push('\n');
+        if applet.group() == "Alexa" {
+            fast_cdf.push_str(&report.render_cdf(10));
+        } else {
+            slow_cdf.push_str(&report.render_cdf(10));
+        }
+    }
+    text.push_str("\n── A1-A4 CDFs ──\n");
+    text.push_str(&slow_cdf);
+    text.push_str("\n── A5-A7 CDFs ──\n");
+    text.push_str(&fast_cdf);
+    emit("fig4_t2a_official.txt", &text);
+
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("t2a_a2_3runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            measure_t2a(&T2aScenario::official(
+                ifttt_core::testbed::PaperApplet::A2,
+                3,
+                std::hint::black_box(seed),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

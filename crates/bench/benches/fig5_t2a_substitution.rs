@@ -1,0 +1,44 @@
+//! Figure 5: A2's T2A latency under the service/engine substitutions
+//! E1 (our trigger service), E2 (our trigger+action services), and E3
+//! (our engine, 1-second polling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::testbed::experiments::{measure_t2a, T2aScenario};
+
+fn bench(c: &mut Criterion) {
+    let mut text = String::from(
+        "# Figure 5 (paper: E1 ≈ E2 — still minutes; E3 ≈ 1-2 s ⇒ \
+         the IFTTT engine itself is the bottleneck)\n\n",
+    );
+    let scenarios = [
+        ("E1", T2aScenario::e1(20, 3001)),
+        ("E2", T2aScenario::e2(20, 3002)),
+        ("E3", T2aScenario::e3(20, 3003)),
+    ];
+    for (name, s) in &scenarios {
+        let report = measure_t2a(s);
+        text.push_str(&report.render_line());
+        text.push('\n');
+        let _ = name;
+    }
+    text.push('\n');
+    for (_, s) in &scenarios {
+        text.push_str(&measure_t2a(s).render_cdf(10));
+    }
+    emit("fig5_t2a_substitution.txt", &text);
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("e3_fast_engine_3runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            measure_t2a(&T2aScenario::e3(3, std::hint::black_box(seed)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 6: sequential trigger activations (every 5 s) produce actions
+//! "reshaped" into clusters by the engine's batched polling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::testbed::experiments::sequential_experiment;
+
+fn bench(c: &mut Criterion) {
+    let report = sequential_experiment(60, 5, 30.0, 2017);
+    let mut text = report.render();
+    text.push_str(&format!(
+        "\nmax inter-cluster gap: {:.0} s (paper observes an extreme of ~14 min under load)\n\
+         (paper's example: clusters at 119 s, 247 s, 351 s)\n",
+        report.max_cluster_gap()
+    ));
+    emit("fig6_sequential.txt", &text);
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("sequential_12_triggers", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            sequential_experiment(12, 5, 30.0, std::hint::black_box(seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

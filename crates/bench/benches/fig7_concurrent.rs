@@ -1,0 +1,28 @@
+//! Figure 7: T2A difference between two applets sharing one trigger —
+//! IFTTT "cannot guarantee the simultaneous execution of two applets with
+//! the same trigger".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::testbed::experiments::concurrent_experiment;
+
+fn bench(c: &mut Criterion) {
+    let report = concurrent_experiment(20, 2017);
+    let mut text = report.render();
+    text.push_str("(paper: differences range from -60 s to +140 s across 20 tests)\n");
+    emit("fig7_concurrent.txt", &text);
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.bench_function("concurrent_5_runs", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            concurrent_experiment(5, std::hint::black_box(seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! §3.2's longitudinal growth and user-contribution statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::{GrowthReport, UserContribution};
+use ifttt_core::ecosystem::model::GROWTH;
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snapshots = lab.ecosystem().all_snapshots();
+    let snap = lab.snapshot();
+
+    let growth = GrowthReport::of(&snapshots, GROWTH.week_start as u32, GROWTH.week_end as u32);
+    let users = UserContribution::of(&snap);
+    let mut text = growth.render();
+    text.push('\n');
+    text.push_str(&users.render());
+    emit("growth_users.txt", &text);
+
+    c.bench_function("growth/weekly_series", |b| {
+        b.iter(|| {
+            GrowthReport::of(
+                std::hint::black_box(&snapshots),
+                GROWTH.week_start as u32,
+                GROWTH.week_end as u32,
+            )
+        })
+    });
+    c.bench_function("users/contribution", |b| {
+        b.iter(|| UserContribution::of(std::hint::black_box(&snap)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

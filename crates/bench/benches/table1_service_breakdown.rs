@@ -1,0 +1,34 @@
+//! Table 1: breakdown of IFTTT partner services by category.
+//!
+//! Regenerates the table from a generated snapshot and times the analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::tables::{HeadlineIot, Table1Report};
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snap = lab.snapshot();
+
+    // Emit the reproduction artifact once.
+    let report = Table1Report::of(&snap);
+    let headline = HeadlineIot::of(&snap);
+    let mut text = report.render();
+    text.push_str(&format!(
+        "\nIoT services: {:.1}% (paper 51.7%) | IoT usage: {:.1}% (paper ~16%)\n",
+        headline.service_share * 100.0,
+        headline.usage_share * 100.0
+    ));
+    emit("table1_service_breakdown.txt", &text);
+
+    c.bench_function("table1/analyze_snapshot", |b| {
+        b.iter(|| Table1Report::of(std::hint::black_box(&snap)))
+    });
+    c.bench_function("table1/headline_iot", |b| {
+        b.iter(|| HeadlineIot::of(std::hint::black_box(&snap)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

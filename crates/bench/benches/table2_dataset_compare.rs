@@ -1,0 +1,27 @@
+//! Table 2: our dataset vs. Ur et al. [28] — measured over the full
+//! 25-snapshot series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::Table2Report;
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snapshots = lab.ecosystem().all_snapshots();
+
+    let report = Table2Report::of(&snapshots);
+    let mut text = report.render();
+    text.push_str("\n(measured values are at 5% scale; 'Paper (ours)' is full scale)\n");
+    emit("table2_dataset_compare.txt", &text);
+
+    c.bench_function("table2/measure_series", |b| {
+        b.iter(|| Table2Report::of(std::hint::black_box(&snapshots)))
+    });
+    c.bench_function("table2/weekly_snapshot_view", |b| {
+        b.iter(|| lab.ecosystem().snapshot(std::hint::black_box(18)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Table 3: top IoT trigger/action services, triggers, and actions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::analysis::Table3Report;
+use ifttt_core::Lab;
+
+fn bench(c: &mut Criterion) {
+    let lab = Lab::new(2017).with_scale(0.05);
+    let snap = lab.snapshot();
+
+    let report = Table3Report::of(&snap, 7);
+    let mut text = report.render();
+    text.push_str(
+        "\n(paper: Alexa 1.2M / Fitbit 0.2M / Nest 0.1M triggers; Hue 1.2M / LIFX 0.2M \
+         actions — add counts here are at 5% scale)\n",
+    );
+    emit("table3_top_iot.txt", &text);
+
+    c.bench_function("table3/top_iot_lists", |b| {
+        b.iter(|| Table3Report::of(std::hint::black_box(&snap), 7))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

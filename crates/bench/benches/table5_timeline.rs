@@ -1,0 +1,30 @@
+//! Table 5: the execution timeline of applet A2 under experiment E2,
+//! reconstructed from the multi-vantage-point trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::testbed::experiments::timeline_experiment;
+
+fn bench(c: &mut Criterion) {
+    let timeline = timeline_experiment(2017);
+    let mut text = timeline.render();
+    text.push_str(
+        "\n(paper's example: proxy sees the trigger at 0.04 s, service confirms at \
+         0.16 s, the engine polls at 81.1 s, action executes by 83.8 s)\n",
+    );
+    emit("table5_timeline.txt", &text);
+
+    let mut group = c.benchmark_group("table5");
+    group.sample_size(10);
+    group.bench_function("timeline_run", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            timeline_experiment(std::hint::black_box(seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Each bench target under `benches/` regenerates one table or figure of the
+//! paper. Benches print their table/figure series once (so `cargo bench`
+//! output doubles as the reproduction artifact) and then let Criterion time
+//! the regeneration.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Directory into which benches write their rendered tables/figures.
+pub fn out_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/paper_out");
+    fs::create_dir_all(&dir).expect("create paper_out dir");
+    dir
+}
+
+/// Write a rendered artifact and echo it to stdout.
+pub fn emit(name: &str, contents: &str) {
+    let path = out_dir().join(name);
+    fs::write(&path, contents).expect("write artifact");
+    println!("── {name} ──\n{contents}");
+}

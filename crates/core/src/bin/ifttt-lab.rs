@@ -1,0 +1,160 @@
+//! `ifttt-lab` — command-line front end for the reproduction.
+//!
+//! ```text
+//! ifttt-lab report [scale]           §3: Tables 1-3, Figs 2-3, growth, users
+//! ifttt-lab t2a [runs]               Fig 4: T2A latency for A1-A7
+//! ifttt-lab substitution [runs]      Fig 5: E1/E2/E3
+//! ifttt-lab timeline                 Table 5: execution timeline
+//! ifttt-lab sequential [n]           Fig 6: action clustering
+//! ifttt-lab concurrent [runs]        Fig 7: same-trigger divergence
+//! ifttt-lab loops                    §4: explicit & implicit infinite loops
+//! ifttt-lab workload                 §6: push-vs-poll engine burstiness
+//! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
+//! ```
+//!
+//! Every subcommand accepts `--seed <u64>` (default 2017).
+
+use ifttt_core::analysis::tables::HeadlineIot;
+use ifttt_core::ecosystem::crawler::{Crawler, CrawlerConfig};
+use ifttt_core::ecosystem::frontend::IftttFrontend;
+use ifttt_core::ecosystem::generator::{Ecosystem, GeneratorConfig};
+use ifttt_core::ecosystem::model::GROWTH;
+use ifttt_core::engine::RuntimeLoopConfig;
+use ifttt_core::simnet::prelude::*;
+use ifttt_core::testbed::experiments::{
+    explicit_loop_experiment, implicit_loop_experiment, run_workload,
+};
+use ifttt_core::Lab;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut seed = 2017u64;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--seed" {
+            seed = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("--seed needs a u64"));
+        } else {
+            positional.push(a);
+        }
+    }
+    let cmd = positional.first().map(String::as_str).unwrap_or("help");
+    let arg1: Option<f64> = positional.get(1).and_then(|v| v.parse().ok());
+    let lab = Lab::new(seed).with_scale(arg1.filter(|_| cmd == "report" || cmd == "crawl").unwrap_or(0.05));
+
+    match cmd {
+        "report" => {
+            let snap = lab.snapshot();
+            println!(
+                "snapshot {}: {} services / {} triggers / {} actions / {} applets / {} adds\n",
+                snap.date,
+                snap.services.len(),
+                snap.trigger_count(),
+                snap.action_count(),
+                snap.applets.len(),
+                snap.total_add_count()
+            );
+            println!("{}", lab.table1().render());
+            let h = HeadlineIot::of(&snap);
+            println!(
+                "IoT: {:.1}% of services, {:.1}% of usage (paper: 52% / 16%)\n",
+                h.service_share * 100.0,
+                h.usage_share * 100.0
+            );
+            println!("{}", lab.table2().render());
+            println!("{}", lab.table3().render());
+            println!("{}", lab.fig2().render());
+            println!("{}", lab.growth().render());
+            println!("{}", lab.users().render());
+        }
+        "t2a" => {
+            let runs = arg1.map(|v| v as usize).unwrap_or(10);
+            println!("Figure 4 ({runs} runs per applet; paper: A1-A4 = 58/84/122 s, A5-A7 = seconds)\n");
+            for r in lab.fig4_t2a(runs) {
+                println!("{}", r.render_line());
+            }
+        }
+        "substitution" => {
+            let runs = arg1.map(|v| v as usize).unwrap_or(10);
+            println!("Figure 5 ({runs} runs; paper: E1 ≈ E2 slow, E3 ≈ 1-2 s)\n");
+            for r in lab.fig5_substitution(runs) {
+                println!("{}", r.render_line());
+            }
+        }
+        "timeline" => println!("{}", lab.table5().render()),
+        "sequential" => {
+            let n = arg1.map(|v| v as usize).unwrap_or(60);
+            println!("{}", lab.fig6_sequential(n).render());
+        }
+        "concurrent" => {
+            let runs = arg1.map(|v| v as usize).unwrap_or(20);
+            println!("{}", lab.fig7_concurrent(runs).render());
+        }
+        "loops" => {
+            let window = SimDuration::from_secs(120);
+            let unchecked = explicit_loop_experiment(false, None, window, seed);
+            println!(
+                "explicit loop, no checks: {} actions / {} emails from one seed email in {window}",
+                unchecked.actions_executed, unchecked.emails_delivered
+            );
+            let det = RuntimeLoopConfig {
+                max_executions: 5,
+                window: SimDuration::from_secs(120),
+                auto_disable: true,
+            };
+            let caught = implicit_loop_experiment(true, Some(det), window, seed + 1);
+            println!(
+                "implicit loop + runtime detector: flagged={} disabled={} after {} actions",
+                caught.flagged, caught.disabled, caught.actions_executed
+            );
+        }
+        "workload" => {
+            let poll = run_workload(false, 6, 12, 4, 90, seed);
+            let push = run_workload(true, 6, 12, 4, 90, seed + 1);
+            print!("{}", poll.report.render("poll"));
+            print!("{}", push.report.render("push"));
+            println!(
+                "push peak/mean is {:.1}x the poll regime's — §6's burstiness concern",
+                push.report.peak_to_mean() / poll.report.peak_to_mean().max(0.01)
+            );
+        }
+        "crawl" => {
+            let scale = arg1.unwrap_or(0.05);
+            let eco = Ecosystem::generate(GeneratorConfig { seed, scale });
+            let week = GROWTH.week_canonical as u32;
+            let mut sim = Sim::new(seed);
+            let frontend = IftttFrontend::new(eco, week);
+            let max_id = frontend.max_applet_id();
+            let fe = sim.add_node("ifttt.com", frontend);
+            let crawler =
+                sim.add_node("crawler", Crawler::new(CrawlerConfig::new(fe, 100_000, max_id + 1)));
+            sim.link(crawler, fe, LinkSpec::wan());
+            sim.try_run_until_idle(100_000_000).expect("crawl terminates");
+            let c = sim.node_ref::<Crawler>(crawler);
+            println!(
+                "crawl done in {} virtual time: {} pages fetched, {} applets, {} services, {} 404s, {} retries",
+                sim.now(),
+                c.stats.pages_fetched,
+                c.stats.applets_found,
+                c.services.len(),
+                c.stats.not_found,
+                c.stats.retries
+            );
+            let snap = c.snapshot(week, "crawled");
+            println!("crawled add count: {}", snap.total_add_count());
+        }
+        _ => usage("unknown subcommand"),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}\n");
+    eprintln!(
+        "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
+         timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale]>"
+    );
+    std::process::exit(2)
+}

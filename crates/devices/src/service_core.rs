@@ -1,0 +1,376 @@
+//! Shared mechanics of every partner service node.
+//!
+//! [`ServiceCore`] bundles the protocol endpoint, the per-subscription
+//! trigger-event buffer, the subscription registry, and (optionally) the
+//! realtime API client. Concrete services delegate their `on_request` to
+//! [`ServiceCore::process`] and only implement what is genuinely theirs:
+//! feeding trigger events from their backend and executing actions.
+
+use simnet::prelude::*;
+use tap_protocol::auth::SERVICE_KEY_HEADER;
+use tap_protocol::endpoints::REALTIME_NOTIFY_PATH;
+use tap_protocol::oauth::AuthCode;
+use tap_protocol::service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
+use tap_protocol::wire::{self, RealtimeNotification, TriggerEvent};
+use tap_protocol::{
+    ActionSlug, FieldMap, ProtocolError, QuerySlug, TriggerIdentity, TriggerSlug, UserId,
+};
+use std::collections::HashMap;
+
+/// One learned trigger subscription.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subscription {
+    pub user: UserId,
+    pub trigger: TriggerSlug,
+    pub fields: FieldMap,
+}
+
+/// What [`ServiceCore::process`] leaves for the embedding service to do.
+#[derive(Debug)]
+pub enum Processed {
+    /// Fully handled; reply with this response.
+    Done(Response),
+    /// An action request the service must execute (and then reply to
+    /// `req_id`, possibly deferred).
+    Action { user: UserId, action: ActionSlug, fields: FieldMap, req_id: RequestId },
+    /// A query the service must answer with [`ServiceEndpoint::query_ok`]
+    /// (possibly deferred).
+    Query { user: UserId, query: QuerySlug, fields: FieldMap, req_id: RequestId },
+}
+
+/// The shared protocol front of a partner service.
+#[derive(Debug)]
+pub struct ServiceCore {
+    /// Routing, auth, and OAuth provider.
+    pub endpoint: ServiceEndpoint,
+    /// Buffered trigger events per subscription.
+    pub buffer: TriggerBuffer,
+    /// Subscriptions learned from polls or registered out of band.
+    pub subs: HashMap<TriggerIdentity, Subscription>,
+    /// If set, send realtime hints to this engine node when events arrive.
+    pub realtime_engine: Option<NodeId>,
+    /// Count of polls served (for tests/metrics).
+    pub polls_served: u64,
+    /// Count of realtime hints sent.
+    pub hints_sent: u64,
+    next_event: u64,
+}
+
+impl ServiceCore {
+    /// Wrap a configured endpoint.
+    pub fn new(endpoint: ServiceEndpoint) -> Self {
+        ServiceCore {
+            endpoint,
+            buffer: TriggerBuffer::new(),
+            subs: HashMap::new(),
+            realtime_engine: None,
+            polls_served: 0,
+            hints_sent: 0,
+            next_event: 1,
+        }
+    }
+
+    /// Enable the realtime API towards `engine`.
+    pub fn enable_realtime(&mut self, engine: NodeId) {
+        self.realtime_engine = Some(engine);
+    }
+
+    /// Register a subscription before any poll arrives (what a production
+    /// service learns from the engine's initial poll at applet creation).
+    pub fn subscribe(
+        &mut self,
+        user: UserId,
+        trigger: TriggerSlug,
+        fields: FieldMap,
+    ) -> TriggerIdentity {
+        let ti = TriggerIdentity::derive(&user, self.endpoint.slug(), &trigger, &fields);
+        self.subs.insert(ti.clone(), Subscription { user, trigger, fields });
+        ti
+    }
+
+    /// A fresh service-unique event id.
+    pub fn next_event_id(&mut self) -> String {
+        let id = self.next_event;
+        self.next_event += 1;
+        format!("{}_ev{:08}", self.endpoint.slug(), id)
+    }
+
+    /// Record `event` for every subscription matching `trigger`, `user`,
+    /// and `matches_fields`; send a realtime hint per matching subscription
+    /// if enabled.
+    pub fn record_event(
+        &mut self,
+        ctx: &mut Context<'_>,
+        trigger: &TriggerSlug,
+        user: &UserId,
+        event: TriggerEvent,
+        matches_fields: impl Fn(&FieldMap) -> bool,
+    ) -> usize {
+        let matching: Vec<TriggerIdentity> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| s.trigger == *trigger && s.user == *user && matches_fields(&s.fields))
+            .map(|(ti, _)| ti.clone())
+            .collect();
+        for ti in &matching {
+            self.buffer.push(ti, event.clone());
+            ctx.trace(
+                "service.event",
+                format!("{} {} -> {}", self.endpoint.slug(), trigger, ti),
+            );
+            if let Some(engine) = self.realtime_engine {
+                self.hints_sent += 1;
+                let body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
+                let req = Request::post(REALTIME_NOTIFY_PATH)
+                    .with_header(SERVICE_KEY_HEADER, self.endpoint.key().0.clone())
+                    .with_body(body);
+                ctx.send_request(engine, req, Token(u64::MAX), RequestOpts::timeout_secs(30));
+                ctx.trace("service.hint", format!("{} {}", self.endpoint.slug(), ti));
+            }
+        }
+        matching.len()
+    }
+
+    /// Handle the generic protocol surface of an inbound request.
+    pub fn process(&mut self, ctx: &mut Context<'_>, req: &Request) -> Processed {
+        match self.endpoint.parse(req) {
+            Err(e) => Processed::Done(ServiceEndpoint::error_response(&e)),
+            Ok(ParsedServiceRequest::Status) => Processed::Done(Response::ok()),
+            Ok(ParsedServiceRequest::TestSetup) => Processed::Done(
+                Response::ok().with_body(r#"{"data":{"samples":{}}}"#),
+            ),
+            Ok(ParsedServiceRequest::Poll { user, trigger, body }) => {
+                // Learn (or refresh) the subscription from the poll itself.
+                self.subs.insert(
+                    body.trigger_identity.clone(),
+                    Subscription { user, trigger, fields: body.trigger_fields.clone() },
+                );
+                self.polls_served += 1;
+                let events = self.buffer.latest(&body.trigger_identity, body.limit);
+                ctx.trace(
+                    "service.poll",
+                    format!(
+                        "{} {} -> {} events",
+                        self.endpoint.slug(),
+                        body.trigger_identity,
+                        events.len()
+                    ),
+                );
+                Processed::Done(ServiceEndpoint::poll_ok(events))
+            }
+            Ok(ParsedServiceRequest::Action { user, action, body, .. }) => Processed::Action {
+                user,
+                action,
+                fields: body.action_fields,
+                req_id: req.id,
+            },
+            Ok(ParsedServiceRequest::Query { user, query, body }) => Processed::Query {
+                user,
+                query,
+                fields: body.query_fields,
+                req_id: req.id,
+            },
+            Ok(ParsedServiceRequest::OAuthAuthorize { user }) => {
+                let code = self.endpoint.oauth.authorize(user, ctx.rng());
+                Processed::Done(
+                    Response::ok()
+                        .with_body(serde_json::json!({ "code": code.0 }).to_string()),
+                )
+            }
+            Ok(ParsedServiceRequest::OAuthToken { code }) => {
+                match self.endpoint.oauth.exchange(&AuthCode(code.0), ctx.rng()) {
+                    Ok(token) => Processed::Done(
+                        Response::ok().with_body(
+                            serde_json::json!({
+                                "access_token": token.0,
+                                "token_type": "Bearer"
+                            })
+                            .to_string(),
+                        ),
+                    ),
+                    Err(_) => Processed::Done(
+                        ServiceEndpoint::error_response(&ProtocolError::BadAccessToken),
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tap_protocol::auth::{ServiceKey, AUTHORIZATION_HEADER};
+    use tap_protocol::wire::PollRequestBody;
+    use tap_protocol::ServiceSlug;
+
+    /// A trivial service node wrapping a core; actions echo success.
+    struct TestService {
+        core: ServiceCore,
+    }
+    impl Node for TestService {
+        fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+            match self.core.process(ctx, req) {
+                Processed::Done(resp) => HandlerResult::Reply(resp),
+                Processed::Action { action, .. } => HandlerResult::Reply(
+                    ServiceEndpoint::action_ok(format!("done_{action}")),
+                ),
+                Processed::Query { fields, .. } => {
+                    HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
+                }
+            }
+        }
+    }
+
+    fn core() -> ServiceCore {
+        let ep = ServiceEndpoint::new(ServiceSlug::new("svc"), ServiceKey("sk_1".into()))
+            .with_trigger("ding")
+            .with_action("dong");
+        ServiceCore::new(ep)
+    }
+
+    /// Engine stand-in: sends one poll (and optionally an action), and
+    /// records realtime hints it receives.
+    #[derive(Default)]
+    struct EngineStub {
+        service: Option<NodeId>,
+        token_header: String,
+        poll_body: Option<Vec<u8>>,
+        got_events: Option<usize>,
+        hints: Vec<TriggerIdentity>,
+    }
+    impl Node for EngineStub {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            if let (Some(svc), Some(body)) = (self.service, self.poll_body.clone()) {
+                let req = Request::post("/ifttt/v1/triggers/ding")
+                    .with_header(SERVICE_KEY_HEADER, "sk_1")
+                    .with_header(AUTHORIZATION_HEADER, self.token_header.clone())
+                    .with_body(body);
+                ctx.send_request(svc, req, Token(1), RequestOpts::timeout_secs(30));
+            }
+        }
+        fn on_request(&mut self, _ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+            if req.path == REALTIME_NOTIFY_PATH {
+                if let Ok(n) = wire::from_bytes::<RealtimeNotification>(&req.body) {
+                    self.hints.extend(n.data.into_iter().map(|i| i.trigger_identity));
+                }
+                HandlerResult::Reply(Response::ok())
+            } else {
+                HandlerResult::Reply(Response::not_found())
+            }
+        }
+        fn on_response(&mut self, _ctx: &mut Context<'_>, _t: Token, resp: Response) {
+            if let Ok(b) = wire::from_bytes::<wire::PollResponseBody>(&resp.body) {
+                self.got_events = Some(b.data.len());
+            }
+        }
+    }
+
+    #[test]
+    fn poll_learns_subscription_and_returns_buffered_events() {
+        let mut sim = Sim::new(51);
+        let mut c = core();
+        // Pre-register the subscription and buffer two events.
+        let user = UserId::new("u1");
+        let ti = c.subscribe(user.clone(), TriggerSlug::new("ding"), FieldMap::new());
+        c.buffer.push(&ti, TriggerEvent::new("e1", 1));
+        c.buffer.push(&ti, TriggerEvent::new("e2", 2));
+        let token_header = {
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+            c.endpoint.oauth.mint_token(user.clone(), &mut rng).bearer()
+        };
+        let svc = sim.add_node("svc", TestService { core: c });
+        let poll = PollRequestBody {
+            trigger_identity: ti.clone(),
+            trigger_fields: FieldMap::new(),
+            user,
+            limit: 50,
+        };
+        let engine = sim.add_node(
+            "engine",
+            EngineStub {
+                service: Some(svc),
+                token_header,
+                poll_body: Some(wire::to_bytes(&poll).to_vec()),
+                ..Default::default()
+            },
+        );
+        sim.link(engine, svc, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<EngineStub>(engine).got_events, Some(2));
+        let ts = sim.node_ref::<TestService>(svc);
+        assert_eq!(ts.core.polls_served, 1);
+        assert!(ts.core.subs.contains_key(&ti));
+    }
+
+    #[test]
+    fn record_event_routes_only_matching_subscriptions() {
+        let mut sim = Sim::new(52);
+        let svc = sim.add_node("svc", TestService { core: core() });
+        sim.with_node::<TestService, _>(svc, |s, ctx| {
+            let ti_a = s.core.subscribe(
+                UserId::new("alice"),
+                TriggerSlug::new("ding"),
+                FieldMap::new(),
+            );
+            let _ti_b = s.core.subscribe(
+                UserId::new("bob"),
+                TriggerSlug::new("ding"),
+                FieldMap::new(),
+            );
+            let ev = TriggerEvent::new("e1", 5);
+            let matched =
+                s.core
+                    .record_event(ctx, &TriggerSlug::new("ding"), &UserId::new("alice"), ev, |_| {
+                        true
+                    });
+            assert_eq!(matched, 1);
+            assert_eq!(s.core.buffer.len(&ti_a), 1);
+        });
+    }
+
+    #[test]
+    fn record_event_sends_realtime_hint_when_enabled() {
+        let mut sim = Sim::new(53);
+        let engine = sim.add_node("engine", EngineStub::default());
+        let svc = sim.add_node("svc", TestService { core: core() });
+        sim.link(engine, svc, LinkSpec::wan());
+        let ti = sim.with_node::<TestService, _>(svc, |s, _ctx| {
+            s.core.enable_realtime(engine);
+            s.core.subscribe(UserId::new("u"), TriggerSlug::new("ding"), FieldMap::new())
+        });
+        sim.with_node::<TestService, _>(svc, |s, ctx| {
+            s.core.record_event(
+                ctx,
+                &TriggerSlug::new("ding"),
+                &UserId::new("u"),
+                TriggerEvent::new("e1", 1),
+                |_| true,
+            );
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<EngineStub>(engine).hints, vec![ti]);
+        assert_eq!(sim.node_ref::<TestService>(svc).core.hints_sent, 1);
+    }
+
+    #[test]
+    fn field_mismatch_records_nothing() {
+        let mut sim = Sim::new(54);
+        let svc = sim.add_node("svc", TestService { core: core() });
+        sim.with_node::<TestService, _>(svc, |s, ctx| {
+            let mut fields = FieldMap::new();
+            fields.insert("phrase".into(), "good morning".into());
+            let ti =
+                s.core.subscribe(UserId::new("u"), TriggerSlug::new("ding"), fields);
+            let matched = s.core.record_event(
+                ctx,
+                &TriggerSlug::new("ding"),
+                &UserId::new("u"),
+                TriggerEvent::new("e1", 1),
+                |f| f.get("phrase").map(String::as_str) == Some("good night"),
+            );
+            assert_eq!(matched, 0);
+            assert!(s.core.buffer.is_empty(&ti));
+        });
+    }
+}

@@ -1,0 +1,246 @@
+//! The Amazon Alexa partner service.
+//!
+//! Receives utterance uploads from Echo devices, classifies them into the
+//! triggers the paper's applets A5–A7 use (say a phrase, song played, item
+//! added to todo/shopping list), and — crucially — uses the **realtime
+//! API**: the paper finds A5–A7 have low T2A latency because "IFTTT …
+//! processes the real-time API hints for some services (such as Alexa)".
+
+use crate::echo::UTTERANCE_PATH;
+use crate::service_core::{Processed, ServiceCore};
+use serde::Deserialize;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+
+/// How an utterance was classified.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Intent {
+    /// `"alexa trigger <phrase>"` or any unrecognized phrase.
+    Phrase(String),
+    /// `"play <song>"`.
+    PlaySong(String),
+    /// `"add <item> to my todo list"`.
+    TodoAdd(String),
+    /// `"add <item> to my shopping list"`.
+    ShoppingAdd(String),
+    /// `"what's on my shopping list"`.
+    AskShoppingList,
+}
+
+/// Classify an utterance the way the Alexa skills the paper uses would.
+pub fn classify(utterance: &str) -> Intent {
+    let u = utterance.trim().to_ascii_lowercase();
+    if let Some(song) = u.strip_prefix("play ") {
+        return Intent::PlaySong(song.to_owned());
+    }
+    if let Some(rest) = u.strip_prefix("add ") {
+        if let Some(item) = rest.strip_suffix(" to my todo list") {
+            return Intent::TodoAdd(item.to_owned());
+        }
+        if let Some(item) = rest.strip_suffix(" to my shopping list") {
+            return Intent::ShoppingAdd(item.to_owned());
+        }
+    }
+    if u.contains("what's on my shopping list") || u.contains("whats on my shopping list") {
+        return Intent::AskShoppingList;
+    }
+    let phrase = u.strip_prefix("alexa trigger ").unwrap_or(&u);
+    Intent::Phrase(phrase.to_owned())
+}
+
+/// The Alexa cloud service node.
+#[derive(Debug)]
+pub struct AlexaService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Per-user todo list (state the `ask_*` skills read back).
+    pub todo: std::collections::HashMap<UserId, Vec<String>>,
+    /// Per-user shopping list.
+    pub shopping: std::collections::HashMap<UserId, Vec<String>>,
+    /// Utterances processed (for tests/metrics).
+    pub utterances: u64,
+}
+
+impl AlexaService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "amazon_alexa";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("say_a_phrase")
+            .with_trigger("song_played")
+            .with_trigger("todo_item_added")
+            .with_trigger("shopping_item_added")
+            .with_trigger("ask_whats_on_shopping_list");
+        AlexaService {
+            core: ServiceCore::new(endpoint),
+            todo: Default::default(),
+            shopping: Default::default(),
+            utterances: 0,
+        }
+    }
+
+    fn feed(
+        &mut self,
+        ctx: &mut Context<'_>,
+        user: &UserId,
+        trigger: &str,
+        ingredients: &[(&str, &str)],
+        phrase_filter: Option<&str>,
+    ) {
+        let id = self.core.next_event_id();
+        let mut event = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64);
+        for (k, v) in ingredients {
+            event = event.with_ingredient(*k, *v);
+        }
+        let trigger = TriggerSlug::new(trigger);
+        let filter = phrase_filter.map(str::to_owned);
+        self.core.record_event(ctx, &trigger, user, event, move |fields| {
+            match (&filter, fields.get("phrase")) {
+                // A say_a_phrase subscription only matches its configured phrase.
+                (Some(said), Some(want)) => said.eq_ignore_ascii_case(want),
+                (Some(_), None) => true, // subscription with no phrase field: match all
+                (None, _) => true,
+            }
+        });
+    }
+
+    /// Process one recognized utterance for `user`.
+    pub fn handle_utterance(&mut self, ctx: &mut Context<'_>, user: &UserId, utterance: &str) {
+        self.utterances += 1;
+        ctx.trace("alexa.utterance", utterance.to_owned());
+        match classify(utterance) {
+            Intent::Phrase(p) => {
+                self.feed(ctx, user, "say_a_phrase", &[("phrase", &p)], Some(&p))
+            }
+            Intent::PlaySong(song) => {
+                self.feed(ctx, user, "song_played", &[("song", &song)], None)
+            }
+            Intent::TodoAdd(item) => {
+                self.todo.entry(user.clone()).or_default().push(item.clone());
+                self.feed(ctx, user, "todo_item_added", &[("item", &item)], None)
+            }
+            Intent::ShoppingAdd(item) => {
+                self.shopping.entry(user.clone()).or_default().push(item.clone());
+                self.feed(ctx, user, "shopping_item_added", &[("item", &item)], None)
+            }
+            Intent::AskShoppingList => {
+                self.feed(ctx, user, "ask_whats_on_shopping_list", &[], None)
+            }
+        }
+    }
+}
+
+impl Node for AlexaService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        if req.path == UTTERANCE_PATH && req.method == Method::Post {
+            #[derive(Deserialize)]
+            struct Upload {
+                user: String,
+                utterance: String,
+            }
+            let Ok(u) = serde_json::from_slice::<Upload>(&req.body) else {
+                return HandlerResult::Reply(Response::bad_request());
+            };
+            let user = UserId::new(u.user);
+            self.handle_utterance(ctx, &user, &u.utterance);
+            return HandlerResult::Reply(Response::ok());
+        }
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            // Alexa exposes no actions on IFTTT; reaching here means the
+            // endpoint config and this handler disagree.
+            Processed::Action { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+            // No queries on this service (the endpoint rejects undeclared
+            // query slugs before we get here).
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tap_protocol::FieldMap;
+
+    #[test]
+    fn classify_covers_the_paper_top_triggers() {
+        assert_eq!(classify("play Bohemian Rhapsody"), Intent::PlaySong("bohemian rhapsody".into()));
+        assert_eq!(classify("add milk to my todo list"), Intent::TodoAdd("milk".into()));
+        assert_eq!(
+            classify("add eggs to my shopping list"),
+            Intent::ShoppingAdd("eggs".into())
+        );
+        assert_eq!(classify("What's on my shopping list"), Intent::AskShoppingList);
+        assert_eq!(
+            classify("alexa trigger movie time"),
+            Intent::Phrase("movie time".into())
+        );
+        assert_eq!(classify("turn on the light"), Intent::Phrase("turn on the light".into()));
+    }
+
+    fn service_with_sub(trigger: &str, fields: FieldMap) -> (Sim, NodeId, tap_protocol::TriggerIdentity) {
+        let mut sim = Sim::new(81);
+        let svc = sim.add_node("alexa", AlexaService::new(ServiceKey("sk_a".into())));
+        let ti = sim.with_node::<AlexaService, _>(svc, |s, _| {
+            s.core.subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
+        });
+        (sim, svc, ti)
+    }
+
+    #[test]
+    fn phrase_subscription_matches_only_its_phrase() {
+        let mut fields = FieldMap::new();
+        fields.insert("phrase".into(), "movie time".into());
+        let (mut sim, svc, ti) = service_with_sub("say_a_phrase", fields);
+        sim.with_node::<AlexaService, _>(svc, |s, ctx| {
+            s.handle_utterance(ctx, &UserId::new("author"), "alexa trigger movie time");
+            s.handle_utterance(ctx, &UserId::new("author"), "alexa trigger bedtime");
+        });
+        let s = sim.node_ref::<AlexaService>(svc);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+        assert_eq!(s.utterances, 2);
+    }
+
+    #[test]
+    fn song_event_carries_the_song_ingredient() {
+        let (mut sim, svc, ti) = service_with_sub("song_played", FieldMap::new());
+        sim.with_node::<AlexaService, _>(svc, |s, ctx| {
+            s.handle_utterance(ctx, &UserId::new("author"), "play Yesterday");
+        });
+        let s = sim.node_ref::<AlexaService>(svc);
+        let events = s.core.buffer.latest(&ti, 10);
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].ingredients["song"], "yesterday");
+    }
+
+    #[test]
+    fn todo_add_updates_the_list_and_the_trigger() {
+        let (mut sim, svc, ti) = service_with_sub("todo_item_added", FieldMap::new());
+        sim.with_node::<AlexaService, _>(svc, |s, ctx| {
+            s.handle_utterance(ctx, &UserId::new("author"), "add buy eggs to my todo list");
+        });
+        let s = sim.node_ref::<AlexaService>(svc);
+        assert_eq!(s.todo[&UserId::new("author")], vec!["buy eggs"]);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+    }
+
+    #[test]
+    fn other_users_events_do_not_cross() {
+        let (mut sim, svc, ti) = service_with_sub("song_played", FieldMap::new());
+        sim.with_node::<AlexaService, _>(svc, |s, ctx| {
+            s.handle_utterance(ctx, &UserId::new("intruder"), "play Yesterday");
+        });
+        assert!(sim.node_ref::<AlexaService>(svc).core.buffer.is_empty(&ti));
+    }
+}

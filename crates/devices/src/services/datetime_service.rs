@@ -1,0 +1,184 @@
+//! The Date & Time partner service — category 12, the single largest
+//! non-IoT trigger source in Table 1 (14.1% of all trigger add count) and
+//! the trigger half of the "every sunset → turn on the Hue lights" anchor
+//! applet.
+//!
+//! Unlike every other service, its triggers need no backend at all: the
+//! service *is* a clock. It ticks once per virtual minute and fires the
+//! subscriptions whose schedule matches:
+//!
+//! * `every_day_at` — field `time` = `"HH:MM"`;
+//! * `sunrise` / `sunset` — fixed at 06:30 and 18:30 virtual time.
+
+use crate::service_core::{Processed, ServiceCore};
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+
+/// Seconds in a virtual day.
+pub const DAY_SECS: u64 = 86_400;
+/// Sunrise, as seconds of day (06:30).
+pub const SUNRISE: u64 = 6 * 3600 + 30 * 60;
+/// Sunset, as seconds of day (18:30).
+pub const SUNSET: u64 = 18 * 3600 + 30 * 60;
+
+const TIMER_TICK: TimerKey = 1;
+
+/// Parse `"HH:MM"` into seconds of day.
+pub fn parse_hhmm(s: &str) -> Option<u64> {
+    let (h, m) = s.split_once(':')?;
+    let h: u64 = h.parse().ok()?;
+    let m: u64 = m.parse().ok()?;
+    if h >= 24 || m >= 60 {
+        return None;
+    }
+    Some(h * 3600 + m * 60)
+}
+
+/// The clock service node.
+#[derive(Debug)]
+pub struct DateTimeService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Minutes ticked (for tests).
+    pub ticks: u64,
+}
+
+impl DateTimeService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "date_time";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("every_day_at")
+            .with_trigger("sunrise")
+            .with_trigger("sunset");
+        DateTimeService { core: ServiceCore::new(endpoint), ticks: 0 }
+    }
+
+    /// Fire the subscriptions whose schedule lands in this minute.
+    fn fire_matching(&mut self, ctx: &mut Context<'_>, minute_of_day: u64) {
+        let day = ctx.now().as_secs_f64() as u64 / DAY_SECS;
+        // Time triggers are per-user but user-independent in content; fire
+        // for every distinct subscribed user.
+        let users: Vec<UserId> = {
+            let mut v: Vec<UserId> =
+                self.core.subs.values().map(|s| s.user.clone()).collect();
+            v.sort();
+            v.dedup();
+            v
+        };
+        let fire = |me: &mut Self, ctx: &mut Context<'_>, trigger: &str, user: &UserId, matches: &dyn Fn(&tap_protocol::FieldMap) -> bool| {
+            let id = format!("{}_{}_{}_d{}", Self::SLUG, trigger, user, day);
+            let event = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64)
+                .with_ingredient("minute_of_day", minute_of_day.to_string());
+            me.core.record_event(ctx, &TriggerSlug::new(trigger), user, event, matches);
+        };
+        for user in &users {
+            fire(self, ctx, "every_day_at", user, &|fields| {
+                fields
+                    .get("time")
+                    .and_then(|t| parse_hhmm(t))
+                    .is_some_and(|sod| sod / 60 == minute_of_day)
+            });
+            if minute_of_day == SUNRISE / 60 {
+                fire(self, ctx, "sunrise", user, &|_| true);
+            }
+            if minute_of_day == SUNSET / 60 {
+                fire(self, ctx, "sunset", user, &|_| true);
+            }
+        }
+    }
+}
+
+impl Node for DateTimeService {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        ctx.set_timer(SimDuration::from_secs(60), TIMER_TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, key: TimerKey) {
+        if key != TIMER_TICK {
+            return;
+        }
+        self.ticks += 1;
+        let minute_of_day = (ctx.now().as_secs_f64() as u64 % DAY_SECS) / 60;
+        self.fire_matching(ctx, minute_of_day);
+        ctx.set_timer(SimDuration::from_secs(60), TIMER_TICK);
+    }
+
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { req_id, .. } | Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tap_protocol::FieldMap;
+
+    #[test]
+    fn parse_hhmm_accepts_valid_rejects_invalid() {
+        assert_eq!(parse_hhmm("06:30"), Some(SUNRISE));
+        assert_eq!(parse_hhmm("18:30"), Some(SUNSET));
+        assert_eq!(parse_hhmm("00:00"), Some(0));
+        assert_eq!(parse_hhmm("23:59"), Some(23 * 3600 + 59 * 60));
+        assert_eq!(parse_hhmm("24:00"), None);
+        assert_eq!(parse_hhmm("12:60"), None);
+        assert_eq!(parse_hhmm("noon"), None);
+    }
+
+    #[test]
+    fn every_day_at_fires_at_the_configured_minute_once_per_day() {
+        let mut sim = Sim::new(1);
+        let svc = sim.add_node("clock", DateTimeService::new(ServiceKey("sk_t".into())));
+        let ti = sim.with_node::<DateTimeService, _>(svc, |s, _| {
+            let mut fields = FieldMap::new();
+            fields.insert("time".into(), "01:00".into());
+            s.core.subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
+        });
+        // Run 90 minutes: exactly one firing (at 01:00).
+        sim.run_until(SimTime::from_secs(90 * 60));
+        assert_eq!(sim.node_ref::<DateTimeService>(svc).core.buffer.len(&ti), 1);
+        // Run into day 2: a second firing.
+        sim.run_until(SimTime::from_secs(DAY_SECS + 90 * 60));
+        assert_eq!(sim.node_ref::<DateTimeService>(svc).core.buffer.len(&ti), 2);
+    }
+
+    #[test]
+    fn sunset_fires_for_every_subscribed_user() {
+        let mut sim = Sim::new(2);
+        let svc = sim.add_node("clock", DateTimeService::new(ServiceKey("sk_t".into())));
+        let (ta, tb) = sim.with_node::<DateTimeService, _>(svc, |s, _| {
+            (
+                s.core.subscribe(UserId::new("a"), TriggerSlug::new("sunset"), FieldMap::new()),
+                s.core.subscribe(UserId::new("b"), TriggerSlug::new("sunset"), FieldMap::new()),
+            )
+        });
+        sim.run_until(SimTime::from_secs(SUNSET + 120));
+        let s = sim.node_ref::<DateTimeService>(svc);
+        assert_eq!(s.core.buffer.len(&ta), 1);
+        assert_eq!(s.core.buffer.len(&tb), 1);
+    }
+
+    #[test]
+    fn unmatched_time_never_fires() {
+        let mut sim = Sim::new(3);
+        let svc = sim.add_node("clock", DateTimeService::new(ServiceKey("sk_t".into())));
+        let ti = sim.with_node::<DateTimeService, _>(svc, |s, _| {
+            let mut fields = FieldMap::new();
+            fields.insert("time".into(), "23:00".into());
+            s.core.subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
+        });
+        sim.run_until(SimTime::from_secs(4 * 3600));
+        assert!(sim.node_ref::<DateTimeService>(svc).core.buffer.is_empty(&ti));
+    }
+}

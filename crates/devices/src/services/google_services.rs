@@ -1,0 +1,428 @@
+//! The Gmail, Google Drive, and Google Sheets partner services.
+//!
+//! All three are thin fronts over the [`crate::google::GoogleCloud`]
+//! backend node. Being the vendor's own services they learn of app events
+//! by internal push (the cloud's observer mechanism) and execute actions
+//! with backend API calls, answered after the backend confirms.
+
+use crate::events::DeviceEvent;
+use crate::service_core::{Processed, ServiceCore};
+use crate::services::PendingReplies;
+use bytes::Bytes;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+
+/// The Gmail partner service.
+///
+/// Triggers: `any_new_email`, `new_attachment` (applets A3/A4).
+/// Action: `send_an_email`.
+#[derive(Debug)]
+pub struct GmailService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Backend cloud node.
+    pub cloud: NodeId,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+}
+
+impl GmailService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "gmail";
+
+    /// Create the service over a backend cloud.
+    pub fn new(key: ServiceKey, cloud: NodeId) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("any_new_email")
+            .with_trigger("new_attachment")
+            .with_action("send_an_email");
+        GmailService {
+            core: ServiceCore::new(endpoint),
+            cloud,
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+}
+
+impl Node for GmailService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, action, fields, req_id } => {
+                if action != ActionSlug::new("send_an_email") {
+                    return HandlerResult::Reply(Response::bad_request());
+                }
+                let to = fields.get("to").cloned().unwrap_or_else(|| user.0.clone());
+                let subject = fields.get("subject").cloned().unwrap_or_default();
+                let body_text = fields.get("body").cloned().unwrap_or_default();
+                let token = self.pending.track(req_id);
+                let api = Request::post(format!("/gmail/{}/send", user.0)).with_body(
+                    serde_json::json!({ "to": to, "subject": subject, "body": body_text })
+                        .to_string(),
+                );
+                ctx.send_request(self.cloud, api, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("mail_sent"));
+            } else {
+                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+            }
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let trigger = match ev.kind.as_str() {
+            "new_email" => "any_new_email",
+            "new_attachment" => "new_attachment",
+            _ => return,
+        };
+        let user = UserId::new(ev.user.clone());
+        let id = self.core.next_event_id();
+        let mut event = TriggerEvent::new(id, ev.at_secs);
+        for (k, v) in &ev.data {
+            event = event.with_ingredient(k.clone(), v.clone());
+        }
+        self.core
+            .record_event(ctx, &TriggerSlug::new(trigger), &user, event, |_| true);
+    }
+}
+
+/// The Google Drive partner service. Action: `save_file` (applet A4 saves
+/// Gmail attachments to Drive).
+#[derive(Debug)]
+pub struct DriveService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Backend cloud node.
+    pub cloud: NodeId,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+}
+
+impl DriveService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "google_drive";
+
+    /// Create the service over a backend cloud.
+    pub fn new(key: ServiceKey, cloud: NodeId) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_action("save_file");
+        DriveService {
+            core: ServiceCore::new(endpoint),
+            cloud,
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+}
+
+impl Node for DriveService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, fields, req_id, .. } => {
+                let name = fields
+                    .get("name")
+                    .cloned()
+                    .unwrap_or_else(|| "attachment".to_owned());
+                let content = fields.get("content").cloned().unwrap_or_default();
+                let token = self.pending.track(req_id);
+                let api = Request::post(format!("/drive/{}/files", user.0)).with_body(
+                    serde_json::json!({ "name": name, "content": content }).to_string(),
+                );
+                ctx.send_request(self.cloud, api, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("file_saved"));
+            } else {
+                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+            }
+        }
+    }
+}
+
+/// The Google Sheets partner service. Action: `add_row` (applets A1/A7).
+#[derive(Debug)]
+pub struct SheetsService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Backend cloud node.
+    pub cloud: NodeId,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+}
+
+impl SheetsService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "google_sheets";
+
+    /// Create the service over a backend cloud.
+    pub fn new(key: ServiceKey, cloud: NodeId) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_action("add_row");
+        SheetsService {
+            core: ServiceCore::new(endpoint),
+            cloud,
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+
+    /// Split an action's `row` field into cells.
+    fn cells(fields: &FieldMap) -> Vec<String> {
+        fields
+            .get("row")
+            .map(|r| r.split("|||").map(str::to_owned).collect())
+            .unwrap_or_default()
+    }
+}
+
+impl Node for SheetsService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, fields, req_id, .. } => {
+                let sheet = fields
+                    .get("spreadsheet")
+                    .cloned()
+                    .unwrap_or_else(|| "IFTTT".to_owned());
+                let cells = Self::cells(&fields);
+                let token = self.pending.track(req_id);
+                let api = Request::post(format!("/sheets/{}/{sheet}/rows", user.0))
+                    .with_body(serde_json::json!({ "cells": cells }).to_string());
+                ctx.send_request(self.cloud, api, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("row_added"));
+            } else {
+                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::google::GoogleCloud;
+    use tap_protocol::auth::{AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
+    use tap_protocol::wire::{self, ActionRequestBody};
+    
+
+    fn google_with_services() -> (Sim, NodeId, NodeId, NodeId, NodeId) {
+        let mut sim = Sim::new(91);
+        let cloud = sim.add_node("google", GoogleCloud::new());
+        let gmail = sim.add_node("gmail_svc", GmailService::new(ServiceKey("sk_g".into()), cloud));
+        let drive = sim.add_node("drive_svc", DriveService::new(ServiceKey("sk_d".into()), cloud));
+        let sheets =
+            sim.add_node("sheets_svc", SheetsService::new(ServiceKey("sk_s".into()), cloud));
+        for svc in [gmail, drive, sheets] {
+            sim.link(cloud, svc, LinkSpec::datacenter());
+        }
+        sim.node_mut::<GoogleCloud>(cloud).observe(gmail);
+        (sim, cloud, gmail, drive, sheets)
+    }
+
+    #[test]
+    fn injected_email_feeds_the_new_email_trigger() {
+        let (mut sim, cloud, gmail, _, _) = google_with_services();
+        let ti = sim.with_node::<GmailService, _>(gmail, |s, _| {
+            s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("any_new_email"),
+                FieldMap::new(),
+            )
+        });
+        sim.with_node::<GoogleCloud, _>(cloud, |g, ctx| {
+            g.deliver_email(ctx, "author", "x@y", "hi", "", None);
+        });
+        sim.run_until_idle();
+        let s = sim.node_ref::<GmailService>(gmail);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+        let events = s.core.buffer.latest(&ti, 10);
+        assert_eq!(events[0].ingredients["subject"], "hi");
+    }
+
+    #[test]
+    fn attachment_feeds_both_triggers() {
+        let (mut sim, cloud, gmail, _, _) = google_with_services();
+        let (ti_mail, ti_att) = sim.with_node::<GmailService, _>(gmail, |s, _| {
+            (
+                s.core.subscribe(
+                    UserId::new("author"),
+                    TriggerSlug::new("any_new_email"),
+                    FieldMap::new(),
+                ),
+                s.core.subscribe(
+                    UserId::new("author"),
+                    TriggerSlug::new("new_attachment"),
+                    FieldMap::new(),
+                ),
+            )
+        });
+        sim.with_node::<GoogleCloud, _>(cloud, |g, ctx| {
+            g.deliver_email(ctx, "author", "x@y", "doc", "", Some(("a.pdf".into(), "data".into())));
+        });
+        sim.run_until_idle();
+        let s = sim.node_ref::<GmailService>(gmail);
+        assert_eq!(s.core.buffer.len(&ti_mail), 1);
+        assert_eq!(s.core.buffer.len(&ti_att), 1);
+    }
+
+    /// Engine stand-in sending one action request.
+    struct ActionSender {
+        service: NodeId,
+        key: &'static str,
+        action: &'static str,
+        fields: FieldMap,
+        bearer: String,
+        status: Option<u16>,
+    }
+    impl Node for ActionSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let body = ActionRequestBody {
+                action_fields: self.fields.clone(),
+                user: UserId::new("author"),
+            };
+            let req = Request::post(format!("/ifttt/v1/actions/{}", self.action))
+                .with_header(SERVICE_KEY_HEADER, self.key)
+                .with_header(AUTHORIZATION_HEADER, self.bearer.clone())
+                .with_body(wire::to_bytes(&body));
+            ctx.send_request(self.service, req, Token(1), RequestOpts::timeout_secs(60));
+        }
+        fn on_response(&mut self, _c: &mut Context<'_>, _t: Token, resp: Response) {
+            self.status = Some(resp.status);
+        }
+    }
+
+    #[test]
+    fn add_row_action_lands_in_the_sheet() {
+        let (mut sim, cloud, _, _, sheets) = google_with_services();
+        let bearer = sim.with_node::<SheetsService, _>(sheets, |s, ctx| {
+            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+        });
+        let mut fields = FieldMap::new();
+        fields.insert("spreadsheet".into(), "songs".into());
+        fields.insert("row".into(), "yesterday|||beatles".into());
+        let sender = sim.add_node(
+            "engine",
+            ActionSender {
+                service: sheets,
+                key: "sk_s",
+                action: "add_row",
+                fields,
+                bearer,
+                status: None,
+            },
+        );
+        sim.link(sender, sheets, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
+        let sheet = sim.node_ref::<GoogleCloud>(cloud).sheet("author", "songs").unwrap();
+        assert_eq!(sheet.rows, vec![vec!["yesterday".to_string(), "beatles".to_string()]]);
+        assert_eq!(sim.node_ref::<SheetsService>(sheets).actions_done, 1);
+    }
+
+    #[test]
+    fn save_file_action_lands_in_drive() {
+        let (mut sim, cloud, _, drive, _) = google_with_services();
+        let bearer = sim.with_node::<DriveService, _>(drive, |s, ctx| {
+            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+        });
+        let mut fields = FieldMap::new();
+        fields.insert("name".into(), "report.pdf".into());
+        fields.insert("content".into(), "PDFDATA".into());
+        let sender = sim.add_node(
+            "engine",
+            ActionSender {
+                service: drive,
+                key: "sk_d",
+                action: "save_file",
+                fields,
+                bearer,
+                status: None,
+            },
+        );
+        sim.link(sender, drive, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
+        assert_eq!(sim.node_ref::<GoogleCloud>(cloud).files("author"), vec!["report.pdf"]);
+    }
+
+    #[test]
+    fn send_email_action_delivers_and_retriggers() {
+        // The send_an_email action generates a new inbox message — the raw
+        // material of the explicit infinite loop experiment.
+        let (mut sim, cloud, gmail, _, _) = google_with_services();
+        let (ti, bearer) = sim.with_node::<GmailService, _>(gmail, |s, ctx| {
+            let ti = s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("any_new_email"),
+                FieldMap::new(),
+            );
+            let bearer =
+                s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer();
+            (ti, bearer)
+        });
+        let mut fields = FieldMap::new();
+        fields.insert("subject".into(), "note to self".into());
+        let sender = sim.add_node(
+            "engine",
+            ActionSender {
+                service: gmail,
+                key: "sk_g",
+                action: "send_an_email",
+                fields,
+                bearer,
+                status: None,
+            },
+        );
+        sim.link(sender, gmail, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
+        assert_eq!(sim.node_ref::<GoogleCloud>(cloud).messages_since("author", 0).len(), 1);
+        // The delivery push fed the trigger buffer again: action → trigger.
+        assert_eq!(sim.node_ref::<GmailService>(gmail).core.buffer.len(&ti), 1);
+    }
+}

@@ -1,0 +1,279 @@
+//! The official Philips Hue partner service (❻ in Figure 1).
+//!
+//! "For the official Hue service, it can directly talk to the hub using a
+//! proprietary protocol so the path is Hue Lamp – Hue Hub – Gateway Router
+//! – Hue Service" (§2.1). The hub's allowlist must therefore include this
+//! node (vendor pairing), unlike arbitrary WAN hosts.
+
+use crate::service_core::{Processed, ServiceCore};
+use crate::services::PendingReplies;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::{ServiceSlug, UserId};
+use std::collections::HashMap;
+
+/// Map an IFTTT color-field value to a Hue angle.
+pub fn color_to_hue(color: &str) -> u16 {
+    match color.to_ascii_lowercase().as_str() {
+        "red" => 0,
+        "orange" => 5461,
+        "yellow" => 10922,
+        "green" => 25500,
+        "blue" => 46920,
+        "purple" => 50000,
+        "pink" => 56100,
+        _ => 8418, // warm white
+    }
+}
+
+/// Where one user's lights live.
+#[derive(Debug, Clone)]
+pub struct HueAccount {
+    /// The user's bridge node.
+    pub hub: NodeId,
+    /// Bridge API username.
+    pub username: String,
+    /// The lamp the service controls by default.
+    pub lamp_device: String,
+}
+
+/// The official Hue cloud service node.
+#[derive(Debug)]
+pub struct HueService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    accounts: HashMap<UserId, HueAccount>,
+    pending: PendingReplies,
+    /// Actions executed end-to-end (for tests/metrics).
+    pub actions_done: u64,
+}
+
+impl HueService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "philips_hue";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_action("turn_on_lights")
+            .with_action("turn_off_lights")
+            .with_action("blink_lights")
+            .with_action("change_color");
+        HueService {
+            core: ServiceCore::new(endpoint),
+            accounts: HashMap::new(),
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+
+    /// Pair a user's bridge with the service.
+    pub fn add_account(&mut self, user: UserId, account: HueAccount) {
+        self.accounts.insert(user, account);
+    }
+}
+
+impl Node for HueService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, action, fields, req_id } => {
+                let Some(account) = self.accounts.get(&user).cloned() else {
+                    return HandlerResult::Reply(
+                        Response::unauthorized()
+                            .with_body(r#"{"errors":[{"message":"no hue account"}]}"#),
+                    );
+                };
+                let body = match action.as_str() {
+                    "turn_on_lights" => serde_json::json!({"on": true}),
+                    "turn_off_lights" => serde_json::json!({"on": false}),
+                    "blink_lights" => serde_json::json!({"alert": "lselect"}),
+                    "change_color" => {
+                        let color = fields.get("color").map(String::as_str).unwrap_or("white");
+                        serde_json::json!({"hue": color_to_hue(color), "bri": 254})
+                    }
+                    _ => return HandlerResult::Reply(Response::bad_request()),
+                };
+                let lamp = fields
+                    .get("lights")
+                    .cloned()
+                    .unwrap_or_else(|| account.lamp_device.clone());
+                ctx.trace("hue_service.action", format!("{action} -> {lamp}"));
+                let token = self.pending.track(req_id);
+                let hub_req = Request::put(format!(
+                    "/api/{}/lights/{lamp}/state",
+                    account.username
+                ))
+                .with_body(body.to_string());
+                ctx.send_request(account.hub, hub_req, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            // No queries on this service (the endpoint rejects undeclared
+            // query slugs before we get here).
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.trace("hue_service.done", String::new());
+                ctx.reply(upstream, ServiceEndpoint::action_ok("hue_ok"));
+            } else {
+                let status = if resp.is_timeout() { 503 } else { resp.status };
+                ctx.reply(upstream, Response::with_status(status));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hue::{install_hue, HueLamp};
+    use tap_protocol::auth::{AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
+    use tap_protocol::wire::{self, ActionRequestBody};
+    use tap_protocol::FieldMap;
+
+    /// Sends one action request to the service, IFTTT-style.
+    struct EngineStub {
+        service: NodeId,
+        action: &'static str,
+        fields: FieldMap,
+        bearer: String,
+        status: Option<u16>,
+        done_at: Option<SimTime>,
+    }
+    impl Node for EngineStub {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let body = ActionRequestBody {
+                action_fields: self.fields.clone(),
+                user: UserId::new("author"),
+            };
+            let req = Request::post(format!("/ifttt/v1/actions/{}", self.action))
+                .with_header(SERVICE_KEY_HEADER, "sk_hue")
+                .with_header(AUTHORIZATION_HEADER, self.bearer.clone())
+                .with_body(wire::to_bytes(&body));
+            ctx.send_request(self.service, req, Token(1), RequestOpts::timeout_secs(120));
+        }
+        fn on_response(&mut self, ctx: &mut Context<'_>, _t: Token, resp: Response) {
+            self.status = Some(resp.status);
+            self.done_at = Some(ctx.now());
+        }
+    }
+
+    fn setup(action: &'static str, fields: FieldMap) -> (Sim, NodeId, NodeId, NodeId) {
+        let mut sim = Sim::new(61);
+        let (hub, lamps) = install_hue(&mut sim, "hueuser", "author", 1);
+        let svc = sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
+        let router = sim.add_node("router", Passive);
+        sim.link(hub, router, LinkSpec::lan());
+        sim.link(router, svc, LinkSpec::wan());
+        // Vendor pairing: hub accepts the official cloud (via the router)
+        // — in simnet terms, requests arrive with src = the service node.
+        sim.node_mut::<crate::hue::HueHub>(hub).allow_only(vec![svc]);
+        let bearer = sim.with_node::<HueService, _>(svc, |s, ctx| {
+            s.add_account(
+                UserId::new("author"),
+                HueAccount { hub, username: "hueuser".into(), lamp_device: "hue_lamp_1".into() },
+            );
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer()
+        });
+        let engine = sim.add_node(
+            "engine",
+            EngineStub { service: svc, action, fields, bearer, status: None, done_at: None },
+        );
+        sim.link(engine, svc, LinkSpec::wan());
+        (sim, svc, lamps[0], engine)
+    }
+
+    struct Passive;
+    impl Node for Passive {}
+
+    #[test]
+    fn turn_on_action_reaches_the_lamp() {
+        let (mut sim, svc, lamp, engine) = setup("turn_on_lights", FieldMap::new());
+        sim.run_until_idle();
+        assert!(sim.node_ref::<HueLamp>(lamp).state.on);
+        assert_eq!(sim.node_ref::<EngineStub>(engine).status, Some(200));
+        assert_eq!(sim.node_ref::<HueService>(svc).actions_done, 1);
+        // Latency: WAN + hub + radio round trips — tens of ms, well under 1 s.
+        let at = sim.node_ref::<EngineStub>(engine).done_at.unwrap();
+        assert!(at < SimTime::from_secs(1));
+    }
+
+    #[test]
+    fn change_color_sets_the_requested_hue() {
+        let mut fields = FieldMap::new();
+        fields.insert("color".into(), "blue".into());
+        let (mut sim, _, lamp, engine) = setup("change_color", fields);
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<HueLamp>(lamp).state.hue, 46920);
+        assert_eq!(sim.node_ref::<EngineStub>(engine).status, Some(200));
+    }
+
+    #[test]
+    fn unknown_action_is_404() {
+        // "dance" is not declared on the endpoint → protocol-level 404.
+        let (mut sim, _, _, engine) = setup("dance", FieldMap::new());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<EngineStub>(engine).status, Some(404));
+    }
+
+    #[test]
+    fn user_without_account_is_401() {
+        let (mut sim, svc, _, _) = setup("turn_on_lights", FieldMap::new());
+        // A second engine with a token for a user that has no Hue account.
+        let bearer = sim.with_node::<HueService, _>(svc, |s, ctx| {
+            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng());
+            // mint for "stranger" and also register nothing for them
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("stranger"), ctx.rng())
+                .bearer()
+        });
+        struct Stranger {
+            service: NodeId,
+            bearer: String,
+            status: Option<u16>,
+        }
+        impl Node for Stranger {
+            fn on_start(&mut self, ctx: &mut Context<'_>) {
+                let body = ActionRequestBody {
+                    action_fields: FieldMap::new(),
+                    user: UserId::new("stranger"),
+                };
+                let req = Request::post("/ifttt/v1/actions/turn_on_lights")
+                    .with_header(SERVICE_KEY_HEADER, "sk_hue")
+                    .with_header(AUTHORIZATION_HEADER, self.bearer.clone())
+                    .with_body(wire::to_bytes(&body));
+                ctx.send_request(self.service, req, Token(1), RequestOpts::timeout_secs(60));
+            }
+            fn on_response(&mut self, _c: &mut Context<'_>, _t: Token, resp: Response) {
+                self.status = Some(resp.status);
+            }
+        }
+        let stranger = sim.add_node("stranger", Stranger { service: svc, bearer, status: None });
+        sim.link(stranger, svc, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Stranger>(stranger).status, Some(401));
+    }
+
+    #[test]
+    fn color_names_map_to_hue_angles() {
+        assert_eq!(color_to_hue("blue"), 46920);
+        assert_eq!(color_to_hue("RED"), 0);
+        assert_eq!(color_to_hue("green"), 25500);
+        assert_eq!(color_to_hue("taupe"), 8418);
+    }
+}

@@ -1,0 +1,85 @@
+//! IFTTT partner services: official vendor clouds plus the authors' own.
+//!
+//! * [`hue_service::HueService`] — the official Philips Hue cloud ❻: talks
+//!   directly to the home Hue bridge over the vendor's paired channel.
+//! * [`wemo_service::WemoService`] — the Belkin cloud: learns switch state
+//!   from device pushes, drives the switch over UPnP.
+//! * [`alexa_service::AlexaService`] — the Amazon cloud: recognizes
+//!   utterances uploaded by Echo devices, feeds phrase/todo/song triggers,
+//!   and uses the realtime API (the paper finds Alexa is treated specially
+//!   by IFTTT).
+//! * [`google_services`] — Gmail, Drive and Sheets partner services backed
+//!   by the [`crate::google::GoogleCloud`] node.
+//! * [`our_service::OurService`] — the authors' self-implemented service ❺:
+//!   IoT triggers by proxy push, web-app triggers by backend polling,
+//!   actions through the local proxy or the Google API.
+//! * [`weather_service::WeatherService`] — the weather service behind the
+//!   paper's §2 motivating applet (rain → Hue lights blue).
+
+pub mod alexa_service;
+pub mod datetime_service;
+pub mod fitbit_service;
+pub mod google_services;
+pub mod hue_service;
+pub mod nest_service;
+pub mod our_service;
+pub mod weather_service;
+pub mod wemo_service;
+
+use simnet::http::RequestId;
+use simnet::prelude::Token;
+use std::collections::HashMap;
+
+/// Correlates deferred upstream replies with backend requests.
+///
+/// A service that must query its backend before answering the engine
+/// `track`s the engine's request id and gets a token to tag the backend
+/// request with; when the backend responds, `resolve` returns the engine
+/// request to reply to.
+#[derive(Debug, Default)]
+pub struct PendingReplies {
+    map: HashMap<u64, RequestId>,
+    next: u64,
+}
+
+impl PendingReplies {
+    /// Remember `upstream` and return a fresh correlation token.
+    pub fn track(&mut self, upstream: RequestId) -> Token {
+        self.next += 1;
+        self.map.insert(self.next, upstream);
+        Token(self.next)
+    }
+
+    /// Resolve a token back to the upstream request, consuming it.
+    pub fn resolve(&mut self, token: Token) -> Option<RequestId> {
+        self.map.remove(&token.0)
+    }
+
+    /// Number of unresolved replies.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn track_resolve_roundtrip() {
+        let mut p = PendingReplies::default();
+        let t1 = p.track(RequestId(10));
+        let t2 = p.track(RequestId(20));
+        assert_ne!(t1, t2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.resolve(t1), Some(RequestId(10)));
+        assert_eq!(p.resolve(t1), None);
+        assert_eq!(p.resolve(t2), Some(RequestId(20)));
+        assert!(p.is_empty());
+    }
+}

@@ -1,0 +1,222 @@
+//! The Nest partner service (a Table 3 anchor on both the trigger and the
+//! action side).
+//!
+//! Triggers are threshold *crossings* with per-applet threshold fields —
+//! `temperature_rises_above` fires for a subscription exactly when the
+//! ambient reading moves from below its `threshold` field to at or above
+//! it. This is the one service where trigger-field predicates do real
+//! work (most IFTTT triggers are parameterless events).
+
+use crate::events::DeviceEvent;
+use crate::service_core::{Processed, ServiceCore};
+use crate::services::PendingReplies;
+use bytes::Bytes;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+use std::collections::HashMap;
+
+/// The Nest cloud service node.
+#[derive(Debug)]
+pub struct NestService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// user → thermostat node.
+    thermostats: HashMap<UserId, NodeId>,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+}
+
+impl NestService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "nest_thermostat";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("temperature_rises_above")
+            .with_trigger("temperature_drops_below")
+            .with_action("set_temperature");
+        NestService {
+            core: ServiceCore::new(endpoint),
+            thermostats: HashMap::new(),
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+
+    /// Pair a user's thermostat (it must `observe` this node, and its
+    /// allowlist must include it).
+    pub fn add_thermostat(&mut self, user: UserId, node: NodeId) {
+        self.thermostats.insert(user, node);
+    }
+}
+
+impl Node for NestService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, action, fields, req_id } => {
+                if action.as_str() != "set_temperature" {
+                    return HandlerResult::Reply(Response::bad_request());
+                }
+                let Some(&node) = self.thermostats.get(&user) else {
+                    return HandlerResult::Reply(Response::unauthorized());
+                };
+                let temp: f64 = fields
+                    .get("temp_c")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(20.0);
+                let token = self.pending.track(req_id);
+                let api = Request::put("/nest/target")
+                    .with_body(serde_json::json!({ "temp_c": temp }).to_string());
+                ctx.send_request(node, api, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("nest_ok"));
+            } else {
+                let status = if resp.is_timeout() { 503 } else { resp.status };
+                ctx.reply(upstream, Response::with_status(status));
+            }
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        if ev.kind != "temp_changed" {
+            return;
+        }
+        let (Some(prev), Some(now)) = (
+            ev.data.get("prev_c").and_then(|v| v.parse::<f64>().ok()),
+            ev.data.get("temp_c").and_then(|v| v.parse::<f64>().ok()),
+        ) else {
+            return;
+        };
+        let user = UserId::new(ev.user.clone());
+        // Rising crossings: prev < threshold ≤ now.
+        let id = self.core.next_event_id();
+        let event = TriggerEvent::new(id, ev.at_secs)
+            .with_ingredient("temp_c", format!("{now:.2}"))
+            .with_ingredient("device", ev.device.clone());
+        self.core.record_event(
+            ctx,
+            &TriggerSlug::new("temperature_rises_above"),
+            &user,
+            event,
+            |fields| {
+                fields
+                    .get("threshold")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .is_some_and(|thr| prev < thr && now >= thr)
+            },
+        );
+        // Falling crossings: prev > threshold ≥ now.
+        let id = self.core.next_event_id();
+        let event = TriggerEvent::new(id, ev.at_secs)
+            .with_ingredient("temp_c", format!("{now:.2}"))
+            .with_ingredient("device", ev.device);
+        self.core.record_event(
+            ctx,
+            &TriggerSlug::new("temperature_drops_below"),
+            &user,
+            event,
+            |fields| {
+                fields
+                    .get("threshold")
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .is_some_and(|thr| prev > thr && now <= thr)
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nest::NestThermostat;
+    use tap_protocol::{FieldMap, TriggerIdentity};
+
+    fn world() -> (Sim, NodeId, NodeId) {
+        let mut sim = Sim::new(5);
+        let nest = sim.add_node("nest", NestThermostat::new("nest_1", "author"));
+        let svc = sim.add_node("nest_svc", NestService::new(ServiceKey("sk_n".into())));
+        sim.link(nest, svc, LinkSpec::wan());
+        sim.node_mut::<NestThermostat>(nest).observe(svc);
+        sim.with_node::<NestService, _>(svc, |s, _| {
+            s.add_thermostat(UserId::new("author"), nest);
+        });
+        (sim, nest, svc)
+    }
+
+    fn sub(sim: &mut Sim, svc: NodeId, trigger: &str, threshold: f64) -> TriggerIdentity {
+        sim.with_node::<NestService, _>(svc, |s, _| {
+            let mut fields = FieldMap::new();
+            fields.insert("threshold".into(), threshold.to_string());
+            s.core.subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
+        })
+    }
+
+    #[test]
+    fn rising_crossing_fires_only_matching_thresholds() {
+        let (mut sim, nest, svc) = world();
+        let t25 = sub(&mut sim, svc, "temperature_rises_above", 25.0);
+        let t30 = sub(&mut sim, svc, "temperature_rises_above", 30.0);
+        // 21 → 27: crosses 25, not 30.
+        sim.with_node::<NestThermostat, _>(nest, |n, ctx| n.set_ambient(ctx, 27.0));
+        sim.run_until_idle();
+        let s = sim.node_ref::<NestService>(svc);
+        assert_eq!(s.core.buffer.len(&t25), 1);
+        assert!(s.core.buffer.is_empty(&t30));
+        let ev = &s.core.buffer.latest(&t25, 1)[0];
+        assert_eq!(ev.ingredients["temp_c"], "27.00");
+    }
+
+    #[test]
+    fn hovering_above_the_threshold_does_not_refire() {
+        let (mut sim, nest, svc) = world();
+        let t25 = sub(&mut sim, svc, "temperature_rises_above", 25.0);
+        for temp in [27.0, 28.0, 26.0, 29.5] {
+            sim.with_node::<NestThermostat, _>(nest, |n, ctx| n.set_ambient(ctx, temp));
+            sim.run_until_idle();
+        }
+        // Only the first change crossed 25 from below.
+        assert_eq!(sim.node_ref::<NestService>(svc).core.buffer.len(&t25), 1);
+    }
+
+    #[test]
+    fn falling_crossing_fires_the_drop_trigger() {
+        let (mut sim, nest, svc) = world();
+        let rise = sub(&mut sim, svc, "temperature_rises_above", 18.0);
+        let drop = sub(&mut sim, svc, "temperature_drops_below", 18.0);
+        sim.with_node::<NestThermostat, _>(nest, |n, ctx| n.set_ambient(ctx, 15.0));
+        sim.run_until_idle();
+        let s = sim.node_ref::<NestService>(svc);
+        assert!(s.core.buffer.is_empty(&rise));
+        assert_eq!(s.core.buffer.len(&drop), 1);
+    }
+
+    #[test]
+    fn oscillation_fires_on_every_crossing() {
+        let (mut sim, nest, svc) = world();
+        let t25 = sub(&mut sim, svc, "temperature_rises_above", 25.0);
+        for temp in [26.0, 24.0, 26.0, 24.0, 26.0] {
+            sim.with_node::<NestThermostat, _>(nest, |n, ctx| n.set_ambient(ctx, temp));
+            sim.run_until_idle();
+        }
+        assert_eq!(sim.node_ref::<NestService>(svc).core.buffer.len(&t25), 3);
+    }
+}

@@ -1,0 +1,445 @@
+//! "Our Service" — the authors' self-implemented IFTTT partner service ❺.
+//!
+//! §2.1: "For each of the above smart devices and web apps, our service
+//! leverages its API to get and set its states … our testbed uses the push
+//! approach for IoT devices and the polling approach for web apps."
+//!
+//! Northbound it speaks the full partner protocol (including, optionally,
+//! the realtime API, which experiments showed "brings no performance
+//! impact"). Southbound it receives IoT device events pushed by the
+//! [`crate::proxy::LocalProxy`], polls the Google backend for web-app
+//! events, and executes actions either through the proxy (IoT) or the
+//! Google API (web apps).
+//!
+//! Used by experiments E1 (trigger service replaced), E2 (trigger and
+//! action services replaced), and E3 (engine replaced too).
+
+use crate::events::{DeviceCommand, DeviceEvent};
+use crate::proxy::{ProxyCommand, COMMAND_PATH, EVENTS_PATH};
+use crate::service_core::{Processed, ServiceCore};
+use crate::services::PendingReplies;
+use serde::Deserialize;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+use std::collections::HashMap;
+
+const TIMER_GMAIL_POLL: TimerKey = 1;
+
+/// Token tag for backend Gmail polls (high bit set to stay clear of
+/// [`PendingReplies`] tokens, which count up from 1).
+const TOKEN_GMAIL_POLL: u64 = 1 << 63;
+
+/// The authors' service node.
+#[derive(Debug)]
+pub struct OurService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// The home local proxy (for IoT triggers and actions).
+    pub proxy: Option<NodeId>,
+    /// The Google backend (for web-app triggers and actions).
+    pub google: Option<NodeId>,
+    /// Gmail accounts to poll: user → last seen sequence number.
+    gmail_cursors: HashMap<String, u64>,
+    /// Backend polling interval for web apps (the paper's testbed polls).
+    pub backend_poll: SimDuration,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+    /// Device events received from the proxy.
+    pub device_events: u64,
+}
+
+impl OurService {
+    /// The service slug.
+    pub const SLUG: &'static str = "our_service";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            // IoT triggers (push from the proxy).
+            .with_trigger("wemo_switched_on")
+            .with_trigger("hue_light_on")
+            .with_trigger("st_motion")
+            // Web-app triggers (backend polling).
+            .with_trigger("any_new_email")
+            // IoT actions (through the proxy).
+            .with_action("hue_turn_on")
+            .with_action("hue_turn_off")
+            .with_action("hue_blink")
+            .with_action("wemo_turn_on")
+            .with_action("wemo_turn_off")
+            // Web-app actions (Google API).
+            .with_action("add_row")
+            .with_action("save_file");
+        OurService {
+            core: ServiceCore::new(endpoint),
+            proxy: None,
+            google: None,
+            gmail_cursors: HashMap::new(),
+            backend_poll: SimDuration::from_secs(5),
+            pending: PendingReplies::default(),
+            actions_done: 0,
+            device_events: 0,
+        }
+    }
+
+    /// Register a Gmail account to poll for `any_new_email`.
+    pub fn watch_gmail(&mut self, user: impl Into<String>) {
+        self.gmail_cursors.insert(user.into(), 0);
+    }
+
+    fn handle_device_event(&mut self, ctx: &mut Context<'_>, ev: &DeviceEvent) {
+        self.device_events += 1;
+        let trigger = match (ev.device.as_str(), ev.kind.as_str()) {
+            (_, "switched_on") => "wemo_switched_on",
+            (_, "light_on") => "hue_light_on",
+            (_, "st_active") => "st_motion",
+            _ => return,
+        };
+        let user = UserId::new(ev.user.clone());
+        let id = self.core.next_event_id();
+        let mut event = TriggerEvent::new(id, ev.at_secs).with_ingredient("device", ev.device.clone());
+        for (k, v) in &ev.data {
+            event = event.with_ingredient(k.clone(), v.clone());
+        }
+        let n = self
+            .core
+            .record_event(ctx, &TriggerSlug::new(trigger), &user, event, |_| true);
+        ctx.trace("our_service.device_event", format!("{trigger} -> {n} subs"));
+    }
+
+    fn poll_gmail(&mut self, ctx: &mut Context<'_>) {
+        let Some(google) = self.google else { return };
+        for (i, (user, cursor)) in self.gmail_cursors.iter().enumerate() {
+            let req = Request::get(format!("/gmail/{user}/messages/{cursor}"));
+            ctx.send_request(
+                google,
+                req,
+                Token(TOKEN_GMAIL_POLL | i as u64),
+                RequestOpts::timeout_secs(10),
+            );
+        }
+    }
+
+    fn on_gmail_poll_response(&mut self, ctx: &mut Context<'_>, idx: usize, resp: Response) {
+        if !resp.is_success() {
+            return;
+        }
+        #[derive(Deserialize)]
+        struct Messages {
+            messages: Vec<crate::google::Email>,
+        }
+        let Ok(m) = serde_json::from_slice::<Messages>(&resp.body) else { return };
+        let Some(user) = self.gmail_cursors.keys().nth(idx).cloned() else { return };
+        let mut max_seq = self.gmail_cursors[&user];
+        for email in &m.messages {
+            max_seq = max_seq.max(email.seq);
+            let uid = UserId::new(user.clone());
+            let id = format!("{}_mail_{}_{}", Self::SLUG, user, email.seq);
+            let event = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64)
+                .with_ingredient("subject", email.subject.clone())
+                .with_ingredient("from", email.from.clone());
+            self.core
+                .record_event(ctx, &TriggerSlug::new("any_new_email"), &uid, event, |_| true);
+        }
+        self.gmail_cursors.insert(user, max_seq);
+    }
+
+    fn run_action(
+        &mut self,
+        ctx: &mut Context<'_>,
+        user: &UserId,
+        action: &str,
+        fields: &tap_protocol::FieldMap,
+        req_id: RequestId,
+    ) -> HandlerResult {
+        // IoT actions go through the proxy; web actions to Google.
+        let iot = |device_default: &str, op: &str| -> Option<(NodeId, Request)> {
+            let device = fields
+                .get("device")
+                .cloned()
+                .unwrap_or_else(|| device_default.to_owned());
+            let cmd = DeviceCommand::new(device, op);
+            let req = Request::post(COMMAND_PATH)
+                .with_body(serde_json::to_vec(&ProxyCommand { command: cmd }).expect("serializes"));
+            self.proxy.map(|p| (p, req))
+        };
+        let target = match action {
+            "hue_turn_on" => iot("hue_lamp_1", "turn_on"),
+            "hue_turn_off" => iot("hue_lamp_1", "turn_off"),
+            "hue_blink" => iot("hue_lamp_1", "blink"),
+            "wemo_turn_on" => iot("wemo_switch_1", "turn_on"),
+            "wemo_turn_off" => iot("wemo_switch_1", "turn_off"),
+            "add_row" => {
+                let sheet = fields.get("spreadsheet").cloned().unwrap_or_else(|| "IFTTT".into());
+                let cells: Vec<String> = fields
+                    .get("row")
+                    .map(|r| r.split("|||").map(str::to_owned).collect())
+                    .unwrap_or_default();
+                let req = Request::post(format!("/sheets/{}/{sheet}/rows", user.0))
+                    .with_body(serde_json::json!({ "cells": cells }).to_string());
+                self.google.map(|g| (g, req))
+            }
+            "save_file" => {
+                let name = fields.get("name").cloned().unwrap_or_else(|| "file".into());
+                let content = fields.get("content").cloned().unwrap_or_default();
+                let req = Request::post(format!("/drive/{}/files", user.0))
+                    .with_body(serde_json::json!({ "name": name, "content": content }).to_string());
+                self.google.map(|g| (g, req))
+            }
+            _ => return HandlerResult::Reply(Response::bad_request()),
+        };
+        let Some((node, req)) = target else {
+            return HandlerResult::Reply(Response::unavailable());
+        };
+        ctx.trace("our_service.action", action.to_owned());
+        let token = self.pending.track(req_id);
+        ctx.send_request(node, req, token, RequestOpts::timeout_secs(30));
+        HandlerResult::Deferred
+    }
+}
+
+impl Node for OurService {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        if self.google.is_some() && !self.gmail_cursors.is_empty() {
+            ctx.set_timer(self.backend_poll, TIMER_GMAIL_POLL);
+        }
+    }
+
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        // Northbound proxy protocol: device events pushed up from the home.
+        if req.path == EVENTS_PATH && req.method == Method::Post {
+            let Some(ev) = DeviceEvent::from_bytes(&req.body) else {
+                return HandlerResult::Reply(Response::bad_request());
+            };
+            self.handle_device_event(ctx, &ev);
+            return HandlerResult::Reply(Response::ok());
+        }
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, action, fields, req_id } => {
+                self.run_action(ctx, &user, action.as_str(), &fields, req_id)
+            }
+            // No queries on this service (the endpoint rejects undeclared
+            // query slugs before we get here).
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if token.0 & TOKEN_GMAIL_POLL != 0 && token.0 != u64::MAX {
+            let idx = (token.0 & !TOKEN_GMAIL_POLL) as usize;
+            self.on_gmail_poll_response(ctx, idx, resp);
+            return;
+        }
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("our_ok"));
+            } else {
+                let status = if resp.is_timeout() { 503 } else { resp.status };
+                ctx.reply(upstream, Response::with_status(status));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, key: TimerKey) {
+        if key == TIMER_GMAIL_POLL {
+            self.poll_gmail(ctx);
+            ctx.set_timer(self.backend_poll, TIMER_GMAIL_POLL);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::google::GoogleCloud;
+    use crate::hue::{install_hue, HueLamp};
+    use crate::proxy::{DeviceRoute, LocalProxy};
+    use crate::wemo::WemoSwitch;
+    use tap_protocol::auth::{AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
+    use tap_protocol::wire::{self, ActionRequestBody};
+    use tap_protocol::{FieldMap, TriggerIdentity};
+
+    /// Full home + lab assembly mirroring Figure 1 with Our Service.
+    struct World {
+        sim: Sim,
+        switch: NodeId,
+        lamp: NodeId,
+        svc: NodeId,
+        google: NodeId,
+    }
+
+    fn world() -> World {
+        let mut sim = Sim::new(101);
+        let (hub, lamps) = install_hue(&mut sim, "hueuser", "author", 1);
+        let switch = sim.add_node("wemo", WemoSwitch::new("wemo_switch_1", "author"));
+        let proxy = sim.add_node("proxy", LocalProxy::new());
+        let google = sim.add_node("google", GoogleCloud::new());
+        let svc = sim.add_node("our_service", OurService::new(ServiceKey("sk_ours".into())));
+        sim.link(hub, proxy, LinkSpec::lan());
+        sim.link(switch, proxy, LinkSpec::lan());
+        sim.link(proxy, svc, LinkSpec::wan());
+        sim.link(svc, google, LinkSpec::wan());
+        sim.node_mut::<crate::hue::HueHub>(hub).allow_only(vec![proxy]);
+        sim.node_mut::<WemoSwitch>(switch).allow_only(vec![proxy]);
+        sim.node_mut::<crate::hue::HueHub>(hub).observe(proxy);
+        sim.node_mut::<WemoSwitch>(switch).observe(proxy);
+        {
+            let p = sim.node_mut::<LocalProxy>(proxy);
+            p.set_upstream(svc);
+            p.register("hue_lamp_1", DeviceRoute::HueLamp { hub, username: "hueuser".into() });
+            p.register("wemo_switch_1", DeviceRoute::Wemo { node: switch });
+        }
+        {
+            let s = sim.node_mut::<OurService>(svc);
+            s.proxy = Some(proxy);
+            s.google = Some(google);
+        }
+        World { sim, switch, lamp: lamps[0], svc, google }
+    }
+
+    #[test]
+    fn switch_press_feeds_the_wemo_trigger_within_a_second() {
+        let mut w = world();
+        let ti = w.sim.with_node::<OurService, _>(w.svc, |s, _| {
+            s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("wemo_switched_on"),
+                FieldMap::new(),
+            )
+        });
+        w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+        w.sim.run_until_idle();
+        let s = w.sim.node_ref::<OurService>(w.svc);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+        assert_eq!(s.device_events, 1);
+        // Paper's Table 5: the service learns of the event in well under 1 s.
+        let learned = w
+            .sim
+            .trace()
+            .first("our_service.device_event")
+            .expect("event traced")
+            .at;
+        assert!(learned < SimTime::from_secs(1), "learned at {learned}");
+    }
+
+    /// IFTTT-style action sender.
+    struct ActionSender {
+        service: NodeId,
+        action: &'static str,
+        fields: FieldMap,
+        bearer: String,
+        status: Option<u16>,
+    }
+    impl Node for ActionSender {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let body = ActionRequestBody {
+                action_fields: self.fields.clone(),
+                user: UserId::new("author"),
+            };
+            let req = Request::post(format!("/ifttt/v1/actions/{}", self.action))
+                .with_header(SERVICE_KEY_HEADER, "sk_ours")
+                .with_header(AUTHORIZATION_HEADER, self.bearer.clone())
+                .with_body(wire::to_bytes(&body));
+            ctx.send_request(self.service, req, Token(1), RequestOpts::timeout_secs(60));
+        }
+        fn on_response(&mut self, _c: &mut Context<'_>, _t: Token, resp: Response) {
+            self.status = Some(resp.status);
+        }
+    }
+
+    fn send_action(w: &mut World, action: &'static str, fields: FieldMap) -> Option<u16> {
+        let bearer = w.sim.with_node::<OurService, _>(w.svc, |s, ctx| {
+            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+        });
+        let sender = w.sim.add_node(
+            format!("sender_{action}"),
+            ActionSender { service: w.svc, action, fields, bearer, status: None },
+        );
+        w.sim.link(sender, w.svc, LinkSpec::wan());
+        w.sim.run_until_idle();
+        w.sim.node_ref::<ActionSender>(sender).status
+    }
+
+    #[test]
+    fn hue_turn_on_action_reaches_lamp_through_proxy() {
+        let mut w = world();
+        assert_eq!(send_action(&mut w, "hue_turn_on", FieldMap::new()), Some(200));
+        assert!(w.sim.node_ref::<HueLamp>(w.lamp).state.on);
+        assert_eq!(w.sim.node_ref::<OurService>(w.svc).actions_done, 1);
+    }
+
+    #[test]
+    fn add_row_action_reaches_google() {
+        let mut w = world();
+        let mut fields = FieldMap::new();
+        fields.insert("spreadsheet".into(), "log".into());
+        fields.insert("row".into(), "a|||b".into());
+        assert_eq!(send_action(&mut w, "add_row", fields), Some(200));
+        let sheet = w.sim.node_ref::<GoogleCloud>(w.google).sheet("author", "log").unwrap();
+        assert_eq!(sheet.rows.len(), 1);
+    }
+
+    #[test]
+    fn gmail_backend_polling_discovers_new_mail() {
+        let mut w = world();
+        let ti: TriggerIdentity = w.sim.with_node::<OurService, _>(w.svc, |s, _| {
+            s.watch_gmail("author");
+            s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("any_new_email"),
+                FieldMap::new(),
+            )
+        });
+        // Restart the polling timer (service already started without watch).
+        w.sim.with_node::<OurService, _>(w.svc, |s, ctx| {
+            ctx.set_timer(s.backend_poll, TIMER_GMAIL_POLL);
+        });
+        w.sim.with_node::<GoogleCloud, _>(w.google, |g, ctx| {
+            g.deliver_email(ctx, "author", "x@y", "hello", "", None);
+        });
+        // One backend poll interval (5 s) plus slack.
+        w.sim.run_until(SimTime::from_secs(12));
+        let s = w.sim.node_ref::<OurService>(w.svc);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+        let events = s.core.buffer.latest(&ti, 10);
+        assert_eq!(events[0].ingredients["subject"], "hello");
+    }
+
+    #[test]
+    fn gmail_cursor_prevents_duplicate_events() {
+        let mut w = world();
+        let ti = w.sim.with_node::<OurService, _>(w.svc, |s, _| {
+            s.watch_gmail("author");
+            s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("any_new_email"),
+                FieldMap::new(),
+            )
+        });
+        w.sim.with_node::<OurService, _>(w.svc, |s, ctx| {
+            ctx.set_timer(s.backend_poll, TIMER_GMAIL_POLL);
+        });
+        w.sim.with_node::<GoogleCloud, _>(w.google, |g, ctx| {
+            g.deliver_email(ctx, "author", "x@y", "one", "", None);
+        });
+        // Let several poll rounds pass: the single email must appear once.
+        w.sim.run_until(SimTime::from_secs(30));
+        assert_eq!(w.sim.node_ref::<OurService>(w.svc).core.buffer.len(&ti), 1);
+    }
+
+    #[test]
+    fn action_without_proxy_is_503() {
+        let mut w = world();
+        w.sim.node_mut::<OurService>(w.svc).proxy = None;
+        assert_eq!(send_action(&mut w, "hue_turn_on", FieldMap::new()), Some(503));
+    }
+}

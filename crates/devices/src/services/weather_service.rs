@@ -1,0 +1,167 @@
+//! The weather partner service — the paper's §2 motivating applet:
+//! "automatically turn your hue lights blue whenever it starts to rain. In
+//! this applet, the trigger (raining) is from the weather service…".
+//!
+//! Backed by a [`crate::weather::WeatherStation`] whose condition changes
+//! are pushed to this node (the station must `observe` it).
+
+use crate::events::DeviceEvent;
+use crate::service_core::{Processed, ServiceCore};
+use bytes::Bytes;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+
+/// The weather partner-service node.
+#[derive(Debug)]
+pub struct WeatherService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// Users subscribed to this weather location (weather is broadcast:
+    /// one station event feeds every registered user's subscriptions).
+    pub users: Vec<UserId>,
+    /// Last condition pushed by the station (served by the
+    /// `current_condition` query).
+    pub current: String,
+}
+
+impl WeatherService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "weather_underground";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("forecast_rain")
+            .with_trigger("forecast_snow")
+            .with_trigger("forecast_clear")
+            .with_query("current_condition");
+        WeatherService {
+            core: ServiceCore::new(endpoint),
+            users: Vec::new(),
+            current: "clear".into(),
+        }
+    }
+
+    /// Register a user interested in this location's weather.
+    pub fn add_user(&mut self, user: UserId) {
+        self.users.push(user);
+    }
+}
+
+impl Node for WeatherService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            // Weather exposes no actions.
+            Processed::Action { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+            // The `current_condition` query: read back the latest state.
+            Processed::Query { req_id, .. } => {
+                let mut data = tap_protocol::FieldMap::new();
+                data.insert("condition".into(), self.current.clone());
+                ctx.reply(req_id, ServiceEndpoint::query_ok(data));
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let trigger = match ev.kind.as_str() {
+            "weather_rain" => "forecast_rain",
+            "weather_snow" => "forecast_snow",
+            "weather_clear" => "forecast_clear",
+            _ => return,
+        };
+        self.current = ev.kind.trim_start_matches("weather_").to_owned();
+        // Broadcast: one station change fires every user's subscription.
+        for user in self.users.clone() {
+            let id = self.core.next_event_id();
+            let event = TriggerEvent::new(id, ev.at_secs)
+                .with_ingredient("condition", ev.kind.trim_start_matches("weather_"));
+            self.core
+                .record_event(ctx, &TriggerSlug::new(trigger), &user, event, |_| true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weather::{Condition, WeatherStation};
+    use tap_protocol::FieldMap;
+
+    #[test]
+    fn rain_feeds_every_subscribed_user() {
+        let mut sim = Sim::new(1);
+        let station = sim.add_node("weather", WeatherStation::new());
+        let svc = sim.add_node("weather_svc", WeatherService::new(ServiceKey("sk_w".into())));
+        sim.link(station, svc, LinkSpec::wan());
+        sim.node_mut::<WeatherStation>(station).observe(svc);
+        let (ti_a, ti_b) = sim.with_node::<WeatherService, _>(svc, |s, _| {
+            s.add_user(UserId::new("alice"));
+            s.add_user(UserId::new("bob"));
+            (
+                s.core.subscribe(
+                    UserId::new("alice"),
+                    TriggerSlug::new("forecast_rain"),
+                    FieldMap::new(),
+                ),
+                s.core.subscribe(
+                    UserId::new("bob"),
+                    TriggerSlug::new("forecast_rain"),
+                    FieldMap::new(),
+                ),
+            )
+        });
+        sim.with_node::<WeatherStation, _>(station, |w, ctx| {
+            w.set_condition(ctx, Condition::Rain);
+        });
+        sim.run_until_idle();
+        let s = sim.node_ref::<WeatherService>(svc);
+        assert_eq!(s.core.buffer.len(&ti_a), 1);
+        assert_eq!(s.core.buffer.len(&ti_b), 1);
+        let ev = &s.core.buffer.latest(&ti_a, 1)[0];
+        assert_eq!(ev.ingredients["condition"], "rain");
+    }
+
+    #[test]
+    fn clearing_up_feeds_the_clear_trigger_only() {
+        let mut sim = Sim::new(2);
+        let station = sim.add_node("weather", WeatherStation::new());
+        let svc = sim.add_node("weather_svc", WeatherService::new(ServiceKey("sk_w".into())));
+        sim.link(station, svc, LinkSpec::wan());
+        sim.node_mut::<WeatherStation>(station).observe(svc);
+        let (rain_ti, clear_ti) = sim.with_node::<WeatherService, _>(svc, |s, _| {
+            s.add_user(UserId::new("alice"));
+            (
+                s.core.subscribe(
+                    UserId::new("alice"),
+                    TriggerSlug::new("forecast_rain"),
+                    FieldMap::new(),
+                ),
+                s.core.subscribe(
+                    UserId::new("alice"),
+                    TriggerSlug::new("forecast_clear"),
+                    FieldMap::new(),
+                ),
+            )
+        });
+        sim.with_node::<WeatherStation, _>(station, |w, ctx| {
+            w.set_condition(ctx, Condition::Rain);
+        });
+        sim.run_until_idle();
+        sim.with_node::<WeatherStation, _>(station, |w, ctx| {
+            w.set_condition(ctx, Condition::Clear);
+        });
+        sim.run_until_idle();
+        let s = sim.node_ref::<WeatherService>(svc);
+        assert_eq!(s.core.buffer.len(&rain_ti), 1);
+        assert_eq!(s.core.buffer.len(&clear_ti), 1);
+    }
+}

@@ -1,0 +1,228 @@
+//! The Belkin WeMo partner service.
+//!
+//! Trigger `switch_activated` (applets A1/A2) is fed by state-change pushes
+//! from the switch (the device keeps an outbound connection to its vendor
+//! cloud); the `turn_on`/`turn_off` actions (applet A6) drive the switch
+//! over UPnP, so the switch's allowlist must include this node.
+
+use crate::events::DeviceEvent;
+use crate::service_core::{Processed, ServiceCore};
+use crate::services::PendingReplies;
+use crate::wemo;
+use bytes::Bytes;
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
+use std::collections::HashMap;
+
+/// The WeMo cloud service node.
+#[derive(Debug)]
+pub struct WemoService {
+    /// Shared protocol front.
+    pub core: ServiceCore,
+    /// user → switch node.
+    switches: HashMap<UserId, NodeId>,
+    pending: PendingReplies,
+    /// Actions executed end-to-end.
+    pub actions_done: u64,
+}
+
+impl WemoService {
+    /// The service slug as listed on IFTTT.
+    pub const SLUG: &'static str = "wemo";
+
+    /// Create the service with its engine-issued key.
+    pub fn new(key: ServiceKey) -> Self {
+        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
+            .with_trigger("switch_activated")
+            .with_trigger("switch_deactivated")
+            .with_action("turn_on")
+            .with_action("turn_off");
+        WemoService {
+            core: ServiceCore::new(endpoint),
+            switches: HashMap::new(),
+            pending: PendingReplies::default(),
+            actions_done: 0,
+        }
+    }
+
+    /// Pair a user's switch. The switch must also `observe` this node for
+    /// trigger pushes, and allowlist it for actions.
+    pub fn add_switch(&mut self, user: UserId, switch: NodeId) {
+        self.switches.insert(user, switch);
+    }
+}
+
+impl Node for WemoService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { user, action, fields: _, req_id } => {
+                let Some(&switch) = self.switches.get(&user) else {
+                    return HandlerResult::Reply(Response::unauthorized());
+                };
+                let on = match action.as_str() {
+                    "turn_on" => true,
+                    "turn_off" => false,
+                    _ => return HandlerResult::Reply(Response::bad_request()),
+                };
+                ctx.trace("wemo_service.action", action.0.clone());
+                let token = self.pending.track(req_id);
+                let soap = Request::post(wemo::CONTROL_PATH)
+                    .with_header(wemo::SOAPACTION, wemo::SET_BINARY_STATE)
+                    .with_body(wemo::set_state_body(on));
+                ctx.send_request(switch, soap, token, RequestOpts::timeout_secs(30));
+                HandlerResult::Deferred
+            }
+            // No queries on this service (the endpoint rejects undeclared
+            // query slugs before we get here).
+            Processed::Query { req_id, .. } => {
+                ctx.reply(req_id, Response::not_found());
+                HandlerResult::Deferred
+            }
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        if let Some(upstream) = self.pending.resolve(token) {
+            if resp.is_success() {
+                self.actions_done += 1;
+                ctx.reply(upstream, ServiceEndpoint::action_ok("wemo_ok"));
+            } else {
+                let status = if resp.is_timeout() { 503 } else { resp.status };
+                ctx.reply(upstream, Response::with_status(status));
+            }
+        }
+    }
+
+    fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        // State-change push from a switch: feed the matching trigger.
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let trigger = match ev.kind.as_str() {
+            "switched_on" => TriggerSlug::new("switch_activated"),
+            "switched_off" => TriggerSlug::new("switch_deactivated"),
+            _ => return,
+        };
+        let user = UserId::new(ev.user.clone());
+        let id = self.core.next_event_id();
+        let mut event = TriggerEvent::new(id, ev.at_secs).with_ingredient("device", ev.device);
+        for (k, v) in &ev.data {
+            event = event.with_ingredient(k.clone(), v.clone());
+        }
+        self.core.record_event(ctx, &trigger, &user, event, |_| true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wemo::WemoSwitch;
+    use tap_protocol::auth::{AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
+    use tap_protocol::wire::{self, PollRequestBody, PollResponseBody};
+    use tap_protocol::{FieldMap, TriggerIdentity};
+
+    fn setup() -> (Sim, NodeId, NodeId, TriggerIdentity, String) {
+        let mut sim = Sim::new(71);
+        let switch = sim.add_node("wemo", WemoSwitch::new("wemo_switch_1", "author"));
+        let svc = sim.add_node("wemo_service", WemoService::new(ServiceKey("sk_wemo".into())));
+        sim.link(switch, svc, LinkSpec::wan());
+        sim.node_mut::<WemoSwitch>(switch).observe(svc);
+        sim.node_mut::<WemoSwitch>(switch).allow_only(vec![svc]);
+        let (ti, bearer) = sim.with_node::<WemoService, _>(svc, |s, ctx| {
+            s.add_switch(UserId::new("author"), switch);
+            let ti = s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("switch_activated"),
+                FieldMap::new(),
+            );
+            let bearer = s
+                .core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer();
+            (ti, bearer)
+        });
+        (sim, switch, svc, ti, bearer)
+    }
+
+    #[test]
+    fn physical_press_buffers_a_trigger_event() {
+        let (mut sim, switch, svc, ti, _) = setup();
+        sim.with_node::<WemoSwitch, _>(switch, |s, ctx| s.press(ctx));
+        sim.run_until_idle();
+        let s = sim.node_ref::<WemoService>(svc);
+        assert_eq!(s.core.buffer.len(&ti), 1);
+        let events = s.core.buffer.latest(&ti, 50);
+        assert_eq!(events[0].ingredients["device"], "wemo_switch_1");
+    }
+
+    #[test]
+    fn switch_off_feeds_the_deactivated_trigger_only() {
+        let (mut sim, switch, svc, ti_on, _) = setup();
+        let ti_off = sim.with_node::<WemoService, _>(svc, |s, _| {
+            s.core.subscribe(
+                UserId::new("author"),
+                TriggerSlug::new("switch_deactivated"),
+                FieldMap::new(),
+            )
+        });
+        // Press twice: on, then off.
+        sim.with_node::<WemoSwitch, _>(switch, |s, ctx| s.press(ctx));
+        sim.run_until_idle();
+        sim.with_node::<WemoSwitch, _>(switch, |s, ctx| s.press(ctx));
+        sim.run_until_idle();
+        let s = sim.node_ref::<WemoService>(svc);
+        assert_eq!(s.core.buffer.len(&ti_on), 1);
+        assert_eq!(s.core.buffer.len(&ti_off), 1);
+    }
+
+    /// Poll the service like the engine would and verify the event comes
+    /// back on the wire.
+    struct Poller {
+        service: NodeId,
+        body: Vec<u8>,
+        bearer: String,
+        events: Option<usize>,
+    }
+    impl Node for Poller {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            let req = Request::post("/ifttt/v1/triggers/switch_activated")
+                .with_header(SERVICE_KEY_HEADER, "sk_wemo")
+                .with_header(AUTHORIZATION_HEADER, self.bearer.clone())
+                .with_body(self.body.clone());
+            ctx.send_request(self.service, req, Token(1), RequestOpts::timeout_secs(60));
+        }
+        fn on_response(&mut self, _c: &mut Context<'_>, _t: Token, resp: Response) {
+            let b: PollResponseBody = wire::from_bytes(&resp.body).unwrap();
+            self.events = Some(b.data.len());
+        }
+    }
+
+    #[test]
+    fn engine_poll_returns_buffered_events() {
+        let (mut sim, switch, svc, ti, bearer) = setup();
+        sim.with_node::<WemoSwitch, _>(switch, |s, ctx| s.press(ctx));
+        sim.run_until_idle();
+        let poll = PollRequestBody {
+            trigger_identity: ti,
+            trigger_fields: FieldMap::new(),
+            user: UserId::new("author"),
+            limit: 50,
+        };
+        let poller = sim.add_node(
+            "poller",
+            Poller {
+                service: svc,
+                body: wire::to_bytes(&poll).to_vec(),
+                bearer,
+                events: None,
+            },
+        );
+        sim.link(poller, svc, LinkSpec::wan());
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<Poller>(poller).events, Some(1));
+    }
+}

@@ -1,0 +1,106 @@
+//! On-disk snapshot archive.
+//!
+//! The paper accumulated "about 200 GB" of raw weekly crawls; analyses ran
+//! over the archived snapshots, not the live site. This module is that
+//! archive layer: one JSON file per weekly [`Snapshot`], named
+//! `week_<NN>_<date>.json`, with load/save/list round trips.
+
+use crate::snapshot::Snapshot;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// File name for a snapshot.
+fn file_name(s: &Snapshot) -> String {
+    format!("week_{:02}_{}.json", s.week, s.date)
+}
+
+/// Save one snapshot into `dir` (created if missing). Returns the path.
+pub fn save_snapshot(dir: &Path, s: &Snapshot) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file_name(s));
+    fs::write(&path, s.to_json())?;
+    Ok(path)
+}
+
+/// Save a whole crawl series.
+pub fn save_series(dir: &Path, snapshots: &[Snapshot]) -> io::Result<Vec<PathBuf>> {
+    snapshots.iter().map(|s| save_snapshot(dir, s)).collect()
+}
+
+/// Load every archived snapshot in `dir`, sorted by week.
+pub fn load_series(dir: &Path) -> io::Result<Vec<Snapshot>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let text = fs::read_to_string(&path)?;
+        let snap = Snapshot::from_json(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        out.push(snap);
+    }
+    out.sort_by_key(|s| s.week);
+    Ok(out)
+}
+
+/// List archived weeks without parsing the bodies.
+pub fn list_weeks(dir: &Path) -> io::Result<Vec<u32>> {
+    let mut weeks = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let name = name.to_string_lossy();
+        if let Some(rest) = name.strip_prefix("week_") {
+            if let Some(w) = rest.get(..2).and_then(|d| d.parse().ok()) {
+                weeks.push(w);
+            }
+        }
+    }
+    weeks.sort_unstable();
+    Ok(weeks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Ecosystem, GeneratorConfig};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ifttt_lab_archive_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_snapshots() {
+        let dir = tmpdir("roundtrip");
+        let eco = Ecosystem::generate(GeneratorConfig::test_scale(3));
+        let snaps: Vec<Snapshot> = [0u32, 9, 18].iter().map(|w| eco.snapshot(*w)).collect();
+        let paths = save_series(&dir, &snaps).unwrap();
+        assert_eq!(paths.len(), 3);
+        assert!(paths[0].file_name().unwrap().to_string_lossy().starts_with("week_00"));
+        let loaded = load_series(&dir).unwrap();
+        assert_eq!(loaded, snaps);
+        assert_eq!(list_weeks(&dir).unwrap(), vec![0, 9, 18]);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_json_files_are_ignored_and_garbage_errors() {
+        let dir = tmpdir("garbage");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("README.txt"), "not a snapshot").unwrap();
+        assert!(load_series(&dir).unwrap().is_empty());
+        fs::write(dir.join("week_01_bad.json"), "{broken").unwrap();
+        assert!(load_series(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_errors() {
+        let dir = tmpdir("missing");
+        assert!(load_series(&dir).is_err());
+    }
+}

@@ -1,0 +1,302 @@
+//! Calibration constants: every aggregate the paper publishes about its
+//! dataset, collected in one place so the generator, the analyses, and
+//! EXPERIMENTS.md all reference identical numbers.
+
+use serde::{Deserialize, Serialize};
+
+/// Scale of the canonical snapshot (3/25/2017): "the number of services,
+/// triggers, actions, applets, and total add counts are 408, 1490, 957,
+/// 320K, and 23M respectively" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleTargets {
+    pub services: usize,
+    pub triggers: usize,
+    pub actions: usize,
+    pub applets: usize,
+    pub total_add_count: u64,
+    pub user_channels: usize,
+}
+
+/// The published canonical-snapshot scale.
+pub const SCALE: ScaleTargets = ScaleTargets {
+    services: 408,
+    triggers: 1490,
+    actions: 957,
+    applets: 320_000,
+    total_add_count: 23_000_000,
+    user_channels: 135_544,
+};
+
+/// Heavy-tail calibration: Figure 3 and the §3.2 user-contribution stats.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TailTargets {
+    /// Top 1% of applets hold this fraction of all adds (Figure 3).
+    pub applet_top1_share: f64,
+    /// Top 10% of applets hold this fraction.
+    pub applet_top10_share: f64,
+    /// Top 1% of users contribute this fraction of applets.
+    pub user_top1_share: f64,
+    /// Top 10% of users contribute this fraction.
+    pub user_top10_share: f64,
+    /// Fraction of applets that are user-made ("most applets (98%)").
+    pub user_made_applets: f64,
+    /// Fraction of add count on user-made applets ("86% of add count").
+    pub user_made_adds: f64,
+}
+
+/// The published heavy-tail targets.
+pub const TAILS: TailTargets = TailTargets {
+    applet_top1_share: 0.841,
+    applet_top10_share: 0.976,
+    user_top1_share: 0.18,
+    user_top10_share: 0.49,
+    user_made_applets: 0.98,
+    user_made_adds: 0.86,
+};
+
+/// Longitudinal growth 11/24/2016 → 4/1/2017: "the number of services,
+/// triggers, actions, and applet add count increase by 11%, 31%, 27%, and
+/// 19%" (§3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GrowthTargets {
+    pub services: f64,
+    pub triggers: f64,
+    pub actions: f64,
+    pub add_count: f64,
+    /// Number of weekly snapshots ("25, one each week", Table 2).
+    pub snapshots: usize,
+    /// Zero-based week index of the first comparison date (11/24/2016).
+    pub week_start: usize,
+    /// Zero-based week index of the second comparison date (4/1/2017).
+    pub week_end: usize,
+    /// Zero-based week index of the canonical snapshot (3/25/2017).
+    pub week_canonical: usize,
+}
+
+/// The published growth figures. Week 0 is 2016-11-19; 11/24/2016 falls in
+/// week 0 (first crawl), 3/25/2017 is week 18, 4/1/2017 is week 19, and the
+/// crawl continues to week 24 (late April).
+pub const GROWTH: GrowthTargets = GrowthTargets {
+    services: 0.11,
+    triggers: 0.31,
+    actions: 0.27,
+    add_count: 0.19,
+    snapshots: 25,
+    week_start: 0,
+    week_end: 19,
+    week_canonical: 18,
+};
+
+/// Date label of a week index (YYYY-MM-DD, week 0 = 2016-11-19).
+pub fn week_date_label(week: usize) -> String {
+    // Day offset from 2016-11-19.
+    let days = week as u64 * 7;
+    // Calendar arithmetic over the two years involved.
+    const MONTH_LEN: [(u64, &str, u64); 7] = [
+        (11, "2016-11", 30),
+        (12, "2016-12", 31),
+        (1, "2017-01", 31),
+        (2, "2017-02", 28),
+        (3, "2017-03", 31),
+        (4, "2017-04", 30),
+        (5, "2017-05", 31),
+    ];
+    let mut day = 19 + days; // day-of-month within the running month
+    for (_, label, len) in MONTH_LEN {
+        if day <= len {
+            return format!("{label}-{day:02}");
+        }
+        day -= len;
+    }
+    format!("2017-06-{day:02}")
+}
+
+/// Table 2: the comparison dataset of Ur et al. \[28\].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparisonDataset {
+    pub applets: usize,
+    pub channels: usize,
+    pub triggers: usize,
+    pub actions: usize,
+    pub adoptions: u64,
+    pub contributors: usize,
+    pub snapshots: usize,
+    pub period: &'static str,
+}
+
+/// Ur et al.'s 2015 dataset as listed in Table 2.
+pub const UR_ET_AL_2015: ComparisonDataset = ComparisonDataset {
+    applets: 224_000,
+    channels: 220,
+    triggers: 768,
+    actions: 368,
+    adoptions: 12_000_000,
+    contributors: 106_000,
+    snapshots: 1,
+    period: "Sep 2015",
+};
+
+/// This paper's dataset as listed in Table 2 (our generator's target).
+pub const OURS_2017: ComparisonDataset = ComparisonDataset {
+    applets: 320_000,
+    channels: 408,
+    triggers: 1_490,
+    actions: 957,
+    adoptions: 24_000_000,
+    contributors: 135_000,
+    snapshots: 25,
+    period: "Nov 2016 to Apr 2017",
+};
+
+/// One anchor entry of Table 3: a real top IoT service with its add count.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Table3Anchor {
+    /// Service display name.
+    pub service: &'static str,
+    /// Service slug.
+    pub slug: &'static str,
+    /// Table 1 category index.
+    pub category: usize,
+    /// Add count in adds (paper reports millions).
+    pub add_count: u64,
+    /// True for trigger services, false for action services.
+    pub as_trigger: bool,
+    /// The top trigger/action slugs of this service, most popular first,
+    /// with their share of the service's add count in percent.
+    pub top_slots: &'static [(&'static str, u32)],
+}
+
+/// Table 3's top IoT trigger services (add counts from the paper).
+pub const TOP_IOT_TRIGGER_SERVICES: &[Table3Anchor] = &[
+    Table3Anchor {
+        service: "Amazon Alexa", slug: "amazon_alexa", category: 1, add_count: 1_200_000,
+        as_trigger: true,
+        top_slots: &[
+            ("say_a_phrase", 45),
+            ("todo_item_added", 25),
+            ("ask_whats_on_shopping_list", 15),
+            ("shopping_item_added", 10),
+            ("song_played", 5),
+        ],
+    },
+    Table3Anchor {
+        service: "Fitbit", slug: "fitbit", category: 3, add_count: 200_000,
+        as_trigger: true,
+        top_slots: &[("daily_activity_summary", 60), ("new_sleep_logged", 40)],
+    },
+    Table3Anchor {
+        service: "Nest Thermostat", slug: "nest_thermostat", category: 1, add_count: 100_000,
+        as_trigger: true,
+        top_slots: &[("temperature_rises_above", 60), ("temperature_drops_below", 40)],
+    },
+    Table3Anchor {
+        service: "Google Assistant", slug: "google_assistant", category: 1, add_count: 100_000,
+        as_trigger: true,
+        top_slots: &[("say_a_phrase_ga", 100)],
+    },
+    Table3Anchor {
+        service: "UP by Jawbone", slug: "up_by_jawbone", category: 3, add_count: 100_000,
+        as_trigger: true,
+        top_slots: &[("new_sleep_up", 60), ("new_workout_up", 40)],
+    },
+    Table3Anchor {
+        service: "Nest Protect", slug: "nest_protect", category: 1, add_count: 70_000,
+        as_trigger: true,
+        top_slots: &[("smoke_alarm", 70), ("co_alarm", 30)],
+    },
+    Table3Anchor {
+        service: "Automatic", slug: "automatic", category: 4, add_count: 60_000,
+        as_trigger: true,
+        top_slots: &[("ignition_off", 60), ("check_engine", 40)],
+    },
+];
+
+/// Table 3's top IoT action services.
+pub const TOP_IOT_ACTION_SERVICES: &[Table3Anchor] = &[
+    Table3Anchor {
+        service: "Philips Hue", slug: "philips_hue", category: 1, add_count: 1_200_000,
+        as_trigger: false,
+        top_slots: &[
+            ("turn_on_lights", 45),
+            ("change_color", 30),
+            ("blink_lights", 15),
+            ("turn_on_color_loop", 10),
+        ],
+    },
+    Table3Anchor {
+        service: "LIFX", slug: "lifx", category: 1, add_count: 200_000,
+        as_trigger: false,
+        top_slots: &[("turn_on_lifx", 60), ("breathe_lifx", 40)],
+    },
+    Table3Anchor {
+        service: "Nest Thermostat", slug: "nest_thermostat", category: 1, add_count: 200_000,
+        as_trigger: false,
+        top_slots: &[("set_temperature", 100)],
+    },
+    Table3Anchor {
+        service: "Harmony Hub", slug: "harmony_hub", category: 2, add_count: 200_000,
+        as_trigger: false,
+        top_slots: &[("start_activity", 70), ("end_activity", 30)],
+    },
+    Table3Anchor {
+        service: "WeMo Smart Plug", slug: "wemo", category: 1, add_count: 100_000,
+        as_trigger: false,
+        top_slots: &[("turn_on", 70), ("turn_off", 30)],
+    },
+    Table3Anchor {
+        service: "Android Smartwatch", slug: "android_smartwatch", category: 3, add_count: 100_000,
+        as_trigger: false,
+        top_slots: &[("send_a_notification", 100)],
+    },
+    Table3Anchor {
+        service: "UP by Jawbone", slug: "up_by_jawbone", category: 3, add_count: 90_000,
+        as_trigger: false,
+        top_slots: &[("log_caffeine", 60), ("log_mood", 40)],
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn week_labels_span_the_crawl() {
+        assert_eq!(week_date_label(0), "2016-11-19");
+        assert_eq!(week_date_label(1), "2016-11-26");
+        assert_eq!(week_date_label(2), "2016-12-03");
+        // Canonical snapshot: 3/25/2017.
+        assert_eq!(week_date_label(GROWTH.week_canonical), "2017-03-25");
+        // Growth end: 4/1/2017.
+        assert_eq!(week_date_label(GROWTH.week_end), "2017-04-01");
+        assert_eq!(week_date_label(24), "2017-05-06");
+    }
+
+    #[test]
+    fn anchors_have_sane_shares() {
+        for a in TOP_IOT_TRIGGER_SERVICES.iter().chain(TOP_IOT_ACTION_SERVICES) {
+            let total: u32 = a.top_slots.iter().map(|(_, s)| s).sum();
+            assert_eq!(total, 100, "{} shares sum to {total}", a.service);
+            assert!(a.category >= 1 && a.category <= 4, "{} must be IoT", a.service);
+        }
+    }
+
+    #[test]
+    fn trigger_anchor_order_matches_table3() {
+        let counts: Vec<u64> = TOP_IOT_TRIGGER_SERVICES.iter().map(|a| a.add_count).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(counts, sorted);
+        assert_eq!(TOP_IOT_TRIGGER_SERVICES[0].slug, "amazon_alexa");
+        assert_eq!(TOP_IOT_ACTION_SERVICES[0].slug, "philips_hue");
+    }
+
+    #[test]
+    fn anchor_totals_fit_their_category_budgets() {
+        // IoT trigger anchors must fit inside the IoT trigger add-count
+        // budget (9.3% of 23M ≈ 2.14M).
+        let trig_total: u64 = TOP_IOT_TRIGGER_SERVICES.iter().map(|a| a.add_count).sum();
+        assert!(trig_total as f64 <= 0.093 * SCALE.total_add_count as f64 * 1.05);
+        let act_total: u64 = TOP_IOT_ACTION_SERVICES.iter().map(|a| a.add_count).sum();
+        assert!(act_total as f64 <= 0.10 * SCALE.total_add_count as f64 * 1.05);
+    }
+}

@@ -1,0 +1,206 @@
+//! Deterministic synthetic naming for services, triggers, and actions.
+//!
+//! The generator needs hundreds of plausible service names per category.
+//! Names are built from per-category word pools; indices map to names
+//! bijectively so regeneration is stable across runs.
+
+use crate::taxonomy::Category;
+
+/// Per-category (prefixes, suffixes) pools for service names.
+fn pools(cat: Category) -> (&'static [&'static str], &'static [&'static str]) {
+    match cat {
+        Category::SmartHomeDevice => (
+            &["Lumi", "Thermo", "Cam", "Aero", "Glow", "Sense", "Bright", "Home", "Heat", "Air"],
+            &["Light", "Stat", "Cam", "Plug", "Bulb", "Lock", "Bell", "Vac", "Blind", "Sprinkler"],
+        ),
+        Category::SmartHomeHub => (
+            &["Nexus", "Core", "Link", "Bridge", "Uni", "Omni", "Meta", "Hub"],
+            &["Hub", "Center", "Station", "Connect", "Base", "Box", "Gate", "Mesh"],
+        ),
+        Category::Wearable => (
+            &["Fit", "Pulse", "Step", "Move", "Vital", "Track", "Wrist", "Band"],
+            &["Band", "Watch", "Tracker", "Ring", "Clip", "Sense", "Coach", "Gear"],
+        ),
+        Category::ConnectedCar => (
+            &["Auto", "Drive", "Car", "Moto", "Road", "Dash"],
+            &["Link", "Sync", "Connect", "Pilot", "Metrics", "Hub"],
+        ),
+        Category::Smartphone => (
+            &["Phone", "Droid", "Pocket", "Mobile", "Cell", "Handset"],
+            &["Battery", "NFC", "SMS", "Widget", "Sensor", "Assistant"],
+        ),
+        Category::CloudStorage => (
+            &["Cloud", "Box", "Sky", "Vault", "Drop", "Store"],
+            &["Drive", "Box", "Sync", "Store", "Vault", "Locker"],
+        ),
+        Category::OnlineService => (
+            &["Daily", "Meteo", "News", "Stream", "Sport", "Stock", "Quote", "Video"],
+            &["Times", "Cast", "Wire", "Feed", "Watch", "Report", "Channel", "Desk"],
+        ),
+        Category::RssFeed => (
+            &["Feed", "RSS", "Reader", "Digest", "Curate"],
+            &["Reader", "Stream", "Burner", "Rank", "List"],
+        ),
+        Category::PersonalData => (
+            &["Note", "Task", "Memo", "Plan", "List", "Journal", "Remind", "Agenda"],
+            &["Keeper", "List", "Note", "Do", "Book", "Planner", "Board", "Minder"],
+        ),
+        Category::SocialNetwork => (
+            &["Face", "Insta", "Pic", "Chat", "Blog", "Snap", "Micro"],
+            &["Gram", "Book", "Share", "Space", "Log", "Feed", "Wall"],
+        ),
+        Category::Messaging => (
+            &["Chat", "Msg", "Team", "Talk", "Ping", "Voice"],
+            &["App", "Line", "Room", "Call", "Relay", "Desk"],
+        ),
+        Category::TimeLocation => (
+            &["Time", "Geo", "Date", "Place", "Where"],
+            &["Clock", "Fence", "Zone", "Mark", "Point"],
+        ),
+        Category::Email => (
+            &["Mail", "Post", "Inbox", "Letter"],
+            &["Box", "Man", "Wing", "Drop"],
+        ),
+        Category::Other => (
+            &["Misc", "Omni", "Gizmo", "Widget", "Egg", "Pet", "Garden"],
+            &["Thing", "Minder", "Matic", "Tool", "Mate", "Ware"],
+        ),
+    }
+}
+
+/// The `idx`-th synthetic service name in a category (stable).
+pub fn service_name(cat: Category, idx: usize) -> String {
+    let (pre, suf) = pools(cat);
+    let p = pre[idx % pre.len()];
+    let s = suf[(idx / pre.len()) % suf.len()];
+    let gen = idx / (pre.len() * suf.len());
+    if gen == 0 {
+        format!("{p}{s}")
+    } else {
+        format!("{p}{s} {}", gen + 1)
+    }
+}
+
+/// Slugify a display name: lowercase, alphanumerics, underscores.
+pub fn slugify(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut last_us = true;
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+            last_us = false;
+        } else if !last_us {
+            out.push('_');
+            last_us = true;
+        }
+    }
+    while out.ends_with('_') {
+        out.pop();
+    }
+    out
+}
+
+/// Trigger-slug verbs per category (combined with an index to stay unique).
+fn trigger_stems(cat: Category) -> &'static [&'static str] {
+    match cat {
+        Category::SmartHomeDevice => &["turned_on", "turned_off", "motion_detected", "door_opened", "alarm_raised"],
+        Category::SmartHomeHub => &["scene_started", "device_added", "mode_changed"],
+        Category::Wearable => &["goal_reached", "sleep_logged", "workout_done", "steps_counted"],
+        Category::ConnectedCar => &["ignition_on", "ignition_off", "low_fuel", "hard_brake"],
+        Category::Smartphone => &["battery_low", "nfc_tag", "entered_wifi", "missed_call"],
+        Category::CloudStorage => &["file_added", "file_shared"],
+        Category::OnlineService => &["new_story", "score_update", "price_drop", "forecast_rain"],
+        Category::RssFeed => &["new_item", "item_matches"],
+        Category::PersonalData => &["task_added", "reminder_due", "note_created", "event_starts"],
+        Category::SocialNetwork => &["new_post", "tagged_photo", "new_follower", "new_like"],
+        Category::Messaging => &["message_received", "mention", "channel_post"],
+        Category::TimeLocation => &["every_day_at", "sunrise", "sunset", "enter_area", "exit_area"],
+        Category::Email => &["new_email", "email_labeled", "attachment_received"],
+        Category::Other => &["something_happened", "state_changed"],
+    }
+}
+
+/// Action-slug verbs per category.
+fn action_stems(cat: Category) -> &'static [&'static str] {
+    match cat {
+        Category::SmartHomeDevice => &["turn_on", "turn_off", "set_level", "blink", "set_color"],
+        Category::SmartHomeHub => &["run_scene", "set_mode"],
+        Category::Wearable => &["send_notification", "log_activity", "set_silent_alarm"],
+        Category::ConnectedCar => &["precondition", "lock_doors"],
+        Category::Smartphone => &["send_notification", "set_wallpaper", "mute", "call_me"],
+        Category::CloudStorage => &["save_file", "append_to_file", "add_row"],
+        Category::OnlineService => &["publish", "queue_item"],
+        Category::RssFeed => &["add_to_feed"],
+        Category::PersonalData => &["add_task", "create_note", "set_reminder", "add_event"],
+        Category::SocialNetwork => &["create_post", "share_photo", "update_status"],
+        Category::Messaging => &["send_message", "post_to_channel", "send_sms"],
+        Category::TimeLocation => &["noop"],
+        Category::Email => &["send_email", "send_digest"],
+        Category::Other => &["do_something"],
+    }
+}
+
+/// The `idx`-th trigger slug for a category (stable, unique per index).
+pub fn trigger_slug(cat: Category, idx: usize) -> String {
+    let stems = trigger_stems(cat);
+    let stem = stems[idx % stems.len()];
+    let gen = idx / stems.len();
+    if gen == 0 {
+        stem.to_string()
+    } else {
+        format!("{stem}_{}", gen + 1)
+    }
+}
+
+/// The `idx`-th action slug for a category.
+pub fn action_slug(cat: Category, idx: usize) -> String {
+    let stems = action_stems(cat);
+    let stem = stems[idx % stems.len()];
+    let gen = idx / stems.len();
+    if gen == 0 {
+        stem.to_string()
+    } else {
+        format!("{stem}_{}", gen + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::ALL_CATEGORIES;
+    use std::collections::HashSet;
+
+    #[test]
+    fn service_names_are_unique_per_category() {
+        for cat in ALL_CATEGORIES {
+            let names: HashSet<String> = (0..200).map(|i| service_name(cat, i)).collect();
+            assert_eq!(names.len(), 200, "{cat}");
+        }
+    }
+
+    #[test]
+    fn slugify_is_url_safe() {
+        assert_eq!(slugify("Philips Hue"), "philips_hue");
+        assert_eq!(slugify("UP by Jawbone!"), "up_by_jawbone");
+        assert_eq!(slugify("  A--B  "), "a_b");
+        assert_eq!(slugify("Nest (Thermostat)"), "nest_thermostat");
+    }
+
+    #[test]
+    fn trigger_and_action_slugs_unique() {
+        for cat in ALL_CATEGORIES {
+            let t: HashSet<String> = (0..50).map(|i| trigger_slug(cat, i)).collect();
+            assert_eq!(t.len(), 50, "{cat} triggers");
+            let a: HashSet<String> = (0..50).map(|i| action_slug(cat, i)).collect();
+            assert_eq!(a.len(), 50, "{cat} actions");
+        }
+    }
+
+    #[test]
+    fn names_are_deterministic() {
+        assert_eq!(
+            service_name(Category::Wearable, 17),
+            service_name(Category::Wearable, 17)
+        );
+    }
+}

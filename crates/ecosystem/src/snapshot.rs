@@ -1,0 +1,238 @@
+//! The crawled-data model: services, applets, snapshots, and longitudinal
+//! diffs — the shapes §3.1's crawler produces and §3.2's analyses consume.
+
+use crate::taxonomy::Category;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Who published an applet.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Author {
+    /// A partner service's own applet.
+    Service(String),
+    /// A user channel ("most applets (98%) are home-made by users").
+    User(u32),
+}
+
+impl Author {
+    /// True for user-made applets.
+    pub fn is_user(&self) -> bool {
+        matches!(self, Author::User(_))
+    }
+}
+
+/// One partner service as seen by the crawler.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    pub slug: String,
+    pub name: String,
+    pub category: Category,
+    /// Trigger slugs this service exposes.
+    pub triggers: Vec<String>,
+    /// Action slugs this service exposes.
+    pub actions: Vec<String>,
+    /// Week the service first appeared.
+    pub created_week: u32,
+}
+
+/// One public applet as seen by the crawler (§3.1 lists exactly these
+/// fields: name, description, trigger, trigger service, action name, action
+/// service, and add count).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppletRecord {
+    /// Six-digit page id (the crawler enumerates these).
+    pub id: u32,
+    pub name: String,
+    pub trigger_service: String,
+    pub trigger: String,
+    pub action_service: String,
+    pub action: String,
+    pub author: Author,
+    pub add_count: u64,
+    /// Week the applet was published.
+    pub created_week: u32,
+}
+
+/// One weekly snapshot of the ecosystem.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// Zero-based week index.
+    pub week: u32,
+    /// Calendar label, e.g. `2017-03-25`.
+    pub date: String,
+    pub services: Vec<ServiceRecord>,
+    pub applets: Vec<AppletRecord>,
+}
+
+impl Snapshot {
+    /// Total trigger count across services.
+    pub fn trigger_count(&self) -> usize {
+        self.services.iter().map(|s| s.triggers.len()).sum()
+    }
+
+    /// Total action count across services.
+    pub fn action_count(&self) -> usize {
+        self.services.iter().map(|s| s.actions.len()).sum()
+    }
+
+    /// Total add count across applets.
+    pub fn total_add_count(&self) -> u64 {
+        self.applets.iter().map(|a| a.add_count).sum()
+    }
+
+    /// Distinct user channels with at least one published applet.
+    pub fn user_channel_count(&self) -> usize {
+        let mut users = std::collections::HashSet::new();
+        for a in &self.applets {
+            if let Author::User(u) = a.author {
+                users.insert(u);
+            }
+        }
+        users.len()
+    }
+
+    /// Category of a service slug, if known.
+    pub fn category_of(&self, slug: &str) -> Option<Category> {
+        self.services.iter().find(|s| s.slug == slug).map(|s| s.category)
+    }
+
+    /// A slug → category lookup map (build once for hot analyses).
+    pub fn category_index(&self) -> BTreeMap<&str, Category> {
+        self.services.iter().map(|s| (s.slug.as_str(), s.category)).collect()
+    }
+
+    /// Serialize to JSON (what the crawler archives per week).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("snapshot serializes")
+    }
+
+    /// Parse an archived snapshot.
+    pub fn from_json(s: &str) -> Result<Snapshot, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// The difference between two snapshots (growth reporting, §3.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDiff {
+    pub from_week: u32,
+    pub to_week: u32,
+    pub services_growth: f64,
+    pub triggers_growth: f64,
+    pub actions_growth: f64,
+    pub add_count_growth: f64,
+    pub new_services: Vec<String>,
+}
+
+/// Compute the relative growth between two snapshots.
+pub fn diff(a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
+    fn growth(from: f64, to: f64) -> f64 {
+        if from <= 0.0 {
+            0.0
+        } else {
+            to / from - 1.0
+        }
+    }
+    let old: std::collections::HashSet<&str> =
+        a.services.iter().map(|s| s.slug.as_str()).collect();
+    SnapshotDiff {
+        from_week: a.week,
+        to_week: b.week,
+        services_growth: growth(a.services.len() as f64, b.services.len() as f64),
+        triggers_growth: growth(a.trigger_count() as f64, b.trigger_count() as f64),
+        actions_growth: growth(a.action_count() as f64, b.action_count() as f64),
+        add_count_growth: growth(a.total_add_count() as f64, b.total_add_count() as f64),
+        new_services: b
+            .services
+            .iter()
+            .filter(|s| !old.contains(s.slug.as_str()))
+            .map(|s| s.slug.clone())
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn service(slug: &str, cat: Category, nt: usize, na: usize) -> ServiceRecord {
+        ServiceRecord {
+            slug: slug.into(),
+            name: slug.to_uppercase(),
+            category: cat,
+            triggers: (0..nt).map(|i| format!("t{i}")).collect(),
+            actions: (0..na).map(|i| format!("a{i}")).collect(),
+            created_week: 0,
+        }
+    }
+
+    fn applet(id: u32, author: Author, adds: u64) -> AppletRecord {
+        AppletRecord {
+            id,
+            name: format!("applet {id}"),
+            trigger_service: "svc_a".into(),
+            trigger: "t0".into(),
+            action_service: "svc_b".into(),
+            action: "a0".into(),
+            author,
+            add_count: adds,
+            created_week: 0,
+        }
+    }
+
+    fn snapshot() -> Snapshot {
+        Snapshot {
+            week: 18,
+            date: "2017-03-25".into(),
+            services: vec![
+                service("svc_a", Category::SmartHomeDevice, 2, 1),
+                service("svc_b", Category::Email, 1, 3),
+            ],
+            applets: vec![
+                applet(1, Author::User(7), 100),
+                applet(2, Author::User(7), 50),
+                applet(3, Author::User(9), 10),
+                applet(4, Author::Service("svc_a".into()), 40),
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregate_counts() {
+        let s = snapshot();
+        assert_eq!(s.trigger_count(), 3);
+        assert_eq!(s.action_count(), 4);
+        assert_eq!(s.total_add_count(), 200);
+        assert_eq!(s.user_channel_count(), 2);
+        assert_eq!(s.category_of("svc_a"), Some(Category::SmartHomeDevice));
+        assert_eq!(s.category_of("ghost"), None);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let s = snapshot();
+        let back = Snapshot::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn diff_reports_relative_growth() {
+        let a = snapshot();
+        let mut b = snapshot();
+        b.week = 19;
+        b.services.push(service("svc_c", Category::Other, 2, 0));
+        b.applets.push(applet(5, Author::User(1), 40));
+        let d = diff(&a, &b);
+        assert_eq!(d.from_week, 18);
+        assert!((d.services_growth - 0.5).abs() < 1e-9);
+        assert!((d.triggers_growth - 2.0 / 3.0).abs() < 1e-9);
+        assert!((d.add_count_growth - 0.2).abs() < 1e-9);
+        assert_eq!(d.new_services, vec!["svc_c"]);
+    }
+
+    #[test]
+    fn author_kinds() {
+        assert!(Author::User(1).is_user());
+        assert!(!Author::Service("x".into()).is_user());
+    }
+}

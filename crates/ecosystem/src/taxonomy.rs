@@ -1,0 +1,196 @@
+//! The 14-category service taxonomy of Table 1.
+//!
+//! The paper classifies each of the ~408 services manually into one of 13
+//! semantic categories plus "Other"; categories 1–4 are IoT-related. The
+//! calibration constants here are the published Table 1 percentages, used
+//! both to generate the synthetic ecosystem and as the reference values in
+//! EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Service categories, numbered as in Table 1.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[repr(u8)]
+pub enum Category {
+    /// 1. Smart-home devices (light, thermostat, camera, Amazon Echo, …).
+    SmartHomeDevice = 1,
+    /// 2. Smart-home hub / integration solution (SmartThings, …).
+    SmartHomeHub = 2,
+    /// 3. Wearables (smartwatch, band).
+    Wearable = 3,
+    /// 4. Connected cars (BMW Labs, Automatic).
+    ConnectedCar = 4,
+    /// 5. Smartphones (battery, NFC, …).
+    Smartphone = 5,
+    /// 6. Cloud storage (Google Drive, Dropbox).
+    CloudStorage = 6,
+    /// 7. Online service & content providers (weather, NYTimes).
+    OnlineService = 7,
+    /// 8. RSS feeds, online recommendation.
+    RssFeed = 8,
+    /// 9. Personal data & schedule managers (notes, reminders).
+    PersonalData = 9,
+    /// 10. Social networking, blogging, photo/video sharing.
+    SocialNetwork = 10,
+    /// 11. SMS, instant messaging, team collaboration, VoIP.
+    Messaging = 11,
+    /// 12. Time and location.
+    TimeLocation = 12,
+    /// 13. Email.
+    Email = 13,
+    /// 14. Other.
+    Other = 14,
+}
+
+/// All categories in Table 1 order.
+pub const ALL_CATEGORIES: [Category; 14] = [
+    Category::SmartHomeDevice,
+    Category::SmartHomeHub,
+    Category::Wearable,
+    Category::ConnectedCar,
+    Category::Smartphone,
+    Category::CloudStorage,
+    Category::OnlineService,
+    Category::RssFeed,
+    Category::PersonalData,
+    Category::SocialNetwork,
+    Category::Messaging,
+    Category::TimeLocation,
+    Category::Email,
+    Category::Other,
+];
+
+impl Category {
+    /// 1-based Table 1 row number.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// From a 1-based row number.
+    pub fn from_index(i: usize) -> Option<Category> {
+        ALL_CATEGORIES.get(i.checked_sub(1)?).copied()
+    }
+
+    /// Categories 1–4 are IoT-related (§3.2).
+    pub fn is_iot(self) -> bool {
+        matches!(
+            self,
+            Category::SmartHomeDevice
+                | Category::SmartHomeHub
+                | Category::Wearable
+                | Category::ConnectedCar
+        )
+    }
+
+    /// Short human-readable label (used in rendered tables).
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::SmartHomeDevice => "Smarthome devices",
+            Category::SmartHomeHub => "Smarthome hub/integration",
+            Category::Wearable => "Wearables",
+            Category::ConnectedCar => "Connected cars",
+            Category::Smartphone => "Smartphones",
+            Category::CloudStorage => "Cloud storage",
+            Category::OnlineService => "Online service/content",
+            Category::RssFeed => "RSS feeds, recommendation",
+            Category::PersonalData => "Personal data & schedule",
+            Category::SocialNetwork => "Social networking",
+            Category::Messaging => "SMS, IM, collaboration",
+            Category::TimeLocation => "Time and location",
+            Category::Email => "Email",
+            Category::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}. {}", self.index(), self.label())
+    }
+}
+
+/// One Table 1 row: percentages of services, trigger add count, and action
+/// add count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    pub category: Category,
+    pub services_pct: f64,
+    pub trigger_ac_pct: f64,
+    pub action_ac_pct: f64,
+}
+
+/// The published Table 1 (the generator's calibration target).
+pub const TABLE1: [Table1Row; 14] = [
+    Table1Row { category: Category::SmartHomeDevice, services_pct: 37.7, trigger_ac_pct: 6.4, action_ac_pct: 7.9 },
+    Table1Row { category: Category::SmartHomeHub, services_pct: 9.3, trigger_ac_pct: 0.8, action_ac_pct: 1.0 },
+    Table1Row { category: Category::Wearable, services_pct: 2.7, trigger_ac_pct: 1.6, action_ac_pct: 1.0 },
+    Table1Row { category: Category::ConnectedCar, services_pct: 2.0, trigger_ac_pct: 0.5, action_ac_pct: 0.1 },
+    Table1Row { category: Category::Smartphone, services_pct: 3.7, trigger_ac_pct: 11.0, action_ac_pct: 13.8 },
+    Table1Row { category: Category::CloudStorage, services_pct: 2.5, trigger_ac_pct: 0.6, action_ac_pct: 13.6 },
+    Table1Row { category: Category::OnlineService, services_pct: 8.8, trigger_ac_pct: 20.0, action_ac_pct: 1.9 },
+    Table1Row { category: Category::RssFeed, services_pct: 2.2, trigger_ac_pct: 9.8, action_ac_pct: 0.1 },
+    Table1Row { category: Category::PersonalData, services_pct: 10.3, trigger_ac_pct: 11.2, action_ac_pct: 27.4 },
+    Table1Row { category: Category::SocialNetwork, services_pct: 5.6, trigger_ac_pct: 17.7, action_ac_pct: 17.3 },
+    Table1Row { category: Category::Messaging, services_pct: 4.7, trigger_ac_pct: 0.8, action_ac_pct: 3.1 },
+    Table1Row { category: Category::TimeLocation, services_pct: 1.2, trigger_ac_pct: 14.1, action_ac_pct: 0.0 },
+    Table1Row { category: Category::Email, services_pct: 1.0, trigger_ac_pct: 4.4, action_ac_pct: 12.8 },
+    Table1Row { category: Category::Other, services_pct: 8.3, trigger_ac_pct: 1.3, action_ac_pct: 0.2 },
+];
+
+/// Table 1 row for one category.
+pub fn table1_row(c: Category) -> &'static Table1Row {
+    &TABLE1[c.index() - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_percentages_sum_to_about_100() {
+        let s: f64 = TABLE1.iter().map(|r| r.services_pct).sum();
+        let t: f64 = TABLE1.iter().map(|r| r.trigger_ac_pct).sum();
+        let a: f64 = TABLE1.iter().map(|r| r.action_ac_pct).sum();
+        assert!((s - 100.0).abs() < 0.5, "services {s}");
+        assert!((t - 100.0).abs() < 0.5, "triggers {t}");
+        assert!((a - 100.0).abs() < 0.5, "actions {a}");
+    }
+
+    #[test]
+    fn iot_is_categories_1_to_4() {
+        for c in ALL_CATEGORIES {
+            assert_eq!(c.is_iot(), c.index() <= 4, "{c}");
+        }
+    }
+
+    #[test]
+    fn iot_service_share_matches_paper_headline() {
+        // "More than half (51.7%) of services are for IoT devices."
+        let share: f64 = TABLE1
+            .iter()
+            .filter(|r| r.category.is_iot())
+            .map(|r| r.services_pct)
+            .sum();
+        assert!((share - 51.7).abs() < 0.1, "IoT service share {share}");
+    }
+
+    #[test]
+    fn index_roundtrips() {
+        for c in ALL_CATEGORIES {
+            assert_eq!(Category::from_index(c.index()), Some(c));
+        }
+        assert_eq!(Category::from_index(0), None);
+        assert_eq!(Category::from_index(15), None);
+    }
+
+    #[test]
+    fn rows_are_in_category_order() {
+        for (i, row) in TABLE1.iter().enumerate() {
+            assert_eq!(row.category.index(), i + 1);
+        }
+        assert_eq!(table1_row(Category::Email).trigger_ac_pct, 4.4);
+    }
+}

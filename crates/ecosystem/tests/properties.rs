@@ -1,0 +1,75 @@
+//! Property-based tests on the ecosystem model's structural invariants.
+
+use ecosystem::generator::{Ecosystem, GeneratorConfig};
+use ecosystem::model::GROWTH;
+use ecosystem::names::slugify;
+use ecosystem::snapshot::Author;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Structural invariants hold for any seed at test scale:
+    /// referential integrity, id uniqueness, creation-week consistency,
+    /// and monotone snapshots.
+    #[test]
+    fn ecosystem_structural_invariants(seed in 0u64..1000) {
+        let eco = Ecosystem::generate(GeneratorConfig::test_scale(seed));
+        let slugs: HashSet<&str> = eco.services.iter().map(|s| s.slug.as_str()).collect();
+        prop_assert_eq!(slugs.len(), eco.services.len(), "service slugs unique");
+        let mut ids: Vec<u32> = eco.applets.iter().map(|a| a.id).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n, "applet ids unique");
+        for a in &eco.applets {
+            prop_assert!(slugs.contains(a.trigger_service.as_str()), "{}", a.trigger_service);
+            prop_assert!(slugs.contains(a.action_service.as_str()), "{}", a.action_service);
+            prop_assert!(a.add_count >= 1);
+            prop_assert!(a.created_week <= eco.final_week);
+            prop_assert!((100_000..10_000_000).contains(&a.id));
+        }
+        // Snapshots grow monotonically and stay internally consistent.
+        let mut prev_applets = 0;
+        let mut prev_adds = 0;
+        for w in [0u32, 6, 12, GROWTH.week_canonical as u32, 24] {
+            let s = eco.snapshot(w);
+            prop_assert!(s.applets.len() >= prev_applets);
+            prop_assert!(s.total_add_count() >= prev_adds);
+            prev_applets = s.applets.len();
+            prev_adds = s.total_add_count();
+            let snap_slugs: HashSet<&str> =
+                s.services.iter().map(|sv| sv.slug.as_str()).collect();
+            for a in &s.applets {
+                prop_assert!(snap_slugs.contains(a.trigger_service.as_str()));
+                prop_assert!(snap_slugs.contains(a.action_service.as_str()));
+            }
+        }
+    }
+
+    /// Author assignment is total: every applet has either a user id ≥ 1
+    /// or a service author that exists.
+    #[test]
+    fn authors_are_wellformed(seed in 0u64..500) {
+        let eco = Ecosystem::generate(GeneratorConfig::test_scale(seed));
+        let slugs: HashSet<&str> = eco.services.iter().map(|s| s.slug.as_str()).collect();
+        for a in &eco.applets {
+            match &a.author {
+                Author::User(u) => prop_assert!(*u >= 1, "user 0 is the unassigned marker"),
+                Author::Service(s) => prop_assert!(slugs.contains(s.as_str())),
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Slugify output is always URL-safe and idempotent.
+    #[test]
+    fn slugify_is_urlsafe_and_idempotent(name in "[ -~]{0,60}") {
+        let s = slugify(&name);
+        prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'), "{s}");
+        prop_assert!(!s.ends_with('_'));
+        prop_assert_eq!(slugify(&s), s.clone());
+    }
+}

@@ -1,0 +1,141 @@
+//! Conditions — the "queries and conditions" feature the paper's
+//! conclusion names as future work ("We plan to study future IFTTT
+//! features such as queries and conditions \[25\]").
+//!
+//! A [`Condition`] is a predicate over a trigger event's ingredients,
+//! evaluated by the engine between receiving the event and dispatching the
+//! action. Conditions compose with `all`/`any`/`not`, so an applet like
+//! *"when an email arrives AND the subject contains 'alert' AND it is not
+//! from noreply@, blink the light"* becomes expressible.
+
+use serde::{Deserialize, Serialize};
+use tap_protocol::FieldMap;
+
+/// A predicate over trigger-event ingredients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum Condition {
+    /// Always true (the default for ordinary applets).
+    #[default]
+    Always,
+    /// The ingredient exists (with any value).
+    Has { key: String },
+    /// The ingredient equals the value (case-sensitive).
+    Equals { key: String, value: String },
+    /// The ingredient contains the substring (case-insensitive).
+    Contains { key: String, needle: String },
+    /// The ingredient parses as a number and compares `>=` the bound.
+    AtLeast { key: String, bound: f64 },
+    /// The ingredient parses as a number and compares `<=` the bound.
+    AtMost { key: String, bound: f64 },
+    /// Every sub-condition holds.
+    All(Vec<Condition>),
+    /// At least one sub-condition holds.
+    Any(Vec<Condition>),
+    /// The sub-condition does not hold.
+    Not(Box<Condition>),
+}
+
+impl Condition {
+    /// Evaluate against an event's ingredients.
+    pub fn eval(&self, ingredients: &FieldMap) -> bool {
+        match self {
+            Condition::Always => true,
+            Condition::Has { key } => ingredients.contains_key(key),
+            Condition::Equals { key, value } => {
+                ingredients.get(key).is_some_and(|v| v == value)
+            }
+            Condition::Contains { key, needle } => ingredients
+                .get(key)
+                .is_some_and(|v| v.to_lowercase().contains(&needle.to_lowercase())),
+            Condition::AtLeast { key, bound } => ingredients
+                .get(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|n| n >= *bound),
+            Condition::AtMost { key, bound } => ingredients
+                .get(key)
+                .and_then(|v| v.parse::<f64>().ok())
+                .is_some_and(|n| n <= *bound),
+            Condition::All(cs) => cs.iter().all(|c| c.eval(ingredients)),
+            Condition::Any(cs) => cs.iter().any(|c| c.eval(ingredients)),
+            Condition::Not(c) => !c.eval(ingredients),
+        }
+    }
+
+    /// Conjunction helper.
+    pub fn and(self, other: Condition) -> Condition {
+        match self {
+            Condition::All(mut cs) => {
+                cs.push(other);
+                Condition::All(cs)
+            }
+            c => Condition::All(vec![c, other]),
+        }
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ing(pairs: &[(&str, &str)]) -> FieldMap {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn primitives_evaluate() {
+        let i = ing(&[("subject", "ALERT: disk full"), ("count", "3")]);
+        assert!(Condition::Always.eval(&i));
+        assert!(Condition::Has { key: "subject".into() }.eval(&i));
+        assert!(!Condition::Has { key: "missing".into() }.eval(&i));
+        assert!(Condition::Equals { key: "count".into(), value: "3".into() }.eval(&i));
+        assert!(!Condition::Equals { key: "count".into(), value: "4".into() }.eval(&i));
+        assert!(Condition::Contains { key: "subject".into(), needle: "alert".into() }.eval(&i));
+        assert!(Condition::AtLeast { key: "count".into(), bound: 3.0 }.eval(&i));
+        assert!(!Condition::AtLeast { key: "count".into(), bound: 3.5 }.eval(&i));
+        assert!(Condition::AtMost { key: "count".into(), bound: 3.0 }.eval(&i));
+    }
+
+    #[test]
+    fn non_numeric_comparisons_are_false() {
+        let i = ing(&[("count", "three")]);
+        assert!(!Condition::AtLeast { key: "count".into(), bound: 0.0 }.eval(&i));
+        assert!(!Condition::AtMost { key: "count".into(), bound: 9.0 }.eval(&i));
+    }
+
+    #[test]
+    fn combinators_compose() {
+        let i = ing(&[("subject", "alert"), ("from", "ops@example.org")]);
+        let c = Condition::Contains { key: "subject".into(), needle: "alert".into() }
+            .and(Condition::Not(Box::new(Condition::Contains {
+                key: "from".into(),
+                needle: "noreply".into(),
+            })));
+        assert!(c.eval(&i));
+        let i2 = ing(&[("subject", "alert"), ("from", "noreply@x")]);
+        assert!(!c.eval(&i2));
+        let any = Condition::Any(vec![
+            Condition::Equals { key: "from".into(), value: "boss@x".into() },
+            Condition::Contains { key: "subject".into(), needle: "alert".into() },
+        ]);
+        assert!(any.eval(&i));
+    }
+
+    #[test]
+    fn empty_all_is_true_empty_any_is_false() {
+        let i = FieldMap::new();
+        assert!(Condition::All(vec![]).eval(&i));
+        assert!(!Condition::Any(vec![]).eval(&i));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = Condition::All(vec![
+            Condition::Has { key: "a".into() },
+            Condition::Not(Box::new(Condition::Always)),
+        ]);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Condition>(&json).unwrap(), c);
+    }
+}

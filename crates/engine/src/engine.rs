@@ -1,0 +1,784 @@
+//! The TAP engine node (❼ in the paper's Figure 1).
+//!
+//! Reproduces the applet-execution behaviour the paper observes from
+//! production IFTTT (§2.2, §4):
+//!
+//! * per-subscription **polling** of trigger services with an HTTPS POST
+//!   carrying the service key, the user's access token, a random request
+//!   id, and a `limit` (50 by default);
+//! * **batched** trigger-event responses: every new event in a poll
+//!   response is dispatched as one action execution, back-to-back — the
+//!   mechanism behind the clustered actions of Figure 6;
+//! * **realtime-API hints** that are accepted but ignored unless the
+//!   sending service is on a per-service allowlist (the paper infers IFTTT
+//!   "processes the real-time API hints for some services (such as
+//!   Alexa)");
+//! * **OAuth2 token caching** per (user, service) "to make future applet
+//!   execution fully automated";
+//! * **coarse service-level permissions** (§6), with the fine-grained
+//!   alternative available behind [`crate::permissions::Granularity`];
+//! * **no loop detection by default** — the paper experimentally confirms
+//!   IFTTT performs no syntax check; both the static check and a runtime
+//!   detector can be switched on to evaluate the §6 recommendations.
+
+use crate::applet::{substitute_fields, Applet, AppletId};
+use crate::loopdetect::{RuntimeLoopDetector, RuntimeVerdict, StaticLoopDetector};
+use crate::permissions::{Capability, Granularity, PermissionManager};
+use crate::polling::PollPolicy;
+use rand::Rng;
+use simnet::prelude::*;
+use simnet::rng::Dist;
+use tap_protocol::auth::{
+    AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, SERVICE_KEY_HEADER,
+};
+use tap_protocol::endpoints::{action_path, trigger_path, REALTIME_NOTIFY_PATH};
+use tap_protocol::endpoints::query_path;
+use tap_protocol::wire::{
+    self, ActionRequestBody, PollRequestBody, PollResponseBody, QueryRequestBody,
+    QueryResponseBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
+};
+use tap_protocol::{ServiceSlug, TriggerIdentity, UserId};
+use std::collections::{HashMap, HashSet};
+
+// Correlation-token tags (top byte).
+const TAG_SHIFT: u64 = 56;
+const TAG_POLL: u64 = 1 << TAG_SHIFT;
+const TAG_ACTION: u64 = 2 << TAG_SHIFT;
+const TAG_OAUTH_AUTH: u64 = 3 << TAG_SHIFT;
+const TAG_OAUTH_TOKEN: u64 = 4 << TAG_SHIFT;
+const TAG_QUERY: u64 = 5 << TAG_SHIFT;
+const TAG_MASK: u64 = 0xFF << TAG_SHIFT;
+/// Query tokens pack (dispatch << 4 | query index); 16 queries per applet.
+const QUERY_IDX_BITS: u64 = 4;
+
+// Timer-key tags.
+const TK_POLL: u64 = 1 << TAG_SHIFT;
+const TK_DISPATCH: u64 = 2 << TAG_SHIFT;
+
+/// A partner service as the engine knows it.
+#[derive(Debug, Clone)]
+pub struct ServiceRegistration {
+    pub slug: ServiceSlug,
+    pub node: NodeId,
+    pub key: ServiceKey,
+}
+
+/// Runtime loop-detection configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeLoopConfig {
+    /// Flag when more than this many executions…
+    pub max_executions: usize,
+    /// …occur within this window.
+    pub window: SimDuration,
+    /// Disable a flagged applet automatically.
+    pub auto_disable: bool,
+}
+
+/// Engine behaviour knobs. Defaults reproduce production IFTTT as measured
+/// by the paper; experiment E3 swaps `polling` for `PollPolicy::fixed(1.0)`.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Poll scheduling policy.
+    pub polling: PollPolicy,
+    /// Services whose realtime hints are honored (the paper: Alexa).
+    pub realtime_allowlist: HashSet<ServiceSlug>,
+    /// Delay between an honored hint and the prompt poll it schedules (s).
+    pub hint_processing: Dist,
+    /// Engine-internal delay between a poll response with events and the
+    /// first action request (Table 5 measures ≈1 s).
+    pub dispatch_overhead: Dist,
+    /// Gap between successive actions of one batch (s).
+    pub inter_action_gap: Dist,
+    /// Delay of the first poll after installing an applet (s).
+    pub initial_poll_delay: Dist,
+    /// Timeout for polls and action requests.
+    pub request_timeout: SimDuration,
+    /// Retries for a failed action dispatch (0 = give up immediately,
+    /// which is what the paper's black-box view of IFTTT suggests).
+    pub action_retries: u32,
+    /// Backoff before each action retry (seconds).
+    pub retry_backoff: Dist,
+    /// Permission model granularity.
+    pub permission_granularity: Granularity,
+    /// Reject applet installs that would create a (statically visible) loop.
+    pub static_loop_check: bool,
+    /// Runtime loop detection, if any.
+    pub runtime_loop: Option<RuntimeLoopConfig>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            polling: PollPolicy::ifttt_like(),
+            realtime_allowlist: HashSet::new(),
+            hint_processing: Dist::Uniform { lo: 0.5, hi: 1.5 },
+            dispatch_overhead: Dist::LogNormal { mu: 0.0, sigma: 0.35, cap: 5.0 },
+            inter_action_gap: Dist::Uniform { lo: 0.05, hi: 0.3 },
+            initial_poll_delay: Dist::Uniform { lo: 1.0, hi: 5.0 },
+            request_timeout: SimDuration::from_secs(30),
+            action_retries: 0,
+            retry_backoff: Dist::Uniform { lo: 2.0, hi: 10.0 },
+            permission_granularity: Granularity::ServiceLevel,
+            static_loop_check: false,
+            runtime_loop: None,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Production-like config with Alexa on the realtime allowlist, as the
+    /// paper infers from the low latency of A5–A7.
+    pub fn ifttt_like() -> Self {
+        let mut cfg = EngineConfig::default();
+        cfg.realtime_allowlist.insert(ServiceSlug::new("amazon_alexa"));
+        cfg
+    }
+
+    /// The authors' fast engine of E3: 1-second polling.
+    pub fn fast() -> Self {
+        EngineConfig {
+            polling: PollPolicy::fixed(1.0),
+            dispatch_overhead: Dist::Uniform { lo: 0.05, hi: 0.2 },
+            initial_poll_delay: Dist::Uniform { lo: 0.1, hi: 1.0 },
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Why an applet install was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InstallError {
+    UnknownService(ServiceSlug),
+    /// The user has not connected (OAuth-authorized) this service.
+    NotConnected(ServiceSlug),
+    /// Static loop check rejected the applet.
+    LoopDetected(Vec<AppletId>),
+}
+
+/// Aggregate engine counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    pub polls_sent: u64,
+    pub polls_empty: u64,
+    pub polls_failed: u64,
+    pub events_received: u64,
+    pub events_new: u64,
+    pub actions_sent: u64,
+    pub actions_ok: u64,
+    pub actions_failed: u64,
+    pub hints_received: u64,
+    pub hints_honored: u64,
+    pub hints_ignored: u64,
+    pub loops_flagged: u64,
+    /// Dispatches suppressed by an applet condition.
+    pub actions_filtered: u64,
+    /// Pre-dispatch queries sent.
+    pub queries_sent: u64,
+    /// Pre-dispatch queries that failed (treated as empty results).
+    pub queries_failed: u64,
+    /// Action dispatches retried after a failure.
+    pub actions_retried: u64,
+}
+
+#[derive(Debug)]
+struct PollTask {
+    identity: TriggerIdentity,
+    seen: HashSet<String>,
+    enabled: bool,
+    next_poll: Option<TimerId>,
+}
+
+#[derive(Debug)]
+struct DispatchJob {
+    applet: AppletId,
+    event: TriggerEvent,
+    /// Query responses still outstanding before the action can go out.
+    pending_queries: usize,
+    /// Query results merged under their prefixes.
+    extra: tap_protocol::FieldMap,
+    /// Set once the queries (if any) have been issued.
+    queries_issued: bool,
+    /// Action attempts already made (for retry accounting).
+    attempts: u32,
+}
+
+/// The engine node.
+#[derive(Debug)]
+pub struct TapEngine {
+    /// Behaviour configuration.
+    pub config: EngineConfig,
+    services: HashMap<ServiceSlug, ServiceRegistration>,
+    service_by_key: HashMap<String, ServiceSlug>,
+    tokens: HashMap<(UserId, ServiceSlug), AccessToken>,
+    pending_oauth: HashMap<u64, (UserId, ServiceSlug)>,
+    next_oauth: u64,
+    applets: HashMap<AppletId, Applet>,
+    tasks: HashMap<AppletId, PollTask>,
+    by_identity: HashMap<TriggerIdentity, Vec<AppletId>>,
+    dispatches: HashMap<u64, DispatchJob>,
+    next_dispatch: u64,
+    /// Permission manager (service-level by default, §6).
+    pub permissions: PermissionManager,
+    /// Static loop detector (consulted only if configured).
+    pub static_detector: StaticLoopDetector,
+    runtime_detector: Option<RuntimeLoopDetector>,
+    /// Aggregate counters.
+    pub stats: EngineStats,
+}
+
+impl TapEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        let runtime_detector = config
+            .runtime_loop
+            .as_ref()
+            .map(|c| RuntimeLoopDetector::new(c.max_executions, c.window));
+        let permissions = PermissionManager::new(config.permission_granularity);
+        TapEngine {
+            config,
+            services: HashMap::new(),
+            service_by_key: HashMap::new(),
+            tokens: HashMap::new(),
+            pending_oauth: HashMap::new(),
+            next_oauth: 1,
+            applets: HashMap::new(),
+            tasks: HashMap::new(),
+            by_identity: HashMap::new(),
+            dispatches: HashMap::new(),
+            next_dispatch: 1,
+            permissions,
+            static_detector: StaticLoopDetector::new(),
+            runtime_detector,
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// Register a partner service (what service publication does).
+    pub fn register_service(&mut self, slug: ServiceSlug, node: NodeId, key: ServiceKey) {
+        self.service_by_key.insert(key.0.clone(), slug.clone());
+        self.services
+            .insert(slug.clone(), ServiceRegistration { slug, node, key });
+    }
+
+    /// Install a cached token directly (the state *after* an OAuth dance).
+    pub fn set_token(&mut self, user: UserId, service: ServiceSlug, token: AccessToken) {
+        self.tokens.insert((user, service), token);
+    }
+
+    /// Is the user connected to the service?
+    pub fn is_connected(&self, user: &UserId, service: &ServiceSlug) -> bool {
+        self.tokens.contains_key(&(user.clone(), service.clone()))
+    }
+
+    /// Run the OAuth2 authorization-code flow against the service's hosted
+    /// pages. Completion is observable via [`TapEngine::is_connected`].
+    pub fn connect_service(&mut self, ctx: &mut Context<'_>, user: UserId, service: ServiceSlug) {
+        let Some(reg) = self.services.get(&service) else { return };
+        let seq = self.next_oauth;
+        self.next_oauth += 1;
+        self.pending_oauth.insert(seq, (user.clone(), service.clone()));
+        let req = Request::post("/oauth2/authorize")
+            .with_body(serde_json::json!({ "user": user.0 }).to_string());
+        ctx.send_request(
+            reg.node,
+            req,
+            Token(TAG_OAUTH_AUTH | seq),
+            RequestOpts { timeout: Some(self.config.request_timeout) },
+        );
+    }
+
+    /// The applet catalog.
+    pub fn applet(&self, id: AppletId) -> Option<&Applet> {
+        self.applets.get(&id)
+    }
+
+    /// Install and enable an applet. Schedules its first trigger poll.
+    pub fn install_applet(
+        &mut self,
+        ctx: &mut Context<'_>,
+        applet: Applet,
+    ) -> Result<AppletId, InstallError> {
+        for service in [&applet.trigger.service, &applet.action.service] {
+            if !self.services.contains_key(service) {
+                return Err(InstallError::UnknownService(service.clone()));
+            }
+            if !self.is_connected(&applet.owner, service) {
+                return Err(InstallError::NotConnected(service.clone()));
+            }
+        }
+        if self.config.static_loop_check {
+            let mut all: Vec<Applet> = self.applets.values().cloned().collect();
+            all.push(applet.clone());
+            let cycles = self.static_detector.find_cycles(&all);
+            let involved: Vec<AppletId> = cycles
+                .into_iter()
+                .flatten()
+                .filter(|id| *id == applet.id || self.applets.contains_key(id))
+                .collect();
+            if involved.contains(&applet.id) {
+                return Err(InstallError::LoopDetected(involved));
+            }
+        }
+        // Coarse or fine permission grants for both halves (§6).
+        self.permissions.request(
+            &applet.owner,
+            &applet.trigger.service,
+            Capability::new(format!("trigger:{}", applet.trigger.trigger)),
+        );
+        self.permissions.request(
+            &applet.owner,
+            &applet.action.service,
+            Capability::new(format!("action:{}", applet.action.action)),
+        );
+        let identity = TriggerIdentity::derive(
+            &applet.owner,
+            &applet.trigger.service,
+            &applet.trigger.trigger,
+            &applet.trigger.fields,
+        );
+        let id = applet.id;
+        self.by_identity.entry(identity.clone()).or_default().push(id);
+        self.tasks.insert(
+            id,
+            PollTask { identity, seen: HashSet::new(), enabled: true, next_poll: None },
+        );
+        self.applets.insert(id, applet);
+        let delay = SimDuration::from_secs_f64(
+            self.config.initial_poll_delay.sample(ctx.rng()),
+        );
+        self.schedule_poll(ctx, id, delay);
+        ctx.trace("engine.applet_installed", format!("{id:?}"));
+        Ok(id)
+    }
+
+    /// Enable or disable an applet (disabled applets stop polling).
+    pub fn set_enabled(&mut self, ctx: &mut Context<'_>, id: AppletId, enabled: bool) {
+        let Some(task) = self.tasks.get_mut(&id) else { return };
+        task.enabled = enabled;
+        if enabled && task.next_poll.is_none() {
+            self.schedule_poll(ctx, id, SimDuration::from_secs(1));
+        }
+    }
+
+    /// Is the applet currently enabled?
+    pub fn is_enabled(&self, id: AppletId) -> bool {
+        self.tasks.get(&id).is_some_and(|t| t.enabled)
+    }
+
+    fn schedule_poll(&mut self, ctx: &mut Context<'_>, id: AppletId, after: SimDuration) {
+        let Some(task) = self.tasks.get_mut(&id) else { return };
+        if let Some(old) = task.next_poll.take() {
+            ctx.cancel_timer(old);
+        }
+        task.next_poll = Some(ctx.set_timer(after, TK_POLL | id.0 as u64));
+    }
+
+    fn send_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
+        let Some(applet) = self.applets.get(&id) else { return };
+        let Some(task) = self.tasks.get(&id) else { return };
+        if !task.enabled {
+            return;
+        }
+        let Some(reg) = self.services.get(&applet.trigger.service) else { return };
+        let Some(token) =
+            self.tokens.get(&(applet.owner.clone(), applet.trigger.service.clone()))
+        else {
+            return;
+        };
+        let body = PollRequestBody {
+            trigger_identity: task.identity.clone(),
+            trigger_fields: applet.trigger.fields.clone(),
+            user: applet.owner.clone(),
+            limit: DEFAULT_POLL_LIMIT,
+        };
+        let request_id: u64 = ctx.rng().gen();
+        let req = Request::post(trigger_path(&applet.trigger.trigger))
+            .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
+            .with_body(wire::to_bytes(&body));
+        self.stats.polls_sent += 1;
+        ctx.trace("engine.poll_sent", format!("{id:?} {}", applet.trigger.trigger));
+        let node = reg.node;
+        ctx.send_request(
+            node,
+            req,
+            Token(TAG_POLL | id.0 as u64),
+            RequestOpts { timeout: Some(self.config.request_timeout) },
+        );
+    }
+
+    fn on_poll_response(&mut self, ctx: &mut Context<'_>, id: AppletId, resp: Response) {
+        // Always keep the polling chain alive.
+        let gap = self
+            .applets
+            .get(&id)
+            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
+            .unwrap_or(SimDuration::from_secs(60));
+        self.schedule_poll(ctx, id, gap);
+
+        if !resp.is_success() {
+            self.stats.polls_failed += 1;
+            ctx.trace("engine.poll_failed", format!("{id:?} status {}", resp.status));
+            return;
+        }
+        let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
+            self.stats.polls_failed += 1;
+            return;
+        };
+        self.stats.events_received += body.data.len() as u64;
+        if body.data.is_empty() {
+            self.stats.polls_empty += 1;
+            return;
+        }
+        let Some(task) = self.tasks.get_mut(&id) else { return };
+        // Newest-first on the wire; dispatch oldest-first.
+        let mut fresh: Vec<TriggerEvent> = body
+            .data
+            .into_iter()
+            .filter(|e| !task.seen.contains(&e.meta.id))
+            .collect();
+        fresh.reverse();
+        if fresh.is_empty() {
+            self.stats.polls_empty += 1;
+            return;
+        }
+        for e in &fresh {
+            task.seen.insert(e.meta.id.clone());
+        }
+        self.stats.events_new += fresh.len() as u64;
+        ctx.trace(
+            "engine.events_received",
+            format!("{id:?} {} new events", fresh.len()),
+        );
+        // Batch dispatch: one action per event, back-to-back.
+        let overhead =
+            SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
+        let mut at = overhead;
+        for event in fresh {
+            let d = self.next_dispatch;
+            self.next_dispatch += 1;
+            self.dispatches.insert(
+                d,
+                DispatchJob {
+                    applet: id,
+                    event,
+                    pending_queries: 0,
+                    extra: tap_protocol::FieldMap::new(),
+                    queries_issued: false,
+                    attempts: 0,
+                },
+            );
+            ctx.set_timer(at, TK_DISPATCH | d);
+            at += SimDuration::from_secs_f64(self.config.inter_action_gap.sample(ctx.rng()));
+        }
+    }
+
+    fn send_action(&mut self, ctx: &mut Context<'_>, dispatch: u64) {
+        let Some(job) = self.dispatches.get(&dispatch) else { return };
+        let id = job.applet;
+        let Some(applet) = self.applets.get(&id) else { return };
+        if !self.tasks.get(&id).is_some_and(|t| t.enabled) {
+            self.dispatches.remove(&dispatch);
+            return;
+        }
+        // Queries (the paper's future-work feature): resolve read-only
+        // lookups before evaluating the condition or dispatching. This
+        // happens before the loop detector so the query-driven re-entry
+        // into this function does not double-count an execution.
+        if !applet.queries.is_empty() && !self.dispatches[&dispatch].queries_issued {
+            let applet = applet.clone();
+            self.issue_queries(ctx, dispatch, &applet);
+            return;
+        }
+        if self.dispatches[&dispatch].pending_queries > 0 {
+            return; // responses still in flight; they re-enter here
+        }
+        // Runtime loop detection at execution time (§6). Retries of the
+        // same dispatch count as one execution, not several.
+        let first_attempt = self.dispatches[&dispatch].attempts == 0;
+        if first_attempt {
+            if let Some(det) = &mut self.runtime_detector {
+                let now = ctx.now();
+                if det.record(id, now) == RuntimeVerdict::LoopSuspected {
+                    self.stats.loops_flagged += 1;
+                    ctx.trace("engine.loop_flagged", format!("{id:?}"));
+                    if self.config.runtime_loop.as_ref().is_some_and(|c| c.auto_disable) {
+                        if let Some(task) = self.tasks.get_mut(&id) {
+                            task.enabled = false;
+                        }
+                        ctx.trace("engine.applet_disabled", format!("{id:?} (loop)"));
+                        self.dispatches.remove(&dispatch);
+                        return;
+                    }
+                }
+            }
+        }
+        let Some(reg) = self.services.get(&applet.action.service) else { return };
+        let Some(token) =
+            self.tokens.get(&(applet.owner.clone(), applet.action.service.clone()))
+        else {
+            return;
+        };
+        // Merge query results into the visible ingredient set.
+        let merged = {
+            let job = self.dispatches.get(&dispatch).expect("job exists");
+            let mut m = job.event.ingredients.clone();
+            m.extend(job.extra.clone());
+            m
+        };
+        // Conditions: evaluate against the merged ingredients.
+        if !applet.condition.eval(&merged) {
+            self.stats.actions_filtered += 1;
+            ctx.trace("engine.action_filtered", format!("{id:?}"));
+            self.dispatches.remove(&dispatch);
+            return;
+        }
+        let job = self.dispatches.get(&dispatch).expect("job exists");
+        let fields = substitute_fields(&applet.action.fields, &merged);
+        let body = ActionRequestBody { action_fields: fields, user: applet.owner.clone() };
+        let req = Request::post(action_path(&applet.action.action))
+            .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_body(wire::to_bytes(&body));
+        self.stats.actions_sent += 1;
+        ctx.trace(
+            "engine.action_sent",
+            format!("{id:?} {} event {}", applet.action.action, job.event.meta.id),
+        );
+        self.dispatches.get_mut(&dispatch).expect("exists").attempts += 1;
+        let node = reg.node;
+        ctx.send_request(
+            node,
+            req,
+            Token(TAG_ACTION | dispatch),
+            RequestOpts { timeout: Some(self.config.request_timeout) },
+        );
+    }
+
+    /// Fire every query of `applet` for this dispatch; the action resumes
+    /// when the last response (or failure) arrives.
+    fn issue_queries(&mut self, ctx: &mut Context<'_>, dispatch: u64, applet: &Applet) {
+        let ingredients = self.dispatches[&dispatch].event.ingredients.clone();
+        let mut issued = 0usize;
+        for (qidx, q) in applet.queries.iter().enumerate().take(1 << QUERY_IDX_BITS) {
+            let Some(reg) = self.services.get(&q.service) else { continue };
+            let Some(token) =
+                self.tokens.get(&(applet.owner.clone(), q.service.clone()))
+            else {
+                continue;
+            };
+            let fields = substitute_fields(&q.fields, &ingredients);
+            let body = QueryRequestBody { query_fields: fields, user: applet.owner.clone() };
+            let req = Request::post(query_path(&q.query))
+                .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+                .with_header(AUTHORIZATION_HEADER, token.bearer())
+                .with_body(wire::to_bytes(&body));
+            self.stats.queries_sent += 1;
+            ctx.trace("engine.query_sent", format!("{:?} {}", applet.id, q.query));
+            let node = reg.node;
+            let timeout = self.config.request_timeout;
+            ctx.send_request(
+                node,
+                req,
+                Token(TAG_QUERY | (dispatch << QUERY_IDX_BITS) | qidx as u64),
+                RequestOpts { timeout: Some(timeout) },
+            );
+            issued += 1;
+        }
+        let job = self.dispatches.get_mut(&dispatch).expect("job exists");
+        job.queries_issued = true;
+        job.pending_queries = issued;
+        if issued == 0 {
+            // Nothing to wait for (e.g. unresolvable services): proceed.
+            self.send_action(ctx, dispatch);
+        }
+    }
+
+    fn on_query_response(
+        &mut self,
+        ctx: &mut Context<'_>,
+        dispatch: u64,
+        qidx: usize,
+        resp: Response,
+    ) {
+        let prefix = self
+            .dispatches
+            .get(&dispatch)
+            .and_then(|job| self.applets.get(&job.applet))
+            .and_then(|a| a.queries.get(qidx))
+            .map(|q| q.prefix.clone());
+        let Some(prefix) = prefix else { return };
+        let Some(job) = self.dispatches.get_mut(&dispatch) else { return };
+        if resp.is_success() {
+            if let Ok(body) = wire::from_bytes::<QueryResponseBody>(&resp.body) {
+                for (k, v) in body.data {
+                    job.extra.insert(format!("{prefix}.{k}"), v);
+                }
+            }
+        } else {
+            self.stats.queries_failed += 1;
+            ctx.trace("engine.query_failed", format!("dispatch {dispatch} q{qidx}"));
+        }
+        let job = self.dispatches.get_mut(&dispatch).expect("exists");
+        job.pending_queries = job.pending_queries.saturating_sub(1);
+        if job.pending_queries == 0 {
+            self.send_action(ctx, dispatch);
+        }
+    }
+
+    fn on_realtime_notification(
+        &mut self,
+        ctx: &mut Context<'_>,
+        req: &Request,
+    ) -> HandlerResult {
+        self.stats.hints_received += 1;
+        let Some(slug) = req
+            .header(SERVICE_KEY_HEADER)
+            .and_then(|k| self.service_by_key.get(k))
+            .cloned()
+        else {
+            return HandlerResult::Reply(Response::unauthorized());
+        };
+        let Ok(body) = wire::from_bytes::<RealtimeNotification>(&req.body) else {
+            return HandlerResult::Reply(Response::bad_request());
+        };
+        if !self.config.realtime_allowlist.contains(&slug) {
+            // Accepted, acknowledged … and ignored. §4: "the IFTTT engine
+            // has full control over trigger event queries and very likely
+            // ignores real-time API's hints."
+            self.stats.hints_ignored += 1;
+            ctx.trace("engine.hint_ignored", slug.0.clone());
+            return HandlerResult::Reply(Response::ok());
+        }
+        self.stats.hints_honored += 1;
+        for item in body.data {
+            let Some(ids) = self.by_identity.get(&item.trigger_identity).cloned() else {
+                continue;
+            };
+            for id in ids {
+                let delay = SimDuration::from_secs_f64(
+                    self.config.hint_processing.sample(ctx.rng()),
+                );
+                ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
+                self.schedule_poll(ctx, id, delay);
+            }
+        }
+        HandlerResult::Reply(Response::ok())
+    }
+}
+
+impl Node for TapEngine {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        if req.path == REALTIME_NOTIFY_PATH && req.method == Method::Post {
+            return self.on_realtime_notification(ctx, req);
+        }
+        HandlerResult::Reply(Response::not_found())
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, key: TimerKey) {
+        match key & TAG_MASK {
+            TK_POLL => {
+                let id = AppletId((key & !TAG_MASK) as u32);
+                if let Some(task) = self.tasks.get_mut(&id) {
+                    task.next_poll = None;
+                }
+                self.send_poll(ctx, id);
+            }
+            TK_DISPATCH => {
+                let dispatch = key & !TAG_MASK;
+                self.send_action(ctx, dispatch);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        match token.0 & TAG_MASK {
+            TAG_POLL => {
+                let id = AppletId((token.0 & !TAG_MASK) as u32);
+                self.on_poll_response(ctx, id, resp);
+            }
+            TAG_ACTION => {
+                let dispatch = token.0 & !TAG_MASK;
+                let Some(job) = self.dispatches.get(&dispatch) else { return };
+                if resp.is_success() {
+                    self.stats.actions_ok += 1;
+                    ctx.trace("engine.action_ok", format!("{:?}", job.applet));
+                    self.dispatches.remove(&dispatch);
+                } else if job.attempts <= self.config.action_retries {
+                    // Retry after a backoff; the dispatch entry stays.
+                    self.stats.actions_retried += 1;
+                    let backoff = SimDuration::from_secs_f64(
+                        self.config.retry_backoff.sample(ctx.rng()),
+                    );
+                    ctx.trace(
+                        "engine.action_retry",
+                        format!("{:?} attempt {} in {backoff}", job.applet, job.attempts + 1),
+                    );
+                    ctx.set_timer(backoff, TK_DISPATCH | dispatch);
+                } else {
+                    self.stats.actions_failed += 1;
+                    ctx.trace(
+                        "engine.action_failed",
+                        format!("{:?} status {}", job.applet, resp.status),
+                    );
+                    self.dispatches.remove(&dispatch);
+                }
+            }
+            TAG_QUERY => {
+                let packed = token.0 & !TAG_MASK;
+                let dispatch = packed >> QUERY_IDX_BITS;
+                let qidx = (packed & ((1 << QUERY_IDX_BITS) - 1)) as usize;
+                self.on_query_response(ctx, dispatch, qidx, resp);
+            }
+            TAG_OAUTH_AUTH => {
+                let seq = token.0 & !TAG_MASK;
+                let Some((user, service)) = self.pending_oauth.get(&seq).cloned() else {
+                    return;
+                };
+                if !resp.is_success() {
+                    self.pending_oauth.remove(&seq);
+                    return;
+                }
+                #[derive(serde::Deserialize)]
+                struct CodeBody {
+                    code: String,
+                }
+                let Ok(b) = serde_json::from_slice::<CodeBody>(&resp.body) else {
+                    self.pending_oauth.remove(&seq);
+                    return;
+                };
+                let Some(reg) = self.services.get(&service) else { return };
+                let node = reg.node;
+                let _ = user;
+                let req = Request::post("/oauth2/token")
+                    .with_body(serde_json::json!({ "code": b.code }).to_string());
+                let timeout = self.config.request_timeout;
+                ctx.send_request(
+                    node,
+                    req,
+                    Token(TAG_OAUTH_TOKEN | seq),
+                    RequestOpts { timeout: Some(timeout) },
+                );
+            }
+            TAG_OAUTH_TOKEN => {
+                let seq = token.0 & !TAG_MASK;
+                let Some((user, service)) = self.pending_oauth.remove(&seq) else { return };
+                if !resp.is_success() {
+                    return;
+                }
+                #[derive(serde::Deserialize)]
+                struct TokenBody {
+                    access_token: String,
+                }
+                if let Ok(b) = serde_json::from_slice::<TokenBody>(&resp.body) {
+                    ctx.trace("engine.connected", format!("{user:?} {service}"));
+                    self.tokens
+                        .insert((user, service), AccessToken(b.access_token));
+                }
+            }
+            _ => {}
+        }
+    }
+}

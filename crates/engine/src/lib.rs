@@ -1,0 +1,35 @@
+//! # engine — a trigger-action-programming engine reproducing IFTTT
+//!
+//! The centralized engine the paper measures from the outside (and, for
+//! experiment E3, re-implements): applet storage, per-subscription trigger
+//! polling with batched event delivery, action dispatch with ingredient
+//! substitution, OAuth2 token caching, realtime-API hint handling with a
+//! per-service allowlist, coarse- and fine-grained permission management,
+//! and static plus runtime infinite-loop detection.
+//!
+//! The crate is protocol-pure: it depends only on `simnet` and
+//! `tap-protocol`, never on concrete devices, so any service speaking the
+//! partner protocol can be driven by it.
+//!
+//! Entry points:
+//! * [`TapEngine`] — the engine node; configure with [`EngineConfig`].
+//! * [`PollPolicy`] — production-like, fixed (E3), or smart (§6) polling.
+//! * [`Applet`] / [`AppletId`] — the automation rules.
+//! * [`permissions::PermissionManager`] — §6 permission models + audit.
+//! * [`loopdetect`] — §4/§6 static and runtime loop detection.
+
+pub mod applet;
+pub mod conditions;
+pub mod engine;
+pub mod loopdetect;
+pub mod permissions;
+pub mod polling;
+
+pub use applet::{substitute_fields, ActionRef, Applet, AppletId, QueryRef, TriggerRef};
+pub use conditions::Condition;
+pub use engine::{
+    EngineConfig, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration, TapEngine,
+};
+pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
+pub use permissions::{AuditEntry, Capability, Granularity, PermissionManager};
+pub use polling::PollPolicy;

@@ -1,0 +1,60 @@
+//! Error type for simulation construction and driving.
+
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors surfaced by the simulation kernel.
+///
+/// Runtime event handling is infallible by design (bad requests become HTTP
+/// error responses); `SimError` covers misuse of the construction and
+/// inspection APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A `NodeId` that does not belong to this simulation.
+    UnknownNode(NodeId),
+    /// Attempt to link a node to itself.
+    SelfLink(NodeId),
+    /// A duplicate link between the same pair of nodes.
+    DuplicateLink(NodeId, NodeId),
+    /// No path exists between two nodes.
+    NoRoute(NodeId, NodeId),
+    /// Downcast to a concrete node type failed.
+    WrongNodeType { node: NodeId, expected: &'static str },
+    /// The run exceeded the configured event budget (likely a livelock,
+    /// e.g. an undetected infinite applet loop).
+    EventBudgetExhausted { processed: u64 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            SimError::SelfLink(n) => write!(f, "cannot link node {n:?} to itself"),
+            SimError::DuplicateLink(a, b) => {
+                write!(f, "link between {a:?} and {b:?} already exists")
+            }
+            SimError::NoRoute(a, b) => write!(f, "no route from {a:?} to {b:?}"),
+            SimError::WrongNodeType { node, expected } => {
+                write!(f, "node {node:?} is not a {expected}")
+            }
+            SimError::EventBudgetExhausted { processed } => {
+                write!(f, "event budget exhausted after {processed} events")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_descriptive() {
+        let e = SimError::NoRoute(NodeId(1), NodeId(2));
+        assert!(e.to_string().contains("no route"));
+        let e = SimError::EventBudgetExhausted { processed: 10 };
+        assert!(e.to_string().contains("10"));
+    }
+}

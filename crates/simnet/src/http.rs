@@ -1,0 +1,263 @@
+//! An HTTP-like request/response transport.
+//!
+//! This is not a byte-accurate HTTP/1.1 implementation; it models the parts
+//! that matter to the IFTTT protocol and the measurement study — methods,
+//! paths, headers, opaque [`Bytes`] bodies, status codes, and request/
+//! response correlation with optional timeouts. Bodies are produced and
+//! consumed by the `tap-protocol` crate as real serialized JSON, so the wire
+//! content is faithful even though framing is abstracted away.
+
+use crate::node::NodeId;
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Kernel-assigned unique identifier of an in-flight request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// Caller-chosen correlation token echoed back in `on_response`.
+///
+/// Nodes use tokens to remember *why* they sent a request (e.g. the poll
+/// task or the applet an action request belongs to).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Token(pub u64);
+
+/// HTTP request methods used by the modeled protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Method {
+    Get,
+    Post,
+    Put,
+    Delete,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Put => "PUT",
+            Method::Delete => "DELETE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Synthetic status code the kernel uses for a timed-out request.
+pub const STATUS_TIMEOUT: u16 = 0;
+
+/// An application-layer request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Filled in by the kernel when the request is sent.
+    pub id: RequestId,
+    /// Originating node (filled in by the kernel).
+    pub src: NodeId,
+    /// Destination node (filled in by the kernel).
+    pub dst: NodeId,
+    pub method: Method,
+    pub path: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Bytes,
+}
+
+impl Request {
+    fn new(method: Method, path: impl Into<String>) -> Self {
+        Request {
+            id: RequestId(0),
+            src: NodeId(u32::MAX),
+            dst: NodeId(u32::MAX),
+            method,
+            path: path.into(),
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
+    }
+
+    /// Build a GET request.
+    pub fn get(path: impl Into<String>) -> Self {
+        Request::new(Method::Get, path)
+    }
+
+    /// Build a POST request.
+    pub fn post(path: impl Into<String>) -> Self {
+        Request::new(Method::Post, path)
+    }
+
+    /// Build a PUT request.
+    pub fn put(path: impl Into<String>) -> Self {
+        Request::new(Method::Put, path)
+    }
+
+    /// Attach a body.
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Attach a header (appends; duplicate names allowed, first wins on read).
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First header value with the given case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path split on `/`, ignoring empty segments.
+    pub fn path_segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+
+    /// Approximate wire size in bytes (for workload accounting).
+    pub fn wire_size(&self) -> usize {
+        let headers: usize = self.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        self.method.to_string().len() + self.path.len() + headers + self.body.len() + 26
+    }
+}
+
+/// An application-layer response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Bytes,
+}
+
+impl Response {
+    /// Build a response with the given status code.
+    pub fn with_status(status: u16) -> Self {
+        Response { status, headers: Vec::new(), body: Bytes::new() }
+    }
+
+    /// 200 OK.
+    pub fn ok() -> Self {
+        Response::with_status(200)
+    }
+
+    /// 400 Bad Request.
+    pub fn bad_request() -> Self {
+        Response::with_status(400)
+    }
+
+    /// 401 Unauthorized.
+    pub fn unauthorized() -> Self {
+        Response::with_status(401)
+    }
+
+    /// 404 Not Found.
+    pub fn not_found() -> Self {
+        Response::with_status(404)
+    }
+
+    /// 503 Service Unavailable.
+    pub fn unavailable() -> Self {
+        Response::with_status(503)
+    }
+
+    /// The synthetic response delivered when a request times out or is lost.
+    pub fn timeout() -> Self {
+        Response::with_status(STATUS_TIMEOUT)
+    }
+
+    /// Attach a body.
+    pub fn with_body(mut self, body: impl Into<Bytes>) -> Self {
+        self.body = body.into();
+        self
+    }
+
+    /// Attach a header.
+    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// First header value with the given case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// True for 2xx statuses.
+    pub fn is_success(&self) -> bool {
+        (200..300).contains(&self.status)
+    }
+
+    /// True for the kernel-synthesized timeout response.
+    pub fn is_timeout(&self) -> bool {
+        self.status == STATUS_TIMEOUT
+    }
+
+    /// Approximate wire size in bytes.
+    pub fn wire_size(&self) -> usize {
+        let headers: usize = self.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        headers + self.body.len() + 17
+    }
+}
+
+/// Options controlling delivery of a single request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestOpts {
+    /// If set, the sender receives [`Response::timeout`] when no response
+    /// has arrived within this span. A late real response is then dropped.
+    pub timeout: Option<crate::time::SimDuration>,
+}
+
+impl RequestOpts {
+    /// Convenience: a timeout of `secs` seconds.
+    pub fn timeout_secs(secs: u64) -> Self {
+        RequestOpts { timeout: Some(crate::time::SimDuration::from_secs(secs)) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_fields() {
+        let r = Request::post("/ifttt/v1/triggers/new_email")
+            .with_header("IFTTT-Service-Key", "k")
+            .with_body("{}");
+        assert_eq!(r.method, Method::Post);
+        assert_eq!(r.header("ifttt-service-key"), Some("k"));
+        assert_eq!(&r.body[..], b"{}");
+    }
+
+    #[test]
+    fn path_segments_skip_empties() {
+        let r = Request::get("/a//b/c/");
+        assert_eq!(r.path_segments(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn status_helpers() {
+        assert!(Response::ok().is_success());
+        assert!(!Response::not_found().is_success());
+        assert!(Response::timeout().is_timeout());
+        assert!(!Response::ok().is_timeout());
+    }
+
+    #[test]
+    fn header_lookup_is_case_insensitive_first_wins() {
+        let r = Response::ok()
+            .with_header("X-Poll", "1")
+            .with_header("x-poll", "2");
+        assert_eq!(r.header("X-POLL"), Some("1"));
+    }
+
+    #[test]
+    fn wire_size_counts_body_and_headers() {
+        let small = Request::get("/a").wire_size();
+        let big = Request::get("/a").with_body(vec![0u8; 100]).wire_size();
+        assert_eq!(big - small, 100);
+    }
+}

@@ -1,0 +1,286 @@
+//! Seeded randomness for reproducible simulations.
+//!
+//! Every source of randomness in a run derives from one master `u64` seed.
+//! Each node gets its own [`StdRng`] stream (so adding a node never perturbs
+//! the draws seen by existing nodes), and the kernel keeps a separate stream
+//! for link-latency sampling. [`Dist`] provides the handful of distributions
+//! the paper's models need — including log-normal and bounded Zipf, which
+//! `rand` itself does not ship — implemented from uniform draws.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Derive a child seed from a master seed and a stream index.
+///
+/// Uses SplitMix64, the standard seed-sequence scrambler: consecutive stream
+/// indices yield statistically independent child seeds.
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Create the RNG for a named stream of a master seed.
+pub fn stream_rng(master: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(master, stream))
+}
+
+/// A continuous probability distribution over non-negative values.
+///
+/// `Dist` is a plain-data enum (serde-serializable) so that latency models
+/// can be stored in experiment configuration and reported verbatim in
+/// EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Dist {
+    /// Always the same value.
+    Fixed(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform { lo: f64, hi: f64 },
+    /// Normal with mean and standard deviation, truncated below at `min`.
+    Normal { mean: f64, std: f64, min: f64 },
+    /// Log-normal: `exp(N(mu, sigma))`, optionally capped at `cap`.
+    LogNormal { mu: f64, sigma: f64, cap: f64 },
+    /// Exponential with the given mean (i.e. rate `1/mean`).
+    Exp { mean: f64 },
+}
+
+impl Dist {
+    /// Draw one sample. All variants return a finite, non-negative value.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        let v = match *self {
+            Dist::Fixed(v) => v,
+            Dist::Uniform { lo, hi } => {
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.gen_range(lo..hi)
+                }
+            }
+            Dist::Normal { mean, std, min } => {
+                let z = standard_normal(rng);
+                (mean + std * z).max(min)
+            }
+            Dist::LogNormal { mu, sigma, cap } => {
+                let z = standard_normal(rng);
+                (mu + sigma * z).exp().min(cap)
+            }
+            Dist::Exp { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -mean * u.ln()
+            }
+        };
+        if v.is_finite() {
+            v.max(0.0)
+        } else {
+            0.0
+        }
+    }
+
+    /// The distribution mean (exact where closed-form, ignoring truncation).
+    pub fn mean(&self) -> f64 {
+        match *self {
+            Dist::Fixed(v) => v,
+            Dist::Uniform { lo, hi } => (lo + hi) / 2.0,
+            Dist::Normal { mean, .. } => mean,
+            Dist::LogNormal { mu, sigma, cap } => (mu + sigma * sigma / 2.0).exp().min(cap),
+            Dist::Exp { mean } => mean,
+        }
+    }
+}
+
+/// One standard-normal draw via the Box–Muller transform.
+///
+/// We deliberately use the one-sample form (discarding the second variate)
+/// to keep each draw independent of call history.
+pub fn standard_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// A bounded Zipf sampler over ranks `1..=n` with exponent `s`.
+///
+/// Pre-computes the cumulative weights once; sampling is a binary search.
+/// This powers the heavy-tailed applet add-count and per-user applet-count
+/// models (Figure 3 and §3.2 of the paper).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s` (`s >= 0`).
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += (k as f64).powf(-s);
+            cumulative.push(total);
+        }
+        Zipf { cumulative, total }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True if there is exactly one rank (kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Draw a rank in `1..=n` (rank 1 is the most likely).
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen_range(0.0..self.total);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+        {
+            Ok(i) => i + 1,
+            Err(i) => i + 1,
+        }
+        .min(self.cumulative.len())
+    }
+
+    /// Probability mass of rank `k` (1-based).
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 || k > self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if k == 1 { 0.0 } else { self.cumulative[k - 2] };
+        (self.cumulative[k - 1] - prev) / self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn derive_seed_spreads_streams() {
+        let a = derive_seed(1, 0);
+        let b = derive_seed(1, 1);
+        let c = derive_seed(2, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn stream_rng_is_deterministic() {
+        let x: u64 = stream_rng(9, 3).gen();
+        let y: u64 = stream_rng(9, 3).gen();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn fixed_dist_is_constant() {
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(Dist::Fixed(2.5).sample(&mut r), 2.5);
+        }
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut r = rng();
+        let d = Dist::Uniform { lo: 1.0, hi: 2.0 };
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!((1.0..2.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn degenerate_uniform_returns_lo() {
+        let mut r = rng();
+        assert_eq!(Dist::Uniform { lo: 3.0, hi: 3.0 }.sample(&mut r), 3.0);
+    }
+
+    #[test]
+    fn normal_truncates_at_min() {
+        let mut r = rng();
+        let d = Dist::Normal { mean: 0.0, std: 5.0, min: 0.5 };
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) >= 0.5);
+        }
+    }
+
+    #[test]
+    fn normal_sample_mean_close() {
+        let mut r = rng();
+        let d = Dist::Normal { mean: 10.0, std: 2.0, min: 0.0 };
+        let n = 20_000;
+        let avg = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((avg - 10.0).abs() < 0.1, "avg={avg}");
+    }
+
+    #[test]
+    fn lognormal_caps() {
+        let mut r = rng();
+        let d = Dist::LogNormal { mu: 5.0, sigma: 2.0, cap: 10.0 };
+        for _ in 0..1000 {
+            assert!(d.sample(&mut r) <= 10.0);
+        }
+    }
+
+    #[test]
+    fn exp_sample_mean_close() {
+        let mut r = rng();
+        let d = Dist::Exp { mean: 4.0 };
+        let n = 40_000;
+        let avg = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
+        assert!((avg - 4.0).abs() < 0.15, "avg={avg}");
+    }
+
+    #[test]
+    fn zipf_rank1_dominates() {
+        let z = Zipf::new(100, 1.2);
+        assert!(z.pmf(1) > z.pmf(2));
+        assert!(z.pmf(2) > z.pmf(10));
+        let total: f64 = (1..=100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_samples_in_range() {
+        let z = Zipf::new(50, 0.9);
+        let mut r = rng();
+        for _ in 0..5000 {
+            let k = z.sample(&mut r);
+            assert!((1..=50).contains(&k));
+        }
+    }
+
+    #[test]
+    fn zipf_empirical_matches_pmf() {
+        let z = Zipf::new(10, 1.0);
+        let mut r = rng();
+        let n = 50_000;
+        let mut counts = [0usize; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut r) - 1] += 1;
+        }
+        for k in 1..=10 {
+            let emp = counts[k - 1] as f64 / n as f64;
+            assert!(
+                (emp - z.pmf(k)).abs() < 0.01,
+                "rank {k}: emp {emp} vs pmf {}",
+                z.pmf(k)
+            );
+        }
+    }
+}

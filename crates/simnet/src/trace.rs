@@ -1,0 +1,142 @@
+//! Structured event tracing.
+//!
+//! Nodes and the kernel record [`TraceEvent`]s into a shared [`TraceLog`].
+//! The testbed reconstructs applet-execution timelines (Table 5 of the
+//! paper) from this log; tests use it to assert on protocol behaviour
+//! without reaching into node internals.
+
+use crate::node::NodeId;
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// One recorded event.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// The node the event belongs to.
+    pub node: NodeId,
+    /// Machine-readable event kind, e.g. `"poll.sent"` or `"action.executed"`.
+    pub kind: String,
+    /// Free-form human-readable detail.
+    pub detail: String,
+}
+
+/// An append-only, bounded trace log.
+#[derive(Debug)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for TraceLog {
+    fn default() -> Self {
+        TraceLog { events: Vec::new(), enabled: true, cap: 1_000_000, dropped: 0 }
+    }
+}
+
+impl TraceLog {
+    /// A log that records up to `cap` events.
+    pub fn with_capacity(cap: usize) -> Self {
+        TraceLog { cap, ..TraceLog::default() }
+    }
+
+    /// Enable or disable recording (disabled logs drop silently).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Record one event. Events past the capacity are counted, not stored.
+    pub fn record(&mut self, at: SimTime, node: NodeId, kind: impl Into<String>, detail: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent { at, node, kind: kind.into(), detail: detail.into() });
+    }
+
+    /// All recorded events in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose kind starts with `prefix` (e.g. `"poll."`).
+    pub fn with_kind_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.kind.starts_with(prefix))
+    }
+
+    /// Events recorded by one node.
+    pub fn by_node(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.node == node)
+    }
+
+    /// The first event with exactly this kind, if any.
+    pub fn first(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().find(|e| e.kind == kind)
+    }
+
+    /// The last event with exactly this kind, if any.
+    pub fn last(&self, kind: &str) -> Option<&TraceEvent> {
+        self.events.iter().rev().find(|e| e.kind == kind)
+    }
+
+    /// Number of events silently dropped after hitting capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Forget all recorded events (capacity and enablement unchanged).
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn records_and_filters() {
+        let mut log = TraceLog::default();
+        log.record(t(1), NodeId(0), "poll.sent", "a");
+        log.record(t(2), NodeId(1), "poll.recv", "b");
+        log.record(t(3), NodeId(0), "action.executed", "c");
+        assert_eq!(log.events().len(), 3);
+        assert_eq!(log.with_kind_prefix("poll.").count(), 2);
+        assert_eq!(log.by_node(NodeId(0)).count(), 2);
+        assert_eq!(log.first("poll.recv").unwrap().detail, "b");
+        assert_eq!(log.last("poll.sent").unwrap().at, t(1));
+    }
+
+    #[test]
+    fn capacity_counts_drops() {
+        let mut log = TraceLog::with_capacity(2);
+        for i in 0..5 {
+            log.record(t(i), NodeId(0), "k", "");
+        }
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.dropped(), 3);
+        log.clear();
+        assert_eq!(log.dropped(), 0);
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::default();
+        log.set_enabled(false);
+        log.record(t(0), NodeId(0), "k", "");
+        assert!(log.events().is_empty());
+        assert_eq!(log.dropped(), 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Edge-case integration tests for the simulation kernel: behaviours that
+//! the protocol stack above depends on but which unit tests don't pin down.
+
+use bytes::Bytes;
+use simnet::prelude::*;
+
+/// Records everything; can defer replies indefinitely (never answers).
+#[derive(Default)]
+struct BlackHole {
+    requests: u32,
+}
+impl Node for BlackHole {
+    fn on_request(&mut self, _ctx: &mut Context<'_>, _req: &Request) -> HandlerResult {
+        self.requests += 1;
+        HandlerResult::Deferred // and never replies
+    }
+}
+
+#[derive(Default)]
+struct Client {
+    responses: Vec<(Token, u16, SimTime)>,
+}
+impl Node for Client {
+    fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
+        self.responses.push((token, resp.status, ctx.now()));
+    }
+}
+
+#[test]
+fn unanswered_request_with_timeout_resolves_exactly_once() {
+    let mut sim = Sim::new(1);
+    let hole = sim.add_node("hole", BlackHole::default());
+    let client = sim.add_node("client", Client::default());
+    sim.link(client, hole, LinkSpec::lan());
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send_request(hole, Request::get("/x"), Token(1), RequestOpts::timeout_secs(5));
+    });
+    sim.run_until_idle();
+    let c = sim.node_ref::<Client>(client);
+    assert_eq!(c.responses.len(), 1);
+    assert_eq!(c.responses[0].1, simnet::http::STATUS_TIMEOUT);
+    assert_eq!(c.responses[0].2, SimTime::from_secs(5));
+    assert_eq!(sim.node_ref::<BlackHole>(hole).requests, 1);
+}
+
+#[test]
+fn unanswered_request_without_timeout_hangs_silently() {
+    let mut sim = Sim::new(2);
+    let hole = sim.add_node("hole", BlackHole::default());
+    let client = sim.add_node("client", Client::default());
+    sim.link(client, hole, LinkSpec::lan());
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send_request(hole, Request::get("/x"), Token(1), RequestOpts::default());
+    });
+    sim.run_until_idle();
+    assert!(sim.node_ref::<Client>(client).responses.is_empty());
+}
+
+/// A responder that answers AFTER the caller's timeout has fired.
+struct LateReplier {
+    pending: Vec<RequestId>,
+}
+impl Node for LateReplier {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        self.pending.push(req.id);
+        ctx.set_timer(SimDuration::from_secs(10), 0);
+        HandlerResult::Deferred
+    }
+    fn on_timer(&mut self, ctx: &mut Context<'_>, _key: TimerKey) {
+        for id in self.pending.drain(..) {
+            ctx.reply(id, Response::ok());
+        }
+    }
+}
+
+#[test]
+fn late_reply_after_timeout_is_dropped() {
+    let mut sim = Sim::new(3);
+    let late = sim.add_node("late", LateReplier { pending: vec![] });
+    let client = sim.add_node("client", Client::default());
+    sim.link(client, late, LinkSpec::lan());
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send_request(late, Request::get("/x"), Token(9), RequestOpts::timeout_secs(2));
+    });
+    sim.run_until_idle();
+    let c = sim.node_ref::<Client>(client);
+    // Exactly one resolution: the timeout. The 10-second real reply must
+    // not produce a second on_response.
+    assert_eq!(c.responses.len(), 1);
+    assert_eq!(c.responses[0].1, simnet::http::STATUS_TIMEOUT);
+}
+
+/// Two nodes exchanging signals through a chain of passive hops: latency
+/// accumulates per hop and ordering is preserved per sender.
+struct Hop;
+impl Node for Hop {}
+
+#[derive(Default)]
+struct Sink {
+    got: Vec<(SimTime, Bytes)>,
+}
+impl Node for Sink {
+    fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+        self.got.push((ctx.now(), payload));
+    }
+}
+
+#[test]
+fn multi_hop_signals_preserve_order_and_accumulate_latency() {
+    let mut sim = Sim::new(4);
+    let src = sim.add_node("src", Hop);
+    let a = sim.add_node("a", Hop);
+    let b = sim.add_node("b", Hop);
+    let sink = sim.add_node("sink", Sink::default());
+    let ms = |x| SimDuration::from_millis(x);
+    sim.link(src, a, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
+    sim.link(a, b, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
+    sim.link(b, sink, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
+    sim.with_node::<Hop, _>(src, |_, ctx| {
+        ctx.signal(sink, &b"one"[..]);
+        ctx.signal(sink, &b"two"[..]);
+    });
+    sim.run_until_idle();
+    let got = &sim.node_ref::<Sink>(sink).got;
+    assert_eq!(got.len(), 2);
+    assert_eq!(&got[0].1[..], b"one");
+    assert_eq!(&got[1].1[..], b"two");
+    assert_eq!(got[0].0, SimTime::from_micros(30_000));
+}
+
+/// Nodes added mid-run interoperate with existing ones.
+#[test]
+fn hot_added_node_can_request_immediately() {
+    #[derive(Default)]
+    struct Echo;
+    impl Node for Echo {
+        fn on_request(&mut self, _c: &mut Context<'_>, _r: &Request) -> HandlerResult {
+            HandlerResult::Reply(Response::ok())
+        }
+    }
+    let mut sim = Sim::new(5);
+    let echo = sim.add_node("echo", Echo);
+    sim.run_until(SimTime::from_secs(1_000));
+    let client = sim.add_node("late_client", Client::default());
+    sim.link(client, echo, LinkSpec::wan());
+    sim.with_node::<Client, _>(client, |_, ctx| {
+        ctx.send_request(echo, Request::get("/"), Token(1), RequestOpts::default());
+    });
+    sim.run_until_idle();
+    let c = sim.node_ref::<Client>(client);
+    assert_eq!(c.responses.len(), 1);
+    assert_eq!(c.responses[0].1, 200);
+    assert!(c.responses[0].2 > SimTime::from_secs(1_000));
+}
+
+/// Timer keys are delivered verbatim, including extreme values used by the
+/// engine's tagged-key scheme.
+#[test]
+fn timer_keys_roundtrip_verbatim() {
+    #[derive(Default)]
+    struct T {
+        keys: Vec<TimerKey>,
+    }
+    impl Node for T {
+        fn on_timer(&mut self, _c: &mut Context<'_>, key: TimerKey) {
+            self.keys.push(key);
+        }
+    }
+    let mut sim = Sim::new(6);
+    let id = sim.add_node("t", T::default());
+    let keys = [0u64, 1, u64::MAX, 1 << 56 | 42, (2 << 56) | 0xFFFF_FFFF];
+    sim.with_node::<T, _>(id, |_, ctx| {
+        for (i, k) in keys.iter().enumerate() {
+            ctx.set_timer(SimDuration::from_secs(i as u64 + 1), *k);
+        }
+    });
+    sim.run_until_idle();
+    assert_eq!(sim.node_ref::<T>(id).keys, keys);
+}

@@ -1,0 +1,126 @@
+//! Property-based tests for the simulation kernel's core invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use simnet::net::{Delivery, Topology};
+use simnet::prelude::*;
+use simnet::rng::{derive_seed, Dist, Zipf};
+
+proptest! {
+    /// Instant/duration arithmetic never wraps and stays ordered.
+    #[test]
+    fn time_arithmetic_is_monotone(a in 0u64..u64::MAX / 4, d in 0u64..u64::MAX / 4) {
+        let t = SimTime::from_micros(a);
+        let dur = SimDuration::from_micros(d);
+        let later = t + dur;
+        prop_assert!(later >= t);
+        prop_assert_eq!(later.since(t), dur);
+        prop_assert_eq!(later - dur, t);
+    }
+
+    /// Derived seeds never collide across small stream/master grids.
+    #[test]
+    fn derived_seeds_are_distinct(master in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for stream in 0..64u64 {
+            prop_assert!(seen.insert(derive_seed(master, stream)));
+        }
+    }
+
+    /// Every distribution sample is finite and non-negative.
+    #[test]
+    fn dist_samples_are_sane(
+        seed in any::<u64>(),
+        mean in 0.001f64..1e6,
+        spread in 0.0f64..100.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dists = [
+            Dist::Fixed(mean),
+            Dist::Uniform { lo: mean, hi: mean + spread },
+            Dist::Normal { mean, std: spread, min: 0.0 },
+            Dist::LogNormal { mu: mean.ln(), sigma: spread.min(3.0), cap: 1e12 },
+            Dist::Exp { mean },
+        ];
+        for d in dists {
+            for _ in 0..16 {
+                let v = d.sample(&mut rng);
+                prop_assert!(v.is_finite() && v >= 0.0, "{d:?} gave {v}");
+            }
+        }
+    }
+
+    /// Zipf pmf sums to 1 and samples stay in range for arbitrary shapes.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..300, s in 0.0f64..3.0, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (1..=n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let k = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&k));
+        }
+    }
+
+    /// In a random connected line-with-chords topology, delivery between any
+    /// two nodes either arrives with positive latency or is impossible only
+    /// when links are down — never panics, and latency equals the sum of
+    /// per-hop samples (here: fixed latencies, so delivery time is exact).
+    #[test]
+    fn line_topology_latency_is_hop_sum(
+        hops in 1usize..12,
+        per_hop_ms in 1u64..50,
+        seed in any::<u64>(),
+    ) {
+        let mut topo = Topology::new();
+        for i in 0..hops {
+            topo.add_link(
+                NodeId(i as u32),
+                NodeId(i as u32 + 1),
+                simnet::net::LinkSpec::new(LatencyModel::fixed(SimDuration::from_millis(per_hop_ms))),
+            );
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        match topo.deliver(NodeId(0), NodeId(hops as u32), &mut rng) {
+            Delivery::Arrives(d) => {
+                prop_assert_eq!(d, SimDuration::from_millis(per_hop_ms) * hops as u64);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+
+    /// A simulation driven twice from the same seed yields the same trace.
+    #[test]
+    fn identical_seeds_identical_traces(seed in any::<u64>(), n_pings in 1u32..10) {
+        fn run(seed: u64, n_pings: u32) -> Vec<(u64, String)> {
+            struct Pinger { peer: Option<NodeId>, left: u32 }
+            impl Node for Pinger {
+                fn on_start(&mut self, ctx: &mut Context<'_>) {
+                    if self.peer.is_some() {
+                        ctx.set_timer(SimDuration::from_millis(10), 0);
+                    }
+                }
+                fn on_timer(&mut self, ctx: &mut Context<'_>, _k: u64) {
+                    if self.left == 0 { return; }
+                    self.left -= 1;
+                    ctx.trace("ping", format!("{} left", self.left));
+                    ctx.signal(self.peer.unwrap(), &b"p"[..]);
+                    ctx.set_timer(SimDuration::from_millis(10), 0);
+                }
+            }
+            let mut sim = Sim::new(seed);
+            let a = sim.add_node("a", Pinger { peer: None, left: 0 });
+            let b = sim.add_node("b", Pinger { peer: Some(a), left: n_pings });
+            sim.link(a, b, simnet::net::LinkSpec::wan());
+            sim.run_until_idle();
+            sim.trace()
+                .events()
+                .iter()
+                .map(|e| (e.at.as_micros(), e.detail.clone()))
+                .collect()
+        }
+        prop_assert_eq!(run(seed, n_pings), run(seed, n_pings));
+    }
+}

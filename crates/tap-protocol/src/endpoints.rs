@@ -1,0 +1,104 @@
+//! The partner-service URL grammar.
+//!
+//! Each trigger or action has a unique URL under the service's base URL,
+//! e.g. `https://api.myservice.com/ifttt/actions/turn_on_light` (§2.2). We
+//! model the v1 path shape used by the public API reference.
+
+use crate::ids::{ActionSlug, QuerySlug, TriggerSlug};
+
+/// API prefix shared by all partner endpoints.
+pub const API_PREFIX: &str = "/ifttt/v1";
+
+/// Path of the service status endpoint (engine health checks).
+pub const STATUS_PATH: &str = "/ifttt/v1/status";
+
+/// Path of the endpoint-discovery test setup (engine integration tests).
+pub const TEST_SETUP_PATH: &str = "/ifttt/v1/test/setup";
+
+/// Path the engine exposes for realtime-API notifications from services.
+pub const REALTIME_NOTIFY_PATH: &str = "/ifttt/v1/realtime/notifications";
+
+/// Path of a trigger polling endpoint.
+pub fn trigger_path(slug: &TriggerSlug) -> String {
+    format!("{API_PREFIX}/triggers/{slug}")
+}
+
+/// Path of an action execution endpoint.
+pub fn action_path(slug: &ActionSlug) -> String {
+    format!("{API_PREFIX}/actions/{slug}")
+}
+
+/// Path of a query endpoint.
+pub fn query_path(slug: &QuerySlug) -> String {
+    format!("{API_PREFIX}/queries/{slug}")
+}
+
+/// What a path under the service base URL refers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    Status,
+    TestSetup,
+    Trigger(TriggerSlug),
+    Action(ActionSlug),
+    Query(QuerySlug),
+    /// OAuth2 authorization page (user-facing).
+    OAuthAuthorize,
+    /// OAuth2 token exchange.
+    OAuthToken,
+}
+
+/// Parse a request path into an [`Endpoint`].
+pub fn parse(path: &str) -> Option<Endpoint> {
+    match path {
+        STATUS_PATH => return Some(Endpoint::Status),
+        TEST_SETUP_PATH => return Some(Endpoint::TestSetup),
+        "/oauth2/authorize" => return Some(Endpoint::OAuthAuthorize),
+        "/oauth2/token" => return Some(Endpoint::OAuthToken),
+        _ => {}
+    }
+    let rest = path.strip_prefix(API_PREFIX)?;
+    let mut parts = rest.split('/').filter(|s| !s.is_empty());
+    match (parts.next(), parts.next(), parts.next()) {
+        (Some("triggers"), Some(slug), None) => Some(Endpoint::Trigger(TriggerSlug::new(slug))),
+        (Some("actions"), Some(slug), None) => Some(Endpoint::Action(ActionSlug::new(slug))),
+        (Some("queries"), Some(slug), None) => Some(Endpoint::Query(QuerySlug::new(slug))),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_and_parser_agree() {
+        let t = TriggerSlug::new("any_new_email");
+        assert_eq!(parse(&trigger_path(&t)), Some(Endpoint::Trigger(t)));
+        let a = ActionSlug::new("turn_on_lights");
+        assert_eq!(parse(&action_path(&a)), Some(Endpoint::Action(a)));
+    }
+
+    #[test]
+    fn fixed_endpoints_parse() {
+        assert_eq!(parse(STATUS_PATH), Some(Endpoint::Status));
+        assert_eq!(parse(TEST_SETUP_PATH), Some(Endpoint::TestSetup));
+        assert_eq!(parse("/oauth2/authorize"), Some(Endpoint::OAuthAuthorize));
+        assert_eq!(parse("/oauth2/token"), Some(Endpoint::OAuthToken));
+    }
+
+    #[test]
+    fn query_paths_parse() {
+        let q = QuerySlug::new("current_condition");
+        assert_eq!(parse(&query_path(&q)), Some(Endpoint::Query(q)));
+    }
+
+    #[test]
+    fn garbage_paths_do_not_parse() {
+        assert_eq!(parse("/"), None);
+        assert_eq!(parse("/ifttt/v1"), None);
+        assert_eq!(parse("/ifttt/v1/triggers"), None);
+        assert_eq!(parse("/ifttt/v1/triggers/a/b"), None);
+        assert_eq!(parse("/ifttt/v2/triggers/a"), None);
+        assert_eq!(parse("/api/other"), None);
+    }
+}

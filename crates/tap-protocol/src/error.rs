@@ -1,0 +1,80 @@
+//! Protocol-level error taxonomy.
+
+use std::fmt;
+
+/// Why a service (or the engine) rejected a protocol message.
+///
+/// Mirrors the HTTP statuses the real partner API documents; see
+/// [`ProtocolError::status`] for the mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// Missing or wrong `IFTTT-Service-Key`.
+    BadServiceKey,
+    /// Missing, expired or revoked OAuth access token.
+    BadAccessToken,
+    /// The path does not name a known trigger.
+    UnknownTrigger(String),
+    /// The path does not name a known action.
+    UnknownAction(String),
+    /// The request body is not valid JSON / lacks required members.
+    MalformedBody(String),
+    /// Required trigger/action fields are missing or invalid.
+    BadFields(String),
+    /// The backing device or upstream app cannot be reached.
+    Unavailable(String),
+    /// The path is not part of the service API surface.
+    UnknownEndpoint(String),
+}
+
+impl ProtocolError {
+    /// HTTP status this error maps to on the wire.
+    pub fn status(&self) -> u16 {
+        match self {
+            ProtocolError::BadServiceKey | ProtocolError::BadAccessToken => 401,
+            ProtocolError::UnknownTrigger(_)
+            | ProtocolError::UnknownAction(_)
+            | ProtocolError::UnknownEndpoint(_) => 404,
+            ProtocolError::MalformedBody(_) | ProtocolError::BadFields(_) => 400,
+            ProtocolError::Unavailable(_) => 503,
+        }
+    }
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::BadServiceKey => write!(f, "invalid service key"),
+            ProtocolError::BadAccessToken => write!(f, "invalid access token"),
+            ProtocolError::UnknownTrigger(t) => write!(f, "unknown trigger: {t}"),
+            ProtocolError::UnknownAction(a) => write!(f, "unknown action: {a}"),
+            ProtocolError::MalformedBody(m) => write!(f, "malformed body: {m}"),
+            ProtocolError::BadFields(m) => write!(f, "bad fields: {m}"),
+            ProtocolError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ProtocolError::UnknownEndpoint(p) => write!(f, "unknown endpoint: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_mapping_matches_http_semantics() {
+        assert_eq!(ProtocolError::BadServiceKey.status(), 401);
+        assert_eq!(ProtocolError::BadAccessToken.status(), 401);
+        assert_eq!(ProtocolError::UnknownTrigger("x".into()).status(), 404);
+        assert_eq!(ProtocolError::UnknownAction("x".into()).status(), 404);
+        assert_eq!(ProtocolError::MalformedBody("x".into()).status(), 400);
+        assert_eq!(ProtocolError::BadFields("x".into()).status(), 400);
+        assert_eq!(ProtocolError::Unavailable("x".into()).status(), 503);
+        assert_eq!(ProtocolError::UnknownEndpoint("/x".into()).status(), 404);
+    }
+
+    #[test]
+    fn display_mentions_the_subject() {
+        assert!(ProtocolError::UnknownTrigger("rain".into()).to_string().contains("rain"));
+    }
+}

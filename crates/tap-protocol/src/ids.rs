@@ -1,0 +1,204 @@
+//! Identifier newtypes shared across the protocol.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+macro_rules! slug_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        #[serde(transparent)]
+        pub struct $name(pub String);
+
+        impl $name {
+            /// Wrap a string slug.
+            pub fn new(s: impl Into<String>) -> Self {
+                $name(s.into())
+            }
+
+            /// The slug text.
+            pub fn as_str(&self) -> &str {
+                &self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(&self.0)
+            }
+        }
+
+        impl From<&str> for $name {
+            fn from(s: &str) -> Self {
+                $name(s.to_owned())
+            }
+        }
+    };
+}
+
+slug_type!(
+    /// URL-safe identifier of a partner service, e.g. `philips_hue`.
+    ServiceSlug
+);
+slug_type!(
+    /// URL-safe identifier of a trigger within its service, e.g. `any_new_email`.
+    TriggerSlug
+);
+slug_type!(
+    /// URL-safe identifier of an action within its service, e.g. `turn_on_lights`.
+    ActionSlug
+);
+slug_type!(
+    /// URL-safe identifier of a query within its service, e.g.
+    /// `current_condition` (queries are the read-only third primitive of
+    /// IFTTT's programming model, alongside triggers and actions).
+    QuerySlug
+);
+slug_type!(
+    /// An end-user account identifier as seen by services.
+    UserId
+);
+
+/// Trigger/action fields: the applet's parameter assignment, e.g.
+/// `{"color": "blue", "lights": "living room"}`.
+///
+/// A `BTreeMap` keeps serialization order (and therefore trigger identities)
+/// deterministic.
+pub type FieldMap = BTreeMap<String, String>;
+
+/// The engine-computed identity of one trigger subscription: a stable hash
+/// of (user, service, trigger, fields). Services use it to key their event
+/// buffers; the realtime API references it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct TriggerIdentity(pub String);
+
+impl TriggerIdentity {
+    /// Derive the identity for a subscription, matching what the engine
+    /// embeds in its polling queries.
+    pub fn derive(
+        user: &UserId,
+        service: &ServiceSlug,
+        trigger: &TriggerSlug,
+        fields: &FieldMap,
+    ) -> Self {
+        // FNV-1a over the canonical rendering: cheap, deterministic, and
+        // collision-safe at testbed scale.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(user.0.as_bytes());
+        eat(b"|");
+        eat(service.0.as_bytes());
+        eat(b"|");
+        eat(trigger.0.as_bytes());
+        for (k, v) in fields {
+            eat(b"|");
+            eat(k.as_bytes());
+            eat(b"=");
+            eat(v.as_bytes());
+        }
+        TriggerIdentity(format!("ti_{h:016x}"))
+    }
+
+    /// The identity text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for TriggerIdentity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fields(pairs: &[(&str, &str)]) -> FieldMap {
+        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    }
+
+    #[test]
+    fn slug_roundtrip_and_display() {
+        let s = ServiceSlug::new("philips_hue");
+        assert_eq!(s.as_str(), "philips_hue");
+        assert_eq!(s.to_string(), "philips_hue");
+        assert_eq!(ServiceSlug::from("philips_hue"), s);
+    }
+
+    #[test]
+    fn trigger_identity_is_deterministic() {
+        let a = TriggerIdentity::derive(
+            &UserId::new("u1"),
+            &ServiceSlug::new("gmail"),
+            &TriggerSlug::new("any_new_email"),
+            &fields(&[("label", "inbox")]),
+        );
+        let b = TriggerIdentity::derive(
+            &UserId::new("u1"),
+            &ServiceSlug::new("gmail"),
+            &TriggerSlug::new("any_new_email"),
+            &fields(&[("label", "inbox")]),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn trigger_identity_separates_users_triggers_and_fields() {
+        let base = TriggerIdentity::derive(
+            &UserId::new("u1"),
+            &ServiceSlug::new("gmail"),
+            &TriggerSlug::new("any_new_email"),
+            &FieldMap::new(),
+        );
+        let other_user = TriggerIdentity::derive(
+            &UserId::new("u2"),
+            &ServiceSlug::new("gmail"),
+            &TriggerSlug::new("any_new_email"),
+            &FieldMap::new(),
+        );
+        let other_fields = TriggerIdentity::derive(
+            &UserId::new("u1"),
+            &ServiceSlug::new("gmail"),
+            &TriggerSlug::new("any_new_email"),
+            &fields(&[("label", "work")]),
+        );
+        assert_ne!(base, other_user);
+        assert_ne!(base, other_fields);
+    }
+
+    #[test]
+    fn field_order_does_not_matter() {
+        let a = TriggerIdentity::derive(
+            &UserId::new("u"),
+            &ServiceSlug::new("s"),
+            &TriggerSlug::new("t"),
+            &fields(&[("a", "1"), ("b", "2")]),
+        );
+        let b = TriggerIdentity::derive(
+            &UserId::new("u"),
+            &ServiceSlug::new("s"),
+            &TriggerSlug::new("t"),
+            &fields(&[("b", "2"), ("a", "1")]),
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let s = ServiceSlug::new("wemo");
+        assert_eq!(serde_json::to_string(&s).unwrap(), "\"wemo\"");
+        let back: ServiceSlug = serde_json::from_str("\"wemo\"").unwrap();
+        assert_eq!(back, s);
+    }
+}

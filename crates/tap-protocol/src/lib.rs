@@ -1,0 +1,41 @@
+//! # tap-protocol — the IFTTT partner-service protocol
+//!
+//! This crate implements the web-based protocol an IFTTT *partner service*
+//! speaks with the IFTTT engine, as reverse-engineered and re-implemented by
+//! the paper (§2.2) for the authors' own service and engine clone:
+//!
+//! * every service exposes a **base URL** with one endpoint per trigger and
+//!   action (`/ifttt/v1/triggers/<slug>`, `/ifttt/v1/actions/<slug>`) plus a
+//!   status endpoint;
+//! * the engine authenticates to the service with a **service key** header
+//!   and acts on behalf of a user with an **OAuth2 access token**;
+//! * the engine **polls** each trigger with an HTTPS POST carrying the
+//!   trigger fields and a `limit` (default 50); the service answers with up
+//!   to `limit` **buffered trigger events**, newest first — this batching is
+//!   what produces the clustered action execution of Figure 6;
+//! * a service may send **realtime API** notifications to hint that a
+//!   trigger fired; the engine is free to ignore them (§4);
+//! * actions are executed with an HTTPS POST to the action URL.
+//!
+//! The crate provides the typed wire messages ([`wire`]), the endpoint
+//! grammar ([`endpoints`]), authentication material and an OAuth2
+//! authorization-code flow ([`auth`], [`oauth`]), and a reusable
+//! server-side skeleton ([`service`]) that concrete services (in the
+//! `devices` crate) embed.
+
+pub mod auth;
+pub mod endpoints;
+pub mod error;
+pub mod ids;
+pub mod oauth;
+pub mod service;
+pub mod wire;
+
+pub use auth::{AccessToken, ServiceKey};
+pub use error::ProtocolError;
+pub use ids::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
+pub use service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
+pub use wire::{
+    ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
+    RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
+};

@@ -1,0 +1,475 @@
+//! Server-side protocol skeleton for partner services.
+//!
+//! Concrete services (Philips Hue, Gmail, the authors' "Our Service", …)
+//! embed a [`ServiceEndpoint`] to handle the generic protocol work —
+//! endpoint routing, service-key and token checks, body parsing, response
+//! building — and a [`TriggerBuffer`] to hold trigger events between polls.
+
+use crate::auth::{AccessToken, ServiceKey, AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
+use crate::endpoints::{self, Endpoint};
+use crate::error::ProtocolError;
+use crate::ids::{ActionSlug, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
+use crate::oauth::{AuthCode, OAuthProvider};
+use crate::wire::{
+    self, ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
+    QueryRequestBody, QueryResponseBody, TriggerEvent,
+};
+use simnet::http::{Method, Request, Response};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// A fully parsed, authenticated inbound request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParsedServiceRequest {
+    /// Engine health check.
+    Status,
+    /// Engine integration-test setup.
+    TestSetup,
+    /// Poll one trigger subscription on behalf of `user`.
+    Poll { user: UserId, trigger: TriggerSlug, body: PollRequestBody },
+    /// Execute one action on behalf of `user`.
+    Action { user: UserId, action: ActionSlug, body: ActionRequestBody },
+    /// Run one read-only query on behalf of `user`.
+    Query { user: UserId, query: QuerySlug, body: QueryRequestBody },
+    /// User consent on the hosted authorization page.
+    OAuthAuthorize { user: UserId },
+    /// Engine exchanging an authorization code.
+    OAuthToken { code: AuthCode },
+}
+
+/// The generic protocol front of a partner service.
+#[derive(Debug)]
+pub struct ServiceEndpoint {
+    slug: ServiceSlug,
+    key: ServiceKey,
+    /// OAuth2 provider for this service's user accounts.
+    pub oauth: OAuthProvider,
+    /// Triggers this service exposes.
+    triggers: HashSet<TriggerSlug>,
+    /// Actions this service exposes.
+    actions: HashSet<ActionSlug>,
+    /// Queries this service exposes.
+    queries: HashSet<QuerySlug>,
+}
+
+impl ServiceEndpoint {
+    /// Create an endpoint for `slug`, authenticated by `key`.
+    pub fn new(slug: ServiceSlug, key: ServiceKey) -> Self {
+        ServiceEndpoint {
+            slug,
+            key,
+            oauth: OAuthProvider::new(),
+            triggers: HashSet::new(),
+            actions: HashSet::new(),
+            queries: HashSet::new(),
+        }
+    }
+
+    /// This service's slug.
+    pub fn slug(&self) -> &ServiceSlug {
+        &self.slug
+    }
+
+    /// The service key (for wiring engine configuration in tests).
+    pub fn key(&self) -> &ServiceKey {
+        &self.key
+    }
+
+    /// Declare a trigger endpoint.
+    pub fn with_trigger(mut self, t: impl Into<TriggerSlug>) -> Self {
+        self.triggers.insert(t.into());
+        self
+    }
+
+    /// Declare an action endpoint.
+    pub fn with_action(mut self, a: impl Into<ActionSlug>) -> Self {
+        self.actions.insert(a.into());
+        self
+    }
+
+    /// Declare a query endpoint.
+    pub fn with_query(mut self, q: impl Into<QuerySlug>) -> Self {
+        self.queries.insert(q.into());
+        self
+    }
+
+    /// Route, authenticate, and parse an inbound request.
+    pub fn parse(&self, req: &Request) -> Result<ParsedServiceRequest, ProtocolError> {
+        let endpoint = endpoints::parse(&req.path)
+            .ok_or_else(|| ProtocolError::UnknownEndpoint(req.path.clone()))?;
+        match endpoint {
+            Endpoint::Status => {
+                self.check_key(req)?;
+                Ok(ParsedServiceRequest::Status)
+            }
+            Endpoint::TestSetup => {
+                self.check_key(req)?;
+                Ok(ParsedServiceRequest::TestSetup)
+            }
+            Endpoint::Trigger(slug) => {
+                self.check_key(req)?;
+                if !self.triggers.contains(&slug) {
+                    return Err(ProtocolError::UnknownTrigger(slug.0));
+                }
+                let user = self.check_token(req)?;
+                let body: PollRequestBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                if body.user != user {
+                    return Err(ProtocolError::BadAccessToken);
+                }
+                Ok(ParsedServiceRequest::Poll { user, trigger: slug, body })
+            }
+            Endpoint::Action(slug) => {
+                self.check_key(req)?;
+                if !self.actions.contains(&slug) {
+                    return Err(ProtocolError::UnknownAction(slug.0));
+                }
+                let user = self.check_token(req)?;
+                let body: ActionRequestBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                if body.user != user {
+                    return Err(ProtocolError::BadAccessToken);
+                }
+                Ok(ParsedServiceRequest::Action { user, action: slug, body })
+            }
+            Endpoint::Query(slug) => {
+                self.check_key(req)?;
+                if !self.queries.contains(&slug) {
+                    return Err(ProtocolError::UnknownEndpoint(req.path.clone()));
+                }
+                let user = self.check_token(req)?;
+                let body: QueryRequestBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                if body.user != user {
+                    return Err(ProtocolError::BadAccessToken);
+                }
+                Ok(ParsedServiceRequest::Query { user, query: slug, body })
+            }
+            Endpoint::OAuthAuthorize => {
+                // User-facing page: no service key; body carries the user id.
+                if req.method != Method::Post {
+                    return Err(ProtocolError::MalformedBody("POST required".into()));
+                }
+                #[derive(serde::Deserialize)]
+                struct AuthorizeBody {
+                    user: UserId,
+                }
+                let body: AuthorizeBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                Ok(ParsedServiceRequest::OAuthAuthorize { user: body.user })
+            }
+            Endpoint::OAuthToken => {
+                #[derive(serde::Deserialize)]
+                struct TokenBody {
+                    code: String,
+                }
+                let body: TokenBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                Ok(ParsedServiceRequest::OAuthToken { code: AuthCode(body.code) })
+            }
+        }
+    }
+
+    fn check_key(&self, req: &Request) -> Result<(), ProtocolError> {
+        match req.header(SERVICE_KEY_HEADER) {
+            Some(k) if self.key.matches(k) => Ok(()),
+            _ => Err(ProtocolError::BadServiceKey),
+        }
+    }
+
+    fn check_token(&self, req: &Request) -> Result<UserId, ProtocolError> {
+        let token = req
+            .header(AUTHORIZATION_HEADER)
+            .and_then(AccessToken::from_bearer)
+            .ok_or(ProtocolError::BadAccessToken)?;
+        self.oauth
+            .validate(&token)
+            .cloned()
+            .ok_or(ProtocolError::BadAccessToken)
+    }
+
+    /// Build the wire response for a successful poll.
+    pub fn poll_ok(events: Vec<TriggerEvent>) -> Response {
+        Response::ok().with_body(wire::to_bytes(&PollResponseBody { data: events }))
+    }
+
+    /// Build the wire response for a successful action.
+    pub fn action_ok(outcome_id: impl Into<String>) -> Response {
+        Response::ok().with_body(wire::to_bytes(&ActionResponseBody::single(outcome_id)))
+    }
+
+    /// Build the wire response for a successful query.
+    pub fn query_ok(data: crate::ids::FieldMap) -> Response {
+        Response::ok().with_body(wire::to_bytes(&QueryResponseBody { data }))
+    }
+
+    /// Build the wire response for a protocol error.
+    pub fn error_response(err: &ProtocolError) -> Response {
+        Response::with_status(err.status())
+            .with_body(wire::to_bytes(&ErrorBody::message(err.to_string())))
+    }
+}
+
+/// Per-subscription buffered trigger events.
+///
+/// Matches the production semantics the paper observed: the service keeps a
+/// rolling buffer per trigger identity; a poll returns the newest `limit`
+/// events (newest first) and *does not* consume them — the engine
+/// de-duplicates by event id across polls.
+#[derive(Debug, Default)]
+pub struct TriggerBuffer {
+    buffers: HashMap<TriggerIdentity, VecDeque<TriggerEvent>>,
+    seen_ids: HashMap<TriggerIdentity, HashSet<String>>,
+    cap: usize,
+}
+
+impl TriggerBuffer {
+    /// Default retention per subscription.
+    pub const DEFAULT_CAP: usize = 1_000;
+
+    /// A buffer retaining up to `DEFAULT_CAP` events per subscription.
+    pub fn new() -> Self {
+        TriggerBuffer { cap: Self::DEFAULT_CAP, ..TriggerBuffer::default() }
+    }
+
+    /// A buffer with a custom per-subscription retention cap.
+    pub fn with_cap(cap: usize) -> Self {
+        TriggerBuffer { cap: cap.max(1), ..TriggerBuffer::default() }
+    }
+
+    /// Record an event for a subscription. Duplicate event ids are ignored.
+    /// Returns true if the event was newly recorded.
+    pub fn push(&mut self, identity: &TriggerIdentity, event: TriggerEvent) -> bool {
+        let seen = self.seen_ids.entry(identity.clone()).or_default();
+        if !seen.insert(event.meta.id.clone()) {
+            return false;
+        }
+        let buf = self.buffers.entry(identity.clone()).or_default();
+        buf.push_back(event);
+        while buf.len() > self.cap {
+            if let Some(evicted) = buf.pop_front() {
+                seen.remove(&evicted.meta.id);
+            }
+        }
+        true
+    }
+
+    /// The newest `limit` events for a subscription, newest first.
+    pub fn latest(&self, identity: &TriggerIdentity, limit: usize) -> Vec<TriggerEvent> {
+        let Some(buf) = self.buffers.get(identity) else {
+            return Vec::new();
+        };
+        buf.iter().rev().take(limit).cloned().collect()
+    }
+
+    /// Number of buffered events for a subscription.
+    pub fn len(&self, identity: &TriggerIdentity) -> usize {
+        self.buffers.get(identity).map_or(0, VecDeque::len)
+    }
+
+    /// True if nothing is buffered for a subscription.
+    pub fn is_empty(&self, identity: &TriggerIdentity) -> bool {
+        self.len(identity) == 0
+    }
+
+    /// Drop a subscription's buffer entirely.
+    pub fn clear(&mut self, identity: &TriggerIdentity) {
+        self.buffers.remove(identity);
+        self.seen_ids.remove(identity);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn endpoint() -> ServiceEndpoint {
+        ServiceEndpoint::new(ServiceSlug::new("svc"), ServiceKey("sk_test".into()))
+            .with_trigger("new_email")
+            .with_action("turn_on")
+    }
+
+    fn authed_poll_request(ep: &mut ServiceEndpoint) -> (Request, UserId) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let user = UserId::new("u1");
+        let token = ep.oauth.mint_token(user.clone(), &mut rng);
+        let ti = TriggerIdentity::derive(
+            &user,
+            ep.slug(),
+            &TriggerSlug::new("new_email"),
+            &Default::default(),
+        );
+        let body = PollRequestBody {
+            trigger_identity: ti,
+            trigger_fields: Default::default(),
+            user: user.clone(),
+            limit: 50,
+        };
+        let req = Request::post("/ifttt/v1/triggers/new_email")
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_body(wire::to_bytes(&body));
+        (req, user)
+    }
+
+    #[test]
+    fn authenticated_poll_parses() {
+        let mut ep = endpoint();
+        let (req, user) = authed_poll_request(&mut ep);
+        match ep.parse(&req).unwrap() {
+            ParsedServiceRequest::Poll { user: u, trigger, body } => {
+                assert_eq!(u, user);
+                assert_eq!(trigger, TriggerSlug::new("new_email"));
+                assert_eq!(body.limit, 50);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_service_key_is_401() {
+        let mut ep = endpoint();
+        let (mut req, _) = authed_poll_request(&mut ep);
+        req.headers.retain(|(n, _)| n != SERVICE_KEY_HEADER);
+        assert_eq!(ep.parse(&req), Err(ProtocolError::BadServiceKey));
+    }
+
+    #[test]
+    fn wrong_service_key_is_401() {
+        let mut ep = endpoint();
+        let (mut req, _) = authed_poll_request(&mut ep);
+        req.headers.retain(|(n, _)| n != SERVICE_KEY_HEADER);
+        let req = req.with_header(SERVICE_KEY_HEADER, "sk_wrong");
+        assert_eq!(ep.parse(&req), Err(ProtocolError::BadServiceKey));
+    }
+
+    #[test]
+    fn missing_token_is_401() {
+        let mut ep = endpoint();
+        let (mut req, _) = authed_poll_request(&mut ep);
+        req.headers.retain(|(n, _)| n != AUTHORIZATION_HEADER);
+        assert_eq!(ep.parse(&req), Err(ProtocolError::BadAccessToken));
+    }
+
+    #[test]
+    fn user_mismatch_is_401() {
+        let mut ep = endpoint();
+        let (req, _) = authed_poll_request(&mut ep);
+        // Re-body the request claiming a different user than the token's.
+        let body = PollRequestBody {
+            trigger_identity: TriggerIdentity("ti_x".into()),
+            trigger_fields: Default::default(),
+            user: UserId::new("mallory"),
+            limit: 50,
+        };
+        let req = Request::post(req.path.clone())
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(
+                AUTHORIZATION_HEADER,
+                req.header(AUTHORIZATION_HEADER).unwrap().to_string(),
+            )
+            .with_body(wire::to_bytes(&body));
+        assert_eq!(ep.parse(&req), Err(ProtocolError::BadAccessToken));
+    }
+
+    #[test]
+    fn unknown_trigger_is_404() {
+        let mut ep = endpoint();
+        let (req, _) = authed_poll_request(&mut ep);
+        let req = Request::post("/ifttt/v1/triggers/nonexistent")
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(
+                AUTHORIZATION_HEADER,
+                req.header(AUTHORIZATION_HEADER).unwrap().to_string(),
+            )
+            .with_body(req.body.clone());
+        assert!(matches!(ep.parse(&req), Err(ProtocolError::UnknownTrigger(_))));
+    }
+
+    #[test]
+    fn malformed_body_is_400() {
+        let mut ep = endpoint();
+        let (req, _) = authed_poll_request(&mut ep);
+        let req = Request::post("/ifttt/v1/triggers/new_email")
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(
+                AUTHORIZATION_HEADER,
+                req.header(AUTHORIZATION_HEADER).unwrap().to_string(),
+            )
+            .with_body("{oops");
+        assert!(matches!(ep.parse(&req), Err(ProtocolError::MalformedBody(_))));
+    }
+
+    #[test]
+    fn status_needs_only_service_key() {
+        let ep = endpoint();
+        let req = Request::get("/ifttt/v1/status").with_header(SERVICE_KEY_HEADER, "sk_test");
+        assert_eq!(ep.parse(&req), Ok(ParsedServiceRequest::Status));
+    }
+
+    #[test]
+    fn error_response_carries_json_error_body() {
+        let resp = ServiceEndpoint::error_response(&ProtocolError::BadServiceKey);
+        assert_eq!(resp.status, 401);
+        let body: ErrorBody = wire::from_bytes(&resp.body).unwrap();
+        assert_eq!(body.errors.len(), 1);
+    }
+
+    // --- TriggerBuffer ---
+
+    fn ti(n: u32) -> TriggerIdentity {
+        TriggerIdentity(format!("ti_{n}"))
+    }
+
+    #[test]
+    fn buffer_returns_newest_first_up_to_limit() {
+        let mut b = TriggerBuffer::new();
+        for i in 0..5 {
+            b.push(&ti(1), TriggerEvent::new(format!("e{i}"), i));
+        }
+        let got = b.latest(&ti(1), 3);
+        let ids: Vec<_> = got.iter().map(|e| e.meta.id.as_str()).collect();
+        assert_eq!(ids, vec!["e4", "e3", "e2"]);
+        // Poll does not consume.
+        assert_eq!(b.len(&ti(1)), 5);
+    }
+
+    #[test]
+    fn buffer_dedups_by_event_id() {
+        let mut b = TriggerBuffer::new();
+        assert!(b.push(&ti(1), TriggerEvent::new("e1", 0)));
+        assert!(!b.push(&ti(1), TriggerEvent::new("e1", 9)));
+        assert_eq!(b.len(&ti(1)), 1);
+    }
+
+    #[test]
+    fn buffer_evicts_oldest_beyond_cap() {
+        let mut b = TriggerBuffer::with_cap(3);
+        for i in 0..5 {
+            b.push(&ti(1), TriggerEvent::new(format!("e{i}"), i));
+        }
+        assert_eq!(b.len(&ti(1)), 3);
+        let ids: Vec<_> = b.latest(&ti(1), 10).iter().map(|e| e.meta.id.clone()).collect();
+        assert_eq!(ids, vec!["e4", "e3", "e2"]);
+        // An evicted id may be pushed again (it is no longer "seen").
+        assert!(b.push(&ti(1), TriggerEvent::new("e0", 9)));
+    }
+
+    #[test]
+    fn buffer_isolates_subscriptions() {
+        let mut b = TriggerBuffer::new();
+        b.push(&ti(1), TriggerEvent::new("e1", 0));
+        assert!(b.is_empty(&ti(2)));
+        assert_eq!(b.latest(&ti(2), 10), Vec::new());
+    }
+
+    #[test]
+    fn buffer_clear_forgets_everything() {
+        let mut b = TriggerBuffer::new();
+        b.push(&ti(1), TriggerEvent::new("e1", 0));
+        b.clear(&ti(1));
+        assert!(b.is_empty(&ti(1)));
+        assert!(b.push(&ti(1), TriggerEvent::new("e1", 0)));
+    }
+}

@@ -1,0 +1,259 @@
+//! JSON wire messages exchanged between the engine and partner services.
+//!
+//! Bodies are serialized with `serde_json` into real JSON bytes, so message
+//! sizes and parse failures behave like the production protocol.
+
+use crate::ids::{FieldMap, TriggerIdentity, UserId};
+
+use bytes::Bytes;
+use serde::de::DeserializeOwned;
+use serde::{Deserialize, Serialize};
+
+/// Default `limit` in polling queries: "up to k … (50 by default)" (§4).
+pub const DEFAULT_POLL_LIMIT: usize = 50;
+
+/// One trigger event returned from a poll.
+///
+/// `meta.id` de-duplicates events across polls; `meta.timestamp` is the
+/// virtual-time second the event occurred; `ingredients` carry the
+/// trigger-specific data the action can reference.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriggerEvent {
+    pub meta: EventMeta,
+    #[serde(default)]
+    pub ingredients: FieldMap,
+}
+
+/// Event identity and occurrence time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct EventMeta {
+    /// Service-unique event id.
+    pub id: String,
+    /// Occurrence time, in whole virtual seconds.
+    pub timestamp: u64,
+}
+
+impl TriggerEvent {
+    /// Construct an event with the given id and timestamp.
+    pub fn new(id: impl Into<String>, timestamp: u64) -> Self {
+        TriggerEvent {
+            meta: EventMeta { id: id.into(), timestamp },
+            ingredients: FieldMap::new(),
+        }
+    }
+
+    /// Add an ingredient.
+    pub fn with_ingredient(mut self, k: impl Into<String>, v: impl Into<String>) -> Self {
+        self.ingredients.insert(k.into(), v.into());
+        self
+    }
+}
+
+/// Engine → service: poll one trigger subscription.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PollRequestBody {
+    /// Stable identity of the subscription (user × trigger × fields).
+    pub trigger_identity: TriggerIdentity,
+    /// The applet's trigger field values.
+    #[serde(default)]
+    pub trigger_fields: FieldMap,
+    /// The user on whose behalf the engine polls.
+    pub user: UserId,
+    /// Maximum number of buffered events to return.
+    #[serde(default = "default_limit")]
+    pub limit: usize,
+}
+
+fn default_limit() -> usize {
+    DEFAULT_POLL_LIMIT
+}
+
+/// Service → engine: buffered events, newest first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PollResponseBody {
+    pub data: Vec<TriggerEvent>,
+}
+
+/// Engine → service: execute one action.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionRequestBody {
+    /// The applet's action field values (after ingredient substitution).
+    #[serde(default)]
+    pub action_fields: FieldMap,
+    /// The user on whose behalf the action runs.
+    pub user: UserId,
+}
+
+/// Service → engine: action executed; `id` names the created resource.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionResponseBody {
+    pub data: Vec<ActionOutcome>,
+}
+
+/// The outcome record inside an action response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActionOutcome {
+    pub id: String,
+}
+
+impl ActionResponseBody {
+    /// A single-outcome success body.
+    pub fn single(id: impl Into<String>) -> Self {
+        ActionResponseBody { data: vec![ActionOutcome { id: id.into() }] }
+    }
+}
+
+/// Service → engine realtime-API hint: these subscriptions have fresh data.
+///
+/// "The real-time API merely provides hints to the IFTTT engine, which
+/// still needs to poll the service to get the trigger event delivered" (§4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeNotification {
+    pub data: Vec<RealtimeItem>,
+}
+
+/// One hinted subscription.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeItem {
+    pub trigger_identity: TriggerIdentity,
+}
+
+impl RealtimeNotification {
+    /// A hint for a single subscription.
+    pub fn single(ti: TriggerIdentity) -> Self {
+        RealtimeNotification { data: vec![RealtimeItem { trigger_identity: ti }] }
+    }
+}
+
+/// Engine → service: run one read-only query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRequestBody {
+    /// The applet's query field values.
+    #[serde(default)]
+    pub query_fields: FieldMap,
+    /// The user on whose behalf the query runs.
+    pub user: UserId,
+}
+
+/// Service → engine: the query result as key/value ingredients.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryResponseBody {
+    pub data: FieldMap,
+}
+
+/// Error body: `{"errors": [{"message": "..."}]}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorBody {
+    pub errors: Vec<ErrorItem>,
+}
+
+/// One error message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorItem {
+    pub message: String,
+}
+
+impl ErrorBody {
+    /// A single-message error body.
+    pub fn message(msg: impl Into<String>) -> Self {
+        ErrorBody { errors: vec![ErrorItem { message: msg.into() }] }
+    }
+}
+
+/// Serialize a body to JSON bytes (infallible for these types).
+pub fn to_bytes<T: Serialize>(body: &T) -> Bytes {
+    Bytes::from(serde_json::to_vec(body).expect("wire types serialize"))
+}
+
+/// Parse JSON bytes into a body type.
+pub fn from_bytes<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, serde_json::Error> {
+    serde_json::from_slice(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ServiceSlug, TriggerSlug};
+
+    #[test]
+    fn poll_request_roundtrips() {
+        let ti = TriggerIdentity::derive(
+            &UserId::new("u"),
+            &ServiceSlug::new("s"),
+            &TriggerSlug::new("t"),
+            &FieldMap::new(),
+        );
+        let body = PollRequestBody {
+            trigger_identity: ti,
+            trigger_fields: [("a".to_string(), "1".to_string())].into_iter().collect(),
+            user: UserId::new("u"),
+            limit: 10,
+        };
+        let bytes = to_bytes(&body);
+        let back: PollRequestBody = from_bytes(&bytes).unwrap();
+        assert_eq!(back, body);
+    }
+
+    #[test]
+    fn poll_request_limit_defaults_to_50() {
+        let json = r#"{"trigger_identity":"ti_x","user":"u1"}"#;
+        let body: PollRequestBody = from_bytes(json.as_bytes()).unwrap();
+        assert_eq!(body.limit, DEFAULT_POLL_LIMIT);
+        assert!(body.trigger_fields.is_empty());
+    }
+
+    #[test]
+    fn trigger_event_builder() {
+        let e = TriggerEvent::new("ev1", 42).with_ingredient("subject", "hello");
+        assert_eq!(e.meta.id, "ev1");
+        assert_eq!(e.meta.timestamp, 42);
+        assert_eq!(e.ingredients["subject"], "hello");
+    }
+
+    #[test]
+    fn action_response_single() {
+        let b = ActionResponseBody::single("row_9");
+        let bytes = to_bytes(&b);
+        assert_eq!(
+            String::from_utf8_lossy(&bytes),
+            r#"{"data":[{"id":"row_9"}]}"#
+        );
+    }
+
+    #[test]
+    fn error_body_shape() {
+        let b = ErrorBody::message("nope");
+        assert_eq!(
+            String::from_utf8_lossy(&to_bytes(&b)),
+            r#"{"errors":[{"message":"nope"}]}"#
+        );
+    }
+
+    #[test]
+    fn malformed_json_is_an_error() {
+        assert!(from_bytes::<PollRequestBody>(b"{not json").is_err());
+        assert!(from_bytes::<PollRequestBody>(b"{}").is_err());
+    }
+
+    #[test]
+    fn query_bodies_roundtrip() {
+        let q = QueryRequestBody {
+            query_fields: [("city".to_string(), "rome".to_string())].into_iter().collect(),
+            user: UserId::new("u"),
+        };
+        let back: QueryRequestBody = from_bytes(&to_bytes(&q)).unwrap();
+        assert_eq!(back, q);
+        let r = QueryResponseBody {
+            data: [("condition".to_string(), "rain".to_string())].into_iter().collect(),
+        };
+        let back: QueryResponseBody = from_bytes(&to_bytes(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn realtime_notification_roundtrips() {
+        let n = RealtimeNotification::single(TriggerIdentity("ti_1".into()));
+        let back: RealtimeNotification = from_bytes(&to_bytes(&n)).unwrap();
+        assert_eq!(back, n);
+    }
+}

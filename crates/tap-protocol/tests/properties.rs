@@ -1,0 +1,123 @@
+//! Property-based tests for the wire protocol.
+
+use proptest::prelude::*;
+use tap_protocol::wire::{self, ActionRequestBody, PollRequestBody, PollResponseBody, TriggerEvent};
+use tap_protocol::{FieldMap, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
+
+fn arb_fields() -> impl Strategy<Value = FieldMap> {
+    proptest::collection::btree_map("[a-z_]{1,12}", "[ -~]{0,40}", 0..6)
+}
+
+proptest! {
+    /// Any poll request body round-trips through JSON bytes.
+    #[test]
+    fn poll_request_roundtrips(
+        user in "[a-z0-9_]{1,20}",
+        ti in "[a-z0-9_]{1,32}",
+        fields in arb_fields(),
+        limit in 1usize..1000,
+    ) {
+        let body = PollRequestBody {
+            trigger_identity: TriggerIdentity(ti),
+            trigger_fields: fields,
+            user: UserId::new(user),
+            limit,
+        };
+        let bytes = wire::to_bytes(&body);
+        let back: PollRequestBody = wire::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, body);
+    }
+
+    /// Any poll response (arbitrary events + ingredients) round-trips.
+    #[test]
+    fn poll_response_roundtrips(
+        ids in proptest::collection::vec("[a-zA-Z0-9_]{1,24}", 0..20),
+        ts in 0u64..1_000_000,
+        fields in arb_fields(),
+    ) {
+        let data: Vec<TriggerEvent> = ids
+            .into_iter()
+            .map(|id| {
+                let mut e = TriggerEvent::new(id, ts);
+                e.ingredients = fields.clone();
+                e
+            })
+            .collect();
+        let body = PollResponseBody { data };
+        let back: PollResponseBody = wire::from_bytes(&wire::to_bytes(&body)).unwrap();
+        prop_assert_eq!(back, body);
+    }
+
+    /// Action request bodies round-trip.
+    #[test]
+    fn action_request_roundtrips(user in "[a-z0-9_]{1,20}", fields in arb_fields()) {
+        let body = ActionRequestBody { action_fields: fields, user: UserId::new(user) };
+        let back: ActionRequestBody = wire::from_bytes(&wire::to_bytes(&body)).unwrap();
+        prop_assert_eq!(back, body);
+    }
+
+    /// Trigger identities are deterministic functions of their inputs and
+    /// never collide across distinct (user, trigger) pairs in a small grid.
+    #[test]
+    fn trigger_identity_determinism(
+        user in "[a-z0-9]{1,10}",
+        service in "[a-z0-9_]{1,10}",
+        trigger in "[a-z0-9_]{1,10}",
+        fields in arb_fields(),
+    ) {
+        let u = UserId::new(user);
+        let s = ServiceSlug::new(service);
+        let t = TriggerSlug::new(trigger);
+        let a = TriggerIdentity::derive(&u, &s, &t, &fields);
+        let b = TriggerIdentity::derive(&u, &s, &t, &fields);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Parsing garbage bytes never panics — it just errs.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = wire::from_bytes::<PollRequestBody>(&bytes);
+        let _ = wire::from_bytes::<PollResponseBody>(&bytes);
+        let _ = wire::from_bytes::<ActionRequestBody>(&bytes);
+    }
+
+    /// Endpoint paths built by the helpers always parse back to the same
+    /// endpoint, regardless of slug content.
+    #[test]
+    fn endpoint_paths_roundtrip(slug in "[a-z0-9_]{1,30}") {
+        use tap_protocol::endpoints::{action_path, parse, trigger_path, Endpoint};
+        let t = TriggerSlug::new(slug.clone());
+        prop_assert_eq!(parse(&trigger_path(&t)), Some(Endpoint::Trigger(t)));
+        let a = tap_protocol::ActionSlug::new(slug);
+        prop_assert_eq!(parse(&action_path(&a)), Some(Endpoint::Action(a)));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The trigger buffer never exceeds its cap, never duplicates ids, and
+    /// `latest` is always newest-first.
+    #[test]
+    fn trigger_buffer_invariants(
+        ops in proptest::collection::vec(("[a-z0-9]{1,6}", 0u64..100), 1..200),
+        cap in 1usize..50,
+        limit in 1usize..60,
+    ) {
+        use tap_protocol::service::TriggerBuffer;
+        let mut buf = TriggerBuffer::with_cap(cap);
+        let ti = TriggerIdentity("ti_prop".into());
+        for (id, ts) in &ops {
+            buf.push(&ti, TriggerEvent::new(id.clone(), *ts));
+        }
+        prop_assert!(buf.len(&ti) <= cap);
+        let latest = buf.latest(&ti, limit);
+        prop_assert!(latest.len() <= limit.min(cap));
+        // No duplicate ids in the buffer view.
+        let mut ids: Vec<&str> = latest.iter().map(|e| e.meta.id.as_str()).collect();
+        let n = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), n);
+    }
+}

@@ -1,0 +1,290 @@
+//! The popular applets of Table 4 (A1–A7), plus the service-substitution
+//! variants used by experiments E1/E2.
+
+use engine::{ActionRef, Applet, AppletId, TriggerRef};
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+
+use crate::topology::AUTHOR;
+
+/// The applets of Table 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PaperApplet {
+    /// "If my Wemo switch is activated, add line to spreadsheet."
+    A1,
+    /// "Turn on my Hue light from the Wemo light switch."
+    A2,
+    /// "When any new email arrives in gmail, blink the Hue light."
+    A3,
+    /// "Automatically save new gmail attachments to google drive."
+    A4,
+    /// "Use Alexa's voice control to turn off the Hue light."
+    A5,
+    /// "Use Alexa's voice control to activate the Wemo switch."
+    A6,
+    /// "Keep a google spreadsheet of songs you listen to on Alexa."
+    A7,
+}
+
+/// All seven, in order.
+pub const ALL_PAPER_APPLETS: [PaperApplet; 7] = [
+    PaperApplet::A1,
+    PaperApplet::A2,
+    PaperApplet::A3,
+    PaperApplet::A4,
+    PaperApplet::A5,
+    PaperApplet::A6,
+    PaperApplet::A7,
+];
+
+impl PaperApplet {
+    /// Table 4's description.
+    pub fn description(self) -> &'static str {
+        match self {
+            PaperApplet::A1 => "If my Wemo switch is activated, add line to spreadsheet.",
+            PaperApplet::A2 => "Turn on my Hue light from the Wemo light switch.",
+            PaperApplet::A3 => "When any new email arrives in gmail, blink the Hue light.",
+            PaperApplet::A4 => "Automatically save new gmail attachments to google drive.",
+            PaperApplet::A5 => "Use Alexa's voice control to turn off the Hue light.",
+            PaperApplet::A6 => "Use Alexa's voice control to actviate the Wemo switch.",
+            PaperApplet::A7 => "Keep a google spreadsheet of songs you listen to on Alexa.",
+        }
+    }
+
+    /// Stable applet id (1–7).
+    pub fn id(self) -> AppletId {
+        AppletId(match self {
+            PaperApplet::A1 => 1,
+            PaperApplet::A2 => 2,
+            PaperApplet::A3 => 3,
+            PaperApplet::A4 => 4,
+            PaperApplet::A5 => 5,
+            PaperApplet::A6 => 6,
+            PaperApplet::A7 => 7,
+        })
+    }
+
+    /// The usage-scenario group of §4 ("A1 to A4 cover different usage
+    /// scenarios … A5 to A7 use Amazon Alexa as the trigger").
+    pub fn group(self) -> &'static str {
+        match self {
+            PaperApplet::A1 => "IoT->WebApp",
+            PaperApplet::A2 => "IoT->IoT",
+            PaperApplet::A3 => "WebApp->IoT",
+            PaperApplet::A4 => "WebApp->WebApp",
+            _ => "Alexa",
+        }
+    }
+
+    /// The voice phrase that activates the Alexa applets.
+    pub fn voice_phrase(self) -> Option<&'static str> {
+        match self {
+            PaperApplet::A5 => Some("alexa trigger light off"),
+            PaperApplet::A6 => Some("alexa trigger switch on"),
+            PaperApplet::A7 => Some("play yesterday"),
+            _ => None,
+        }
+    }
+
+    /// The observation kind that marks the action as executed.
+    pub fn action_marker(self) -> &'static str {
+        match self {
+            PaperApplet::A1 => "row_added",
+            PaperApplet::A2 => "light_on",
+            // A blink starts by toggling the (off) lamp on.
+            PaperApplet::A3 => "light_on",
+            PaperApplet::A4 => "file_saved",
+            PaperApplet::A5 => "light_off",
+            PaperApplet::A6 => "switched_on",
+            PaperApplet::A7 => "row_added",
+        }
+    }
+}
+
+/// Which services implement an applet's halves (experiments E1/E2 of §4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceVariant {
+    /// Official vendor partner services (Figure 4's setup).
+    Official,
+    /// E1: trigger service replaced with Our Service ❺.
+    OursTrigger,
+    /// E2 (and E3, which also swaps the engine): both halves on Our
+    /// Service.
+    OursBoth,
+}
+
+fn fm(pairs: &[(&str, &str)]) -> FieldMap {
+    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+}
+
+/// Build the [`Applet`] for a paper applet under a service variant.
+pub fn paper_applet(which: PaperApplet, variant: ServiceVariant) -> Applet {
+    let owner = UserId::new(AUTHOR);
+    let ours = ServiceSlug::new("our_service");
+    let t = |service: &str, trigger: &str, fields: FieldMap| TriggerRef {
+        service: ServiceSlug::new(service),
+        trigger: TriggerSlug::new(trigger),
+        fields,
+    };
+    let a = |service: &str, action: &str, fields: FieldMap| ActionRef {
+        service: ServiceSlug::new(service),
+        action: ActionSlug::new(action),
+        fields,
+    };
+
+    // Official halves.
+    let (mut trigger, mut action) = match which {
+        PaperApplet::A1 => (
+            t("wemo", "switch_activated", FieldMap::new()),
+            a(
+                "google_sheets",
+                "add_row",
+                fm(&[("spreadsheet", "switch_log"), ("row", "activated|||{{device}}")]),
+            ),
+        ),
+        PaperApplet::A2 => (
+            t("wemo", "switch_activated", FieldMap::new()),
+            a("philips_hue", "turn_on_lights", FieldMap::new()),
+        ),
+        PaperApplet::A3 => (
+            t("gmail", "any_new_email", FieldMap::new()),
+            a("philips_hue", "blink_lights", FieldMap::new()),
+        ),
+        PaperApplet::A4 => (
+            t("gmail", "new_attachment", FieldMap::new()),
+            a(
+                "google_drive",
+                "save_file",
+                fm(&[("name", "{{subject}}.attachment"), ("content", "{{subject}}")]),
+            ),
+        ),
+        PaperApplet::A5 => (
+            t("amazon_alexa", "say_a_phrase", fm(&[("phrase", "light off")])),
+            a("philips_hue", "turn_off_lights", FieldMap::new()),
+        ),
+        PaperApplet::A6 => (
+            t("amazon_alexa", "say_a_phrase", fm(&[("phrase", "switch on")])),
+            a("wemo", "turn_on", FieldMap::new()),
+        ),
+        PaperApplet::A7 => (
+            t("amazon_alexa", "song_played", FieldMap::new()),
+            a(
+                "google_sheets",
+                "add_row",
+                fm(&[("spreadsheet", "songs"), ("row", "{{song}}")]),
+            ),
+        ),
+    };
+
+    // Substitute Our Service per the experiment variant. (Only the A2/A3
+    // shapes are exercised by E1–E3, but the mapping is total.)
+    if variant != ServiceVariant::Official {
+        trigger = match which {
+            PaperApplet::A1 | PaperApplet::A2 => TriggerRef {
+                service: ours.clone(),
+                trigger: TriggerSlug::new("wemo_switched_on"),
+                fields: FieldMap::new(),
+            },
+            PaperApplet::A3 | PaperApplet::A4 => TriggerRef {
+                service: ours.clone(),
+                trigger: TriggerSlug::new("any_new_email"),
+                fields: FieldMap::new(),
+            },
+            // Alexa cannot be replaced (Amazon's cloud is the backend);
+            // the paper notes that self-hosting Alexa loses the special
+            // treatment — modeled by routing through Our Service's generic
+            // triggers is not possible, so keep the official trigger.
+            _ => trigger,
+        };
+    }
+    if variant == ServiceVariant::OursBoth {
+        action = match which {
+            PaperApplet::A2 => ActionRef {
+                service: ours.clone(),
+                action: ActionSlug::new("hue_turn_on"),
+                fields: FieldMap::new(),
+            },
+            PaperApplet::A3 => ActionRef {
+                service: ours.clone(),
+                action: ActionSlug::new("hue_blink"),
+                fields: FieldMap::new(),
+            },
+            PaperApplet::A5 => ActionRef {
+                service: ours.clone(),
+                action: ActionSlug::new("hue_turn_off"),
+                fields: FieldMap::new(),
+            },
+            PaperApplet::A6 => ActionRef {
+                service: ours.clone(),
+                action: ActionSlug::new("wemo_turn_on"),
+                fields: FieldMap::new(),
+            },
+            PaperApplet::A1 | PaperApplet::A7 => ActionRef {
+                service: ours.clone(),
+                action: ActionSlug::new("add_row"),
+                fields: action.fields.clone(),
+            },
+            PaperApplet::A4 => ActionRef {
+                service: ours,
+                action: ActionSlug::new("save_file"),
+                fields: action.fields.clone(),
+            },
+        };
+    }
+
+    Applet::new(which.id(), which.description(), owner, trigger, action)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn official_applets_reference_vendor_services() {
+        let a2 = paper_applet(PaperApplet::A2, ServiceVariant::Official);
+        assert_eq!(a2.trigger.service.as_str(), "wemo");
+        assert_eq!(a2.action.service.as_str(), "philips_hue");
+        let a7 = paper_applet(PaperApplet::A7, ServiceVariant::Official);
+        assert_eq!(a7.trigger.service.as_str(), "amazon_alexa");
+        assert_eq!(a7.action.fields["row"], "{{song}}");
+    }
+
+    #[test]
+    fn e1_replaces_only_the_trigger() {
+        let a2 = paper_applet(PaperApplet::A2, ServiceVariant::OursTrigger);
+        assert_eq!(a2.trigger.service.as_str(), "our_service");
+        assert_eq!(a2.action.service.as_str(), "philips_hue");
+    }
+
+    #[test]
+    fn e2_replaces_both_halves() {
+        let a2 = paper_applet(PaperApplet::A2, ServiceVariant::OursBoth);
+        assert_eq!(a2.trigger.service.as_str(), "our_service");
+        assert_eq!(a2.action.service.as_str(), "our_service");
+        assert_eq!(a2.action.action.as_str(), "hue_turn_on");
+    }
+
+    #[test]
+    fn groups_match_the_paper() {
+        assert_eq!(PaperApplet::A1.group(), "IoT->WebApp");
+        assert_eq!(PaperApplet::A2.group(), "IoT->IoT");
+        assert_eq!(PaperApplet::A3.group(), "WebApp->IoT");
+        assert_eq!(PaperApplet::A4.group(), "WebApp->WebApp");
+        for a in [PaperApplet::A5, PaperApplet::A6, PaperApplet::A7] {
+            assert_eq!(a.group(), "Alexa");
+        }
+    }
+
+    #[test]
+    fn alexa_applets_have_voice_phrases() {
+        for a in ALL_PAPER_APPLETS {
+            assert_eq!(a.voice_phrase().is_some(), a.group() == "Alexa");
+        }
+    }
+
+    #[test]
+    fn ids_are_distinct() {
+        let mut ids: Vec<u32> = ALL_PAPER_APPLETS.iter().map(|a| a.id().0).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 7);
+    }
+}

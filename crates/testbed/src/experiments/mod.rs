@@ -1,0 +1,17 @@
+//! The controlled experiments of §4.
+
+pub mod concurrent;
+pub mod loops;
+pub mod sequential;
+pub mod t2a;
+pub mod timeline;
+pub mod workload;
+
+pub use concurrent::concurrent_experiment;
+pub use loops::{
+    explicit_loop_experiment, implicit_loop_experiment, normal_usage_experiment, LoopOutcome,
+};
+pub use sequential::sequential_experiment;
+pub use t2a::{measure_t2a, T2aScenario};
+pub use timeline::timeline_experiment;
+pub use workload::{run_workload, WorkloadOutcome};

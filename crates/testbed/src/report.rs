@@ -1,0 +1,205 @@
+//! Typed experiment results with plain-text renderings.
+
+use analysis::stats::{Cdf, Summary};
+use serde::{Deserialize, Serialize};
+use simnet::time::SimTime;
+
+/// Trigger-to-action latency samples for one applet/scenario (Figures 4/5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct T2aReport {
+    /// e.g. `"A2 (official)"` or `"A2 E3"`.
+    pub label: String,
+    /// T2A latencies in seconds, in run order.
+    pub samples: Vec<f64>,
+    /// Activations that never produced an action within the timeout.
+    pub lost: usize,
+}
+
+impl T2aReport {
+    /// Summary statistics of the samples.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.samples)
+    }
+
+    /// The empirical CDF.
+    pub fn cdf(&self) -> Cdf {
+        Cdf::of(&self.samples)
+    }
+
+    /// One text line: label + quartiles + extremes.
+    pub fn render_line(&self) -> String {
+        let s = self.summary();
+        format!(
+            "{:<16} n={:<3} p25={:>7.1}s p50={:>7.1}s p75={:>7.1}s p95={:>7.1}s max={:>7.1}s",
+            self.label, s.n, s.p25, s.p50, s.p75, s.p95, s.max
+        )
+    }
+
+    /// CDF series rendering (value, fraction) for plotting.
+    pub fn render_cdf(&self, points: usize) -> String {
+        let mut out = format!("# {} CDF (T2A seconds, fraction)\n", self.label);
+        for (x, f) in self.cdf().downsample(points) {
+            out.push_str(&format!("{x:.2}\t{f:.3}\n"));
+        }
+        out
+    }
+}
+
+/// Figure 6: sequential trigger activations vs. clustered actions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SequentialReport {
+    /// Trigger activation times (s).
+    pub triggers: Vec<f64>,
+    /// Action execution times (s).
+    pub actions: Vec<f64>,
+    /// Cluster boundaries: indices into `actions` where a new cluster
+    /// starts (actions within `cluster_gap` seconds belong together).
+    pub clusters: Vec<Vec<f64>>,
+}
+
+impl SequentialReport {
+    /// Group action times into clusters separated by more than `gap`.
+    pub fn new(triggers: Vec<f64>, actions: Vec<f64>, gap: f64) -> SequentialReport {
+        let mut clusters: Vec<Vec<f64>> = Vec::new();
+        for &a in &actions {
+            match clusters.last_mut() {
+                Some(c) if a - *c.last().expect("nonempty") <= gap => c.push(a),
+                _ => clusters.push(vec![a]),
+            }
+        }
+        SequentialReport { triggers, actions, clusters }
+    }
+
+    /// Largest inter-cluster gap (the paper observes up to 14 minutes).
+    pub fn max_cluster_gap(&self) -> f64 {
+        self.clusters
+            .windows(2)
+            .map(|w| w[1][0] - *w[0].last().expect("nonempty"))
+            .fold(0.0, f64::max)
+    }
+
+    /// Text rendering: two timelines plus cluster structure.
+    pub fn render(&self) -> String {
+        let fmt_times = |v: &[f64]| {
+            v.iter().map(|t| format!("{t:.0}")).collect::<Vec<_>>().join(" ")
+        };
+        let mut out = format!(
+            "triggers (s): {}\nactions  (s): {}\nclusters: {}\n",
+            fmt_times(&self.triggers),
+            fmt_times(&self.actions),
+            self.clusters.len()
+        );
+        for (i, c) in self.clusters.iter().enumerate() {
+            out.push_str(&format!(
+                "  cluster {}: {} actions at {:.0}..{:.0}s\n",
+                i + 1,
+                c.len(),
+                c[0],
+                c.last().expect("nonempty")
+            ));
+        }
+        out
+    }
+}
+
+/// Figure 7: per-run T2A difference between two same-trigger applets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrentReport {
+    /// `t2a(first applet) − t2a(second applet)` per run, seconds.
+    pub diffs: Vec<f64>,
+}
+
+impl ConcurrentReport {
+    /// Summary of the differences.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.diffs)
+    }
+
+    /// CDF series rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from("# T2A latency difference CDF (seconds, fraction)\n");
+        for (x, f) in Cdf::of(&self.diffs).downsample(25) {
+            out.push_str(&format!("{x:.1}\t{f:.3}\n"));
+        }
+        let s = self.summary();
+        out.push_str(&format!("range: {:.1}s .. {:.1}s\n", s.min, s.max));
+        out
+    }
+}
+
+/// Table 5: one applet execution's event timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineReport {
+    /// `(seconds since trigger, event description)`, time-ordered.
+    pub entries: Vec<(f64, String)>,
+}
+
+impl TimelineReport {
+    /// Seconds since `t0` helper.
+    pub fn rel(t0: SimTime, t: SimTime) -> f64 {
+        t.since(t0).as_secs_f64()
+    }
+
+    /// Text rendering in Table 5's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from("t (s)    Event Description\n");
+        out.push_str("--------------------------------\n");
+        for (t, desc) in &self.entries {
+            out.push_str(&format!("{t:<8.2} {desc}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t2a_report_summary_and_render() {
+        let r = T2aReport {
+            label: "A2".into(),
+            samples: vec![58.0, 84.0, 122.0, 60.0, 90.0],
+            lost: 0,
+        };
+        let s = r.summary();
+        assert_eq!(s.n, 5);
+        assert!(r.render_line().contains("A2"));
+        assert!(r.render_cdf(5).lines().count() >= 5);
+    }
+
+    #[test]
+    fn sequential_clustering_groups_nearby_actions() {
+        let r = SequentialReport::new(
+            vec![0.0, 5.0, 10.0, 15.0],
+            vec![119.0, 119.5, 120.0, 247.0, 247.2, 351.0],
+            5.0,
+        );
+        assert_eq!(r.clusters.len(), 3);
+        assert_eq!(r.clusters[0].len(), 3);
+        assert!((r.max_cluster_gap() - 127.0).abs() < 0.1);
+        assert!(r.render().contains("cluster 1"));
+    }
+
+    #[test]
+    fn concurrent_report_ranges() {
+        let r = ConcurrentReport { diffs: vec![-60.0, 0.0, 140.0] };
+        let s = r.summary();
+        assert_eq!(s.min, -60.0);
+        assert_eq!(s.max, 140.0);
+        assert!(r.render().contains("range"));
+    }
+
+    #[test]
+    fn timeline_renders_in_order() {
+        let t = TimelineReport {
+            entries: vec![
+                (0.0, "Test controller sets the trigger event".into()),
+                (81.1, "IFTTT engine polls trigger service".into()),
+            ],
+        };
+        let text = t.render();
+        assert!(text.contains("81.10"));
+        assert!(text.lines().count() >= 4);
+    }
+}

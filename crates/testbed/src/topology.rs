@@ -1,0 +1,364 @@
+//! The Figure 1 topology.
+//!
+//! Home LAN: Hue lamp ❶ — Hue hub ❷ — local proxy ❸ — gateway router ❹,
+//! plus the WeMo switch, Echo Dot, and SmartThings hub. WAN: the authors'
+//! service server ❺, the official vendor services ❻, the IFTTT engine ❼,
+//! and the Google cloud. The test controller ❾ sits in the home LAN.
+//!
+//! Devices enforce the LAN rule: the Hue hub accepts the proxy and (vendor
+//! pairing) the official Hue cloud; the WeMo switch accepts the proxy and
+//! the WeMo cloud.
+
+use devices::echo::EchoDot;
+use devices::google::GoogleCloud;
+use devices::hue::{HueHub, HueLamp};
+use devices::proxy::{DeviceRoute, LocalProxy};
+use devices::services::alexa_service::AlexaService;
+use devices::services::datetime_service::DateTimeService;
+use devices::services::google_services::{DriveService, GmailService, SheetsService};
+use devices::services::hue_service::{HueAccount, HueService};
+use devices::services::nest_service::NestService;
+use devices::services::our_service::OurService;
+use devices::services::weather_service::WeatherService;
+use devices::services::wemo_service::WemoService;
+use devices::nest::NestThermostat;
+use devices::smartthings::{SensorKind, SmartThingsHub};
+use devices::weather::WeatherStation;
+use devices::wemo::WemoSwitch;
+use engine::{EngineConfig, TapEngine};
+use simnet::prelude::*;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::{ServiceSlug, UserId};
+
+use crate::controller::TestController;
+
+/// The home owner's account name used across all services.
+pub const AUTHOR: &str = "author";
+
+/// Node handles of the assembled testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct Nodes {
+    pub lamp: NodeId,
+    pub hue_hub: NodeId,
+    pub wemo_switch: NodeId,
+    pub echo: NodeId,
+    pub st_hub: NodeId,
+    pub proxy: NodeId,
+    pub router: NodeId,
+    pub our_service: NodeId,
+    pub google: NodeId,
+    pub hue_service: NodeId,
+    pub wemo_service: NodeId,
+    pub gmail_service: NodeId,
+    pub drive_service: NodeId,
+    pub sheets_service: NodeId,
+    pub alexa_service: NodeId,
+    pub weather_station: NodeId,
+    pub weather_service: NodeId,
+    pub nest: NodeId,
+    pub nest_service: NodeId,
+    pub datetime_service: NodeId,
+    pub engine: NodeId,
+    pub controller: NodeId,
+}
+
+/// Testbed construction parameters.
+#[derive(Debug, Clone)]
+pub struct TestbedConfig {
+    pub seed: u64,
+    /// Engine behaviour (production-like by default; E3 swaps in `fast`).
+    pub engine: EngineConfig,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig { seed: 1, engine: EngineConfig::ifttt_like() }
+    }
+}
+
+/// A pure pass-through node standing in for the gateway router ❹.
+#[derive(Debug)]
+pub struct GatewayRouter;
+impl Node for GatewayRouter {}
+
+/// The assembled testbed.
+pub struct Testbed {
+    pub sim: Sim,
+    pub nodes: Nodes,
+}
+
+impl Testbed {
+    /// Build the full Figure 1 world.
+    pub fn build(config: TestbedConfig) -> Testbed {
+        let mut sim = Sim::new(config.seed);
+
+        // --- Cloud side -------------------------------------------------
+        let google = sim.add_node("google_cloud", GoogleCloud::new());
+        let hue_service =
+            sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
+        let wemo_service =
+            sim.add_node("wemo_service", WemoService::new(ServiceKey("sk_wemo".into())));
+        let gmail_service = sim.add_node(
+            "gmail_service",
+            GmailService::new(ServiceKey("sk_gmail".into()), google),
+        );
+        let drive_service = sim.add_node(
+            "drive_service",
+            DriveService::new(ServiceKey("sk_drive".into()), google),
+        );
+        let sheets_service = sim.add_node(
+            "sheets_service",
+            SheetsService::new(ServiceKey("sk_sheets".into()), google),
+        );
+        let alexa_service =
+            sim.add_node("alexa_service", AlexaService::new(ServiceKey("sk_alexa".into())));
+        let weather_station = sim.add_node("weather_station", WeatherStation::new());
+        let nest_service =
+            sim.add_node("nest_service", NestService::new(ServiceKey("sk_nest".into())));
+        let datetime_service =
+            sim.add_node("date_time", DateTimeService::new(ServiceKey("sk_time".into())));
+        let weather_service =
+            sim.add_node("weather_service", WeatherService::new(ServiceKey("sk_weather".into())));
+        let our_service =
+            sim.add_node("our_service", OurService::new(ServiceKey("sk_ours".into())));
+        let engine = sim.add_node("ifttt_engine", TapEngine::new(config.engine));
+
+        // --- Home side --------------------------------------------------
+        let hue_hub = sim.add_node("hue_hub", HueHub::new("hueuser"));
+        let lamp = sim.add_node("hue_lamp_1", HueLamp::new("hue_lamp_1", AUTHOR));
+        let wemo_switch =
+            sim.add_node("wemo_switch_1", WemoSwitch::new("wemo_switch_1", AUTHOR));
+        let echo = sim.add_node("echo_dot", EchoDot::new("echo_1", AUTHOR, alexa_service));
+        let st_hub = sim.add_node("st_hub", SmartThingsHub::new(AUTHOR));
+        let nest = sim.add_node("nest_1", NestThermostat::new("nest_1", AUTHOR));
+        let proxy = sim.add_node("local_proxy", LocalProxy::new());
+        let router = sim.add_node("gateway_router", GatewayRouter);
+        let controller = sim.add_node("test_controller", TestController::new());
+
+        // --- Links ------------------------------------------------------
+        sim.link(hue_hub, lamp, LinkSpec::radio()); // Zigbee ❶–❷
+        for dev in [hue_hub, wemo_switch, echo, st_hub, nest, proxy, controller] {
+            sim.link(dev, router, LinkSpec::lan());
+        }
+        // Direct LAN adjacency where devices talk without the router.
+        sim.link(proxy, hue_hub, LinkSpec::lan());
+        sim.link(proxy, wemo_switch, LinkSpec::lan());
+        sim.link(controller, wemo_switch, LinkSpec::lan());
+        sim.link(controller, echo, LinkSpec::lan());
+        // WAN side: router to each cloud entity.
+        for cloud in [our_service, google, hue_service, wemo_service, alexa_service, nest_service] {
+            sim.link(router, cloud, LinkSpec::wan());
+        }
+        sim.link(weather_station, weather_service, LinkSpec::wan());
+        // Datacenter mesh between the engine / services / Google.
+        for svc in [
+            our_service,
+            google,
+            hue_service,
+            wemo_service,
+            gmail_service,
+            drive_service,
+            sheets_service,
+            alexa_service,
+            weather_service,
+            nest_service,
+            datetime_service,
+        ] {
+            sim.link(engine, svc, LinkSpec::datacenter());
+        }
+        for svc in [gmail_service, drive_service, sheets_service] {
+            sim.link(google, svc, LinkSpec::datacenter());
+        }
+
+        // --- Wiring: device registries, allowlists, observers ------------
+        sim.node_mut::<HueHub>(hue_hub).register_lamp("hue_lamp_1", lamp);
+        sim.node_mut::<HueLamp>(lamp).observe(hue_hub);
+        // Devices accept only LAN proxy + paired vendor clouds.
+        sim.node_mut::<HueHub>(hue_hub).allow_only(vec![proxy, hue_service]);
+        sim.node_mut::<WemoSwitch>(wemo_switch).allow_only(vec![proxy, wemo_service]);
+        // State-change pushes: to the proxy (Our Service path), to the
+        // vendor clouds, and to the controller (T_A measurement).
+        sim.node_mut::<HueHub>(hue_hub).observe(proxy);
+        sim.node_mut::<HueHub>(hue_hub).observe(controller);
+        sim.node_mut::<WemoSwitch>(wemo_switch).observe(proxy);
+        sim.node_mut::<WemoSwitch>(wemo_switch).observe(wemo_service);
+        sim.node_mut::<WemoSwitch>(wemo_switch).observe(controller);
+        sim.node_mut::<SmartThingsHub>(st_hub).attach("motion_1", SensorKind::Motion);
+        sim.node_mut::<SmartThingsHub>(st_hub).observe(proxy);
+        sim.node_mut::<GoogleCloud>(google).observe(gmail_service);
+        sim.node_mut::<GoogleCloud>(google).observe(controller);
+
+        {
+            let p = sim.node_mut::<LocalProxy>(proxy);
+            p.set_upstream(our_service);
+            p.register(
+                "hue_lamp_1",
+                DeviceRoute::HueLamp { hub: hue_hub, username: "hueuser".into() },
+            );
+            p.register("wemo_switch_1", DeviceRoute::Wemo { node: wemo_switch });
+            p.register("motion_1", DeviceRoute::SmartThings { hub: st_hub });
+        }
+
+        let author = UserId::new(AUTHOR);
+        sim.with_node::<HueService, _>(hue_service, |s, _| {
+            s.add_account(
+                author.clone(),
+                HueAccount {
+                    hub: hue_hub,
+                    username: "hueuser".into(),
+                    lamp_device: "hue_lamp_1".into(),
+                },
+            );
+        });
+        sim.with_node::<WemoService, _>(wemo_service, |s, _| {
+            s.add_switch(author.clone(), wemo_switch);
+        });
+        {
+            let ours = sim.node_mut::<OurService>(our_service);
+            ours.proxy = Some(proxy);
+            ours.google = Some(google);
+            ours.watch_gmail(AUTHOR);
+        }
+        // Alexa uses the realtime API towards the engine.
+        sim.with_node::<AlexaService, _>(alexa_service, |s, _| {
+            s.core.enable_realtime(engine);
+        });
+        sim.node_mut::<WeatherStation>(weather_station).observe(weather_service);
+        sim.with_node::<WeatherService, _>(weather_service, |s, _| {
+            s.add_user(UserId::new(AUTHOR));
+        });
+        // Nest pairing: cloud reaches the thermostat (vendor channel);
+        // ambient pushes flow back to the cloud and the controller.
+        sim.node_mut::<NestThermostat>(nest).allowed = Some(vec![proxy, nest_service]);
+        sim.node_mut::<NestThermostat>(nest).observe(nest_service);
+        sim.node_mut::<NestThermostat>(nest).observe(controller);
+        sim.with_node::<NestService, _>(nest_service, |s, _| {
+            s.add_thermostat(UserId::new(AUTHOR), nest);
+        });
+
+        // --- Engine registration + user connections ----------------------
+        let service_table: [(&str, NodeId, &str); 10] = [
+            (HueService::SLUG, hue_service, "sk_hue"),
+            (WemoService::SLUG, wemo_service, "sk_wemo"),
+            (GmailService::SLUG, gmail_service, "sk_gmail"),
+            (DriveService::SLUG, drive_service, "sk_drive"),
+            (SheetsService::SLUG, sheets_service, "sk_sheets"),
+            (AlexaService::SLUG, alexa_service, "sk_alexa"),
+            (OurService::SLUG, our_service, "sk_ours"),
+            (WeatherService::SLUG, weather_service, "sk_weather"),
+            (NestService::SLUG, nest_service, "sk_nest"),
+            (DateTimeService::SLUG, datetime_service, "sk_time"),
+        ];
+        sim.with_node::<TapEngine, _>(engine, |e, _| {
+            for (slug, node, key) in &service_table {
+                e.register_service(
+                    ServiceSlug::new(*slug),
+                    *node,
+                    ServiceKey((*key).to_string()),
+                );
+            }
+        });
+        // Pre-authorize the author on every service (the cached-token
+        // state after the OAuth dances).
+        macro_rules! connect {
+            ($ty:ty, $node:expr, $slug:expr) => {{
+                let token = sim.with_node::<$ty, _>($node, |s, ctx| {
+                    s.core.endpoint.oauth.mint_token(author.clone(), ctx.rng())
+                });
+                sim.with_node::<TapEngine, _>(engine, |e, _| {
+                    e.set_token(author.clone(), ServiceSlug::new($slug), token);
+                });
+            }};
+        }
+        connect!(HueService, hue_service, HueService::SLUG);
+        connect!(WemoService, wemo_service, WemoService::SLUG);
+        connect!(GmailService, gmail_service, GmailService::SLUG);
+        connect!(DriveService, drive_service, DriveService::SLUG);
+        connect!(SheetsService, sheets_service, SheetsService::SLUG);
+        connect!(AlexaService, alexa_service, AlexaService::SLUG);
+        connect!(OurService, our_service, OurService::SLUG);
+        connect!(WeatherService, weather_service, WeatherService::SLUG);
+        connect!(NestService, nest_service, NestService::SLUG);
+        connect!(DateTimeService, datetime_service, DateTimeService::SLUG);
+
+        // Controller knows its instruments.
+        {
+            let nodes = Nodes {
+                lamp,
+                hue_hub,
+                wemo_switch,
+                echo,
+                st_hub,
+                proxy,
+                router,
+                our_service,
+                google,
+                hue_service,
+                wemo_service,
+                gmail_service,
+                drive_service,
+                sheets_service,
+                alexa_service,
+                weather_station,
+                weather_service,
+                nest,
+                nest_service,
+                datetime_service,
+                engine,
+                controller,
+            };
+            let c = sim.node_mut::<TestController>(controller);
+            c.wire(nodes);
+            Testbed { sim, nodes }
+        }
+    }
+
+    /// Shorthand for the engine node.
+    pub fn engine_mut(&mut self) -> &mut TapEngine {
+        self.sim.node_mut::<TapEngine>(self.nodes.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_builds_and_settles() {
+        let mut tb = Testbed::build(TestbedConfig::default());
+        tb.sim.run_until(SimTime::from_secs(10));
+        // Nothing exploded; the author is connected everywhere.
+        let author = UserId::new(AUTHOR);
+        let e = tb.sim.node_ref::<TapEngine>(tb.nodes.engine);
+        for slug in ["philips_hue", "wemo", "gmail", "google_drive", "google_sheets", "amazon_alexa", "our_service"] {
+            assert!(e.is_connected(&author, &ServiceSlug::new(slug)), "{slug}");
+        }
+    }
+
+    #[test]
+    fn controller_observes_switch_presses() {
+        let mut tb = Testbed::build(TestbedConfig::default());
+        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim.run_until(SimTime::from_secs(2));
+        let c = tb.sim.node_ref::<TestController>(tb.nodes.controller);
+        assert!(c.observed("switched_on").is_some());
+    }
+
+    #[test]
+    fn lan_rule_is_enforced_in_the_assembled_world() {
+        // The engine cannot reach the hub directly even though a route
+        // exists through the mesh.
+        let mut tb = Testbed::build(TestbedConfig::default());
+        struct Probe;
+        impl Node for Probe {}
+        let probe = tb.sim.add_node("probe", Probe);
+        tb.sim.link(probe, tb.nodes.router, LinkSpec::wan());
+        tb.sim.with_node::<Probe, _>(probe, |_, ctx| {
+            let req = Request::put("/api/hueuser/lights/hue_lamp_1/state")
+                .with_body(r#"{"on":true}"#);
+            ctx.send_request(tb.nodes.hue_hub, req, Token(1), RequestOpts::timeout_secs(5));
+        });
+        tb.sim.run_until(SimTime::from_secs(10));
+        assert!(!tb.sim.node_ref::<devices::hue::HueLamp>(tb.nodes.lamp).state.on);
+    }
+}

@@ -1,0 +1,143 @@
+//! Failure injection: the paper controlled for network health ("we ensure
+//! both local WiFi and the Internet connectivity are good so the network
+//! never becomes the performance bottleneck"); these tests probe what
+//! happens when it is *not* — the system must degrade, not wedge.
+
+use devices::hue::HueLamp;
+use devices::wemo::WemoSwitch;
+use engine::{EngineConfig, TapEngine};
+use simnet::net::LinkId;
+use simnet::prelude::*;
+use testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
+use testbed::{TestController, Testbed, TestbedConfig};
+
+fn a2_world(seed: u64) -> Testbed {
+    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::fast() });
+    let applet = paper_applet(PaperApplet::A2, ServiceVariant::Official);
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+    tb
+}
+
+/// Take down (or restore) every link touching `node` except those to the
+/// `keep` peers. Single-link cuts are routed around by the min-hop mesh —
+/// exactly like the real Internet — so isolating a *host* is the way to
+/// simulate its outage.
+fn set_node_up(tb: &mut Testbed, node: NodeId, keep: &[NodeId], up: bool) {
+    let topo = tb.sim.topology_mut();
+    for i in 0..topo.link_count() {
+        let id = LinkId(i as u32);
+        if let Some((x, y)) = topo.link_endpoints(id) {
+            let peer = if x == node {
+                y
+            } else if y == node {
+                x
+            } else {
+                continue;
+            };
+            if !keep.contains(&peer) {
+                topo.set_link_up(id, up);
+            }
+        }
+    }
+}
+
+#[test]
+fn engine_poll_chain_survives_a_wan_outage() {
+    let mut tb = a2_world(1);
+    // The WeMo cloud goes dark for a minute: polls time out.
+    let svc = tb.nodes.wemo_service;
+    set_node_up(&mut tb, svc, &[], false);
+    tb.sim.run_for(SimDuration::from_secs(60));
+    let failed = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.polls_failed;
+    assert!(failed > 0, "polls must fail during the outage");
+    // Restore; press the switch; the applet still executes.
+    set_node_up(&mut tb, svc, &[], true);
+    tb.sim.run_for(SimDuration::from_secs(40)); // let timed-out polls clear
+    let t0 = tb.sim.now();
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
+    tb.sim.run_for(SimDuration::from_secs(60));
+    assert!(
+        tb.sim
+            .node_ref::<TestController>(tb.nodes.controller)
+            .observed_after("light_on", t0)
+            .is_some(),
+        "applet must recover after the outage"
+    );
+}
+
+#[test]
+fn lossy_wan_still_delivers_eventually() {
+    let mut tb = a2_world(2);
+    // 30% loss on every path into the WeMo cloud: polls are retried by
+    // the next scheduled poll, so the action still happens, just later.
+    let svc = tb.nodes.wemo_service;
+    {
+        let topo = tb.sim.topology_mut();
+        for i in 0..topo.link_count() {
+            let id = LinkId(i as u32);
+            if let Some((x, y)) = topo.link_endpoints(id) {
+                if x == svc || y == svc {
+                    topo.set_link_loss(id, 0.3);
+                }
+            }
+        }
+    }
+    let t0 = tb.sim.now();
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
+    tb.sim.run_for(SimDuration::from_mins(5));
+    assert!(
+        tb.sim
+            .node_ref::<TestController>(tb.nodes.controller)
+            .observed_after("light_on", t0)
+            .is_some(),
+        "a lossy link delays but does not lose the execution"
+    );
+}
+
+#[test]
+fn dead_action_service_is_counted_not_wedged() {
+    let mut tb = a2_world(3);
+    // The Hue cloud goes dark: actions fail, polls continue.
+    let svc = tb.nodes.hue_service;
+    set_node_up(&mut tb, svc, &[], false);
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
+    tb.sim.run_for(SimDuration::from_secs(90));
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert!(stats.actions_failed >= 1, "action failure must be recorded");
+    assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+    // The poll chain kept running the whole time.
+    let polls_before = stats.polls_sent;
+    tb.sim.run_for(SimDuration::from_secs(30));
+    assert!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.polls_sent > polls_before);
+}
+
+#[test]
+fn home_lan_outage_blocks_the_device_not_the_cloud() {
+    let mut tb = a2_world(4);
+    // The switch falls off the network (keeping only the physical channel
+    // to the controller's finger): its trigger pushes go nowhere, so the
+    // engine just sees empty polls.
+    // (The press below is a direct physical actuation, not a network
+    // message, so the switch can be isolated completely.)
+    let sw = tb.nodes.wemo_switch;
+    set_node_up(&mut tb, sw, &[], false);
+    let t0 = tb.sim.now();
+    tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+    tb.sim.run_for(SimDuration::from_secs(60));
+    assert!(
+        tb.sim
+            .node_ref::<TestController>(tb.nodes.controller)
+            .observed_after("light_on", t0)
+            .is_none(),
+        "no LAN, no trigger, no action"
+    );
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert_eq!(stats.events_new, 0);
+    assert!(stats.polls_empty > 0, "engine keeps polling into the void");
+}

@@ -1,0 +1,69 @@
+//! The paper's §2 motivating applet, end to end: "automatically turn your
+//! hue lights blue whenever it starts to rain. In this applet, the trigger
+//! (raining) is from the weather service and the action (changing the hue
+//! light color) belongs to the service provided by Philips Hue."
+
+use devices::hue::HueLamp;
+use devices::weather::{Condition as Weather, WeatherStation};
+use engine::{ActionRef, Applet, AppletId, EngineConfig, TapEngine, TriggerRef};
+use simnet::prelude::*;
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+use testbed::{Testbed, TestbedConfig};
+
+fn rain_applet() -> Applet {
+    let mut action_fields = FieldMap::new();
+    action_fields.insert("color".into(), "blue".into());
+    Applet::new(
+        AppletId(9),
+        "Turn my hue lights blue whenever it starts to rain",
+        UserId::new(testbed::topology::AUTHOR),
+        TriggerRef {
+            service: ServiceSlug::new("weather_underground"),
+            trigger: TriggerSlug::new("forecast_rain"),
+            fields: FieldMap::new(),
+        },
+        ActionRef {
+            service: ServiceSlug::new("philips_hue"),
+            action: ActionSlug::new("change_color"),
+            fields: action_fields,
+        },
+    )
+}
+
+#[test]
+fn rain_turns_the_hue_lights_blue() {
+    let mut tb = Testbed::build(TestbedConfig { seed: 7, engine: EngineConfig::fast() });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, rain_applet())
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+    assert_ne!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.hue, 46920);
+
+    // It starts to rain.
+    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+        w.set_condition(ctx, Weather::Rain);
+    });
+    tb.sim.run_for(SimDuration::from_secs(10));
+    let lamp = tb.sim.node_ref::<HueLamp>(tb.nodes.lamp);
+    assert!(lamp.state.on);
+    assert_eq!(lamp.state.hue, 46920, "blue");
+}
+
+#[test]
+fn clear_weather_does_not_trigger_the_rain_applet() {
+    let mut tb = Testbed::build(TestbedConfig { seed: 8, engine: EngineConfig::fast() });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, rain_applet())
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+        w.set_condition(ctx, Weather::Cloudy);
+    });
+    tb.sim.run_for(SimDuration::from_secs(20));
+    assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+    assert_eq!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.actions_sent, 0);
+}

@@ -1,0 +1,84 @@
+//! Table 3 anchor pairing, end to end: "forecast_rain (weather) →
+//! set_temperature (Nest Thermostat)" — the generator's anchor applet
+//! `location/weather → nest_thermostat set_temperature`, here run on the
+//! live testbed with real threshold-crossing triggers.
+
+use devices::nest::NestThermostat;
+use engine::{ActionRef, Applet, AppletId, EngineConfig, TapEngine, TriggerRef};
+use simnet::prelude::*;
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+use testbed::{Testbed, TestbedConfig};
+
+fn hot_room_applet(threshold: f64, setpoint: f64) -> Applet {
+    let mut tfields = FieldMap::new();
+    tfields.insert("threshold".into(), threshold.to_string());
+    let mut afields = FieldMap::new();
+    afields.insert("temp_c".into(), setpoint.to_string());
+    Applet::new(
+        AppletId(30),
+        "Cool the house when it gets hot",
+        UserId::new(testbed::topology::AUTHOR),
+        TriggerRef {
+            service: ServiceSlug::new("nest_thermostat"),
+            trigger: TriggerSlug::new("temperature_rises_above"),
+            fields: tfields,
+        },
+        ActionRef {
+            service: ServiceSlug::new("nest_thermostat"),
+            action: ActionSlug::new("set_temperature"),
+            fields: afields,
+        },
+    )
+}
+
+#[test]
+fn temperature_crossing_drives_the_setpoint() {
+    let mut tb = Testbed::build(TestbedConfig { seed: 11, engine: EngineConfig::fast() });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, hot_room_applet(26.0, 21.0))
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+
+    // Warm up below the threshold: nothing happens.
+    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 24.0));
+    tb.sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).setpoint_changes, 0);
+
+    // Cross the threshold: the applet cools the house.
+    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.5));
+    tb.sim.run_for(SimDuration::from_secs(10));
+    let nest = tb.sim.node_ref::<NestThermostat>(tb.nodes.nest);
+    assert_eq!(nest.setpoint_changes, 1);
+    assert_eq!(nest.target_c, 21.0);
+
+    // Hovering above the threshold does not refire.
+    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 28.5));
+    tb.sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).setpoint_changes, 1);
+}
+
+#[test]
+fn two_thresholds_fire_independently() {
+    let mut tb = Testbed::build(TestbedConfig { seed: 12, engine: EngineConfig::fast() });
+    let mut second = hot_room_applet(30.0, 19.0);
+    second.id = AppletId(31);
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, hot_room_applet(26.0, 21.0))?;
+            e.install_applet(ctx, second)
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+    // 21 → 27: only the 26° applet fires (sets 21°).
+    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.0));
+    tb.sim.run_for(SimDuration::from_secs(10));
+    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).target_c, 21.0);
+    // 27 → 31: now the 30° applet fires too (sets 19°).
+    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 31.0));
+    tb.sim.run_for(SimDuration::from_secs(10));
+    let nest = tb.sim.node_ref::<NestThermostat>(tb.nodes.nest);
+    assert_eq!(nest.target_c, 19.0);
+    assert_eq!(nest.setpoint_changes, 2);
+}

@@ -1,0 +1,124 @@
+//! The paper's future-work features ("We plan to study future IFTTT
+//! features such as queries and conditions"), exercised together on the
+//! full testbed: *when an email arrives, blink the Hue light — but only if
+//! the weather query says it is raining.*
+
+use devices::hue::HueLamp;
+use devices::weather::{Condition as Weather, WeatherStation};
+use engine::{
+    ActionRef, Applet, AppletId, Condition, EngineConfig, QueryRef, TapEngine, TriggerRef,
+};
+use simnet::prelude::*;
+use tap_protocol::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerSlug, UserId};
+use testbed::{TestController, Testbed, TestbedConfig};
+
+fn email_blink_if_raining() -> Applet {
+    Applet::new(
+        AppletId(20),
+        "Blink the light for new email, but only while it rains",
+        UserId::new(testbed::topology::AUTHOR),
+        TriggerRef {
+            service: ServiceSlug::new("gmail"),
+            trigger: TriggerSlug::new("any_new_email"),
+            fields: FieldMap::new(),
+        },
+        ActionRef {
+            service: ServiceSlug::new("philips_hue"),
+            action: ActionSlug::new("blink_lights"),
+            fields: FieldMap::new(),
+        },
+    )
+    .with_query(QueryRef {
+        service: ServiceSlug::new("weather_underground"),
+        query: QuerySlug::new("current_condition"),
+        fields: FieldMap::new(),
+        prefix: "weather".into(),
+    })
+    .with_condition(Condition::Equals {
+        key: "weather.condition".into(),
+        value: "rain".into(),
+    })
+}
+
+fn world(seed: u64) -> Testbed {
+    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::fast() });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, email_blink_if_raining())
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(5));
+    tb
+}
+
+#[test]
+fn query_gated_applet_fires_in_the_rain() {
+    let mut tb = world(1);
+    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+        w.set_condition(ctx, Weather::Rain);
+    });
+    tb.sim.run_for(SimDuration::from_secs(2));
+    let t0 = tb.sim.now();
+    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+        c.inject_email(ctx, "rainy day note", None);
+    });
+    tb.sim.run_for(SimDuration::from_secs(15));
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert_eq!(stats.queries_sent, 1, "one weather query per dispatch");
+    assert_eq!(stats.actions_sent, 1);
+    assert_eq!(stats.actions_filtered, 0);
+    assert!(
+        tb.sim
+            .node_ref::<TestController>(tb.nodes.controller)
+            .observed_after("light_on", t0)
+            .is_some(),
+        "the lamp blinked"
+    );
+}
+
+#[test]
+fn query_gated_applet_stays_quiet_in_clear_weather() {
+    let mut tb = world(2);
+    // Weather stays clear (the service default).
+    let t0 = tb.sim.now();
+    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+        c.inject_email(ctx, "sunny day note", None);
+    });
+    tb.sim.run_for(SimDuration::from_secs(15));
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert_eq!(stats.queries_sent, 1);
+    assert_eq!(stats.actions_sent, 0, "condition must suppress the action");
+    assert_eq!(stats.actions_filtered, 1);
+    assert!(tb
+        .sim
+        .node_ref::<TestController>(tb.nodes.controller)
+        .observed_after("light_on", t0)
+        .is_none());
+}
+
+#[test]
+fn weather_change_flips_the_gate() {
+    let mut tb = world(3);
+    // First email in clear weather: filtered.
+    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+        c.inject_email(ctx, "email one", None);
+    });
+    tb.sim.run_for(SimDuration::from_secs(15));
+    assert_eq!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.actions_sent, 0);
+    // Rain starts; the second email passes the gate.
+    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+        w.set_condition(ctx, Weather::Rain);
+    });
+    tb.sim.run_for(SimDuration::from_secs(2));
+    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+        c.inject_email(ctx, "email two", None);
+    });
+    tb.sim.run_for(SimDuration::from_secs(15));
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert_eq!(stats.actions_sent, 1);
+    assert_eq!(stats.actions_filtered, 1);
+    assert_eq!(stats.queries_sent, 2);
+    // Sanity: the lamp self-resets after its blink (even toggle count).
+    tb.sim.run_for(SimDuration::from_secs(5));
+    assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+}

@@ -1,0 +1,80 @@
+//! §4: "Besides performing regular polling, IFTTT also provides real-time
+//! API … Through experiments, we find that using the real-time API brings
+//! no performance impact for our service (figure not shown). … the IFTTT
+//! engine has full control over trigger event queries and very likely
+//! ignores real-time API's hints."
+//!
+//! Reproduction: run A2-under-E2 with Our Service sending realtime hints.
+//! The engine (production config: only Alexa allowlisted) acknowledges and
+//! ignores them; T2A stays poll-bound, identical in distribution to the
+//! hint-less runs.
+
+use devices::hue::HueLamp;
+use devices::services::our_service::OurService;
+use devices::wemo::WemoSwitch;
+use engine::{EngineConfig, TapEngine};
+use rand::Rng;
+use simnet::prelude::*;
+use testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
+use testbed::{TestController, Testbed, TestbedConfig};
+
+fn run_e2(hints: bool, runs: usize, seed: u64) -> (Vec<f64>, u64, u64) {
+    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::ifttt_like() });
+    if hints {
+        let engine = tb.nodes.engine;
+        tb.sim.with_node::<OurService, _>(tb.nodes.our_service, |s, _| {
+            s.core.enable_realtime(engine);
+        });
+    }
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, paper_applet(PaperApplet::A2, ServiceVariant::OursBoth))
+        })
+        .expect("installs");
+    tb.sim.run_for(SimDuration::from_secs(10));
+    let mut samples = Vec::new();
+    for _ in 0..runs {
+        tb.sim.node_mut::<WemoSwitch>(tb.nodes.wemo_switch).on = false;
+        tb.sim.node_mut::<HueLamp>(tb.nodes.lamp).state.on = false;
+        let t0 = tb.sim.now();
+        tb.sim
+            .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
+        loop {
+            tb.sim.run_for(SimDuration::from_secs(2));
+            if let Some(o) = tb
+                .sim
+                .node_ref::<TestController>(tb.nodes.controller)
+                .observed_after("light_on", t0)
+            {
+                samples.push(o.at.since(t0).as_secs_f64());
+                break;
+            }
+            if tb.sim.now().since(t0) > SimDuration::from_mins(20) {
+                break;
+            }
+        }
+        let jitter = SimDuration::from_secs_f64(tb.sim.harness_rng().gen_range(0.0..240.0));
+        tb.sim.run_for(SimDuration::from_secs(20) + jitter);
+    }
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    (samples, stats.hints_received, stats.hints_ignored)
+}
+
+#[test]
+fn realtime_hints_from_our_service_change_nothing() {
+    let (without, h0, _) = run_e2(false, 8, 41);
+    let (with, h1, ignored) = run_e2(true, 8, 41);
+    assert_eq!(h0, 0, "no hints sent when disabled");
+    assert!(h1 >= 8, "one hint per trigger event, got {h1}");
+    assert_eq!(ignored, h1, "every hint acknowledged and ignored");
+    // Identical seeds, identical polling chains: the latency distribution
+    // stays poll-bound either way.
+    let med = |mut v: Vec<f64>| {
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v[v.len() / 2]
+    };
+    let m_without = med(without);
+    let m_with = med(with);
+    assert!(m_without > 30.0, "poll-bound baseline, median {m_without}");
+    assert!(m_with > 30.0, "hints must NOT speed it up, median {m_with}");
+}

@@ -1,0 +1,73 @@
+//! The largest Hue anchor applet of Table 3's construction, end to end:
+//! "every sunset → turn on the Hue lights" (`date_time` is the biggest
+//! non-IoT trigger category at 14.1% of trigger usage, and time→IoT is one
+//! of Figure 2's hotspot cells).
+
+use devices::hue::HueLamp;
+use devices::services::datetime_service::{DAY_SECS, SUNSET};
+use engine::{ActionRef, Applet, AppletId, EngineConfig, PollPolicy, TapEngine, TriggerRef};
+use simnet::prelude::*;
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+use testbed::{Testbed, TestbedConfig};
+
+fn sunset_applet() -> Applet {
+    Applet::new(
+        AppletId(40),
+        "Turn on the lights every sunset",
+        UserId::new(testbed::topology::AUTHOR),
+        TriggerRef {
+            service: ServiceSlug::new("date_time"),
+            trigger: TriggerSlug::new("sunset"),
+            fields: FieldMap::new(),
+        },
+        ActionRef {
+            service: ServiceSlug::new("philips_hue"),
+            action: ActionSlug::new("turn_on_lights"),
+            fields: FieldMap::new(),
+        },
+    )
+}
+
+#[test]
+fn lights_come_on_at_sunset_every_day() {
+    // 30-second polls: fast enough for minute-level triggers, 30x fewer
+    // events than 1-second polling over two simulated days.
+    let mut cfg = EngineConfig::fast();
+    cfg.polling = PollPolicy::fixed(30.0);
+    let mut tb = Testbed::build(TestbedConfig { seed: 13, engine: cfg });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
+            e.install_applet(ctx, sunset_applet())
+        })
+        .expect("installs");
+    // Morning: nothing.
+    tb.sim.run_until(SimTime::from_secs(12 * 3600));
+    assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+    // Just past sunset (+ poll + dispatch): the lights are on.
+    tb.sim.run_until(SimTime::from_secs(SUNSET + 180));
+    assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on, "lights on after sunset");
+    // Day 2: the user switched them off overnight; sunset fires again.
+    tb.sim.node_mut::<HueLamp>(tb.nodes.lamp).state.on = false;
+    tb.sim.run_until(SimTime::from_secs(DAY_SECS + SUNSET + 180));
+    assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on, "fires daily");
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert_eq!(stats.actions_ok, 2, "one execution per sunset");
+}
+
+#[test]
+fn every_day_at_applet_fires_at_the_right_minute() {
+    let mut applet = sunset_applet();
+    applet.id = AppletId(41);
+    applet.trigger.trigger = TriggerSlug::new("every_day_at");
+    applet.trigger.fields.insert("time".into(), "07:15".into());
+    let mut cfg = EngineConfig::fast();
+    cfg.polling = PollPolicy::fixed(30.0);
+    let mut tb = Testbed::build(TestbedConfig { seed: 14, engine: cfg });
+    tb.sim
+        .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
+        .expect("installs");
+    tb.sim.run_until(SimTime::from_secs(7 * 3600));
+    assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+    tb.sim.run_until(SimTime::from_secs(7 * 3600 + 18 * 60));
+    assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
+}

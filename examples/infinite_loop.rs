@@ -1,0 +1,57 @@
+//! Demonstrate the §4 infinite loops and the §6 countermeasures.
+//!
+//! * **Explicit**: "when an email arrives, email me a copy" — the action
+//!   feeds its own trigger. IFTTT performs no syntax check; our static
+//!   detector (given the feed rule) rejects the install.
+//! * **Implicit**: "add a row to my spreadsheet when an email is received"
+//!   plus the spreadsheet *notification feature* — the coupling lives
+//!   outside IFTTT, so only runtime detection catches it.
+//!
+//! ```sh
+//! cargo run --example infinite_loop
+//! ```
+
+use ifttt_core::engine::RuntimeLoopConfig;
+use ifttt_core::simnet::time::SimDuration;
+use ifttt_core::testbed::experiments::{explicit_loop_experiment, implicit_loop_experiment};
+
+fn main() {
+    let window = SimDuration::from_secs(120);
+
+    println!("=== explicit loop: email → send email ===\n");
+    let unchecked = explicit_loop_experiment(false, None, window, 1);
+    println!(
+        "no checks (production IFTTT): {} actions executed, {} emails generated \
+         from ONE seed email in {window}",
+        unchecked.actions_executed, unchecked.emails_delivered
+    );
+    let checked = explicit_loop_experiment(true, None, window, 2);
+    println!(
+        "static loop check: install rejected = {} (0 actions executed)\n",
+        checked.rejected_statically
+    );
+
+    println!("=== implicit loop: email → sheet row, with sheet notifications on ===\n");
+    let evaded = implicit_loop_experiment(true, None, window, 3);
+    println!(
+        "static check enabled but blind to the external coupling: \
+         rejected = {}, actions executed = {} — the loop spins anyway",
+        evaded.rejected_statically, evaded.actions_executed
+    );
+    let detector = RuntimeLoopConfig {
+        max_executions: 5,
+        window: SimDuration::from_secs(120),
+        auto_disable: true,
+    };
+    let caught = implicit_loop_experiment(true, Some(detector), window, 4);
+    println!(
+        "runtime detector (>5 executions / 2 min): flagged = {}, auto-disabled = {}, \
+         actions executed before the brake = {}",
+        caught.flagged, caught.disabled, caught.actions_executed
+    );
+    println!(
+        "\npaper: \"Since IFTTT is not aware of the latter, it cannot detect the loop \
+         by analyzing the applets offline. Instead, some runtime detection techniques \
+         are needed.\""
+    );
+}

@@ -1,0 +1,51 @@
+//! Infinite loops end-to-end across the full testbed (§4 + §6).
+
+use ifttt_core::engine::RuntimeLoopConfig;
+use ifttt_core::simnet::time::SimDuration;
+use ifttt_core::testbed::experiments::{explicit_loop_experiment, implicit_loop_experiment};
+
+fn detector() -> RuntimeLoopConfig {
+    RuntimeLoopConfig {
+        max_executions: 5,
+        window: SimDuration::from_secs(120),
+        auto_disable: true,
+    }
+}
+
+#[test]
+fn unprotected_explicit_loop_wastes_resources() {
+    // The paper: "we confirm that despite a simple task, no 'syntax check'
+    // is performed by IFTTT" — with no checks, one seed email spins
+    // forever.
+    let o = explicit_loop_experiment(false, None, SimDuration::from_secs(120), 900);
+    assert!(o.actions_executed > 20, "{} actions", o.actions_executed);
+    assert!(o.emails_delivered > o.actions_executed, "emails keep arriving");
+}
+
+#[test]
+fn runtime_detector_brakes_the_explicit_loop_too() {
+    let o = explicit_loop_experiment(false, Some(detector()), SimDuration::from_secs(120), 901);
+    assert!(o.flagged && o.disabled);
+    assert!(o.actions_executed <= 7, "{} actions before brake", o.actions_executed);
+}
+
+#[test]
+fn implicit_loop_grows_rows_and_emails_together() {
+    let o = implicit_loop_experiment(false, None, SimDuration::from_secs(100), 902);
+    // Every action (row) generates a notification email which triggers
+    // another action: counts track each other.
+    assert!(o.actions_executed > 10);
+    assert!(o.emails_delivered >= o.actions_executed);
+}
+
+#[test]
+fn detector_thresholds_do_not_flag_normal_usage() {
+    // The same email→row applet but with sheet notifications OFF is a
+    // perfectly normal applet: a handful of well-spaced emails must not
+    // trip the detector.
+    use ifttt_core::testbed::experiments::normal_usage_experiment;
+    let o = normal_usage_experiment(Some(detector()), 4, 903);
+    assert_eq!(o.actions_executed, 4, "all emails acted on");
+    assert!(!o.flagged, "normal usage must not be flagged");
+    assert!(!o.disabled);
+}
