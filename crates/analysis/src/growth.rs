@@ -23,7 +23,13 @@ impl GrowthReport {
         let weekly = snapshots
             .iter()
             .map(|s| {
-                (s.week, s.services.len(), s.trigger_count(), s.action_count(), s.total_add_count())
+                (
+                    s.week,
+                    s.services.len(),
+                    s.trigger_count(),
+                    s.action_count(),
+                    s.total_add_count(),
+                )
             })
             .collect();
         let a = snapshots.iter().find(|s| s.week == week_start);
@@ -31,7 +37,12 @@ impl GrowthReport {
         let (sg, tg, ag, cg) = match (a, b) {
             (Some(a), Some(b)) => {
                 let d = diff(a, b);
-                (d.services_growth, d.triggers_growth, d.actions_growth, d.add_count_growth)
+                (
+                    d.services_growth,
+                    d.triggers_growth,
+                    d.actions_growth,
+                    d.add_count_growth,
+                )
             }
             _ => (0.0, 0.0, 0.0, 0.0),
         };
@@ -59,7 +70,10 @@ impl GrowthReport {
                 ]
             })
             .collect();
-        let mut out = render::table(&["Week", "Services", "Triggers", "Actions", "Add count"], &rows);
+        let mut out = render::table(
+            &["Week", "Services", "Triggers", "Actions", "Add count"],
+            &rows,
+        );
         out.push_str(&format!(
             "\ngrowth (paper: +11% / +31% / +27% / +19%): services {} triggers {} actions {} adds {}\n",
             render::pct(self.services_growth),
@@ -83,10 +97,26 @@ mod tests {
         let snaps = eco.all_snapshots();
         let g = GrowthReport::of(&snaps, GROWTH.week_start as u32, GROWTH.week_end as u32);
         assert_eq!(g.weekly.len(), 25);
-        assert!((g.services_growth - 0.11).abs() < 0.03, "services {}", g.services_growth);
-        assert!((g.triggers_growth - 0.31).abs() < 0.08, "triggers {}", g.triggers_growth);
-        assert!((g.actions_growth - 0.27).abs() < 0.08, "actions {}", g.actions_growth);
-        assert!((g.add_count_growth - 0.19).abs() < 0.06, "adds {}", g.add_count_growth);
+        assert!(
+            (g.services_growth - 0.11).abs() < 0.03,
+            "services {}",
+            g.services_growth
+        );
+        assert!(
+            (g.triggers_growth - 0.31).abs() < 0.08,
+            "triggers {}",
+            g.triggers_growth
+        );
+        assert!(
+            (g.actions_growth - 0.27).abs() < 0.08,
+            "actions {}",
+            g.actions_growth
+        );
+        assert!(
+            (g.add_count_growth - 0.19).abs() < 0.06,
+            "adds {}",
+            g.add_count_growth
+        );
         // Weekly series is monotone non-decreasing in every column.
         for w in g.weekly.windows(2) {
             assert!(w[1].1 >= w[0].1 && w[1].4 >= w[0].4);

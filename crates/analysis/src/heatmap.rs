@@ -48,9 +48,7 @@ impl Heatmap {
     /// Column sums as fractions of the total (Table 1's action AC column).
     pub fn col_shares(&self) -> Vec<f64> {
         (0..14)
-            .map(|j| {
-                self.cells.iter().map(|r| r[j]).sum::<u64>() as f64 / self.total.max(1) as f64
-            })
+            .map(|j| self.cells.iter().map(|r| r[j]).sum::<u64>() as f64 / self.total.max(1) as f64)
             .collect()
     }
 
@@ -58,7 +56,9 @@ impl Heatmap {
     pub fn hottest(&self, k: usize) -> Vec<(usize, usize, f64)> {
         let mut all: Vec<(usize, usize, f64)> = (0..14)
             .flat_map(|i| {
-                (0..14).map(move |j| (i + 1, j + 1, 0.0)).collect::<Vec<_>>()
+                (0..14)
+                    .map(move |j| (i + 1, j + 1, 0.0))
+                    .collect::<Vec<_>>()
             })
             .collect();
         for cell in all.iter_mut() {
@@ -87,8 +87,7 @@ impl Heatmap {
                 } else {
                     // Log intensity scaled to the glyph ramp.
                     let t = ((v as f64).ln() / max.ln()).clamp(0.0, 1.0);
-                    glyphs[((t * (glyphs.len() - 1) as f64).round() as usize)
-                        .min(glyphs.len() - 1)]
+                    glyphs[((t * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1)]
                 };
                 out.push_str(&format!("  {g}"));
             }

@@ -39,7 +39,16 @@ impl Summary {
         let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
         v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         if v.is_empty() {
-            return Summary { n: 0, min: 0.0, p25: 0.0, p50: 0.0, p75: 0.0, p95: 0.0, max: 0.0, mean: 0.0 };
+            return Summary {
+                n: 0,
+                min: 0.0,
+                p25: 0.0,
+                p50: 0.0,
+                p75: 0.0,
+                p95: 0.0,
+                max: 0.0,
+                mean: 0.0,
+            };
         }
         Summary {
             n: v.len(),
@@ -111,9 +120,7 @@ impl Cdf {
         if n <= k || k < 2 {
             return self.points.clone();
         }
-        (0..k)
-            .map(|i| self.points[i * (n - 1) / (k - 1)])
-            .collect()
+        (0..k).map(|i| self.points[i * (n - 1) / (k - 1)]).collect()
     }
 }
 

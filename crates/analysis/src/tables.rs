@@ -59,7 +59,11 @@ impl Table1Report {
 
     /// Fraction of services that are IoT (paper: 51.7%).
     pub fn iot_service_share(&self) -> f64 {
-        self.rows.iter().filter(|r| r.category.is_iot()).map(|r| r.services).sum()
+        self.rows
+            .iter()
+            .filter(|r| r.category.is_iot())
+            .map(|r| r.services)
+            .sum()
     }
 
     /// Text rendering in the paper's layout.
@@ -76,7 +80,15 @@ impl Table1Report {
                 ]
             })
             .collect();
-        render::table(&["Service Category", "% Services", "Trigger AC %", "Action AC %"], &rows)
+        render::table(
+            &[
+                "Service Category",
+                "% Services",
+                "Trigger AC %",
+                "Action AC %",
+            ],
+            &rows,
+        )
     }
 }
 
@@ -94,15 +106,22 @@ impl HeadlineIot {
     /// Measure the headline numbers.
     pub fn of(snapshot: &Snapshot) -> HeadlineIot {
         let index = snapshot.category_index();
-        let iot_services =
-            snapshot.services.iter().filter(|s| s.category.is_iot()).count() as f64;
+        let iot_services = snapshot
+            .services
+            .iter()
+            .filter(|s| s.category.is_iot())
+            .count() as f64;
         let total_adds = snapshot.total_add_count().max(1) as f64;
         let iot_adds: u64 = snapshot
             .applets
             .iter()
             .filter(|a| {
-                index.get(a.trigger_service.as_str()).is_some_and(|c| c.is_iot())
-                    || index.get(a.action_service.as_str()).is_some_and(|c| c.is_iot())
+                index
+                    .get(a.trigger_service.as_str())
+                    .is_some_and(|c| c.is_iot())
+                    || index
+                        .get(a.action_service.as_str())
+                        .is_some_and(|c| c.is_iot())
             })
             .map(|a| a.add_count)
             .sum();
@@ -198,7 +217,10 @@ impl Table2Report {
                 self.ur_published.snapshots.to_string(),
             ],
         ];
-        render::table(&["Aspect", "Measured", "Paper (ours)", "Ur et al. [28]"], &rows)
+        render::table(
+            &["Aspect", "Measured", "Paper (ours)", "Ur et al. [28]"],
+            &rows,
+        )
     }
 }
 
@@ -227,21 +249,34 @@ impl Table3Report {
         let mut tt: BTreeMap<(&str, &str), u64> = BTreeMap::new();
         let mut ta: BTreeMap<(&str, &str), u64> = BTreeMap::new();
         for a in &snapshot.applets {
-            if index.get(a.trigger_service.as_str()).is_some_and(|c| c.is_iot()) {
+            if index
+                .get(a.trigger_service.as_str())
+                .is_some_and(|c| c.is_iot())
+            {
                 *ts.entry(&a.trigger_service).or_default() += a.add_count;
                 *tt.entry((&a.trigger, &a.trigger_service)).or_default() += a.add_count;
             }
-            if index.get(a.action_service.as_str()).is_some_and(|c| c.is_iot()) {
+            if index
+                .get(a.action_service.as_str())
+                .is_some_and(|c| c.is_iot())
+            {
                 *as_.entry(&a.action_service).or_default() += a.add_count;
                 *ta.entry((&a.action, &a.action_service)).or_default() += a.add_count;
             }
         }
-        fn top<K: Clone>(m: &BTreeMap<K, u64>, k: usize, name: impl Fn(&K) -> String) -> Vec<TopEntry> {
+        fn top<K: Clone>(
+            m: &BTreeMap<K, u64>,
+            k: usize,
+            name: impl Fn(&K) -> String,
+        ) -> Vec<TopEntry> {
             let mut v: Vec<(&K, &u64)> = m.iter().collect();
             v.sort_by(|a, b| b.1.cmp(a.1));
             v.into_iter()
                 .take(k)
-                .map(|(key, adds)| TopEntry { name: name(key), add_count: *adds })
+                .map(|(key, adds)| TopEntry {
+                    name: name(key),
+                    add_count: *adds,
+                })
                 .collect()
         }
         Table3Report {
@@ -276,7 +311,12 @@ impl Table3Report {
             })
             .collect();
         render::table(
-            &["Top Trigger Services", "Top Action Services", "Top Triggers", "Top Actions"],
+            &[
+                "Top Trigger Services",
+                "Top Action Services",
+                "Top Triggers",
+                "Top Actions",
+            ],
             &rows,
         )
     }
@@ -326,8 +366,16 @@ mod tests {
     fn headline_iot_matches_abstract() {
         // "52% of all services and 16% of the applet usage."
         let h = HeadlineIot::of(&snap());
-        assert!((h.service_share - 0.52).abs() < 0.01, "services {}", h.service_share);
-        assert!((h.usage_share - 0.16).abs() < 0.04, "usage {}", h.usage_share);
+        assert!(
+            (h.service_share - 0.52).abs() < 0.01,
+            "services {}",
+            h.service_share
+        );
+        assert!(
+            (h.usage_share - 0.16).abs() < 0.04,
+            "usage {}",
+            h.usage_share
+        );
     }
 
     #[test]

@@ -47,7 +47,10 @@ pub fn rank_series(values: &[u64], points: usize) -> Vec<RankPoint> {
     ranks.dedup();
     ranks
         .into_iter()
-        .map(|r| RankPoint { rank: r, value: v[r - 1] })
+        .map(|r| RankPoint {
+            rank: r,
+            value: v[r - 1],
+        })
         .collect()
 }
 

@@ -74,10 +74,26 @@ mod tests {
     fn contribution_matches_paper_stats() {
         let snap = Ecosystem::generate(GeneratorConfig::test_scale(61)).canonical_snapshot();
         let u = UserContribution::of(&snap);
-        assert!((u.user_made_applets - 0.98).abs() < 0.01, "applets {}", u.user_made_applets);
-        assert!((u.user_made_adds - 0.86).abs() < 0.05, "adds {}", u.user_made_adds);
-        assert!((u.top1_user_share - 0.18).abs() < 0.04, "top1 {}", u.top1_user_share);
-        assert!((u.top10_user_share - 0.49).abs() < 0.06, "top10 {}", u.top10_user_share);
+        assert!(
+            (u.user_made_applets - 0.98).abs() < 0.01,
+            "applets {}",
+            u.user_made_applets
+        );
+        assert!(
+            (u.user_made_adds - 0.86).abs() < 0.05,
+            "adds {}",
+            u.user_made_adds
+        );
+        assert!(
+            (u.top1_user_share - 0.18).abs() < 0.04,
+            "top1 {}",
+            u.top1_user_share
+        );
+        assert!(
+            (u.top10_user_share - 0.49).abs() < 0.06,
+            "top10 {}",
+            u.top10_user_share
+        );
         // Scaled user-channel count: 135,544 × 0.02 ≈ 2,711.
         assert!(
             (u.user_channels as f64 / (135_544.0 * 0.02) - 1.0).abs() < 0.1,

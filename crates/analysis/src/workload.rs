@@ -32,7 +32,11 @@ impl WorkloadReport {
             buckets[(t / bucket_secs) as usize] += 1;
             total += 1;
         }
-        WorkloadReport { bucket_secs, buckets, total }
+        WorkloadReport {
+            bucket_secs,
+            buckets,
+            total,
+        }
     }
 
     /// Mean requests per bucket.

@@ -11,11 +11,13 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ifttt_bench::emit;
-use ifttt_core::engine::{Applet, Capability, EngineConfig, Granularity, PermissionManager, PollPolicy};
+use ifttt_core::engine::{
+    Applet, Capability, EngineConfig, Granularity, PermissionManager, PollPolicy,
+};
 use ifttt_core::tap_protocol::ServiceSlug;
 use ifttt_core::testbed::applets::{paper_applet, ServiceVariant, ALL_PAPER_APPLETS};
-use ifttt_core::testbed::experiments::{measure_t2a, T2aScenario};
 use ifttt_core::testbed::experiments::run_workload;
+use ifttt_core::testbed::experiments::{measure_t2a, T2aScenario};
 use ifttt_core::testbed::PaperApplet;
 
 /// Median T2A for A5 (Alexa → Hue) with and without honoring hints.
@@ -58,7 +60,10 @@ fn smart_polling_ablation(text: &mut String) {
     let hot = smart(1_000_000, 4011);
     let cold = smart(10, 4012);
     text.push_str("── smart polling (budget on popular applets) ──\n");
-    text.push_str(&format!("baseline (IftttLike): {}\n", baseline.render_line()));
+    text.push_str(&format!(
+        "baseline (IftttLike): {}\n",
+        baseline.render_line()
+    ));
     text.push_str(&format!("smart, hot applet:    {}\n", hot.render_line()));
     text.push_str(&format!("smart, cold applet:   {}\n", cold.render_line()));
     // Expected per-applet poll rates.
@@ -84,12 +89,37 @@ fn smart_polling_ablation(text: &mut String) {
 fn permissions_ablation(text: &mut String) {
     // A representative capability surface per service.
     let catalog: &[(&str, &[&str])] = &[
-        ("gmail", &["read_email", "delete_email", "send_email", "manage_labels"]),
-        ("philips_hue", &["read_state", "control_lights", "manage_scenes", "firmware_update"]),
+        (
+            "gmail",
+            &["read_email", "delete_email", "send_email", "manage_labels"],
+        ),
+        (
+            "philips_hue",
+            &[
+                "read_state",
+                "control_lights",
+                "manage_scenes",
+                "firmware_update",
+            ],
+        ),
         ("wemo", &["read_state", "control_switch", "schedule"]),
-        ("google_sheets", &["read_sheets", "append_rows", "delete_sheets", "share_sheets"]),
-        ("google_drive", &["read_files", "write_files", "delete_files", "share_files"]),
-        ("amazon_alexa", &["read_utterances", "read_lists", "manage_lists"]),
+        (
+            "google_sheets",
+            &[
+                "read_sheets",
+                "append_rows",
+                "delete_sheets",
+                "share_sheets",
+            ],
+        ),
+        (
+            "google_drive",
+            &["read_files", "write_files", "delete_files", "share_files"],
+        ),
+        (
+            "amazon_alexa",
+            &["read_utterances", "read_lists", "manage_lists"],
+        ),
     ];
     let run = |granularity: Granularity| -> usize {
         let mut pm = PermissionManager::new(granularity);
@@ -131,7 +161,9 @@ fn permissions_ablation(text: &mut String) {
 fn workload_ablation(text: &mut String) {
     let poll = run_workload(false, 6, 12, 4, 90, 4021);
     let push = run_workload(true, 6, 12, 4, 90, 4022);
-    text.push_str("── engine workload: poll vs push (6 services x 12 applets, 4 correlated bursts) ──\n");
+    text.push_str(
+        "── engine workload: poll vs push (6 services x 12 applets, 4 correlated bursts) ──\n",
+    );
     text.push_str(&poll.report.render("poll  "));
     text.push_str(&push.report.render("push  "));
     text.push_str(&format!(
@@ -159,7 +191,11 @@ fn bench(c: &mut Criterion) {
         let mut seed = 0u64;
         b.iter(|| {
             seed += 1;
-            measure_t2a(&T2aScenario::official(PaperApplet::A5, 3, std::hint::black_box(seed)))
+            measure_t2a(&T2aScenario::official(
+                PaperApplet::A5,
+                3,
+                std::hint::black_box(seed),
+            ))
         })
     });
     group.finish();

@@ -1,0 +1,75 @@
+//! Fleet throughput: sharded million-user workload scaling.
+//!
+//! Measures wall-clock and simulation-events-per-second of
+//! `fleet::run_fleet` at 10K and 100K users with 1 shard vs. all cores,
+//! and asserts the shard-count invariance digest along the way. The full
+//! 1M-user point is expensive, so it is gated behind
+//! `FLEET_BENCH_FULL=1`.
+//!
+//! Note on speedup: shards scale with physical cores. On a single-core
+//! host the 1-vs-N comparison measures scheduling overhead only; the ≥2×
+//! speedup target is meaningful from 2+ cores.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::fleet::{run_fleet, FleetConfig, FleetPolicy};
+
+fn quick_cfg(users: u64, shards: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(users, shards, FleetPolicy::IftttLike);
+    // Keep the bench affordable: a shorter activation window and a drain
+    // that still covers one full production poll gap.
+    cfg.window_secs = 120.0;
+    cfg.drain_secs = 400.0;
+    cfg
+}
+
+fn bench(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut text = format!("# Fleet throughput (host has {cores} core(s))\n\n");
+
+    let full = std::env::var("FLEET_BENCH_FULL").is_ok();
+    let populations: &[u64] = if full {
+        &[10_000, 100_000, 1_000_000]
+    } else {
+        &[10_000, 100_000]
+    };
+    if !full {
+        text.push_str("# 1M-user point skipped; set FLEET_BENCH_FULL=1 to include it\n\n");
+    }
+
+    for &users in populations {
+        let single = run_fleet(&quick_cfg(users, 1));
+        let multi = run_fleet(&quick_cfg(users, cores));
+        assert_eq!(
+            single.digest(),
+            multi.digest(),
+            "merged report must be shard-count invariant"
+        );
+        let speedup = single.wall_secs / multi.wall_secs.max(1e-9);
+        let (p25, p50, p75) = multi.t2a_quartiles_secs();
+        text.push_str(&format!(
+            "{users} users: 1 shard {:.1} s, {cores} shards {:.1} s ({speedup:.2}x), \
+             {:.0} events/s, T2A {p25:.0}/{p50:.0}/{p75:.0} s, digest {}\n",
+            single.wall_secs,
+            multi.wall_secs,
+            multi.events_per_sec(),
+            multi.digest()
+        ));
+    }
+    emit("fleet_throughput.txt", &text);
+
+    let mut group = c.benchmark_group("fleet");
+    group.sample_size(10);
+    group.bench_function("fleet_2k_users_1_shard", |b| {
+        b.iter(|| run_fleet(std::hint::black_box(&quick_cfg(2_000, 1))))
+    });
+    group.bench_function("fleet_2k_users_all_shards", |b| {
+        b.iter(|| run_fleet(std::hint::black_box(&quick_cfg(2_000, cores))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

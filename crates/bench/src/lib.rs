@@ -10,8 +10,7 @@ use std::path::PathBuf;
 
 /// Directory into which benches write their rendered tables/figures.
 pub fn out_dir() -> PathBuf {
-    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/paper_out");
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/paper_out");
     fs::create_dir_all(&dir).expect("create paper_out dir");
     dir
 }

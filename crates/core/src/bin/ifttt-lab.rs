@@ -10,9 +10,12 @@
 //! ifttt-lab loops                    §4: explicit & implicit infinite loops
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
+//! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart]
+//!                                    sharded fleet-scale workload run
 //! ```
 //!
-//! Every subcommand accepts `--seed <u64>` (default 2017).
+//! Every subcommand accepts `--seed <u64>` (default 2017). `--users`
+//! tolerates `_` separators (`--users 1_000_000`).
 
 use ifttt_core::analysis::tables::HeadlineIot;
 use ifttt_core::ecosystem::crawler::{Crawler, CrawlerConfig};
@@ -20,6 +23,7 @@ use ifttt_core::ecosystem::frontend::IftttFrontend;
 use ifttt_core::ecosystem::generator::{Ecosystem, GeneratorConfig};
 use ifttt_core::ecosystem::model::GROWTH;
 use ifttt_core::engine::RuntimeLoopConfig;
+use ifttt_core::fleet::{run_fleet_with_progress, FleetConfig, FleetPolicy};
 use ifttt_core::simnet::prelude::*;
 use ifttt_core::testbed::experiments::{
     explicit_loop_experiment, implicit_loop_experiment, run_workload,
@@ -29,21 +33,49 @@ use ifttt_core::Lab;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 2017u64;
+    let mut users = 100_000u64;
+    let mut shards = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut policy = FleetPolicy::IftttLike;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
-        if a == "--seed" {
-            seed = it
-                .next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage("--seed needs a u64"));
-        } else {
-            positional.push(a);
+        match a.as_str() {
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs a u64"));
+            }
+            "--users" => {
+                users = it
+                    .next()
+                    .and_then(|v| v.replace('_', "").parse().ok())
+                    .unwrap_or_else(|| usage("--users needs a u64"));
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage("--shards needs a positive integer"));
+            }
+            "--policy" => {
+                policy = it
+                    .next()
+                    .and_then(|v| FleetPolicy::parse(&v))
+                    .unwrap_or_else(|| usage("--policy is ifttt, fast, or smart"));
+            }
+            _ => positional.push(a),
         }
     }
     let cmd = positional.first().map(String::as_str).unwrap_or("help");
     let arg1: Option<f64> = positional.get(1).and_then(|v| v.parse().ok());
-    let lab = Lab::new(seed).with_scale(arg1.filter(|_| cmd == "report" || cmd == "crawl").unwrap_or(0.05));
+    let lab = Lab::new(seed).with_scale(
+        arg1.filter(|_| cmd == "report" || cmd == "crawl")
+            .unwrap_or(0.05),
+    );
 
     match cmd {
         "report" => {
@@ -72,7 +104,9 @@ fn main() {
         }
         "t2a" => {
             let runs = arg1.map(|v| v as usize).unwrap_or(10);
-            println!("Figure 4 ({runs} runs per applet; paper: A1-A4 = 58/84/122 s, A5-A7 = seconds)\n");
+            println!(
+                "Figure 4 ({runs} runs per applet; paper: A1-A4 = 58/84/122 s, A5-A7 = seconds)\n"
+            );
             for r in lab.fig4_t2a(runs) {
                 println!("{}", r.render_line());
             }
@@ -121,6 +155,26 @@ fn main() {
                 push.report.peak_to_mean() / poll.report.peak_to_mean().max(0.01)
             );
         }
+        "fleet" => {
+            let mut cfg = FleetConfig::new(users, shards, policy);
+            cfg.master_seed = seed;
+            println!(
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {})",
+                cfg.users, cfg.shards, cfg.policy, cfg.master_seed, cfg.cell_users
+            );
+            let total_cells = cfg.users.div_ceil(cfg.cell_users);
+            let mut done = 0u64;
+            let mut last_pct = u64::MAX;
+            let report = run_fleet_with_progress(&cfg, |_| {
+                done += 1;
+                let pct = done * 100 / total_cells.max(1);
+                if pct / 5 != last_pct / 5 {
+                    eprintln!("  {pct:>3}% ({done}/{total_cells} cells)");
+                    last_pct = pct;
+                }
+            });
+            print!("{}", report.render());
+        }
         "crawl" => {
             let scale = arg1.unwrap_or(0.05);
             let eco = Ecosystem::generate(GeneratorConfig { seed, scale });
@@ -129,10 +183,13 @@ fn main() {
             let frontend = IftttFrontend::new(eco, week);
             let max_id = frontend.max_applet_id();
             let fe = sim.add_node("ifttt.com", frontend);
-            let crawler =
-                sim.add_node("crawler", Crawler::new(CrawlerConfig::new(fe, 100_000, max_id + 1)));
+            let crawler = sim.add_node(
+                "crawler",
+                Crawler::new(CrawlerConfig::new(fe, 100_000, max_id + 1)),
+            );
             sim.link(crawler, fe, LinkSpec::wan());
-            sim.try_run_until_idle(100_000_000).expect("crawl terminates");
+            sim.try_run_until_idle(100_000_000)
+                .expect("crawl terminates");
             let c = sim.node_ref::<Crawler>(crawler);
             println!(
                 "crawl done in {} virtual time: {} pages fetched, {} applets, {} services, {} 404s, {} retries",
@@ -154,7 +211,8 @@ fn usage(err: &str) -> ! {
     eprintln!("error: {err}\n");
     eprintln!(
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
-         timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale]>"
+         timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
+         fleet [--users N] [--shards N] [--policy ifttt|fast|smart]>"
     );
     std::process::exit(2)
 }

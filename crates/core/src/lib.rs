@@ -28,6 +28,7 @@ pub use analysis;
 pub use devices;
 pub use ecosystem;
 pub use engine;
+pub use fleet;
 pub use simnet;
 pub use tap_protocol;
 pub use testbed;
@@ -56,7 +57,11 @@ pub struct Lab {
 impl Lab {
     /// A lab with the given master seed, at full paper scale.
     pub fn new(seed: u64) -> Lab {
-        Lab { seed, scale: 1.0, eco: OnceCell::new() }
+        Lab {
+            seed,
+            scale: 1.0,
+            eco: OnceCell::new(),
+        }
     }
 
     /// Shrink the ecosystem (applets/adds/users) by `scale` (≥ 0.02); the
@@ -69,7 +74,10 @@ impl Lab {
     /// The generated ecosystem (cached).
     pub fn ecosystem(&self) -> &Ecosystem {
         self.eco.get_or_init(|| {
-            Ecosystem::generate(GeneratorConfig { seed: self.seed, scale: self.scale })
+            Ecosystem::generate(GeneratorConfig {
+                seed: self.seed,
+                scale: self.scale,
+            })
         })
     }
 
@@ -105,7 +113,12 @@ impl Lab {
 
     /// Figure 3: the applet add-count rank series (log-spaced).
     pub fn fig3(&self, points: usize) -> Vec<analysis::tail::RankPoint> {
-        let adds: Vec<u64> = self.snapshot().applets.iter().map(|a| a.add_count).collect();
+        let adds: Vec<u64> = self
+            .snapshot()
+            .applets
+            .iter()
+            .map(|a| a.add_count)
+            .collect();
         analysis::tail::rank_series(&adds, points)
     }
 
@@ -114,9 +127,7 @@ impl Lab {
         testbed::applets::ALL_PAPER_APPLETS
             .iter()
             .enumerate()
-            .map(|(i, a)| {
-                measure_t2a(&T2aScenario::official(*a, runs, self.seed + i as u64))
-            })
+            .map(|(i, a)| measure_t2a(&T2aScenario::official(*a, runs, self.seed + i as u64)))
             .collect()
     }
 
@@ -156,6 +167,21 @@ impl Lab {
     /// §3.2 user-contribution stats.
     pub fn users(&self) -> UserContribution {
         UserContribution::of(&self.snapshot())
+    }
+
+    /// A sharded fleet-scale workload run (see the [`fleet`] crate): the
+    /// lab's seed becomes the master seed, and its scale sizes the applet
+    /// catalog the synthetic population installs from.
+    pub fn fleet(
+        &self,
+        users: u64,
+        shards: usize,
+        policy: fleet::FleetPolicy,
+    ) -> fleet::FleetReport {
+        let mut cfg = fleet::FleetConfig::new(users, shards, policy);
+        cfg.master_seed = self.seed;
+        cfg.eco_scale = self.scale.max(0.02);
+        fleet::run_fleet(&cfg)
     }
 }
 

@@ -99,7 +99,8 @@ mod tests {
         fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
             assert_eq!(req.path, UTTERANCE_PATH);
             let v: serde_json::Value = serde_json::from_slice(&req.body).unwrap();
-            self.utterances.push(v["utterance"].as_str().unwrap().to_owned());
+            self.utterances
+                .push(v["utterance"].as_str().unwrap().to_owned());
             self.arrival.push(ctx.now());
             HandlerResult::Reply(Response::ok())
         }

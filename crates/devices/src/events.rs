@@ -72,7 +72,11 @@ pub struct DeviceCommand {
 impl DeviceCommand {
     /// Construct a command with empty arguments.
     pub fn new(device: impl Into<String>, op: impl Into<String>) -> Self {
-        DeviceCommand { device: device.into(), op: op.into(), args: Default::default() }
+        DeviceCommand {
+            device: device.into(),
+            op: op.into(),
+            args: Default::default(),
+        }
     }
 
     /// Attach an argument.
@@ -98,8 +102,7 @@ mod tests {
 
     #[test]
     fn event_roundtrip() {
-        let e = DeviceEvent::new("hue_lamp_1", "light_on", "author", 12)
-            .with_data("bri", "254");
+        let e = DeviceEvent::new("hue_lamp_1", "light_on", "author", 12).with_data("bri", "254");
         let back = DeviceEvent::from_bytes(&e.to_bytes()).unwrap();
         assert_eq!(back, e);
     }

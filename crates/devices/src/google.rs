@@ -151,7 +151,11 @@ impl GoogleCloud {
     /// Toggle the notification feature of a sheet out of band (what the
     /// user does in the spreadsheet UI per \[12\] of the paper).
     pub fn set_sheet_notify(&mut self, user: &str, sheet: &str, enabled: bool) {
-        self.user(user).sheets.entry(sheet.to_owned()).or_default().notify = enabled;
+        self.user(user)
+            .sheets
+            .entry(sheet.to_owned())
+            .or_default()
+            .notify = enabled;
     }
 
     /// Append a row; runs the notification feature if enabled.
@@ -238,8 +242,7 @@ impl Node for GoogleCloud {
                 let Ok(b) = serde_json::from_slice::<InjectBody>(&req.body) else {
                     return HandlerResult::Reply(Response::bad_request());
                 };
-                let seq =
-                    self.deliver_email(ctx, user, &b.from, &b.subject, &b.body, b.attachment);
+                let seq = self.deliver_email(ctx, user, &b.from, &b.subject, &b.body, b.attachment);
                 reply(200, serde_json::json!({ "seq": seq }))
             }
             (Method::Post, ["gmail", user, "send"]) => {
@@ -267,8 +270,8 @@ impl Node for GoogleCloud {
                 let count = st.files.len();
                 ctx.trace("drive.saved", format!("{user}/{}", b.name));
                 let at = ctx.now().as_secs_f64() as u64;
-                let ev = DeviceEvent::new("drive", "file_saved", *user, at)
-                    .with_data("name", b.name);
+                let ev =
+                    DeviceEvent::new("drive", "file_saved", *user, at).with_data("name", b.name);
                 for obs in self.observers.clone() {
                     ctx.signal(obs, ev.to_bytes());
                 }
@@ -351,7 +354,10 @@ mod tests {
             );
         });
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<Obs>(obs).kinds, vec!["new_email", "new_attachment"]);
+        assert_eq!(
+            sim.node_ref::<Obs>(obs).kinds,
+            vec!["new_email", "new_attachment"]
+        );
     }
 
     #[test]
@@ -361,7 +367,10 @@ mod tests {
             assert_eq!(gc.append_row(ctx, "author", "songs", vec!["a".into()]), 1);
             assert_eq!(gc.append_row(ctx, "author", "songs", vec!["b".into()]), 2);
         });
-        let sheet = sim.node_ref::<GoogleCloud>(g).sheet("author", "songs").unwrap();
+        let sheet = sim
+            .node_ref::<GoogleCloud>(g)
+            .sheet("author", "songs")
+            .unwrap();
         assert_eq!(sheet.rows.len(), 2);
     }
 
@@ -369,7 +378,11 @@ mod tests {
     fn notification_feature_emails_the_owner() {
         let (mut sim, g) = cloud_sim();
         sim.with_node::<GoogleCloud, _>(g, |gc, ctx| {
-            gc.user("author").sheets.entry("log".into()).or_default().notify = true;
+            gc.user("author")
+                .sheets
+                .entry("log".into())
+                .or_default()
+                .notify = true;
             gc.append_row(ctx, "author", "log", vec!["x".into()]);
         });
         let gc = sim.node_ref::<GoogleCloud>(g);
@@ -385,7 +398,12 @@ mod tests {
         sim.with_node::<GoogleCloud, _>(g, |gc, ctx| {
             gc.append_row(ctx, "author", "log", vec!["x".into()]);
         });
-        assert_eq!(sim.node_ref::<GoogleCloud>(g).messages_since("author", 0).len(), 0);
+        assert_eq!(
+            sim.node_ref::<GoogleCloud>(g)
+                .messages_since("author", 0)
+                .len(),
+            0
+        );
     }
 
     struct Poster {
@@ -419,7 +437,12 @@ mod tests {
         {
             let p = sim.add_node(
                 format!("p{i}"),
-                Poster { target: g, path: path.to_string(), body: body.to_string(), status: None },
+                Poster {
+                    target: g,
+                    path: path.to_string(),
+                    body: body.to_string(),
+                    status: None,
+                },
             );
             sim.link(p, g, LinkSpec::wan());
             sim.run_until_idle();

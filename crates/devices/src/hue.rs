@@ -28,7 +28,11 @@ pub struct LampState {
 
 impl Default for LampState {
     fn default() -> Self {
-        LampState { on: false, bri: 254, hue: 8418 }
+        LampState {
+            on: false,
+            bri: 254,
+            hue: 8418,
+        }
     }
 }
 
@@ -155,18 +159,24 @@ impl Node for HueLamp {
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, key: TimerKey) {
         match key {
-            TIMER_APPLY
-                if !self.queue.is_empty() => {
-                    let cmd = self.queue.remove(0);
-                    self.apply(ctx, &cmd);
-                }
+            TIMER_APPLY if !self.queue.is_empty() => {
+                let cmd = self.queue.remove(0);
+                self.apply(ctx, &cmd);
+            }
             TIMER_BLINK_STEP => {
                 if self.blink_left == 0 {
                     return;
                 }
                 self.blink_left -= 1;
                 self.state.on = !self.state.on;
-                self.notify(ctx, if self.state.on { "light_on" } else { "light_off" });
+                self.notify(
+                    ctx,
+                    if self.state.on {
+                        "light_on"
+                    } else {
+                        "light_off"
+                    },
+                );
                 if self.blink_left > 0 {
                     ctx.set_timer(SimDuration::from_millis(250), TIMER_BLINK_STEP);
                 }
@@ -209,7 +219,8 @@ impl HueHub {
 
     /// Pair a lamp with the hub.
     pub fn register_lamp(&mut self, device_id: impl Into<String>, node: NodeId) {
-        self.lamps.insert(device_id.into(), (node, LampState::default()));
+        self.lamps
+            .insert(device_id.into(), (node, LampState::default()));
     }
 
     /// Restrict API access to these hosts (the home-LAN rule).
@@ -281,7 +292,8 @@ impl HueHub {
             return HandlerResult::Reply(Response::bad_request());
         };
         cmd = cmd.with_arg("cmd_id", cmd_id.to_string());
-        self.pending.insert(cmd_id, (req.id, device_id.to_string(), op.to_string()));
+        self.pending
+            .insert(cmd_id, (req.id, device_id.to_string(), op.to_string()));
         ctx.trace("hub.command", format!("{device_id} {op}"));
         ctx.signal(lamp_node, cmd.to_bytes());
         HandlerResult::Deferred
@@ -303,8 +315,7 @@ impl Node for HueHub {
                 let states: HashMap<&String, &LampState> =
                     self.lamps.iter().map(|(id, (_, s))| (id, s)).collect();
                 HandlerResult::Reply(
-                    Response::ok()
-                        .with_body(serde_json::to_vec(&states).expect("serializes")),
+                    Response::ok().with_body(serde_json::to_vec(&states).expect("serializes")),
                 )
             }
             // PUT /api/<username>/lights/<id>/state
@@ -320,10 +331,11 @@ impl Node for HueHub {
     }
 
     fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         if ev.kind == "ack" {
-            let Some(cmd_id) = ev.data.get("cmd_id").and_then(|v| v.parse::<u64>().ok())
-            else {
+            let Some(cmd_id) = ev.data.get("cmd_id").and_then(|v| v.parse::<u64>().ok()) else {
                 return;
             };
             if let Some((req_id, device_id, _op)) = self.pending.remove(&cmd_id) {
@@ -358,12 +370,7 @@ impl Node for HueHub {
 /// Assemble a hub with `n` lamps in a simulation: creates the nodes, links
 /// lamps to the hub over radio, registers them, and makes lamps report
 /// state changes to the hub. Returns `(hub, lamps)`.
-pub fn install_hue(
-    sim: &mut Sim,
-    username: &str,
-    user: &str,
-    n: usize,
-) -> (NodeId, Vec<NodeId>) {
+pub fn install_hue(sim: &mut Sim, username: &str, user: &str, n: usize) -> (NodeId, Vec<NodeId>) {
     let hub = sim.add_node("hue_hub", HueHub::new(username));
     let mut lamps = Vec::new();
     for i in 1..=n {
@@ -419,7 +426,12 @@ mod tests {
         let (mut sim, hub, lamp, driver) = setup(r#"{"on":true}"#);
         sim.run_until_idle();
         assert!(sim.node_ref::<HueLamp>(lamp).state.on);
-        assert!(sim.node_ref::<HueHub>(hub).lamp_state("hue_lamp_1").unwrap().on);
+        assert!(
+            sim.node_ref::<HueHub>(hub)
+                .lamp_state("hue_lamp_1")
+                .unwrap()
+                .on
+        );
         let (status, at) = sim.node_ref::<Driver>(driver).response.unwrap();
         assert_eq!(status, 200);
         // LAN + radio + apply delay: response well under a second but not zero.

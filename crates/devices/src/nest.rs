@@ -58,7 +58,10 @@ impl NestThermostat {
             return;
         }
         self.ambient_c = temp_c;
-        ctx.trace("nest.ambient", format!("{} {prev:.1} -> {temp_c:.1}", self.device_id));
+        ctx.trace(
+            "nest.ambient",
+            format!("{} {prev:.1} -> {temp_c:.1}", self.device_id),
+        );
         let ev = DeviceEvent::new(
             self.device_id.clone(),
             "temp_changed",
@@ -105,7 +108,10 @@ impl Node for NestThermostat {
                 }
                 self.target_c = t.temp_c;
                 self.setpoint_changes += 1;
-                ctx.trace("nest.setpoint", format!("{} -> {:.1}C", self.device_id, t.temp_c));
+                ctx.trace(
+                    "nest.setpoint",
+                    format!("{} -> {:.1}C", self.device_id, t.temp_c),
+                );
                 let ev = DeviceEvent::new(
                     self.device_id.clone(),
                     "setpoint_changed",
@@ -179,7 +185,11 @@ mod tests {
         let nest = sim.add_node("nest", NestThermostat::new("nest_1", "author"));
         let ok = sim.add_node(
             "ok",
-            Setter { nest, body: r#"{"temp_c": 22.5}"#.into(), status: None },
+            Setter {
+                nest,
+                body: r#"{"temp_c": 22.5}"#.into(),
+                status: None,
+            },
         );
         sim.link(ok, nest, LinkSpec::wan());
         sim.run_until_idle();
@@ -187,7 +197,11 @@ mod tests {
         assert_eq!(sim.node_ref::<NestThermostat>(nest).target_c, 22.5);
         let bad = sim.add_node(
             "bad",
-            Setter { nest, body: r#"{"temp_c": 60.0}"#.into(), status: None },
+            Setter {
+                nest,
+                body: r#"{"temp_c": 60.0}"#.into(),
+                status: None,
+            },
         );
         sim.link(bad, nest, LinkSpec::wan());
         sim.run_until_idle();

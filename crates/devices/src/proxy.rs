@@ -89,7 +89,9 @@ impl LocalProxy {
     }
 
     fn forward_event(&mut self, ctx: &mut Context<'_>, ev: &DeviceEvent) {
-        let Some(upstream) = self.upstream else { return };
+        let Some(upstream) = self.upstream else {
+            return;
+        };
         ctx.trace("proxy.event", format!("{} {}", ev.device, ev.kind));
         let req = Request::post(EVENTS_PATH).with_body(ev.to_bytes());
         let token = Token(0); // token 0 marks event-forward confirmations
@@ -125,11 +127,8 @@ impl LocalProxy {
                         return;
                     }
                 };
-                let req = Request::put(format!(
-                    "/api/{username}/lights/{}/state",
-                    cmd.device
-                ))
-                .with_body(body.to_string());
+                let req = Request::put(format!("/api/{username}/lights/{}/state", cmd.device))
+                    .with_body(body.to_string());
                 ctx.send_request(hub, req, Token(token), RequestOpts::timeout_secs(10));
             }
             DeviceRoute::Wemo { node } => {
@@ -148,7 +147,11 @@ impl LocalProxy {
                 ctx.send_request(node, req, Token(token), RequestOpts::timeout_secs(10));
             }
             DeviceRoute::SmartThings { hub } => {
-                let value = cmd.args.get("value").cloned().unwrap_or_else(|| "on".into());
+                let value = cmd
+                    .args
+                    .get("value")
+                    .cloned()
+                    .unwrap_or_else(|| "on".into());
                 let req = Request::post(format!("/st/devices/{}/command", cmd.device))
                     .with_body(serde_json::json!({ "value": value }).to_string());
                 ctx.send_request(hub, req, Token(token), RequestOpts::timeout_secs(10));
@@ -250,7 +253,8 @@ mod tests {
         sim.link(proxy, router, LinkSpec::lan());
         sim.link(router, server, LinkSpec::wan());
         // LAN rule: devices accept the proxy only.
-        sim.node_mut::<crate::hue::HueHub>(hub).allow_only(vec![proxy]);
+        sim.node_mut::<crate::hue::HueHub>(hub)
+            .allow_only(vec![proxy]);
         sim.node_mut::<WemoSwitch>(switch).allow_only(vec![proxy]);
         // Device pushes go to the proxy.
         sim.node_mut::<crate::hue::HueHub>(hub).observe(proxy);
@@ -259,7 +263,10 @@ mod tests {
         p.set_upstream(server);
         p.register(
             "hue_lamp_1",
-            DeviceRoute::HueLamp { hub, username: "hueuser".into() },
+            DeviceRoute::HueLamp {
+                hub,
+                username: "hueuser".into(),
+            },
         );
         p.register("wemo_switch_1", DeviceRoute::Wemo { node: switch });
         (sim, hub, lamp, switch, proxy, server)
@@ -333,8 +340,8 @@ mod tests {
         // server cannot drive the hub directly even if routed.
         let (mut sim, hub, _, _, _proxy, server) = home();
         sim.with_node::<LabServer, _>(server, |_, ctx| {
-            let req = Request::put("/api/hueuser/lights/hue_lamp_1/state")
-                .with_body(r#"{"on":true}"#);
+            let req =
+                Request::put("/api/hueuser/lights/hue_lamp_1/state").with_body(r#"{"on":true}"#);
             ctx.send_request(hub, req, Token(2), RequestOpts::timeout_secs(60));
         });
         sim.run_until_idle();

@@ -7,6 +7,7 @@
 //! feeding trigger events from their backend and executing actions.
 
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::SERVICE_KEY_HEADER;
 use tap_protocol::endpoints::REALTIME_NOTIFY_PATH;
 use tap_protocol::oauth::AuthCode;
@@ -15,7 +16,6 @@ use tap_protocol::wire::{self, RealtimeNotification, TriggerEvent};
 use tap_protocol::{
     ActionSlug, FieldMap, ProtocolError, QuerySlug, TriggerIdentity, TriggerSlug, UserId,
 };
-use std::collections::HashMap;
 
 /// One learned trigger subscription.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,10 +32,20 @@ pub enum Processed {
     Done(Response),
     /// An action request the service must execute (and then reply to
     /// `req_id`, possibly deferred).
-    Action { user: UserId, action: ActionSlug, fields: FieldMap, req_id: RequestId },
+    Action {
+        user: UserId,
+        action: ActionSlug,
+        fields: FieldMap,
+        req_id: RequestId,
+    },
     /// A query the service must answer with [`ServiceEndpoint::query_ok`]
     /// (possibly deferred).
-    Query { user: UserId, query: QuerySlug, fields: FieldMap, req_id: RequestId },
+    Query {
+        user: UserId,
+        query: QuerySlug,
+        fields: FieldMap,
+        req_id: RequestId,
+    },
 }
 
 /// The shared protocol front of a partner service.
@@ -84,7 +94,14 @@ impl ServiceCore {
         fields: FieldMap,
     ) -> TriggerIdentity {
         let ti = TriggerIdentity::derive(&user, self.endpoint.slug(), &trigger, &fields);
-        self.subs.insert(ti.clone(), Subscription { user, trigger, fields });
+        self.subs.insert(
+            ti.clone(),
+            Subscription {
+                user,
+                trigger,
+                fields,
+            },
+        );
         ti
     }
 
@@ -136,14 +153,22 @@ impl ServiceCore {
         match self.endpoint.parse(req) {
             Err(e) => Processed::Done(ServiceEndpoint::error_response(&e)),
             Ok(ParsedServiceRequest::Status) => Processed::Done(Response::ok()),
-            Ok(ParsedServiceRequest::TestSetup) => Processed::Done(
-                Response::ok().with_body(r#"{"data":{"samples":{}}}"#),
-            ),
-            Ok(ParsedServiceRequest::Poll { user, trigger, body }) => {
+            Ok(ParsedServiceRequest::TestSetup) => {
+                Processed::Done(Response::ok().with_body(r#"{"data":{"samples":{}}}"#))
+            }
+            Ok(ParsedServiceRequest::Poll {
+                user,
+                trigger,
+                body,
+            }) => {
                 // Learn (or refresh) the subscription from the poll itself.
                 self.subs.insert(
                     body.trigger_identity.clone(),
-                    Subscription { user, trigger, fields: body.trigger_fields.clone() },
+                    Subscription {
+                        user,
+                        trigger,
+                        fields: body.trigger_fields.clone(),
+                    },
                 );
                 self.polls_served += 1;
                 let events = self.buffer.latest(&body.trigger_identity, body.limit);
@@ -158,7 +183,9 @@ impl ServiceCore {
                 );
                 Processed::Done(ServiceEndpoint::poll_ok(events))
             }
-            Ok(ParsedServiceRequest::Action { user, action, body, .. }) => Processed::Action {
+            Ok(ParsedServiceRequest::Action {
+                user, action, body, ..
+            }) => Processed::Action {
                 user,
                 action,
                 fields: body.action_fields,
@@ -173,8 +200,7 @@ impl ServiceCore {
             Ok(ParsedServiceRequest::OAuthAuthorize { user }) => {
                 let code = self.endpoint.oauth.authorize(user, ctx.rng());
                 Processed::Done(
-                    Response::ok()
-                        .with_body(serde_json::json!({ "code": code.0 }).to_string()),
+                    Response::ok().with_body(serde_json::json!({ "code": code.0 }).to_string()),
                 )
             }
             Ok(ParsedServiceRequest::OAuthToken { code }) => {
@@ -188,9 +214,9 @@ impl ServiceCore {
                             .to_string(),
                         ),
                     ),
-                    Err(_) => Processed::Done(
-                        ServiceEndpoint::error_response(&ProtocolError::BadAccessToken),
-                    ),
+                    Err(_) => Processed::Done(ServiceEndpoint::error_response(
+                        &ProtocolError::BadAccessToken,
+                    )),
                 }
             }
         }
@@ -212,9 +238,9 @@ mod tests {
         fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
             match self.core.process(ctx, req) {
                 Processed::Done(resp) => HandlerResult::Reply(resp),
-                Processed::Action { action, .. } => HandlerResult::Reply(
-                    ServiceEndpoint::action_ok(format!("done_{action}")),
-                ),
+                Processed::Action { action, .. } => {
+                    HandlerResult::Reply(ServiceEndpoint::action_ok(format!("done_{action}")))
+                }
                 Processed::Query { fields, .. } => {
                     HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
                 }
@@ -252,7 +278,8 @@ mod tests {
         fn on_request(&mut self, _ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
             if req.path == REALTIME_NOTIFY_PATH {
                 if let Ok(n) = wire::from_bytes::<RealtimeNotification>(&req.body) {
-                    self.hints.extend(n.data.into_iter().map(|i| i.trigger_identity));
+                    self.hints
+                        .extend(n.data.into_iter().map(|i| i.trigger_identity));
                 }
                 HandlerResult::Reply(Response::ok())
             } else {
@@ -319,11 +346,13 @@ mod tests {
                 FieldMap::new(),
             );
             let ev = TriggerEvent::new("e1", 5);
-            let matched =
-                s.core
-                    .record_event(ctx, &TriggerSlug::new("ding"), &UserId::new("alice"), ev, |_| {
-                        true
-                    });
+            let matched = s.core.record_event(
+                ctx,
+                &TriggerSlug::new("ding"),
+                &UserId::new("alice"),
+                ev,
+                |_| true,
+            );
             assert_eq!(matched, 1);
             assert_eq!(s.core.buffer.len(&ti_a), 1);
         });
@@ -337,7 +366,8 @@ mod tests {
         sim.link(engine, svc, LinkSpec::wan());
         let ti = sim.with_node::<TestService, _>(svc, |s, _ctx| {
             s.core.enable_realtime(engine);
-            s.core.subscribe(UserId::new("u"), TriggerSlug::new("ding"), FieldMap::new())
+            s.core
+                .subscribe(UserId::new("u"), TriggerSlug::new("ding"), FieldMap::new())
         });
         sim.with_node::<TestService, _>(svc, |s, ctx| {
             s.core.record_event(
@@ -360,8 +390,9 @@ mod tests {
         sim.with_node::<TestService, _>(svc, |s, ctx| {
             let mut fields = FieldMap::new();
             fields.insert("phrase".into(), "good morning".into());
-            let ti =
-                s.core.subscribe(UserId::new("u"), TriggerSlug::new("ding"), fields);
+            let ti = s
+                .core
+                .subscribe(UserId::new("u"), TriggerSlug::new("ding"), fields);
             let matched = s.core.record_event(
                 ctx,
                 &TriggerSlug::new("ding"),

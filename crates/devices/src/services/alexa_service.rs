@@ -99,14 +99,15 @@ impl AlexaService {
         }
         let trigger = TriggerSlug::new(trigger);
         let filter = phrase_filter.map(str::to_owned);
-        self.core.record_event(ctx, &trigger, user, event, move |fields| {
-            match (&filter, fields.get("phrase")) {
-                // A say_a_phrase subscription only matches its configured phrase.
-                (Some(said), Some(want)) => said.eq_ignore_ascii_case(want),
-                (Some(_), None) => true, // subscription with no phrase field: match all
-                (None, _) => true,
-            }
-        });
+        self.core
+            .record_event(ctx, &trigger, user, event, move |fields| {
+                match (&filter, fields.get("phrase")) {
+                    // A say_a_phrase subscription only matches its configured phrase.
+                    (Some(said), Some(want)) => said.eq_ignore_ascii_case(want),
+                    (Some(_), None) => true, // subscription with no phrase field: match all
+                    (None, _) => true,
+                }
+            });
     }
 
     /// Process one recognized utterance for `user`.
@@ -114,18 +115,20 @@ impl AlexaService {
         self.utterances += 1;
         ctx.trace("alexa.utterance", utterance.to_owned());
         match classify(utterance) {
-            Intent::Phrase(p) => {
-                self.feed(ctx, user, "say_a_phrase", &[("phrase", &p)], Some(&p))
-            }
-            Intent::PlaySong(song) => {
-                self.feed(ctx, user, "song_played", &[("song", &song)], None)
-            }
+            Intent::Phrase(p) => self.feed(ctx, user, "say_a_phrase", &[("phrase", &p)], Some(&p)),
+            Intent::PlaySong(song) => self.feed(ctx, user, "song_played", &[("song", &song)], None),
             Intent::TodoAdd(item) => {
-                self.todo.entry(user.clone()).or_default().push(item.clone());
+                self.todo
+                    .entry(user.clone())
+                    .or_default()
+                    .push(item.clone());
                 self.feed(ctx, user, "todo_item_added", &[("item", &item)], None)
             }
             Intent::ShoppingAdd(item) => {
-                self.shopping.entry(user.clone()).or_default().push(item.clone());
+                self.shopping
+                    .entry(user.clone())
+                    .or_default()
+                    .push(item.clone());
                 self.feed(ctx, user, "shopping_item_added", &[("item", &item)], None)
             }
             Intent::AskShoppingList => {
@@ -175,25 +178,41 @@ mod tests {
 
     #[test]
     fn classify_covers_the_paper_top_triggers() {
-        assert_eq!(classify("play Bohemian Rhapsody"), Intent::PlaySong("bohemian rhapsody".into()));
-        assert_eq!(classify("add milk to my todo list"), Intent::TodoAdd("milk".into()));
+        assert_eq!(
+            classify("play Bohemian Rhapsody"),
+            Intent::PlaySong("bohemian rhapsody".into())
+        );
+        assert_eq!(
+            classify("add milk to my todo list"),
+            Intent::TodoAdd("milk".into())
+        );
         assert_eq!(
             classify("add eggs to my shopping list"),
             Intent::ShoppingAdd("eggs".into())
         );
-        assert_eq!(classify("What's on my shopping list"), Intent::AskShoppingList);
+        assert_eq!(
+            classify("What's on my shopping list"),
+            Intent::AskShoppingList
+        );
         assert_eq!(
             classify("alexa trigger movie time"),
             Intent::Phrase("movie time".into())
         );
-        assert_eq!(classify("turn on the light"), Intent::Phrase("turn on the light".into()));
+        assert_eq!(
+            classify("turn on the light"),
+            Intent::Phrase("turn on the light".into())
+        );
     }
 
-    fn service_with_sub(trigger: &str, fields: FieldMap) -> (Sim, NodeId, tap_protocol::TriggerIdentity) {
+    fn service_with_sub(
+        trigger: &str,
+        fields: FieldMap,
+    ) -> (Sim, NodeId, tap_protocol::TriggerIdentity) {
         let mut sim = Sim::new(81);
         let svc = sim.add_node("alexa", AlexaService::new(ServiceKey("sk_a".into())));
         let ti = sim.with_node::<AlexaService, _>(svc, |s, _| {
-            s.core.subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
+            s.core
+                .subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
         });
         (sim, svc, ti)
     }

@@ -56,7 +56,10 @@ impl DateTimeService {
             .with_trigger("every_day_at")
             .with_trigger("sunrise")
             .with_trigger("sunset");
-        DateTimeService { core: ServiceCore::new(endpoint), ticks: 0 }
+        DateTimeService {
+            core: ServiceCore::new(endpoint),
+            ticks: 0,
+        }
     }
 
     /// Fire the subscriptions whose schedule lands in this minute.
@@ -65,17 +68,21 @@ impl DateTimeService {
         // Time triggers are per-user but user-independent in content; fire
         // for every distinct subscribed user.
         let users: Vec<UserId> = {
-            let mut v: Vec<UserId> =
-                self.core.subs.values().map(|s| s.user.clone()).collect();
+            let mut v: Vec<UserId> = self.core.subs.values().map(|s| s.user.clone()).collect();
             v.sort();
             v.dedup();
             v
         };
-        let fire = |me: &mut Self, ctx: &mut Context<'_>, trigger: &str, user: &UserId, matches: &dyn Fn(&tap_protocol::FieldMap) -> bool| {
+        let fire = |me: &mut Self,
+                    ctx: &mut Context<'_>,
+                    trigger: &str,
+                    user: &UserId,
+                    matches: &dyn Fn(&tap_protocol::FieldMap) -> bool| {
             let id = format!("{}_{}_{}_d{}", Self::SLUG, trigger, user, day);
             let event = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64)
                 .with_ingredient("minute_of_day", minute_of_day.to_string());
-            me.core.record_event(ctx, &TriggerSlug::new(trigger), user, event, matches);
+            me.core
+                .record_event(ctx, &TriggerSlug::new(trigger), user, event, matches);
         };
         for user in &users {
             fire(self, ctx, "every_day_at", user, &|fields| {
@@ -143,7 +150,8 @@ mod tests {
         let ti = sim.with_node::<DateTimeService, _>(svc, |s, _| {
             let mut fields = FieldMap::new();
             fields.insert("time".into(), "01:00".into());
-            s.core.subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
+            s.core
+                .subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
         });
         // Run 90 minutes: exactly one firing (at 01:00).
         sim.run_until(SimTime::from_secs(90 * 60));
@@ -159,8 +167,16 @@ mod tests {
         let svc = sim.add_node("clock", DateTimeService::new(ServiceKey("sk_t".into())));
         let (ta, tb) = sim.with_node::<DateTimeService, _>(svc, |s, _| {
             (
-                s.core.subscribe(UserId::new("a"), TriggerSlug::new("sunset"), FieldMap::new()),
-                s.core.subscribe(UserId::new("b"), TriggerSlug::new("sunset"), FieldMap::new()),
+                s.core.subscribe(
+                    UserId::new("a"),
+                    TriggerSlug::new("sunset"),
+                    FieldMap::new(),
+                ),
+                s.core.subscribe(
+                    UserId::new("b"),
+                    TriggerSlug::new("sunset"),
+                    FieldMap::new(),
+                ),
             )
         });
         sim.run_until(SimTime::from_secs(SUNSET + 120));
@@ -176,9 +192,14 @@ mod tests {
         let ti = sim.with_node::<DateTimeService, _>(svc, |s, _| {
             let mut fields = FieldMap::new();
             fields.insert("time".into(), "23:00".into());
-            s.core.subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
+            s.core
+                .subscribe(UserId::new("u"), TriggerSlug::new("every_day_at"), fields)
         });
         sim.run_until(SimTime::from_secs(4 * 3600));
-        assert!(sim.node_ref::<DateTimeService>(svc).core.buffer.is_empty(&ti));
+        assert!(sim
+            .node_ref::<DateTimeService>(svc)
+            .core
+            .buffer
+            .is_empty(&ti));
     }
 }

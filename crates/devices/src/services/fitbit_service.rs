@@ -8,11 +8,11 @@
 
 use crate::service_core::{Processed, ServiceCore};
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::wire::TriggerEvent;
 use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
-use std::collections::HashMap;
 
 const TIMER_TICK: TimerKey = 1;
 /// Seconds in a virtual day.
@@ -58,15 +58,19 @@ impl FitbitService {
         let id = self.core.next_event_id();
         let event = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64)
             .with_ingredient("hours", format!("{hours:.1}"));
-        self.core
-            .record_event(ctx, &TriggerSlug::new("new_sleep_logged"), user, event, |_| true);
+        self.core.record_event(
+            ctx,
+            &TriggerSlug::new("new_sleep_logged"),
+            user,
+            event,
+            |_| true,
+        );
     }
 
     fn fire_daily_summaries(&mut self, ctx: &mut Context<'_>) {
         let day = ctx.now().as_secs_f64() as u64 / DAY_SECS;
         let users: Vec<UserId> = {
-            let mut v: Vec<UserId> =
-                self.core.subs.values().map(|s| s.user.clone()).collect();
+            let mut v: Vec<UserId> = self.core.subs.values().map(|s| s.user.clone()).collect();
             v.sort();
             v.dedup();
             v
@@ -120,7 +124,12 @@ mod tests {
     use super::*;
     use tap_protocol::FieldMap;
 
-    fn world() -> (Sim, NodeId, tap_protocol::TriggerIdentity, tap_protocol::TriggerIdentity) {
+    fn world() -> (
+        Sim,
+        NodeId,
+        tap_protocol::TriggerIdentity,
+        tap_protocol::TriggerIdentity,
+    ) {
         let mut sim = Sim::new(1);
         let svc = sim.add_node("fitbit", FitbitService::new(ServiceKey("sk_f".into())));
         let (summary, sleep) = sim.with_node::<FitbitService, _>(svc, |s, _| {
@@ -143,10 +152,16 @@ mod tests {
     #[test]
     fn daily_summary_fires_at_2355_with_the_days_steps() {
         let (mut sim, svc, summary, _) = world();
-        sim.node_mut::<FitbitService>(svc).add_steps(UserId::new("u"), 8_000);
-        sim.node_mut::<FitbitService>(svc).add_steps(UserId::new("u"), 2_345);
+        sim.node_mut::<FitbitService>(svc)
+            .add_steps(UserId::new("u"), 8_000);
+        sim.node_mut::<FitbitService>(svc)
+            .add_steps(UserId::new("u"), 2_345);
         sim.run_until(SimTime::from_secs(23 * 3600 + 50 * 60));
-        assert!(sim.node_ref::<FitbitService>(svc).core.buffer.is_empty(&summary));
+        assert!(sim
+            .node_ref::<FitbitService>(svc)
+            .core
+            .buffer
+            .is_empty(&summary));
         sim.run_until(SimTime::from_secs(23 * 3600 + 57 * 60));
         let s = sim.node_ref::<FitbitService>(svc);
         let events = s.core.buffer.latest(&summary, 10);
@@ -157,7 +172,8 @@ mod tests {
     #[test]
     fn steps_reset_between_days() {
         let (mut sim, svc, summary, _) = world();
-        sim.node_mut::<FitbitService>(svc).add_steps(UserId::new("u"), 5_000);
+        sim.node_mut::<FitbitService>(svc)
+            .add_steps(UserId::new("u"), 5_000);
         // Two full days: two summaries; the second has zero steps.
         sim.run_until(SimTime::from_secs(2 * DAY_SECS));
         let s = sim.node_ref::<FitbitService>(svc);

@@ -53,7 +53,12 @@ impl Node for GmailService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, action, fields, req_id } => {
+            Processed::Action {
+                user,
+                action,
+                fields,
+                req_id,
+            } => {
                 if action != ActionSlug::new("send_an_email") {
                     return HandlerResult::Reply(Response::bad_request());
                 }
@@ -81,13 +86,18 @@ impl Node for GmailService {
                 self.actions_done += 1;
                 ctx.reply(upstream, ServiceEndpoint::action_ok("mail_sent"));
             } else {
-                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+                ctx.reply(
+                    upstream,
+                    Response::with_status(if resp.is_timeout() { 503 } else { resp.status }),
+                );
             }
         }
     }
 
     fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         let trigger = match ev.kind.as_str() {
             "new_email" => "any_new_email",
             "new_attachment" => "new_attachment",
@@ -123,8 +133,8 @@ impl DriveService {
 
     /// Create the service over a backend cloud.
     pub fn new(key: ServiceKey, cloud: NodeId) -> Self {
-        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
-            .with_action("save_file");
+        let endpoint =
+            ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key).with_action("save_file");
         DriveService {
             core: ServiceCore::new(endpoint),
             cloud,
@@ -138,16 +148,20 @@ impl Node for DriveService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, fields, req_id, .. } => {
+            Processed::Action {
+                user,
+                fields,
+                req_id,
+                ..
+            } => {
                 let name = fields
                     .get("name")
                     .cloned()
                     .unwrap_or_else(|| "attachment".to_owned());
                 let content = fields.get("content").cloned().unwrap_or_default();
                 let token = self.pending.track(req_id);
-                let api = Request::post(format!("/drive/{}/files", user.0)).with_body(
-                    serde_json::json!({ "name": name, "content": content }).to_string(),
-                );
+                let api = Request::post(format!("/drive/{}/files", user.0))
+                    .with_body(serde_json::json!({ "name": name, "content": content }).to_string());
                 ctx.send_request(self.cloud, api, token, RequestOpts::timeout_secs(30));
                 HandlerResult::Deferred
             }
@@ -164,7 +178,10 @@ impl Node for DriveService {
                 self.actions_done += 1;
                 ctx.reply(upstream, ServiceEndpoint::action_ok("file_saved"));
             } else {
-                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+                ctx.reply(
+                    upstream,
+                    Response::with_status(if resp.is_timeout() { 503 } else { resp.status }),
+                );
             }
         }
     }
@@ -188,8 +205,8 @@ impl SheetsService {
 
     /// Create the service over a backend cloud.
     pub fn new(key: ServiceKey, cloud: NodeId) -> Self {
-        let endpoint = ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key)
-            .with_action("add_row");
+        let endpoint =
+            ServiceEndpoint::new(ServiceSlug::new(Self::SLUG), key).with_action("add_row");
         SheetsService {
             core: ServiceCore::new(endpoint),
             cloud,
@@ -211,7 +228,12 @@ impl Node for SheetsService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, fields, req_id, .. } => {
+            Processed::Action {
+                user,
+                fields,
+                req_id,
+                ..
+            } => {
                 let sheet = fields
                     .get("spreadsheet")
                     .cloned()
@@ -236,7 +258,10 @@ impl Node for SheetsService {
                 self.actions_done += 1;
                 ctx.reply(upstream, ServiceEndpoint::action_ok("row_added"));
             } else {
-                ctx.reply(upstream, Response::with_status(if resp.is_timeout() { 503 } else { resp.status }));
+                ctx.reply(
+                    upstream,
+                    Response::with_status(if resp.is_timeout() { 503 } else { resp.status }),
+                );
             }
         }
     }
@@ -248,15 +273,22 @@ mod tests {
     use crate::google::GoogleCloud;
     use tap_protocol::auth::{AUTHORIZATION_HEADER, SERVICE_KEY_HEADER};
     use tap_protocol::wire::{self, ActionRequestBody};
-    
 
     fn google_with_services() -> (Sim, NodeId, NodeId, NodeId, NodeId) {
         let mut sim = Sim::new(91);
         let cloud = sim.add_node("google", GoogleCloud::new());
-        let gmail = sim.add_node("gmail_svc", GmailService::new(ServiceKey("sk_g".into()), cloud));
-        let drive = sim.add_node("drive_svc", DriveService::new(ServiceKey("sk_d".into()), cloud));
-        let sheets =
-            sim.add_node("sheets_svc", SheetsService::new(ServiceKey("sk_s".into()), cloud));
+        let gmail = sim.add_node(
+            "gmail_svc",
+            GmailService::new(ServiceKey("sk_g".into()), cloud),
+        );
+        let drive = sim.add_node(
+            "drive_svc",
+            DriveService::new(ServiceKey("sk_d".into()), cloud),
+        );
+        let sheets = sim.add_node(
+            "sheets_svc",
+            SheetsService::new(ServiceKey("sk_s".into()), cloud),
+        );
         for svc in [gmail, drive, sheets] {
             sim.link(cloud, svc, LinkSpec::datacenter());
         }
@@ -302,7 +334,14 @@ mod tests {
             )
         });
         sim.with_node::<GoogleCloud, _>(cloud, |g, ctx| {
-            g.deliver_email(ctx, "author", "x@y", "doc", "", Some(("a.pdf".into(), "data".into())));
+            g.deliver_email(
+                ctx,
+                "author",
+                "x@y",
+                "doc",
+                "",
+                Some(("a.pdf".into(), "data".into())),
+            );
         });
         sim.run_until_idle();
         let s = sim.node_ref::<GmailService>(gmail);
@@ -340,7 +379,11 @@ mod tests {
     fn add_row_action_lands_in_the_sheet() {
         let (mut sim, cloud, _, _, sheets) = google_with_services();
         let bearer = sim.with_node::<SheetsService, _>(sheets, |s, ctx| {
-            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer()
         });
         let mut fields = FieldMap::new();
         fields.insert("spreadsheet".into(), "songs".into());
@@ -359,8 +402,14 @@ mod tests {
         sim.link(sender, sheets, LinkSpec::wan());
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
-        let sheet = sim.node_ref::<GoogleCloud>(cloud).sheet("author", "songs").unwrap();
-        assert_eq!(sheet.rows, vec![vec!["yesterday".to_string(), "beatles".to_string()]]);
+        let sheet = sim
+            .node_ref::<GoogleCloud>(cloud)
+            .sheet("author", "songs")
+            .unwrap();
+        assert_eq!(
+            sheet.rows,
+            vec![vec!["yesterday".to_string(), "beatles".to_string()]]
+        );
         assert_eq!(sim.node_ref::<SheetsService>(sheets).actions_done, 1);
     }
 
@@ -368,7 +417,11 @@ mod tests {
     fn save_file_action_lands_in_drive() {
         let (mut sim, cloud, _, drive, _) = google_with_services();
         let bearer = sim.with_node::<DriveService, _>(drive, |s, ctx| {
-            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer()
         });
         let mut fields = FieldMap::new();
         fields.insert("name".into(), "report.pdf".into());
@@ -387,7 +440,10 @@ mod tests {
         sim.link(sender, drive, LinkSpec::wan());
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
-        assert_eq!(sim.node_ref::<GoogleCloud>(cloud).files("author"), vec!["report.pdf"]);
+        assert_eq!(
+            sim.node_ref::<GoogleCloud>(cloud).files("author"),
+            vec!["report.pdf"]
+        );
     }
 
     #[test]
@@ -401,8 +457,12 @@ mod tests {
                 TriggerSlug::new("any_new_email"),
                 FieldMap::new(),
             );
-            let bearer =
-                s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer();
+            let bearer = s
+                .core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer();
             (ti, bearer)
         });
         let mut fields = FieldMap::new();
@@ -421,7 +481,12 @@ mod tests {
         sim.link(sender, gmail, LinkSpec::wan());
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<ActionSender>(sender).status, Some(200));
-        assert_eq!(sim.node_ref::<GoogleCloud>(cloud).messages_since("author", 0).len(), 1);
+        assert_eq!(
+            sim.node_ref::<GoogleCloud>(cloud)
+                .messages_since("author", 0)
+                .len(),
+            1
+        );
         // The delivery push fed the trigger buffer again: action → trigger.
         assert_eq!(sim.node_ref::<GmailService>(gmail).core.buffer.len(&ti), 1);
     }

@@ -8,10 +8,10 @@
 use crate::service_core::{Processed, ServiceCore};
 use crate::services::PendingReplies;
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::{ServiceSlug, UserId};
-use std::collections::HashMap;
 
 /// Map an IFTTT color-field value to a Hue angle.
 pub fn color_to_hue(color: &str) -> u16 {
@@ -78,7 +78,12 @@ impl Node for HueService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, action, fields, req_id } => {
+            Processed::Action {
+                user,
+                action,
+                fields,
+                req_id,
+            } => {
                 let Some(account) = self.accounts.get(&user).cloned() else {
                     return HandlerResult::Reply(
                         Response::unauthorized()
@@ -101,11 +106,9 @@ impl Node for HueService {
                     .unwrap_or_else(|| account.lamp_device.clone());
                 ctx.trace("hue_service.action", format!("{action} -> {lamp}"));
                 let token = self.pending.track(req_id);
-                let hub_req = Request::put(format!(
-                    "/api/{}/lights/{lamp}/state",
-                    account.username
-                ))
-                .with_body(body.to_string());
+                let hub_req =
+                    Request::put(format!("/api/{}/lights/{lamp}/state", account.username))
+                        .with_body(body.to_string());
                 ctx.send_request(account.hub, hub_req, token, RequestOpts::timeout_secs(30));
                 HandlerResult::Deferred
             }
@@ -176,11 +179,16 @@ mod tests {
         sim.link(router, svc, LinkSpec::wan());
         // Vendor pairing: hub accepts the official cloud (via the router)
         // — in simnet terms, requests arrive with src = the service node.
-        sim.node_mut::<crate::hue::HueHub>(hub).allow_only(vec![svc]);
+        sim.node_mut::<crate::hue::HueHub>(hub)
+            .allow_only(vec![svc]);
         let bearer = sim.with_node::<HueService, _>(svc, |s, ctx| {
             s.add_account(
                 UserId::new("author"),
-                HueAccount { hub, username: "hueuser".into(), lamp_device: "hue_lamp_1".into() },
+                HueAccount {
+                    hub,
+                    username: "hueuser".into(),
+                    lamp_device: "hue_lamp_1".into(),
+                },
             );
             s.core
                 .endpoint
@@ -190,7 +198,14 @@ mod tests {
         });
         let engine = sim.add_node(
             "engine",
-            EngineStub { service: svc, action, fields, bearer, status: None, done_at: None },
+            EngineStub {
+                service: svc,
+                action,
+                fields,
+                bearer,
+                status: None,
+                done_at: None,
+            },
         );
         sim.link(engine, svc, LinkSpec::wan());
         (sim, svc, lamps[0], engine)
@@ -234,7 +249,10 @@ mod tests {
         let (mut sim, svc, _, _) = setup("turn_on_lights", FieldMap::new());
         // A second engine with a token for a user that has no Hue account.
         let bearer = sim.with_node::<HueService, _>(svc, |s, ctx| {
-            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng());
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng());
             // mint for "stranger" and also register nothing for them
             s.core
                 .endpoint
@@ -263,7 +281,14 @@ mod tests {
                 self.status = Some(resp.status);
             }
         }
-        let stranger = sim.add_node("stranger", Stranger { service: svc, bearer, status: None });
+        let stranger = sim.add_node(
+            "stranger",
+            Stranger {
+                service: svc,
+                bearer,
+                status: None,
+            },
+        );
         sim.link(stranger, svc, LinkSpec::wan());
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<Stranger>(stranger).status, Some(401));

@@ -12,11 +12,11 @@ use crate::service_core::{Processed, ServiceCore};
 use crate::services::PendingReplies;
 use bytes::Bytes;
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::wire::TriggerEvent;
 use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
-use std::collections::HashMap;
 
 /// The Nest cloud service node.
 #[derive(Debug)]
@@ -59,7 +59,12 @@ impl Node for NestService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, action, fields, req_id } => {
+            Processed::Action {
+                user,
+                action,
+                fields,
+                req_id,
+            } => {
                 if action.as_str() != "set_temperature" {
                     return HandlerResult::Reply(Response::bad_request());
                 }
@@ -96,7 +101,9 @@ impl Node for NestService {
     }
 
     fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         if ev.kind != "temp_changed" {
             return;
         }
@@ -166,7 +173,8 @@ mod tests {
         sim.with_node::<NestService, _>(svc, |s, _| {
             let mut fields = FieldMap::new();
             fields.insert("threshold".into(), threshold.to_string());
-            s.core.subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
+            s.core
+                .subscribe(UserId::new("author"), TriggerSlug::new(trigger), fields)
         })
     }
 

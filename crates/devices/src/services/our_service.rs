@@ -20,11 +20,11 @@ use crate::service_core::{Processed, ServiceCore};
 use crate::services::PendingReplies;
 use serde::Deserialize;
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::wire::TriggerEvent;
 use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
-use std::collections::HashMap;
 
 const TIMER_GMAIL_POLL: TimerKey = 1;
 
@@ -101,7 +101,8 @@ impl OurService {
         };
         let user = UserId::new(ev.user.clone());
         let id = self.core.next_event_id();
-        let mut event = TriggerEvent::new(id, ev.at_secs).with_ingredient("device", ev.device.clone());
+        let mut event =
+            TriggerEvent::new(id, ev.at_secs).with_ingredient("device", ev.device.clone());
         for (k, v) in &ev.data {
             event = event.with_ingredient(k.clone(), v.clone());
         }
@@ -132,8 +133,12 @@ impl OurService {
         struct Messages {
             messages: Vec<crate::google::Email>,
         }
-        let Ok(m) = serde_json::from_slice::<Messages>(&resp.body) else { return };
-        let Some(user) = self.gmail_cursors.keys().nth(idx).cloned() else { return };
+        let Ok(m) = serde_json::from_slice::<Messages>(&resp.body) else {
+            return;
+        };
+        let Some(user) = self.gmail_cursors.keys().nth(idx).cloned() else {
+            return;
+        };
         let mut max_seq = self.gmail_cursors[&user];
         for email in &m.messages {
             max_seq = max_seq.max(email.seq);
@@ -143,7 +148,9 @@ impl OurService {
                 .with_ingredient("subject", email.subject.clone())
                 .with_ingredient("from", email.from.clone());
             self.core
-                .record_event(ctx, &TriggerSlug::new("any_new_email"), &uid, event, |_| true);
+                .record_event(ctx, &TriggerSlug::new("any_new_email"), &uid, event, |_| {
+                    true
+                });
         }
         self.gmail_cursors.insert(user, max_seq);
     }
@@ -174,7 +181,10 @@ impl OurService {
             "wemo_turn_on" => iot("wemo_switch_1", "turn_on"),
             "wemo_turn_off" => iot("wemo_switch_1", "turn_off"),
             "add_row" => {
-                let sheet = fields.get("spreadsheet").cloned().unwrap_or_else(|| "IFTTT".into());
+                let sheet = fields
+                    .get("spreadsheet")
+                    .cloned()
+                    .unwrap_or_else(|| "IFTTT".into());
                 let cells: Vec<String> = fields
                     .get("row")
                     .map(|r| r.split("|||").map(str::to_owned).collect())
@@ -220,9 +230,12 @@ impl Node for OurService {
         }
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, action, fields, req_id } => {
-                self.run_action(ctx, &user, action.as_str(), &fields, req_id)
-            }
+            Processed::Action {
+                user,
+                action,
+                fields,
+                req_id,
+            } => self.run_action(ctx, &user, action.as_str(), &fields, req_id),
             // No queries on this service (the endpoint rejects undeclared
             // query slugs before we get here).
             Processed::Query { req_id, .. } => {
@@ -288,14 +301,21 @@ mod tests {
         sim.link(switch, proxy, LinkSpec::lan());
         sim.link(proxy, svc, LinkSpec::wan());
         sim.link(svc, google, LinkSpec::wan());
-        sim.node_mut::<crate::hue::HueHub>(hub).allow_only(vec![proxy]);
+        sim.node_mut::<crate::hue::HueHub>(hub)
+            .allow_only(vec![proxy]);
         sim.node_mut::<WemoSwitch>(switch).allow_only(vec![proxy]);
         sim.node_mut::<crate::hue::HueHub>(hub).observe(proxy);
         sim.node_mut::<WemoSwitch>(switch).observe(proxy);
         {
             let p = sim.node_mut::<LocalProxy>(proxy);
             p.set_upstream(svc);
-            p.register("hue_lamp_1", DeviceRoute::HueLamp { hub, username: "hueuser".into() });
+            p.register(
+                "hue_lamp_1",
+                DeviceRoute::HueLamp {
+                    hub,
+                    username: "hueuser".into(),
+                },
+            );
             p.register("wemo_switch_1", DeviceRoute::Wemo { node: switch });
         }
         {
@@ -303,7 +323,13 @@ mod tests {
             s.proxy = Some(proxy);
             s.google = Some(google);
         }
-        World { sim, switch, lamp: lamps[0], svc, google }
+        World {
+            sim,
+            switch,
+            lamp: lamps[0],
+            svc,
+            google,
+        }
     }
 
     #[test]
@@ -316,7 +342,8 @@ mod tests {
                 FieldMap::new(),
             )
         });
-        w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+        w.sim
+            .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
         w.sim.run_until_idle();
         let s = w.sim.node_ref::<OurService>(w.svc);
         assert_eq!(s.core.buffer.len(&ti), 1);
@@ -358,11 +385,21 @@ mod tests {
 
     fn send_action(w: &mut World, action: &'static str, fields: FieldMap) -> Option<u16> {
         let bearer = w.sim.with_node::<OurService, _>(w.svc, |s, ctx| {
-            s.core.endpoint.oauth.mint_token(UserId::new("author"), ctx.rng()).bearer()
+            s.core
+                .endpoint
+                .oauth
+                .mint_token(UserId::new("author"), ctx.rng())
+                .bearer()
         });
         let sender = w.sim.add_node(
             format!("sender_{action}"),
-            ActionSender { service: w.svc, action, fields, bearer, status: None },
+            ActionSender {
+                service: w.svc,
+                action,
+                fields,
+                bearer,
+                status: None,
+            },
         );
         w.sim.link(sender, w.svc, LinkSpec::wan());
         w.sim.run_until_idle();
@@ -372,7 +409,10 @@ mod tests {
     #[test]
     fn hue_turn_on_action_reaches_lamp_through_proxy() {
         let mut w = world();
-        assert_eq!(send_action(&mut w, "hue_turn_on", FieldMap::new()), Some(200));
+        assert_eq!(
+            send_action(&mut w, "hue_turn_on", FieldMap::new()),
+            Some(200)
+        );
         assert!(w.sim.node_ref::<HueLamp>(w.lamp).state.on);
         assert_eq!(w.sim.node_ref::<OurService>(w.svc).actions_done, 1);
     }
@@ -384,7 +424,11 @@ mod tests {
         fields.insert("spreadsheet".into(), "log".into());
         fields.insert("row".into(), "a|||b".into());
         assert_eq!(send_action(&mut w, "add_row", fields), Some(200));
-        let sheet = w.sim.node_ref::<GoogleCloud>(w.google).sheet("author", "log").unwrap();
+        let sheet = w
+            .sim
+            .node_ref::<GoogleCloud>(w.google)
+            .sheet("author", "log")
+            .unwrap();
         assert_eq!(sheet.rows.len(), 1);
     }
 
@@ -440,6 +484,9 @@ mod tests {
     fn action_without_proxy_is_503() {
         let mut w = world();
         w.sim.node_mut::<OurService>(w.svc).proxy = None;
-        assert_eq!(send_action(&mut w, "hue_turn_on", FieldMap::new()), Some(503));
+        assert_eq!(
+            send_action(&mut w, "hue_turn_on", FieldMap::new()),
+            Some(503)
+        );
     }
 }

@@ -71,7 +71,9 @@ impl Node for WeatherService {
     }
 
     fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         let trigger = match ev.kind.as_str() {
             "weather_rain" => "forecast_rain",
             "weather_snow" => "forecast_snow",
@@ -100,7 +102,10 @@ mod tests {
     fn rain_feeds_every_subscribed_user() {
         let mut sim = Sim::new(1);
         let station = sim.add_node("weather", WeatherStation::new());
-        let svc = sim.add_node("weather_svc", WeatherService::new(ServiceKey("sk_w".into())));
+        let svc = sim.add_node(
+            "weather_svc",
+            WeatherService::new(ServiceKey("sk_w".into())),
+        );
         sim.link(station, svc, LinkSpec::wan());
         sim.node_mut::<WeatherStation>(station).observe(svc);
         let (ti_a, ti_b) = sim.with_node::<WeatherService, _>(svc, |s, _| {
@@ -134,7 +139,10 @@ mod tests {
     fn clearing_up_feeds_the_clear_trigger_only() {
         let mut sim = Sim::new(2);
         let station = sim.add_node("weather", WeatherStation::new());
-        let svc = sim.add_node("weather_svc", WeatherService::new(ServiceKey("sk_w".into())));
+        let svc = sim.add_node(
+            "weather_svc",
+            WeatherService::new(ServiceKey("sk_w".into())),
+        );
         sim.link(station, svc, LinkSpec::wan());
         sim.node_mut::<WeatherStation>(station).observe(svc);
         let (rain_ti, clear_ti) = sim.with_node::<WeatherService, _>(svc, |s, _| {

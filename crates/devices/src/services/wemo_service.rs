@@ -11,11 +11,11 @@ use crate::services::PendingReplies;
 use crate::wemo;
 use bytes::Bytes;
 use simnet::prelude::*;
+use std::collections::HashMap;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::wire::TriggerEvent;
 use tap_protocol::{ServiceSlug, TriggerSlug, UserId};
-use std::collections::HashMap;
 
 /// The WeMo cloud service node.
 #[derive(Debug)]
@@ -59,7 +59,12 @@ impl Node for WemoService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { user, action, fields: _, req_id } => {
+            Processed::Action {
+                user,
+                action,
+                fields: _,
+                req_id,
+            } => {
                 let Some(&switch) = self.switches.get(&user) else {
                     return HandlerResult::Reply(Response::unauthorized());
                 };
@@ -99,7 +104,9 @@ impl Node for WemoService {
 
     fn on_signal(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
         // State-change push from a switch: feed the matching trigger.
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         let trigger = match ev.kind.as_str() {
             "switched_on" => TriggerSlug::new("switch_activated"),
             "switched_off" => TriggerSlug::new("switch_deactivated"),
@@ -111,7 +118,8 @@ impl Node for WemoService {
         for (k, v) in &ev.data {
             event = event.with_ingredient(k.clone(), v.clone());
         }
-        self.core.record_event(ctx, &trigger, &user, event, |_| true);
+        self.core
+            .record_event(ctx, &trigger, &user, event, |_| true);
     }
 }
 
@@ -126,7 +134,10 @@ mod tests {
     fn setup() -> (Sim, NodeId, NodeId, TriggerIdentity, String) {
         let mut sim = Sim::new(71);
         let switch = sim.add_node("wemo", WemoSwitch::new("wemo_switch_1", "author"));
-        let svc = sim.add_node("wemo_service", WemoService::new(ServiceKey("sk_wemo".into())));
+        let svc = sim.add_node(
+            "wemo_service",
+            WemoService::new(ServiceKey("sk_wemo".into())),
+        );
         sim.link(switch, svc, LinkSpec::wan());
         sim.node_mut::<WemoSwitch>(switch).observe(svc);
         sim.node_mut::<WemoSwitch>(switch).allow_only(vec![svc]);

@@ -41,7 +41,10 @@ pub struct SmartThingsHub {
 impl SmartThingsHub {
     /// Create a hub owned by `user`.
     pub fn new(user: impl Into<String>) -> Self {
-        SmartThingsHub { user: user.into(), ..Default::default() }
+        SmartThingsHub {
+            user: user.into(),
+            ..Default::default()
+        }
     }
 
     /// Attach a device with its initial value.
@@ -51,7 +54,13 @@ impl SmartThingsHub {
             SensorKind::Contact => "closed",
             SensorKind::Plug => "off",
         };
-        self.devices.insert(id.into(), Attached { kind, value: value.into() });
+        self.devices.insert(
+            id.into(),
+            Attached {
+                kind,
+                value: value.into(),
+            },
+        );
     }
 
     /// Register an observer for attribute changes.
@@ -66,7 +75,9 @@ impl SmartThingsHub {
 
     /// A sensor fires (motion detected, door opened); pushes to observers.
     pub fn sensor_event(&mut self, ctx: &mut Context<'_>, id: &str, value: &str) {
-        let Some(att) = self.devices.get_mut(id) else { return };
+        let Some(att) = self.devices.get_mut(id) else {
+            return;
+        };
         att.value = value.to_owned();
         let kind = format!("st_{value}");
         ctx.trace("smartthings.event", format!("{id} -> {value}"));
@@ -130,13 +141,17 @@ mod tests {
     fn sensor_events_update_value_and_notify() {
         let mut sim = Sim::new(1);
         let hub = sim.add_node("st_hub", SmartThingsHub::new("author"));
-        sim.node_mut::<SmartThingsHub>(hub).attach("motion_1", SensorKind::Motion);
+        sim.node_mut::<SmartThingsHub>(hub)
+            .attach("motion_1", SensorKind::Motion);
         let obs = sim.add_node("obs", Obs::default());
         sim.link(hub, obs, LinkSpec::lan());
         sim.node_mut::<SmartThingsHub>(hub).observe(obs);
         sim.with_node::<SmartThingsHub, _>(hub, |h, ctx| h.sensor_event(ctx, "motion_1", "active"));
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<SmartThingsHub>(hub).value("motion_1"), Some("active"));
+        assert_eq!(
+            sim.node_ref::<SmartThingsHub>(hub).value("motion_1"),
+            Some("active")
+        );
         let events = &sim.node_ref::<Obs>(obs).events;
         assert_eq!(events.len(), 1);
         assert_eq!(events[0].kind, "st_active");
@@ -162,7 +177,8 @@ mod tests {
     fn command_api_drives_attached_plug() {
         let mut sim = Sim::new(2);
         let hub = sim.add_node("st_hub", SmartThingsHub::new("author"));
-        sim.node_mut::<SmartThingsHub>(hub).attach("plug_1", SensorKind::Plug);
+        sim.node_mut::<SmartThingsHub>(hub)
+            .attach("plug_1", SensorKind::Plug);
         let c = sim.add_node(
             "c",
             Commander {
@@ -175,7 +191,10 @@ mod tests {
         sim.link(c, hub, LinkSpec::lan());
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<Commander>(c).status, Some(200));
-        assert_eq!(sim.node_ref::<SmartThingsHub>(hub).value("plug_1"), Some("on"));
+        assert_eq!(
+            sim.node_ref::<SmartThingsHub>(hub).value("plug_1"),
+            Some("on")
+        );
     }
 
     #[test]

@@ -43,7 +43,11 @@ pub struct WeatherStation {
 
 impl Default for WeatherStation {
     fn default() -> Self {
-        WeatherStation { condition: Condition::Clear, observers: Vec::new(), changes: 0 }
+        WeatherStation {
+            condition: Condition::Clear,
+            observers: Vec::new(),
+            changes: 0,
+        }
     }
 }
 
@@ -66,9 +70,12 @@ impl WeatherStation {
         self.condition = c;
         self.changes += 1;
         ctx.trace("weather.change", c.as_str().to_string());
-        let ev = DeviceEvent::new("weather", format!("weather_{}", c.as_str()), "*", ctx
-            .now()
-            .as_secs_f64() as u64);
+        let ev = DeviceEvent::new(
+            "weather",
+            format!("weather_{}", c.as_str()),
+            "*",
+            ctx.now().as_secs_f64() as u64,
+        );
         for obs in self.observers.clone() {
             ctx.signal(obs, ev.to_bytes());
         }
@@ -147,9 +154,20 @@ mod tests {
         }
         let mut sim = Sim::new(3);
         let w = sim.add_node("weather", WeatherStation::new());
-        let g = sim.add_node("g", Getter { target: w, body: None });
+        let g = sim.add_node(
+            "g",
+            Getter {
+                target: w,
+                body: None,
+            },
+        );
         sim.link(g, w, LinkSpec::wan());
         sim.run_until_idle();
-        assert!(sim.node_ref::<Getter>(g).body.as_ref().unwrap().contains("clear"));
+        assert!(sim
+            .node_ref::<Getter>(g)
+            .body
+            .as_ref()
+            .unwrap()
+            .contains("clear"));
     }
 }

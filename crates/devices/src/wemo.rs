@@ -92,7 +92,10 @@ impl WemoSwitch {
         }
         self.on = on;
         let kind = if on { "switched_on" } else { "switched_off" };
-        ctx.trace("wemo.state", format!("{} {kind} ({source})", self.device_id));
+        ctx.trace(
+            "wemo.state",
+            format!("{} {kind} ({source})", self.device_id),
+        );
         let ev = DeviceEvent::new(
             self.device_id.clone(),
             kind,
@@ -126,14 +129,14 @@ impl Node for WemoSwitch {
                     "<s:Envelope><s:Body><u:SetBinaryStateResponse/></s:Body></s:Envelope>",
                 ))
             }
-            Some(a) if a == GET_BINARY_STATE => HandlerResult::Reply(
-                Response::ok().with_body(format!(
+            Some(a) if a == GET_BINARY_STATE => {
+                HandlerResult::Reply(Response::ok().with_body(format!(
                     "<s:Envelope><s:Body><u:GetBinaryStateResponse>\
                      <BinaryState>{}</BinaryState>\
                      </u:GetBinaryStateResponse></s:Body></s:Envelope>",
                     if self.on { 1 } else { 0 }
-                )),
-            ),
+                )))
+            }
             _ => HandlerResult::Reply(Response::bad_request()),
         }
     }
@@ -185,7 +188,14 @@ mod tests {
         sim.link(client, sw, LinkSpec::lan());
         sim.run_until_idle();
         assert!(sim.node_ref::<WemoSwitch>(sw).on);
-        assert_eq!(sim.node_ref::<SoapClient>(client).response.as_ref().unwrap().status, 200);
+        assert_eq!(
+            sim.node_ref::<SoapClient>(client)
+                .response
+                .as_ref()
+                .unwrap()
+                .status,
+            200
+        );
     }
 
     #[test]
@@ -230,7 +240,10 @@ mod tests {
         sim.run_until_idle();
         sim.with_node::<WemoSwitch, _>(sw, |s, ctx| s.press(ctx));
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<Obs>(obs).kinds, vec!["switched_on", "switched_off"]);
+        assert_eq!(
+            sim.node_ref::<Obs>(obs).kinds,
+            vec!["switched_on", "switched_off"]
+        );
         assert_eq!(sim.node_ref::<WemoSwitch>(sw).presses, 2);
     }
 
@@ -250,7 +263,14 @@ mod tests {
         );
         sim.link(client, sw, LinkSpec::lan());
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<SoapClient>(client).response.as_ref().unwrap().status, 403);
+        assert_eq!(
+            sim.node_ref::<SoapClient>(client)
+                .response
+                .as_ref()
+                .unwrap()
+                .status,
+            403
+        );
         assert!(!sim.node_ref::<WemoSwitch>(sw).on);
     }
 
@@ -269,13 +289,26 @@ mod tests {
         );
         sim.link(client, sw, LinkSpec::lan());
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<SoapClient>(client).response.as_ref().unwrap().status, 400);
+        assert_eq!(
+            sim.node_ref::<SoapClient>(client)
+                .response
+                .as_ref()
+                .unwrap()
+                .status,
+            400
+        );
     }
 
     #[test]
     fn parse_binary_state_accepts_0_and_1_only() {
-        assert_eq!(parse_binary_state(set_state_body(true).as_bytes()), Some(true));
-        assert_eq!(parse_binary_state(set_state_body(false).as_bytes()), Some(false));
+        assert_eq!(
+            parse_binary_state(set_state_body(true).as_bytes()),
+            Some(true)
+        );
+        assert_eq!(
+            parse_binary_state(set_state_body(false).as_bytes()),
+            Some(false)
+        );
         assert_eq!(parse_binary_state(b"<BinaryState>2</BinaryState>"), None);
         assert_eq!(parse_binary_state(b"no tags"), None);
     }

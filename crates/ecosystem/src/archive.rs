@@ -68,7 +68,8 @@ mod tests {
     use crate::generator::{Ecosystem, GeneratorConfig};
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("ifttt_lab_archive_{tag}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("ifttt_lab_archive_{tag}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -80,7 +81,11 @@ mod tests {
         let snaps: Vec<Snapshot> = [0u32, 9, 18].iter().map(|w| eco.snapshot(*w)).collect();
         let paths = save_series(&dir, &snaps).unwrap();
         assert_eq!(paths.len(), 3);
-        assert!(paths[0].file_name().unwrap().to_string_lossy().starts_with("week_00"));
+        assert!(paths[0]
+            .file_name()
+            .unwrap()
+            .to_string_lossy()
+            .starts_with("week_00"));
         let loaded = load_series(&dir).unwrap();
         assert_eq!(loaded, snaps);
         assert_eq!(list_weeks(&dir).unwrap(), vec![0, 9, 18]);

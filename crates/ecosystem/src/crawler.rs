@@ -63,8 +63,14 @@ pub fn parse_service_index(html: &str) -> Vec<(String, Category, String)> {
 /// Parse a service page into (triggers, actions).
 pub fn parse_service_page(html: &str) -> (Vec<String>, Vec<String>) {
     (
-        extract_all(html, "trigger", "slug").into_iter().map(String::from).collect(),
-        extract_all(html, "action", "slug").into_iter().map(String::from).collect(),
+        extract_all(html, "trigger", "slug")
+            .into_iter()
+            .map(String::from)
+            .collect(),
+        extract_all(html, "action", "slug")
+            .into_iter()
+            .map(String::from)
+            .collect(),
     )
 }
 
@@ -72,9 +78,11 @@ pub fn parse_service_page(html: &str) -> (Vec<String>, Vec<String>) {
 /// caller — a scraper cannot see creation dates).
 pub fn parse_applet_page(html: &str) -> Option<AppletRecord> {
     let id: u32 = extract_first(html, "applet", "id")?.parse().ok()?;
-    let name = html
-        .find("<h1>")
-        .and_then(|i| html[i + 4..].find("</h1>").map(|j| html[i + 4..i + 4 + j].to_string()))?;
+    let name = html.find("<h1>").and_then(|i| {
+        html[i + 4..]
+            .find("</h1>")
+            .map(|j| html[i + 4..i + 4 + j].to_string())
+    })?;
     let trigger_service = extract_first(html, "trigger", "service")?.to_string();
     let trigger = extract_first(html, "trigger", "slug")?.to_string();
     let action_service = extract_first(html, "action", "service")?.to_string();
@@ -215,7 +223,12 @@ impl Crawler {
         services.sort_by(|a, b| a.slug.cmp(&b.slug));
         let mut applets = self.applets.clone();
         applets.sort_by_key(|a| a.id);
-        Snapshot { week, date: date.into(), services, applets }
+        Snapshot {
+            week,
+            date: date.into(),
+            services,
+            applets,
+        }
     }
 
     fn fetch(&mut self, ctx: &mut Context<'_>, path: String, token: u64) {
@@ -282,7 +295,11 @@ impl Crawler {
                     self.phase = Phase::Done;
                     ctx.trace(
                         "crawler.done",
-                        format!("{} applets, {} services", self.applets.len(), self.services.len()),
+                        format!(
+                            "{} applets, {} services",
+                            self.applets.len(),
+                            self.services.len()
+                        ),
                     );
                 }
             }

@@ -35,8 +35,20 @@ impl IftttFrontend {
     /// Serve `eco` as of `week`.
     pub fn new(eco: Ecosystem, week: u32) -> Self {
         let view = eco.snapshot(week);
-        let by_id = view.applets.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
-        IftttFrontend { eco, week, view, by_id, overload_rate: 0.0, pages_served: 0 }
+        let by_id = view
+            .applets
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.id, i))
+            .collect();
+        IftttFrontend {
+            eco,
+            week,
+            view,
+            by_id,
+            overload_rate: 0.0,
+            pages_served: 0,
+        }
     }
 
     /// Advance the served week (the site moves on between crawls).
@@ -60,7 +72,12 @@ impl IftttFrontend {
     /// Largest applet page id currently served (bounds the crawler's
     /// enumeration the way six digits bounded the authors').
     pub fn max_applet_id(&self) -> u32 {
-        self.view.applets.iter().map(|a| a.id).max().unwrap_or(100_000)
+        self.view
+            .applets
+            .iter()
+            .map(|a| a.id)
+            .max()
+            .unwrap_or(100_000)
     }
 
     fn service_index_page(&self) -> String {
@@ -86,10 +103,14 @@ impl IftttFrontend {
             s.name
         );
         for t in &s.triggers {
-            html.push_str(&format!("<li class=\"trigger\" data-slug=\"{t}\">{t}</li>\n"));
+            html.push_str(&format!(
+                "<li class=\"trigger\" data-slug=\"{t}\">{t}</li>\n"
+            ));
         }
         for a in &s.actions {
-            html.push_str(&format!("<li class=\"action\" data-slug=\"{a}\">{a}</li>\n"));
+            html.push_str(&format!(
+                "<li class=\"action\" data-slug=\"{a}\">{a}</li>\n"
+            ));
         }
         html.push_str("</div></body></html>");
         Some(html)

@@ -50,7 +50,10 @@ pub struct GeneratorConfig {
 
 impl Default for GeneratorConfig {
     fn default() -> Self {
-        GeneratorConfig { seed: 2017, scale: 1.0 }
+        GeneratorConfig {
+            seed: 2017,
+            scale: 1.0,
+        }
     }
 }
 
@@ -111,7 +114,11 @@ const FAMOUS: &[(&str, &str, Category)] = &[
     ("Facebook", "facebook", Category::SocialNetwork),
     ("Twitter", "twitter", Category::SocialNetwork),
     ("Instagram", "instagram", Category::SocialNetwork),
-    ("Weather Underground", "weather_underground", Category::OnlineService),
+    (
+        "Weather Underground",
+        "weather_underground",
+        Category::OnlineService,
+    ),
     ("NYTimes", "nytimes", Category::OnlineService),
     ("YouTube", "youtube", Category::OnlineService),
     ("Feedly", "feedly", Category::RssFeed),
@@ -141,52 +148,250 @@ struct AnchorApplet {
 /// published add counts on both the trigger and action sides.
 const ANCHOR_APPLETS: &[AnchorApplet] = &[
     // Amazon Alexa triggers: 1.2M total.
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "say_a_phrase", action_service: "philips_hue", action: "turn_on_lights", adds_k: 400 },
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "todo_item_added", action_service: "todoist", action: "add_task", adds_k: 300 },
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "ask_whats_on_shopping_list", action_service: "ios_reminders", action: "set_reminder", adds_k: 180 },
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "say_a_phrase", action_service: "philips_hue", action: "change_color", adds_k: 140 },
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "shopping_item_added", action_service: "gmail", action: "send_email", adds_k: 120 },
-    AnchorApplet { trigger_service: "amazon_alexa", trigger: "song_played", action_service: "google_sheets", action: "add_row", adds_k: 60 },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "say_a_phrase",
+        action_service: "philips_hue",
+        action: "turn_on_lights",
+        adds_k: 400,
+    },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "todo_item_added",
+        action_service: "todoist",
+        action: "add_task",
+        adds_k: 300,
+    },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "ask_whats_on_shopping_list",
+        action_service: "ios_reminders",
+        action: "set_reminder",
+        adds_k: 180,
+    },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "say_a_phrase",
+        action_service: "philips_hue",
+        action: "change_color",
+        adds_k: 140,
+    },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "shopping_item_added",
+        action_service: "gmail",
+        action: "send_email",
+        adds_k: 120,
+    },
+    AnchorApplet {
+        trigger_service: "amazon_alexa",
+        trigger: "song_played",
+        action_service: "google_sheets",
+        action: "add_row",
+        adds_k: 60,
+    },
     // Philips Hue actions: 1.2M total (540K from Alexa above).
-    AnchorApplet { trigger_service: "date_time", trigger: "sunset", action_service: "philips_hue", action: "turn_on_lights", adds_k: 250 },
-    AnchorApplet { trigger_service: "date_time", trigger: "sunrise", action_service: "philips_hue", action: "turn_off_lights", adds_k: 160 },
-    AnchorApplet { trigger_service: "weather_underground", trigger: "forecast_rain", action_service: "philips_hue", action: "change_color", adds_k: 150 },
-    AnchorApplet { trigger_service: "ios_reminders", trigger: "reminder_due", action_service: "philips_hue", action: "blink_lights", adds_k: 100 },
+    AnchorApplet {
+        trigger_service: "date_time",
+        trigger: "sunset",
+        action_service: "philips_hue",
+        action: "turn_on_lights",
+        adds_k: 250,
+    },
+    AnchorApplet {
+        trigger_service: "date_time",
+        trigger: "sunrise",
+        action_service: "philips_hue",
+        action: "turn_off_lights",
+        adds_k: 160,
+    },
+    AnchorApplet {
+        trigger_service: "weather_underground",
+        trigger: "forecast_rain",
+        action_service: "philips_hue",
+        action: "change_color",
+        adds_k: 150,
+    },
+    AnchorApplet {
+        trigger_service: "ios_reminders",
+        trigger: "reminder_due",
+        action_service: "philips_hue",
+        action: "blink_lights",
+        adds_k: 100,
+    },
     // Fitbit triggers: 200K.
-    AnchorApplet { trigger_service: "fitbit", trigger: "daily_activity_summary", action_service: "google_sheets", action: "add_row", adds_k: 120 },
-    AnchorApplet { trigger_service: "fitbit", trigger: "new_sleep_logged", action_service: "evernote", action: "create_note", adds_k: 80 },
+    AnchorApplet {
+        trigger_service: "fitbit",
+        trigger: "daily_activity_summary",
+        action_service: "google_sheets",
+        action: "add_row",
+        adds_k: 120,
+    },
+    AnchorApplet {
+        trigger_service: "fitbit",
+        trigger: "new_sleep_logged",
+        action_service: "evernote",
+        action: "create_note",
+        adds_k: 80,
+    },
     // Nest Thermostat triggers: 100K.
-    AnchorApplet { trigger_service: "nest_thermostat", trigger: "temperature_rises_above", action_service: "todoist", action: "add_task", adds_k: 60 },
-    AnchorApplet { trigger_service: "nest_thermostat", trigger: "temperature_drops_below", action_service: "android_device", action: "send_notification", adds_k: 40 },
+    AnchorApplet {
+        trigger_service: "nest_thermostat",
+        trigger: "temperature_rises_above",
+        action_service: "todoist",
+        action: "add_task",
+        adds_k: 60,
+    },
+    AnchorApplet {
+        trigger_service: "nest_thermostat",
+        trigger: "temperature_drops_below",
+        action_service: "android_device",
+        action: "send_notification",
+        adds_k: 40,
+    },
     // Google Assistant triggers: 100K.
-    AnchorApplet { trigger_service: "google_assistant", trigger: "say_a_phrase_ga", action_service: "harmony_hub", action: "start_activity", adds_k: 100 },
+    AnchorApplet {
+        trigger_service: "google_assistant",
+        trigger: "say_a_phrase_ga",
+        action_service: "harmony_hub",
+        action: "start_activity",
+        adds_k: 100,
+    },
     // UP by Jawbone triggers: 100K.
-    AnchorApplet { trigger_service: "up_by_jawbone", trigger: "new_sleep_up", action_service: "evernote", action: "create_note", adds_k: 60 },
-    AnchorApplet { trigger_service: "up_by_jawbone", trigger: "new_workout_up", action_service: "google_sheets", action: "add_row", adds_k: 40 },
+    AnchorApplet {
+        trigger_service: "up_by_jawbone",
+        trigger: "new_sleep_up",
+        action_service: "evernote",
+        action: "create_note",
+        adds_k: 60,
+    },
+    AnchorApplet {
+        trigger_service: "up_by_jawbone",
+        trigger: "new_workout_up",
+        action_service: "google_sheets",
+        action: "add_row",
+        adds_k: 40,
+    },
     // Nest Protect triggers: 70K.
-    AnchorApplet { trigger_service: "nest_protect", trigger: "smoke_alarm", action_service: "phone_call", action: "call_me", adds_k: 50 },
-    AnchorApplet { trigger_service: "nest_protect", trigger: "co_alarm", action_service: "android_sms", action: "send_sms", adds_k: 20 },
+    AnchorApplet {
+        trigger_service: "nest_protect",
+        trigger: "smoke_alarm",
+        action_service: "phone_call",
+        action: "call_me",
+        adds_k: 50,
+    },
+    AnchorApplet {
+        trigger_service: "nest_protect",
+        trigger: "co_alarm",
+        action_service: "android_sms",
+        action: "send_sms",
+        adds_k: 20,
+    },
     // Automatic triggers: 60K.
-    AnchorApplet { trigger_service: "automatic", trigger: "ignition_off", action_service: "google_calendar", action: "add_event", adds_k: 40 },
-    AnchorApplet { trigger_service: "automatic", trigger: "check_engine", action_service: "android_sms", action: "send_sms", adds_k: 20 },
+    AnchorApplet {
+        trigger_service: "automatic",
+        trigger: "ignition_off",
+        action_service: "google_calendar",
+        action: "add_event",
+        adds_k: 40,
+    },
+    AnchorApplet {
+        trigger_service: "automatic",
+        trigger: "check_engine",
+        action_service: "android_sms",
+        action: "send_sms",
+        adds_k: 20,
+    },
     // LIFX actions: 200K.
-    AnchorApplet { trigger_service: "date_time", trigger: "sunset", action_service: "lifx", action: "turn_on_lifx", adds_k: 120 },
-    AnchorApplet { trigger_service: "weather_underground", trigger: "forecast_rain", action_service: "lifx", action: "breathe_lifx", adds_k: 80 },
+    AnchorApplet {
+        trigger_service: "date_time",
+        trigger: "sunset",
+        action_service: "lifx",
+        action: "turn_on_lifx",
+        adds_k: 120,
+    },
+    AnchorApplet {
+        trigger_service: "weather_underground",
+        trigger: "forecast_rain",
+        action_service: "lifx",
+        action: "breathe_lifx",
+        adds_k: 80,
+    },
     // Nest Thermostat actions: 200K.
-    AnchorApplet { trigger_service: "location", trigger: "exit_area", action_service: "nest_thermostat", action: "set_temperature", adds_k: 120 },
-    AnchorApplet { trigger_service: "weather_underground", trigger: "forecast_rain", action_service: "nest_thermostat", action: "set_temperature", adds_k: 80 },
+    AnchorApplet {
+        trigger_service: "location",
+        trigger: "exit_area",
+        action_service: "nest_thermostat",
+        action: "set_temperature",
+        adds_k: 120,
+    },
+    AnchorApplet {
+        trigger_service: "weather_underground",
+        trigger: "forecast_rain",
+        action_service: "nest_thermostat",
+        action: "set_temperature",
+        adds_k: 80,
+    },
     // Harmony Hub actions: 200K total (100K from Google Assistant above).
-    AnchorApplet { trigger_service: "location", trigger: "enter_area", action_service: "harmony_hub", action: "start_activity", adds_k: 70 },
-    AnchorApplet { trigger_service: "google_calendar", trigger: "event_starts", action_service: "harmony_hub", action: "end_activity", adds_k: 30 },
+    AnchorApplet {
+        trigger_service: "location",
+        trigger: "enter_area",
+        action_service: "harmony_hub",
+        action: "start_activity",
+        adds_k: 70,
+    },
+    AnchorApplet {
+        trigger_service: "google_calendar",
+        trigger: "event_starts",
+        action_service: "harmony_hub",
+        action: "end_activity",
+        adds_k: 30,
+    },
     // WeMo Smart Plug actions: 100K.
-    AnchorApplet { trigger_service: "location", trigger: "enter_area", action_service: "wemo", action: "turn_on", adds_k: 70 },
-    AnchorApplet { trigger_service: "location", trigger: "exit_area", action_service: "wemo", action: "turn_off", adds_k: 30 },
+    AnchorApplet {
+        trigger_service: "location",
+        trigger: "enter_area",
+        action_service: "wemo",
+        action: "turn_on",
+        adds_k: 70,
+    },
+    AnchorApplet {
+        trigger_service: "location",
+        trigger: "exit_area",
+        action_service: "wemo",
+        action: "turn_off",
+        adds_k: 30,
+    },
     // Android Smartwatch actions: 100K.
-    AnchorApplet { trigger_service: "nytimes", trigger: "new_story", action_service: "android_smartwatch", action: "send_a_notification", adds_k: 60 },
-    AnchorApplet { trigger_service: "gmail", trigger: "new_email", action_service: "android_smartwatch", action: "send_a_notification", adds_k: 40 },
+    AnchorApplet {
+        trigger_service: "nytimes",
+        trigger: "new_story",
+        action_service: "android_smartwatch",
+        action: "send_a_notification",
+        adds_k: 60,
+    },
+    AnchorApplet {
+        trigger_service: "gmail",
+        trigger: "new_email",
+        action_service: "android_smartwatch",
+        action: "send_a_notification",
+        adds_k: 40,
+    },
     // UP by Jawbone actions: 90K.
-    AnchorApplet { trigger_service: "evernote", trigger: "note_created", action_service: "up_by_jawbone", action: "log_caffeine", adds_k: 50 },
-    AnchorApplet { trigger_service: "weather_underground", trigger: "forecast_rain", action_service: "up_by_jawbone", action: "log_mood", adds_k: 40 },
+    AnchorApplet {
+        trigger_service: "evernote",
+        trigger: "note_created",
+        action_service: "up_by_jawbone",
+        action: "log_caffeine",
+        adds_k: 50,
+    },
+    AnchorApplet {
+        trigger_service: "weather_underground",
+        trigger: "forecast_rain",
+        action_service: "up_by_jawbone",
+        action: "log_mood",
+        adds_k: 40,
+    },
 ];
 
 /// Iterative proportional fitting of the 14×14 interaction matrix to
@@ -391,8 +596,12 @@ impl Ecosystem {
 
         // ---- 1. Services ----------------------------------------------
         let canonical_services = SCALE.services;
-        let total_services =
-            curve(canonical_services as f64, GROWTH.services, final_week as f64).round() as usize;
+        let total_services = curve(
+            canonical_services as f64,
+            GROWTH.services,
+            final_week as f64,
+        )
+        .round() as usize;
         let per_cat = apportion(
             canonical_services,
             &TABLE1.iter().map(|r| r.services_pct).collect::<Vec<_>>(),
@@ -400,18 +609,21 @@ impl Ecosystem {
 
         let mut services: Vec<ServiceRecord> = Vec::with_capacity(total_services);
         let mut cat_fill = vec![0usize; 14];
-        let push_service =
-            |services: &mut Vec<ServiceRecord>, cat_fill: &mut Vec<usize>, name: String, slug: String, cat: Category| {
-                cat_fill[cat.index() - 1] += 1;
-                services.push(ServiceRecord {
-                    slug,
-                    name,
-                    category: cat,
-                    triggers: Vec::new(),
-                    actions: Vec::new(),
-                    created_week: 0,
-                });
-            };
+        let push_service = |services: &mut Vec<ServiceRecord>,
+                            cat_fill: &mut Vec<usize>,
+                            name: String,
+                            slug: String,
+                            cat: Category| {
+            cat_fill[cat.index() - 1] += 1;
+            services.push(ServiceRecord {
+                slug,
+                name,
+                category: cat,
+                triggers: Vec::new(),
+                actions: Vec::new(),
+                created_week: 0,
+            });
+        };
         // Real anchors first (deduplicated across the two Table 3 lists).
         let mut seen = std::collections::HashSet::new();
         for a in model::TOP_IOT_TRIGGER_SERVICES
@@ -420,12 +632,24 @@ impl Ecosystem {
         {
             if seen.insert(a.slug) {
                 let cat = Category::from_index(a.category).expect("valid category");
-                push_service(&mut services, &mut cat_fill, a.service.into(), a.slug.into(), cat);
+                push_service(
+                    &mut services,
+                    &mut cat_fill,
+                    a.service.into(),
+                    a.slug.into(),
+                    cat,
+                );
             }
         }
         // Well-known non-IoT services.
         for (name, slug, cat) in FAMOUS {
-            push_service(&mut services, &mut cat_fill, (*name).into(), (*slug).into(), *cat);
+            push_service(
+                &mut services,
+                &mut cat_fill,
+                (*name).into(),
+                (*slug).into(),
+                *cat,
+            );
         }
         // Synthetic fill to canonical counts per category.
         for (ci, cat) in ALL_CATEGORIES.iter().enumerate() {
@@ -510,7 +734,13 @@ impl Ecosystem {
         let mut distribute = |is_trigger: bool, total: usize, rng: &mut StdRng| {
             let have: usize = services
                 .iter()
-                .map(|s| if is_trigger { s.triggers.len() } else { s.actions.len() })
+                .map(|s| {
+                    if is_trigger {
+                        s.triggers.len()
+                    } else {
+                        s.actions.len()
+                    }
+                })
                 .sum();
             let n = services.len();
             let weights: Vec<f64> = (0..n).map(|i| 1.0 / (i as f64 + 2.0).powf(0.7)).collect();
@@ -540,8 +770,8 @@ impl Ecosystem {
 
         // ---- 3 & 4. Applets --------------------------------------------
         let n_canonical = (SCALE.applets as f64 * config.scale).round() as usize;
-        let n_total = curve(n_canonical as f64, GROWTH.add_count, final_week as f64)
-            .round() as usize;
+        let n_total =
+            curve(n_canonical as f64, GROWTH.add_count, final_week as f64).round() as usize;
         let total_adds = (SCALE.total_add_count as f64 * config.scale).round() as u64;
 
         let slug_index: std::collections::HashMap<String, usize> = services
@@ -647,10 +877,14 @@ impl Ecosystem {
         }
         // Per-category service pools for synthetic assignment; anchors are
         // excluded on their anchored side so Table 3 stays exact.
-        let anchored_trigger: std::collections::HashSet<&str> =
-            model::TOP_IOT_TRIGGER_SERVICES.iter().map(|a| a.slug).collect();
-        let anchored_action: std::collections::HashSet<&str> =
-            model::TOP_IOT_ACTION_SERVICES.iter().map(|a| a.slug).collect();
+        let anchored_trigger: std::collections::HashSet<&str> = model::TOP_IOT_TRIGGER_SERVICES
+            .iter()
+            .map(|a| a.slug)
+            .collect();
+        let anchored_action: std::collections::HashSet<&str> = model::TOP_IOT_ACTION_SERVICES
+            .iter()
+            .map(|a| a.slug)
+            .collect();
         // Two pool tiers per category: week-0 services (which host the
         // popular applets — a popular applet must be old, so its services
         // must predate the crawl) and all canonical-era services.
@@ -735,10 +969,18 @@ impl Ecosystem {
                 }
             } else {
                 let mut u = rng.gen::<f64>()
-                    * if total_budget > 1.0 { total_budget } else { 1.0 };
+                    * if total_budget > 1.0 {
+                        total_budget
+                    } else {
+                        1.0
+                    };
                 'outer: for r in 0..14 {
                     for c in 0..14 {
-                        let w = if total_budget > 1.0 { budget[r][c] } else { j[r][c] };
+                        let w = if total_budget > 1.0 {
+                            budget[r][c]
+                        } else {
+                            j[r][c]
+                        };
                         u -= w;
                         if u <= 0.0 {
                             tr = r;
@@ -868,8 +1110,7 @@ impl Ecosystem {
         }
         for (pos, &i) in creation_order.iter().enumerate() {
             let mut w = 0u32;
-            while (curve(n_canonical as f64, GROWTH.add_count, w as f64).round() as usize)
-                < pos + 1
+            while (curve(n_canonical as f64, GROWTH.add_count, w as f64).round() as usize) < pos + 1
             {
                 w += 1;
                 if w > GROWTH.week_canonical as u32 {
@@ -893,7 +1134,12 @@ impl Ecosystem {
             a.id = id;
         }
 
-        Ecosystem { config, services, applets, final_week }
+        Ecosystem {
+            config,
+            services,
+            applets,
+            final_week,
+        }
     }
 
     /// The weekly snapshot view: entities created by `week`, with add
@@ -910,11 +1156,10 @@ impl Ecosystem {
         // prefixes whose global totals follow the published growth curves.
         // Apportioning globally (largest remainder, floor 1, cap at the
         // final count) avoids the per-service ceil bias a local rule has.
-        let trim = |services: &mut Vec<ServiceRecord>, target: usize, pick: fn(&mut ServiceRecord) -> &mut Vec<String>| {
-            let lens: Vec<usize> = services
-                .iter_mut()
-                .map(|s| pick(s).len())
-                .collect();
+        let trim = |services: &mut Vec<ServiceRecord>,
+                    target: usize,
+                    pick: fn(&mut ServiceRecord) -> &mut Vec<String>| {
+            let lens: Vec<usize> = services.iter_mut().map(|s| pick(s).len()).collect();
             let capacity: usize = lens.iter().sum();
             let target = target.min(capacity).max(services.len());
             // Start everyone at 1, then deal remaining slots round-robin in
@@ -959,7 +1204,12 @@ impl Ecosystem {
                 a
             })
             .collect();
-        Snapshot { week, date: model::week_date_label(week as usize), services, applets }
+        Snapshot {
+            week,
+            date: model::week_date_label(week as usize),
+            services,
+            applets,
+        }
     }
 
     /// The canonical snapshot (3/25/2017, week 18).
@@ -1001,7 +1251,10 @@ mod tests {
             );
         }
         // IoT hotspot structure survives the fitting.
-        assert!(m[0][0] > m[0][13], "smart-home→smart-home beats smart-home→other");
+        assert!(
+            m[0][0] > m[0][13],
+            "smart-home→smart-home beats smart-home→other"
+        );
     }
 
     #[test]
@@ -1014,8 +1267,14 @@ mod tests {
         assert!(seq.windows(2).all(|w| w[0] >= w[1]), "descending");
         let top1: u64 = seq.iter().take(n / 100).sum();
         let top10: u64 = seq.iter().take(n / 10).sum();
-        assert!((top1 as f64 / total as f64 - 0.841).abs() < 0.02, "top1 {top1}");
-        assert!((top10 as f64 / total as f64 - 0.976).abs() < 0.02, "top10 {top10}");
+        assert!(
+            (top1 as f64 / total as f64 - 0.841).abs() < 0.02,
+            "top1 {top1}"
+        );
+        assert!(
+            (top10 as f64 / total as f64 - 0.976).abs() < 0.02,
+            "top10 {top10}"
+        );
         assert!(*seq.last().unwrap() >= 1);
     }
 
@@ -1093,18 +1352,33 @@ mod tests {
         let a = eco.snapshot(GROWTH.week_start as u32);
         let b = eco.snapshot(GROWTH.week_end as u32);
         let d = crate::snapshot::diff(&a, &b);
-        assert!((d.services_growth - 0.11).abs() < 0.03, "services {}", d.services_growth);
-        assert!((d.triggers_growth - 0.31).abs() < 0.08, "triggers {}", d.triggers_growth);
-        assert!((d.actions_growth - 0.27).abs() < 0.08, "actions {}", d.actions_growth);
-        assert!((d.add_count_growth - 0.19).abs() < 0.06, "adds {}", d.add_count_growth);
+        assert!(
+            (d.services_growth - 0.11).abs() < 0.03,
+            "services {}",
+            d.services_growth
+        );
+        assert!(
+            (d.triggers_growth - 0.31).abs() < 0.08,
+            "triggers {}",
+            d.triggers_growth
+        );
+        assert!(
+            (d.actions_growth - 0.27).abs() < 0.08,
+            "actions {}",
+            d.actions_growth
+        );
+        assert!(
+            (d.add_count_growth - 0.19).abs() < 0.06,
+            "adds {}",
+            d.add_count_growth
+        );
     }
 
     #[test]
     fn user_made_share_matches() {
         let eco = small();
         let snap = eco.canonical_snapshot();
-        let user_applets =
-            snap.applets.iter().filter(|a| a.author.is_user()).count() as f64;
+        let user_applets = snap.applets.iter().filter(|a| a.author.is_user()).count() as f64;
         let share = user_applets / snap.applets.len() as f64;
         assert!((share - 0.98).abs() < 0.01, "user applet share {share}");
         let user_adds: u64 = snap
@@ -1114,7 +1388,10 @@ mod tests {
             .map(|a| a.add_count)
             .sum();
         let adds_share = user_adds as f64 / snap.total_add_count() as f64;
-        assert!((adds_share - 0.86).abs() < 0.05, "user adds share {adds_share}");
+        assert!(
+            (adds_share - 0.86).abs() < 0.05,
+            "user adds share {adds_share}"
+        );
     }
 
     #[test]
@@ -1141,6 +1418,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "scale too small")]
     fn tiny_scale_is_rejected() {
-        Ecosystem::generate(GeneratorConfig { seed: 1, scale: 0.001 });
+        Ecosystem::generate(GeneratorConfig {
+            seed: 1,
+            scale: 0.001,
+        });
     }
 }

@@ -17,9 +17,11 @@ pub mod frontend;
 pub mod generator;
 pub mod model;
 pub mod names;
+pub mod population;
 pub mod snapshot;
 pub mod taxonomy;
 
 pub use generator::{Ecosystem, GeneratorConfig};
+pub use population::{InstalledApplet, PopulationSampler, UserProfile};
 pub use snapshot::{AppletRecord, Author, ServiceRecord, Snapshot, SnapshotDiff};
 pub use taxonomy::{Category, ALL_CATEGORIES, TABLE1};

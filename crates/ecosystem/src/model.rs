@@ -169,7 +169,10 @@ pub struct Table3Anchor {
 /// Table 3's top IoT trigger services (add counts from the paper).
 pub const TOP_IOT_TRIGGER_SERVICES: &[Table3Anchor] = &[
     Table3Anchor {
-        service: "Amazon Alexa", slug: "amazon_alexa", category: 1, add_count: 1_200_000,
+        service: "Amazon Alexa",
+        slug: "amazon_alexa",
+        category: 1,
+        add_count: 1_200_000,
         as_trigger: true,
         top_slots: &[
             ("say_a_phrase", 45),
@@ -180,32 +183,53 @@ pub const TOP_IOT_TRIGGER_SERVICES: &[Table3Anchor] = &[
         ],
     },
     Table3Anchor {
-        service: "Fitbit", slug: "fitbit", category: 3, add_count: 200_000,
+        service: "Fitbit",
+        slug: "fitbit",
+        category: 3,
+        add_count: 200_000,
         as_trigger: true,
         top_slots: &[("daily_activity_summary", 60), ("new_sleep_logged", 40)],
     },
     Table3Anchor {
-        service: "Nest Thermostat", slug: "nest_thermostat", category: 1, add_count: 100_000,
+        service: "Nest Thermostat",
+        slug: "nest_thermostat",
+        category: 1,
+        add_count: 100_000,
         as_trigger: true,
-        top_slots: &[("temperature_rises_above", 60), ("temperature_drops_below", 40)],
+        top_slots: &[
+            ("temperature_rises_above", 60),
+            ("temperature_drops_below", 40),
+        ],
     },
     Table3Anchor {
-        service: "Google Assistant", slug: "google_assistant", category: 1, add_count: 100_000,
+        service: "Google Assistant",
+        slug: "google_assistant",
+        category: 1,
+        add_count: 100_000,
         as_trigger: true,
         top_slots: &[("say_a_phrase_ga", 100)],
     },
     Table3Anchor {
-        service: "UP by Jawbone", slug: "up_by_jawbone", category: 3, add_count: 100_000,
+        service: "UP by Jawbone",
+        slug: "up_by_jawbone",
+        category: 3,
+        add_count: 100_000,
         as_trigger: true,
         top_slots: &[("new_sleep_up", 60), ("new_workout_up", 40)],
     },
     Table3Anchor {
-        service: "Nest Protect", slug: "nest_protect", category: 1, add_count: 70_000,
+        service: "Nest Protect",
+        slug: "nest_protect",
+        category: 1,
+        add_count: 70_000,
         as_trigger: true,
         top_slots: &[("smoke_alarm", 70), ("co_alarm", 30)],
     },
     Table3Anchor {
-        service: "Automatic", slug: "automatic", category: 4, add_count: 60_000,
+        service: "Automatic",
+        slug: "automatic",
+        category: 4,
+        add_count: 60_000,
         as_trigger: true,
         top_slots: &[("ignition_off", 60), ("check_engine", 40)],
     },
@@ -214,7 +238,10 @@ pub const TOP_IOT_TRIGGER_SERVICES: &[Table3Anchor] = &[
 /// Table 3's top IoT action services.
 pub const TOP_IOT_ACTION_SERVICES: &[Table3Anchor] = &[
     Table3Anchor {
-        service: "Philips Hue", slug: "philips_hue", category: 1, add_count: 1_200_000,
+        service: "Philips Hue",
+        slug: "philips_hue",
+        category: 1,
+        add_count: 1_200_000,
         as_trigger: false,
         top_slots: &[
             ("turn_on_lights", 45),
@@ -224,32 +251,50 @@ pub const TOP_IOT_ACTION_SERVICES: &[Table3Anchor] = &[
         ],
     },
     Table3Anchor {
-        service: "LIFX", slug: "lifx", category: 1, add_count: 200_000,
+        service: "LIFX",
+        slug: "lifx",
+        category: 1,
+        add_count: 200_000,
         as_trigger: false,
         top_slots: &[("turn_on_lifx", 60), ("breathe_lifx", 40)],
     },
     Table3Anchor {
-        service: "Nest Thermostat", slug: "nest_thermostat", category: 1, add_count: 200_000,
+        service: "Nest Thermostat",
+        slug: "nest_thermostat",
+        category: 1,
+        add_count: 200_000,
         as_trigger: false,
         top_slots: &[("set_temperature", 100)],
     },
     Table3Anchor {
-        service: "Harmony Hub", slug: "harmony_hub", category: 2, add_count: 200_000,
+        service: "Harmony Hub",
+        slug: "harmony_hub",
+        category: 2,
+        add_count: 200_000,
         as_trigger: false,
         top_slots: &[("start_activity", 70), ("end_activity", 30)],
     },
     Table3Anchor {
-        service: "WeMo Smart Plug", slug: "wemo", category: 1, add_count: 100_000,
+        service: "WeMo Smart Plug",
+        slug: "wemo",
+        category: 1,
+        add_count: 100_000,
         as_trigger: false,
         top_slots: &[("turn_on", 70), ("turn_off", 30)],
     },
     Table3Anchor {
-        service: "Android Smartwatch", slug: "android_smartwatch", category: 3, add_count: 100_000,
+        service: "Android Smartwatch",
+        slug: "android_smartwatch",
+        category: 3,
+        add_count: 100_000,
         as_trigger: false,
         top_slots: &[("send_a_notification", 100)],
     },
     Table3Anchor {
-        service: "UP by Jawbone", slug: "up_by_jawbone", category: 3, add_count: 90_000,
+        service: "UP by Jawbone",
+        slug: "up_by_jawbone",
+        category: 3,
+        add_count: 90_000,
         as_trigger: false,
         top_slots: &[("log_caffeine", 60), ("log_mood", 40)],
     },
@@ -273,16 +318,26 @@ mod tests {
 
     #[test]
     fn anchors_have_sane_shares() {
-        for a in TOP_IOT_TRIGGER_SERVICES.iter().chain(TOP_IOT_ACTION_SERVICES) {
+        for a in TOP_IOT_TRIGGER_SERVICES
+            .iter()
+            .chain(TOP_IOT_ACTION_SERVICES)
+        {
             let total: u32 = a.top_slots.iter().map(|(_, s)| s).sum();
             assert_eq!(total, 100, "{} shares sum to {total}", a.service);
-            assert!(a.category >= 1 && a.category <= 4, "{} must be IoT", a.service);
+            assert!(
+                a.category >= 1 && a.category <= 4,
+                "{} must be IoT",
+                a.service
+            );
         }
     }
 
     #[test]
     fn trigger_anchor_order_matches_table3() {
-        let counts: Vec<u64> = TOP_IOT_TRIGGER_SERVICES.iter().map(|a| a.add_count).collect();
+        let counts: Vec<u64> = TOP_IOT_TRIGGER_SERVICES
+            .iter()
+            .map(|a| a.add_count)
+            .collect();
         let mut sorted = counts.clone();
         sorted.sort_by(|a, b| b.cmp(a));
         assert_eq!(counts, sorted);

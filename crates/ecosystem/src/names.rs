@@ -10,16 +10,37 @@ use crate::taxonomy::Category;
 fn pools(cat: Category) -> (&'static [&'static str], &'static [&'static str]) {
     match cat {
         Category::SmartHomeDevice => (
-            &["Lumi", "Thermo", "Cam", "Aero", "Glow", "Sense", "Bright", "Home", "Heat", "Air"],
-            &["Light", "Stat", "Cam", "Plug", "Bulb", "Lock", "Bell", "Vac", "Blind", "Sprinkler"],
+            &[
+                "Lumi", "Thermo", "Cam", "Aero", "Glow", "Sense", "Bright", "Home", "Heat", "Air",
+            ],
+            &[
+                "Light",
+                "Stat",
+                "Cam",
+                "Plug",
+                "Bulb",
+                "Lock",
+                "Bell",
+                "Vac",
+                "Blind",
+                "Sprinkler",
+            ],
         ),
         Category::SmartHomeHub => (
-            &["Nexus", "Core", "Link", "Bridge", "Uni", "Omni", "Meta", "Hub"],
-            &["Hub", "Center", "Station", "Connect", "Base", "Box", "Gate", "Mesh"],
+            &[
+                "Nexus", "Core", "Link", "Bridge", "Uni", "Omni", "Meta", "Hub",
+            ],
+            &[
+                "Hub", "Center", "Station", "Connect", "Base", "Box", "Gate", "Mesh",
+            ],
         ),
         Category::Wearable => (
-            &["Fit", "Pulse", "Step", "Move", "Vital", "Track", "Wrist", "Band"],
-            &["Band", "Watch", "Tracker", "Ring", "Clip", "Sense", "Coach", "Gear"],
+            &[
+                "Fit", "Pulse", "Step", "Move", "Vital", "Track", "Wrist", "Band",
+            ],
+            &[
+                "Band", "Watch", "Tracker", "Ring", "Clip", "Sense", "Coach", "Gear",
+            ],
         ),
         Category::ConnectedCar => (
             &["Auto", "Drive", "Car", "Moto", "Road", "Dash"],
@@ -34,16 +55,24 @@ fn pools(cat: Category) -> (&'static [&'static str], &'static [&'static str]) {
             &["Drive", "Box", "Sync", "Store", "Vault", "Locker"],
         ),
         Category::OnlineService => (
-            &["Daily", "Meteo", "News", "Stream", "Sport", "Stock", "Quote", "Video"],
-            &["Times", "Cast", "Wire", "Feed", "Watch", "Report", "Channel", "Desk"],
+            &[
+                "Daily", "Meteo", "News", "Stream", "Sport", "Stock", "Quote", "Video",
+            ],
+            &[
+                "Times", "Cast", "Wire", "Feed", "Watch", "Report", "Channel", "Desk",
+            ],
         ),
         Category::RssFeed => (
             &["Feed", "RSS", "Reader", "Digest", "Curate"],
             &["Reader", "Stream", "Burner", "Rank", "List"],
         ),
         Category::PersonalData => (
-            &["Note", "Task", "Memo", "Plan", "List", "Journal", "Remind", "Agenda"],
-            &["Keeper", "List", "Note", "Do", "Book", "Planner", "Board", "Minder"],
+            &[
+                "Note", "Task", "Memo", "Plan", "List", "Journal", "Remind", "Agenda",
+            ],
+            &[
+                "Keeper", "List", "Note", "Do", "Book", "Planner", "Board", "Minder",
+            ],
         ),
         Category::SocialNetwork => (
             &["Face", "Insta", "Pic", "Chat", "Blog", "Snap", "Micro"],
@@ -103,9 +132,20 @@ pub fn slugify(name: &str) -> String {
 /// Trigger-slug verbs per category (combined with an index to stay unique).
 fn trigger_stems(cat: Category) -> &'static [&'static str] {
     match cat {
-        Category::SmartHomeDevice => &["turned_on", "turned_off", "motion_detected", "door_opened", "alarm_raised"],
+        Category::SmartHomeDevice => &[
+            "turned_on",
+            "turned_off",
+            "motion_detected",
+            "door_opened",
+            "alarm_raised",
+        ],
         Category::SmartHomeHub => &["scene_started", "device_added", "mode_changed"],
-        Category::Wearable => &["goal_reached", "sleep_logged", "workout_done", "steps_counted"],
+        Category::Wearable => &[
+            "goal_reached",
+            "sleep_logged",
+            "workout_done",
+            "steps_counted",
+        ],
         Category::ConnectedCar => &["ignition_on", "ignition_off", "low_fuel", "hard_brake"],
         Category::Smartphone => &["battery_low", "nfc_tag", "entered_wifi", "missed_call"],
         Category::CloudStorage => &["file_added", "file_shared"],
@@ -114,7 +154,13 @@ fn trigger_stems(cat: Category) -> &'static [&'static str] {
         Category::PersonalData => &["task_added", "reminder_due", "note_created", "event_starts"],
         Category::SocialNetwork => &["new_post", "tagged_photo", "new_follower", "new_like"],
         Category::Messaging => &["message_received", "mention", "channel_post"],
-        Category::TimeLocation => &["every_day_at", "sunrise", "sunset", "enter_area", "exit_area"],
+        Category::TimeLocation => &[
+            "every_day_at",
+            "sunrise",
+            "sunset",
+            "enter_area",
+            "exit_area",
+        ],
         Category::Email => &["new_email", "email_labeled", "attachment_received"],
         Category::Other => &["something_happened", "state_changed"],
     }

@@ -1,0 +1,186 @@
+//! Fleet-scale user-channel population sampling.
+//!
+//! §3.3 of the paper characterizes the ~135K user channels by how many
+//! applets each installs and which applets they pick (installs concentrate
+//! heavily on popular applets — the Zipf-like add-count tail of Figure 3).
+//! A million-user workload cannot materialize that population up front, so
+//! [`PopulationSampler`] is a *function* from a global user index to a
+//! [`UserProfile`]: `user(i)` depends only on `(seed, i)`, never on call
+//! order or on which shard asks. That property is what makes fleet runs
+//! shard-count invariant and keeps per-shard memory bounded — a shard only
+//! ever holds the profiles of the cell it is currently simulating.
+
+use crate::snapshot::Snapshot;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use simnet::rng::derive_seed;
+
+/// The most applets a synthetic user channel installs. Kept small so one
+/// user maps onto a fixed set of per-user trigger slots in the fleet's
+/// workload service.
+pub const MAX_INSTALLS_PER_USER: usize = 4;
+
+/// One applet installation in a synthetic user channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InstalledApplet {
+    /// Index into the snapshot's applet list.
+    pub applet: usize,
+    /// Canonical add count of that applet (drives §6 smart polling).
+    pub add_count: u64,
+}
+
+/// The applets one synthetic user channel has installed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UserProfile {
+    /// Global user index this profile was derived from.
+    pub user: u64,
+    /// 1–[`MAX_INSTALLS_PER_USER`] installations, add-count weighted.
+    pub installs: Vec<InstalledApplet>,
+}
+
+/// Deterministic, O(#applets)-memory sampler of synthetic user channels.
+#[derive(Debug, Clone)]
+pub struct PopulationSampler {
+    /// Cumulative install weights over the snapshot's applets (each applet
+    /// weighs `max(add_count, 1)` so zero-add applets stay reachable).
+    cum: Vec<u64>,
+    adds: Vec<u64>,
+    total: u64,
+    seed: u64,
+}
+
+impl PopulationSampler {
+    /// Build a sampler over `snap`'s applet catalog.
+    ///
+    /// # Panics
+    /// Panics if the snapshot has no applets.
+    pub fn new(snap: &Snapshot, seed: u64) -> Self {
+        let mut cum = Vec::with_capacity(snap.applets.len());
+        let mut adds = Vec::with_capacity(snap.applets.len());
+        let mut total = 0u64;
+        for a in &snap.applets {
+            total += a.add_count.max(1);
+            cum.push(total);
+            adds.push(a.add_count);
+        }
+        assert!(total > 0, "population sampler needs a non-empty snapshot");
+        PopulationSampler {
+            cum,
+            adds,
+            total,
+            seed,
+        }
+    }
+
+    /// Number of applets in the sampled catalog.
+    pub fn applet_count(&self) -> usize {
+        self.cum.len()
+    }
+
+    /// The add count at percentile `p` (0–100) of the catalog — e.g. the
+    /// p90 knee used as the smart-polling "hot" threshold.
+    pub fn add_count_percentile(&self, p: f64) -> u64 {
+        let mut sorted = self.adds.clone();
+        sorted.sort_unstable();
+        let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Add-count-weighted applet pick.
+    fn pick(&self, rng: &mut StdRng) -> usize {
+        let r = rng.gen_range(0..self.total);
+        self.cum.partition_point(|&c| c <= r)
+    }
+
+    /// The profile of user `index`. Pure in `(seed, index)`.
+    pub fn user(&self, index: u64) -> UserProfile {
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, index));
+        // Install count: geometric-ish with mean ≈ 1.33, capped — most
+        // channels hold one applet, a tail holds several (§3.3's skewed
+        // per-user contribution).
+        let mut n = 1usize;
+        while n < MAX_INSTALLS_PER_USER && rng.gen_bool(0.25) {
+            n += 1;
+        }
+        let installs = (0..n)
+            .map(|_| {
+                let idx = self.pick(&mut rng);
+                InstalledApplet {
+                    applet: idx,
+                    add_count: self.adds[idx],
+                }
+            })
+            .collect();
+        UserProfile {
+            user: index,
+            installs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{Ecosystem, GeneratorConfig};
+
+    fn sampler(seed: u64) -> PopulationSampler {
+        let eco = Ecosystem::generate(GeneratorConfig::test_scale(7));
+        PopulationSampler::new(&eco.canonical_snapshot(), seed)
+    }
+
+    #[test]
+    fn profiles_are_pure_in_seed_and_index() {
+        let s1 = sampler(11);
+        let s2 = sampler(11);
+        for i in [0u64, 1, 999, 1_000_000] {
+            assert_eq!(s1.user(i), s2.user(i));
+        }
+        assert_ne!(s1.user(3), sampler(12).user(3));
+        assert_ne!(s1.user(3), s1.user(4));
+    }
+
+    #[test]
+    fn install_counts_stay_in_bounds_and_skew_low() {
+        let s = sampler(5);
+        let counts: Vec<usize> = (0..2000).map(|i| s.user(i).installs.len()).collect();
+        assert!(counts
+            .iter()
+            .all(|&c| (1..=MAX_INSTALLS_PER_USER).contains(&c)));
+        let singles = counts.iter().filter(|&&c| c == 1).count();
+        assert!(
+            singles > 1200,
+            "most users hold one applet ({singles}/2000)"
+        );
+        assert!(counts.iter().any(|&c| c > 1), "a tail holds several");
+    }
+
+    #[test]
+    fn popular_applets_are_installed_more() {
+        let s = sampler(5);
+        // Empirical install mass of the top-decile applets should far
+        // exceed their share of the catalog (add-count weighting).
+        let hot = s.add_count_percentile(90.0);
+        let mut hot_hits = 0usize;
+        let mut total = 0usize;
+        for i in 0..3000 {
+            for ins in s.user(i).installs {
+                total += 1;
+                if ins.add_count >= hot {
+                    hot_hits += 1;
+                }
+            }
+        }
+        let share = hot_hits as f64 / total as f64;
+        assert!(
+            share > 0.5,
+            "top-decile applets draw {share:.2} of installs"
+        );
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let s = sampler(5);
+        assert!(s.add_count_percentile(50.0) <= s.add_count_percentile(90.0));
+        assert!(s.add_count_percentile(90.0) <= s.add_count_percentile(100.0));
+    }
+}

@@ -93,12 +93,18 @@ impl Snapshot {
 
     /// Category of a service slug, if known.
     pub fn category_of(&self, slug: &str) -> Option<Category> {
-        self.services.iter().find(|s| s.slug == slug).map(|s| s.category)
+        self.services
+            .iter()
+            .find(|s| s.slug == slug)
+            .map(|s| s.category)
     }
 
     /// A slug → category lookup map (build once for hot analyses).
     pub fn category_index(&self) -> BTreeMap<&str, Category> {
-        self.services.iter().map(|s| (s.slug.as_str(), s.category)).collect()
+        self.services
+            .iter()
+            .map(|s| (s.slug.as_str(), s.category))
+            .collect()
     }
 
     /// Serialize to JSON (what the crawler archives per week).
@@ -133,8 +139,7 @@ pub fn diff(a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
             to / from - 1.0
         }
     }
-    let old: std::collections::HashSet<&str> =
-        a.services.iter().map(|s| s.slug.as_str()).collect();
+    let old: std::collections::HashSet<&str> = a.services.iter().map(|s| s.slug.as_str()).collect();
     SnapshotDiff {
         from_week: a.week,
         to_week: b.week,

@@ -10,9 +10,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Service categories, numbered as in Table 1.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[repr(u8)]
 pub enum Category {
     /// 1. Smart-home devices (light, thermostat, camera, Amazon Echo, …).
@@ -124,20 +122,90 @@ pub struct Table1Row {
 
 /// The published Table 1 (the generator's calibration target).
 pub const TABLE1: [Table1Row; 14] = [
-    Table1Row { category: Category::SmartHomeDevice, services_pct: 37.7, trigger_ac_pct: 6.4, action_ac_pct: 7.9 },
-    Table1Row { category: Category::SmartHomeHub, services_pct: 9.3, trigger_ac_pct: 0.8, action_ac_pct: 1.0 },
-    Table1Row { category: Category::Wearable, services_pct: 2.7, trigger_ac_pct: 1.6, action_ac_pct: 1.0 },
-    Table1Row { category: Category::ConnectedCar, services_pct: 2.0, trigger_ac_pct: 0.5, action_ac_pct: 0.1 },
-    Table1Row { category: Category::Smartphone, services_pct: 3.7, trigger_ac_pct: 11.0, action_ac_pct: 13.8 },
-    Table1Row { category: Category::CloudStorage, services_pct: 2.5, trigger_ac_pct: 0.6, action_ac_pct: 13.6 },
-    Table1Row { category: Category::OnlineService, services_pct: 8.8, trigger_ac_pct: 20.0, action_ac_pct: 1.9 },
-    Table1Row { category: Category::RssFeed, services_pct: 2.2, trigger_ac_pct: 9.8, action_ac_pct: 0.1 },
-    Table1Row { category: Category::PersonalData, services_pct: 10.3, trigger_ac_pct: 11.2, action_ac_pct: 27.4 },
-    Table1Row { category: Category::SocialNetwork, services_pct: 5.6, trigger_ac_pct: 17.7, action_ac_pct: 17.3 },
-    Table1Row { category: Category::Messaging, services_pct: 4.7, trigger_ac_pct: 0.8, action_ac_pct: 3.1 },
-    Table1Row { category: Category::TimeLocation, services_pct: 1.2, trigger_ac_pct: 14.1, action_ac_pct: 0.0 },
-    Table1Row { category: Category::Email, services_pct: 1.0, trigger_ac_pct: 4.4, action_ac_pct: 12.8 },
-    Table1Row { category: Category::Other, services_pct: 8.3, trigger_ac_pct: 1.3, action_ac_pct: 0.2 },
+    Table1Row {
+        category: Category::SmartHomeDevice,
+        services_pct: 37.7,
+        trigger_ac_pct: 6.4,
+        action_ac_pct: 7.9,
+    },
+    Table1Row {
+        category: Category::SmartHomeHub,
+        services_pct: 9.3,
+        trigger_ac_pct: 0.8,
+        action_ac_pct: 1.0,
+    },
+    Table1Row {
+        category: Category::Wearable,
+        services_pct: 2.7,
+        trigger_ac_pct: 1.6,
+        action_ac_pct: 1.0,
+    },
+    Table1Row {
+        category: Category::ConnectedCar,
+        services_pct: 2.0,
+        trigger_ac_pct: 0.5,
+        action_ac_pct: 0.1,
+    },
+    Table1Row {
+        category: Category::Smartphone,
+        services_pct: 3.7,
+        trigger_ac_pct: 11.0,
+        action_ac_pct: 13.8,
+    },
+    Table1Row {
+        category: Category::CloudStorage,
+        services_pct: 2.5,
+        trigger_ac_pct: 0.6,
+        action_ac_pct: 13.6,
+    },
+    Table1Row {
+        category: Category::OnlineService,
+        services_pct: 8.8,
+        trigger_ac_pct: 20.0,
+        action_ac_pct: 1.9,
+    },
+    Table1Row {
+        category: Category::RssFeed,
+        services_pct: 2.2,
+        trigger_ac_pct: 9.8,
+        action_ac_pct: 0.1,
+    },
+    Table1Row {
+        category: Category::PersonalData,
+        services_pct: 10.3,
+        trigger_ac_pct: 11.2,
+        action_ac_pct: 27.4,
+    },
+    Table1Row {
+        category: Category::SocialNetwork,
+        services_pct: 5.6,
+        trigger_ac_pct: 17.7,
+        action_ac_pct: 17.3,
+    },
+    Table1Row {
+        category: Category::Messaging,
+        services_pct: 4.7,
+        trigger_ac_pct: 0.8,
+        action_ac_pct: 3.1,
+    },
+    Table1Row {
+        category: Category::TimeLocation,
+        services_pct: 1.2,
+        trigger_ac_pct: 14.1,
+        action_ac_pct: 0.0,
+    },
+    Table1Row {
+        category: Category::Email,
+        services_pct: 1.0,
+        trigger_ac_pct: 4.4,
+        action_ac_pct: 12.8,
+    },
+    Table1Row {
+        category: Category::Other,
+        services_pct: 8.3,
+        trigger_ac_pct: 1.3,
+        action_ac_pct: 0.2,
+    },
 ];
 
 /// Table 1 row for one category.

@@ -24,7 +24,8 @@ fn crawl(seed: u64, overload: f64) -> (ecosystem::Snapshot, ecosystem::Snapshot,
         (fe, crawler, max)
     };
     let (_fe, crawler, _max) = max_id;
-    sim.try_run_until_idle(20_000_000).expect("crawl terminates");
+    sim.try_run_until_idle(20_000_000)
+        .expect("crawl terminates");
     assert!(sim.node_ref::<Crawler>(crawler).is_done());
     let crawled = sim
         .node_ref::<Crawler>(crawler)

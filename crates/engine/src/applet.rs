@@ -6,9 +6,7 @@ use tap_protocol::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerSlug, Us
 
 /// Unique applet identifier (IFTTT used six-digit numeric IDs, which is how
 /// the paper's crawler enumerated the public applet space).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct AppletId(pub u32);
 
 /// The trigger half of an applet.
@@ -142,7 +140,10 @@ mod tests {
     use super::*;
 
     fn fm(pairs: &[(&str, &str)]) -> FieldMap {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]

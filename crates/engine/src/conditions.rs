@@ -12,8 +12,7 @@ use serde::{Deserialize, Serialize};
 use tap_protocol::FieldMap;
 
 /// A predicate over trigger-event ingredients.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub enum Condition {
     /// Always true (the default for ordinary applets).
     #[default]
@@ -42,9 +41,7 @@ impl Condition {
         match self {
             Condition::Always => true,
             Condition::Has { key } => ingredients.contains_key(key),
-            Condition::Equals { key, value } => {
-                ingredients.get(key).is_some_and(|v| v == value)
-            }
+            Condition::Equals { key, value } => ingredients.get(key).is_some_and(|v| v == value),
             Condition::Contains { key, needle } => ingredients
                 .get(key)
                 .is_some_and(|v| v.to_lowercase().contains(&needle.to_lowercase())),
@@ -74,50 +71,99 @@ impl Condition {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn ing(pairs: &[(&str, &str)]) -> FieldMap {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]
     fn primitives_evaluate() {
         let i = ing(&[("subject", "ALERT: disk full"), ("count", "3")]);
         assert!(Condition::Always.eval(&i));
-        assert!(Condition::Has { key: "subject".into() }.eval(&i));
-        assert!(!Condition::Has { key: "missing".into() }.eval(&i));
-        assert!(Condition::Equals { key: "count".into(), value: "3".into() }.eval(&i));
-        assert!(!Condition::Equals { key: "count".into(), value: "4".into() }.eval(&i));
-        assert!(Condition::Contains { key: "subject".into(), needle: "alert".into() }.eval(&i));
-        assert!(Condition::AtLeast { key: "count".into(), bound: 3.0 }.eval(&i));
-        assert!(!Condition::AtLeast { key: "count".into(), bound: 3.5 }.eval(&i));
-        assert!(Condition::AtMost { key: "count".into(), bound: 3.0 }.eval(&i));
+        assert!(Condition::Has {
+            key: "subject".into()
+        }
+        .eval(&i));
+        assert!(!Condition::Has {
+            key: "missing".into()
+        }
+        .eval(&i));
+        assert!(Condition::Equals {
+            key: "count".into(),
+            value: "3".into()
+        }
+        .eval(&i));
+        assert!(!Condition::Equals {
+            key: "count".into(),
+            value: "4".into()
+        }
+        .eval(&i));
+        assert!(Condition::Contains {
+            key: "subject".into(),
+            needle: "alert".into()
+        }
+        .eval(&i));
+        assert!(Condition::AtLeast {
+            key: "count".into(),
+            bound: 3.0
+        }
+        .eval(&i));
+        assert!(!Condition::AtLeast {
+            key: "count".into(),
+            bound: 3.5
+        }
+        .eval(&i));
+        assert!(Condition::AtMost {
+            key: "count".into(),
+            bound: 3.0
+        }
+        .eval(&i));
     }
 
     #[test]
     fn non_numeric_comparisons_are_false() {
         let i = ing(&[("count", "three")]);
-        assert!(!Condition::AtLeast { key: "count".into(), bound: 0.0 }.eval(&i));
-        assert!(!Condition::AtMost { key: "count".into(), bound: 9.0 }.eval(&i));
+        assert!(!Condition::AtLeast {
+            key: "count".into(),
+            bound: 0.0
+        }
+        .eval(&i));
+        assert!(!Condition::AtMost {
+            key: "count".into(),
+            bound: 9.0
+        }
+        .eval(&i));
     }
 
     #[test]
     fn combinators_compose() {
         let i = ing(&[("subject", "alert"), ("from", "ops@example.org")]);
-        let c = Condition::Contains { key: "subject".into(), needle: "alert".into() }
-            .and(Condition::Not(Box::new(Condition::Contains {
-                key: "from".into(),
-                needle: "noreply".into(),
-            })));
+        let c = Condition::Contains {
+            key: "subject".into(),
+            needle: "alert".into(),
+        }
+        .and(Condition::Not(Box::new(Condition::Contains {
+            key: "from".into(),
+            needle: "noreply".into(),
+        })));
         assert!(c.eval(&i));
         let i2 = ing(&[("subject", "alert"), ("from", "noreply@x")]);
         assert!(!c.eval(&i2));
         let any = Condition::Any(vec![
-            Condition::Equals { key: "from".into(), value: "boss@x".into() },
-            Condition::Contains { key: "subject".into(), needle: "alert".into() },
+            Condition::Equals {
+                key: "from".into(),
+                value: "boss@x".into(),
+            },
+            Condition::Contains {
+                key: "subject".into(),
+                needle: "alert".into(),
+            },
         ]);
         assert!(any.eval(&i));
     }

@@ -23,22 +23,23 @@
 
 use crate::applet::{substitute_fields, Applet, AppletId};
 use crate::loopdetect::{RuntimeLoopDetector, RuntimeVerdict, StaticLoopDetector};
+use crate::observer::EngineObserver;
 use crate::permissions::{Capability, Granularity, PermissionManager};
 use crate::polling::PollPolicy;
 use rand::Rng;
 use simnet::prelude::*;
 use simnet::rng::Dist;
+use std::collections::{HashMap, HashSet};
 use tap_protocol::auth::{
     AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, SERVICE_KEY_HEADER,
 };
-use tap_protocol::endpoints::{action_path, trigger_path, REALTIME_NOTIFY_PATH};
 use tap_protocol::endpoints::query_path;
+use tap_protocol::endpoints::{action_path, trigger_path, REALTIME_NOTIFY_PATH};
 use tap_protocol::wire::{
     self, ActionRequestBody, PollRequestBody, PollResponseBody, QueryRequestBody,
     QueryResponseBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
 };
 use tap_protocol::{ServiceSlug, TriggerIdentity, UserId};
-use std::collections::{HashMap, HashSet};
 
 // Correlation-token tags (top byte).
 const TAG_SHIFT: u64 = 56;
@@ -112,7 +113,11 @@ impl Default for EngineConfig {
             polling: PollPolicy::ifttt_like(),
             realtime_allowlist: HashSet::new(),
             hint_processing: Dist::Uniform { lo: 0.5, hi: 1.5 },
-            dispatch_overhead: Dist::LogNormal { mu: 0.0, sigma: 0.35, cap: 5.0 },
+            dispatch_overhead: Dist::LogNormal {
+                mu: 0.0,
+                sigma: 0.35,
+                cap: 5.0,
+            },
             inter_action_gap: Dist::Uniform { lo: 0.05, hi: 0.3 },
             initial_poll_delay: Dist::Uniform { lo: 1.0, hi: 5.0 },
             request_timeout: SimDuration::from_secs(30),
@@ -130,7 +135,8 @@ impl EngineConfig {
     /// paper infers from the low latency of A5–A7.
     pub fn ifttt_like() -> Self {
         let mut cfg = EngineConfig::default();
-        cfg.realtime_allowlist.insert(ServiceSlug::new("amazon_alexa"));
+        cfg.realtime_allowlist
+            .insert(ServiceSlug::new("amazon_alexa"));
         cfg
     }
 
@@ -224,6 +230,8 @@ pub struct TapEngine {
     runtime_detector: Option<RuntimeLoopDetector>,
     /// Aggregate counters.
     pub stats: EngineStats,
+    /// Optional instrumentation sink (see [`crate::observer`]).
+    observer: Option<std::sync::Arc<dyn EngineObserver>>,
 }
 
 impl TapEngine {
@@ -250,7 +258,14 @@ impl TapEngine {
             static_detector: StaticLoopDetector::new(),
             runtime_detector,
             stats: EngineStats::default(),
+            observer: None,
         }
+    }
+
+    /// Attach an instrumentation observer. One observer may be shared by
+    /// many engines (fleet shards do exactly that).
+    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn EngineObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Register a partner service (what service publication does).
@@ -273,17 +288,22 @@ impl TapEngine {
     /// Run the OAuth2 authorization-code flow against the service's hosted
     /// pages. Completion is observable via [`TapEngine::is_connected`].
     pub fn connect_service(&mut self, ctx: &mut Context<'_>, user: UserId, service: ServiceSlug) {
-        let Some(reg) = self.services.get(&service) else { return };
+        let Some(reg) = self.services.get(&service) else {
+            return;
+        };
         let seq = self.next_oauth;
         self.next_oauth += 1;
-        self.pending_oauth.insert(seq, (user.clone(), service.clone()));
+        self.pending_oauth
+            .insert(seq, (user.clone(), service.clone()));
         let req = Request::post("/oauth2/authorize")
             .with_body(serde_json::json!({ "user": user.0 }).to_string());
         ctx.send_request(
             reg.node,
             req,
             Token(TAG_OAUTH_AUTH | seq),
-            RequestOpts { timeout: Some(self.config.request_timeout) },
+            RequestOpts {
+                timeout: Some(self.config.request_timeout),
+            },
         );
     }
 
@@ -337,15 +357,21 @@ impl TapEngine {
             &applet.trigger.fields,
         );
         let id = applet.id;
-        self.by_identity.entry(identity.clone()).or_default().push(id);
+        self.by_identity
+            .entry(identity.clone())
+            .or_default()
+            .push(id);
         self.tasks.insert(
             id,
-            PollTask { identity, seen: HashSet::new(), enabled: true, next_poll: None },
+            PollTask {
+                identity,
+                seen: HashSet::new(),
+                enabled: true,
+                next_poll: None,
+            },
         );
         self.applets.insert(id, applet);
-        let delay = SimDuration::from_secs_f64(
-            self.config.initial_poll_delay.sample(ctx.rng()),
-        );
+        let delay = SimDuration::from_secs_f64(self.config.initial_poll_delay.sample(ctx.rng()));
         self.schedule_poll(ctx, id, delay);
         ctx.trace("engine.applet_installed", format!("{id:?}"));
         Ok(id)
@@ -353,7 +379,9 @@ impl TapEngine {
 
     /// Enable or disable an applet (disabled applets stop polling).
     pub fn set_enabled(&mut self, ctx: &mut Context<'_>, id: AppletId, enabled: bool) {
-        let Some(task) = self.tasks.get_mut(&id) else { return };
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
         task.enabled = enabled;
         if enabled && task.next_poll.is_none() {
             self.schedule_poll(ctx, id, SimDuration::from_secs(1));
@@ -366,7 +394,9 @@ impl TapEngine {
     }
 
     fn schedule_poll(&mut self, ctx: &mut Context<'_>, id: AppletId, after: SimDuration) {
-        let Some(task) = self.tasks.get_mut(&id) else { return };
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
         if let Some(old) = task.next_poll.take() {
             ctx.cancel_timer(old);
         }
@@ -374,14 +404,21 @@ impl TapEngine {
     }
 
     fn send_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
-        let Some(applet) = self.applets.get(&id) else { return };
-        let Some(task) = self.tasks.get(&id) else { return };
+        let Some(applet) = self.applets.get(&id) else {
+            return;
+        };
+        let Some(task) = self.tasks.get(&id) else {
+            return;
+        };
         if !task.enabled {
             return;
         }
-        let Some(reg) = self.services.get(&applet.trigger.service) else { return };
-        let Some(token) =
-            self.tokens.get(&(applet.owner.clone(), applet.trigger.service.clone()))
+        let Some(reg) = self.services.get(&applet.trigger.service) else {
+            return;
+        };
+        let Some(token) = self
+            .tokens
+            .get(&(applet.owner.clone(), applet.trigger.service.clone()))
         else {
             return;
         };
@@ -398,13 +435,21 @@ impl TapEngine {
             .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
             .with_body(wire::to_bytes(&body));
         self.stats.polls_sent += 1;
-        ctx.trace("engine.poll_sent", format!("{id:?} {}", applet.trigger.trigger));
+        if let Some(o) = &self.observer {
+            o.poll_sent(ctx.now());
+        }
+        ctx.trace(
+            "engine.poll_sent",
+            format!("{id:?} {}", applet.trigger.trigger),
+        );
         let node = reg.node;
         ctx.send_request(
             node,
             req,
             Token(TAG_POLL | id.0 as u64),
-            RequestOpts { timeout: Some(self.config.request_timeout) },
+            RequestOpts {
+                timeout: Some(self.config.request_timeout),
+            },
         );
     }
 
@@ -419,7 +464,10 @@ impl TapEngine {
 
         if !resp.is_success() {
             self.stats.polls_failed += 1;
-            ctx.trace("engine.poll_failed", format!("{id:?} status {}", resp.status));
+            ctx.trace(
+                "engine.poll_failed",
+                format!("{id:?} status {}", resp.status),
+            );
             return;
         }
         let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
@@ -431,7 +479,9 @@ impl TapEngine {
             self.stats.polls_empty += 1;
             return;
         }
-        let Some(task) = self.tasks.get_mut(&id) else { return };
+        let Some(task) = self.tasks.get_mut(&id) else {
+            return;
+        };
         // Newest-first on the wire; dispatch oldest-first.
         let mut fresh: Vec<TriggerEvent> = body
             .data
@@ -447,13 +497,15 @@ impl TapEngine {
             task.seen.insert(e.meta.id.clone());
         }
         self.stats.events_new += fresh.len() as u64;
+        if let Some(o) = &self.observer {
+            o.poll_result(fresh.len() as u64, ctx.now());
+        }
         ctx.trace(
             "engine.events_received",
             format!("{id:?} {} new events", fresh.len()),
         );
         // Batch dispatch: one action per event, back-to-back.
-        let overhead =
-            SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
+        let overhead = SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
         let mut at = overhead;
         for event in fresh {
             let d = self.next_dispatch;
@@ -469,15 +521,22 @@ impl TapEngine {
                     attempts: 0,
                 },
             );
+            if let Some(o) = &self.observer {
+                o.dispatch_enqueued(self.dispatches.len(), ctx.now());
+            }
             ctx.set_timer(at, TK_DISPATCH | d);
             at += SimDuration::from_secs_f64(self.config.inter_action_gap.sample(ctx.rng()));
         }
     }
 
     fn send_action(&mut self, ctx: &mut Context<'_>, dispatch: u64) {
-        let Some(job) = self.dispatches.get(&dispatch) else { return };
+        let Some(job) = self.dispatches.get(&dispatch) else {
+            return;
+        };
         let id = job.applet;
-        let Some(applet) = self.applets.get(&id) else { return };
+        let Some(applet) = self.applets.get(&id) else {
+            return;
+        };
         if !self.tasks.get(&id).is_some_and(|t| t.enabled) {
             self.dispatches.remove(&dispatch);
             return;
@@ -503,7 +562,12 @@ impl TapEngine {
                 if det.record(id, now) == RuntimeVerdict::LoopSuspected {
                     self.stats.loops_flagged += 1;
                     ctx.trace("engine.loop_flagged", format!("{id:?}"));
-                    if self.config.runtime_loop.as_ref().is_some_and(|c| c.auto_disable) {
+                    if self
+                        .config
+                        .runtime_loop
+                        .as_ref()
+                        .is_some_and(|c| c.auto_disable)
+                    {
                         if let Some(task) = self.tasks.get_mut(&id) {
                             task.enabled = false;
                         }
@@ -514,9 +578,12 @@ impl TapEngine {
                 }
             }
         }
-        let Some(reg) = self.services.get(&applet.action.service) else { return };
-        let Some(token) =
-            self.tokens.get(&(applet.owner.clone(), applet.action.service.clone()))
+        let Some(reg) = self.services.get(&applet.action.service) else {
+            return;
+        };
+        let Some(token) = self
+            .tokens
+            .get(&(applet.owner.clone(), applet.action.service.clone()))
         else {
             return;
         };
@@ -536,7 +603,10 @@ impl TapEngine {
         }
         let job = self.dispatches.get(&dispatch).expect("job exists");
         let fields = substitute_fields(&applet.action.fields, &merged);
-        let body = ActionRequestBody { action_fields: fields, user: applet.owner.clone() };
+        let body = ActionRequestBody {
+            action_fields: fields,
+            user: applet.owner.clone(),
+        };
         let req = Request::post(action_path(&applet.action.action))
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
             .with_header(AUTHORIZATION_HEADER, token.bearer())
@@ -544,7 +614,10 @@ impl TapEngine {
         self.stats.actions_sent += 1;
         ctx.trace(
             "engine.action_sent",
-            format!("{id:?} {} event {}", applet.action.action, job.event.meta.id),
+            format!(
+                "{id:?} {} event {}",
+                applet.action.action, job.event.meta.id
+            ),
         );
         self.dispatches.get_mut(&dispatch).expect("exists").attempts += 1;
         let node = reg.node;
@@ -552,7 +625,9 @@ impl TapEngine {
             node,
             req,
             Token(TAG_ACTION | dispatch),
-            RequestOpts { timeout: Some(self.config.request_timeout) },
+            RequestOpts {
+                timeout: Some(self.config.request_timeout),
+            },
         );
     }
 
@@ -562,14 +637,17 @@ impl TapEngine {
         let ingredients = self.dispatches[&dispatch].event.ingredients.clone();
         let mut issued = 0usize;
         for (qidx, q) in applet.queries.iter().enumerate().take(1 << QUERY_IDX_BITS) {
-            let Some(reg) = self.services.get(&q.service) else { continue };
-            let Some(token) =
-                self.tokens.get(&(applet.owner.clone(), q.service.clone()))
-            else {
+            let Some(reg) = self.services.get(&q.service) else {
+                continue;
+            };
+            let Some(token) = self.tokens.get(&(applet.owner.clone(), q.service.clone())) else {
                 continue;
             };
             let fields = substitute_fields(&q.fields, &ingredients);
-            let body = QueryRequestBody { query_fields: fields, user: applet.owner.clone() };
+            let body = QueryRequestBody {
+                query_fields: fields,
+                user: applet.owner.clone(),
+            };
             let req = Request::post(query_path(&q.query))
                 .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
                 .with_header(AUTHORIZATION_HEADER, token.bearer())
@@ -582,7 +660,9 @@ impl TapEngine {
                 node,
                 req,
                 Token(TAG_QUERY | (dispatch << QUERY_IDX_BITS) | qidx as u64),
-                RequestOpts { timeout: Some(timeout) },
+                RequestOpts {
+                    timeout: Some(timeout),
+                },
             );
             issued += 1;
         }
@@ -609,7 +689,9 @@ impl TapEngine {
             .and_then(|a| a.queries.get(qidx))
             .map(|q| q.prefix.clone());
         let Some(prefix) = prefix else { return };
-        let Some(job) = self.dispatches.get_mut(&dispatch) else { return };
+        let Some(job) = self.dispatches.get_mut(&dispatch) else {
+            return;
+        };
         if resp.is_success() {
             if let Ok(body) = wire::from_bytes::<QueryResponseBody>(&resp.body) {
                 for (k, v) in body.data {
@@ -618,7 +700,10 @@ impl TapEngine {
             }
         } else {
             self.stats.queries_failed += 1;
-            ctx.trace("engine.query_failed", format!("dispatch {dispatch} q{qidx}"));
+            ctx.trace(
+                "engine.query_failed",
+                format!("dispatch {dispatch} q{qidx}"),
+            );
         }
         let job = self.dispatches.get_mut(&dispatch).expect("exists");
         job.pending_queries = job.pending_queries.saturating_sub(1);
@@ -627,11 +712,7 @@ impl TapEngine {
         }
     }
 
-    fn on_realtime_notification(
-        &mut self,
-        ctx: &mut Context<'_>,
-        req: &Request,
-    ) -> HandlerResult {
+    fn on_realtime_notification(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         self.stats.hints_received += 1;
         let Some(slug) = req
             .header(SERVICE_KEY_HEADER)
@@ -657,9 +738,8 @@ impl TapEngine {
                 continue;
             };
             for id in ids {
-                let delay = SimDuration::from_secs_f64(
-                    self.config.hint_processing.sample(ctx.rng()),
-                );
+                let delay =
+                    SimDuration::from_secs_f64(self.config.hint_processing.sample(ctx.rng()));
                 ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
                 self.schedule_poll(ctx, id, delay);
             }
@@ -701,17 +781,21 @@ impl Node for TapEngine {
             }
             TAG_ACTION => {
                 let dispatch = token.0 & !TAG_MASK;
-                let Some(job) = self.dispatches.get(&dispatch) else { return };
+                let Some(job) = self.dispatches.get(&dispatch) else {
+                    return;
+                };
                 if resp.is_success() {
                     self.stats.actions_ok += 1;
+                    if let Some(o) = &self.observer {
+                        o.action_finished(true, ctx.now());
+                    }
                     ctx.trace("engine.action_ok", format!("{:?}", job.applet));
                     self.dispatches.remove(&dispatch);
                 } else if job.attempts <= self.config.action_retries {
                     // Retry after a backoff; the dispatch entry stays.
                     self.stats.actions_retried += 1;
-                    let backoff = SimDuration::from_secs_f64(
-                        self.config.retry_backoff.sample(ctx.rng()),
-                    );
+                    let backoff =
+                        SimDuration::from_secs_f64(self.config.retry_backoff.sample(ctx.rng()));
                     ctx.trace(
                         "engine.action_retry",
                         format!("{:?} attempt {} in {backoff}", job.applet, job.attempts + 1),
@@ -719,6 +803,9 @@ impl Node for TapEngine {
                     ctx.set_timer(backoff, TK_DISPATCH | dispatch);
                 } else {
                     self.stats.actions_failed += 1;
+                    if let Some(o) = &self.observer {
+                        o.action_finished(false, ctx.now());
+                    }
                     ctx.trace(
                         "engine.action_failed",
                         format!("{:?} status {}", job.applet, resp.status),
@@ -749,7 +836,9 @@ impl Node for TapEngine {
                     self.pending_oauth.remove(&seq);
                     return;
                 };
-                let Some(reg) = self.services.get(&service) else { return };
+                let Some(reg) = self.services.get(&service) else {
+                    return;
+                };
                 let node = reg.node;
                 let _ = user;
                 let req = Request::post("/oauth2/token")
@@ -759,12 +848,16 @@ impl Node for TapEngine {
                     node,
                     req,
                     Token(TAG_OAUTH_TOKEN | seq),
-                    RequestOpts { timeout: Some(timeout) },
+                    RequestOpts {
+                        timeout: Some(timeout),
+                    },
                 );
             }
             TAG_OAUTH_TOKEN => {
                 let seq = token.0 & !TAG_MASK;
-                let Some((user, service)) = self.pending_oauth.remove(&seq) else { return };
+                let Some((user, service)) = self.pending_oauth.remove(&seq) else {
+                    return;
+                };
                 if !resp.is_success() {
                     return;
                 }

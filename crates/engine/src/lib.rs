@@ -22,6 +22,7 @@ pub mod applet;
 pub mod conditions;
 pub mod engine;
 pub mod loopdetect;
+pub mod observer;
 pub mod permissions;
 pub mod polling;
 
@@ -31,5 +32,6 @@ pub use engine::{
     EngineConfig, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration, TapEngine,
 };
 pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
+pub use observer::EngineObserver;
 pub use permissions::{AuditEntry, Capability, Granularity, PermissionManager};
 pub use polling::PollPolicy;

@@ -142,8 +142,7 @@ impl StaticLoopDetector {
         // Keep only SCCs that contain a real loop.
         sccs.into_iter()
             .filter(|comp| {
-                comp.len() > 1
-                    || adj[comp[0]].contains(&comp[0]) // self-loop
+                comp.len() > 1 || adj[comp[0]].contains(&comp[0]) // self-loop
             })
             .map(|comp| {
                 let mut ids: Vec<AppletId> = comp.into_iter().map(|i| applets[i].id).collect();
@@ -218,14 +217,7 @@ mod tests {
     use crate::applet::{ActionRef, TriggerRef};
     use tap_protocol::{FieldMap, UserId};
 
-    fn applet(
-        id: u32,
-        owner: &str,
-        tsvc: &str,
-        trig: &str,
-        asvc: &str,
-        act: &str,
-    ) -> Applet {
+    fn applet(id: u32, owner: &str, tsvc: &str, trig: &str, asvc: &str, act: &str) -> Applet {
         Applet::new(
             AppletId(id),
             format!("applet{id}"),
@@ -305,7 +297,10 @@ mod tests {
         // the second edge; declaring it makes the loop visible.
         let a = applet(1, "u", "gmail", "any_new_email", "google_sheets", "add_row");
         let mut d = StaticLoopDetector::new();
-        assert!(d.find_cycles(std::slice::from_ref(&a)).is_empty(), "invisible without the rule");
+        assert!(
+            d.find_cycles(std::slice::from_ref(&a)).is_empty(),
+            "invisible without the rule"
+        );
         d.declare_feed(rule("google_sheets", "add_row", "gmail", "any_new_email"));
         assert_eq!(d.find_cycles(&[a]).len(), 1);
     }
@@ -314,7 +309,14 @@ mod tests {
     fn different_owners_do_not_chain() {
         let mut d = StaticLoopDetector::new();
         d.declare_feed(rule("gmail", "send_an_email", "gmail", "any_new_email"));
-        let a1 = applet(1, "alice", "gmail", "any_new_email", "gmail", "send_an_email");
+        let a1 = applet(
+            1,
+            "alice",
+            "gmail",
+            "any_new_email",
+            "gmail",
+            "send_an_email",
+        );
         let a2 = applet(2, "bob", "gmail", "any_new_email", "gmail", "send_an_email");
         // Each is a self-loop for its own account, but there is no
         // alice→bob edge.
@@ -330,7 +332,10 @@ mod tests {
         for i in 0..5 {
             assert_eq!(d.record(id, SimTime::from_secs(i)), RuntimeVerdict::Ok);
         }
-        assert_eq!(d.record(id, SimTime::from_secs(5)), RuntimeVerdict::LoopSuspected);
+        assert_eq!(
+            d.record(id, SimTime::from_secs(5)),
+            RuntimeVerdict::LoopSuspected
+        );
         assert!(d.is_flagged(id));
     }
 
@@ -348,8 +353,14 @@ mod tests {
     #[test]
     fn runtime_detector_separates_applets() {
         let mut d = RuntimeLoopDetector::new(1, SimDuration::from_secs(100));
-        assert_eq!(d.record(AppletId(1), SimTime::from_secs(0)), RuntimeVerdict::Ok);
-        assert_eq!(d.record(AppletId(2), SimTime::from_secs(0)), RuntimeVerdict::Ok);
+        assert_eq!(
+            d.record(AppletId(1), SimTime::from_secs(0)),
+            RuntimeVerdict::Ok
+        );
+        assert_eq!(
+            d.record(AppletId(2), SimTime::from_secs(0)),
+            RuntimeVerdict::Ok
+        );
         assert_eq!(
             d.record(AppletId(1), SimTime::from_secs(1)),
             RuntimeVerdict::LoopSuspected

@@ -1,0 +1,85 @@
+//! Engine instrumentation hooks.
+//!
+//! A fleet-scale run wants cheap, allocation-free counters out of the poll
+//! scheduler and the dispatcher without coupling the engine to any metrics
+//! crate. [`EngineObserver`] is that seam: the engine calls it at the four
+//! points a workload study cares about, and the implementor (e.g.
+//! `fleet::metrics::FleetMetrics`) aggregates however it likes. All methods
+//! default to no-ops, and an engine without an observer pays only an
+//! `Option` check.
+
+use simnet::time::SimTime;
+
+/// Callbacks fired by [`TapEngine`](crate::TapEngine) at its hot spots.
+///
+/// Implementations must be `Send + Sync`: fleet runs share one observer
+/// across every engine instance of a shard, and shards run on scoped
+/// threads.
+pub trait EngineObserver: Send + Sync + std::fmt::Debug {
+    /// A trigger poll request left the engine.
+    fn poll_sent(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A poll response yielded `new_events` previously unseen events
+    /// (zero for empty or all-duplicate responses).
+    fn poll_result(&self, new_events: u64, now: SimTime) {
+        let _ = (new_events, now);
+    }
+
+    /// A dispatch job was enqueued; `queue_depth` is the number of jobs
+    /// outstanding (including this one) right after the enqueue.
+    fn dispatch_enqueued(&self, queue_depth: usize, now: SimTime) {
+        let _ = (queue_depth, now);
+    }
+
+    /// An action request concluded (`ok` = 2xx response, `!ok` = gave up
+    /// after the configured retries).
+    fn action_finished(&self, ok: bool, now: SimTime) {
+        let _ = (ok, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug, Default)]
+    struct CountingObserver {
+        polls: AtomicU64,
+        actions: AtomicU64,
+    }
+
+    impl EngineObserver for CountingObserver {
+        fn poll_sent(&self, _now: SimTime) {
+            self.polls.fetch_add(1, Ordering::Relaxed);
+        }
+        fn action_finished(&self, ok: bool, _now: SimTime) {
+            if ok {
+                self.actions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    #[test]
+    fn default_methods_are_noops() {
+        #[derive(Debug)]
+        struct Inert;
+        impl EngineObserver for Inert {}
+        let o = Inert;
+        o.poll_sent(SimTime::ZERO);
+        o.poll_result(3, SimTime::ZERO);
+        o.dispatch_enqueued(1, SimTime::ZERO);
+        o.action_finished(true, SimTime::ZERO);
+    }
+
+    #[test]
+    fn observer_is_object_safe_and_countable() {
+        let o: Box<dyn EngineObserver> = Box::<CountingObserver>::default();
+        o.poll_sent(SimTime::ZERO);
+        o.poll_sent(SimTime::ZERO);
+        o.action_finished(true, SimTime::ZERO);
+        o.action_finished(false, SimTime::ZERO);
+    }
+}

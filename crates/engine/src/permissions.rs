@@ -98,7 +98,10 @@ impl PermissionManager {
     /// record the need and grant according to the granularity.
     pub fn request(&mut self, user: &UserId, service: &ServiceSlug, capability: Capability) {
         let key = (user.clone(), service.clone());
-        self.needed.entry(key.clone()).or_default().insert(capability.clone());
+        self.needed
+            .entry(key.clone())
+            .or_default()
+            .insert(capability.clone());
         let grant = self.granted.entry(key).or_default();
         match self.granularity {
             Granularity::ServiceLevel => {
@@ -116,7 +119,12 @@ impl PermissionManager {
     }
 
     /// Is `capability` currently granted?
-    pub fn is_granted(&self, user: &UserId, service: &ServiceSlug, capability: &Capability) -> bool {
+    pub fn is_granted(
+        &self,
+        user: &UserId,
+        service: &ServiceSlug,
+        capability: &Capability,
+    ) -> bool {
         self.granted
             .get(&(user.clone(), service.clone()))
             .is_some_and(|g| g.contains(capability))
@@ -175,7 +183,10 @@ mod tests {
         let user = UserId::new("u");
         pm.request(&user, &gmail, Capability::new("read_email"));
         for cap in gmail_catalog() {
-            assert!(pm.is_granted(&user, &gmail, &cap), "{cap:?} should be granted");
+            assert!(
+                pm.is_granted(&user, &gmail, &cap),
+                "{cap:?} should be granted"
+            );
         }
         let audit = pm.audit();
         assert_eq!(audit.len(), 1);

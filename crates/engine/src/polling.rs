@@ -22,7 +22,11 @@ pub enum PollPolicy {
     /// Production-IFTTT-like: gap drawn from `gap` (seconds), replaced with
     /// a draw from `backlog` with probability `backlog_prob` (modeling the
     /// high-workload episodes behind the paper's 14–15-minute outliers).
-    IftttLike { gap: Dist, backlog_prob: f64, backlog: Dist },
+    IftttLike {
+        gap: Dist,
+        backlog_prob: f64,
+        backlog: Dist,
+    },
     /// Fixed-interval polling (E3 uses one second).
     Fixed { seconds: f64 },
     /// Popularity-weighted polling under a global budget: applets in the
@@ -42,9 +46,16 @@ impl PollPolicy {
     /// calibration against Figures 4–6).
     pub fn ifttt_like() -> Self {
         PollPolicy::IftttLike {
-            gap: Dist::Normal { mean: 155.0, std: 30.0, min: 90.0 },
+            gap: Dist::Normal {
+                mean: 155.0,
+                std: 30.0,
+                min: 90.0,
+            },
             backlog_prob: 0.025,
-            backlog: Dist::Uniform { lo: 300.0, hi: 900.0 },
+            backlog: Dist::Uniform {
+                lo: 300.0,
+                hi: 900.0,
+            },
         }
     }
 
@@ -55,13 +66,21 @@ impl PollPolicy {
 
     /// The §6 smart policy with default knee values.
     pub fn smart(hot_threshold: u64) -> Self {
-        PollPolicy::Smart { hot_threshold, fast_seconds: 5.0, slow_seconds: 300.0 }
+        PollPolicy::Smart {
+            hot_threshold,
+            fast_seconds: 5.0,
+            slow_seconds: 300.0,
+        }
     }
 
     /// Draw the time until the next poll of `applet`.
     pub fn next_gap(&self, applet: &Applet, rng: &mut impl Rng) -> SimDuration {
         let secs = match self {
-            PollPolicy::IftttLike { gap, backlog_prob, backlog } => {
+            PollPolicy::IftttLike {
+                gap,
+                backlog_prob,
+                backlog,
+            } => {
                 if rng.gen::<f64>() < *backlog_prob {
                     backlog.sample(rng)
                 } else {
@@ -69,7 +88,11 @@ impl PollPolicy {
                 }
             }
             PollPolicy::Fixed { seconds } => *seconds,
-            PollPolicy::Smart { hot_threshold, fast_seconds, slow_seconds } => {
+            PollPolicy::Smart {
+                hot_threshold,
+                fast_seconds,
+                slow_seconds,
+            } => {
                 if applet.add_count >= *hot_threshold {
                     *fast_seconds
                 } else {
@@ -83,12 +106,20 @@ impl PollPolicy {
     /// Expected polls per second one applet costs under this policy.
     pub fn expected_rate(&self, applet: &Applet) -> f64 {
         match self {
-            PollPolicy::IftttLike { gap, backlog_prob, backlog } => {
+            PollPolicy::IftttLike {
+                gap,
+                backlog_prob,
+                backlog,
+            } => {
                 let mean = (1.0 - backlog_prob) * gap.mean() + backlog_prob * backlog.mean();
                 1.0 / mean
             }
             PollPolicy::Fixed { seconds } => 1.0 / seconds,
-            PollPolicy::Smart { hot_threshold, fast_seconds, slow_seconds } => {
+            PollPolicy::Smart {
+                hot_threshold,
+                fast_seconds,
+                slow_seconds,
+            } => {
                 if applet.add_count >= *hot_threshold {
                     1.0 / fast_seconds
                 } else {
@@ -133,7 +164,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let a = applet(0);
         let n = 2_000;
-        let mut gaps: Vec<f64> = (0..n).map(|_| p.next_gap(&a, &mut rng).as_secs_f64()).collect();
+        let mut gaps: Vec<f64> = (0..n)
+            .map(|_| p.next_gap(&a, &mut rng).as_secs_f64())
+            .collect();
         gaps.sort_by(|x, y| x.partial_cmp(y).unwrap());
         let median = gaps[n / 2];
         assert!((120.0..200.0).contains(&median), "median gap {median}");

@@ -29,7 +29,10 @@ fn build_a2(config: EngineConfig, seed: u64) -> A2World {
     let switch = sim.add_node("wemo", WemoSwitch::new("wemo_switch_1", "author"));
     // Vendor clouds.
     let hue_svc = sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
-    let wemo_svc = sim.add_node("wemo_service", WemoService::new(ServiceKey("sk_wemo".into())));
+    let wemo_svc = sim.add_node(
+        "wemo_service",
+        WemoService::new(ServiceKey("sk_wemo".into())),
+    );
     // Engine.
     let engine = sim.add_node("engine", TapEngine::new(config));
     // Topology: home gateway links devices to the WAN clouds.
@@ -42,12 +45,17 @@ fn build_a2(config: EngineConfig, seed: u64) -> A2World {
     sim.link(engine, wemo_svc, LinkSpec::datacenter());
     // Vendor pairings.
     sim.node_mut::<HueHub>(hub).allow_only(vec![hue_svc]);
-    sim.node_mut::<WemoSwitch>(switch).allow_only(vec![wemo_svc]);
+    sim.node_mut::<WemoSwitch>(switch)
+        .allow_only(vec![wemo_svc]);
     sim.node_mut::<WemoSwitch>(switch).observe(wemo_svc);
     sim.with_node::<HueService, _>(hue_svc, |s, _| {
         s.add_account(
             UserId::new("author"),
-            HueAccount { hub, username: "hueuser".into(), lamp_device: "hue_lamp_1".into() },
+            HueAccount {
+                hub,
+                username: "hueuser".into(),
+                lamp_device: "hue_lamp_1".into(),
+            },
         );
     });
     sim.with_node::<WemoService, _>(wemo_svc, |s, _| {
@@ -62,16 +70,33 @@ fn build_a2(config: EngineConfig, seed: u64) -> A2World {
         s.core.endpoint.oauth.mint_token(author.clone(), ctx.rng())
     });
     sim.with_node::<TapEngine, _>(engine, |e, _| {
-        e.register_service(ServiceSlug::new(HueService::SLUG), hue_svc, ServiceKey("sk_hue".into()));
+        e.register_service(
+            ServiceSlug::new(HueService::SLUG),
+            hue_svc,
+            ServiceKey("sk_hue".into()),
+        );
         e.register_service(
             ServiceSlug::new(WemoService::SLUG),
             wemo_svc,
             ServiceKey("sk_wemo".into()),
         );
-        e.set_token(author.clone(), ServiceSlug::new(HueService::SLUG), hue_token);
-        e.set_token(author.clone(), ServiceSlug::new(WemoService::SLUG), wemo_token);
+        e.set_token(
+            author.clone(),
+            ServiceSlug::new(HueService::SLUG),
+            hue_token,
+        );
+        e.set_token(
+            author.clone(),
+            ServiceSlug::new(WemoService::SLUG),
+            wemo_token,
+        );
     });
-    A2World { sim, engine, switch, lamp: lamps[0] }
+    A2World {
+        sim,
+        engine,
+        switch,
+        lamp: lamps[0],
+    }
 }
 
 struct Passive;
@@ -98,18 +123,22 @@ fn a2_applet() -> Applet {
 #[test]
 fn a2_executes_end_to_end_with_fast_polling() {
     let mut w = build_a2(EngineConfig::fast(), 7);
-    let installed = w.sim.with_node::<TapEngine, _>(w.engine, |e, ctx| {
-        e.install_applet(ctx, a2_applet())
-    });
+    let installed = w
+        .sim
+        .with_node::<TapEngine, _>(w.engine, |e, ctx| e.install_applet(ctx, a2_applet()));
     assert!(installed.is_ok());
     // Let the first poll learn the subscription.
     w.sim.run_until(SimTime::from_secs(5));
     assert!(!w.sim.node_ref::<HueLamp>(w.lamp).state.on);
     // Activate the trigger.
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     // With 1-second polling the light must be on within a few seconds.
     w.sim.run_until(SimTime::from_secs(10));
-    assert!(w.sim.node_ref::<HueLamp>(w.lamp).state.on, "lamp should be on");
+    assert!(
+        w.sim.node_ref::<HueLamp>(w.lamp).state.on,
+        "lamp should be on"
+    );
     let stats = w.sim.node_ref::<TapEngine>(w.engine).stats;
     assert_eq!(stats.events_new, 1);
     assert_eq!(stats.actions_ok, 1);
@@ -127,7 +156,8 @@ fn trigger_to_action_latency_is_poll_bound() {
     });
     w.sim.run_until(SimTime::from_secs(30));
     let t_trigger = w.sim.now();
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     w.sim.run_until(SimTime::from_secs(60));
     let lamp_on = w
         .sim
@@ -153,7 +183,8 @@ fn duplicate_events_are_not_redispatched() {
         e.install_applet(ctx, a2_applet()).unwrap();
     });
     w.sim.run_until(SimTime::from_secs(5));
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     // Many poll rounds at 1-second interval.
     w.sim.run_until(SimTime::from_secs(60));
     let stats = w.sim.node_ref::<TapEngine>(w.engine).stats;
@@ -190,8 +221,10 @@ fn disabled_applet_stops_executing() {
         .with_node::<TapEngine, _>(w.engine, |e, ctx| e.install_applet(ctx, a2_applet()))
         .unwrap();
     w.sim.run_until(SimTime::from_secs(5));
-    w.sim.with_node::<TapEngine, _>(w.engine, |e, ctx| e.set_enabled(ctx, id, false));
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<TapEngine, _>(w.engine, |e, ctx| e.set_enabled(ctx, id, false));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     w.sim.run_until(SimTime::from_secs(30));
     assert!(!w.sim.node_ref::<HueLamp>(w.lamp).state.on);
     assert_eq!(w.sim.node_ref::<TapEngine>(w.engine).stats.actions_sent, 0);
@@ -234,7 +267,11 @@ fn alexa_realtime_hints_cut_latency() {
         sim.with_node::<HueService, _>(hue_svc, |s, _| {
             s.add_account(
                 UserId::new("author"),
-                HueAccount { hub, username: "hueuser".into(), lamp_device: "hue_lamp_1".into() },
+                HueAccount {
+                    hub,
+                    username: "hueuser".into(),
+                    lamp_device: "hue_lamp_1".into(),
+                },
             );
         });
         let author = UserId::new("author");
@@ -246,14 +283,26 @@ fn alexa_realtime_hints_cut_latency() {
             s.core.endpoint.oauth.mint_token(author.clone(), ctx.rng())
         });
         sim.with_node::<TapEngine, _>(engine, |e, _| {
-            e.register_service(ServiceSlug::new(HueService::SLUG), hue_svc, ServiceKey("sk_hue".into()));
+            e.register_service(
+                ServiceSlug::new(HueService::SLUG),
+                hue_svc,
+                ServiceKey("sk_hue".into()),
+            );
             e.register_service(
                 ServiceSlug::new(AlexaService::SLUG),
                 alexa,
                 ServiceKey("sk_alexa".into()),
             );
-            e.set_token(author.clone(), ServiceSlug::new(HueService::SLUG), hue_token);
-            e.set_token(author.clone(), ServiceSlug::new(AlexaService::SLUG), alexa_token);
+            e.set_token(
+                author.clone(),
+                ServiceSlug::new(HueService::SLUG),
+                hue_token,
+            );
+            e.set_token(
+                author.clone(),
+                ServiceSlug::new(AlexaService::SLUG),
+                alexa_token,
+            );
         });
         let mut fields = FieldMap::new();
         fields.insert("phrase".into(), "movie time".into());
@@ -295,7 +344,10 @@ fn alexa_realtime_hints_cut_latency() {
     let hinted = run(true, 21);
     let unhinted = run(false, 22);
     assert!(hinted < SimDuration::from_secs(10), "hinted t2a = {hinted}");
-    assert!(unhinted > SimDuration::from_secs(30), "unhinted t2a = {unhinted}");
+    assert!(
+        unhinted > SimDuration::from_secs(30),
+        "unhinted t2a = {unhinted}"
+    );
 }
 
 #[test]
@@ -313,7 +365,8 @@ fn conditions_filter_dispatches() {
     });
     w.sim.run_until(SimTime::from_secs(5));
     // Physical press: the condition holds, the lamp turns on.
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     w.sim.run_until(SimTime::from_secs(15));
     assert!(w.sim.node_ref::<HueLamp>(w.lamp).state.on);
     let stats = w.sim.node_ref::<TapEngine>(w.engine).stats;
@@ -333,13 +386,20 @@ fn failing_condition_suppresses_the_action() {
         e.install_applet(ctx, applet).unwrap();
     });
     w.sim.run_until(SimTime::from_secs(5));
-    w.sim.with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
+    w.sim
+        .with_node::<WemoSwitch, _>(w.switch, |s, ctx| s.press(ctx));
     w.sim.run_until(SimTime::from_secs(15));
-    assert!(!w.sim.node_ref::<HueLamp>(w.lamp).state.on, "action must be filtered");
+    assert!(
+        !w.sim.node_ref::<HueLamp>(w.lamp).state.on,
+        "action must be filtered"
+    );
     let stats = w.sim.node_ref::<TapEngine>(w.engine).stats;
     assert_eq!(stats.actions_sent, 0);
     assert_eq!(stats.actions_filtered, 1);
     // The event is consumed, not retried forever.
     w.sim.run_until(SimTime::from_secs(60));
-    assert_eq!(w.sim.node_ref::<TapEngine>(w.engine).stats.actions_filtered, 1);
+    assert_eq!(
+        w.sim.node_ref::<TapEngine>(w.engine).stats.actions_filtered,
+        1
+    );
 }

@@ -1,0 +1,564 @@
+//! Lock-free, exactly-mergeable metric instruments.
+//!
+//! Everything here is integer state updated with relaxed atomic adds (plus
+//! atomic min/max), so recording commutes *exactly*: merging two
+//! instruments is element-wise addition (min/max for the extrema), and the
+//! merged result is byte-identical no matter how samples were partitioned
+//! across shards or in what order shards merged. That is the property the
+//! fleet's determinism invariant rests on — `Vec<f64>` sample lists, by
+//! contrast, are order-dependent and unbounded.
+//!
+//! The histogram is log-linear (HDR-style): exact unit buckets below
+//! 2^[`SUB_BITS`], then [`SUB_BUCKETS`] sub-buckets per power of two, for a
+//! worst-case relative quantile error of 1/[`SUB_BUCKETS`] ≈ 3%. Latencies
+//! are recorded in integer microseconds.
+
+use serde::de;
+use serde::{Deserialize, Serialize, Value};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two.
+pub const SUB_BITS: u32 = 5;
+/// Sub-buckets per octave.
+pub const SUB_BUCKETS: usize = 1 << SUB_BITS;
+/// Total bucket count: the exact octave-0 row plus one row per octave for
+/// msb positions [`SUB_BITS`]..=63.
+pub const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB_BUCKETS;
+
+/// A monotone event counter. `merge_from` is exact addition.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Counter::default()
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Fold `other` into `self` (exact; commutative and associative).
+    pub fn merge_from(&self, other: &Counter) {
+        self.add(other.get());
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+impl PartialEq for Counter {
+    fn eq(&self, other: &Self) -> bool {
+        self.get() == other.get()
+    }
+}
+
+impl Serialize for Counter {
+    fn to_value(&self) -> Value {
+        self.get().to_value()
+    }
+}
+
+impl Deserialize for Counter {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Counter(AtomicU64::new(u64::from_value(v)?)))
+    }
+}
+
+/// Map a value to its bucket index.
+fn bucket_of(v: u64) -> usize {
+    if v < (1 << SUB_BITS) {
+        return v as usize; // exact unit buckets
+    }
+    let msb = 63 - v.leading_zeros(); // msb >= SUB_BITS
+    let octave = (msb - SUB_BITS + 1) as usize;
+    let sub = ((v >> (msb - SUB_BITS)) as usize) - SUB_BUCKETS;
+    octave * SUB_BUCKETS + sub
+}
+
+/// Upper bound (inclusive) of bucket `index`.
+fn bucket_bound(index: usize) -> u64 {
+    if index < SUB_BUCKETS {
+        return index as u64;
+    }
+    let octave = (index / SUB_BUCKETS) as u32;
+    let sub = (index % SUB_BUCKETS) as u64;
+    let width = 1u64 << (octave - 1);
+    // `lower + (width - 1)`; grouped so the top bucket's bound (u64::MAX)
+    // does not overflow mid-expression.
+    (SUB_BUCKETS as u64 + sub) * width + (width - 1)
+}
+
+/// A lock-free log-linear histogram over `u64` values.
+///
+/// Recording is a single relaxed `fetch_add`; merging adds bucket counts
+/// element-wise and takes min/max of the exact extrema. Two histograms fed
+/// the same multiset of values — in any order, through any partition —
+/// are `==` and serialize to identical bytes.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one value.
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Record a latency given in seconds (stored as microseconds).
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e6).round() as u64);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Exact minimum (0 when empty).
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    /// Exact maximum (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// The value at quantile `q` ∈ [0, 1]: the upper bound of the bucket
+    /// holding the ⌈q·n⌉-th smallest sample (≤ 1/32 relative error).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_bound(i).min(self.max());
+            }
+        }
+        self.max()
+    }
+
+    /// `(upper_bound, cumulative_fraction)` per non-empty bucket — an
+    /// empirical CDF at bucket resolution.
+    pub fn cdf_points(&self) -> Vec<(u64, f64)> {
+        let n = self.count();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut seen = 0u64;
+        let mut points = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                seen += c;
+                points.push((bucket_bound(i), seen as f64 / n as f64));
+            }
+        }
+        points
+    }
+
+    /// Fold `other` into `self` (exact; commutative and associative).
+    pub fn merge_from(&self, other: &Histogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count.fetch_add(other.count(), Ordering::Relaxed);
+        self.sum.fetch_add(other.sum(), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max.fetch_max(other.max(), Ordering::Relaxed);
+    }
+
+    /// Plain-data snapshot (sparse buckets) for serialization/compare.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((i as u32, c))
+            })
+            .collect();
+        HistogramSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            buckets,
+        }
+    }
+
+    /// Rebuild from a snapshot.
+    pub fn from_snapshot(s: &HistogramSnapshot) -> Self {
+        let h = Histogram::new();
+        for &(i, c) in &s.buckets {
+            h.buckets[i as usize].store(c, Ordering::Relaxed);
+        }
+        h.count.store(s.count, Ordering::Relaxed);
+        h.sum.store(s.sum, Ordering::Relaxed);
+        h.min.store(
+            if s.count == 0 { u64::MAX } else { s.min },
+            Ordering::Relaxed,
+        );
+        h.max.store(s.max, Ordering::Relaxed);
+        h
+    }
+}
+
+impl Clone for Histogram {
+    fn clone(&self) -> Self {
+        Histogram::from_snapshot(&self.snapshot())
+    }
+}
+
+impl PartialEq for Histogram {
+    fn eq(&self, other: &Self) -> bool {
+        self.snapshot() == other.snapshot()
+    }
+}
+
+impl Serialize for Histogram {
+    fn to_value(&self) -> Value {
+        self.snapshot().to_value()
+    }
+}
+
+impl Deserialize for Histogram {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Histogram::from_snapshot(&HistogramSnapshot::from_value(v)?))
+    }
+}
+
+/// Serializable mirror of a [`Histogram`]: sparse `(bucket, count)` pairs
+/// plus the exact count/sum/min/max.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// The full instrument set one fleet run records.
+///
+/// One `FleetMetrics` is shared (via `Arc`) by every engine and workload
+/// service of a shard; shards then merge into a single instance. It also
+/// implements [`engine::EngineObserver`], so the engine's poll scheduler
+/// and dispatcher feed it directly.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetMetrics {
+    /// Trigger-to-action latency in µs, measured at the workload service
+    /// (event emission → action request arrival).
+    pub t2a_micros: Histogram,
+    /// Dispatch-queue depth observed at each enqueue.
+    pub dispatch_depth: Histogram,
+    /// Trigger polls the engines sent.
+    pub polls_sent: Counter,
+    /// New (previously unseen) trigger events returned by polls.
+    pub events_new: Counter,
+    /// Action requests acknowledged with success.
+    pub actions_ok: Counter,
+    /// Action requests that gave up after retries.
+    pub actions_failed: Counter,
+    /// Trigger activations fired into the workload services.
+    pub activations: Counter,
+    /// Activations with no action by the cell horizon.
+    pub lost: Counter,
+    /// Simulation kernel events processed across all cells.
+    pub sim_events: Counter,
+    /// Kernel events attributed to engine nodes specifically.
+    pub engine_events: Counter,
+    /// Cells simulated.
+    pub cells: Counter,
+    /// User channels simulated.
+    pub users: Counter,
+    /// Applets installed.
+    pub applets: Counter,
+}
+
+impl FleetMetrics {
+    /// A zeroed instrument set.
+    pub fn new() -> Self {
+        FleetMetrics::default()
+    }
+
+    /// Fold `other` into `self`. Exact: commutative, associative, and
+    /// partition-invariant.
+    pub fn merge_from(&self, other: &FleetMetrics) {
+        self.t2a_micros.merge_from(&other.t2a_micros);
+        self.dispatch_depth.merge_from(&other.dispatch_depth);
+        self.polls_sent.merge_from(&other.polls_sent);
+        self.events_new.merge_from(&other.events_new);
+        self.actions_ok.merge_from(&other.actions_ok);
+        self.actions_failed.merge_from(&other.actions_failed);
+        self.activations.merge_from(&other.activations);
+        self.lost.merge_from(&other.lost);
+        self.sim_events.merge_from(&other.sim_events);
+        self.engine_events.merge_from(&other.engine_events);
+        self.cells.merge_from(&other.cells);
+        self.users.merge_from(&other.users);
+        self.applets.merge_from(&other.applets);
+    }
+
+    /// Canonical JSON of the full instrument state — the byte string the
+    /// determinism invariant compares across shard counts.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("metrics serialize")
+    }
+}
+
+impl engine::EngineObserver for FleetMetrics {
+    fn poll_sent(&self, _now: simnet::time::SimTime) {
+        self.polls_sent.incr();
+    }
+
+    fn poll_result(&self, new_events: u64, _now: simnet::time::SimTime) {
+        self.events_new.add(new_events);
+    }
+
+    fn dispatch_enqueued(&self, queue_depth: usize, _now: simnet::time::SimTime) {
+        self.dispatch_depth.record(queue_depth as u64);
+    }
+
+    fn action_finished(&self, ok: bool, _now: simnet::time::SimTime) {
+        if ok {
+            self.actions_ok.incr();
+        } else {
+            self.actions_failed.incr();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bucket_layout_is_contiguous_and_monotone() {
+        // Every value maps into a bucket whose bound is >= the value and
+        // bucket bounds strictly increase with the index.
+        let mut prev = 0u64;
+        for i in 1..BUCKETS {
+            let b = bucket_bound(i);
+            assert!(b > prev, "bound({i}) = {b} <= bound({}) = {prev}", i - 1);
+            prev = b;
+        }
+        for v in [0u64, 1, 31, 32, 33, 63, 64, 1000, u64::MAX / 2, u64::MAX] {
+            let i = bucket_of(v);
+            assert!(bucket_bound(i) >= v, "v={v} i={i}");
+            if i > 0 {
+                assert!(bucket_bound(i - 1) < v, "v={v} below bucket {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_error_is_bounded() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.25, 2_500.0), (0.5, 5_000.0), (0.95, 9_500.0)] {
+            let got = h.quantile(q) as f64;
+            let rel = (got - exact).abs() / exact;
+            assert!(rel < 0.04, "q={q}: got {got}, exact {exact}, rel {rel}");
+        }
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+        assert_eq!(h.count(), 10_000);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_json() {
+        let h = Histogram::new();
+        for v in [0u64, 5, 1_000, 123_456_789] {
+            h.record(v);
+        }
+        let json = serde_json::to_string(&h).unwrap();
+        let back: Histogram = serde_json::from_str(&json).unwrap();
+        assert_eq!(h, back);
+        let empty: Histogram =
+            serde_json::from_str(&serde_json::to_string(&Histogram::new()).unwrap()).unwrap();
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn observer_hooks_feed_the_right_instruments() {
+        use engine::EngineObserver;
+        let m = FleetMetrics::new();
+        let t = simnet::time::SimTime::ZERO;
+        m.poll_sent(t);
+        m.poll_result(3, t);
+        m.dispatch_enqueued(7, t);
+        m.action_finished(true, t);
+        m.action_finished(false, t);
+        assert_eq!(m.polls_sent.get(), 1);
+        assert_eq!(m.events_new.get(), 3);
+        assert_eq!(m.dispatch_depth.max(), 7);
+        assert_eq!(m.actions_ok.get(), 1);
+        assert_eq!(m.actions_failed.get(), 1);
+    }
+
+    fn hist_of(values: &[u64]) -> Histogram {
+        let h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn counter_merge_is_exact(xs in proptest::collection::vec(0u64..1_000_000, 0..20),
+                                  ys in proptest::collection::vec(0u64..1_000_000, 0..20)) {
+            let a = Counter::new();
+            for &x in &xs { a.add(x); }
+            let b = Counter::new();
+            for &y in &ys { b.add(y); }
+            a.merge_from(&b);
+            let expect: u64 = xs.iter().chain(ys.iter()).sum();
+            prop_assert_eq!(a.get(), expect);
+        }
+
+        #[test]
+        fn histogram_merge_is_commutative(xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+                                          ys in proptest::collection::vec(0u64..1_000_000_000, 0..40)) {
+            let ab = hist_of(&xs);
+            ab.merge_from(&hist_of(&ys));
+            let ba = hist_of(&ys);
+            ba.merge_from(&hist_of(&xs));
+            prop_assert_eq!(ab.snapshot(), ba.snapshot());
+        }
+
+        #[test]
+        fn histogram_merge_is_associative(xs in proptest::collection::vec(0u64..1_000_000_000, 0..30),
+                                          ys in proptest::collection::vec(0u64..1_000_000_000, 0..30),
+                                          zs in proptest::collection::vec(0u64..1_000_000_000, 0..30)) {
+            // (x ⊕ y) ⊕ z
+            let left = hist_of(&xs);
+            left.merge_from(&hist_of(&ys));
+            left.merge_from(&hist_of(&zs));
+            // x ⊕ (y ⊕ z)
+            let yz = hist_of(&ys);
+            yz.merge_from(&hist_of(&zs));
+            let right = hist_of(&xs);
+            right.merge_from(&yz);
+            prop_assert_eq!(left.snapshot(), right.snapshot());
+        }
+
+        #[test]
+        fn merged_equals_union_recording(xs in proptest::collection::vec(0u64..1_000_000_000, 0..40),
+                                         ys in proptest::collection::vec(0u64..1_000_000_000, 0..40)) {
+            // Partitioned recording + merge == recording the union into one
+            // histogram: identical buckets, hence identical quantiles.
+            let merged = hist_of(&xs);
+            merged.merge_from(&hist_of(&ys));
+            let union: Vec<u64> = xs.iter().chain(ys.iter()).copied().collect();
+            let whole = hist_of(&union);
+            prop_assert_eq!(merged.snapshot(), whole.snapshot());
+            for q in [0.0, 0.25, 0.5, 0.75, 0.95, 1.0] {
+                prop_assert_eq!(merged.quantile(q), whole.quantile(q));
+            }
+        }
+
+        #[test]
+        fn fleet_metrics_merge_is_partition_invariant(
+            vals in proptest::collection::vec((0u64..10_000_000, 0usize..16), 1..60),
+            split in 0usize..60,
+        ) {
+            let split = split.min(vals.len());
+            // Record (t2a, depth) pairs either into one instance or into
+            // two partitions that are then merged.
+            let whole = FleetMetrics::new();
+            let a = FleetMetrics::new();
+            let b = FleetMetrics::new();
+            for (i, &(t2a, depth)) in vals.iter().enumerate() {
+                let part = if i < split { &a } else { &b };
+                for m in [&whole, part] {
+                    m.t2a_micros.record(t2a);
+                    m.dispatch_depth.record(depth as u64);
+                    m.polls_sent.incr();
+                }
+            }
+            let merged = FleetMetrics::new();
+            merged.merge_from(&a);
+            merged.merge_from(&b);
+            prop_assert_eq!(merged.to_json(), whole.to_json());
+        }
+    }
+}

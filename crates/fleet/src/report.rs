@@ -1,0 +1,204 @@
+//! Merged fleet reports and the determinism digest.
+//!
+//! A [`FleetReport`] separates two kinds of data on purpose:
+//!
+//! * the **merged metrics** — a pure function of `(master_seed, users,
+//!   policy, catalog)`; byte-identical across shard counts, machines, and
+//!   runs. [`FleetReport::digest`] fingerprints exactly this part.
+//! * **execution facts** — per-shard wall-clock, shard count, throughput —
+//!   which describe *this* run of the work and are excluded from the
+//!   digest.
+
+use crate::metrics::FleetMetrics;
+use serde::{Deserialize, Serialize};
+
+/// What one shard contributed (execution facts, not simulation outcomes).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardSummary {
+    pub shard: usize,
+    pub cells: usize,
+    pub users: u64,
+    /// Simulation events this shard processed across its cells.
+    pub sim_events: u64,
+    /// Wall-clock seconds this shard's worker ran.
+    pub wall_secs: f64,
+}
+
+/// The outcome of a fleet run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    pub users: u64,
+    pub shards: usize,
+    pub policy: String,
+    pub master_seed: u64,
+    /// Add-count knee used by the smart policy (informational otherwise).
+    pub hot_threshold: u64,
+    /// Exactly-merged instruments from every shard.
+    pub merged: FleetMetrics,
+    pub per_shard: Vec<ShardSummary>,
+    /// End-to-end wall-clock seconds (plan + run + merge).
+    pub wall_secs: f64,
+}
+
+/// The paper's Figure 4 trigger-to-action quartiles for polling-bound
+/// applets: 58 / 84 / 122 seconds (§4).
+pub const PAPER_T2A_QUARTILES_SECS: (f64, f64, f64) = (58.0, 84.0, 122.0);
+
+impl FleetReport {
+    /// The deterministic part of the report, serialized.
+    pub fn merged_json(&self) -> String {
+        self.merged.to_json()
+    }
+
+    /// FNV-1a fingerprint of [`FleetReport::merged_json`]. Two runs with
+    /// the same master seed and population must produce the same digest no
+    /// matter how many shards executed them.
+    pub fn digest(&self) -> String {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.merged_json().as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        format!("{h:016x}")
+    }
+
+    /// Merged T2A 25th/50th/75th percentiles in seconds.
+    pub fn t2a_quartiles_secs(&self) -> (f64, f64, f64) {
+        let q = |p| self.merged.t2a_micros.quantile(p) as f64 / 1e6;
+        (q(0.25), q(0.5), q(0.75))
+    }
+
+    /// Simulation events processed per wall-clock second, across shards.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.merged.sim_events.get() as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Human-readable summary, including the paper comparison.
+    pub fn render(&self) -> String {
+        let m = &self.merged;
+        let (p25, p50, p75) = self.t2a_quartiles_secs();
+        let (e25, e50, e75) = PAPER_T2A_QUARTILES_SECS;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fleet run: {} users, {} shards, policy {}, seed {}\n",
+            self.users, self.shards, self.policy, self.master_seed
+        ));
+        out.push_str(&format!(
+            "  cells {}  applets {}  activations {}  lost {}\n",
+            m.cells.get(),
+            m.applets.get(),
+            m.activations.get(),
+            m.lost.get()
+        ));
+        out.push_str(&format!(
+            "  polls {}  new events {}  actions ok/failed {}/{}\n",
+            m.polls_sent.get(),
+            m.events_new.get(),
+            m.actions_ok.get(),
+            m.actions_failed.get()
+        ));
+        out.push_str(&format!(
+            "  T2A quartiles {p25:.0}/{p50:.0}/{p75:.0} s  (paper Fig. 4: {e25:.0}/{e50:.0}/{e75:.0} s)  n={}\n",
+            m.t2a_micros.count()
+        ));
+        out.push_str(&format!(
+            "  dispatch queue depth p50/p99 {}/{}\n",
+            m.dispatch_depth.quantile(0.5),
+            m.dispatch_depth.quantile(0.99)
+        ));
+        out.push_str(&format!(
+            "  {} sim events in {:.1} s wall ({:.0} events/s)  digest {}\n",
+            m.sim_events.get(),
+            self.wall_secs,
+            self.events_per_sec(),
+            self.digest()
+        ));
+        for s in &self.per_shard {
+            out.push_str(&format!(
+                "    shard {}: {} cells, {} users, {} events, {:.1} s\n",
+                s.shard, s.cells, s.users, s.sim_events, s.wall_secs
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(metrics: FleetMetrics) -> FleetReport {
+        FleetReport {
+            users: 10,
+            shards: 2,
+            policy: "fast".into(),
+            master_seed: 1,
+            hot_threshold: 100,
+            merged: metrics,
+            per_shard: vec![],
+            wall_secs: 2.0,
+        }
+    }
+
+    #[test]
+    fn digest_tracks_only_the_merged_metrics() {
+        let m = FleetMetrics::default();
+        m.t2a_micros.record(84_000_000);
+        m.polls_sent.add(5);
+        let a = report_with(m.clone());
+        let mut b = report_with(m);
+        // Execution facts differ; the digest must not.
+        b.shards = 7;
+        b.wall_secs = 99.0;
+        b.per_shard.push(ShardSummary {
+            shard: 0,
+            cells: 1,
+            users: 10,
+            sim_events: 1,
+            wall_secs: 99.0,
+        });
+        assert_eq!(a.digest(), b.digest());
+        // But a metrics change does move it.
+        b.merged.polls_sent.incr();
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn quartiles_convert_to_seconds() {
+        let m = FleetMetrics::default();
+        for s in [58u64, 84, 122] {
+            m.t2a_micros.record(s * 1_000_000);
+        }
+        let (p25, p50, p75) = report_with(m).t2a_quartiles_secs();
+        assert!((p25 - 58.0).abs() / 58.0 < 0.05, "p25 {p25}");
+        assert!((p50 - 84.0).abs() / 84.0 < 0.05, "p50 {p50}");
+        assert!((p75 - 122.0).abs() / 122.0 < 0.05, "p75 {p75}");
+    }
+
+    #[test]
+    fn render_mentions_the_essentials() {
+        let m = FleetMetrics::default();
+        m.t2a_micros.record(84_000_000);
+        let r = report_with(m);
+        let text = r.render();
+        assert!(text.contains("10 users"));
+        assert!(text.contains("paper"));
+        assert!(text.contains(&r.digest()));
+    }
+
+    #[test]
+    fn report_serializes_round_trip() {
+        let m = FleetMetrics::default();
+        m.t2a_micros.record(1234);
+        m.cells.incr();
+        let r = report_with(m);
+        let json = serde_json::to_string(&r).expect("serializes");
+        let back: FleetReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back.merged, r.merged);
+        assert_eq!(back.users, r.users);
+    }
+}

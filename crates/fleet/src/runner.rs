@@ -1,0 +1,285 @@
+//! Scoped-thread execution of a sharded fleet run.
+//!
+//! [`run_fleet`] plans the population into cells, deals the cells across
+//! shards round-robin, and runs one worker thread per shard on
+//! [`std::thread::scope`]. Each shard owns a private [`FleetMetrics`]
+//! accumulator and simulates its cells **one at a time**, so per-shard
+//! memory is bounded by a single cell's simulation (≤ [`FleetConfig::
+//! cell_users`] users) regardless of the total population. Progress flows
+//! back over an [`mpsc`] channel and is surfaced through the caller's
+//! callback; when the workers finish, their accumulators merge — in shard
+//! order, though order cannot matter — into one [`FleetReport`].
+
+use crate::cell::run_cell;
+use crate::metrics::FleetMetrics;
+use crate::report::{FleetReport, ShardSummary};
+use crate::shard::{assign_round_robin, plan_cells};
+use ecosystem::{Ecosystem, GeneratorConfig, PopulationSampler};
+use engine::{EngineConfig, PollPolicy};
+use simnet::rng::derive_seed;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seed stream for the generated ecosystem catalog.
+const ECO_STREAM: u64 = 0xec0_0001;
+/// Seed stream for the population sampler.
+const POP_STREAM: u64 = 0xb0b_0001;
+
+/// Which poll policy the fleet's engines run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// Production-like jittered minutes-scale polling (§4's measured IFTTT).
+    IftttLike,
+    /// The authors' 1-second-polling engine (E3).
+    Fast,
+    /// §6 popularity-weighted polling; the hot threshold is the p90 knee
+    /// of the catalog's add counts.
+    Smart,
+}
+
+impl FleetPolicy {
+    /// Parse a CLI policy name.
+    pub fn parse(s: &str) -> Option<FleetPolicy> {
+        match s {
+            "ifttt" => Some(FleetPolicy::IftttLike),
+            "fast" => Some(FleetPolicy::Fast),
+            "smart" => Some(FleetPolicy::Smart),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this policy.
+    pub fn name(self) -> &'static str {
+        match self {
+            FleetPolicy::IftttLike => "ifttt",
+            FleetPolicy::Fast => "fast",
+            FleetPolicy::Smart => "smart",
+        }
+    }
+}
+
+impl std::fmt::Display for FleetPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Everything a fleet run needs; [`FleetConfig::new`] picks defaults that
+/// scale from smoke tests to the million-user run.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Total synthetic user channels.
+    pub users: u64,
+    /// Worker threads; outcome-invariant (only wall-clock changes).
+    pub shards: usize,
+    /// Poll policy for every cell engine.
+    pub policy: FleetPolicy,
+    /// Master seed; cells derive theirs as `(master, CELL_STREAM_BASE+i)`.
+    pub master_seed: u64,
+    /// Generator scale of the applet catalog users install from.
+    pub eco_scale: f64,
+    /// Users per cell — the unit of work and the per-shard memory bound.
+    pub cell_users: u64,
+    /// Seconds before activations start (initial polls establish
+    /// subscriptions during this time).
+    pub settle_secs: f64,
+    /// Width of the randomized activation window (seconds).
+    pub window_secs: f64,
+    /// Seconds after the window closes before a cell stops; events still
+    /// undelivered then count as lost.
+    pub drain_secs: f64,
+    /// Smart policy's hot threshold; `None` derives the p90 add-count knee.
+    pub hot_threshold: Option<u64>,
+}
+
+impl FleetConfig {
+    /// Defaults for a run of `users` across `shards` workers. The drain is
+    /// policy-aware: production-like polling needs to survive a full
+    /// backlog gap (up to 900 s), the 1-second poller needs almost none.
+    pub fn new(users: u64, shards: usize, policy: FleetPolicy) -> FleetConfig {
+        FleetConfig {
+            users,
+            shards: shards.max(1),
+            policy,
+            master_seed: 2017,
+            eco_scale: 0.02,
+            cell_users: 50,
+            settle_secs: 10.0,
+            window_secs: 240.0,
+            drain_secs: match policy {
+                FleetPolicy::Fast => 30.0,
+                FleetPolicy::IftttLike | FleetPolicy::Smart => 1000.0,
+            },
+            hot_threshold: None,
+        }
+    }
+
+    /// The engine configuration every cell runs.
+    pub(crate) fn engine_config(&self) -> EngineConfig {
+        match self.policy {
+            FleetPolicy::IftttLike => EngineConfig::default(),
+            FleetPolicy::Fast => EngineConfig::fast(),
+            FleetPolicy::Smart => EngineConfig {
+                polling: PollPolicy::smart(self.hot_threshold.unwrap_or(1)),
+                ..EngineConfig::default()
+            },
+        }
+    }
+}
+
+/// A progress beat from a shard worker.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    pub shard: usize,
+    pub cells_done: usize,
+    pub cells_total: usize,
+    pub users_done: u64,
+}
+
+/// Run the fleet, discarding progress beats.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
+    run_fleet_with_progress(cfg, |_| {})
+}
+
+/// Run the fleet; `on_progress` is invoked on the calling thread for every
+/// cell any shard completes.
+pub fn run_fleet_with_progress(
+    cfg: &FleetConfig,
+    mut on_progress: impl FnMut(&Progress),
+) -> FleetReport {
+    let started = Instant::now();
+
+    // One catalog + sampler serves every shard read-only.
+    let eco = Ecosystem::generate(GeneratorConfig {
+        seed: derive_seed(cfg.master_seed, ECO_STREAM),
+        scale: cfg.eco_scale,
+    });
+    let snap = eco.canonical_snapshot();
+    let sampler = PopulationSampler::new(&snap, derive_seed(cfg.master_seed, POP_STREAM));
+    let hot_threshold = cfg
+        .hot_threshold
+        .unwrap_or_else(|| sampler.add_count_percentile(90.0));
+    let cfg = FleetConfig {
+        hot_threshold: Some(hot_threshold),
+        ..cfg.clone()
+    };
+
+    let cells = plan_cells(cfg.users, cfg.cell_users);
+    let assignments = assign_round_robin(&cells, cfg.shards);
+
+    let (tx, rx) = mpsc::channel::<Progress>();
+    let mut outcomes: Vec<(Arc<FleetMetrics>, f64)> = Vec::with_capacity(cfg.shards);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for (shard, shard_cells) in assignments.iter().enumerate() {
+            let tx = tx.clone();
+            let sampler = &sampler;
+            let cfg = &cfg;
+            handles.push(scope.spawn(move || {
+                let shard_started = Instant::now();
+                let metrics = Arc::new(FleetMetrics::default());
+                let mut users_done = 0u64;
+                for (done, cell) in shard_cells.iter().enumerate() {
+                    run_cell(cell, sampler, cfg, &metrics);
+                    users_done += cell.users;
+                    let _ = tx.send(Progress {
+                        shard,
+                        cells_done: done + 1,
+                        cells_total: shard_cells.len(),
+                        users_done,
+                    });
+                }
+                (metrics, shard_started.elapsed().as_secs_f64())
+            }));
+        }
+        drop(tx); // rx ends when the last worker hangs up
+        for beat in rx {
+            on_progress(&beat);
+        }
+        for handle in handles {
+            outcomes.push(handle.join().expect("shard worker panicked"));
+        }
+    });
+
+    // Merge; instruments are exactly mergeable, so shard order is moot.
+    let merged = FleetMetrics::default();
+    let mut per_shard = Vec::with_capacity(cfg.shards);
+    for (shard, (metrics, wall_secs)) in outcomes.iter().enumerate() {
+        merged.merge_from(metrics);
+        per_shard.push(ShardSummary {
+            shard,
+            cells: assignments[shard].len(),
+            users: assignments[shard].iter().map(|c| c.users).sum(),
+            sim_events: metrics.sim_events.get(),
+            wall_secs: *wall_secs,
+        });
+    }
+
+    FleetReport {
+        users: cfg.users,
+        shards: cfg.shards,
+        policy: cfg.policy.name().to_string(),
+        master_seed: cfg.master_seed,
+        hot_threshold,
+        merged,
+        per_shard,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg(users: u64, shards: usize) -> FleetConfig {
+        let mut cfg = FleetConfig::new(users, shards, FleetPolicy::Fast);
+        cfg.cell_users = 25;
+        cfg.window_secs = 40.0;
+        cfg.drain_secs = 20.0;
+        cfg
+    }
+
+    #[test]
+    fn progress_beats_cover_every_cell() {
+        let cfg = smoke_cfg(100, 2); // 4 cells, 2 per shard
+        let mut beats = Vec::new();
+        let report = run_fleet_with_progress(&cfg, |p| beats.push(*p));
+        assert_eq!(beats.len(), 4);
+        assert_eq!(report.merged.cells.get(), 4);
+        assert_eq!(report.merged.users.get(), 100);
+        // The final beat of each shard accounts for all of its users.
+        for shard in 0..2 {
+            let last = beats.iter().rev().find(|p| p.shard == shard).unwrap();
+            assert_eq!(last.cells_done, last.cells_total);
+            assert_eq!(last.users_done, 50);
+        }
+    }
+
+    #[test]
+    fn report_totals_are_consistent() {
+        let report = run_fleet(&smoke_cfg(75, 3)); // 3 cells of 25
+        assert_eq!(report.users, 75);
+        assert_eq!(
+            report.merged.t2a_micros.count() + report.merged.lost.get(),
+            report.merged.activations.get()
+        );
+        let shard_users: u64 = report.per_shard.iter().map(|s| s.users).sum();
+        assert_eq!(shard_users, 75);
+        let shard_events: u64 = report.per_shard.iter().map(|s| s.sim_events).sum();
+        assert_eq!(shard_events, report.merged.sim_events.get());
+        assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn policy_names_round_trip() {
+        for p in [
+            FleetPolicy::IftttLike,
+            FleetPolicy::Fast,
+            FleetPolicy::Smart,
+        ] {
+            assert_eq!(FleetPolicy::parse(p.name()), Some(p));
+        }
+        assert_eq!(FleetPolicy::parse("bogus"), None);
+    }
+}

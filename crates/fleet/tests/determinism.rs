@@ -1,0 +1,46 @@
+//! The fleet's headline invariant: one master seed ⇒ one merged report,
+//! no matter how many shards execute the run.
+
+use fleet::{run_fleet, FleetConfig, FleetPolicy};
+
+fn cfg(shards: usize, seed: u64) -> FleetConfig {
+    let mut cfg = FleetConfig::new(200, shards, FleetPolicy::Fast);
+    cfg.master_seed = seed;
+    cfg.cell_users = 50; // 4 cells
+    cfg.window_secs = 60.0;
+    cfg.drain_secs = 30.0;
+    cfg
+}
+
+#[test]
+fn merged_reports_are_identical_across_shard_counts() {
+    let baseline = run_fleet(&cfg(1, 2017));
+    assert!(
+        baseline.merged.t2a_micros.count() > 0,
+        "run produced samples"
+    );
+    for shards in [2usize, 3, 8] {
+        let sharded = run_fleet(&cfg(shards, 2017));
+        assert_eq!(
+            baseline.merged_json(),
+            sharded.merged_json(),
+            "merged metrics differ at {shards} shards"
+        );
+        assert_eq!(baseline.digest(), sharded.digest());
+    }
+}
+
+#[test]
+fn different_master_seeds_diverge() {
+    let a = run_fleet(&cfg(2, 2017));
+    let b = run_fleet(&cfg(2, 2018));
+    assert_ne!(a.merged_json(), b.merged_json());
+}
+
+#[test]
+fn rerunning_the_same_config_reproduces_the_digest() {
+    let a = run_fleet(&cfg(2, 7));
+    let b = run_fleet(&cfg(2, 7));
+    assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.merged_json(), b.merged_json());
+}

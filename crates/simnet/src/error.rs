@@ -19,7 +19,10 @@ pub enum SimError {
     /// No path exists between two nodes.
     NoRoute(NodeId, NodeId),
     /// Downcast to a concrete node type failed.
-    WrongNodeType { node: NodeId, expected: &'static str },
+    WrongNodeType {
+        node: NodeId,
+        expected: &'static str,
+    },
     /// The run exceeded the configured event budget (likely a livelock,
     /// e.g. an undetected infinite applet loop).
     EventBudgetExhausted { processed: u64 },

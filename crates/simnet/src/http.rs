@@ -117,7 +117,11 @@ impl Request {
 
     /// Approximate wire size in bytes (for workload accounting).
     pub fn wire_size(&self) -> usize {
-        let headers: usize = self.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|(n, v)| n.len() + v.len() + 4)
+            .sum();
         self.method.to_string().len() + self.path.len() + headers + self.body.len() + 26
     }
 }
@@ -133,7 +137,11 @@ pub struct Response {
 impl Response {
     /// Build a response with the given status code.
     pub fn with_status(status: u16) -> Self {
-        Response { status, headers: Vec::new(), body: Bytes::new() }
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Bytes::new(),
+        }
     }
 
     /// 200 OK.
@@ -198,7 +206,11 @@ impl Response {
 
     /// Approximate wire size in bytes.
     pub fn wire_size(&self) -> usize {
-        let headers: usize = self.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+        let headers: usize = self
+            .headers
+            .iter()
+            .map(|(n, v)| n.len() + v.len() + 4)
+            .sum();
         headers + self.body.len() + 17
     }
 }
@@ -214,7 +226,9 @@ pub struct RequestOpts {
 impl RequestOpts {
     /// Convenience: a timeout of `secs` seconds.
     pub fn timeout_secs(secs: u64) -> Self {
-        RequestOpts { timeout: Some(crate::time::SimDuration::from_secs(secs)) }
+        RequestOpts {
+            timeout: Some(crate::time::SimDuration::from_secs(secs)),
+        }
     }
 }
 

@@ -32,7 +32,10 @@ impl LatencyModel {
 
     /// Uniform latency between two durations.
     pub fn uniform(lo: SimDuration, hi: SimDuration) -> Self {
-        LatencyModel(Dist::Uniform { lo: lo.as_secs_f64(), hi: hi.as_secs_f64() })
+        LatencyModel(Dist::Uniform {
+            lo: lo.as_secs_f64(),
+            hi: hi.as_secs_f64(),
+        })
     }
 
     /// Draw one latency sample.
@@ -138,11 +141,19 @@ impl Topology {
     pub fn add_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> LinkId {
         assert_ne!(a, b, "self-links are not allowed");
         assert!(
-            !self.adj.get(&a).is_some_and(|v| v.iter().any(|(n, _)| *n == b)),
+            !self
+                .adj
+                .get(&a)
+                .is_some_and(|v| v.iter().any(|(n, _)| *n == b)),
             "duplicate link {a:?} <-> {b:?}"
         );
         let idx = self.links.len();
-        self.links.push(Link { a, b, spec, up: true });
+        self.links.push(Link {
+            a,
+            b,
+            spec,
+            up: true,
+        });
         self.adj.entry(a).or_default().push((b, idx));
         self.adj.entry(b).or_default().push((a, idx));
         self.route_cache.clear();
@@ -226,7 +237,9 @@ impl Topology {
                 path.reverse();
                 return Some(path);
             }
-            let Some(neigh) = self.adj.get(&n) else { continue };
+            let Some(neigh) = self.adj.get(&n) else {
+                continue;
+            };
             for &(m, idx) in neigh {
                 if !self.links[idx].up || m == src || prev.contains_key(&m) {
                     continue;
@@ -313,11 +326,17 @@ mod tests {
         let mut t = Topology::new();
         let id = t.add_link(n(0), n(1), LinkSpec::lan());
         let mut r = rng();
-        assert!(matches!(t.deliver(n(0), n(1), &mut r), Delivery::Arrives(_)));
+        assert!(matches!(
+            t.deliver(n(0), n(1), &mut r),
+            Delivery::Arrives(_)
+        ));
         t.set_link_up(id, false);
         assert_eq!(t.deliver(n(0), n(1), &mut r), Delivery::NoRoute);
         t.set_link_up(id, true);
-        assert!(matches!(t.deliver(n(0), n(1), &mut r), Delivery::Arrives(_)));
+        assert!(matches!(
+            t.deliver(n(0), n(1), &mut r),
+            Delivery::Arrives(_)
+        ));
     }
 
     #[test]

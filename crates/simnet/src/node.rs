@@ -116,7 +116,8 @@ impl<'a> Context<'a> {
     /// Schedule `on_timer(key)` after `after` elapses. Returns a handle
     /// that can cancel it.
     pub fn set_timer(&mut self, after: SimDuration, key: TimerKey) -> TimerId {
-        self.kernel.set_timer(self.node, self.kernel.now() + after, key)
+        self.kernel
+            .set_timer(self.node, self.kernel.now() + after, key)
     }
 
     /// Schedule `on_timer(key)` at an absolute instant (clamped to now).

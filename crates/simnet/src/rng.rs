@@ -16,8 +16,7 @@ use serde::{Deserialize, Serialize};
 /// Uses SplitMix64, the standard seed-sequence scrambler: consecutive stream
 /// indices yield statistically independent child seeds.
 pub fn derive_seed(master: u64, stream: u64) -> u64 {
-    let mut z = master
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = master.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -213,7 +212,11 @@ mod tests {
     #[test]
     fn normal_truncates_at_min() {
         let mut r = rng();
-        let d = Dist::Normal { mean: 0.0, std: 5.0, min: 0.5 };
+        let d = Dist::Normal {
+            mean: 0.0,
+            std: 5.0,
+            min: 0.5,
+        };
         for _ in 0..1000 {
             assert!(d.sample(&mut r) >= 0.5);
         }
@@ -222,7 +225,11 @@ mod tests {
     #[test]
     fn normal_sample_mean_close() {
         let mut r = rng();
-        let d = Dist::Normal { mean: 10.0, std: 2.0, min: 0.0 };
+        let d = Dist::Normal {
+            mean: 10.0,
+            std: 2.0,
+            min: 0.0,
+        };
         let n = 20_000;
         let avg = (0..n).map(|_| d.sample(&mut r)).sum::<f64>() / n as f64;
         assert!((avg - 10.0).abs() < 0.1, "avg={avg}");
@@ -231,7 +238,11 @@ mod tests {
     #[test]
     fn lognormal_caps() {
         let mut r = rng();
-        let d = Dist::LogNormal { mu: 5.0, sigma: 2.0, cap: 10.0 };
+        let d = Dist::LogNormal {
+            mu: 5.0,
+            sigma: 2.0,
+            cap: 10.0,
+        };
         for _ in 0..1000 {
             assert!(d.sample(&mut r) <= 10.0);
         }

@@ -26,10 +26,21 @@ const DEFAULT_EVENT_BUDGET: u64 = 20_000_000;
 enum Ev {
     Start(NodeId),
     DeliverRequest(Request),
-    DeliverResponse { req_id: RequestId, resp: Response },
+    DeliverResponse {
+        req_id: RequestId,
+        resp: Response,
+    },
     RequestTimeout(RequestId),
-    Timer { node: NodeId, id: u64, key: TimerKey },
-    Signal { src: NodeId, dst: NodeId, payload: Bytes },
+    Timer {
+        node: NodeId,
+        id: u64,
+        key: TimerKey,
+    },
+    Signal {
+        src: NodeId,
+        dst: NodeId,
+        payload: Bytes,
+    },
 }
 
 struct Scheduled {
@@ -81,6 +92,10 @@ pub struct Kernel {
     cancelled_timers: HashSet<u64>,
     trace: TraceLog,
     processed: u64,
+    signal_fronts: HashMap<(NodeId, NodeId), SimTime>,
+    /// Handler invocations per node (start/request/response/timeout/timer/
+    /// signal deliveries), indexed by `NodeId`.
+    node_events: Vec<u64>,
 }
 
 impl Kernel {
@@ -101,6 +116,8 @@ impl Kernel {
             cancelled_timers: HashSet::new(),
             trace: TraceLog::default(),
             processed: 0,
+            signal_fronts: HashMap::new(),
+            node_events: Vec::new(),
         }
     }
 
@@ -109,7 +126,10 @@ impl Kernel {
     }
 
     pub(crate) fn node_name(&self, id: NodeId) -> &str {
-        self.node_names.get(id.0 as usize).map(String::as_str).unwrap_or("")
+        self.node_names
+            .get(id.0 as usize)
+            .map(String::as_str)
+            .unwrap_or("")
     }
 
     pub(crate) fn node_rng(&mut self, id: NodeId) -> &mut StdRng {
@@ -123,7 +143,11 @@ impl Kernel {
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled { at: at.max(self.now), seq, ev }));
+        self.queue.push(Reverse(Scheduled {
+            at: at.max(self.now),
+            seq,
+            ev,
+        }));
     }
 
     pub(crate) fn send_request(
@@ -139,21 +163,41 @@ impl Kernel {
         req.id = id;
         req.src = src;
         req.dst = dst;
-        self.pending
-            .insert(id, Pending { origin: src, responder: dst, token, answered: false });
+        self.pending.insert(
+            id,
+            Pending {
+                origin: src,
+                responder: dst,
+                token,
+                answered: false,
+            },
+        );
         match self.topology.deliver(src, dst, &mut self.net_rng) {
             Delivery::Arrives(d) => {
                 let at = self.now + d;
                 self.schedule(at, Ev::DeliverRequest(req));
             }
             Delivery::Lost => {
-                self.trace.record(self.now, src, "net.request_lost", format!("{} {}", req.method, req.path));
+                self.trace.record(
+                    self.now,
+                    src,
+                    "net.request_lost",
+                    format!("{} {}", req.method, req.path),
+                );
             }
             Delivery::NoRoute => {
-                self.trace.record(self.now, src, "net.no_route", format!("dst={dst:?} {}", req.path));
+                self.trace.record(
+                    self.now,
+                    src,
+                    "net.no_route",
+                    format!("dst={dst:?} {}", req.path),
+                );
                 // Fail fast: an unroutable request resolves as a timeout
                 // one quantum later, even without an explicit timeout.
-                self.schedule(self.now + SimDuration::from_micros(1), Ev::RequestTimeout(id));
+                self.schedule(
+                    self.now + SimDuration::from_micros(1),
+                    Ev::RequestTimeout(id),
+                );
             }
         }
         if let Some(t) = opts.timeout {
@@ -178,7 +222,12 @@ impl Kernel {
                 self.schedule(at, Ev::DeliverResponse { req_id, resp });
             }
             Delivery::Lost | Delivery::NoRoute => {
-                self.trace.record(self.now, from, "net.response_lost", format!("req={}", req_id.0));
+                self.trace.record(
+                    self.now,
+                    from,
+                    "net.response_lost",
+                    format!("req={}", req_id.0),
+                );
                 // The origin can only learn of this via its timeout; if it
                 // set none, the pending entry is dropped here.
                 self.pending.remove(&req_id);
@@ -200,14 +249,23 @@ impl Kernel {
     pub(crate) fn send_signal(&mut self, src: NodeId, dst: NodeId, payload: Bytes) {
         match self.topology.deliver(src, dst, &mut self.net_rng) {
             Delivery::Arrives(d) => {
-                let at = self.now + d;
+                // Signals model an ordered (TCP-like) channel: a signal never
+                // overtakes an earlier one on the same (src, dst) pair, even
+                // when the later latency draw is smaller.
+                let mut at = self.now + d;
+                if let Some(front) = self.signal_fronts.get(&(src, dst)) {
+                    at = at.max(*front);
+                }
+                self.signal_fronts.insert((src, dst), at);
                 self.schedule(at, Ev::Signal { src, dst, payload });
             }
             Delivery::Lost => {
-                self.trace.record(self.now, src, "net.signal_lost", format!("dst={dst:?}"));
+                self.trace
+                    .record(self.now, src, "net.signal_lost", format!("dst={dst:?}"));
             }
             Delivery::NoRoute => {
-                self.trace.record(self.now, src, "net.no_route", format!("signal dst={dst:?}"));
+                self.trace
+                    .record(self.now, src, "net.no_route", format!("signal dst={dst:?}"));
             }
         }
     }
@@ -225,7 +283,10 @@ impl Sim {
     /// Create a simulation seeded with `master_seed`. Two `Sim`s built the
     /// same way from the same seed produce identical event histories.
     pub fn new(master_seed: u64) -> Self {
-        Sim { kernel: Kernel::new(master_seed), nodes: Vec::new() }
+        Sim {
+            kernel: Kernel::new(master_seed),
+            nodes: Vec::new(),
+        }
     }
 
     /// The master seed this simulation was created with.
@@ -243,6 +304,7 @@ impl Sim {
         self.kernel
             .node_rngs
             .push(stream_rng(self.kernel.master_seed, stream));
+        self.kernel.node_events.push(0);
         let now = self.kernel.now;
         self.kernel.schedule(now, Ev::Start(id));
         id
@@ -284,6 +346,23 @@ impl Sim {
         self.kernel.processed
     }
 
+    /// Handler invocations delivered to `id` so far (start, request,
+    /// response, timeout, timer, and signal deliveries). Events that die
+    /// before reaching a handler (cancelled timers, lost messages) are not
+    /// attributed to any node.
+    pub fn node_events(&self, id: NodeId) -> u64 {
+        self.kernel
+            .node_events
+            .get(id.0 as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-node handler-invocation counters, indexed by `NodeId`.
+    pub fn node_event_counts(&self) -> &[u64] {
+        &self.kernel.node_events
+    }
+
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
         let Some(Reverse(sch)) = self.kernel.queue.pop() else {
@@ -307,7 +386,9 @@ impl Sim {
         let start = self.kernel.processed;
         while self.peek_time().is_some() {
             if self.kernel.processed - start >= budget {
-                return Err(SimError::EventBudgetExhausted { processed: self.kernel.processed });
+                return Err(SimError::EventBudgetExhausted {
+                    processed: self.kernel.processed,
+                });
             }
             self.step();
         }
@@ -356,7 +437,10 @@ impl Sim {
             .ok_or(SimError::UnknownNode(id))?;
         (slot as &dyn Any)
             .downcast_ref::<T>()
-            .ok_or(SimError::WrongNodeType { node: id, expected: std::any::type_name::<T>() })
+            .ok_or(SimError::WrongNodeType {
+                node: id,
+                expected: std::any::type_name::<T>(),
+            })
     }
 
     /// Mutable typed view of a node (state inspection / out-of-band config).
@@ -380,8 +464,13 @@ impl Sim {
         id: NodeId,
         f: impl FnOnce(&mut T, &mut Context<'_>) -> R,
     ) -> R {
-        let mut node = self.nodes[id.0 as usize].take().expect("node busy or unknown");
-        let mut ctx = Context { kernel: &mut self.kernel, node: id };
+        let mut node = self.nodes[id.0 as usize]
+            .take()
+            .expect("node busy or unknown");
+        let mut ctx = Context {
+            kernel: &mut self.kernel,
+            node: id,
+        };
         let t = (node.as_mut() as &mut dyn Any)
             .downcast_mut::<T>()
             .unwrap_or_else(|| panic!("node {id:?} is not a {}", std::any::type_name::<T>()));
@@ -398,17 +487,14 @@ impl Sim {
             Ev::DeliverRequest(req) => {
                 let dst = req.dst;
                 let req_id = req.id;
-                let result =
-                    self.with_taken(dst, |node, ctx| node.on_request(ctx, &req));
+                let result = self.with_taken(dst, |node, ctx| node.on_request(ctx, &req));
                 if let Some(HandlerResult::Reply(resp)) = result {
                     self.kernel.send_response(dst, req_id, resp);
                 }
             }
             Ev::DeliverResponse { req_id, resp } => {
                 if let Some(p) = self.kernel.pending.remove(&req_id) {
-                    self.with_taken(p.origin, |node, ctx| {
-                        node.on_response(ctx, p.token, resp)
-                    });
+                    self.with_taken(p.origin, |node, ctx| node.on_response(ctx, p.token, resp));
                 }
             }
             Ev::RequestTimeout(req_id) => {
@@ -449,7 +535,13 @@ impl Sim {
         f: impl FnOnce(&mut dyn Node, &mut Context<'_>) -> R,
     ) -> Option<R> {
         let mut node = self.nodes.get_mut(id.0 as usize)?.take()?;
-        let mut ctx = Context { kernel: &mut self.kernel, node: id };
+        if let Some(c) = self.kernel.node_events.get_mut(id.0 as usize) {
+            *c += 1;
+        }
+        let mut ctx = Context {
+            kernel: &mut self.kernel,
+            node: id,
+        };
         let r = f(node.as_mut(), &mut ctx);
         self.nodes[id.0 as usize] = Some(node);
         Some(r)
@@ -504,7 +596,9 @@ mod tests {
     impl Node for Probe {
         fn on_start(&mut self, ctx: &mut Context<'_>) {
             if self.send_at_start {
-                let opts = RequestOpts { timeout: self.timeout };
+                let opts = RequestOpts {
+                    timeout: self.timeout,
+                };
                 ctx.send_request(
                     self.target.unwrap(),
                     Request::post("/echo").with_body("hi"),
@@ -526,7 +620,9 @@ mod tests {
     }
 
     fn fixed(ms: u64) -> LinkSpec {
-        LinkSpec::new(crate::net::LatencyModel::fixed(SimDuration::from_millis(ms)))
+        LinkSpec::new(crate::net::LatencyModel::fixed(SimDuration::from_millis(
+            ms,
+        )))
     }
 
     #[test]
@@ -535,7 +631,11 @@ mod tests {
         let echo = sim.add_node("echo", Echo { requests_seen: 0 });
         let probe = sim.add_node(
             "probe",
-            Probe { target: Some(echo), send_at_start: true, ..Probe::default() },
+            Probe {
+                target: Some(echo),
+                send_at_start: true,
+                ..Probe::default()
+            },
         );
         sim.link(probe, echo, fixed(10));
         sim.run_until_idle();
@@ -554,7 +654,11 @@ mod tests {
         let slow = sim.add_node("slow", SlowEcho { pending: vec![] });
         let probe = sim.add_node(
             "probe",
-            Probe { target: Some(slow), send_at_start: true, ..Probe::default() },
+            Probe {
+                target: Some(slow),
+                send_at_start: true,
+                ..Probe::default()
+            },
         );
         sim.link(probe, slow, fixed(5));
         sim.run_until_idle();
@@ -570,7 +674,11 @@ mod tests {
         let echo = sim.add_node("echo", Echo { requests_seen: 0 });
         let probe = sim.add_node(
             "probe",
-            Probe { target: Some(echo), send_at_start: true, ..Probe::default() },
+            Probe {
+                target: Some(echo),
+                send_at_start: true,
+                ..Probe::default()
+            },
         );
         // No link at all.
         sim.run_until_idle();
@@ -642,7 +750,13 @@ mod tests {
             }
         }
         let mut sim = Sim::new(6);
-        let id = sim.add_node("t", T { fired: vec![], cancel_handle: None });
+        let id = sim.add_node(
+            "t",
+            T {
+                fired: vec![],
+                cancel_handle: None,
+            },
+        );
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<T>(id).fired, vec![1, 3]);
     }
@@ -655,7 +769,10 @@ mod tests {
         sim.link(a, b, fixed(8));
         sim.with_node::<Probe, _>(a, |_, ctx| ctx.signal(b, &b"ping"[..]));
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<Probe>(b).signals, vec![Bytes::from_static(b"ping")]);
+        assert_eq!(
+            sim.node_ref::<Probe>(b).signals,
+            vec![Bytes::from_static(b"ping")]
+        );
         assert_eq!(sim.now(), SimTime::from_micros(8_000));
     }
 
@@ -676,7 +793,10 @@ mod tests {
         sim.run_until(SimTime::from_secs(5));
         assert!(sim.node_ref::<Probe>(id).timers.is_empty());
         sim.run_until(SimTime::from_secs(15));
-        assert_eq!(sim.node_ref::<Probe>(id).timers, vec![(99, SimTime::from_secs(10))]);
+        assert_eq!(
+            sim.node_ref::<Probe>(id).timers,
+            vec![(99, SimTime::from_secs(10))]
+        );
     }
 
     #[test]
@@ -710,14 +830,45 @@ mod tests {
             let echo = sim.add_node("echo", Echo { requests_seen: 0 });
             let probe = sim.add_node(
                 "probe",
-                Probe { target: Some(echo), send_at_start: true, ..Probe::default() },
+                Probe {
+                    target: Some(echo),
+                    send_at_start: true,
+                    ..Probe::default()
+                },
             );
             sim.link(probe, echo, LinkSpec::wan());
             sim.run_until_idle();
-            sim.node_ref::<Probe>(probe).responses.iter().map(|r| r.2).collect()
+            sim.node_ref::<Probe>(probe)
+                .responses
+                .iter()
+                .map(|r| r.2)
+                .collect()
         }
         assert_eq!(history(11), history(11));
         assert_ne!(history(11), history(12));
+    }
+
+    #[test]
+    fn per_node_event_counters_attribute_deliveries() {
+        let mut sim = Sim::new(21);
+        let echo = sim.add_node("echo", Echo { requests_seen: 0 });
+        let probe = sim.add_node(
+            "probe",
+            Probe {
+                target: Some(echo),
+                send_at_start: true,
+                ..Probe::default()
+            },
+        );
+        sim.link(probe, echo, fixed(10));
+        sim.run_until_idle();
+        // echo: Start + DeliverRequest; probe: Start + DeliverResponse.
+        assert_eq!(sim.node_events(echo), 2);
+        assert_eq!(sim.node_events(probe), 2);
+        assert_eq!(
+            sim.node_event_counts().iter().sum::<u64>(),
+            sim.events_processed()
+        );
     }
 
     #[test]
@@ -742,6 +893,9 @@ mod tests {
         }
         let id = sim.add_node("s", S { started_at: None });
         sim.run_until_idle();
-        assert_eq!(sim.node_ref::<S>(id).started_at, Some(SimTime::from_secs(100)));
+        assert_eq!(
+            sim.node_ref::<S>(id).started_at,
+            Some(SimTime::from_secs(100))
+        );
     }
 }

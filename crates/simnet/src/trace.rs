@@ -33,14 +33,22 @@ pub struct TraceLog {
 
 impl Default for TraceLog {
     fn default() -> Self {
-        TraceLog { events: Vec::new(), enabled: true, cap: 1_000_000, dropped: 0 }
+        TraceLog {
+            events: Vec::new(),
+            enabled: true,
+            cap: 1_000_000,
+            dropped: 0,
+        }
     }
 }
 
 impl TraceLog {
     /// A log that records up to `cap` events.
     pub fn with_capacity(cap: usize) -> Self {
-        TraceLog { cap, ..TraceLog::default() }
+        TraceLog {
+            cap,
+            ..TraceLog::default()
+        }
     }
 
     /// Enable or disable recording (disabled logs drop silently).
@@ -49,7 +57,13 @@ impl TraceLog {
     }
 
     /// Record one event. Events past the capacity are counted, not stored.
-    pub fn record(&mut self, at: SimTime, node: NodeId, kind: impl Into<String>, detail: impl Into<String>) {
+    pub fn record(
+        &mut self,
+        at: SimTime,
+        node: NodeId,
+        kind: impl Into<String>,
+        detail: impl Into<String>,
+    ) {
         if !self.enabled {
             return;
         }
@@ -57,7 +71,12 @@ impl TraceLog {
             self.dropped += 1;
             return;
         }
-        self.events.push(TraceEvent { at, node, kind: kind.into(), detail: detail.into() });
+        self.events.push(TraceEvent {
+            at,
+            node,
+            kind: kind.into(),
+            detail: detail.into(),
+        });
     }
 
     /// All recorded events in time order.
@@ -67,7 +86,9 @@ impl TraceLog {
 
     /// Events whose kind starts with `prefix` (e.g. `"poll."`).
     pub fn with_kind_prefix<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.kind.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.kind.starts_with(prefix))
     }
 
     /// Events recorded by one node.

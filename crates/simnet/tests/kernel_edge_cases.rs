@@ -33,7 +33,12 @@ fn unanswered_request_with_timeout_resolves_exactly_once() {
     let client = sim.add_node("client", Client::default());
     sim.link(client, hole, LinkSpec::lan());
     sim.with_node::<Client, _>(client, |_, ctx| {
-        ctx.send_request(hole, Request::get("/x"), Token(1), RequestOpts::timeout_secs(5));
+        ctx.send_request(
+            hole,
+            Request::get("/x"),
+            Token(1),
+            RequestOpts::timeout_secs(5),
+        );
     });
     sim.run_until_idle();
     let c = sim.node_ref::<Client>(client);
@@ -80,7 +85,12 @@ fn late_reply_after_timeout_is_dropped() {
     let client = sim.add_node("client", Client::default());
     sim.link(client, late, LinkSpec::lan());
     sim.with_node::<Client, _>(client, |_, ctx| {
-        ctx.send_request(late, Request::get("/x"), Token(9), RequestOpts::timeout_secs(2));
+        ctx.send_request(
+            late,
+            Request::get("/x"),
+            Token(9),
+            RequestOpts::timeout_secs(2),
+        );
     });
     sim.run_until_idle();
     let c = sim.node_ref::<Client>(client);
@@ -113,9 +123,21 @@ fn multi_hop_signals_preserve_order_and_accumulate_latency() {
     let b = sim.add_node("b", Hop);
     let sink = sim.add_node("sink", Sink::default());
     let ms = |x| SimDuration::from_millis(x);
-    sim.link(src, a, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
-    sim.link(a, b, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
-    sim.link(b, sink, simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))));
+    sim.link(
+        src,
+        a,
+        simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))),
+    );
+    sim.link(
+        a,
+        b,
+        simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))),
+    );
+    sim.link(
+        b,
+        sink,
+        simnet::net::LinkSpec::new(LatencyModel::fixed(ms(10))),
+    );
     sim.with_node::<Hop, _>(src, |_, ctx| {
         ctx.signal(sink, &b"one"[..]);
         ctx.signal(sink, &b"two"[..]);

@@ -75,6 +75,8 @@ mod tests {
 
     #[test]
     fn display_mentions_the_subject() {
-        assert!(ProtocolError::UnknownTrigger("rain".into()).to_string().contains("rain"));
+        assert!(ProtocolError::UnknownTrigger("rain".into())
+            .to_string()
+            .contains("rain"));
     }
 }

@@ -125,7 +125,10 @@ mod tests {
     use super::*;
 
     fn fields(pairs: &[(&str, &str)]) -> FieldMap {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
     }
 
     #[test]

@@ -25,11 +25,23 @@ pub enum ParsedServiceRequest {
     /// Engine integration-test setup.
     TestSetup,
     /// Poll one trigger subscription on behalf of `user`.
-    Poll { user: UserId, trigger: TriggerSlug, body: PollRequestBody },
+    Poll {
+        user: UserId,
+        trigger: TriggerSlug,
+        body: PollRequestBody,
+    },
     /// Execute one action on behalf of `user`.
-    Action { user: UserId, action: ActionSlug, body: ActionRequestBody },
+    Action {
+        user: UserId,
+        action: ActionSlug,
+        body: ActionRequestBody,
+    },
     /// Run one read-only query on behalf of `user`.
-    Query { user: UserId, query: QuerySlug, body: QueryRequestBody },
+    Query {
+        user: UserId,
+        query: QuerySlug,
+        body: QueryRequestBody,
+    },
     /// User consent on the hosted authorization page.
     OAuthAuthorize { user: UserId },
     /// Engine exchanging an authorization code.
@@ -116,7 +128,11 @@ impl ServiceEndpoint {
                 if body.user != user {
                     return Err(ProtocolError::BadAccessToken);
                 }
-                Ok(ParsedServiceRequest::Poll { user, trigger: slug, body })
+                Ok(ParsedServiceRequest::Poll {
+                    user,
+                    trigger: slug,
+                    body,
+                })
             }
             Endpoint::Action(slug) => {
                 self.check_key(req)?;
@@ -129,7 +145,11 @@ impl ServiceEndpoint {
                 if body.user != user {
                     return Err(ProtocolError::BadAccessToken);
                 }
-                Ok(ParsedServiceRequest::Action { user, action: slug, body })
+                Ok(ParsedServiceRequest::Action {
+                    user,
+                    action: slug,
+                    body,
+                })
             }
             Endpoint::Query(slug) => {
                 self.check_key(req)?;
@@ -142,7 +162,11 @@ impl ServiceEndpoint {
                 if body.user != user {
                     return Err(ProtocolError::BadAccessToken);
                 }
-                Ok(ParsedServiceRequest::Query { user, query: slug, body })
+                Ok(ParsedServiceRequest::Query {
+                    user,
+                    query: slug,
+                    body,
+                })
             }
             Endpoint::OAuthAuthorize => {
                 // User-facing page: no service key; body carries the user id.
@@ -164,7 +188,9 @@ impl ServiceEndpoint {
                 }
                 let body: TokenBody = wire::from_bytes(&req.body)
                     .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
-                Ok(ParsedServiceRequest::OAuthToken { code: AuthCode(body.code) })
+                Ok(ParsedServiceRequest::OAuthToken {
+                    code: AuthCode(body.code),
+                })
             }
         }
     }
@@ -228,12 +254,18 @@ impl TriggerBuffer {
 
     /// A buffer retaining up to `DEFAULT_CAP` events per subscription.
     pub fn new() -> Self {
-        TriggerBuffer { cap: Self::DEFAULT_CAP, ..TriggerBuffer::default() }
+        TriggerBuffer {
+            cap: Self::DEFAULT_CAP,
+            ..TriggerBuffer::default()
+        }
     }
 
     /// A buffer with a custom per-subscription retention cap.
     pub fn with_cap(cap: usize) -> Self {
-        TriggerBuffer { cap: cap.max(1), ..TriggerBuffer::default() }
+        TriggerBuffer {
+            cap: cap.max(1),
+            ..TriggerBuffer::default()
+        }
     }
 
     /// Record an event for a subscription. Duplicate event ids are ignored.
@@ -318,7 +350,11 @@ mod tests {
         let mut ep = endpoint();
         let (req, user) = authed_poll_request(&mut ep);
         match ep.parse(&req).unwrap() {
-            ParsedServiceRequest::Poll { user: u, trigger, body } => {
+            ParsedServiceRequest::Poll {
+                user: u,
+                trigger,
+                body,
+            } => {
                 assert_eq!(u, user);
                 assert_eq!(trigger, TriggerSlug::new("new_email"));
                 assert_eq!(body.limit, 50);
@@ -384,7 +420,10 @@ mod tests {
                 req.header(AUTHORIZATION_HEADER).unwrap().to_string(),
             )
             .with_body(req.body.clone());
-        assert!(matches!(ep.parse(&req), Err(ProtocolError::UnknownTrigger(_))));
+        assert!(matches!(
+            ep.parse(&req),
+            Err(ProtocolError::UnknownTrigger(_))
+        ));
     }
 
     #[test]
@@ -398,7 +437,10 @@ mod tests {
                 req.header(AUTHORIZATION_HEADER).unwrap().to_string(),
             )
             .with_body("{oops");
-        assert!(matches!(ep.parse(&req), Err(ProtocolError::MalformedBody(_))));
+        assert!(matches!(
+            ep.parse(&req),
+            Err(ProtocolError::MalformedBody(_))
+        ));
     }
 
     #[test]
@@ -450,7 +492,11 @@ mod tests {
             b.push(&ti(1), TriggerEvent::new(format!("e{i}"), i));
         }
         assert_eq!(b.len(&ti(1)), 3);
-        let ids: Vec<_> = b.latest(&ti(1), 10).iter().map(|e| e.meta.id.clone()).collect();
+        let ids: Vec<_> = b
+            .latest(&ti(1), 10)
+            .iter()
+            .map(|e| e.meta.id.clone())
+            .collect();
         assert_eq!(ids, vec!["e4", "e3", "e2"]);
         // An evicted id may be pushed again (it is no longer "seen").
         assert!(b.push(&ti(1), TriggerEvent::new("e0", 9)));

@@ -37,7 +37,10 @@ impl TriggerEvent {
     /// Construct an event with the given id and timestamp.
     pub fn new(id: impl Into<String>, timestamp: u64) -> Self {
         TriggerEvent {
-            meta: EventMeta { id: id.into(), timestamp },
+            meta: EventMeta {
+                id: id.into(),
+                timestamp,
+            },
             ingredients: FieldMap::new(),
         }
     }
@@ -99,7 +102,9 @@ pub struct ActionOutcome {
 impl ActionResponseBody {
     /// A single-outcome success body.
     pub fn single(id: impl Into<String>) -> Self {
-        ActionResponseBody { data: vec![ActionOutcome { id: id.into() }] }
+        ActionResponseBody {
+            data: vec![ActionOutcome { id: id.into() }],
+        }
     }
 }
 
@@ -121,7 +126,11 @@ pub struct RealtimeItem {
 impl RealtimeNotification {
     /// A hint for a single subscription.
     pub fn single(ti: TriggerIdentity) -> Self {
-        RealtimeNotification { data: vec![RealtimeItem { trigger_identity: ti }] }
+        RealtimeNotification {
+            data: vec![RealtimeItem {
+                trigger_identity: ti,
+            }],
+        }
     }
 }
 
@@ -156,7 +165,11 @@ pub struct ErrorItem {
 impl ErrorBody {
     /// A single-message error body.
     pub fn message(msg: impl Into<String>) -> Self {
-        ErrorBody { errors: vec![ErrorItem { message: msg.into() }] }
+        ErrorBody {
+            errors: vec![ErrorItem {
+                message: msg.into(),
+            }],
+        }
     }
 }
 
@@ -238,13 +251,17 @@ mod tests {
     #[test]
     fn query_bodies_roundtrip() {
         let q = QueryRequestBody {
-            query_fields: [("city".to_string(), "rome".to_string())].into_iter().collect(),
+            query_fields: [("city".to_string(), "rome".to_string())]
+                .into_iter()
+                .collect(),
             user: UserId::new("u"),
         };
         let back: QueryRequestBody = from_bytes(&to_bytes(&q)).unwrap();
         assert_eq!(back, q);
         let r = QueryResponseBody {
-            data: [("condition".to_string(), "rain".to_string())].into_iter().collect(),
+            data: [("condition".to_string(), "rain".to_string())]
+                .into_iter()
+                .collect(),
         };
         let back: QueryResponseBody = from_bytes(&to_bytes(&r)).unwrap();
         assert_eq!(back, r);

@@ -1,7 +1,9 @@
 //! Property-based tests for the wire protocol.
 
 use proptest::prelude::*;
-use tap_protocol::wire::{self, ActionRequestBody, PollRequestBody, PollResponseBody, TriggerEvent};
+use tap_protocol::wire::{
+    self, ActionRequestBody, PollRequestBody, PollResponseBody, TriggerEvent,
+};
 use tap_protocol::{FieldMap, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
 
 fn arb_fields() -> impl Strategy<Value = FieldMap> {

@@ -113,7 +113,10 @@ pub enum ServiceVariant {
 }
 
 fn fm(pairs: &[(&str, &str)]) -> FieldMap {
-    pairs.iter().map(|(k, v)| (k.to_string(), v.to_string())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
 }
 
 /// Build the [`Applet`] for a paper applet under a service variant.
@@ -138,7 +141,10 @@ pub fn paper_applet(which: PaperApplet, variant: ServiceVariant) -> Applet {
             a(
                 "google_sheets",
                 "add_row",
-                fm(&[("spreadsheet", "switch_log"), ("row", "activated|||{{device}}")]),
+                fm(&[
+                    ("spreadsheet", "switch_log"),
+                    ("row", "activated|||{{device}}"),
+                ]),
             ),
         ),
         PaperApplet::A2 => (
@@ -154,15 +160,26 @@ pub fn paper_applet(which: PaperApplet, variant: ServiceVariant) -> Applet {
             a(
                 "google_drive",
                 "save_file",
-                fm(&[("name", "{{subject}}.attachment"), ("content", "{{subject}}")]),
+                fm(&[
+                    ("name", "{{subject}}.attachment"),
+                    ("content", "{{subject}}"),
+                ]),
             ),
         ),
         PaperApplet::A5 => (
-            t("amazon_alexa", "say_a_phrase", fm(&[("phrase", "light off")])),
+            t(
+                "amazon_alexa",
+                "say_a_phrase",
+                fm(&[("phrase", "light off")]),
+            ),
             a("philips_hue", "turn_off_lights", FieldMap::new()),
         ),
         PaperApplet::A6 => (
-            t("amazon_alexa", "say_a_phrase", fm(&[("phrase", "switch on")])),
+            t(
+                "amazon_alexa",
+                "say_a_phrase",
+                fm(&[("phrase", "switch on")]),
+            ),
             a("wemo", "turn_on", FieldMap::new()),
         ),
         PaperApplet::A7 => (

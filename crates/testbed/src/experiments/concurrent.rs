@@ -39,7 +39,10 @@ fn email_to_wemo() -> Applet {
 /// Run the Figure 7 experiment: `runs` emails, each triggering both
 /// applets; returns the per-run T2A difference (hue − wemo) in seconds.
 pub fn concurrent_experiment(runs: usize, seed: u64) -> ConcurrentReport {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::ifttt_like() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::ifttt_like(),
+    });
     let a3 = paper_applet(PaperApplet::A3, ServiceVariant::Official);
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
@@ -54,9 +57,10 @@ pub fn concurrent_experiment(runs: usize, seed: u64) -> ConcurrentReport {
         tb.sim.node_mut::<HueLamp>(tb.nodes.lamp).state.on = false;
         tb.sim.node_mut::<WemoSwitch>(tb.nodes.wemo_switch).on = false;
         let t0 = tb.sim.now();
-        tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-            c.inject_email(ctx, &format!("concurrent {run}"), None);
-        });
+        tb.sim
+            .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+                c.inject_email(ctx, &format!("concurrent {run}"), None);
+            });
         let deadline = t0 + SimDuration::from_mins(25);
         let (mut hue_at, mut wemo_at) = (None, None);
         loop {

@@ -100,7 +100,10 @@ fn run_loop_world(
     let mut engine_cfg = EngineConfig::fast(); // fast polling makes the loop spin visibly
     engine_cfg.static_loop_check = static_check;
     engine_cfg.runtime_loop = runtime;
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: engine_cfg });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: engine_cfg,
+    });
     if enable_sheet_notification {
         // The user enabled the documented notification feature \[12\].
         tb.sim
@@ -126,16 +129,20 @@ fn run_loop_world(
     }
     tb.sim.run_for(SimDuration::from_secs(5));
     // Seed the loop with one external email.
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-        c.inject_email(ctx, "seed", None);
-    });
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+            c.inject_email(ctx, "seed", None);
+        });
     tb.sim.run_for(window);
     let engine_ref = tb.sim.node_ref::<TapEngine>(tb.nodes.engine);
     let stats = engine_ref.stats;
     let disabled = !engine_ref.is_enabled(applet_id);
     LoopOutcome {
         actions_executed: stats.actions_ok,
-        emails_delivered: tb.sim.node_ref::<GoogleCloud>(tb.nodes.google).emails_delivered,
+        emails_delivered: tb
+            .sim
+            .node_ref::<GoogleCloud>(tb.nodes.google)
+            .emails_delivered,
         flagged: stats.loops_flagged > 0,
         disabled,
         rejected_statically: false,
@@ -165,7 +172,10 @@ pub fn normal_usage_experiment(
 ) -> LoopOutcome {
     let mut engine_cfg = EngineConfig::fast();
     engine_cfg.runtime_loop = runtime;
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: engine_cfg });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: engine_cfg,
+    });
     let applet = email_to_sheet();
     let applet_id = applet.id;
     tb.sim
@@ -173,15 +183,19 @@ pub fn normal_usage_experiment(
         .expect("installs");
     tb.sim.run_for(SimDuration::from_secs(5));
     for i in 0..emails {
-        tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-            c.inject_email(ctx, &format!("normal {i}"), None);
-        });
+        tb.sim
+            .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+                c.inject_email(ctx, &format!("normal {i}"), None);
+            });
         tb.sim.run_for(SimDuration::from_secs(30));
     }
     let engine_ref = tb.sim.node_ref::<TapEngine>(tb.nodes.engine);
     LoopOutcome {
         actions_executed: engine_ref.stats.actions_ok,
-        emails_delivered: tb.sim.node_ref::<GoogleCloud>(tb.nodes.google).emails_delivered,
+        emails_delivered: tb
+            .sim
+            .node_ref::<GoogleCloud>(tb.nodes.google)
+            .emails_delivered,
         flagged: engine_ref.stats.loops_flagged > 0,
         disabled: !engine_ref.is_enabled(applet_id),
         rejected_statically: false,
@@ -217,7 +231,11 @@ mod tests {
         let o = explicit_loop_experiment(false, None, SimDuration::from_secs(90), 601);
         assert!(!o.rejected_statically);
         // One seed email amplifies into a stream of actions.
-        assert!(o.actions_executed >= 10, "only {} actions", o.actions_executed);
+        assert!(
+            o.actions_executed >= 10,
+            "only {} actions",
+            o.actions_executed
+        );
         assert!(o.emails_delivered > 10);
     }
 
@@ -232,8 +250,7 @@ mod tests {
     fn implicit_loop_evades_static_check_but_runtime_catches_it() {
         // Static check on, but the sheets→gmail coupling is not declared:
         // the install passes — exactly the paper's point.
-        let unprotected =
-            implicit_loop_experiment(true, None, SimDuration::from_secs(90), 603);
+        let unprotected = implicit_loop_experiment(true, None, SimDuration::from_secs(90), 603);
         assert!(!unprotected.rejected_statically);
         assert!(unprotected.actions_executed >= 10, "loop should spin");
         // With the runtime detector, the applet is flagged and disabled.

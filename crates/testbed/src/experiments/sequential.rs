@@ -21,7 +21,10 @@ pub fn sequential_experiment(
     cluster_gap: f64,
     seed: u64,
 ) -> SequentialReport {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::ifttt_like() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::ifttt_like(),
+    });
     let applet = paper_applet(PaperApplet::A3, ServiceVariant::Official);
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
@@ -34,14 +37,19 @@ pub fn sequential_experiment(
         let at = t0 + SimDuration::from_secs(spacing_secs * i as u64);
         tb.sim.run_until(at);
         triggers.push(tb.sim.now().since(t0).as_secs_f64());
-        tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-            c.inject_email(ctx, &format!("sequential {i}"), None);
-        });
+        tb.sim
+            .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+                c.inject_email(ctx, &format!("sequential {i}"), None);
+            });
     }
     // Wait until every action executed (each email is one blink action).
     let deadline = tb.sim.now() + SimDuration::from_mins(40);
     loop {
-        let done = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.actions_ok as usize;
+        let done = tb
+            .sim
+            .node_ref::<TapEngine>(tb.nodes.engine)
+            .stats
+            .actions_ok as usize;
         if done >= n || tb.sim.now() >= deadline {
             break;
         }

@@ -116,7 +116,8 @@ fn activate(tb: &mut Testbed, applet: PaperApplet, run: usize) {
     let controller = tb.nodes.controller;
     match applet {
         PaperApplet::A1 | PaperApplet::A2 => {
-            tb.sim.with_node::<TestController, _>(controller, |c, ctx| c.press_switch(ctx));
+            tb.sim
+                .with_node::<TestController, _>(controller, |c, ctx| c.press_switch(ctx));
         }
         PaperApplet::A3 => {
             tb.sim.with_node::<TestController, _>(controller, |c, ctx| {
@@ -162,8 +163,7 @@ pub fn measure_t2a(scenario: &T2aScenario) -> T2aReport {
     tb.sim.run_for(SimDuration::from_secs(10));
 
     let marker = scenario.applet.action_marker();
-    let mut samples = Vec::with_capacity(scenario.runs);
-    let mut lost = 0usize;
+    let mut report = T2aReport::new(scenario.label());
     for run in 0..scenario.runs {
         reset_devices(&mut tb, scenario.applet);
         let t0 = tb.sim.now();
@@ -184,14 +184,13 @@ pub fn measure_t2a(scenario: &T2aScenario) -> T2aReport {
             tb.sim.run_for(SimDuration::from_secs(2));
         };
         match observed {
-            Some(at) => samples.push(at.since(t0).as_secs_f64()),
-            None => lost += 1,
+            Some(at) => report.record_secs(at.since(t0).as_secs_f64()),
+            None => report.lost += 1,
         }
-        let jitter =
-            SimDuration::from_secs_f64(tb.sim.harness_rng().gen_range(0.0..240.0));
+        let jitter = SimDuration::from_secs_f64(tb.sim.harness_rng().gen_range(0.0..240.0));
         tb.sim.run_for(RUN_GAP + jitter);
     }
-    T2aReport { label: scenario.label(), samples, lost }
+    report
 }
 
 #[cfg(test)]
@@ -209,7 +208,7 @@ mod tests {
 
     #[test]
     fn official_a2_is_poll_bound_minutes() {
-        let r = measure_t2a(&T2aScenario::official(PaperApplet::A2, 8, 302));
+        let r = measure_t2a(&T2aScenario::official(PaperApplet::A2, 12, 302));
         assert_eq!(r.lost, 0);
         let s = r.summary();
         // Long and highly variable (the paper: p50 ≈ 84 s, up to 15 min).

@@ -11,7 +11,10 @@ use simnet::prelude::*;
 
 /// Run A2 under E2 once and reconstruct the Table 5 timeline.
 pub fn timeline_experiment(seed: u64) -> TimelineReport {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::ifttt_like() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::ifttt_like(),
+    });
     let applet = paper_applet(PaperApplet::A2, ServiceVariant::OursBoth);
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
@@ -19,7 +22,8 @@ pub fn timeline_experiment(seed: u64) -> TimelineReport {
     tb.sim.run_for(SimDuration::from_secs(10));
 
     let t0 = tb.sim.now();
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
     // Run until the lamp turns on (or a generous deadline passes).
     let deadline = t0 + SimDuration::from_mins(20);
     loop {
@@ -44,7 +48,10 @@ pub fn timeline_experiment(seed: u64) -> TimelineReport {
             .map(|e| (TimelineReport::rel(t0, e.at), desc.to_string()))
     };
     let mut entries: Vec<(f64, String)> = [
-        first("controller.trigger", "Test controller (9) sets the trigger event"),
+        first(
+            "controller.trigger",
+            "Test controller (9) sets the trigger event",
+        ),
         first(
             "proxy.event",
             "Local proxy (3) observes the trigger event and notifies Our Server (5)",
@@ -57,9 +64,18 @@ pub fn timeline_experiment(seed: u64) -> TimelineReport {
             "engine.events_received",
             "IFTTT engine (7) polls trigger service (5) and receives the trigger",
         ),
-        first("engine.action_sent", "IFTTT engine (7) sends action request to action service (5)"),
-        first("proxy.command", "After querying (5), (3) sends the action to the IoT device"),
-        first("controller.observed", "Test controller (9) confirms that the action has been executed"),
+        first(
+            "engine.action_sent",
+            "IFTTT engine (7) sends action request to action service (5)",
+        ),
+        first(
+            "proxy.command",
+            "After querying (5), (3) sends the action to the IoT device",
+        ),
+        first(
+            "controller.observed",
+            "Test controller (9) confirms that the action has been executed",
+        ),
     ]
     .into_iter()
     .flatten()
@@ -90,8 +106,16 @@ mod tests {
         assert!(t.entries[0].0 < 0.01);
         // The proxy sees the event and gets service confirmation within a
         // second (paper: 0.04 s and 0.16 s).
-        assert!(t.entries[1].0 < 1.0, "proxy observes late: {}", t.entries[1].0);
-        assert!(t.entries[2].0 < 2.0, "confirmation late: {}", t.entries[2].0);
+        assert!(
+            t.entries[1].0 < 1.0,
+            "proxy observes late: {}",
+            t.entries[1].0
+        );
+        assert!(
+            t.entries[2].0 < 2.0,
+            "confirmation late: {}",
+            t.entries[2].0
+        );
         // The poll dominates: it arrives tens of seconds later (81.1 s in
         // the paper's example).
         let poll = t
@@ -106,7 +130,11 @@ mod tests {
             .iter()
             .find(|(_, d)| d.contains("action request"))
             .expect("action entry");
-        assert!(action.0 - poll.0 < 10.0, "dispatch overhead {}", action.0 - poll.0);
+        assert!(
+            action.0 - poll.0 < 10.0,
+            "dispatch overhead {}",
+            action.0 - poll.0
+        );
         // And the device executes shortly after.
         let confirmed = t.entries.last().expect("nonempty");
         assert!(confirmed.0 - action.0 < 5.0);

@@ -35,7 +35,10 @@ impl BurstService {
         let ep = ServiceEndpoint::new(ServiceSlug::new(slug), ServiceKey(key.into()))
             .with_trigger("fired")
             .with_action("noop");
-        BurstService { core: ServiceCore::new(ep), next_burst: 0 }
+        BurstService {
+            core: ServiceCore::new(ep),
+            next_burst: 0,
+        }
     }
 
     fn burst(&mut self, ctx: &mut Context<'_>, users: usize) {
@@ -58,9 +61,7 @@ impl Node for BurstService {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
-            Processed::Action { .. } => {
-                HandlerResult::Reply(ServiceEndpoint::action_ok("ok"))
-            }
+            Processed::Action { .. } => HandlerResult::Reply(ServiceEndpoint::action_ok("ok")),
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
             }
@@ -98,7 +99,8 @@ pub fn run_workload(
     };
     if push {
         for i in 0..services {
-            cfg.realtime_allowlist.insert(ServiceSlug::new(format!("burst_{i}")));
+            cfg.realtime_allowlist
+                .insert(ServiceSlug::new(format!("burst_{i}")));
         }
     }
     let engine = sim.add_node("engine", TapEngine::new(cfg));
@@ -125,7 +127,11 @@ pub fn run_workload(
                 s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
             });
             sim.with_node::<TapEngine, _>(engine, |e, ctx| {
-                e.register_service(ServiceSlug::new(slug.clone()), *node, ServiceKey(key.clone()));
+                e.register_service(
+                    ServiceSlug::new(slug.clone()),
+                    *node,
+                    ServiceKey(key.clone()),
+                );
                 e.set_token(user.clone(), ServiceSlug::new(slug.clone()), token);
                 let applet = Applet::new(
                     AppletId(applet_id),

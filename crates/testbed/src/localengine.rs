@@ -45,7 +45,13 @@ pub struct LocalEngine {
 impl LocalEngine {
     /// Create a local engine bound to the proxy.
     pub fn new(proxy: NodeId) -> Self {
-        LocalEngine { proxy, rules: Vec::new(), executed: 0, attempted: 0, down: false }
+        LocalEngine {
+            proxy,
+            rules: Vec::new(),
+            executed: 0,
+            attempted: 0,
+            down: false,
+        }
     }
 
     /// Install a rule.
@@ -59,21 +65,23 @@ impl Node for LocalEngine {
         if self.down {
             return;
         }
-        let Some(ev) = DeviceEvent::from_bytes(&payload) else { return };
+        let Some(ev) = DeviceEvent::from_bytes(&payload) else {
+            return;
+        };
         let matching: Vec<DeviceCommand> = self
             .rules
             .iter()
-            .filter(|r| {
-                (r.device.is_empty() || r.device == ev.device) && r.kind == ev.kind
-            })
+            .filter(|r| (r.device.is_empty() || r.device == ev.device) && r.kind == ev.kind)
             .map(|r| r.command.clone())
             .collect();
         for command in matching {
             self.attempted += 1;
-            ctx.trace("local_engine.execute", format!("{} {}", command.device, command.op));
-            let req = Request::post(COMMAND_PATH).with_body(
-                serde_json::to_vec(&ProxyCommand { command }).expect("serializes"),
+            ctx.trace(
+                "local_engine.execute",
+                format!("{} {}", command.device, command.op),
             );
+            let req = Request::post(COMMAND_PATH)
+                .with_body(serde_json::to_vec(&ProxyCommand { command }).expect("serializes"));
             ctx.send_request(self.proxy, req, Token(1), RequestOpts::timeout_secs(10));
         }
     }
@@ -95,10 +103,14 @@ mod tests {
 
     fn with_local_engine() -> (Testbed, NodeId) {
         let mut tb = Testbed::build(TestbedConfig::default());
-        let le = tb.sim.add_node("local_engine", LocalEngine::new(tb.nodes.proxy));
+        let le = tb
+            .sim
+            .add_node("local_engine", LocalEngine::new(tb.nodes.proxy));
         tb.sim.link(le, tb.nodes.proxy, LinkSpec::lan());
         tb.sim.link(le, tb.nodes.wemo_switch, LinkSpec::lan());
-        tb.sim.node_mut::<WemoSwitch>(tb.nodes.wemo_switch).observe(le);
+        tb.sim
+            .node_mut::<WemoSwitch>(tb.nodes.wemo_switch)
+            .observe(le);
         tb.sim.node_mut::<LocalEngine>(le).add_rule(LocalRule {
             device: "wemo_switch_1".into(),
             kind: "switched_on".into(),
@@ -112,7 +124,8 @@ mod tests {
         let (mut tb, le) = with_local_engine();
         tb.sim.run_until(SimTime::from_secs(1));
         let t0 = tb.sim.now();
-        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim
+            .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
         tb.sim.run_until(SimTime::from_secs(3));
         assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
         assert_eq!(tb.sim.node_ref::<LocalEngine>(le).executed, 1);
@@ -123,14 +136,19 @@ mod tests {
             .observed_after("light_on", t0)
             .expect("lamp turned on")
             .at;
-        assert!(on.since(t0) < SimDuration::from_secs(1), "t2a {}", on.since(t0));
+        assert!(
+            on.since(t0) < SimDuration::from_secs(1),
+            "t2a {}",
+            on.since(t0)
+        );
     }
 
     #[test]
     fn down_engine_executes_nothing() {
         let (mut tb, le) = with_local_engine();
         tb.sim.node_mut::<LocalEngine>(le).down = true;
-        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim
+            .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
         tb.sim.run_until(SimTime::from_secs(3));
         assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
         assert_eq!(tb.sim.node_ref::<LocalEngine>(le).attempted, 0);
@@ -140,9 +158,11 @@ mod tests {
     fn rules_filter_by_kind() {
         let (mut tb, le) = with_local_engine();
         // Press twice: on (matches), off (does not match).
-        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim
+            .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
         tb.sim.run_until(SimTime::from_secs(2));
-        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim
+            .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
         tb.sim.run_until(SimTime::from_secs(4));
         assert_eq!(tb.sim.node_ref::<LocalEngine>(le).attempted, 1);
     }

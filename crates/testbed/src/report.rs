@@ -1,29 +1,70 @@
 //! Typed experiment results with plain-text renderings.
 
 use analysis::stats::{Cdf, Summary};
+use fleet::Histogram;
 use serde::{Deserialize, Serialize};
 use simnet::time::SimTime;
 
-/// Trigger-to-action latency samples for one applet/scenario (Figures 4/5).
+/// Trigger-to-action latencies for one applet/scenario (Figures 4/5),
+/// collected in a [`fleet::Histogram`] — the same mergeable instrument the
+/// fleet subsystem uses, so testbed-scale and fleet-scale T2A results
+/// aggregate and compare directly.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct T2aReport {
     /// e.g. `"A2 (official)"` or `"A2 E3"`.
     pub label: String,
-    /// T2A latencies in seconds, in run order.
-    pub samples: Vec<f64>,
+    /// T2A latency distribution (microsecond resolution).
+    pub latency: Histogram,
     /// Activations that never produced an action within the timeout.
     pub lost: usize,
 }
 
 impl T2aReport {
-    /// Summary statistics of the samples.
-    pub fn summary(&self) -> Summary {
-        Summary::of(&self.samples)
+    /// An empty report for `label`.
+    pub fn new(label: impl Into<String>) -> T2aReport {
+        T2aReport {
+            label: label.into(),
+            latency: Histogram::new(),
+            lost: 0,
+        }
     }
 
-    /// The empirical CDF.
+    /// Record one trigger-to-action latency in seconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.latency.record_secs(secs);
+    }
+
+    /// Summary statistics of the samples (quantiles from the histogram,
+    /// ≤ ~3% relative quantization error; min/max/mean are exact).
+    pub fn summary(&self) -> Summary {
+        let h = &self.latency;
+        let n = h.count() as usize;
+        if n == 0 {
+            return Summary::of(&[]);
+        }
+        let q = |p: f64| h.quantile(p) as f64 / 1e6;
+        Summary {
+            n,
+            min: h.min() as f64 / 1e6,
+            p25: q(0.25),
+            p50: q(0.5),
+            p75: q(0.75),
+            p95: q(0.95),
+            max: h.max() as f64 / 1e6,
+            mean: h.mean() / 1e6,
+        }
+    }
+
+    /// The empirical CDF (histogram bucket bounds, in seconds).
     pub fn cdf(&self) -> Cdf {
-        Cdf::of(&self.samples)
+        Cdf {
+            points: self
+                .latency
+                .cdf_points()
+                .into_iter()
+                .map(|(v, f)| (v as f64 / 1e6, f))
+                .collect(),
+        }
     }
 
     /// One text line: label + quartiles + extremes.
@@ -67,7 +108,11 @@ impl SequentialReport {
                 _ => clusters.push(vec![a]),
             }
         }
-        SequentialReport { triggers, actions, clusters }
+        SequentialReport {
+            triggers,
+            actions,
+            clusters,
+        }
     }
 
     /// Largest inter-cluster gap (the paper observes up to 14 minutes).
@@ -81,7 +126,10 @@ impl SequentialReport {
     /// Text rendering: two timelines plus cluster structure.
     pub fn render(&self) -> String {
         let fmt_times = |v: &[f64]| {
-            v.iter().map(|t| format!("{t:.0}")).collect::<Vec<_>>().join(" ")
+            v.iter()
+                .map(|t| format!("{t:.0}"))
+                .collect::<Vec<_>>()
+                .join(" ")
         };
         let mut out = format!(
             "triggers (s): {}\nactions  (s): {}\nclusters: {}\n",
@@ -157,15 +205,32 @@ mod tests {
 
     #[test]
     fn t2a_report_summary_and_render() {
-        let r = T2aReport {
-            label: "A2".into(),
-            samples: vec![58.0, 84.0, 122.0, 60.0, 90.0],
-            lost: 0,
-        };
+        let r = T2aReport::new("A2");
+        for s in [58.0, 84.0, 122.0, 60.0, 90.0] {
+            r.record_secs(s);
+        }
         let s = r.summary();
         assert_eq!(s.n, 5);
+        assert!((s.min - 58.0).abs() < 0.001, "min is exact: {}", s.min);
+        assert!((s.max - 122.0).abs() < 0.001, "max is exact: {}", s.max);
+        assert!(
+            (s.p50 - 84.0).abs() / 84.0 < 0.04,
+            "p50 within histogram error: {}",
+            s.p50
+        );
         assert!(r.render_line().contains("A2"));
         assert!(r.render_cdf(5).lines().count() >= 5);
+    }
+
+    #[test]
+    fn t2a_reports_merge_like_fleet_metrics() {
+        let a = T2aReport::new("x");
+        let b = T2aReport::new("x");
+        a.record_secs(58.0);
+        b.record_secs(122.0);
+        a.latency.merge_from(&b.latency);
+        assert_eq!(a.summary().n, 2);
+        assert!((a.summary().max - 122.0).abs() < 0.001);
     }
 
     #[test]
@@ -183,7 +248,9 @@ mod tests {
 
     #[test]
     fn concurrent_report_ranges() {
-        let r = ConcurrentReport { diffs: vec![-60.0, 0.0, 140.0] };
+        let r = ConcurrentReport {
+            diffs: vec![-60.0, 0.0, 140.0],
+        };
         let s = r.summary();
         assert_eq!(s.min, -60.0);
         assert_eq!(s.max, 140.0);

@@ -12,6 +12,7 @@
 use devices::echo::EchoDot;
 use devices::google::GoogleCloud;
 use devices::hue::{HueHub, HueLamp};
+use devices::nest::NestThermostat;
 use devices::proxy::{DeviceRoute, LocalProxy};
 use devices::services::alexa_service::AlexaService;
 use devices::services::datetime_service::DateTimeService;
@@ -21,7 +22,6 @@ use devices::services::nest_service::NestService;
 use devices::services::our_service::OurService;
 use devices::services::weather_service::WeatherService;
 use devices::services::wemo_service::WemoService;
-use devices::nest::NestThermostat;
 use devices::smartthings::{SensorKind, SmartThingsHub};
 use devices::weather::WeatherStation;
 use devices::wemo::WemoSwitch;
@@ -72,7 +72,10 @@ pub struct TestbedConfig {
 
 impl Default for TestbedConfig {
     fn default() -> Self {
-        TestbedConfig { seed: 1, engine: EngineConfig::ifttt_like() }
+        TestbedConfig {
+            seed: 1,
+            engine: EngineConfig::ifttt_like(),
+        }
     }
 }
 
@@ -94,10 +97,11 @@ impl Testbed {
 
         // --- Cloud side -------------------------------------------------
         let google = sim.add_node("google_cloud", GoogleCloud::new());
-        let hue_service =
-            sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
-        let wemo_service =
-            sim.add_node("wemo_service", WemoService::new(ServiceKey("sk_wemo".into())));
+        let hue_service = sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
+        let wemo_service = sim.add_node(
+            "wemo_service",
+            WemoService::new(ServiceKey("sk_wemo".into())),
+        );
         let gmail_service = sim.add_node(
             "gmail_service",
             GmailService::new(ServiceKey("sk_gmail".into()), google),
@@ -110,15 +114,23 @@ impl Testbed {
             "sheets_service",
             SheetsService::new(ServiceKey("sk_sheets".into()), google),
         );
-        let alexa_service =
-            sim.add_node("alexa_service", AlexaService::new(ServiceKey("sk_alexa".into())));
+        let alexa_service = sim.add_node(
+            "alexa_service",
+            AlexaService::new(ServiceKey("sk_alexa".into())),
+        );
         let weather_station = sim.add_node("weather_station", WeatherStation::new());
-        let nest_service =
-            sim.add_node("nest_service", NestService::new(ServiceKey("sk_nest".into())));
-        let datetime_service =
-            sim.add_node("date_time", DateTimeService::new(ServiceKey("sk_time".into())));
-        let weather_service =
-            sim.add_node("weather_service", WeatherService::new(ServiceKey("sk_weather".into())));
+        let nest_service = sim.add_node(
+            "nest_service",
+            NestService::new(ServiceKey("sk_nest".into())),
+        );
+        let datetime_service = sim.add_node(
+            "date_time",
+            DateTimeService::new(ServiceKey("sk_time".into())),
+        );
+        let weather_service = sim.add_node(
+            "weather_service",
+            WeatherService::new(ServiceKey("sk_weather".into())),
+        );
         let our_service =
             sim.add_node("our_service", OurService::new(ServiceKey("sk_ours".into())));
         let engine = sim.add_node("ifttt_engine", TapEngine::new(config.engine));
@@ -126,8 +138,7 @@ impl Testbed {
         // --- Home side --------------------------------------------------
         let hue_hub = sim.add_node("hue_hub", HueHub::new("hueuser"));
         let lamp = sim.add_node("hue_lamp_1", HueLamp::new("hue_lamp_1", AUTHOR));
-        let wemo_switch =
-            sim.add_node("wemo_switch_1", WemoSwitch::new("wemo_switch_1", AUTHOR));
+        let wemo_switch = sim.add_node("wemo_switch_1", WemoSwitch::new("wemo_switch_1", AUTHOR));
         let echo = sim.add_node("echo_dot", EchoDot::new("echo_1", AUTHOR, alexa_service));
         let st_hub = sim.add_node("st_hub", SmartThingsHub::new(AUTHOR));
         let nest = sim.add_node("nest_1", NestThermostat::new("nest_1", AUTHOR));
@@ -146,7 +157,14 @@ impl Testbed {
         sim.link(controller, wemo_switch, LinkSpec::lan());
         sim.link(controller, echo, LinkSpec::lan());
         // WAN side: router to each cloud entity.
-        for cloud in [our_service, google, hue_service, wemo_service, alexa_service, nest_service] {
+        for cloud in [
+            our_service,
+            google,
+            hue_service,
+            wemo_service,
+            alexa_service,
+            nest_service,
+        ] {
             sim.link(router, cloud, LinkSpec::wan());
         }
         sim.link(weather_station, weather_service, LinkSpec::wan());
@@ -171,19 +189,24 @@ impl Testbed {
         }
 
         // --- Wiring: device registries, allowlists, observers ------------
-        sim.node_mut::<HueHub>(hue_hub).register_lamp("hue_lamp_1", lamp);
+        sim.node_mut::<HueHub>(hue_hub)
+            .register_lamp("hue_lamp_1", lamp);
         sim.node_mut::<HueLamp>(lamp).observe(hue_hub);
         // Devices accept only LAN proxy + paired vendor clouds.
-        sim.node_mut::<HueHub>(hue_hub).allow_only(vec![proxy, hue_service]);
-        sim.node_mut::<WemoSwitch>(wemo_switch).allow_only(vec![proxy, wemo_service]);
+        sim.node_mut::<HueHub>(hue_hub)
+            .allow_only(vec![proxy, hue_service]);
+        sim.node_mut::<WemoSwitch>(wemo_switch)
+            .allow_only(vec![proxy, wemo_service]);
         // State-change pushes: to the proxy (Our Service path), to the
         // vendor clouds, and to the controller (T_A measurement).
         sim.node_mut::<HueHub>(hue_hub).observe(proxy);
         sim.node_mut::<HueHub>(hue_hub).observe(controller);
         sim.node_mut::<WemoSwitch>(wemo_switch).observe(proxy);
-        sim.node_mut::<WemoSwitch>(wemo_switch).observe(wemo_service);
+        sim.node_mut::<WemoSwitch>(wemo_switch)
+            .observe(wemo_service);
         sim.node_mut::<WemoSwitch>(wemo_switch).observe(controller);
-        sim.node_mut::<SmartThingsHub>(st_hub).attach("motion_1", SensorKind::Motion);
+        sim.node_mut::<SmartThingsHub>(st_hub)
+            .attach("motion_1", SensorKind::Motion);
         sim.node_mut::<SmartThingsHub>(st_hub).observe(proxy);
         sim.node_mut::<GoogleCloud>(google).observe(gmail_service);
         sim.node_mut::<GoogleCloud>(google).observe(controller);
@@ -193,7 +216,10 @@ impl Testbed {
             p.set_upstream(our_service);
             p.register(
                 "hue_lamp_1",
-                DeviceRoute::HueLamp { hub: hue_hub, username: "hueuser".into() },
+                DeviceRoute::HueLamp {
+                    hub: hue_hub,
+                    username: "hueuser".into(),
+                },
             );
             p.register("wemo_switch_1", DeviceRoute::Wemo { node: wemo_switch });
             p.register("motion_1", DeviceRoute::SmartThings { hub: st_hub });
@@ -223,7 +249,8 @@ impl Testbed {
         sim.with_node::<AlexaService, _>(alexa_service, |s, _| {
             s.core.enable_realtime(engine);
         });
-        sim.node_mut::<WeatherStation>(weather_station).observe(weather_service);
+        sim.node_mut::<WeatherStation>(weather_station)
+            .observe(weather_service);
         sim.with_node::<WeatherService, _>(weather_service, |s, _| {
             s.add_user(UserId::new(AUTHOR));
         });
@@ -330,7 +357,15 @@ mod tests {
         // Nothing exploded; the author is connected everywhere.
         let author = UserId::new(AUTHOR);
         let e = tb.sim.node_ref::<TapEngine>(tb.nodes.engine);
-        for slug in ["philips_hue", "wemo", "gmail", "google_drive", "google_sheets", "amazon_alexa", "our_service"] {
+        for slug in [
+            "philips_hue",
+            "wemo",
+            "gmail",
+            "google_drive",
+            "google_sheets",
+            "amazon_alexa",
+            "our_service",
+        ] {
             assert!(e.is_connected(&author, &ServiceSlug::new(slug)), "{slug}");
         }
     }
@@ -338,7 +373,8 @@ mod tests {
     #[test]
     fn controller_observes_switch_presses() {
         let mut tb = Testbed::build(TestbedConfig::default());
-        tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+        tb.sim
+            .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
         tb.sim.run_until(SimTime::from_secs(2));
         let c = tb.sim.node_ref::<TestController>(tb.nodes.controller);
         assert!(c.observed("switched_on").is_some());
@@ -354,11 +390,21 @@ mod tests {
         let probe = tb.sim.add_node("probe", Probe);
         tb.sim.link(probe, tb.nodes.router, LinkSpec::wan());
         tb.sim.with_node::<Probe, _>(probe, |_, ctx| {
-            let req = Request::put("/api/hueuser/lights/hue_lamp_1/state")
-                .with_body(r#"{"on":true}"#);
-            ctx.send_request(tb.nodes.hue_hub, req, Token(1), RequestOpts::timeout_secs(5));
+            let req =
+                Request::put("/api/hueuser/lights/hue_lamp_1/state").with_body(r#"{"on":true}"#);
+            ctx.send_request(
+                tb.nodes.hue_hub,
+                req,
+                Token(1),
+                RequestOpts::timeout_secs(5),
+            );
         });
         tb.sim.run_until(SimTime::from_secs(10));
-        assert!(!tb.sim.node_ref::<devices::hue::HueLamp>(tb.nodes.lamp).state.on);
+        assert!(
+            !tb.sim
+                .node_ref::<devices::hue::HueLamp>(tb.nodes.lamp)
+                .state
+                .on
+        );
     }
 }

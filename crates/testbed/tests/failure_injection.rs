@@ -12,7 +12,10 @@ use testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
 use testbed::{TestController, Testbed, TestbedConfig};
 
 fn a2_world(seed: u64) -> Testbed {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::fast(),
+    });
     let applet = paper_applet(PaperApplet::A2, ServiceVariant::Official);
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
@@ -51,7 +54,11 @@ fn engine_poll_chain_survives_a_wan_outage() {
     let svc = tb.nodes.wemo_service;
     set_node_up(&mut tb, svc, &[], false);
     tb.sim.run_for(SimDuration::from_secs(60));
-    let failed = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.polls_failed;
+    let failed = tb
+        .sim
+        .node_ref::<TapEngine>(tb.nodes.engine)
+        .stats
+        .polls_failed;
     assert!(failed > 0, "polls must fail during the outage");
     // Restore; press the switch; the applet still executes.
     set_node_up(&mut tb, svc, &[], true);
@@ -114,7 +121,13 @@ fn dead_action_service_is_counted_not_wedged() {
     // The poll chain kept running the whole time.
     let polls_before = stats.polls_sent;
     tb.sim.run_for(SimDuration::from_secs(30));
-    assert!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.polls_sent > polls_before);
+    assert!(
+        tb.sim
+            .node_ref::<TapEngine>(tb.nodes.engine)
+            .stats
+            .polls_sent
+            > polls_before
+    );
 }
 
 #[test]
@@ -128,7 +141,8 @@ fn home_lan_outage_blocks_the_device_not_the_cloud() {
     let sw = tb.nodes.wemo_switch;
     set_node_up(&mut tb, sw, &[], false);
     let t0 = tb.sim.now();
-    tb.sim.with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
+    tb.sim
+        .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));
     tb.sim.run_for(SimDuration::from_secs(60));
     assert!(
         tb.sim

@@ -32,7 +32,10 @@ fn rain_applet() -> Applet {
 
 #[test]
 fn rain_turns_the_hue_lights_blue() {
-    let mut tb = Testbed::build(TestbedConfig { seed: 7, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 7,
+        engine: EngineConfig::fast(),
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
             e.install_applet(ctx, rain_applet())
@@ -42,9 +45,10 @@ fn rain_turns_the_hue_lights_blue() {
     assert_ne!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.hue, 46920);
 
     // It starts to rain.
-    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
-        w.set_condition(ctx, Weather::Rain);
-    });
+    tb.sim
+        .with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+            w.set_condition(ctx, Weather::Rain);
+        });
     tb.sim.run_for(SimDuration::from_secs(10));
     let lamp = tb.sim.node_ref::<HueLamp>(tb.nodes.lamp);
     assert!(lamp.state.on);
@@ -53,17 +57,27 @@ fn rain_turns_the_hue_lights_blue() {
 
 #[test]
 fn clear_weather_does_not_trigger_the_rain_applet() {
-    let mut tb = Testbed::build(TestbedConfig { seed: 8, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 8,
+        engine: EngineConfig::fast(),
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
             e.install_applet(ctx, rain_applet())
         })
         .expect("installs");
     tb.sim.run_for(SimDuration::from_secs(5));
-    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
-        w.set_condition(ctx, Weather::Cloudy);
-    });
+    tb.sim
+        .with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+            w.set_condition(ctx, Weather::Cloudy);
+        });
     tb.sim.run_for(SimDuration::from_secs(20));
     assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
-    assert_eq!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.actions_sent, 0);
+    assert_eq!(
+        tb.sim
+            .node_ref::<TapEngine>(tb.nodes.engine)
+            .stats
+            .actions_sent,
+        0
+    );
 }

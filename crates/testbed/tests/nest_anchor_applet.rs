@@ -33,7 +33,10 @@ fn hot_room_applet(threshold: f64, setpoint: f64) -> Applet {
 
 #[test]
 fn temperature_crossing_drives_the_setpoint() {
-    let mut tb = Testbed::build(TestbedConfig { seed: 11, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 11,
+        engine: EngineConfig::fast(),
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
             e.install_applet(ctx, hot_room_applet(26.0, 21.0))
@@ -42,26 +45,42 @@ fn temperature_crossing_drives_the_setpoint() {
     tb.sim.run_for(SimDuration::from_secs(5));
 
     // Warm up below the threshold: nothing happens.
-    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 24.0));
+    tb.sim
+        .with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 24.0));
     tb.sim.run_for(SimDuration::from_secs(10));
-    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).setpoint_changes, 0);
+    assert_eq!(
+        tb.sim
+            .node_ref::<NestThermostat>(tb.nodes.nest)
+            .setpoint_changes,
+        0
+    );
 
     // Cross the threshold: the applet cools the house.
-    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.5));
+    tb.sim
+        .with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.5));
     tb.sim.run_for(SimDuration::from_secs(10));
     let nest = tb.sim.node_ref::<NestThermostat>(tb.nodes.nest);
     assert_eq!(nest.setpoint_changes, 1);
     assert_eq!(nest.target_c, 21.0);
 
     // Hovering above the threshold does not refire.
-    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 28.5));
+    tb.sim
+        .with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 28.5));
     tb.sim.run_for(SimDuration::from_secs(10));
-    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).setpoint_changes, 1);
+    assert_eq!(
+        tb.sim
+            .node_ref::<NestThermostat>(tb.nodes.nest)
+            .setpoint_changes,
+        1
+    );
 }
 
 #[test]
 fn two_thresholds_fire_independently() {
-    let mut tb = Testbed::build(TestbedConfig { seed: 12, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 12,
+        engine: EngineConfig::fast(),
+    });
     let mut second = hot_room_applet(30.0, 19.0);
     second.id = AppletId(31);
     tb.sim
@@ -72,11 +91,16 @@ fn two_thresholds_fire_independently() {
         .expect("installs");
     tb.sim.run_for(SimDuration::from_secs(5));
     // 21 → 27: only the 26° applet fires (sets 21°).
-    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.0));
+    tb.sim
+        .with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 27.0));
     tb.sim.run_for(SimDuration::from_secs(10));
-    assert_eq!(tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).target_c, 21.0);
+    assert_eq!(
+        tb.sim.node_ref::<NestThermostat>(tb.nodes.nest).target_c,
+        21.0
+    );
     // 27 → 31: now the 30° applet fires too (sets 19°).
-    tb.sim.with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 31.0));
+    tb.sim
+        .with_node::<NestThermostat, _>(tb.nodes.nest, |n, ctx| n.set_ambient(ctx, 31.0));
     tb.sim.run_for(SimDuration::from_secs(10));
     let nest = tb.sim.node_ref::<NestThermostat>(tb.nodes.nest);
     assert_eq!(nest.target_c, 19.0);

@@ -41,7 +41,10 @@ fn email_blink_if_raining() -> Applet {
 }
 
 fn world(seed: u64) -> Testbed {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::fast() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::fast(),
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
             e.install_applet(ctx, email_blink_if_raining())
@@ -54,14 +57,16 @@ fn world(seed: u64) -> Testbed {
 #[test]
 fn query_gated_applet_fires_in_the_rain() {
     let mut tb = world(1);
-    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
-        w.set_condition(ctx, Weather::Rain);
-    });
+    tb.sim
+        .with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+            w.set_condition(ctx, Weather::Rain);
+        });
     tb.sim.run_for(SimDuration::from_secs(2));
     let t0 = tb.sim.now();
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-        c.inject_email(ctx, "rainy day note", None);
-    });
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+            c.inject_email(ctx, "rainy day note", None);
+        });
     tb.sim.run_for(SimDuration::from_secs(15));
     let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
     assert_eq!(stats.queries_sent, 1, "one weather query per dispatch");
@@ -81,9 +86,10 @@ fn query_gated_applet_stays_quiet_in_clear_weather() {
     let mut tb = world(2);
     // Weather stays clear (the service default).
     let t0 = tb.sim.now();
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-        c.inject_email(ctx, "sunny day note", None);
-    });
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+            c.inject_email(ctx, "sunny day note", None);
+        });
     tb.sim.run_for(SimDuration::from_secs(15));
     let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
     assert_eq!(stats.queries_sent, 1);
@@ -100,19 +106,28 @@ fn query_gated_applet_stays_quiet_in_clear_weather() {
 fn weather_change_flips_the_gate() {
     let mut tb = world(3);
     // First email in clear weather: filtered.
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-        c.inject_email(ctx, "email one", None);
-    });
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+            c.inject_email(ctx, "email one", None);
+        });
     tb.sim.run_for(SimDuration::from_secs(15));
-    assert_eq!(tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats.actions_sent, 0);
+    assert_eq!(
+        tb.sim
+            .node_ref::<TapEngine>(tb.nodes.engine)
+            .stats
+            .actions_sent,
+        0
+    );
     // Rain starts; the second email passes the gate.
-    tb.sim.with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
-        w.set_condition(ctx, Weather::Rain);
-    });
+    tb.sim
+        .with_node::<WeatherStation, _>(tb.nodes.weather_station, |w, ctx| {
+            w.set_condition(ctx, Weather::Rain);
+        });
     tb.sim.run_for(SimDuration::from_secs(2));
-    tb.sim.with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
-        c.inject_email(ctx, "email two", None);
-    });
+    tb.sim
+        .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| {
+            c.inject_email(ctx, "email two", None);
+        });
     tb.sim.run_for(SimDuration::from_secs(15));
     let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
     assert_eq!(stats.actions_sent, 1);

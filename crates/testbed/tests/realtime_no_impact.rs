@@ -19,12 +19,16 @@ use testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
 use testbed::{TestController, Testbed, TestbedConfig};
 
 fn run_e2(hints: bool, runs: usize, seed: u64) -> (Vec<f64>, u64, u64) {
-    let mut tb = Testbed::build(TestbedConfig { seed, engine: EngineConfig::ifttt_like() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed,
+        engine: EngineConfig::ifttt_like(),
+    });
     if hints {
         let engine = tb.nodes.engine;
-        tb.sim.with_node::<OurService, _>(tb.nodes.our_service, |s, _| {
-            s.core.enable_realtime(engine);
-        });
+        tb.sim
+            .with_node::<OurService, _>(tb.nodes.our_service, |s, _| {
+                s.core.enable_realtime(engine);
+            });
     }
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {

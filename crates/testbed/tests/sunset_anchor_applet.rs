@@ -34,7 +34,10 @@ fn lights_come_on_at_sunset_every_day() {
     // events than 1-second polling over two simulated days.
     let mut cfg = EngineConfig::fast();
     cfg.polling = PollPolicy::fixed(30.0);
-    let mut tb = Testbed::build(TestbedConfig { seed: 13, engine: cfg });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 13,
+        engine: cfg,
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| {
             e.install_applet(ctx, sunset_applet())
@@ -45,11 +48,18 @@ fn lights_come_on_at_sunset_every_day() {
     assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
     // Just past sunset (+ poll + dispatch): the lights are on.
     tb.sim.run_until(SimTime::from_secs(SUNSET + 180));
-    assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on, "lights on after sunset");
+    assert!(
+        tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on,
+        "lights on after sunset"
+    );
     // Day 2: the user switched them off overnight; sunset fires again.
     tb.sim.node_mut::<HueLamp>(tb.nodes.lamp).state.on = false;
-    tb.sim.run_until(SimTime::from_secs(DAY_SECS + SUNSET + 180));
-    assert!(tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on, "fires daily");
+    tb.sim
+        .run_until(SimTime::from_secs(DAY_SECS + SUNSET + 180));
+    assert!(
+        tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on,
+        "fires daily"
+    );
     let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
     assert_eq!(stats.actions_ok, 2, "one execution per sunset");
 }
@@ -62,7 +72,10 @@ fn every_day_at_applet_fires_at_the_right_minute() {
     applet.trigger.fields.insert("time".into(), "07:15".into());
     let mut cfg = EngineConfig::fast();
     cfg.polling = PollPolicy::fixed(30.0);
-    let mut tb = Testbed::build(TestbedConfig { seed: 14, engine: cfg });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 14,
+        engine: cfg,
+    });
     tb.sim
         .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
         .expect("installs");

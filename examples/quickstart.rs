@@ -8,12 +8,15 @@
 use ifttt_core::engine::{EngineConfig, TapEngine};
 use ifttt_core::simnet::prelude::*;
 use ifttt_core::testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
-use ifttt_core::testbed::{Testbed, TestbedConfig, TestController};
+use ifttt_core::testbed::{TestController, Testbed, TestbedConfig};
 
 fn main() {
     // The Figure 1 world: Hue lamp+hub, WeMo switch, Echo Dot, proxy,
     // router, vendor clouds, Google, and a production-like IFTTT engine.
-    let mut tb = Testbed::build(TestbedConfig { seed: 42, engine: EngineConfig::ifttt_like() });
+    let mut tb = Testbed::build(TestbedConfig {
+        seed: 42,
+        engine: EngineConfig::ifttt_like(),
+    });
 
     // Install Table 4's applet A2: "Turn on my Hue light from the Wemo
     // light switch", on the official WeMo and Hue partner services.

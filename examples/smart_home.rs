@@ -40,7 +40,10 @@ fn main() {
     println!("scenario: switch press → light on (applet A2)\n");
 
     // --- Through the cloud engine (production IFTTT behaviour) ----------
-    let mut cloud = Testbed::build(TestbedConfig { seed: 5, engine: EngineConfig::ifttt_like() });
+    let mut cloud = Testbed::build(TestbedConfig {
+        seed: 5,
+        engine: EngineConfig::ifttt_like(),
+    });
     cloud
         .sim
         .with_node::<TapEngine, _>(cloud.nodes.engine, |e, ctx| {
@@ -57,7 +60,10 @@ fn main() {
     println!();
 
     // --- Through a local engine in the LAN (§6 extension) ---------------
-    let mut local = Testbed::build(TestbedConfig { seed: 6, engine: EngineConfig::ifttt_like() });
+    let mut local = Testbed::build(TestbedConfig {
+        seed: 6,
+        engine: EngineConfig::ifttt_like(),
+    });
     let le = local
         .sim
         .add_node("local_engine", LocalEngine::new(local.nodes.proxy));

@@ -1,0 +1,343 @@
+//! Value-generation strategies for the proptest shim.
+
+use rand::{Rng, StdRng};
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying a predicate (re-draws up to a bound).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_filter` adapter.
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter `{}` rejected 1000 consecutive draws",
+            self.whence
+        );
+    }
+}
+
+/// Always the same value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Type-erased strategy used by `prop_oneof!`.
+pub struct Mapped<T> {
+    gen_fn: Box<dyn Fn(&mut StdRng) -> T>,
+}
+
+impl<T> Mapped<T> {
+    pub fn boxed<S: Strategy<Value = T> + 'static>(s: S) -> Self {
+        Mapped {
+            gen_fn: Box::new(move |rng| s.generate(rng)),
+        }
+    }
+}
+
+impl<T> Strategy for Mapped<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        (self.gen_fn)(rng)
+    }
+}
+
+/// Uniform choice among several strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<Mapped<T>>,
+}
+
+impl<T> OneOf<T> {
+    pub fn new(options: Vec<Mapped<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        OneOf { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.gen_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident : $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0: 0, S1: 1)
+    (S0: 0, S1: 1, S2: 2)
+    (S0: 0, S1: 1, S2: 2, S3: 3)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4)
+    (S0: 0, S1: 1, S2: 2, S3: 3, S4: 4, S5: 5)
+}
+
+/// Types with a canonical full-range strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f64, f32);
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        // Mostly printable ASCII, occasionally any scalar value.
+        if rng.gen_bool(0.9) {
+            rng.gen_range(0x20u32..0x7f) as u8 as char
+        } else {
+            loop {
+                if let Some(c) = char::from_u32(rng.gen_range(0u32..=0x10FFFF)) {
+                    return c;
+                }
+            }
+        }
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// String pattern strategies
+// ---------------------------------------------------------------------------
+
+/// One piece of a string pattern: a set of characters plus a repeat range.
+struct PatternPart {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+/// `&str` patterns act as regex-like string strategies, covering the subset
+/// proptest-style tests actually write: literal characters, `[a-z0-9_]`
+/// classes (ranges and singletons, including the space-to-tilde `[ -~]`
+/// form), and `{n}` / `{m,n}` repetitions.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for p in &parts {
+            let count = if p.min == p.max {
+                p.min
+            } else {
+                rng.gen_range(p.min..=p.max)
+            };
+            for _ in 0..count {
+                let idx = rng.gen_range(0..p.chars.len());
+                out.push(p.chars[idx]);
+            }
+        }
+        out
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut parts: Vec<PatternPart> = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed `[` in pattern `{pattern}`"));
+                let set = expand_class(&chars[i + 1..close], pattern);
+                parts.push(PatternPart {
+                    chars: set,
+                    min: 1,
+                    max: 1,
+                });
+                i = close + 1;
+            }
+            '{' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed `{{` in pattern `{pattern}`"));
+                let body: String = chars[i + 1..close].iter().collect();
+                let (min, max) = match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("pattern repeat lower bound"),
+                        hi.trim().parse().expect("pattern repeat upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse().expect("pattern repeat count");
+                        (n, n)
+                    }
+                };
+                let last = parts.last_mut().unwrap_or_else(|| {
+                    panic!("`{{...}}` with nothing to repeat in pattern `{pattern}`")
+                });
+                last.min = min;
+                last.max = max;
+                i = close + 1;
+            }
+            '\\' => {
+                let c = chars.get(i + 1).copied().unwrap_or('\\');
+                parts.push(PatternPart {
+                    chars: vec![c],
+                    min: 1,
+                    max: 1,
+                });
+                i += 2;
+            }
+            c => {
+                parts.push(PatternPart {
+                    chars: vec![c],
+                    min: 1,
+                    max: 1,
+                });
+                i += 1;
+            }
+        }
+    }
+    parts
+}
+
+fn expand_class(body: &[char], pattern: &str) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            assert!(
+                lo <= hi,
+                "inverted range `{lo}-{hi}` in pattern `{pattern}`"
+            );
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    assert!(
+        !set.is_empty(),
+        "empty character class in pattern `{pattern}`"
+    );
+    set
+}

@@ -1,0 +1,63 @@
+//! Deserialization support types (`serde::de` in the real crate).
+
+use crate::{Deserialize, Value};
+use std::fmt;
+
+/// Marker for types deserializable without borrowing from the input.
+///
+/// The shim's [`Deserialize`](crate::Deserialize) never borrows, so every
+/// deserializable type qualifies.
+pub trait DeserializeOwned: Deserialize {}
+impl<T: Deserialize> DeserializeOwned for T {}
+
+/// A deserialization (or serialization) error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// An error with a custom message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error {
+            msg: msg.to_string(),
+        }
+    }
+
+    /// A type-mismatch error naming what was expected and what was found.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        Error {
+            msg: format!("invalid type: expected {what}, found {kind}"),
+        }
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    /// An enum tag did not match any variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` for enum `{ty}`"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,344 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no crates.io access, so the workspace vendors a
+//! minimal serde replacement. Instead of upstream's visitor-based data model,
+//! this shim routes everything through one in-memory JSON tree ([`Value`]):
+//! `Serialize` lowers a type to a `Value`, `Deserialize` lifts it back. The
+//! `derive` feature re-exports a hand-rolled proc-macro (see `serde_derive`)
+//! that mirrors upstream's externally-tagged representation for the container
+//! shapes and `#[serde(...)]` attributes this workspace actually uses.
+
+pub mod de;
+pub mod value;
+
+pub use value::{Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Lower `self` into a JSON [`Value`].
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Lift `Self` out of a JSON [`Value`].
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, de::Error>;
+}
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Number(Number::U(*self as u64))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_u64().ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Number(Number::U(i as u64))
+                } else {
+                    Value::Number(Number::I(i))
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let n = v.as_i64().ok_or_else(|| de::Error::expected(stringify!($t), v))?;
+                <$t>::try_from(n).map_err(|_| de::Error::expected(stringify!($t), v))
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        // Wire types keep u128 within u64 range; saturate defensively.
+        Value::Number(Number::U(u64::try_from(*self).unwrap_or(u64::MAX)))
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_u64()
+            .map(u128::from)
+            .ok_or_else(|| de::Error::expected("u128", v))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self))
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_f64().ok_or_else(|| de::Error::expected("f64", v))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F(*self as f64))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_bool().ok_or_else(|| de::Error::expected("bool", v))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| de::Error::expected("string", v))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Deserialize for &'static str {
+    /// `&'static str` fields only appear in constant datasets that are
+    /// serialized for reporting; deserializing one leaks the string, which
+    /// is acceptable for those rare, small cases.
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("string", v))?;
+        Ok(Box::leak(s.to_owned().into_boxed_str()))
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let s = v.as_str().ok_or_else(|| de::Error::expected("char", v))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(de::Error::expected("single-char string", v)),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(Box::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(std::sync::Arc::new(T::from_value(v)?))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::from_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| de::Error::expected("array", v))?;
+        arr.iter().map(T::from_value).collect()
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($t:ident : $idx:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, de::Error> {
+                let arr = v.as_array().ok_or_else(|| de::Error::expected("tuple", v))?;
+                let expected = [$($idx),+].len();
+                if arr.len() != expected {
+                    return Err(de::Error::expected("tuple of matching arity", v));
+                }
+                Ok(($($t::from_value(&arr[$idx])?,)+))
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7)
+}
+
+// Map keys serialize through `Display` and deserialize through `FromStr`,
+// which covers `String`, `&String`/`&str`, and integer keys alike (JSON
+// object keys are always strings).
+impl<K: std::fmt::Display, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: std::str::FromStr + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| de::Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                let key = k
+                    .parse()
+                    .map_err(|_| de::Error::custom(format!("bad key `{k}`")))?;
+                Ok((key, V::from_value(x)?))
+            })
+            .collect()
+    }
+}
+
+impl<K: std::fmt::Display, V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        // BTreeMap intermediate gives deterministic key order.
+        let sorted: BTreeMap<String, Value> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        Value::Object(sorted)
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: std::str::FromStr + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| de::Error::expected("object", v))?;
+        obj.iter()
+            .map(|(k, x)| {
+                let key = k
+                    .parse()
+                    .map_err(|_| de::Error::custom(format!("bad key `{k}`")))?;
+                Ok((key, V::from_value(x)?))
+            })
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        Ok(v.clone())
+    }
+}

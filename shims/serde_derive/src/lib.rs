@@ -1,0 +1,601 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! value-tree traits in the sibling `serde` shim, using only the compiler's
+//! built-in `proc_macro` API (the real crate's `syn`/`quote` stack is not
+//! available offline). The generated representation matches upstream serde's
+//! externally-tagged defaults for the shapes this workspace uses:
+//!
+//! * named structs -> JSON objects (honouring `#[serde(default)]` and
+//!   `#[serde(default = "path")]`, with missing `Option` fields -> `None`)
+//! * newtype / `#[serde(transparent)]` structs -> the inner value
+//! * multi-field tuple structs -> JSON arrays
+//! * enums -> `"Variant"` for unit variants, `{"Variant": ...}` otherwise,
+//!   honouring `#[serde(rename_all = "snake_case")]`
+//!
+//! Unsupported shapes (generics, other attributes) panic at expansion time
+//! with a clear message rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    ty: String,
+    default: Option<String>, // "" = Default::default(), otherwise a fn path
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+/// Container-level `#[serde(...)]` switches.
+#[derive(Default)]
+struct ContainerAttrs {
+    snake_case: bool,
+}
+
+/// What the derive input turned out to be.
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+        attrs: ContainerAttrs,
+    },
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive shim: generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Serde attribute contents gathered while skipping a run of attributes.
+#[derive(Default)]
+struct AttrInfo {
+    default: Option<String>,
+    transparent: bool,
+    snake_case: bool,
+}
+
+/// Consume attributes (`#[...]`) starting at `i`; return parsed serde info.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> (AttrInfo, usize) {
+    let mut info = AttrInfo::default();
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        parse_attr_group(&g.stream(), &mut info);
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (info, i)
+}
+
+/// Inspect one `#[...]` body; record serde switches, ignore everything else.
+fn parse_attr_group(stream: &TokenStream, info: &mut AttrInfo) {
+    let toks: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match toks.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return,
+    }
+    let Some(TokenTree::Group(inner)) = toks.get(1) else {
+        return;
+    };
+    let inner: Vec<TokenTree> = inner.stream().into_iter().collect();
+    let mut j = 0;
+    while j < inner.len() {
+        match &inner[j] {
+            TokenTree::Ident(id) => {
+                let word = id.to_string();
+                let eq_lit = match (inner.get(j + 1), inner.get(j + 2)) {
+                    (Some(TokenTree::Punct(p)), Some(TokenTree::Literal(l)))
+                        if p.as_char() == '=' =>
+                    {
+                        Some(unquote(&l.to_string()))
+                    }
+                    _ => None,
+                };
+                match (word.as_str(), &eq_lit) {
+                    ("default", None) => info.default = Some(String::new()),
+                    ("default", Some(path)) => info.default = Some(path.clone()),
+                    ("transparent", _) => info.transparent = true,
+                    ("rename_all", Some(style)) => {
+                        if style == "snake_case" {
+                            info.snake_case = true;
+                        } else {
+                            panic!("serde shim: unsupported rename_all style `{style}`");
+                        }
+                    }
+                    other => panic!("serde shim: unsupported serde attribute `{:?}`", other.0),
+                }
+                j += if eq_lit.is_some() { 3 } else { 1 };
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => j += 1,
+            t => panic!("serde shim: unexpected token in serde attribute: {t}"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Skip visibility (`pub`, `pub(crate)`, ...) starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (container, mut i) = skip_attrs(&tokens, 0);
+    i = skip_vis(&tokens, i);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim: expected struct/enum keyword, got {t:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        t => panic!("serde shim: expected type name, got {t:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic type `{name}` is not supported by the offline derive");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(&g.stream());
+                Item::NamedStruct { name, fields }
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(&g.stream());
+                Item::TupleStruct { name, arity }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            t => panic!("serde shim: unsupported struct body for `{name}`: {t:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let variants = parse_variants(&g.stream());
+                let attrs = ContainerAttrs {
+                    snake_case: container.snake_case,
+                };
+                Item::Enum {
+                    name,
+                    variants,
+                    attrs,
+                }
+            }
+            t => panic!("serde shim: expected enum body for `{name}`, got {t:?}"),
+        },
+        other => panic!("serde shim: cannot derive for `{other}` items"),
+    }
+}
+
+/// Parse `name: Type, ...` (attribute- and visibility-prefixed) field lists.
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (attrs, after_attrs) = skip_attrs(&tokens, i);
+        i = skip_vis(&tokens, after_attrs);
+        let fname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde shim: expected field name, got {t:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            t => panic!("serde shim: expected `:` after field `{fname}`, got {t:?}"),
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut ty = String::new();
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => {
+                    depth += 1;
+                    ty.push('<');
+                }
+                TokenTree::Punct(p) if p.as_char() == '>' => {
+                    depth -= 1;
+                    ty.push('>');
+                }
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                t => {
+                    ty.push_str(&t.to_string());
+                    ty.push(' ');
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field {
+            name: fname,
+            ty: ty.trim().to_string(),
+            default: attrs.default,
+        });
+    }
+    fields
+}
+
+/// Count comma-separated fields of a tuple struct/variant at angle-depth 0.
+fn count_tuple_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut count = 1;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_trailing_comma = true;
+            }
+            _ => saw_trailing_comma = false,
+        }
+    }
+    if saw_trailing_comma {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (_attrs, after) = skip_attrs(&tokens, i);
+        i = after;
+        let vname = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            t => panic!("serde shim: expected variant name, got {t:?}"),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) up to the next comma.
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == ',' => {
+                    i += 1;
+                    break;
+                }
+                _ => i += 1,
+            }
+        }
+        variants.push(Variant { name: vname, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn rename(attrs: &ContainerAttrs, variant: &str) -> String {
+    if attrs.snake_case {
+        let mut out = String::new();
+        for (i, c) in variant.chars().enumerate() {
+            if c.is_ascii_uppercase() {
+                if i > 0 {
+                    out.push('_');
+                }
+                out.push(c.to_ascii_lowercase());
+            } else {
+                out.push(c);
+            }
+        }
+        out
+    } else {
+        variant.to_string()
+    }
+}
+
+fn is_option(ty: &str) -> bool {
+    let t = ty.trim_start_matches(":: ").trim();
+    t.starts_with("Option <")
+        || t.starts_with("Option<")
+        || t.starts_with("std :: option :: Option")
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __m = ::std::collections::BTreeMap::new();\n");
+            for f in fields {
+                body.push_str(&format!(
+                    "__m.insert(\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n}));\n",
+                    n = f.name
+                ));
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            wrap_ser(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_value(&self.0)".to_string()
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+            };
+            wrap_ser(name, &body)
+        }
+        Item::UnitStruct { name } => wrap_ser(name, "::serde::Value::Null"),
+        Item::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = rename(attrs, &v.name);
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String(\"{tag}\".to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                        let inner = if *arity == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let elems: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", elems.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{tag}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from(
+                            "let mut __inner = ::std::collections::BTreeMap::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__inner.insert(\"{n}\".to_string(), ::serde::Serialize::to_value({n}));\n",
+                                n = f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut __m = ::std::collections::BTreeMap::new();\n\
+                             __m.insert(\"{tag}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__m)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                        ));
+                    }
+                }
+            }
+            wrap_ser(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn wrap_ser(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Expression producing field `f` out of object map `__obj` (a
+/// `&BTreeMap<String, Value>`), honouring defaults and Option fields.
+fn field_extract(f: &Field) -> String {
+    let missing = match &f.default {
+        Some(path) if path.is_empty() => "::std::default::Default::default()".to_string(),
+        Some(path) => format!("{path}()"),
+        None if is_option(&f.ty) => "::std::option::Option::None".to_string(),
+        None => {
+            return format!(
+                "match __obj.get(\"{n}\") {{\n\
+                 Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+                 None => return Err(::serde::de::Error::missing_field(\"{n}\")),\n}}",
+                n = f.name
+            )
+        }
+    };
+    format!(
+        "match __obj.get(\"{n}\") {{\n\
+         Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+         None => {missing},\n}}",
+        n = f.name
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                inits.push_str(&format!("{}: {},\n", f.name, field_extract(f)));
+            }
+            let body = format!(
+                "let __obj = __v.as_object().ok_or_else(|| ::serde::de::Error::expected(\"struct {name}\", __v))?;\n\
+                 Ok({name} {{\n{inits}}})"
+            );
+            wrap_de(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+            } else {
+                let elems: Vec<String> = (0..*arity)
+                    .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                    .collect();
+                format!(
+                    "let __arr = __v.as_array().ok_or_else(|| ::serde::de::Error::expected(\"tuple struct {name}\", __v))?;\n\
+                     if __arr.len() != {arity} {{\n\
+                     return Err(::serde::de::Error::expected(\"{arity} elements\", __v));\n}}\n\
+                     Ok({name}({elems}))",
+                    elems = elems.join(", ")
+                )
+            };
+            wrap_de(name, &body)
+        }
+        Item::UnitStruct { name } => wrap_de(name, &format!("Ok({name})")),
+        Item::Enum {
+            name,
+            variants,
+            attrs,
+        } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let tag = rename(attrs, &v.name);
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{tag}\" => Ok({name}::{v}),\n", v = v.name));
+                        // Accept the `{"Variant": null}` object form as well.
+                        tagged_arms
+                            .push_str(&format!("\"{tag}\" => Ok({name}::{v}),\n", v = v.name));
+                    }
+                    VariantShape::Tuple(arity) => {
+                        let build = if *arity == 1 {
+                            format!(
+                                "Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))",
+                                v = v.name
+                            )
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|k| format!("::serde::Deserialize::from_value(&__arr[{k}])?"))
+                                .collect();
+                            format!(
+                                "{{\nlet __arr = __inner.as_array().ok_or_else(|| ::serde::de::Error::expected(\"array for variant {v}\", __inner))?;\n\
+                                 if __arr.len() != {arity} {{\n\
+                                 return Err(::serde::de::Error::expected(\"{arity} elements\", __inner));\n}}\n\
+                                 Ok({name}::{v}({elems}))\n}}",
+                                v = v.name,
+                                elems = elems.join(", ")
+                            )
+                        };
+                        tagged_arms.push_str(&format!("\"{tag}\" => {build},\n"));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let mut inits = String::new();
+                        for f in fields {
+                            inits.push_str(&format!("{}: {},\n", f.name, field_extract(f)));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{tag}\" => {{\n\
+                             let __obj = __inner.as_object().ok_or_else(|| ::serde::de::Error::expected(\"object for variant {v}\", __inner))?;\n\
+                             Ok({name}::{v} {{\n{inits}}})\n}}\n",
+                            v = v.name
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match __v {{\n\
+                 ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\
+                 __other => Err(::serde::de::Error::unknown_variant(__other, \"{name}\")),\n}},\n\
+                 ::serde::Value::Object(__m) if __m.len() == 1 => {{\n\
+                 let (__tag, __inner) = __m.iter().next().expect(\"len checked\");\n\
+                 match __tag.as_str() {{\n\
+                 {tagged_arms}\
+                 __other => Err(::serde::de::Error::unknown_variant(__other, \"{name}\")),\n}}\n}}\n\
+                 _ => Err(::serde::de::Error::expected(\"enum {name}\", __v)),\n}}"
+            );
+            wrap_de(name, &body)
+        }
+    }
+}
+
+fn wrap_de(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         #[allow(unused_variables)]\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::de::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

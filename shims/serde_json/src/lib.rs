@@ -1,0 +1,436 @@
+//! Offline shim for `serde_json`.
+//!
+//! Parses and prints JSON text over the value tree defined in the `serde`
+//! shim. Covers the workspace's usage: `to_vec` / `to_string` / `from_slice`
+//! / `from_str`, [`Value`] inspection, and a `json!` macro for object and
+//! array literals whose values are plain expressions or nested `json!` forms.
+
+// The `json!` TT-muncher necessarily builds arrays by pushing into a fresh
+// Vec; the lint would fire at every expansion site.
+#![allow(clippy::vec_init_then_push)]
+
+pub use serde::de::Error;
+pub use serde::{Number, Value};
+
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+/// Serialize a value to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize a value to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
+    Ok(value.to_value().to_string().into_bytes())
+}
+
+/// Deserialize a value from a JSON string.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value)
+}
+
+/// Deserialize a value from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T, Error> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::custom(format!("invalid UTF-8: {e}")))?;
+    from_str(s)
+}
+
+/// Build a [`Value`] from a JSON-ish literal.
+///
+/// Supports `null`, array literals, object literals with string keys, nested
+/// `{...}` / `[...]` forms, and arbitrary serializable expressions in value
+/// position.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elems:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut __a: ::std::vec::Vec<$crate::Value> = ::std::vec::Vec::new();
+        $crate::json_array_munch!(__a; $($elems)*);
+        $crate::Value::Array(__a)
+    }};
+    ({ $($body:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut __m = ::std::collections::BTreeMap::new();
+        $crate::json_object_munch!(__m; $($body)*);
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => { $crate::value_of(&$other) };
+}
+
+/// Internal TT-muncher: object body of [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_munch {
+    ($m:ident;) => {};
+    ($m:ident; , $($rest:tt)*) => { $crate::json_object_munch!($m; $($rest)*); };
+    ($m:ident; $key:literal : null $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::Value::Null);
+        $crate::json_object_munch!($m; $($rest)*);
+    };
+    ($m:ident; $key:literal : { $($inner:tt)* } $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_munch!($m; $($rest)*);
+    };
+    ($m:ident; $key:literal : [ $($inner:tt)* ] $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_munch!($m; $($rest)*);
+    };
+    ($m:ident; $key:literal : $val:expr , $($rest:tt)*) => {
+        $m.insert($key.to_string(), $crate::value_of(&$val));
+        $crate::json_object_munch!($m; $($rest)*);
+    };
+    ($m:ident; $key:literal : $val:expr) => {
+        $m.insert($key.to_string(), $crate::value_of(&$val));
+    };
+}
+
+/// Internal TT-muncher: array body of [`json!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_munch {
+    ($a:ident;) => {};
+    ($a:ident; , $($rest:tt)*) => { $crate::json_array_munch!($a; $($rest)*); };
+    ($a:ident; null $($rest:tt)*) => {
+        $a.push($crate::Value::Null);
+        $crate::json_array_munch!($a; $($rest)*);
+    };
+    ($a:ident; { $($inner:tt)* } $($rest:tt)*) => {
+        $a.push($crate::json!({ $($inner)* }));
+        $crate::json_array_munch!($a; $($rest)*);
+    };
+    ($a:ident; [ $($inner:tt)* ] $($rest:tt)*) => {
+        $a.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_munch!($a; $($rest)*);
+    };
+    ($a:ident; $val:expr , $($rest:tt)*) => {
+        $a.push($crate::value_of(&$val));
+        $crate::json_array_munch!($a; $($rest)*);
+    };
+    ($a:ident; $val:expr) => {
+        $a.push($crate::value_of(&$val));
+    };
+}
+
+/// Helper for `json!`: lower any serializable expression to a [`Value`].
+#[doc(hidden)]
+pub fn value_of<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {}",
+            p.pos
+        )));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') if self.eat_keyword("null") => Ok(Value::Null),
+            Some(b't') if self.eat_keyword("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_keyword("false") => Ok(Value::Bool(false)),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(Error::custom(format!(
+                "unexpected character `{}` at byte {}",
+                b as char, self.pos
+            ))),
+            None => Err(Error::custom("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(out));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut out = std::collections::BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(out));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {}",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::custom("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{08}'),
+                        Some(b'f') => out.push('\u{0c}'),
+                        Some(b'u') => {
+                            let cp = self.unicode_escape()?;
+                            out.push(cp);
+                            continue; // unicode_escape advanced pos itself
+                        }
+                        other => {
+                            return Err(Error::custom(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is already valid UTF-8).
+                    let rest = &self.bytes[self.pos..];
+                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
+                    let c = s.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Parse the `XXXX` after `\u` (pos is at the `u`), handling surrogate
+    /// pairs. Leaves pos just past the escape.
+    fn unicode_escape(&mut self) -> Result<char, Error> {
+        self.pos += 1; // past 'u'
+        let hi = self.hex4()?;
+        if (0xD800..0xDC00).contains(&hi) {
+            // High surrogate: require a following \uXXXX low surrogate.
+            if self.eat_keyword("\\u") {
+                let lo = self.hex4()?;
+                if (0xDC00..0xE000).contains(&lo) {
+                    let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                    return char::from_u32(cp).ok_or_else(|| Error::custom("bad surrogate pair"));
+                }
+            }
+            return Err(Error::custom("lone surrogate in \\u escape"));
+        }
+        char::from_u32(hi).ok_or_else(|| Error::custom("bad \\u escape"))
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::custom("eof in \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number text");
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::U(u)));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::I(i)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|f| Value::Number(Number::F(f)))
+            .map_err(|e| Error::custom(format!("bad number `{text}`: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        for text in ["null", "true", "false", "0", "42", "-7", "1.5", "\"hi\""] {
+            let v: Value = from_str(text).unwrap();
+            assert_eq!(v.to_string(), text, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v: Value = from_str(r#"{"a": [1, 2.5, "x"], "b": {"c": null}}"#).unwrap();
+        assert_eq!(v["a"][0].as_u64(), Some(1));
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["a"][2].as_str(), Some("x"));
+        assert!(v["b"]["c"].is_null());
+        assert_eq!(v.to_string(), r#"{"a":[1,2.5,"x"],"b":{"c":null}}"#);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let original = "quote\" slash\\ newline\n tab\t unicode\u{1F600}ctrl\u{01}";
+        let json = Value::String(original.to_string()).to_string();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let s: String = from_str(r#""A😀""#).unwrap();
+        assert_eq!(s, "A\u{1F600}");
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let n = 5u64;
+        let items = vec!["a".to_string(), "b".to_string()];
+        let v = json!({ "n": n, "items": items, "nested": { "ok": true }, "list": [1, 2] });
+        assert_eq!(
+            v.to_string(),
+            r#"{"items":["a","b"],"list":[1,2],"n":5,"nested":{"ok":true}}"#
+        );
+    }
+
+    #[test]
+    fn typed_round_trip_via_bytes() {
+        let map: std::collections::BTreeMap<String, String> =
+            [("k".to_string(), "v\"tricky\"".to_string())]
+                .into_iter()
+                .collect();
+        let bytes = to_vec(&map).unwrap();
+        let back: std::collections::BTreeMap<String, String> = from_slice(&bytes).unwrap();
+        assert_eq!(back, map);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{broken").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

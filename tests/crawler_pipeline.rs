@@ -22,7 +22,8 @@ fn crawl_week(eco: &Ecosystem, week: u32, seed: u64) -> Snapshot {
     sim.link(crawler, fe, LinkSpec::wan());
     sim.try_run_until_idle(30_000_000).expect("crawl completes");
     assert!(sim.node_ref::<Crawler>(crawler).is_done());
-    sim.node_ref::<Crawler>(crawler).snapshot(week, week_date_label(week as usize))
+    sim.node_ref::<Crawler>(crawler)
+        .snapshot(week, week_date_label(week as usize))
 }
 
 #[test]
@@ -40,8 +41,16 @@ fn weekly_crawls_support_longitudinal_analysis() {
     let w19 = Snapshot::from_json(&json19).unwrap();
 
     let g = GrowthReport::of(&[w0.clone(), w19.clone()], 0, 19);
-    assert!((g.services_growth - 0.11).abs() < 0.03, "services {}", g.services_growth);
-    assert!((g.add_count_growth - 0.19).abs() < 0.06, "adds {}", g.add_count_growth);
+    assert!(
+        (g.services_growth - 0.11).abs() < 0.03,
+        "services {}",
+        g.services_growth
+    );
+    assert!(
+        (g.add_count_growth - 0.19).abs() < 0.06,
+        "adds {}",
+        g.add_count_growth
+    );
 
     // The crawled snapshots agree with the generator's direct views.
     assert_eq!(w0.applets.len(), eco.snapshot(0).applets.len());

@@ -102,7 +102,13 @@ fn feed_events(sim: &mut Sim, svc: NodeId, n: usize, base: u64) {
     sim.with_node::<RecordingService, _>(svc, |s, ctx| {
         for i in 0..n {
             let ev = TriggerEvent::new(format!("ev{}", base + i as u64), base + i as u64);
-            s.core.record_event(ctx, &TriggerSlug::new("tick"), &UserId::new("u"), ev, |_| true);
+            s.core.record_event(
+                ctx,
+                &TriggerSlug::new("tick"),
+                &UserId::new("u"),
+                ev,
+                |_| true,
+            );
         }
     });
 }
@@ -112,11 +118,19 @@ fn poll_requests_carry_fresh_request_ids() {
     let (mut sim, _, svc, _) = world(1.0);
     sim.run_until(SimTime::from_secs(20));
     let s = sim.node_ref::<RecordingService>(svc);
-    assert!(s.seen_request_ids.len() >= 15, "polls {}", s.seen_request_ids.len());
+    assert!(
+        s.seen_request_ids.len() >= 15,
+        "polls {}",
+        s.seen_request_ids.len()
+    );
     let mut dedup = s.seen_request_ids.clone();
     dedup.sort();
     dedup.dedup();
-    assert_eq!(dedup.len(), s.seen_request_ids.len(), "request ids must be unique");
+    assert_eq!(
+        dedup.len(),
+        s.seen_request_ids.len(),
+        "request ids must be unique"
+    );
 }
 
 #[test]
@@ -175,14 +189,20 @@ fn hints_from_unlisted_services_are_counted_and_ignored() {
     let stats = sim.node_ref::<TapEngine>(engine).stats;
     assert!(stats.hints_received >= 1);
     assert_eq!(stats.hints_ignored, stats.hints_received);
-    assert_eq!(stats.actions_sent, 0, "ignored hint must not trigger a poll");
+    assert_eq!(
+        stats.actions_sent, 0,
+        "ignored hint must not trigger a poll"
+    );
 }
 
 #[test]
 fn allowlisted_hints_trigger_prompt_polls() {
     let mut sim = Sim::new(12);
     let svc = sim.add_node("ref_service", RecordingService::new());
-    let mut cfg = EngineConfig { polling: PollPolicy::fixed(600.0), ..EngineConfig::default() };
+    let mut cfg = EngineConfig {
+        polling: PollPolicy::fixed(600.0),
+        ..EngineConfig::default()
+    };
     cfg.realtime_allowlist.insert(ServiceSlug::new("ref"));
     let engine = sim.add_node("engine", TapEngine::new(cfg));
     sim.link(engine, svc, LinkSpec::datacenter());
@@ -217,7 +237,10 @@ fn allowlisted_hints_trigger_prompt_polls() {
     sim.run_until(SimTime::from_secs(30));
     let stats = sim.node_ref::<TapEngine>(engine).stats;
     assert_eq!(stats.hints_honored, 1);
-    assert_eq!(stats.actions_ok, 1, "action executed without waiting for the slow poll");
+    assert_eq!(
+        stats.actions_ok, 1,
+        "action executed without waiting for the slow poll"
+    );
     // The action happened within seconds of the hint.
     let action = sim
         .trace()
@@ -241,7 +264,10 @@ fn action_retries_recover_from_transient_failures() {
             let ep = ServiceEndpoint::new(ServiceSlug::new("ref"), ServiceKey("sk_ref".into()))
                 .with_trigger("tick")
                 .with_action("tock");
-            FlakyActions { core: ServiceCore::new(ep), fail_actions: 2 }
+            FlakyActions {
+                core: ServiceCore::new(ep),
+                fail_actions: 2,
+            }
         }
     }
     impl Node for FlakyActions {
@@ -298,8 +324,13 @@ fn action_retries_recover_from_transient_failures() {
     sim.run_until(SimTime::from_secs(5));
     sim.with_node::<FlakyActions, _>(svc, |s, ctx| {
         let ev = TriggerEvent::new("e1", 5);
-        s.core
-            .record_event(ctx, &TriggerSlug::new("tick"), &UserId::new("u"), ev, |_| true);
+        s.core.record_event(
+            ctx,
+            &TriggerSlug::new("tick"),
+            &UserId::new("u"),
+            ev,
+            |_| true,
+        );
     });
     sim.run_until(SimTime::from_secs(60));
     let stats = sim.node_ref::<TapEngine>(engine).stats;

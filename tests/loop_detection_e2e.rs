@@ -19,14 +19,21 @@ fn unprotected_explicit_loop_wastes_resources() {
     // forever.
     let o = explicit_loop_experiment(false, None, SimDuration::from_secs(120), 900);
     assert!(o.actions_executed > 20, "{} actions", o.actions_executed);
-    assert!(o.emails_delivered > o.actions_executed, "emails keep arriving");
+    assert!(
+        o.emails_delivered > o.actions_executed,
+        "emails keep arriving"
+    );
 }
 
 #[test]
 fn runtime_detector_brakes_the_explicit_loop_too() {
     let o = explicit_loop_experiment(false, Some(detector()), SimDuration::from_secs(120), 901);
     assert!(o.flagged && o.disabled);
-    assert!(o.actions_executed <= 7, "{} actions before brake", o.actions_executed);
+    assert!(
+        o.actions_executed <= 7,
+        "{} actions before brake",
+        o.actions_executed
+    );
 }
 
 #[test]

@@ -85,7 +85,11 @@ fn section4_performance_shape_holds() {
         .iter()
         .find(|(_, d)| d.contains("confirmation"))
         .expect("confirmation entry");
-    let poll = t5.entries.iter().find(|(_, d)| d.contains("polls")).expect("poll entry");
+    let poll = t5
+        .entries
+        .iter()
+        .find(|(_, d)| d.contains("polls"))
+        .expect("poll entry");
     assert!(confirm.0 < 2.0 && poll.0 > 10.0, "t5: {t5:?}");
 }
 
