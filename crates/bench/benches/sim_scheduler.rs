@@ -1,0 +1,124 @@
+//! Scheduler microbench: the simulation kernel's timer queue under a
+//! kernel-shaped schedule/cancel/pop mix with ~10k timers pending.
+//!
+//! Drives the hierarchical [`TimerWheel`] and, as the before-side
+//! reference, the `BinaryHeap<Reverse<(at, seq)>>` the kernel used to run
+//! on — both through the identical deterministic operation stream
+//! (pop one, push one, tombstone-cancel every 7th), so the two numbers in
+//! `BENCH_scheduler.json` are directly comparable.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::simnet::TimerWheel;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::hint::black_box;
+
+const PENDING: u64 = 10_000;
+const OPS: u64 = 10_000;
+
+/// Deterministic offsets without an RNG dependency: an LCG shaped into
+/// the mix a fleet cell produces (dense near-future polls and RTT-scale
+/// replies, some minutes-scale backoffs, rare far-future timers).
+struct OffsetStream(u64);
+
+impl OffsetStream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let raw = self.0 >> 33;
+        match raw % 16 {
+            0..=7 => raw % 1_000,        // sub-millisecond: RTTs, same-tick
+            8..=11 => raw % 1_000_000,   // ~1 s: poll intervals
+            12..=14 => raw % 60_000_000, // ~1 min: backoffs
+            _ => raw % (1 << 40),        // far future: crosses the horizon
+        }
+    }
+}
+
+/// One full mixed run against the wheel: prefill to `PENDING`, then for
+/// each op pop-deliver one timer (skipping tombstones) and schedule one
+/// replacement; every 7th scheduled timer is cancelled.
+fn run_wheel() -> u64 {
+    let mut wheel: TimerWheel<()> = TimerWheel::new();
+    let mut offsets = OffsetStream(2017);
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut delivered = 0u64;
+    for _ in 0..PENDING {
+        wheel.push(now + offsets.next(), seq, ());
+        seq += 1;
+    }
+    for op in 0..OPS {
+        while let Some((at, s, ())) = wheel.pop() {
+            now = at;
+            if !cancelled.remove(&s) {
+                delivered += 1;
+                break;
+            }
+        }
+        let s = seq;
+        wheel.push(now + offsets.next(), s, ());
+        seq += 1;
+        if op % 7 == 0 {
+            cancelled.insert(s);
+        }
+    }
+    delivered
+}
+
+/// The identical run against the kernel's previous scheduler.
+fn run_heap() -> u64 {
+    let mut heap: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut offsets = OffsetStream(2017);
+    let mut cancelled: HashSet<u64> = HashSet::new();
+    let mut now = 0u64;
+    let mut seq = 0u64;
+    let mut delivered = 0u64;
+    for _ in 0..PENDING {
+        heap.push(Reverse((now + offsets.next(), seq)));
+        seq += 1;
+    }
+    for op in 0..OPS {
+        while let Some(Reverse((at, s))) = heap.pop() {
+            now = at;
+            if !cancelled.remove(&s) {
+                delivered += 1;
+                break;
+            }
+        }
+        let s = seq;
+        heap.push(Reverse((now + offsets.next(), s)));
+        seq += 1;
+        if op % 7 == 0 {
+            cancelled.insert(s);
+        }
+    }
+    delivered
+}
+
+fn bench(c: &mut Criterion) {
+    // The two implementations must deliver identical streams before their
+    // timings mean anything.
+    assert_eq!(run_wheel(), run_heap());
+
+    let mut group = c.benchmark_group("scheduler");
+    group.bench_function("wheel_mixed_10k_pending", |b| {
+        b.iter(|| black_box(run_wheel()))
+    });
+    group.bench_function("binary_heap_mixed_10k_pending", |b| {
+        b.iter(|| black_box(run_heap()))
+    });
+    group.finish();
+
+    emit(
+        "sim_scheduler.txt",
+        &format!(
+            "# Scheduler mix: {PENDING} pending, {OPS} ops of pop+push, cancel every 7th\n\
+             # wheel = current kernel queue, binary_heap = previous kernel queue\n"
+        ),
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

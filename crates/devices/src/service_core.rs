@@ -14,7 +14,8 @@ use tap_protocol::oauth::AuthCode;
 use tap_protocol::service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
 use tap_protocol::wire::{self, RealtimeNotification, TriggerEvent};
 use tap_protocol::{
-    ActionSlug, FieldMap, ProtocolError, QuerySlug, TriggerIdentity, TriggerSlug, UserId,
+    ActionSlug, FieldMap, Interner, ProtocolError, QuerySlug, Symbol, TriggerIdentity, TriggerSlug,
+    UserId,
 };
 
 /// One learned trigger subscription.
@@ -23,6 +24,17 @@ pub struct Subscription {
     pub user: UserId,
     pub trigger: TriggerSlug,
     pub fields: FieldMap,
+}
+
+/// Hot-path data for one subscription, reachable through the
+/// `(user, trigger)` symbol index without touching any `String`.
+#[derive(Debug)]
+struct RouteEntry {
+    ti: TriggerIdentity,
+    fields: FieldMap,
+    /// Pre-serialized realtime hint body (the notification for `ti` is
+    /// constant, so serializing it per event would be pure waste).
+    hint_body: bytes::Bytes,
 }
 
 /// What [`ServiceCore::process`] leaves for the embedding service to do.
@@ -64,6 +76,12 @@ pub struct ServiceCore {
     /// Count of realtime hints sent.
     pub hints_sent: u64,
     next_event: u64,
+    /// Node-local symbol table for user/trigger ids.
+    syms: Interner,
+    /// `(user, trigger)` → subscriptions, in first-subscription order.
+    /// [`ServiceCore::record_event`] resolves deliveries through this index
+    /// instead of scanning (and string-comparing) every subscription.
+    route: HashMap<(Symbol, Symbol), Vec<RouteEntry>>,
 }
 
 impl ServiceCore {
@@ -77,6 +95,8 @@ impl ServiceCore {
             polls_served: 0,
             hints_sent: 0,
             next_event: 1,
+            syms: Interner::new(),
+            route: HashMap::new(),
         }
     }
 
@@ -94,15 +114,38 @@ impl ServiceCore {
         fields: FieldMap,
     ) -> TriggerIdentity {
         let ti = TriggerIdentity::derive(&user, self.endpoint.slug(), &trigger, &fields);
-        self.subs.insert(
-            ti.clone(),
-            Subscription {
-                user,
-                trigger,
-                fields,
-            },
-        );
+        self.learn(ti.clone(), user, trigger, fields);
         ti
+    }
+
+    /// Insert (or refresh) a subscription and keep the symbol route index
+    /// in sync. A refresh of a known identity changes nothing in the index:
+    /// the identity is derived from `(user, trigger, fields)`, so those
+    /// can't differ from what is already routed.
+    fn learn(&mut self, ti: TriggerIdentity, user: UserId, trigger: TriggerSlug, fields: FieldMap) {
+        let key = (
+            self.syms.intern(user.as_str()),
+            self.syms.intern(trigger.as_str()),
+        );
+        let fresh = self
+            .subs
+            .insert(
+                ti.clone(),
+                Subscription {
+                    user,
+                    trigger,
+                    fields: fields.clone(),
+                },
+            )
+            .is_none();
+        if fresh {
+            let hint_body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
+            self.route.entry(key).or_default().push(RouteEntry {
+                ti,
+                fields,
+                hint_body,
+            });
+        }
     }
 
     /// A fresh service-unique event id.
@@ -123,29 +166,43 @@ impl ServiceCore {
         event: TriggerEvent,
         matches_fields: impl Fn(&FieldMap) -> bool,
     ) -> usize {
-        let matching: Vec<TriggerIdentity> = self
-            .subs
-            .iter()
-            .filter(|(_, s)| s.trigger == *trigger && s.user == *user && matches_fields(&s.fields))
-            .map(|(ti, _)| ti.clone())
-            .collect();
-        for ti in &matching {
-            self.buffer.push(ti, event.clone());
-            ctx.trace(
-                "service.event",
-                format!("{} {} -> {}", self.endpoint.slug(), trigger, ti),
-            );
+        // An un-interned user or trigger cannot have a subscription.
+        let key = match (
+            self.syms.get(user.as_str()),
+            self.syms.get(trigger.as_str()),
+        ) {
+            (Some(u), Some(t)) => (u, t),
+            _ => return 0,
+        };
+        let entries = match self.route.get(&key) {
+            Some(entries) => entries,
+            None => return 0,
+        };
+        let mut matched = 0;
+        for e in entries {
+            if !matches_fields(&e.fields) {
+                continue;
+            }
+            matched += 1;
+            self.buffer.push(&e.ti, event.clone());
+            if ctx.tracing() {
+                ctx.trace(
+                    "service.event",
+                    format!("{} {} -> {}", self.endpoint.slug(), trigger, e.ti),
+                );
+            }
             if let Some(engine) = self.realtime_engine {
                 self.hints_sent += 1;
-                let body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
                 let req = Request::post(REALTIME_NOTIFY_PATH)
                     .with_header(SERVICE_KEY_HEADER, self.endpoint.key().0.clone())
-                    .with_body(body);
+                    .with_body(e.hint_body.clone());
                 ctx.send_request(engine, req, Token(u64::MAX), RequestOpts::timeout_secs(30));
-                ctx.trace("service.hint", format!("{} {}", self.endpoint.slug(), ti));
+                if ctx.tracing() {
+                    ctx.trace("service.hint", format!("{} {}", self.endpoint.slug(), e.ti));
+                }
             }
         }
-        matching.len()
+        matched
     }
 
     /// Handle the generic protocol surface of an inbound request.
@@ -162,25 +219,25 @@ impl ServiceCore {
                 body,
             }) => {
                 // Learn (or refresh) the subscription from the poll itself.
-                self.subs.insert(
+                self.learn(
                     body.trigger_identity.clone(),
-                    Subscription {
-                        user,
-                        trigger,
-                        fields: body.trigger_fields.clone(),
-                    },
+                    user,
+                    trigger,
+                    body.trigger_fields.clone(),
                 );
                 self.polls_served += 1;
                 let events = self.buffer.latest(&body.trigger_identity, body.limit);
-                ctx.trace(
-                    "service.poll",
-                    format!(
-                        "{} {} -> {} events",
-                        self.endpoint.slug(),
-                        body.trigger_identity,
-                        events.len()
-                    ),
-                );
+                if ctx.tracing() {
+                    ctx.trace(
+                        "service.poll",
+                        format!(
+                            "{} {} -> {} events",
+                            self.endpoint.slug(),
+                            body.trigger_identity,
+                            events.len()
+                        ),
+                    );
+                }
                 Processed::Done(ServiceEndpoint::poll_ok(events))
             }
             Ok(ParsedServiceRequest::Action {

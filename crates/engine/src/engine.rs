@@ -39,7 +39,7 @@ use tap_protocol::wire::{
     self, ActionRequestBody, PollRequestBody, PollResponseBody, QueryRequestBody,
     QueryResponseBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
 };
-use tap_protocol::{ServiceSlug, TriggerIdentity, UserId};
+use tap_protocol::{FieldMap, Interner, ServiceSlug, Symbol, TriggerIdentity, UserId};
 
 // Correlation-token tags (top byte).
 const TAG_SHIFT: u64 = 56;
@@ -188,8 +188,25 @@ pub struct EngineStats {
 
 #[derive(Debug)]
 struct PollTask {
-    identity: TriggerIdentity,
-    seen: HashSet<String>,
+    /// Interned symbols for the hot (user, service) token lookups — the
+    /// strings are hashed once at install, never per poll.
+    owner: Symbol,
+    trigger_service: Symbol,
+    action_service: Symbol,
+    /// Cached request constants: the trigger endpoint path and the fully
+    /// serialized poll body (identity, fields, user, limit are all fixed
+    /// per applet), so a poll clones a `Bytes` handle instead of
+    /// re-serializing JSON.
+    poll_path: String,
+    poll_body: bytes::Bytes,
+    /// Cached action endpoint path.
+    action_path: String,
+    /// Serialized action body, cached when the applet's action fields are
+    /// empty (then ingredient substitution cannot change the payload).
+    /// `None` means the body depends on the triggering event.
+    action_body: Option<bytes::Bytes>,
+    /// Event ids already dispatched, as interned symbols.
+    seen: HashSet<Symbol>,
     enabled: bool,
     next_poll: Option<TimerId>,
 }
@@ -213,14 +230,21 @@ struct DispatchJob {
 pub struct TapEngine {
     /// Behaviour configuration.
     pub config: EngineConfig,
-    services: HashMap<ServiceSlug, ServiceRegistration>,
+    /// Engine-local interner for service slugs, user ids, trigger
+    /// identities, and event ids. Symbols never leave the engine: stats,
+    /// traces, and wire bodies all use the resolved strings.
+    syms: Interner,
+    services: HashMap<Symbol, ServiceRegistration>,
     service_by_key: HashMap<String, ServiceSlug>,
-    tokens: HashMap<(UserId, ServiceSlug), AccessToken>,
+    /// Per-(user, service) `Authorization` header values, precomputed
+    /// at token install so poll/action/query sends clone a string
+    /// instead of formatting one.
+    tokens: HashMap<(Symbol, Symbol), String>,
     pending_oauth: HashMap<u64, (UserId, ServiceSlug)>,
     next_oauth: u64,
     applets: HashMap<AppletId, Applet>,
     tasks: HashMap<AppletId, PollTask>,
-    by_identity: HashMap<TriggerIdentity, Vec<AppletId>>,
+    by_identity: HashMap<Symbol, Vec<AppletId>>,
     dispatches: HashMap<u64, DispatchJob>,
     next_dispatch: u64,
     /// Permission manager (service-level by default, §6).
@@ -244,6 +268,7 @@ impl TapEngine {
         let permissions = PermissionManager::new(config.permission_granularity);
         TapEngine {
             config,
+            syms: Interner::new(),
             services: HashMap::new(),
             service_by_key: HashMap::new(),
             tokens: HashMap::new(),
@@ -271,24 +296,42 @@ impl TapEngine {
     /// Register a partner service (what service publication does).
     pub fn register_service(&mut self, slug: ServiceSlug, node: NodeId, key: ServiceKey) {
         self.service_by_key.insert(key.0.clone(), slug.clone());
+        let sym = self.syms.intern(slug.as_str());
         self.services
-            .insert(slug.clone(), ServiceRegistration { slug, node, key });
+            .insert(sym, ServiceRegistration { slug, node, key });
+    }
+
+    fn service_sym(&self, slug: &ServiceSlug) -> Option<Symbol> {
+        // Services are interned at registration; an unknown string cannot
+        // name a registered service.
+        self.syms.get(slug.as_str())
     }
 
     /// Install a cached token directly (the state *after* an OAuth dance).
     pub fn set_token(&mut self, user: UserId, service: ServiceSlug, token: AccessToken) {
-        self.tokens.insert((user, service), token);
+        let u = self.syms.intern(user.as_str());
+        let s = self.syms.intern(service.as_str());
+        self.tokens.insert((u, s), token.bearer());
     }
 
     /// Is the user connected to the service?
     pub fn is_connected(&self, user: &UserId, service: &ServiceSlug) -> bool {
-        self.tokens.contains_key(&(user.clone(), service.clone()))
+        match (
+            self.syms.get(user.as_str()),
+            self.syms.get(service.as_str()),
+        ) {
+            (Some(u), Some(s)) => self.tokens.contains_key(&(u, s)),
+            _ => false,
+        }
     }
 
     /// Run the OAuth2 authorization-code flow against the service's hosted
     /// pages. Completion is observable via [`TapEngine::is_connected`].
     pub fn connect_service(&mut self, ctx: &mut Context<'_>, user: UserId, service: ServiceSlug) {
-        let Some(reg) = self.services.get(&service) else {
+        let Some(reg) = self
+            .service_sym(&service)
+            .and_then(|s| self.services.get(&s))
+        else {
             return;
         };
         let seq = self.next_oauth;
@@ -319,7 +362,10 @@ impl TapEngine {
         applet: Applet,
     ) -> Result<AppletId, InstallError> {
         for service in [&applet.trigger.service, &applet.action.service] {
-            if !self.services.contains_key(service) {
+            if !self
+                .service_sym(service)
+                .is_some_and(|s| self.services.contains_key(&s))
+            {
                 return Err(InstallError::UnknownService(service.clone()));
             }
             if !self.is_connected(&applet.owner, service) {
@@ -357,14 +403,32 @@ impl TapEngine {
             &applet.trigger.fields,
         );
         let id = applet.id;
-        self.by_identity
-            .entry(identity.clone())
-            .or_default()
-            .push(id);
+        let identity_sym = self.syms.intern(identity.as_str());
+        self.by_identity.entry(identity_sym).or_default().push(id);
+        let poll_body = wire::to_bytes(&PollRequestBody {
+            trigger_identity: identity.clone(),
+            trigger_fields: applet.trigger.fields.clone(),
+            user: applet.owner.clone(),
+            limit: DEFAULT_POLL_LIMIT,
+        });
+        let action_body = if applet.action.fields.is_empty() {
+            Some(wire::to_bytes(&ActionRequestBody {
+                action_fields: FieldMap::new(),
+                user: applet.owner.clone(),
+            }))
+        } else {
+            None
+        };
         self.tasks.insert(
             id,
             PollTask {
-                identity,
+                owner: self.syms.intern(applet.owner.as_str()),
+                trigger_service: self.syms.intern(applet.trigger.service.as_str()),
+                action_service: self.syms.intern(applet.action.service.as_str()),
+                poll_path: trigger_path(&applet.trigger.trigger),
+                poll_body,
+                action_path: action_path(&applet.action.action),
+                action_body,
                 seen: HashSet::new(),
                 enabled: true,
                 next_poll: None,
@@ -373,7 +437,9 @@ impl TapEngine {
         self.applets.insert(id, applet);
         let delay = SimDuration::from_secs_f64(self.config.initial_poll_delay.sample(ctx.rng()));
         self.schedule_poll(ctx, id, delay);
-        ctx.trace("engine.applet_installed", format!("{id:?}"));
+        if ctx.tracing() {
+            ctx.trace("engine.applet_installed", format!("{id:?}"));
+        }
         Ok(id)
     }
 
@@ -413,35 +479,28 @@ impl TapEngine {
         if !task.enabled {
             return;
         }
-        let Some(reg) = self.services.get(&applet.trigger.service) else {
+        let Some(reg) = self.services.get(&task.trigger_service) else {
             return;
         };
-        let Some(token) = self
-            .tokens
-            .get(&(applet.owner.clone(), applet.trigger.service.clone()))
-        else {
+        let Some(bearer) = self.tokens.get(&(task.owner, task.trigger_service)) else {
             return;
-        };
-        let body = PollRequestBody {
-            trigger_identity: task.identity.clone(),
-            trigger_fields: applet.trigger.fields.clone(),
-            user: applet.owner.clone(),
-            limit: DEFAULT_POLL_LIMIT,
         };
         let request_id: u64 = ctx.rng().gen();
-        let req = Request::post(trigger_path(&applet.trigger.trigger))
+        let req = Request::post(task.poll_path.clone())
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
-            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_header(AUTHORIZATION_HEADER, bearer.clone())
             .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
-            .with_body(wire::to_bytes(&body));
+            .with_body(task.poll_body.clone());
         self.stats.polls_sent += 1;
         if let Some(o) = &self.observer {
             o.poll_sent(ctx.now());
         }
-        ctx.trace(
-            "engine.poll_sent",
-            format!("{id:?} {}", applet.trigger.trigger),
-        );
+        if ctx.tracing() {
+            ctx.trace(
+                "engine.poll_sent",
+                format!("{id:?} {}", applet.trigger.trigger),
+            );
+        }
         let node = reg.node;
         ctx.send_request(
             node,
@@ -464,10 +523,18 @@ impl TapEngine {
 
         if !resp.is_success() {
             self.stats.polls_failed += 1;
-            ctx.trace(
-                "engine.poll_failed",
-                format!("{id:?} status {}", resp.status),
-            );
+            if ctx.tracing() {
+                ctx.trace(
+                    "engine.poll_failed",
+                    format!("{id:?} status {}", resp.status),
+                );
+            }
+            return;
+        }
+        // Recognize the canonical empty reply by bytes: no parse needed,
+        // and nothing below observes anything an empty body would change.
+        if *resp.body == *wire::EMPTY_POLL_JSON {
+            self.stats.polls_empty += 1;
             return;
         }
         let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
@@ -482,11 +549,15 @@ impl TapEngine {
         let Some(task) = self.tasks.get_mut(&id) else {
             return;
         };
-        // Newest-first on the wire; dispatch oldest-first.
+        // Newest-first on the wire; dispatch oldest-first. Seen event ids
+        // are tracked as interned symbols: a repeat (the common case, since
+        // polls do not consume the service's buffer) costs one string hash
+        // and a u32 set probe.
+        let syms = &mut self.syms;
         let mut fresh: Vec<TriggerEvent> = body
             .data
             .into_iter()
-            .filter(|e| !task.seen.contains(&e.meta.id))
+            .filter(|e| !syms.get(&e.meta.id).is_some_and(|s| task.seen.contains(&s)))
             .collect();
         fresh.reverse();
         if fresh.is_empty() {
@@ -494,16 +565,18 @@ impl TapEngine {
             return;
         }
         for e in &fresh {
-            task.seen.insert(e.meta.id.clone());
+            task.seen.insert(syms.intern(&e.meta.id));
         }
         self.stats.events_new += fresh.len() as u64;
         if let Some(o) = &self.observer {
             o.poll_result(fresh.len() as u64, ctx.now());
         }
-        ctx.trace(
-            "engine.events_received",
-            format!("{id:?} {} new events", fresh.len()),
-        );
+        if ctx.tracing() {
+            ctx.trace(
+                "engine.events_received",
+                format!("{id:?} {} new events", fresh.len()),
+            );
+        }
         // Batch dispatch: one action per event, back-to-back.
         let overhead = SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
         let mut at = overhead;
@@ -537,10 +610,15 @@ impl TapEngine {
         let Some(applet) = self.applets.get(&id) else {
             return;
         };
-        if !self.tasks.get(&id).is_some_and(|t| t.enabled) {
+        let Some((owner_sym, action_service_sym)) = self
+            .tasks
+            .get(&id)
+            .filter(|t| t.enabled)
+            .map(|t| (t.owner, t.action_service))
+        else {
             self.dispatches.remove(&dispatch);
             return;
-        }
+        };
         // Queries (the paper's future-work feature): resolve read-only
         // lookups before evaluating the condition or dispatching. This
         // happens before the loop detector so the query-driven re-entry
@@ -561,7 +639,9 @@ impl TapEngine {
                 let now = ctx.now();
                 if det.record(id, now) == RuntimeVerdict::LoopSuspected {
                     self.stats.loops_flagged += 1;
-                    ctx.trace("engine.loop_flagged", format!("{id:?}"));
+                    if ctx.tracing() {
+                        ctx.trace("engine.loop_flagged", format!("{id:?}"));
+                    }
                     if self
                         .config
                         .runtime_loop
@@ -578,13 +658,10 @@ impl TapEngine {
                 }
             }
         }
-        let Some(reg) = self.services.get(&applet.action.service) else {
+        let Some(reg) = self.services.get(&action_service_sym) else {
             return;
         };
-        let Some(token) = self
-            .tokens
-            .get(&(applet.owner.clone(), applet.action.service.clone()))
-        else {
+        let Some(bearer) = self.tokens.get(&(owner_sym, action_service_sym)) else {
             return;
         };
         // Merge query results into the visible ingredient set.
@@ -597,28 +674,42 @@ impl TapEngine {
         // Conditions: evaluate against the merged ingredients.
         if !applet.condition.eval(&merged) {
             self.stats.actions_filtered += 1;
-            ctx.trace("engine.action_filtered", format!("{id:?}"));
+            if ctx.tracing() {
+                ctx.trace("engine.action_filtered", format!("{id:?}"));
+            }
             self.dispatches.remove(&dispatch);
             return;
         }
         let job = self.dispatches.get(&dispatch).expect("job exists");
-        let fields = substitute_fields(&applet.action.fields, &merged);
-        let body = ActionRequestBody {
-            action_fields: fields,
-            user: applet.owner.clone(),
+        let task = self.tasks.get(&id);
+        // The cached body is only present when the action has no fields to
+        // substitute, in which case serializing per dispatch would produce
+        // these exact bytes anyway.
+        let body = match task.and_then(|t| t.action_body.clone()) {
+            Some(cached) => cached,
+            None => wire::to_bytes(&ActionRequestBody {
+                action_fields: substitute_fields(&applet.action.fields, &merged),
+                user: applet.owner.clone(),
+            }),
         };
-        let req = Request::post(action_path(&applet.action.action))
+        let path = match task {
+            Some(t) => t.action_path.clone(),
+            None => action_path(&applet.action.action),
+        };
+        let req = Request::post(path)
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
-            .with_header(AUTHORIZATION_HEADER, token.bearer())
-            .with_body(wire::to_bytes(&body));
+            .with_header(AUTHORIZATION_HEADER, bearer.clone())
+            .with_body(body);
         self.stats.actions_sent += 1;
-        ctx.trace(
-            "engine.action_sent",
-            format!(
-                "{id:?} {} event {}",
-                applet.action.action, job.event.meta.id
-            ),
-        );
+        if ctx.tracing() {
+            ctx.trace(
+                "engine.action_sent",
+                format!(
+                    "{id:?} {} event {}",
+                    applet.action.action, job.event.meta.id
+                ),
+            );
+        }
         self.dispatches.get_mut(&dispatch).expect("exists").attempts += 1;
         let node = reg.node;
         ctx.send_request(
@@ -637,10 +728,18 @@ impl TapEngine {
         let ingredients = self.dispatches[&dispatch].event.ingredients.clone();
         let mut issued = 0usize;
         for (qidx, q) in applet.queries.iter().enumerate().take(1 << QUERY_IDX_BITS) {
-            let Some(reg) = self.services.get(&q.service) else {
+            let Some(reg) = self
+                .service_sym(&q.service)
+                .and_then(|s| self.services.get(&s))
+            else {
                 continue;
             };
-            let Some(token) = self.tokens.get(&(applet.owner.clone(), q.service.clone())) else {
+            let token = self
+                .syms
+                .get(applet.owner.as_str())
+                .zip(self.syms.get(q.service.as_str()))
+                .and_then(|key| self.tokens.get(&key));
+            let Some(token) = token else {
                 continue;
             };
             let fields = substitute_fields(&q.fields, &ingredients);
@@ -650,7 +749,7 @@ impl TapEngine {
             };
             let req = Request::post(query_path(&q.query))
                 .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
-                .with_header(AUTHORIZATION_HEADER, token.bearer())
+                .with_header(AUTHORIZATION_HEADER, token.clone())
                 .with_body(wire::to_bytes(&body));
             self.stats.queries_sent += 1;
             ctx.trace("engine.query_sent", format!("{:?} {}", applet.id, q.query));
@@ -734,13 +833,20 @@ impl TapEngine {
         }
         self.stats.hints_honored += 1;
         for item in body.data {
-            let Some(ids) = self.by_identity.get(&item.trigger_identity).cloned() else {
+            let ids = self
+                .syms
+                .get(item.trigger_identity.as_str())
+                .and_then(|s| self.by_identity.get(&s))
+                .cloned();
+            let Some(ids) = ids else {
                 continue;
             };
             for id in ids {
                 let delay =
                     SimDuration::from_secs_f64(self.config.hint_processing.sample(ctx.rng()));
-                ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
+                if ctx.tracing() {
+                    ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
+                }
                 self.schedule_poll(ctx, id, delay);
             }
         }
@@ -789,7 +895,9 @@ impl Node for TapEngine {
                     if let Some(o) = &self.observer {
                         o.action_finished(true, ctx.now());
                     }
-                    ctx.trace("engine.action_ok", format!("{:?}", job.applet));
+                    if ctx.tracing() {
+                        ctx.trace("engine.action_ok", format!("{:?}", job.applet));
+                    }
                     self.dispatches.remove(&dispatch);
                 } else if job.attempts <= self.config.action_retries {
                     // Retry after a backoff; the dispatch entry stays.
@@ -806,10 +914,12 @@ impl Node for TapEngine {
                     if let Some(o) = &self.observer {
                         o.action_finished(false, ctx.now());
                     }
-                    ctx.trace(
-                        "engine.action_failed",
-                        format!("{:?} status {}", job.applet, resp.status),
-                    );
+                    if ctx.tracing() {
+                        ctx.trace(
+                            "engine.action_failed",
+                            format!("{:?} status {}", job.applet, resp.status),
+                        );
+                    }
                     self.dispatches.remove(&dispatch);
                 }
             }
@@ -836,7 +946,10 @@ impl Node for TapEngine {
                     self.pending_oauth.remove(&seq);
                     return;
                 };
-                let Some(reg) = self.services.get(&service) else {
+                let Some(reg) = self
+                    .service_sym(&service)
+                    .and_then(|s| self.services.get(&s))
+                else {
                     return;
                 };
                 let node = reg.node;
@@ -866,9 +979,10 @@ impl Node for TapEngine {
                     access_token: String,
                 }
                 if let Ok(b) = serde_json::from_slice::<TokenBody>(&resp.body) {
-                    ctx.trace("engine.connected", format!("{user:?} {service}"));
-                    self.tokens
-                        .insert((user, service), AccessToken(b.access_token));
+                    if ctx.tracing() {
+                        ctx.trace("engine.connected", format!("{user:?} {service}"));
+                    }
+                    self.set_token(user, service, AccessToken(b.access_token));
                 }
             }
             _ => {}

@@ -27,8 +27,8 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
-use tap_protocol::wire::TriggerEvent;
-use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+use tap_protocol::wire::{self, ActionResponseBody, TriggerEvent};
+use tap_protocol::{ActionSlug, FieldMap, Interner, ServiceSlug, Symbol, TriggerSlug, UserId};
 
 /// Seed-stream offset for cell simulations: cell `i` runs under
 /// `derive_seed(master, CELL_STREAM_BASE + i)`.
@@ -50,7 +50,15 @@ const ACTIVATION_STREAM: u64 = 1;
 pub(crate) struct FleetService {
     core: ServiceCore,
     /// FIFO of emit times per `(user, slot)` awaiting their action.
-    pending: HashMap<(UserId, usize), VecDeque<SimTime>>,
+    /// Users are interned so the key is two machine words, not a `String`
+    /// clone per activation.
+    pending: HashMap<(Symbol, usize), VecDeque<SimTime>>,
+    /// Cell-local user symbol table backing `pending` keys.
+    users: Interner,
+    /// `fired_k` slugs, pre-built once per cell instead of per emit.
+    trigger_slugs: Vec<TriggerSlug>,
+    /// The constant `action_ok("ok")` reply body, serialized once.
+    action_ok_body: Bytes,
     metrics: Arc<FleetMetrics>,
 }
 
@@ -68,6 +76,11 @@ impl FleetService {
         FleetService {
             core: ServiceCore::new(ep),
             pending: HashMap::new(),
+            users: Interner::new(),
+            trigger_slugs: (0..MAX_INSTALLS_PER_USER)
+                .map(|k| TriggerSlug::new(format!("fired_{k}")))
+                .collect(),
+            action_ok_body: wire::to_bytes(&ActionResponseBody::single("ok")),
             metrics,
         }
     }
@@ -76,17 +89,14 @@ impl FleetService {
     fn emit(&mut self, ctx: &mut Context<'_>, user: &UserId, slot: usize) {
         let id = self.core.next_event_id();
         let ev = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64);
-        let matched = self.core.record_event(
-            ctx,
-            &TriggerSlug::new(format!("fired_{slot}")),
-            user,
-            ev,
-            |_| true,
-        );
+        let matched = self
+            .core
+            .record_event(ctx, &self.trigger_slugs[slot], user, ev, |_| true);
         self.metrics.activations.incr();
         if matched > 0 {
+            let user = self.users.intern(user.as_str());
             self.pending
-                .entry((user.clone(), slot))
+                .entry((user, slot))
                 .or_default()
                 .push_back(ctx.now());
         } else {
@@ -111,11 +121,12 @@ impl Node for FleetService {
         match self.core.process(ctx, req) {
             Processed::Done(resp) => HandlerResult::Reply(resp),
             Processed::Action { user, action, .. } => {
-                if let Some(slot) = action
-                    .to_string()
+                let slot = action
+                    .as_str()
                     .strip_prefix("noop_")
-                    .and_then(|s| s.parse().ok())
-                {
+                    .and_then(|s| s.parse().ok());
+                // A user with no pending emit was never interned; skip.
+                if let (Some(slot), Some(user)) = (slot, self.users.get(user.as_str())) {
                     if let Some(q) = self.pending.get_mut(&(user, slot)) {
                         if let Some(t_emit) = q.pop_front() {
                             self.metrics
@@ -124,7 +135,9 @@ impl Node for FleetService {
                         }
                     }
                 }
-                HandlerResult::Reply(ServiceEndpoint::action_ok("ok"))
+                // Byte-identical to `ServiceEndpoint::action_ok("ok")`,
+                // without re-serializing the constant reply per action.
+                HandlerResult::Reply(Response::ok().with_body(self.action_ok_body.clone()))
             }
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
@@ -145,6 +158,10 @@ pub fn run_cell(
 ) {
     let cell_seed = derive_seed(cfg.master_seed, CELL_STREAM_BASE + spec.cell);
     let mut sim = Sim::new(cell_seed);
+    // Nothing reads a fleet cell's trace; disabling it turns every trace
+    // call into a branch instead of a `format!` (no RNG or event-order
+    // effect, so digests are unchanged).
+    sim.trace_mut().set_enabled(false);
     let engine = sim.add_node("engine", {
         let mut e = TapEngine::new(cfg.engine_config());
         e.set_observer(metrics.clone());
@@ -159,17 +176,19 @@ pub fn run_cell(
         .map(|u| sampler.user(u))
         .collect();
     let mut installs_total = 0u64;
+    sim.with_node::<TapEngine, _>(engine, |e, _ctx| {
+        e.register_service(
+            ServiceSlug::new(SERVICE_SLUG),
+            svc,
+            ServiceKey(SERVICE_KEY.into()),
+        );
+    });
     for (local, profile) in profiles.iter().enumerate() {
         let user = UserId::new(format!("user_{}", profile.user));
         let token = sim.with_node::<FleetService, _>(svc, |s, ctx| {
             s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
         });
         sim.with_node::<TapEngine, _>(engine, |e, ctx| {
-            e.register_service(
-                ServiceSlug::new(SERVICE_SLUG),
-                svc,
-                ServiceKey(SERVICE_KEY.into()),
-            );
             e.set_token(user.clone(), ServiceSlug::new(SERVICE_SLUG), token);
             for (k, install) in profile.installs.iter().enumerate() {
                 let mut applet = Applet::new(
@@ -212,10 +231,14 @@ pub fn run_cell(
         }
     }
     plan.sort_unstable();
+    let user_ids: HashMap<u64, UserId> = profiles
+        .iter()
+        .map(|p| (p.user, UserId::new(format!("user_{}", p.user))))
+        .collect();
     for (at_micros, user, slot) in plan {
         sim.run_until(SimTime::from_micros(at_micros));
-        let user = UserId::new(format!("user_{user}"));
-        sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, &user, slot));
+        let user = &user_ids[&user];
+        sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot));
     }
 
     // Drain: long enough for the poll policy to visit every subscription

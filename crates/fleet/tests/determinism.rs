@@ -1,5 +1,13 @@
 //! The fleet's headline invariant: one master seed ⇒ one merged report,
 //! no matter how many shards execute the run.
+//!
+//! Beyond shard-count invariance, this suite pins *golden digests*: exact
+//! fingerprints of the merged metrics for fixed configurations. Any change
+//! to the scheduler, the engine's event handling, RNG consumption, or
+//! serialization that shifts observable behaviour — however slightly —
+//! moves these digests and fails here. A refactor that is supposed to be
+//! behaviour-preserving (like swapping the kernel's heap for a timing
+//! wheel, or interning identifier strings) must keep them byte-identical.
 
 use fleet::{run_fleet, FleetConfig, FleetPolicy};
 
@@ -9,6 +17,15 @@ fn cfg(shards: usize, seed: u64) -> FleetConfig {
     cfg.cell_users = 50; // 4 cells
     cfg.window_secs = 60.0;
     cfg.drain_secs = 30.0;
+    cfg
+}
+
+/// The production-like configuration the `fleet_throughput` bench runs —
+/// golden digests below are pinned against it.
+fn ifttt_cfg(users: u64, shards: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::new(users, shards, FleetPolicy::IftttLike);
+    cfg.window_secs = 120.0;
+    cfg.drain_secs = 400.0;
     cfg
 }
 
@@ -42,5 +59,59 @@ fn rerunning_the_same_config_reproduces_the_digest() {
     let a = run_fleet(&cfg(2, 7));
     let b = run_fleet(&cfg(2, 7));
     assert_eq!(a.digest(), b.digest());
+    assert_eq!(a.merged_json(), b.merged_json());
+}
+
+/// Cheap always-on golden: 200 users, fast policy, seed 2017. Pinned to
+/// the digest the pre-wheel/pre-interning tree produced.
+#[test]
+fn golden_digest_small_fast_fleet() {
+    let report = run_fleet(&cfg(1, 2017));
+    assert_eq!(
+        report.digest(),
+        "2aafbbf2ca69879f",
+        "merged metrics drifted for the pinned 200-user config:\n{}",
+        report.merged_json()
+    );
+}
+
+/// The headline golden: 100k users under production-like polling must
+/// reproduce the pinned digest at 1, 2, and 8 shards. Expensive, so it is
+/// ignored in the default (debug) test tier and run by CI's release job
+/// with `--ignored`.
+#[test]
+#[ignore = "minutes in debug; CI runs it in release via --ignored"]
+fn golden_digest_100k_users_is_shard_invariant() {
+    const GOLDEN: &str = "5cf23eafb051e618";
+    for shards in [1usize, 2, 8] {
+        let report = run_fleet(&ifttt_cfg(100_000, shards));
+        assert_eq!(
+            report.digest(),
+            GOLDEN,
+            "100k-user digest drifted at {shards} shard(s)"
+        );
+    }
+}
+
+/// Interner state must never leak into anything a fleet run reports:
+/// symbols are per-component indices whose values depend on first-seen
+/// order, so a single `sym#N` (or raw `Symbol`) in the serialized report
+/// would make output depend on interning order. Everything observable
+/// resolves back to strings.
+#[test]
+fn interner_state_never_leaks_into_reports() {
+    let a = run_fleet(&cfg(1, 2017));
+    let b = run_fleet(&cfg(8, 2017));
+    for report in [&a, &b] {
+        let full = serde_json::to_string(report).expect("report serializes");
+        for marker in ["sym#", "Symbol", "interner"] {
+            assert!(
+                !full.contains(marker),
+                "serialized report contains interner marker {marker:?}: {full}"
+            );
+        }
+    }
+    // And the deterministic part is identical, so per-shard interners
+    // (whatever order they interned in) left no trace.
     assert_eq!(a.merged_json(), b.merged_json());
 }

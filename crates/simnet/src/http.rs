@@ -32,15 +32,21 @@ pub enum Method {
     Delete,
 }
 
-impl fmt::Display for Method {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+impl Method {
+    /// The method's wire name as a static string (no allocation).
+    pub const fn as_str(self) -> &'static str {
+        match self {
             Method::Get => "GET",
             Method::Post => "POST",
             Method::Put => "PUT",
             Method::Delete => "DELETE",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -122,7 +128,7 @@ impl Request {
             .iter()
             .map(|(n, v)| n.len() + v.len() + 4)
             .sum();
-        self.method.to_string().len() + self.path.len() + headers + self.body.len() + 26
+        self.method.as_str().len() + self.path.len() + headers + self.body.len() + 26
     }
 }
 
@@ -273,5 +279,23 @@ mod tests {
         let small = Request::get("/a").wire_size();
         let big = Request::get("/a").with_body(vec![0u8; 100]).wire_size();
         assert_eq!(big - small, 100);
+    }
+
+    #[test]
+    fn wire_size_math_matches_the_allocating_formula() {
+        // `wire_size` used to render the method with `to_string()`; the
+        // static-string version must produce byte-identical sizes.
+        for method in [Method::Get, Method::Post, Method::Put, Method::Delete] {
+            let r = Request {
+                method,
+                ..Request::get("/ifttt/v1/triggers/new_email")
+            }
+            .with_header("IFTTT-Service-Key", "sk_123")
+            .with_body("{\"limit\":50}");
+            let headers: usize = r.headers.iter().map(|(n, v)| n.len() + v.len() + 4).sum();
+            let old = r.method.to_string().len() + r.path.len() + headers + r.body.len() + 26;
+            assert_eq!(r.wire_size(), old);
+            assert_eq!(method.to_string(), method.as_str());
+        }
     }
 }

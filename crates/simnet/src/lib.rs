@@ -64,6 +64,7 @@ pub mod rng;
 pub mod sim;
 pub mod time;
 pub mod trace;
+pub mod wheel;
 
 pub use error::SimError;
 pub use http::{Method, Request, RequestId, RequestOpts, Response, Token};
@@ -72,6 +73,7 @@ pub use node::{Context, HandlerResult, Node, NodeId, TimerId, TimerKey};
 pub use sim::Sim;
 pub use time::{SimDuration, SimTime};
 pub use trace::{TraceEvent, TraceLog};
+pub use wheel::TimerWheel;
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {

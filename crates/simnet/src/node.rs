@@ -136,6 +136,13 @@ impl<'a> Context<'a> {
         self.kernel.send_signal(self.node, dst, payload.into());
     }
 
+    /// Whether trace recording is enabled. Check this before building an
+    /// expensive `detail` string for [`Context::trace`]; with tracing off
+    /// the arguments would be formatted only to be dropped.
+    pub fn tracing(&self) -> bool {
+        self.kernel.trace_ref().is_enabled()
+    }
+
     /// Record a trace event attributed to this node.
     pub fn trace(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
         let now = self.kernel.now();

@@ -8,11 +8,11 @@ use crate::node::{Context, HandlerResult, Node, NodeId, TimerId, TimerKey};
 use crate::rng::stream_rng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
+use crate::wheel::TimerWheel;
 use bytes::Bytes;
 use rand::rngs::StdRng;
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 
 /// Reserved RNG stream indices (node streams start at `STREAM_NODE_BASE`).
 const STREAM_NET: u64 = 1;
@@ -43,29 +43,6 @@ enum Ev {
     },
 }
 
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
 struct Pending {
     origin: NodeId,
     responder: NodeId,
@@ -79,7 +56,7 @@ struct Pending {
 pub struct Kernel {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled>>,
+    queue: TimerWheel<Ev>,
     topology: Topology,
     node_names: Vec<String>,
     node_rngs: Vec<StdRng>,
@@ -103,7 +80,7 @@ impl Kernel {
         Kernel {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: TimerWheel::new(),
             topology: Topology::new(),
             node_names: Vec::new(),
             node_rngs: Vec::new(),
@@ -140,14 +117,16 @@ impl Kernel {
         &mut self.trace
     }
 
+    pub(crate) fn trace_ref(&self) -> &TraceLog {
+        &self.trace
+    }
+
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at: at.max(self.now),
-            seq,
-            ev,
-        }));
+        // The wheel clamps a second time against its own (lagging) clock;
+        // the kernel clamp against `self.now` is the authoritative one.
+        self.queue.push(at.max(self.now).as_micros(), seq, ev);
     }
 
     pub(crate) fn send_request(
@@ -365,13 +344,14 @@ impl Sim {
 
     /// Process a single event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        let Some(Reverse(sch)) = self.kernel.queue.pop() else {
+        let Some((at, _seq, ev)) = self.kernel.queue.pop() else {
             return false;
         };
-        debug_assert!(sch.at >= self.kernel.now, "time went backwards");
-        self.kernel.now = sch.at;
+        let at = SimTime::from_micros(at);
+        debug_assert!(at >= self.kernel.now, "time went backwards");
+        self.kernel.now = at;
         self.kernel.processed += 1;
-        self.dispatch(sch.ev);
+        self.dispatch(ev);
         true
     }
 
@@ -417,7 +397,10 @@ impl Sim {
 
     /// Timestamp of the next pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.kernel.queue.peek().map(|Reverse(s)| s.at)
+        self.kernel
+            .queue
+            .peek()
+            .map(|(at, _)| SimTime::from_micros(at))
     }
 
     /// Immutable typed view of a node.

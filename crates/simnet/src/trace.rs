@@ -56,6 +56,14 @@ impl TraceLog {
         self.enabled = enabled;
     }
 
+    /// Whether recording is currently enabled.
+    ///
+    /// Hot paths check this before building `format!`ted detail strings, so
+    /// a disabled log costs nothing per event.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
     /// Record one event. Events past the capacity are counted, not stored.
     pub fn record(
         &mut self,

@@ -1,0 +1,314 @@
+//! A hierarchical timing wheel for the kernel's event queue.
+//!
+//! [`TimerWheel`] replaces the binary heap that used to back
+//! [`crate::Sim`]: push and pop are O(1) amortized instead of O(log n),
+//! which matters when a million-user fleet keeps tens of thousands of poll
+//! timers pending at once. The contract is *exact* equivalence with a
+//! min-heap ordered by `(at, seq)`:
+//!
+//! * [`TimerWheel::pop`] always returns the pending entry with the
+//!   smallest `(at, seq)` pair — ties on `at` break by `seq`, so FIFO
+//!   scheduling order (and therefore every simulation history, report, and
+//!   fleet digest) is preserved bit-for-bit;
+//! * entries scheduled in the past are clamped to the wheel's current
+//!   time, mirroring the kernel's `at.max(now)` clamp.
+//!
+//! # Structure
+//!
+//! Six levels of 64 slots each, with level `k` slots spanning `64^k`
+//! microsecond ticks; together they cover `64^6` ticks (~19.5 virtual
+//! hours) ahead of the current instant. Entries beyond that horizon go to
+//! a sorted overflow map (far-future poll timers and "never"-style
+//! sentinels) and migrate into the wheel when time approaches.
+//!
+//! An entry lives at the *highest-resolution level where its slot index
+//! differs from the current time's* — equivalently, level
+//! `⌊highest_set_bit(at ^ now) / 6⌋`. Per-level occupancy bitmaps make
+//! "find the earliest non-empty slot" a `trailing_zeros` instruction, so
+//! an idle wheel is never scanned slot-by-slot. When the earliest
+//! occupied slot sits above level 0, its bucket *cascades*: time advances
+//! to the bucket's minimum timestamp and the entries redistribute into
+//! finer levels. Each entry cascades at most [`LEVELS`] times over its
+//! life, giving the O(1) amortized bound.
+
+use std::collections::BTreeMap;
+
+/// Bits per level: each level has `2^BITS` slots.
+const BITS: u32 = 6;
+/// Slots per level.
+const SLOTS: usize = 1 << BITS;
+/// Number of wheel levels; beyond them entries overflow to a sorted map.
+pub const LEVELS: usize = 6;
+/// First tick past the wheel's reach, relative to the current block.
+const HORIZON: u64 = 1 << (BITS * LEVELS as u32);
+
+#[derive(Debug)]
+struct Entry<T> {
+    at: u64,
+    seq: u64,
+    item: T,
+}
+
+/// A hierarchical timing wheel with a sorted overflow level.
+///
+/// Pops entries in exact `(at, seq)` order. `at` is an absolute tick
+/// (microseconds in the simulator); `seq` is the caller's monotone
+/// insertion counter used as the FIFO tie-break.
+#[derive(Debug)]
+pub struct TimerWheel<T> {
+    /// Current tick: the `at` of the most recently popped entry. No
+    /// stored entry is earlier than this.
+    now: u64,
+    /// `LEVELS * SLOTS` buckets, flattened level-major.
+    buckets: Vec<Vec<Entry<T>>>,
+    /// One occupancy bitmap per level (bit `s` set ⇔ bucket non-empty).
+    occupied: [u64; LEVELS],
+    /// Entries beyond the wheel horizon, sorted by `(at, seq)`.
+    overflow: BTreeMap<(u64, u64), T>,
+    len: usize,
+}
+
+impl<T> Default for TimerWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimerWheel<T> {
+    /// An empty wheel positioned at tick zero.
+    pub fn new() -> Self {
+        TimerWheel {
+            now: 0,
+            buckets: (0..LEVELS * SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; LEVELS],
+            overflow: BTreeMap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of pending entries (wheel plus overflow).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The wheel's current tick.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Schedule `item` at tick `at` (clamped to the current tick) with the
+    /// caller's monotone sequence number as tie-break.
+    pub fn push(&mut self, at: u64, seq: u64, item: T) {
+        let at = at.max(self.now);
+        let diff = at ^ self.now;
+        if diff >= HORIZON {
+            self.overflow.insert((at, seq), item);
+        } else {
+            let (level, slot) = Self::position(self.now, at);
+            self.buckets[level * SLOTS + slot].push(Entry { at, seq, item });
+            self.occupied[level] |= 1 << slot;
+        }
+        self.len += 1;
+    }
+
+    /// The `(at, seq)` of the next entry [`TimerWheel::pop`] would return.
+    pub fn peek(&self) -> Option<(u64, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.lowest_occupied_level() {
+            None => self.overflow.keys().next().copied(),
+            Some(level) => {
+                let slot = self.occupied[level].trailing_zeros() as usize;
+                let bucket = &self.buckets[level * SLOTS + slot];
+                bucket
+                    .iter()
+                    .map(|e| (e.at, e.seq))
+                    .min()
+                    .or_else(|| unreachable!("occupancy bit set on empty bucket"))
+            }
+        }
+    }
+
+    /// Remove and return the entry with the smallest `(at, seq)`.
+    pub fn pop(&mut self) -> Option<(u64, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        loop {
+            let Some(level) = self.lowest_occupied_level() else {
+                self.refill_from_overflow();
+                continue;
+            };
+            let slot = self.occupied[level].trailing_zeros() as usize;
+            if level == 0 {
+                // A level-0 slot maps to exactly one tick, so every entry
+                // here shares `at`; the FIFO winner is the minimum seq.
+                let bucket = &mut self.buckets[slot];
+                let mut min = 0;
+                for (i, e) in bucket.iter().enumerate().skip(1) {
+                    if e.seq < bucket[min].seq {
+                        min = i;
+                    }
+                }
+                let e = bucket.swap_remove(min);
+                if bucket.is_empty() {
+                    self.occupied[0] &= !(1 << slot);
+                }
+                self.now = e.at;
+                self.len -= 1;
+                return Some((e.at, e.seq, e.item));
+            }
+            self.cascade(level, slot);
+        }
+    }
+
+    /// Lowest level with at least one occupied slot.
+    fn lowest_occupied_level(&self) -> Option<usize> {
+        self.occupied.iter().position(|&bits| bits != 0)
+    }
+
+    /// Where an entry due at `at` belongs when the wheel sits at `now`.
+    fn position(now: u64, at: u64) -> (usize, usize) {
+        debug_assert!(at >= now && (at ^ now) < HORIZON);
+        let diff = at ^ now;
+        let level = if diff == 0 {
+            0
+        } else {
+            (63 - diff.leading_zeros()) as usize / BITS as usize
+        };
+        let slot = ((at >> (BITS as usize * level)) & (SLOTS as u64 - 1)) as usize;
+        (level, slot)
+    }
+
+    /// Redistribute one upper-level bucket into finer levels, advancing
+    /// the current tick to the bucket's minimum timestamp. The bucket is
+    /// the earliest occupied slot, so its minimum is the global minimum.
+    fn cascade(&mut self, level: usize, slot: usize) {
+        let bucket = std::mem::take(&mut self.buckets[level * SLOTS + slot]);
+        self.occupied[level] &= !(1 << slot);
+        debug_assert!(!bucket.is_empty(), "occupancy bit set on empty bucket");
+        self.now = bucket.iter().map(|e| e.at).min().unwrap_or(self.now);
+        for e in bucket {
+            let (l, s) = Self::position(self.now, e.at);
+            self.buckets[l * SLOTS + s].push(e);
+            self.occupied[l] |= 1 << s;
+        }
+    }
+
+    /// The wheel proper is empty: jump to the first overflow entry's block
+    /// and pull every overflow entry of that block into the wheel.
+    fn refill_from_overflow(&mut self) {
+        let (&(at, _), _) = self
+            .overflow
+            .iter()
+            .next()
+            .expect("len > 0 with empty wheel implies overflow entries");
+        self.now = at;
+        let block_end = (at & !(HORIZON - 1)).checked_add(HORIZON);
+        let rest = match block_end {
+            Some(end) => self.overflow.split_off(&(end, 0)),
+            None => BTreeMap::new(), // top block: everything fits
+        };
+        for ((a, seq), item) in std::mem::take(&mut self.overflow) {
+            let (l, s) = Self::position(self.now, a);
+            self.buckets[l * SLOTS + s].push(Entry { at: a, seq, item });
+            self.occupied[l] |= 1 << s;
+        }
+        self.overflow = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(w: &mut TimerWheel<u32>) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        while let Some((at, seq, _)) = w.pop() {
+            out.push((at, seq));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimerWheel::new();
+        w.push(50, 0, 0);
+        w.push(10, 1, 1);
+        w.push(10, 2, 2);
+        w.push(7_000_000, 3, 3); // a different level entirely
+        assert_eq!(w.len(), 4);
+        assert_eq!(w.peek(), Some((10, 1)));
+        assert_eq!(
+            drain(&mut w),
+            vec![(10, 1), (10, 2), (50, 0), (7_000_000, 3)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn same_tick_fifo_is_by_seq_even_interleaved_with_pops() {
+        let mut w = TimerWheel::new();
+        w.push(5, 0, 0);
+        w.push(5, 1, 1);
+        assert_eq!(w.pop().map(|(a, s, _)| (a, s)), Some((5, 0)));
+        // Pushing at the *current* tick lands behind the remaining entry.
+        w.push(5, 2, 2);
+        assert_eq!(w.pop().map(|(a, s, _)| (a, s)), Some((5, 1)));
+        assert_eq!(w.pop().map(|(a, s, _)| (a, s)), Some((5, 2)));
+    }
+
+    #[test]
+    fn past_entries_clamp_to_now() {
+        let mut w = TimerWheel::new();
+        w.push(100, 0, 0);
+        assert!(w.pop().is_some());
+        assert_eq!(w.now(), 100);
+        w.push(3, 1, 1); // in the past: clamps to 100
+        assert_eq!(w.peek(), Some((100, 1)));
+    }
+
+    #[test]
+    fn overflow_entries_come_back_in_order() {
+        let mut w = TimerWheel::new();
+        let far = HORIZON * 3 + 17;
+        w.push(far, 0, 0);
+        w.push(far, 1, 1);
+        w.push(far + 1, 2, 2);
+        w.push(12, 3, 3);
+        assert_eq!(
+            drain(&mut w),
+            vec![(12, 3), (far, 0), (far, 1), (far + 1, 2)]
+        );
+    }
+
+    #[test]
+    fn u64_max_is_a_valid_timestamp() {
+        let mut w = TimerWheel::new();
+        w.push(u64::MAX, 0, 0);
+        w.push(1, 1, 1);
+        assert_eq!(drain(&mut w), vec![(1, 1), (u64::MAX, 0)]);
+    }
+
+    #[test]
+    fn cascades_preserve_order_across_level_boundaries() {
+        let mut w = TimerWheel::new();
+        // Entries straddling several levels, inserted out of order.
+        let ats = [
+            1u64, 63, 64, 65, 4_095, 4_096, 262_143, 262_144, 16_777_215, 16_777_216,
+        ];
+        for (i, &at) in ats.iter().rev().enumerate() {
+            w.push(at, i as u64, 0);
+        }
+        let popped: Vec<u64> = drain(&mut w).iter().map(|&(a, _)| a).collect();
+        let mut want = ats.to_vec();
+        want.sort_unstable();
+        assert_eq!(popped, want);
+    }
+}

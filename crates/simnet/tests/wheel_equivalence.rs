@@ -1,0 +1,199 @@
+//! Property tests: the hierarchical [`TimerWheel`] is observably identical
+//! to a reference binary heap ordered by `(at, seq)`.
+//!
+//! The simulation kernel's determinism guarantee — and therefore every
+//! fleet digest — rests on the scheduler popping events in exact
+//! `(time, insertion-seq)` order. These properties drive the wheel and a
+//! `BinaryHeap<Reverse<(at, seq)>>` with the same random schedules
+//! (including equal-timestamp ties, past timestamps, far-future overflow
+//! entries, and kernel-style tombstone cancellations) and require the pop
+//! sequences to match element for element.
+
+use proptest::prelude::*;
+use simnet::wheel::TimerWheel;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Reference model: plain binary heap with the kernel's old ordering.
+#[derive(Default)]
+struct HeapModel {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    now: u64,
+}
+
+impl HeapModel {
+    fn push(&mut self, at: u64, seq: u64) {
+        self.heap.push(Reverse((at.max(self.now), seq)));
+    }
+    fn pop(&mut self) -> Option<(u64, u64)> {
+        let Reverse((at, seq)) = self.heap.pop()?;
+        self.now = at;
+        Some((at, seq))
+    }
+    fn peek(&self) -> Option<(u64, u64)> {
+        self.heap.peek().map(|&Reverse(k)| k)
+    }
+}
+
+/// Turn a raw u64 into a timestamp offset that exercises interesting
+/// scales: ties, level boundaries, overflow horizon, and u64::MAX.
+fn shape_offset(raw: u64) -> u64 {
+    match raw % 8 {
+        0 => 0,                        // same-tick tie
+        1 => raw % 64,                 // level 0
+        2 => raw % 4_096,              // levels 0-1
+        3 => raw % (1 << 18),          // levels 0-2
+        4 => raw % (1 << 30),          // mid levels
+        5 => raw % (1 << 37),          // straddles the wheel horizon
+        6 => u64::MAX - (raw % 1_000), // near-MAX overflow entries
+        _ => raw,                      // anywhere
+    }
+}
+
+proptest! {
+    /// Pure schedule/pop interleavings pop in identical order.
+    #[test]
+    fn pop_order_matches_reference_heap(
+        ops in collection::vec((0u8..4, any::<u64>()), 1..300),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut model = HeapModel::default();
+        let mut seq = 0u64;
+        let mut now = 0u64; // kernel-style clock: the last popped time
+        for (kind, raw) in ops {
+            if kind == 0 {
+                // pop from both, compare
+                let got = wheel.pop().map(|(at, s, ())| (at, s));
+                let want = model.pop();
+                prop_assert_eq!(got, want);
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            } else {
+                // The kernel clamps `at` to its clock before pushing.
+                let at = now.saturating_add(shape_offset(raw));
+                wheel.push(at, seq, ());
+                model.push(at, seq);
+                seq += 1;
+            }
+            prop_assert_eq!(wheel.len(), model.heap.len());
+        }
+        // Drain the remainder.
+        loop {
+            let got = wheel.pop().map(|(at, s, ())| (at, s));
+            let want = model.pop();
+            prop_assert_eq!(got, want);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// Equal-timestamp bursts (many events on one tick) preserve FIFO seq
+    /// order even when pushes interleave with pops on that same tick.
+    #[test]
+    fn equal_timestamp_ties_are_fifo(
+        burst in collection::vec(0u64..4, 2..64),
+        base in 0u64..1_000_000,
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut model = HeapModel::default();
+        let mut seq = 0u64;
+        for &slot in &burst {
+            // All pushes land on one of 4 adjacent ticks: dense ties.
+            let at = base + slot;
+            wheel.push(at, seq, ());
+            model.push(at, seq);
+            seq += 1;
+            if seq.is_multiple_of(3) {
+                prop_assert_eq!(wheel.pop().map(|(a, s, ())| (a, s)), model.pop());
+            }
+        }
+        while let Some(want) = model.pop() {
+            prop_assert_eq!(wheel.pop().map(|(a, s, ())| (a, s)), Some(want));
+        }
+        prop_assert!(wheel.is_empty());
+    }
+
+    /// Kernel-style cancellation: timers are cancelled via a tombstone set
+    /// consulted at pop time (entries stay queued). The observable stream
+    /// of *delivered* timers must match the reference exactly.
+    #[test]
+    fn tombstone_cancellation_delivers_identical_streams(
+        ops in collection::vec((0u8..6, any::<u64>()), 1..300),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut model = HeapModel::default();
+        let mut cancelled: HashSet<u64> = HashSet::new();
+        let mut live: Vec<u64> = Vec::new(); // seqs believed pending
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (kind, raw) in ops {
+            match kind {
+                0 | 1 => {
+                    // deliver one event, skipping tombstones — both sides
+                    let got = loop {
+                        match wheel.pop() {
+                            None => break None,
+                            Some((at, s, ())) => {
+                                let want = model.pop();
+                                prop_assert_eq!(Some((at, s)), want);
+                                if !cancelled.remove(&s) {
+                                    break Some((at, s));
+                                }
+                            }
+                        }
+                    };
+                    if let Some((at, s)) = got {
+                        now = at;
+                        live.retain(|&x| x != s);
+                    } else {
+                        prop_assert!(model.pop().is_none());
+                    }
+                }
+                2 => {
+                    // cancel a pending timer (if any)
+                    if !live.is_empty() {
+                        let victim = live.remove((raw as usize) % live.len());
+                        cancelled.insert(victim);
+                    }
+                }
+                _ => {
+                    let at = now.saturating_add(shape_offset(raw));
+                    wheel.push(at, seq, ());
+                    model.push(at, seq);
+                    live.push(seq);
+                    seq += 1;
+                }
+            }
+        }
+    }
+
+    /// `peek` always agrees with the reference heap's head and never
+    /// disturbs subsequent pop order.
+    #[test]
+    fn peek_matches_reference_and_is_pure(
+        ops in collection::vec((0u8..3, any::<u64>()), 1..200),
+    ) {
+        let mut wheel = TimerWheel::new();
+        let mut model = HeapModel::default();
+        let mut seq = 0u64;
+        let mut now = 0u64;
+        for (kind, raw) in ops {
+            prop_assert_eq!(wheel.peek(), model.peek());
+            prop_assert_eq!(wheel.peek(), wheel.peek()); // idempotent
+            if kind == 0 {
+                let got = wheel.pop().map(|(at, s, ())| (at, s));
+                prop_assert_eq!(got, model.pop());
+                if let Some((at, _)) = got {
+                    now = at;
+                }
+            } else {
+                let at = now.saturating_add(shape_offset(raw));
+                wheel.push(at, seq, ());
+                model.push(at, seq);
+                seq += 1;
+            }
+        }
+    }
+}

@@ -27,6 +27,7 @@ pub mod auth;
 pub mod endpoints;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod oauth;
 pub mod service;
 pub mod wire;
@@ -34,6 +35,7 @@ pub mod wire;
 pub use auth::{AccessToken, ServiceKey};
 pub use error::ProtocolError;
 pub use ids::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
+pub use intern::{Interner, Symbol};
 pub use service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
 pub use wire::{
     ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,

@@ -9,13 +9,14 @@ use crate::auth::{AccessToken, ServiceKey, AUTHORIZATION_HEADER, SERVICE_KEY_HEA
 use crate::endpoints::{self, Endpoint};
 use crate::error::ProtocolError;
 use crate::ids::{ActionSlug, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
+use crate::intern::Interner;
 use crate::oauth::{AuthCode, OAuthProvider};
 use crate::wire::{
     self, ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
     QueryRequestBody, QueryResponseBody, TriggerEvent,
 };
 use simnet::http::{Method, Request, Response};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 /// A fully parsed, authenticated inbound request.
 #[derive(Debug, Clone, PartialEq)]
@@ -215,6 +216,10 @@ impl ServiceEndpoint {
 
     /// Build the wire response for a successful poll.
     pub fn poll_ok(events: Vec<TriggerEvent>) -> Response {
+        if events.is_empty() {
+            // The overwhelmingly common steady-state reply; skip serde.
+            return Response::ok().with_body(wire::empty_poll_body());
+        }
         Response::ok().with_body(wire::to_bytes(&PollResponseBody { data: events }))
     }
 
@@ -241,11 +246,23 @@ impl ServiceEndpoint {
 /// rolling buffer per trigger identity; a poll returns the newest `limit`
 /// events (newest first) and *does not* consume them — the engine
 /// de-duplicates by event id across polls.
+///
+/// Internally, identities are interned once into a private
+/// [`crate::Interner`] and the per-subscription state lives in a dense
+/// slab indexed by the symbol, so the steady-state push/poll path hashes
+/// each identity string once and never clones it.
 #[derive(Debug, Default)]
 pub struct TriggerBuffer {
-    buffers: HashMap<TriggerIdentity, VecDeque<TriggerEvent>>,
-    seen_ids: HashMap<TriggerIdentity, HashSet<String>>,
+    syms: Interner,
+    /// Indexed by the identity's symbol.
+    slots: Vec<BufferSlot>,
     cap: usize,
+}
+
+#[derive(Debug, Default)]
+struct BufferSlot {
+    events: VecDeque<TriggerEvent>,
+    seen: HashSet<String>,
 }
 
 impl TriggerBuffer {
@@ -268,18 +285,32 @@ impl TriggerBuffer {
         }
     }
 
+    fn slot_mut(&mut self, identity: &TriggerIdentity) -> &mut BufferSlot {
+        let sym = self.syms.intern(identity.as_str());
+        let idx = sym.index() as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, BufferSlot::default);
+        }
+        &mut self.slots[idx]
+    }
+
+    fn slot(&self, identity: &TriggerIdentity) -> Option<&BufferSlot> {
+        let sym = self.syms.get(identity.as_str())?;
+        self.slots.get(sym.index() as usize)
+    }
+
     /// Record an event for a subscription. Duplicate event ids are ignored.
     /// Returns true if the event was newly recorded.
     pub fn push(&mut self, identity: &TriggerIdentity, event: TriggerEvent) -> bool {
-        let seen = self.seen_ids.entry(identity.clone()).or_default();
-        if !seen.insert(event.meta.id.clone()) {
+        let cap = self.cap;
+        let slot = self.slot_mut(identity);
+        if !slot.seen.insert(event.meta.id.clone()) {
             return false;
         }
-        let buf = self.buffers.entry(identity.clone()).or_default();
-        buf.push_back(event);
-        while buf.len() > self.cap {
-            if let Some(evicted) = buf.pop_front() {
-                seen.remove(&evicted.meta.id);
+        slot.events.push_back(event);
+        while slot.events.len() > cap {
+            if let Some(evicted) = slot.events.pop_front() {
+                slot.seen.remove(&evicted.meta.id);
             }
         }
         true
@@ -287,15 +318,15 @@ impl TriggerBuffer {
 
     /// The newest `limit` events for a subscription, newest first.
     pub fn latest(&self, identity: &TriggerIdentity, limit: usize) -> Vec<TriggerEvent> {
-        let Some(buf) = self.buffers.get(identity) else {
+        let Some(slot) = self.slot(identity) else {
             return Vec::new();
         };
-        buf.iter().rev().take(limit).cloned().collect()
+        slot.events.iter().rev().take(limit).cloned().collect()
     }
 
     /// Number of buffered events for a subscription.
     pub fn len(&self, identity: &TriggerIdentity) -> usize {
-        self.buffers.get(identity).map_or(0, VecDeque::len)
+        self.slot(identity).map_or(0, |s| s.events.len())
     }
 
     /// True if nothing is buffered for a subscription.
@@ -305,8 +336,12 @@ impl TriggerBuffer {
 
     /// Drop a subscription's buffer entirely.
     pub fn clear(&mut self, identity: &TriggerIdentity) {
-        self.buffers.remove(identity);
-        self.seen_ids.remove(identity);
+        if let Some(sym) = self.syms.get(identity.as_str()) {
+            if let Some(slot) = self.slots.get_mut(sym.index() as usize) {
+                slot.events.clear();
+                slot.seen.clear();
+            }
+        }
     }
 }
 

@@ -77,6 +77,19 @@ pub struct PollResponseBody {
     pub data: Vec<TriggerEvent>,
 }
 
+/// The exact wire bytes of an empty [`PollResponseBody`]. Most polls in a
+/// steady-state fleet return nothing, so both sides special-case this
+/// body: services reply with the static bytes (no serialization) and the
+/// engine recognizes them by comparison (no parse). Must stay
+/// byte-identical to `to_bytes(&PollResponseBody { data: vec![] })` —
+/// there is a test pinning that.
+pub const EMPTY_POLL_JSON: &[u8] = b"{\"data\":[]}";
+
+/// The empty poll response body as a zero-allocation [`Bytes`].
+pub fn empty_poll_body() -> Bytes {
+    Bytes::from_static(EMPTY_POLL_JSON)
+}
+
 /// Engine → service: execute one action.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ActionRequestBody {
@@ -272,5 +285,16 @@ mod tests {
         let n = RealtimeNotification::single(TriggerIdentity("ti_1".into()));
         let back: RealtimeNotification = from_bytes(&to_bytes(&n)).unwrap();
         assert_eq!(back, n);
+    }
+
+    /// The static fast-path bytes must be what serde would have produced,
+    /// or the fast path would change wire sizes (and with them digests).
+    #[test]
+    fn empty_poll_fast_path_matches_serde() {
+        let serde_bytes = to_bytes(&PollResponseBody { data: vec![] });
+        assert_eq!(&*serde_bytes, EMPTY_POLL_JSON);
+        assert_eq!(&*empty_poll_body(), EMPTY_POLL_JSON);
+        let parsed: PollResponseBody = from_bytes(EMPTY_POLL_JSON).unwrap();
+        assert!(parsed.data.is_empty());
     }
 }
