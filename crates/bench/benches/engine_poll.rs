@@ -1,0 +1,102 @@
+//! Engine poll-path microbench: coalesced batch polling vs one HTTP POST
+//! per subscription, on a single fleet cell.
+//!
+//! The fleet's dominant event source is the poll loop — a user with ~6
+//! installs on one service costs 6 round trips per poll gap unbatched.
+//! This bench runs the identical cell (same seed, same population, same
+//! activation plan) with `batch_polling` on and off and reports both the
+//! wall-clock ratio and the transport savings (HTTP round trips per
+//! subscription poll).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::ecosystem::{Ecosystem, GeneratorConfig, PopulationSampler};
+use ifttt_core::fleet::cell::run_cell;
+use ifttt_core::fleet::{CellSpec, FleetConfig, FleetMetrics, FleetPolicy};
+use ifttt_core::simnet::rng::derive_seed;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Seed streams mirroring `fleet::runner` so the cell sees the same kind
+/// of catalog and population a real fleet run would.
+const ECO_STREAM: u64 = 0xec0_0001;
+const POP_STREAM: u64 = 0xb0b_0001;
+
+fn cell_cfg(batch_polling: bool) -> FleetConfig {
+    let mut cfg = FleetConfig::new(500, 1, FleetPolicy::IftttLike);
+    cfg.window_secs = 120.0;
+    cfg.drain_secs = 400.0;
+    cfg.batch_polling = batch_polling;
+    cfg
+}
+
+fn run_once(sampler: &PopulationSampler, batch_polling: bool) -> Arc<FleetMetrics> {
+    let cfg = cell_cfg(batch_polling);
+    let spec = CellSpec {
+        cell: 0,
+        first_user: 0,
+        users: cfg.users,
+    };
+    let metrics = Arc::new(FleetMetrics::default());
+    run_cell(&spec, sampler, &cfg, &metrics);
+    metrics
+}
+
+fn bench(c: &mut Criterion) {
+    let master_seed = 2017u64;
+    let eco = Ecosystem::generate(GeneratorConfig {
+        seed: derive_seed(master_seed, ECO_STREAM),
+        scale: 0.02,
+    });
+    let snap = eco.canonical_snapshot();
+    let sampler = PopulationSampler::new(&snap, derive_seed(master_seed, POP_STREAM));
+
+    // Comparison run outside criterion: identical cell, both transports.
+    let t0 = Instant::now();
+    let batched = run_once(&sampler, true);
+    let wall_batched = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let unbatched = run_once(&sampler, false);
+    let wall_unbatched = t1.elapsed().as_secs_f64();
+
+    let http_batched = batched.polls_sent.get() - batched.polls_coalesced.get();
+    let http_unbatched = unbatched.polls_sent.get();
+    assert_eq!(
+        batched.t2a_micros.count(),
+        unbatched.t2a_micros.count(),
+        "batching must not change delivery"
+    );
+    let text = format!(
+        "# Engine poll path: batched vs unbatched (single 500-user IftttLike cell)\n\n\
+         unbatched: {} subscription polls = {} HTTP round trips, {:.2} s wall\n\
+         batched:   {} subscription polls = {} HTTP round trips ({} batch requests, \
+         {} coalesced), {:.2} s wall\n\
+         HTTP reduction {:.2}x, wall-clock {:.2}x, T2A p50 {:.0} s vs {:.0} s\n",
+        unbatched.polls_sent.get(),
+        http_unbatched,
+        wall_unbatched,
+        batched.polls_sent.get(),
+        http_batched,
+        batched.polls_batched.get(),
+        batched.polls_coalesced.get(),
+        wall_batched,
+        http_unbatched as f64 / http_batched.max(1) as f64,
+        wall_unbatched / wall_batched.max(1e-9),
+        unbatched.t2a_micros.quantile(0.5) as f64 / 1e6,
+        batched.t2a_micros.quantile(0.5) as f64 / 1e6,
+    );
+    emit("engine_poll.txt", &text);
+
+    let mut group = c.benchmark_group("engine_poll");
+    group.sample_size(10);
+    group.bench_function("cell_500_users_unbatched", |b| {
+        b.iter(|| run_once(std::hint::black_box(&sampler), false))
+    });
+    group.bench_function("cell_500_users_batched", |b| {
+        b.iter(|| run_once(std::hint::black_box(&sampler), true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

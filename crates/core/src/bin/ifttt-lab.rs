@@ -10,7 +10,7 @@
 //! ifttt-lab loops                    §4: explicit & implicit infinite loops
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
-//! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart]
+//! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -38,6 +38,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut policy = FleetPolicy::IftttLike;
+    let mut batch_polling = true;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -67,6 +68,7 @@ fn main() {
                     .and_then(|v| FleetPolicy::parse(&v))
                     .unwrap_or_else(|| usage("--policy is ifttt, fast, or smart"));
             }
+            "--no-batch" => batch_polling = false,
             _ => positional.push(a),
         }
     }
@@ -158,9 +160,15 @@ fn main() {
         "fleet" => {
             let mut cfg = FleetConfig::new(users, shards, policy);
             cfg.master_seed = seed;
+            cfg.batch_polling = batch_polling;
             println!(
-                "fleet: {} users, {} shards, policy {}, seed {} (cells of {})",
-                cfg.users, cfg.shards, cfg.policy, cfg.master_seed, cfg.cell_users
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {})",
+                cfg.users,
+                cfg.shards,
+                cfg.policy,
+                cfg.master_seed,
+                cfg.cell_users,
+                if cfg.batch_polling { "on" } else { "off" }
             );
             let total_cells = cfg.users.div_ceil(cfg.cell_users);
             let mut done = 0u64;
@@ -212,7 +220,7 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
-         fleet [--users N] [--shards N] [--policy ifttt|fast|smart]>"
+         fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]>"
     );
     std::process::exit(2)
 }

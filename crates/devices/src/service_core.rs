@@ -71,8 +71,10 @@ pub struct ServiceCore {
     pub subs: HashMap<TriggerIdentity, Subscription>,
     /// If set, send realtime hints to this engine node when events arrive.
     pub realtime_engine: Option<NodeId>,
-    /// Count of polls served (for tests/metrics).
+    /// Count of subscription polls served (batch entries each count once).
     pub polls_served: u64,
+    /// Count of batch poll requests served (each carrying ≥1 entries).
+    pub batch_polls_served: u64,
     /// Count of realtime hints sent.
     pub hints_sent: u64,
     next_event: u64,
@@ -93,6 +95,7 @@ impl ServiceCore {
             subs: HashMap::new(),
             realtime_engine: None,
             polls_served: 0,
+            batch_polls_served: 0,
             hints_sent: 0,
             next_event: 1,
             syms: Interner::new(),
@@ -114,7 +117,7 @@ impl ServiceCore {
         fields: FieldMap,
     ) -> TriggerIdentity {
         let ti = TriggerIdentity::derive(&user, self.endpoint.slug(), &trigger, &fields);
-        self.learn(ti.clone(), user, trigger, fields);
+        self.learn(&ti, &user, &trigger, &fields);
         ti
     }
 
@@ -122,30 +125,38 @@ impl ServiceCore {
     /// in sync. A refresh of a known identity changes nothing in the index:
     /// the identity is derived from `(user, trigger, fields)`, so those
     /// can't differ from what is already routed.
-    fn learn(&mut self, ti: TriggerIdentity, user: UserId, trigger: TriggerSlug, fields: FieldMap) {
+    fn learn(
+        &mut self,
+        ti: &TriggerIdentity,
+        user: &UserId,
+        trigger: &TriggerSlug,
+        fields: &FieldMap,
+    ) {
+        // The identity is derived from (user, trigger, fields), so a known
+        // identity cannot carry different routing data: a refresh is a no-op,
+        // and polls (the overwhelmingly common caller) take this early exit
+        // without interning or cloning anything.
+        if self.subs.contains_key(ti) {
+            return;
+        }
         let key = (
             self.syms.intern(user.as_str()),
             self.syms.intern(trigger.as_str()),
         );
-        let fresh = self
-            .subs
-            .insert(
-                ti.clone(),
-                Subscription {
-                    user,
-                    trigger,
-                    fields: fields.clone(),
-                },
-            )
-            .is_none();
-        if fresh {
-            let hint_body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
-            self.route.entry(key).or_default().push(RouteEntry {
-                ti,
-                fields,
-                hint_body,
-            });
-        }
+        self.subs.insert(
+            ti.clone(),
+            Subscription {
+                user: user.clone(),
+                trigger: trigger.clone(),
+                fields: fields.clone(),
+            },
+        );
+        let hint_body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
+        self.route.entry(key).or_default().push(RouteEntry {
+            ti: ti.clone(),
+            fields: fields.clone(),
+            hint_body,
+        });
     }
 
     /// A fresh service-unique event id.
@@ -220,10 +231,10 @@ impl ServiceCore {
             }) => {
                 // Learn (or refresh) the subscription from the poll itself.
                 self.learn(
-                    body.trigger_identity.clone(),
-                    user,
-                    trigger,
-                    body.trigger_fields.clone(),
+                    &body.trigger_identity,
+                    &user,
+                    &trigger,
+                    &body.trigger_fields,
                 );
                 self.polls_served += 1;
                 let events = self.buffer.latest(&body.trigger_identity, body.limit);
@@ -239,6 +250,39 @@ impl ServiceCore {
                     );
                 }
                 Processed::Done(ServiceEndpoint::poll_ok(events))
+            }
+            Ok(ParsedServiceRequest::BatchPoll { user, body }) => {
+                // Each entry is one subscription poll: learn it and gather
+                // its buffered events, exactly as the single path would.
+                self.polls_served += body.entries.len() as u64;
+                self.batch_polls_served += 1;
+                let mut results = Vec::with_capacity(body.entries.len());
+                for entry in body.entries {
+                    self.learn(
+                        &entry.trigger_identity,
+                        &user,
+                        &entry.trigger,
+                        &entry.trigger_fields,
+                    );
+                    let events = self.buffer.latest(&entry.trigger_identity, entry.limit);
+                    results.push(wire::BatchPollResult {
+                        trigger_identity: entry.trigger_identity,
+                        data: events,
+                    });
+                }
+                if ctx.tracing() {
+                    let total: usize = results.iter().map(|r| r.data.len()).sum();
+                    ctx.trace(
+                        "service.batch_poll",
+                        format!(
+                            "{} {} entries -> {} events",
+                            self.endpoint.slug(),
+                            results.len(),
+                            total
+                        ),
+                    );
+                }
+                Processed::Done(ServiceEndpoint::batch_poll_ok(results))
             }
             Ok(ParsedServiceRequest::Action {
                 user, action, body, ..
@@ -385,6 +429,98 @@ mod tests {
         let ts = sim.node_ref::<TestService>(svc);
         assert_eq!(ts.core.polls_served, 1);
         assert!(ts.core.subs.contains_key(&ti));
+    }
+
+    #[test]
+    fn batch_poll_learns_and_answers_every_entry() {
+        let mut sim = Sim::new(55);
+        let ep = ServiceEndpoint::new(ServiceSlug::new("svc"), ServiceKey("sk_1".into()))
+            .with_trigger("ding")
+            .with_trigger("dong_t")
+            .with_action("dong");
+        let mut c = ServiceCore::new(ep);
+        let user = UserId::new("u1");
+        // Pre-register one of the two subscriptions and buffer an event for
+        // it; the other is learned from the batch itself.
+        let ti_known = c.subscribe(user.clone(), TriggerSlug::new("ding"), FieldMap::new());
+        c.buffer.push(&ti_known, TriggerEvent::new("e1", 1));
+        let ti_new = tap_protocol::TriggerIdentity::derive(
+            &user,
+            &ServiceSlug::new("svc"),
+            &TriggerSlug::new("dong_t"),
+            &FieldMap::new(),
+        );
+        let token_header = {
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(2);
+            c.endpoint.oauth.mint_token(user.clone(), &mut rng).bearer()
+        };
+        let body = wire::BatchPollRequestBody {
+            user: user.clone(),
+            entries: vec![
+                wire::BatchPollEntry {
+                    trigger: TriggerSlug::new("ding"),
+                    trigger_identity: ti_known.clone(),
+                    trigger_fields: FieldMap::new(),
+                    limit: 50,
+                },
+                wire::BatchPollEntry {
+                    trigger: TriggerSlug::new("dong_t"),
+                    trigger_identity: ti_new.clone(),
+                    trigger_fields: FieldMap::new(),
+                    limit: 50,
+                },
+            ],
+        };
+        let svc = sim.add_node("svc", TestService { core: c });
+        let req = Request::post(tap_protocol::endpoints::BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, "sk_1")
+            .with_header(AUTHORIZATION_HEADER, token_header)
+            .with_body(wire::to_bytes(&body));
+        let resp = sim.with_node::<TestService, _>(svc, |s, ctx| match s.core.process(ctx, &req) {
+            Processed::Done(resp) => resp,
+            other => panic!("unexpected {other:?}"),
+        });
+        assert!(resp.is_success());
+        let parsed: wire::BatchPollResponseBody = wire::from_bytes(&resp.body).unwrap();
+        assert_eq!(parsed.data.len(), 2);
+        assert_eq!(parsed.data[0].trigger_identity, ti_known);
+        assert_eq!(parsed.data[0].data.len(), 1);
+        assert!(parsed.data[1].data.is_empty());
+        let ts = sim.node_ref::<TestService>(svc);
+        assert_eq!(ts.core.polls_served, 2, "each entry counts as one poll");
+        assert_eq!(ts.core.batch_polls_served, 1);
+        assert!(ts.core.subs.contains_key(&ti_new), "batch learns entries");
+    }
+
+    #[test]
+    fn empty_batch_poll_replies_with_static_bytes() {
+        let mut sim = Sim::new(56);
+        let mut c = core();
+        let user = UserId::new("u1");
+        let ti = c.subscribe(user.clone(), TriggerSlug::new("ding"), FieldMap::new());
+        let token_header = {
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(3);
+            c.endpoint.oauth.mint_token(user.clone(), &mut rng).bearer()
+        };
+        let body = wire::BatchPollRequestBody {
+            user,
+            entries: vec![wire::BatchPollEntry {
+                trigger: TriggerSlug::new("ding"),
+                trigger_identity: ti,
+                trigger_fields: FieldMap::new(),
+                limit: 50,
+            }],
+        };
+        let svc = sim.add_node("svc", TestService { core: c });
+        let req = Request::post(tap_protocol::endpoints::BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, "sk_1")
+            .with_header(AUTHORIZATION_HEADER, token_header)
+            .with_body(wire::to_bytes(&body));
+        let resp = sim.with_node::<TestService, _>(svc, |s, ctx| match s.core.process(ctx, &req) {
+            Processed::Done(resp) => resp,
+            other => panic!("unexpected {other:?}"),
+        });
+        assert_eq!(&*resp.body, wire::EMPTY_BATCH_JSON);
     }
 
     #[test]

@@ -34,10 +34,11 @@ use tap_protocol::auth::{
     AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, SERVICE_KEY_HEADER,
 };
 use tap_protocol::endpoints::query_path;
-use tap_protocol::endpoints::{action_path, trigger_path, REALTIME_NOTIFY_PATH};
+use tap_protocol::endpoints::{action_path, trigger_path, BATCH_POLL_PATH, REALTIME_NOTIFY_PATH};
 use tap_protocol::wire::{
-    self, ActionRequestBody, PollRequestBody, PollResponseBody, QueryRequestBody,
-    QueryResponseBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
+    self, ActionRequestBody, BatchPollEntry, BatchPollRequestBody, BatchPollResponseBody,
+    PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody, RealtimeNotification,
+    TriggerEvent, DEFAULT_POLL_LIMIT,
 };
 use tap_protocol::{FieldMap, Interner, ServiceSlug, Symbol, TriggerIdentity, UserId};
 
@@ -48,6 +49,7 @@ const TAG_ACTION: u64 = 2 << TAG_SHIFT;
 const TAG_OAUTH_AUTH: u64 = 3 << TAG_SHIFT;
 const TAG_OAUTH_TOKEN: u64 = 4 << TAG_SHIFT;
 const TAG_QUERY: u64 = 5 << TAG_SHIFT;
+const TAG_BATCH: u64 = 6 << TAG_SHIFT;
 const TAG_MASK: u64 = 0xFF << TAG_SHIFT;
 /// Query tokens pack (dispatch << 4 | query index); 16 queries per applet.
 const QUERY_IDX_BITS: u64 = 4;
@@ -105,6 +107,14 @@ pub struct EngineConfig {
     pub static_loop_check: bool,
     /// Runtime loop detection, if any.
     pub runtime_loop: Option<RuntimeLoopConfig>,
+    /// Coalesce sibling subscriptions — same (user, trigger service,
+    /// cadence class) — into one multi-trigger batch poll request. Off by
+    /// default so E3 and the IftttLike calibration stay comparable with
+    /// earlier revisions; the fleet workload turns it on.
+    pub batch_polling: bool,
+    /// How far ahead (seconds) a sibling's scheduled poll may be and still
+    /// ride the current batch request. Jittered per batch.
+    pub coalesce_window: Dist,
 }
 
 impl Default for EngineConfig {
@@ -126,6 +136,10 @@ impl Default for EngineConfig {
             permission_granularity: Granularity::ServiceLevel,
             static_loop_check: false,
             runtime_loop: None,
+            batch_polling: false,
+            // Wide enough to capture the initial-poll stagger (1–5 s);
+            // after the first batch the group is phase-locked anyway.
+            coalesce_window: Dist::Uniform { lo: 4.0, hi: 6.0 },
         }
     }
 }
@@ -184,6 +198,11 @@ pub struct EngineStats {
     pub queries_failed: u64,
     /// Action dispatches retried after a failure.
     pub actions_retried: u64,
+    /// Coalesced batch poll requests sent (each carries ≥ 2 entries).
+    pub polls_batched: u64,
+    /// Subscription polls that rode a sibling's batch request instead of
+    /// costing their own round trip (batch members minus initiators).
+    pub polls_coalesced: u64,
 }
 
 #[derive(Debug)]
@@ -209,6 +228,20 @@ struct PollTask {
     seen: HashSet<Symbol>,
     enabled: bool,
     next_poll: Option<TimerId>,
+    /// Absolute time the pending poll timer fires (meaningful only while
+    /// `next_poll` is `Some`); lets a sibling's batch decide whether this
+    /// subscription's poll is close enough to coalesce.
+    next_poll_at: SimTime,
+    /// Coalescing-group key: (owner, trigger service, cadence class).
+    group: (Symbol, Symbol, u8),
+    /// Whether the coalescing group ever had a sibling. Most users install
+    /// one applet per service, so most poll timers can skip the batch
+    /// machinery (group scan, window jitter draw, member collection)
+    /// entirely. Purely a fast-path hint: `send_batch_poll` still falls
+    /// back to a single poll when no sibling is actually coalescible.
+    grouped: bool,
+    /// Cached wire entry this subscription contributes to a batch poll.
+    batch_entry: BatchPollEntry,
 }
 
 #[derive(Debug)]
@@ -245,6 +278,18 @@ pub struct TapEngine {
     applets: HashMap<AppletId, Applet>,
     tasks: HashMap<AppletId, PollTask>,
     by_identity: HashMap<Symbol, Vec<AppletId>>,
+    /// Coalescing groups, in install order (the order batch entries are
+    /// listed on the wire and demuxed back).
+    poll_groups: HashMap<(Symbol, Symbol, u8), Vec<AppletId>>,
+    /// In-flight batch polls: sequence number → member applets, in entry
+    /// order.
+    pending_batches: HashMap<u64, Vec<AppletId>>,
+    next_batch: u64,
+    /// Serialized batch request body per group, reused verbatim while the
+    /// group's membership is unchanged — after the first response
+    /// phase-locks a group this is every round, so a steady-state batch
+    /// poll clones a `Bytes` handle exactly like a single poll does.
+    batch_bodies: HashMap<(Symbol, Symbol, u8), (Vec<AppletId>, bytes::Bytes)>,
     dispatches: HashMap<u64, DispatchJob>,
     next_dispatch: u64,
     /// Permission manager (service-level by default, §6).
@@ -277,6 +322,10 @@ impl TapEngine {
             applets: HashMap::new(),
             tasks: HashMap::new(),
             by_identity: HashMap::new(),
+            poll_groups: HashMap::new(),
+            pending_batches: HashMap::new(),
+            next_batch: 1,
+            batch_bodies: HashMap::new(),
             dispatches: HashMap::new(),
             next_dispatch: 1,
             permissions,
@@ -419,11 +468,29 @@ impl TapEngine {
         } else {
             None
         };
+        let owner_sym = self.syms.intern(applet.owner.as_str());
+        let trigger_service_sym = self.syms.intern(applet.trigger.service.as_str());
+        let group = (
+            owner_sym,
+            trigger_service_sym,
+            self.config.polling.cadence_class(&applet),
+        );
+        let siblings = self.poll_groups.entry(group).or_default();
+        siblings.push(id);
+        let grouped = siblings.len() >= 2;
+        if siblings.len() == 2 {
+            // The group just gained its first sibling: the existing member
+            // was installed solo and must start taking the batch path too.
+            let first = siblings[0];
+            if let Some(t) = self.tasks.get_mut(&first) {
+                t.grouped = true;
+            }
+        }
         self.tasks.insert(
             id,
             PollTask {
-                owner: self.syms.intern(applet.owner.as_str()),
-                trigger_service: self.syms.intern(applet.trigger.service.as_str()),
+                owner: owner_sym,
+                trigger_service: trigger_service_sym,
                 action_service: self.syms.intern(applet.action.service.as_str()),
                 poll_path: trigger_path(&applet.trigger.trigger),
                 poll_body,
@@ -432,6 +499,15 @@ impl TapEngine {
                 seen: HashSet::new(),
                 enabled: true,
                 next_poll: None,
+                next_poll_at: SimTime::ZERO,
+                group,
+                grouped,
+                batch_entry: BatchPollEntry {
+                    trigger: applet.trigger.trigger.clone(),
+                    trigger_identity: identity,
+                    trigger_fields: applet.trigger.fields.clone(),
+                    limit: DEFAULT_POLL_LIMIT,
+                },
             },
         );
         self.applets.insert(id, applet);
@@ -466,6 +542,7 @@ impl TapEngine {
         if let Some(old) = task.next_poll.take() {
             ctx.cancel_timer(old);
         }
+        task.next_poll_at = ctx.now() + after;
         task.next_poll = Some(ctx.set_timer(after, TK_POLL | id.0 as u64));
     }
 
@@ -512,6 +589,155 @@ impl TapEngine {
         );
     }
 
+    /// Poll-timer entry point when [`EngineConfig::batch_polling`] is on:
+    /// coalesce every sibling subscription — same (owner, trigger service,
+    /// cadence class) — whose next poll falls inside the jittered window
+    /// into one multi-trigger request. Falls back to the plain single poll
+    /// when no sibling is close enough.
+    fn send_batch_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
+        let Some(task) = self.tasks.get(&id) else {
+            return;
+        };
+        if !task.enabled {
+            return;
+        }
+        let group = task.group;
+        let owner = task.owner;
+        let trigger_service = task.trigger_service;
+        let Some(reg) = self.services.get(&trigger_service) else {
+            return;
+        };
+        let Some(bearer) = self.tokens.get(&(owner, trigger_service)) else {
+            return;
+        };
+        let window =
+            SimDuration::from_secs_f64(self.config.coalesce_window.sample(ctx.rng()).max(0.0));
+        let horizon = ctx.now() + window;
+        // Members in install order: the initiator (whose timer just fired)
+        // plus every sibling with a pending poll inside the window.
+        let members: Vec<AppletId> = self.poll_groups[&group]
+            .iter()
+            .copied()
+            .filter(|m| {
+                *m == id
+                    || self.tasks.get(m).is_some_and(|t| {
+                        t.enabled && t.next_poll.is_some() && t.next_poll_at <= horizon
+                    })
+            })
+            .collect();
+        if members.len() < 2 {
+            self.send_poll(ctx, id);
+            return;
+        }
+        for m in &members {
+            let task = self.tasks.get_mut(m).expect("member task exists");
+            if let Some(old) = task.next_poll.take() {
+                ctx.cancel_timer(old);
+            }
+        }
+        let cached = self
+            .batch_bodies
+            .get(&group)
+            .filter(|(cached_for, _)| *cached_for == members)
+            .map(|(_, bytes)| bytes.clone());
+        let body = cached.unwrap_or_else(|| {
+            let entries = members
+                .iter()
+                .map(|m| self.tasks[m].batch_entry.clone())
+                .collect();
+            let bytes = wire::to_bytes(&BatchPollRequestBody {
+                user: self.applets[&id].owner.clone(),
+                entries,
+            });
+            self.batch_bodies
+                .insert(group, (members.clone(), bytes.clone()));
+            bytes
+        });
+        let n = members.len() as u64;
+        let seq = self.next_batch;
+        self.next_batch += 1;
+        self.pending_batches.insert(seq, members);
+        let request_id: u64 = ctx.rng().gen();
+        let req = Request::post(BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+            .with_header(AUTHORIZATION_HEADER, bearer.clone())
+            .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
+            .with_body(body);
+        // Each member still counts as one subscription poll; the batch and
+        // coalesced counters record what the fan-in saved (HTTP round
+        // trips = polls_sent - polls_coalesced).
+        self.stats.polls_sent += n;
+        self.stats.polls_batched += 1;
+        self.stats.polls_coalesced += n - 1;
+        if let Some(o) = &self.observer {
+            for _ in 0..n {
+                o.poll_sent(ctx.now());
+            }
+            o.poll_batched(n, ctx.now());
+        }
+        if ctx.tracing() {
+            ctx.trace(
+                "engine.batch_poll_sent",
+                format!("{id:?} +{} riders", n - 1),
+            );
+        }
+        let node = reg.node;
+        ctx.send_request(
+            node,
+            req,
+            Token(TAG_BATCH | seq),
+            RequestOpts {
+                timeout: Some(self.config.request_timeout),
+            },
+        );
+    }
+
+    fn on_batch_poll_response(&mut self, ctx: &mut Context<'_>, seq: u64, resp: Response) {
+        let Some(members) = self.pending_batches.remove(&seq) else {
+            return;
+        };
+        // Keep every member's polling chain alive with ONE shared gap draw.
+        // Phase-locking the group is what keeps it coalescing round after
+        // round, and because all members share a cadence class the draw has
+        // exactly the per-subscription gap distribution the unbatched path
+        // would give each of them — T2A quartiles are preserved.
+        let gap = members
+            .first()
+            .and_then(|m| self.applets.get(m))
+            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
+            .unwrap_or(SimDuration::from_secs(60));
+        for m in &members {
+            self.schedule_poll(ctx, *m, gap);
+        }
+        let n = members.len() as u64;
+        if !resp.is_success() {
+            self.stats.polls_failed += n;
+            if ctx.tracing() {
+                ctx.trace(
+                    "engine.batch_poll_failed",
+                    format!("{n} members, status {}", resp.status),
+                );
+            }
+            return;
+        }
+        // Canonical all-empty reply, recognized by bytes like the single
+        // poll's empty fast path.
+        if *resp.body == *wire::EMPTY_BATCH_JSON {
+            self.stats.polls_empty += n;
+            return;
+        }
+        let Ok(body) = wire::from_bytes::<BatchPollResponseBody>(&resp.body) else {
+            self.stats.polls_failed += n;
+            return;
+        };
+        // Results come back in entry order; demux by position. Entries are
+        // ingested in member order and each entry's dispatch timers are set
+        // immediately, so per-subscription FIFO is preserved.
+        for (m, result) in members.into_iter().zip(body.data) {
+            self.ingest_poll_events(ctx, m, result.data);
+        }
+    }
+
     fn on_poll_response(&mut self, ctx: &mut Context<'_>, id: AppletId, resp: Response) {
         // Always keep the polling chain alive.
         let gap = self
@@ -541,8 +767,15 @@ impl TapEngine {
             self.stats.polls_failed += 1;
             return;
         };
-        self.stats.events_received += body.data.len() as u64;
-        if body.data.is_empty() {
+        self.ingest_poll_events(ctx, id, body.data);
+    }
+
+    /// Shared tail of the single and batched poll paths: dedupe one
+    /// subscription's event list against its seen-set and enqueue a
+    /// dispatch per fresh event, oldest first.
+    fn ingest_poll_events(&mut self, ctx: &mut Context<'_>, id: AppletId, data: Vec<TriggerEvent>) {
+        self.stats.events_received += data.len() as u64;
+        if data.is_empty() {
             self.stats.polls_empty += 1;
             return;
         }
@@ -554,8 +787,7 @@ impl TapEngine {
         // polls do not consume the service's buffer) costs one string hash
         // and a u32 set probe.
         let syms = &mut self.syms;
-        let mut fresh: Vec<TriggerEvent> = body
-            .data
+        let mut fresh: Vec<TriggerEvent> = data
             .into_iter()
             .filter(|e| !syms.get(&e.meta.id).is_some_and(|s| task.seen.contains(&s)))
             .collect();
@@ -866,10 +1098,16 @@ impl Node for TapEngine {
         match key & TAG_MASK {
             TK_POLL => {
                 let id = AppletId((key & !TAG_MASK) as u32);
+                let mut grouped = false;
                 if let Some(task) = self.tasks.get_mut(&id) {
                     task.next_poll = None;
+                    grouped = task.grouped;
                 }
-                self.send_poll(ctx, id);
+                if self.config.batch_polling && grouped {
+                    self.send_batch_poll(ctx, id);
+                } else {
+                    self.send_poll(ctx, id);
+                }
             }
             TK_DISPATCH => {
                 let dispatch = key & !TAG_MASK;
@@ -922,6 +1160,10 @@ impl Node for TapEngine {
                     }
                     self.dispatches.remove(&dispatch);
                 }
+            }
+            TAG_BATCH => {
+                let seq = token.0 & !TAG_MASK;
+                self.on_batch_poll_response(ctx, seq, resp);
             }
             TAG_QUERY => {
                 let packed = token.0 & !TAG_MASK;

@@ -27,6 +27,13 @@ pub trait EngineObserver: Send + Sync + std::fmt::Debug {
         let _ = (new_events, now);
     }
 
+    /// A coalesced batch poll request left the engine carrying `members`
+    /// subscription entries (`members >= 2`; singleton groups go through
+    /// the plain poll path and fire [`EngineObserver::poll_sent`] only).
+    fn poll_batched(&self, members: u64, now: SimTime) {
+        let _ = (members, now);
+    }
+
     /// A dispatch job was enqueued; `queue_depth` is the number of jobs
     /// outstanding (including this one) right after the enqueue.
     fn dispatch_enqueued(&self, queue_depth: usize, now: SimTime) {
@@ -70,6 +77,7 @@ mod tests {
         let o = Inert;
         o.poll_sent(SimTime::ZERO);
         o.poll_result(3, SimTime::ZERO);
+        o.poll_batched(2, SimTime::ZERO);
         o.dispatch_enqueued(1, SimTime::ZERO);
         o.action_finished(true, SimTime::ZERO);
     }

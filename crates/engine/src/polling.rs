@@ -103,6 +103,17 @@ impl PollPolicy {
         SimDuration::from_secs_f64(secs.max(0.05))
     }
 
+    /// Which cadence class an applet polls in. Subscriptions coalesce into
+    /// one batch request only within a class: under [`PollPolicy::Smart`]
+    /// a hot (5 s) applet must never phase-lock with a cold (300 s) one,
+    /// while the single-cadence policies put everything in class 0.
+    pub fn cadence_class(&self, applet: &Applet) -> u8 {
+        match self {
+            PollPolicy::Smart { hot_threshold, .. } if applet.add_count >= *hot_threshold => 1,
+            _ => 0,
+        }
+    }
+
     /// Expected polls per second one applet costs under this policy.
     pub fn expected_rate(&self, applet: &Applet) -> f64 {
         match self {
@@ -193,6 +204,15 @@ mod tests {
         assert!(hot < cold);
         assert_eq!(hot, SimDuration::from_secs(5));
         assert_eq!(cold, SimDuration::from_secs(300));
+    }
+
+    #[test]
+    fn cadence_class_splits_only_smart_hot_and_cold() {
+        let smart = PollPolicy::smart(1_000);
+        assert_eq!(smart.cadence_class(&applet(10_000)), 1);
+        assert_eq!(smart.cadence_class(&applet(10)), 0);
+        assert_eq!(PollPolicy::ifttt_like().cadence_class(&applet(10_000)), 0);
+        assert_eq!(PollPolicy::fixed(1.0).cadence_class(&applet(10_000)), 0);
     }
 
     #[test]

@@ -68,18 +68,21 @@ impl FleetService {
             ServiceSlug::new(SERVICE_SLUG),
             ServiceKey(SERVICE_KEY.into()),
         );
-        for k in 0..MAX_INSTALLS_PER_USER {
+        // Build each `fired_k` slug once and share it between the endpoint
+        // registration and the per-emit lookup table.
+        let trigger_slugs: Vec<TriggerSlug> = (0..MAX_INSTALLS_PER_USER)
+            .map(|k| TriggerSlug::new(format!("fired_{k}")))
+            .collect();
+        for (k, slug) in trigger_slugs.iter().enumerate() {
             ep = ep
-                .with_trigger(format!("fired_{k}").as_str())
+                .with_trigger(slug.as_str())
                 .with_action(format!("noop_{k}").as_str());
         }
         FleetService {
             core: ServiceCore::new(ep),
             pending: HashMap::new(),
             users: Interner::new(),
-            trigger_slugs: (0..MAX_INSTALLS_PER_USER)
-                .map(|k| TriggerSlug::new(format!("fired_{k}")))
-                .collect(),
+            trigger_slugs,
             action_ok_body: wire::to_bytes(&ActionResponseBody::single("ok")),
             metrics,
         }
@@ -183,8 +186,14 @@ pub fn run_cell(
             ServiceKey(SERVICE_KEY.into()),
         );
     });
+    // Each `user_n` id is formatted exactly once; installs, the emit loop,
+    // and the token mint all share the same `UserId`.
+    let user_ids: HashMap<u64, UserId> = profiles
+        .iter()
+        .map(|p| (p.user, UserId::new(format!("user_{}", p.user))))
+        .collect();
     for (local, profile) in profiles.iter().enumerate() {
-        let user = UserId::new(format!("user_{}", profile.user));
+        let user = user_ids[&profile.user].clone();
         let token = sim.with_node::<FleetService, _>(svc, |s, ctx| {
             s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
         });
@@ -231,10 +240,6 @@ pub fn run_cell(
         }
     }
     plan.sort_unstable();
-    let user_ids: HashMap<u64, UserId> = profiles
-        .iter()
-        .map(|p| (p.user, UserId::new(format!("user_{}", p.user))))
-        .collect();
     for (at_micros, user, slot) in plan {
         sim.run_until(SimTime::from_micros(at_micros));
         let user = &user_ids[&user];
@@ -321,6 +326,35 @@ mod tests {
         let b = Arc::new(FleetMetrics::default());
         run_cell(&spec, &sampler, &cfg, &b);
         assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn batching_on_and_off_deliver_the_same_activations() {
+        let sampler = sampler();
+        let spec = CellSpec {
+            cell: 2,
+            first_user: 100,
+            users: 20,
+        };
+        let run = |batch_polling: bool| {
+            let mut cfg = small_cfg(FleetPolicy::Fast);
+            cfg.batch_polling = batch_polling;
+            let metrics = Arc::new(FleetMetrics::default());
+            run_cell(&spec, &sampler, &cfg, &metrics);
+            metrics
+        };
+        let on = run(true);
+        let off = run(false);
+        // Same users, same activation plan (its RNG stream is independent
+        // of engine randomness), same delivery outcome.
+        assert_eq!(on.activations.get(), off.activations.get());
+        assert_eq!(on.t2a_micros.count(), off.t2a_micros.count());
+        assert_eq!(on.events_new.get(), off.events_new.get());
+        assert_eq!(on.lost.get(), off.lost.get());
+        // Only the batched run coalesces, and it saves real round trips.
+        assert_eq!(off.polls_batched.get(), 0);
+        assert!(on.polls_batched.get() > 0);
+        assert!(on.polls_sent.get() - on.polls_coalesced.get() < off.polls_sent.get());
     }
 
     #[test]

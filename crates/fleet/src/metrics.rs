@@ -323,8 +323,13 @@ pub struct FleetMetrics {
     pub t2a_micros: Histogram,
     /// Dispatch-queue depth observed at each enqueue.
     pub dispatch_depth: Histogram,
-    /// Trigger polls the engines sent.
+    /// Trigger polls the engines sent (batch members each count once).
     pub polls_sent: Counter,
+    /// Coalesced batch poll requests (each carried ≥ 2 subscriptions).
+    pub polls_batched: Counter,
+    /// Subscription polls that rode a sibling's batch request; HTTP round
+    /// trips = `polls_sent` − `polls_coalesced`.
+    pub polls_coalesced: Counter,
     /// New (previously unseen) trigger events returned by polls.
     pub events_new: Counter,
     /// Action requests acknowledged with success.
@@ -359,6 +364,8 @@ impl FleetMetrics {
         self.t2a_micros.merge_from(&other.t2a_micros);
         self.dispatch_depth.merge_from(&other.dispatch_depth);
         self.polls_sent.merge_from(&other.polls_sent);
+        self.polls_batched.merge_from(&other.polls_batched);
+        self.polls_coalesced.merge_from(&other.polls_coalesced);
         self.events_new.merge_from(&other.events_new);
         self.actions_ok.merge_from(&other.actions_ok);
         self.actions_failed.merge_from(&other.actions_failed);
@@ -385,6 +392,11 @@ impl engine::EngineObserver for FleetMetrics {
 
     fn poll_result(&self, new_events: u64, _now: simnet::time::SimTime) {
         self.events_new.add(new_events);
+    }
+
+    fn poll_batched(&self, members: u64, _now: simnet::time::SimTime) {
+        self.polls_batched.incr();
+        self.polls_coalesced.add(members.saturating_sub(1));
     }
 
     fn dispatch_enqueued(&self, queue_depth: usize, _now: simnet::time::SimTime) {
@@ -462,10 +474,13 @@ mod tests {
         let t = simnet::time::SimTime::ZERO;
         m.poll_sent(t);
         m.poll_result(3, t);
+        m.poll_batched(4, t);
         m.dispatch_enqueued(7, t);
         m.action_finished(true, t);
         m.action_finished(false, t);
         assert_eq!(m.polls_sent.get(), 1);
+        assert_eq!(m.polls_batched.get(), 1);
+        assert_eq!(m.polls_coalesced.get(), 3);
         assert_eq!(m.events_new.get(), 3);
         assert_eq!(m.dispatch_depth.max(), 7);
         assert_eq!(m.actions_ok.get(), 1);

@@ -101,6 +101,14 @@ impl FleetReport {
             m.actions_ok.get(),
             m.actions_failed.get()
         ));
+        if m.polls_batched.get() > 0 {
+            out.push_str(&format!(
+                "  batch polls {}  coalesced {}  HTTP round trips {}\n",
+                m.polls_batched.get(),
+                m.polls_coalesced.get(),
+                m.polls_sent.get() - m.polls_coalesced.get()
+            ));
+        }
         out.push_str(&format!(
             "  T2A quartiles {p25:.0}/{p50:.0}/{p75:.0} s  (paper Fig. 4: {e25:.0}/{e50:.0}/{e75:.0} s)  n={}\n",
             m.t2a_micros.count()

@@ -91,6 +91,10 @@ pub struct FleetConfig {
     pub drain_secs: f64,
     /// Smart policy's hot threshold; `None` derives the p90 add-count knee.
     pub hot_threshold: Option<u64>,
+    /// Coalesce per-(user, service) sibling subscriptions into batch poll
+    /// requests (on by default — the fleet is exactly the workload the
+    /// fan-in was built for; `--no-batch` turns it off for comparison).
+    pub batch_polling: bool,
 }
 
 impl FleetConfig {
@@ -112,19 +116,22 @@ impl FleetConfig {
                 FleetPolicy::IftttLike | FleetPolicy::Smart => 1000.0,
             },
             hot_threshold: None,
+            batch_polling: true,
         }
     }
 
     /// The engine configuration every cell runs.
     pub(crate) fn engine_config(&self) -> EngineConfig {
-        match self.policy {
+        let mut cfg = match self.policy {
             FleetPolicy::IftttLike => EngineConfig::default(),
             FleetPolicy::Fast => EngineConfig::fast(),
             FleetPolicy::Smart => EngineConfig {
                 polling: PollPolicy::smart(self.hot_threshold.unwrap_or(1)),
                 ..EngineConfig::default()
             },
-        }
+        };
+        cfg.batch_polling = self.batch_polling;
+        cfg
     }
 }
 

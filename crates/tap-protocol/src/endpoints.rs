@@ -18,6 +18,10 @@ pub const TEST_SETUP_PATH: &str = "/ifttt/v1/test/setup";
 /// Path the engine exposes for realtime-API notifications from services.
 pub const REALTIME_NOTIFY_PATH: &str = "/ifttt/v1/realtime/notifications";
 
+/// Path of the coalesced multi-trigger poll endpoint: one POST polls many
+/// subscriptions of one user (the trigger slugs ride in the body).
+pub const BATCH_POLL_PATH: &str = "/ifttt/v1/batch/poll";
+
 /// Path of a trigger polling endpoint.
 pub fn trigger_path(slug: &TriggerSlug) -> String {
     format!("{API_PREFIX}/triggers/{slug}")
@@ -41,6 +45,8 @@ pub enum Endpoint {
     Trigger(TriggerSlug),
     Action(ActionSlug),
     Query(QuerySlug),
+    /// Coalesced multi-trigger poll ([`BATCH_POLL_PATH`]).
+    BatchPoll,
     /// OAuth2 authorization page (user-facing).
     OAuthAuthorize,
     /// OAuth2 token exchange.
@@ -52,6 +58,7 @@ pub fn parse(path: &str) -> Option<Endpoint> {
     match path {
         STATUS_PATH => return Some(Endpoint::Status),
         TEST_SETUP_PATH => return Some(Endpoint::TestSetup),
+        BATCH_POLL_PATH => return Some(Endpoint::BatchPoll),
         "/oauth2/authorize" => return Some(Endpoint::OAuthAuthorize),
         "/oauth2/token" => return Some(Endpoint::OAuthToken),
         _ => {}
@@ -84,6 +91,7 @@ mod tests {
         assert_eq!(parse(TEST_SETUP_PATH), Some(Endpoint::TestSetup));
         assert_eq!(parse("/oauth2/authorize"), Some(Endpoint::OAuthAuthorize));
         assert_eq!(parse("/oauth2/token"), Some(Endpoint::OAuthToken));
+        assert_eq!(parse(BATCH_POLL_PATH), Some(Endpoint::BatchPoll));
     }
 
     #[test]

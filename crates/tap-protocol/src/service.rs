@@ -12,8 +12,9 @@ use crate::ids::{ActionSlug, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlu
 use crate::intern::Interner;
 use crate::oauth::{AuthCode, OAuthProvider};
 use crate::wire::{
-    self, ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
-    QueryRequestBody, QueryResponseBody, TriggerEvent,
+    self, ActionRequestBody, ActionResponseBody, BatchPollRequestBody, BatchPollResponseBody,
+    BatchPollResult, ErrorBody, PollRequestBody, PollResponseBody, QueryRequestBody,
+    QueryResponseBody, TriggerEvent,
 };
 use simnet::http::{Method, Request, Response};
 use std::collections::{HashSet, VecDeque};
@@ -30,6 +31,11 @@ pub enum ParsedServiceRequest {
         user: UserId,
         trigger: TriggerSlug,
         body: PollRequestBody,
+    },
+    /// Poll many trigger subscriptions of `user` in one round trip.
+    BatchPoll {
+        user: UserId,
+        body: BatchPollRequestBody,
     },
     /// Execute one action on behalf of `user`.
     Action {
@@ -135,6 +141,23 @@ impl ServiceEndpoint {
                     body,
                 })
             }
+            Endpoint::BatchPoll => {
+                self.check_key(req)?;
+                let user = self.check_token(req)?;
+                let body: BatchPollRequestBody = wire::from_bytes(&req.body)
+                    .map_err(|e| ProtocolError::MalformedBody(e.to_string()))?;
+                if body.user != user {
+                    return Err(ProtocolError::BadAccessToken);
+                }
+                // Every entry must name a trigger this service exposes; one
+                // bad entry fails the whole batch, like one bad URL would.
+                for entry in &body.entries {
+                    if !self.triggers.contains(&entry.trigger) {
+                        return Err(ProtocolError::UnknownTrigger(entry.trigger.0.clone()));
+                    }
+                }
+                Ok(ParsedServiceRequest::BatchPoll { user, body })
+            }
             Endpoint::Action(slug) => {
                 self.check_key(req)?;
                 if !self.actions.contains(&slug) {
@@ -221,6 +244,16 @@ impl ServiceEndpoint {
             return Response::ok().with_body(wire::empty_poll_body());
         }
         Response::ok().with_body(wire::to_bytes(&PollResponseBody { data: events }))
+    }
+
+    /// Build the wire response for a successful batch poll. When no entry
+    /// has any events — the steady-state common case — the reply is the
+    /// static empty-batch bytes, skipping serde entirely.
+    pub fn batch_poll_ok(results: Vec<BatchPollResult>) -> Response {
+        if results.iter().all(|r| r.data.is_empty()) {
+            return Response::ok().with_body(wire::empty_batch_body());
+        }
+        Response::ok().with_body(wire::to_bytes(&BatchPollResponseBody { data: results }))
     }
 
     /// Build the wire response for a successful action.
@@ -476,6 +509,98 @@ mod tests {
             ep.parse(&req),
             Err(ProtocolError::MalformedBody(_))
         ));
+    }
+
+    fn batch_body(user: &UserId, triggers: &[&str]) -> wire::BatchPollRequestBody {
+        wire::BatchPollRequestBody {
+            user: user.clone(),
+            entries: triggers
+                .iter()
+                .map(|t| wire::BatchPollEntry {
+                    trigger: TriggerSlug::new(*t),
+                    trigger_identity: TriggerIdentity::derive(
+                        user,
+                        &ServiceSlug::new("svc"),
+                        &TriggerSlug::new(*t),
+                        &Default::default(),
+                    ),
+                    trigger_fields: Default::default(),
+                    limit: 50,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn authenticated_batch_poll_parses() {
+        let mut ep = endpoint().with_trigger("second_trigger");
+        let mut rng = StdRng::seed_from_u64(11);
+        let user = UserId::new("u1");
+        let token = ep.oauth.mint_token(user.clone(), &mut rng);
+        let body = batch_body(&user, &["new_email", "second_trigger"]);
+        let req = Request::post(crate::endpoints::BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_body(wire::to_bytes(&body));
+        match ep.parse(&req).unwrap() {
+            ParsedServiceRequest::BatchPoll { user: u, body } => {
+                assert_eq!(u, user);
+                assert_eq!(body.entries.len(), 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_poll_with_unknown_trigger_is_404() {
+        let mut ep = endpoint();
+        let mut rng = StdRng::seed_from_u64(12);
+        let user = UserId::new("u1");
+        let token = ep.oauth.mint_token(user.clone(), &mut rng);
+        let body = batch_body(&user, &["new_email", "nonexistent"]);
+        let req = Request::post(crate::endpoints::BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_body(wire::to_bytes(&body));
+        assert!(matches!(
+            ep.parse(&req),
+            Err(ProtocolError::UnknownTrigger(_))
+        ));
+    }
+
+    #[test]
+    fn batch_poll_user_mismatch_is_401() {
+        let mut ep = endpoint();
+        let mut rng = StdRng::seed_from_u64(13);
+        let token = ep.oauth.mint_token(UserId::new("u1"), &mut rng);
+        let body = batch_body(&UserId::new("mallory"), &["new_email"]);
+        let req = Request::post(crate::endpoints::BATCH_POLL_PATH)
+            .with_header(SERVICE_KEY_HEADER, "sk_test")
+            .with_header(AUTHORIZATION_HEADER, token.bearer())
+            .with_body(wire::to_bytes(&body));
+        assert_eq!(ep.parse(&req), Err(ProtocolError::BadAccessToken));
+    }
+
+    #[test]
+    fn batch_poll_ok_uses_static_bytes_when_all_entries_empty() {
+        let empty = ServiceEndpoint::batch_poll_ok(vec![
+            wire::BatchPollResult {
+                trigger_identity: TriggerIdentity("ti_a".into()),
+                data: vec![],
+            },
+            wire::BatchPollResult {
+                trigger_identity: TriggerIdentity("ti_b".into()),
+                data: vec![],
+            },
+        ]);
+        assert_eq!(&*empty.body, wire::EMPTY_BATCH_JSON);
+        let full = ServiceEndpoint::batch_poll_ok(vec![wire::BatchPollResult {
+            trigger_identity: TriggerIdentity("ti_a".into()),
+            data: vec![TriggerEvent::new("e1", 1)],
+        }]);
+        let parsed: BatchPollResponseBody = wire::from_bytes(&full.body).unwrap();
+        assert_eq!(parsed.data.len(), 1);
+        assert_eq!(parsed.data[0].data[0].meta.id, "e1");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Bodies are serialized with `serde_json` into real JSON bytes, so message
 //! sizes and parse failures behave like the production protocol.
 
-use crate::ids::{FieldMap, TriggerIdentity, UserId};
+use crate::ids::{FieldMap, TriggerIdentity, TriggerSlug, UserId};
 
 use bytes::Bytes;
 use serde::de::DeserializeOwned;
@@ -88,6 +88,64 @@ pub const EMPTY_POLL_JSON: &[u8] = b"{\"data\":[]}";
 /// The empty poll response body as a zero-allocation [`Bytes`].
 pub fn empty_poll_body() -> Bytes {
     Bytes::from_static(EMPTY_POLL_JSON)
+}
+
+/// One subscription's slice of a batched poll (engine → service).
+///
+/// Unlike a single [`PollRequestBody`], the trigger slug rides in the body:
+/// a batch request hits one shared endpoint path, not the per-trigger URL,
+/// so the service needs the slug to validate and route each entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPollEntry {
+    /// Which trigger this entry polls.
+    pub trigger: TriggerSlug,
+    /// Stable identity of the subscription (user × trigger × fields).
+    pub trigger_identity: TriggerIdentity,
+    /// The applet's trigger field values.
+    #[serde(default)]
+    pub trigger_fields: FieldMap,
+    /// Maximum number of buffered events to return for this entry.
+    #[serde(default = "default_limit")]
+    pub limit: usize,
+}
+
+/// Engine → service: poll many subscriptions of **one user** in a single
+/// round trip (the coalesced fan-in path). All entries are authorized by
+/// the same access token, which is why the user is batch-level.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPollRequestBody {
+    /// The user on whose behalf every entry polls.
+    pub user: UserId,
+    /// Per-subscription poll entries, in engine coalescing-group order.
+    pub entries: Vec<BatchPollEntry>,
+}
+
+/// One subscription's slice of a batched poll response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPollResult {
+    /// Echoes the entry's identity (results also correlate by position).
+    pub trigger_identity: TriggerIdentity,
+    /// Buffered events for this subscription, newest first.
+    pub data: Vec<TriggerEvent>,
+}
+
+/// Service → engine: per-entry event lists, one result per request entry,
+/// in request order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchPollResponseBody {
+    pub data: Vec<BatchPollResult>,
+}
+
+/// The exact wire bytes the batch fast path uses when **no** entry has any
+/// events — the steady-state common case, mirroring [`EMPTY_POLL_JSON`].
+/// The engine treats these bytes as "every entry returned nothing" without
+/// parsing; a test pins them to what serde would emit for an empty
+/// [`BatchPollResponseBody`].
+pub const EMPTY_BATCH_JSON: &[u8] = b"{\"data\":[]}";
+
+/// The empty batch-poll response body as a zero-allocation [`Bytes`].
+pub fn empty_batch_body() -> Bytes {
+    Bytes::from_static(EMPTY_BATCH_JSON)
 }
 
 /// Engine → service: execute one action.
@@ -278,6 +336,62 @@ mod tests {
         };
         let back: QueryResponseBody = from_bytes(&to_bytes(&r)).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn batch_poll_bodies_roundtrip() {
+        let req = BatchPollRequestBody {
+            user: UserId::new("u1"),
+            entries: vec![
+                BatchPollEntry {
+                    trigger: TriggerSlug::new("fired_0"),
+                    trigger_identity: TriggerIdentity("ti_a".into()),
+                    trigger_fields: FieldMap::new(),
+                    limit: 50,
+                },
+                BatchPollEntry {
+                    trigger: TriggerSlug::new("fired_1"),
+                    trigger_identity: TriggerIdentity("ti_b".into()),
+                    trigger_fields: [("k".to_string(), "v".to_string())].into_iter().collect(),
+                    limit: 10,
+                },
+            ],
+        };
+        let back: BatchPollRequestBody = from_bytes(&to_bytes(&req)).unwrap();
+        assert_eq!(back, req);
+        let resp = BatchPollResponseBody {
+            data: vec![
+                BatchPollResult {
+                    trigger_identity: TriggerIdentity("ti_a".into()),
+                    data: vec![TriggerEvent::new("e1", 7)],
+                },
+                BatchPollResult {
+                    trigger_identity: TriggerIdentity("ti_b".into()),
+                    data: vec![],
+                },
+            ],
+        };
+        let back: BatchPollResponseBody = from_bytes(&to_bytes(&resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn batch_entry_limit_defaults_to_50() {
+        let json = r#"{"trigger":"t","trigger_identity":"ti_x"}"#;
+        let entry: BatchPollEntry = from_bytes(json.as_bytes()).unwrap();
+        assert_eq!(entry.limit, DEFAULT_POLL_LIMIT);
+        assert!(entry.trigger_fields.is_empty());
+    }
+
+    /// Like the single-poll fast path: the static empty-batch bytes must be
+    /// exactly what serde would produce for an empty response.
+    #[test]
+    fn empty_batch_fast_path_matches_serde() {
+        let serde_bytes = to_bytes(&BatchPollResponseBody { data: vec![] });
+        assert_eq!(&*serde_bytes, EMPTY_BATCH_JSON);
+        assert_eq!(&*empty_batch_body(), EMPTY_BATCH_JSON);
+        let parsed: BatchPollResponseBody = from_bytes(EMPTY_BATCH_JSON).unwrap();
+        assert!(parsed.data.is_empty());
     }
 
     #[test]

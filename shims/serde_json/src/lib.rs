@@ -17,12 +17,14 @@ use serde::Serialize;
 
 /// Serialize a value to a compact JSON string.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
-    Ok(value.to_value().to_string())
+    let mut out = String::new();
+    value.to_value().write_json(&mut out);
+    Ok(out)
 }
 
 /// Serialize a value to compact JSON bytes.
 pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, Error> {
-    Ok(value.to_value().to_string().into_bytes())
+    to_string(value).map(String::into_bytes)
 }
 
 /// Deserialize a value from a JSON string.
@@ -262,7 +264,25 @@ impl<'a> Parser<'a> {
 
     fn string(&mut self) -> Result<String, Error> {
         self.expect(b'"')?;
-        let mut out = String::new();
+        // Fast path: most strings contain no escapes, so scan for the
+        // closing quote and bulk-copy the span instead of pushing one
+        // char at a time. Fall into the escape-aware loop only when a
+        // backslash shows up.
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let span = &self.bytes[start..self.pos];
+                    self.pos += 1;
+                    // The input came from a `&str`, so the span is valid UTF-8.
+                    return Ok(unsafe { std::str::from_utf8_unchecked(span) }.to_owned());
+                }
+                b'\\' => break,
+                _ => self.pos += 1,
+            }
+        }
+        let mut out =
+            unsafe { std::str::from_utf8_unchecked(&self.bytes[start..self.pos]) }.to_owned();
         loop {
             match self.peek() {
                 None => return Err(Error::custom("unterminated string")),
@@ -293,12 +313,17 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is already valid UTF-8).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Bulk-copy the clean span up to the next quote or escape
+                    // (input is already valid UTF-8, so byte scanning is safe).
+                    let span_start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let span = &self.bytes[span_start..self.pos];
+                    out.push_str(unsafe { std::str::from_utf8_unchecked(span) });
                 }
             }
         }
