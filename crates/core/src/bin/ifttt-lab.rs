@@ -11,6 +11,7 @@
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]
+//!                 [--chaos off|mild|harsh]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -23,7 +24,7 @@ use ifttt_core::ecosystem::frontend::IftttFrontend;
 use ifttt_core::ecosystem::generator::{Ecosystem, GeneratorConfig};
 use ifttt_core::ecosystem::model::GROWTH;
 use ifttt_core::engine::RuntimeLoopConfig;
-use ifttt_core::fleet::{run_fleet_with_progress, FleetConfig, FleetPolicy};
+use ifttt_core::fleet::{run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy};
 use ifttt_core::simnet::prelude::*;
 use ifttt_core::testbed::experiments::{
     explicit_loop_experiment, implicit_loop_experiment, run_workload,
@@ -39,6 +40,7 @@ fn main() {
         .unwrap_or(1);
     let mut policy = FleetPolicy::IftttLike;
     let mut batch_polling = true;
+    let mut chaos = ChaosProfile::Off;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -69,6 +71,12 @@ fn main() {
                     .unwrap_or_else(|| usage("--policy is ifttt, fast, or smart"));
             }
             "--no-batch" => batch_polling = false,
+            "--chaos" => {
+                chaos = it
+                    .next()
+                    .and_then(|v| ChaosProfile::parse(&v))
+                    .unwrap_or_else(|| usage("--chaos is off, mild, or harsh"));
+            }
             _ => positional.push(a),
         }
     }
@@ -161,14 +169,21 @@ fn main() {
             let mut cfg = FleetConfig::new(users, shards, policy);
             cfg.master_seed = seed;
             cfg.batch_polling = batch_polling;
+            cfg.chaos = chaos;
+            if cfg.chaos.enabled() {
+                // Give retries and breaker recovery room to finish after the
+                // last activation window before stragglers count as lost.
+                cfg.drain_secs = cfg.drain_secs.max(120.0);
+            }
             println!(
-                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {})",
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {})",
                 cfg.users,
                 cfg.shards,
                 cfg.policy,
                 cfg.master_seed,
                 cfg.cell_users,
-                if cfg.batch_polling { "on" } else { "off" }
+                if cfg.batch_polling { "on" } else { "off" },
+                cfg.chaos
             );
             let total_cells = cfg.users.div_ceil(cfg.cell_users);
             let mut done = 0u64;
@@ -220,7 +235,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
-         fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]>"
+         fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch] \
+         [--chaos off|mild|harsh]>"
     );
     std::process::exit(2)
 }

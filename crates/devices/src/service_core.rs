@@ -6,10 +6,11 @@
 //! [`ServiceCore::process`] and only implement what is genuinely theirs:
 //! feeding trigger events from their backend and executing actions.
 
+use simnet::chaos::{ServerFault, ServerFaultPlan};
 use simnet::prelude::*;
 use std::collections::HashMap;
-use tap_protocol::auth::SERVICE_KEY_HEADER;
-use tap_protocol::endpoints::REALTIME_NOTIFY_PATH;
+use tap_protocol::auth::{RETRY_AFTER_HEADER, SERVICE_KEY_HEADER};
+use tap_protocol::endpoints::{BATCH_POLL_PATH, REALTIME_NOTIFY_PATH};
 use tap_protocol::oauth::AuthCode;
 use tap_protocol::service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
 use tap_protocol::wire::{self, RealtimeNotification, TriggerEvent};
@@ -58,6 +59,10 @@ pub enum Processed {
         fields: FieldMap,
         req_id: RequestId,
     },
+    /// Deliberately never reply (an injected server-side timeout): the
+    /// embedding service returns [`HandlerResult::Deferred`] and the
+    /// requester only learns via its own timeout.
+    NoReply,
 }
 
 /// The shared protocol front of a partner service.
@@ -77,6 +82,11 @@ pub struct ServiceCore {
     pub batch_polls_served: u64,
     /// Count of realtime hints sent.
     pub hints_sent: u64,
+    /// Scheduled server-side fault injection; `None` = always healthy.
+    pub fault_plan: Option<ServerFaultPlan>,
+    /// Count of requests answered by an injected fault instead of the
+    /// normal handler.
+    pub faults_injected: u64,
     next_event: u64,
     /// Node-local symbol table for user/trigger ids.
     syms: Interner,
@@ -97,6 +107,8 @@ impl ServiceCore {
             polls_served: 0,
             batch_polls_served: 0,
             hints_sent: 0,
+            fault_plan: None,
+            faults_injected: 0,
             next_event: 1,
             syms: Interner::new(),
             route: HashMap::new(),
@@ -218,6 +230,9 @@ impl ServiceCore {
 
     /// Handle the generic protocol surface of an inbound request.
     pub fn process(&mut self, ctx: &mut Context<'_>, req: &Request) -> Processed {
+        if let Some(p) = self.inject_fault(ctx, req) {
+            return p;
+        }
         match self.endpoint.parse(req) {
             Err(e) => Processed::Done(ServiceEndpoint::error_response(&e)),
             Ok(ParsedServiceRequest::Status) => Processed::Done(Response::ok()),
@@ -322,6 +337,44 @@ impl ServiceCore {
             }
         }
     }
+
+    /// If a [`ServerFaultPlan`] window covers `ctx.now()`, answer the
+    /// request with the injected fault instead of the normal handler.
+    ///
+    /// Body corruption ([`ServerFault::MalformedBody`] /
+    /// [`ServerFault::EmptyBody`]) only makes sense for poll responses, so
+    /// other requests fall through to normal handling during such windows.
+    fn inject_fault(&mut self, ctx: &mut Context<'_>, req: &Request) -> Option<Processed> {
+        let fault = self.fault_plan.as_ref()?.active(ctx.now())?;
+        let processed = match fault {
+            ServerFault::Http500 => Processed::Done(Response::with_status(500)),
+            ServerFault::Http503 { retry_after_secs } => Processed::Done(
+                Response::unavailable()
+                    .with_header(RETRY_AFTER_HEADER, retry_after_secs.to_string()),
+            ),
+            ServerFault::Timeout => Processed::NoReply,
+            ServerFault::MalformedBody | ServerFault::EmptyBody => {
+                let is_poll =
+                    req.path.starts_with("/ifttt/v1/triggers/") || req.path == BATCH_POLL_PATH;
+                if !is_poll {
+                    return None;
+                }
+                if matches!(fault, ServerFault::MalformedBody) {
+                    Processed::Done(Response::ok().with_body("{\"data\": not json"))
+                } else {
+                    Processed::Done(Response::ok())
+                }
+            }
+        };
+        self.faults_injected += 1;
+        if ctx.tracing() {
+            ctx.trace(
+                "service.fault",
+                format!("{} {:?} {}", self.endpoint.slug(), fault, req.path),
+            );
+        }
+        Some(processed)
+    }
 }
 
 #[cfg(test)]
@@ -345,6 +398,7 @@ mod tests {
                 Processed::Query { fields, .. } => {
                     HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
                 }
+                Processed::NoReply => HandlerResult::Deferred,
             }
         }
     }

@@ -115,6 +115,7 @@ impl Node for FitbitService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 }

@@ -77,6 +77,7 @@ impl Node for GmailService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 
@@ -169,6 +170,7 @@ impl Node for DriveService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 
@@ -249,6 +251,7 @@ impl Node for SheetsService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 

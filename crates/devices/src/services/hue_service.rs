@@ -118,6 +118,7 @@ impl Node for HueService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 

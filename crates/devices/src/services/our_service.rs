@@ -242,6 +242,7 @@ impl Node for OurService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 

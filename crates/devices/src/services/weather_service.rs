@@ -67,6 +67,7 @@ impl Node for WeatherService {
                 ctx.reply(req_id, ServiceEndpoint::query_ok(data));
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 

@@ -87,6 +87,7 @@ impl Node for WemoService {
                 ctx.reply(req_id, Response::not_found());
                 HandlerResult::Deferred
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 

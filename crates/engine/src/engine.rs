@@ -26,15 +26,18 @@ use crate::loopdetect::{RuntimeLoopDetector, RuntimeVerdict, StaticLoopDetector}
 use crate::observer::EngineObserver;
 use crate::permissions::{Capability, Granularity, PermissionManager};
 use crate::polling::PollPolicy;
+use crate::resilience::{BreakerPolicy, CircuitBreaker, RetryPolicy};
 use rand::Rng;
 use simnet::prelude::*;
 use simnet::rng::Dist;
 use std::collections::{HashMap, HashSet};
 use tap_protocol::auth::{
-    AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, SERVICE_KEY_HEADER,
+    AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, RETRY_AFTER_HEADER,
+    SERVICE_KEY_HEADER,
 };
 use tap_protocol::endpoints::query_path;
 use tap_protocol::endpoints::{action_path, trigger_path, BATCH_POLL_PATH, REALTIME_NOTIFY_PATH};
+use tap_protocol::error::FailureClass;
 use tap_protocol::wire::{
     self, ActionRequestBody, BatchPollEntry, BatchPollRequestBody, BatchPollResponseBody,
     PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody, RealtimeNotification,
@@ -96,11 +99,16 @@ pub struct EngineConfig {
     pub initial_poll_delay: Dist,
     /// Timeout for polls and action requests.
     pub request_timeout: SimDuration,
-    /// Retries for a failed action dispatch (0 = give up immediately,
-    /// which is what the paper's black-box view of IFTTT suggests).
-    pub action_retries: u32,
-    /// Backoff before each action retry (seconds).
-    pub retry_backoff: Dist,
+    /// Retry budget + backoff for failed action dispatches. Disabled by
+    /// default (give up immediately), which is what the paper's black-box
+    /// view of IFTTT suggests.
+    pub action_retry: RetryPolicy,
+    /// Retry budget + backoff for failed subscription polls, on top of the
+    /// regular cadence. Disabled by default: historically a failed poll
+    /// just waited for the next cycle.
+    pub poll_retry: RetryPolicy,
+    /// Per-trigger-service circuit breaker; `None` (default) never sheds.
+    pub breaker: Option<BreakerPolicy>,
     /// Permission model granularity.
     pub permission_granularity: Granularity,
     /// Reject applet installs that would create a (statically visible) loop.
@@ -131,8 +139,9 @@ impl Default for EngineConfig {
             inter_action_gap: Dist::Uniform { lo: 0.05, hi: 0.3 },
             initial_poll_delay: Dist::Uniform { lo: 1.0, hi: 5.0 },
             request_timeout: SimDuration::from_secs(30),
-            action_retries: 0,
-            retry_backoff: Dist::Uniform { lo: 2.0, hi: 10.0 },
+            action_retry: RetryPolicy::none(),
+            poll_retry: RetryPolicy::none(),
+            breaker: None,
             permission_granularity: Granularity::ServiceLevel,
             static_loop_check: false,
             runtime_loop: None,
@@ -162,6 +171,21 @@ impl EngineConfig {
             initial_poll_delay: Dist::Uniform { lo: 0.1, hi: 1.0 },
             ..EngineConfig::default()
         }
+    }
+
+    /// Turn on the full resilience stack (retries with exponential
+    /// backoff, poll retry, circuit breaking) on top of `self`. Used by
+    /// chaos experiments; leaves every scheduling distribution untouched,
+    /// so a fault-free run behaves identically to the base config.
+    pub fn resilient(mut self) -> Self {
+        self.action_retry = RetryPolicy::retries(3);
+        self.poll_retry = RetryPolicy::retries(2);
+        self.breaker = Some(BreakerPolicy::default());
+        // A lost response stalls its chain for a whole request timeout
+        // before the retry machinery can react; under injected loss the
+        // default 30 s dominates recovery latency, so tighten it.
+        self.request_timeout = SimDuration::from_secs(10);
+        self
     }
 }
 
@@ -203,6 +227,21 @@ pub struct EngineStats {
     /// Subscription polls that rode a sibling's batch request instead of
     /// costing their own round trip (batch members minus initiators).
     pub polls_coalesced: u64,
+    /// Failed polls re-sent on the backoff schedule (subset of
+    /// `polls_failed`).
+    pub polls_retried: u64,
+    /// Polls shed by an open circuit breaker (deferred to the next cycle).
+    pub polls_shed: u64,
+    /// Breaker transitions into `Open` (including failed half-open probes).
+    pub breaker_trips: u64,
+    /// Action dispatches permanently abandoned: retries exhausted or a
+    /// terminal client error. Always incremented alongside
+    /// `actions_failed`, so `events_new == actions_ok + actions_filtered +
+    /// dead_letters` once the engine is idle.
+    pub dead_letters: u64,
+    /// Batch poll failures that dropped their group to singleton polls for
+    /// a cycle.
+    pub batch_fallbacks: u64,
 }
 
 #[derive(Debug)]
@@ -242,6 +281,9 @@ struct PollTask {
     grouped: bool,
     /// Cached wire entry this subscription contributes to a batch poll.
     batch_entry: BatchPollEntry,
+    /// Consecutive failed polls for this subscription (resets on success;
+    /// bounds the poll-retry budget).
+    retries: u32,
 }
 
 #[derive(Debug)]
@@ -299,6 +341,12 @@ pub struct TapEngine {
     runtime_detector: Option<RuntimeLoopDetector>,
     /// Aggregate counters.
     pub stats: EngineStats,
+    /// Per-trigger-service circuit breakers (allocated lazily; only
+    /// consulted when `config.breaker` is set).
+    breakers: HashMap<Symbol, CircuitBreaker>,
+    /// Groups temporarily demoted to singleton polls after a batch poll
+    /// failure, until the stored instant.
+    degraded_until: HashMap<(Symbol, Symbol, u8), SimTime>,
     /// Optional instrumentation sink (see [`crate::observer`]).
     observer: Option<std::sync::Arc<dyn EngineObserver>>,
 }
@@ -332,6 +380,8 @@ impl TapEngine {
             static_detector: StaticLoopDetector::new(),
             runtime_detector,
             stats: EngineStats::default(),
+            breakers: HashMap::new(),
+            degraded_until: HashMap::new(),
             observer: None,
         }
     }
@@ -508,6 +558,7 @@ impl TapEngine {
                     trigger_fields: applet.trigger.fields.clone(),
                     limit: DEFAULT_POLL_LIMIT,
                 },
+                retries: 0,
             },
         );
         self.applets.insert(id, applet);
@@ -546,22 +597,74 @@ impl TapEngine {
         task.next_poll = Some(ctx.set_timer(after, TK_POLL | id.0 as u64));
     }
 
-    fn send_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
-        let Some(applet) = self.applets.get(&id) else {
+    /// Consult the per-service breaker gate. `false` whenever breaking is
+    /// not configured, without touching any state.
+    fn breaker_sheds(&mut self, now: SimTime, service: Symbol) -> bool {
+        let Some(policy) = &self.config.breaker else {
+            return false;
+        };
+        !self.breakers.entry(service).or_default().allow(now, policy)
+    }
+
+    /// A poll the breaker refused: count it and keep the chain alive by
+    /// rescheduling on the normal cadence.
+    fn shed_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
+        self.stats.polls_shed += 1;
+        if let Some(o) = &self.observer {
+            o.poll_shed(ctx.now());
+        }
+        if ctx.tracing() {
+            ctx.trace("engine.poll_shed", format!("{id:?} breaker open"));
+        }
+        let gap = self
+            .applets
+            .get(&id)
+            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
+            .unwrap_or(SimDuration::from_secs(60));
+        self.schedule_poll(ctx, id, gap);
+    }
+
+    /// Feed one poll/action outcome for `service` into its breaker (no-op
+    /// without a breaker policy). Counts trips.
+    fn breaker_record(&mut self, ctx: &mut Context<'_>, service: Symbol, ok: bool) {
+        let Some(policy) = &self.config.breaker else {
             return;
         };
+        let breaker = self.breakers.entry(service).or_default();
+        if ok {
+            breaker.record_success();
+        } else if breaker.record_failure(ctx.now(), policy) {
+            self.stats.breaker_trips += 1;
+            if let Some(o) = &self.observer {
+                o.breaker_tripped(ctx.now());
+            }
+            if ctx.tracing() {
+                ctx.trace("engine.breaker_tripped", String::new());
+            }
+        }
+    }
+
+    fn send_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
         let Some(task) = self.tasks.get(&id) else {
             return;
         };
-        if !task.enabled {
+        if !task.enabled || !self.applets.contains_key(&id) {
             return;
         }
-        let Some(reg) = self.services.get(&task.trigger_service) else {
+        let (owner, trigger_service) = (task.owner, task.trigger_service);
+        if !self.services.contains_key(&trigger_service)
+            || !self.tokens.contains_key(&(owner, trigger_service))
+        {
             return;
-        };
-        let Some(bearer) = self.tokens.get(&(task.owner, task.trigger_service)) else {
+        }
+        if self.breaker_sheds(ctx.now(), trigger_service) {
+            self.shed_poll(ctx, id);
             return;
-        };
+        }
+        let applet = &self.applets[&id];
+        let task = &self.tasks[&id];
+        let reg = &self.services[&trigger_service];
+        let bearer = &self.tokens[&(owner, trigger_service)];
         let request_id: u64 = ctx.rng().gen();
         let req = Request::post(task.poll_path.clone())
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
@@ -604,12 +707,19 @@ impl TapEngine {
         let group = task.group;
         let owner = task.owner;
         let trigger_service = task.trigger_service;
-        let Some(reg) = self.services.get(&trigger_service) else {
+        if !self.services.contains_key(&trigger_service)
+            || !self.tokens.contains_key(&(owner, trigger_service))
+        {
             return;
-        };
-        let Some(bearer) = self.tokens.get(&(owner, trigger_service)) else {
+        }
+        if self.breaker_sheds(ctx.now(), trigger_service) {
+            // Shed only the initiator; siblings keep their own timers and
+            // take their own gate decision when those fire.
+            self.shed_poll(ctx, id);
             return;
-        };
+        }
+        let reg = &self.services[&trigger_service];
+        let bearer = &self.tokens[&(owner, trigger_service)];
         let window =
             SimDuration::from_secs_f64(self.config.coalesce_window.sample(ctx.rng()).max(0.0));
         let horizon = ctx.now() + window;
@@ -712,13 +822,42 @@ impl TapEngine {
         let n = members.len() as u64;
         if !resp.is_success() {
             self.stats.polls_failed += n;
+            if let Some(o) = &self.observer {
+                for _ in 0..n {
+                    o.poll_failed(ctx.now());
+                }
+            }
             if ctx.tracing() {
                 ctx.trace(
                     "engine.batch_poll_failed",
                     format!("{n} members, status {}", resp.status),
                 );
             }
+            let Some((group, service)) = members
+                .first()
+                .and_then(|m| self.tasks.get(m))
+                .map(|t| (t.group, t.trigger_service))
+            else {
+                return;
+            };
+            self.breaker_record(ctx, service, false);
+            // Graceful degradation: the whole batch failed as one request,
+            // so demote the group to singleton polls for the next cycle.
+            // Each member then succeeds/fails (and retries) on its own, and
+            // the group re-coalesces once the window passes.
+            self.stats.batch_fallbacks += 1;
+            self.degraded_until
+                .insert(group, ctx.now() + gap + SimDuration::from_secs(1));
             return;
+        }
+        if self.config.breaker.is_some() {
+            if let Some(service) = members
+                .first()
+                .and_then(|m| self.tasks.get(m))
+                .map(|t| t.trigger_service)
+            {
+                self.breaker_record(ctx, service, true);
+            }
         }
         // Canonical all-empty reply, recognized by bytes like the single
         // poll's empty fast path.
@@ -727,7 +866,15 @@ impl TapEngine {
             return;
         }
         let Ok(body) = wire::from_bytes::<BatchPollResponseBody>(&resp.body) else {
+            // A 200 with an unparseable body: the service is up (no breaker
+            // signal) and the events stay buffered server-side, so the next
+            // cycle re-fetches them — no retry needed for delivery.
             self.stats.polls_failed += n;
+            if let Some(o) = &self.observer {
+                for _ in 0..n {
+                    o.poll_failed(ctx.now());
+                }
+            }
             return;
         };
         // Results come back in entry order; demux by position. Entries are
@@ -749,13 +896,58 @@ impl TapEngine {
 
         if !resp.is_success() {
             self.stats.polls_failed += 1;
+            if let Some(o) = &self.observer {
+                o.poll_failed(ctx.now());
+            }
             if ctx.tracing() {
                 ctx.trace(
                     "engine.poll_failed",
                     format!("{id:?} status {}", resp.status),
                 );
             }
+            let Some(task) = self.tasks.get(&id) else {
+                return;
+            };
+            let service = task.trigger_service;
+            let retries_made = task.retries;
+            self.breaker_record(ctx, service, false);
+            let class = FailureClass::of_status(resp.status).unwrap_or(FailureClass::Transport);
+            if class.is_retryable()
+                && self.config.poll_retry.enabled()
+                && retries_made < self.config.poll_retry.max_retries
+            {
+                // Pull the next poll forward onto the backoff schedule
+                // instead of waiting a whole cadence gap. schedule_poll
+                // cancels the cadence timer set above, so the chain still
+                // carries exactly one pending poll.
+                if let Some(task) = self.tasks.get_mut(&id) {
+                    task.retries += 1;
+                }
+                self.stats.polls_retried += 1;
+                if let Some(o) = &self.observer {
+                    o.poll_retried(ctx.now());
+                }
+                let mut delay = self
+                    .config
+                    .poll_retry
+                    .backoff
+                    .delay(retries_made, ctx.rng());
+                if let Some(ra) = retry_after_hint(&resp) {
+                    delay = delay.max(ra);
+                }
+                self.schedule_poll(ctx, id, delay);
+            }
             return;
+        }
+        if self.config.poll_retry.enabled() {
+            if let Some(task) = self.tasks.get_mut(&id) {
+                task.retries = 0;
+            }
+        }
+        if self.config.breaker.is_some() {
+            if let Some(service) = self.tasks.get(&id).map(|t| t.trigger_service) {
+                self.breaker_record(ctx, service, true);
+            }
         }
         // Recognize the canonical empty reply by bytes: no parse needed,
         // and nothing below observes anything an empty body would change.
@@ -764,7 +956,12 @@ impl TapEngine {
             return;
         }
         let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
+            // 200 with garbage: counted, not retried — the events stay in
+            // the service buffer and the next cycle re-fetches them.
             self.stats.polls_failed += 1;
+            if let Some(o) = &self.observer {
+                o.poll_failed(ctx.now());
+            }
             return;
         };
         self.ingest_poll_events(ctx, id, body.data);
@@ -1086,6 +1283,13 @@ impl TapEngine {
     }
 }
 
+/// The `Retry-After` delay a 5xx response advertises, if any. The engine's
+/// backoff never retries *sooner* than the service asked.
+fn retry_after_hint(resp: &Response) -> Option<SimDuration> {
+    let secs: f64 = resp.header(RETRY_AFTER_HEADER)?.parse().ok()?;
+    (secs >= 0.0).then(|| SimDuration::from_secs_f64(secs))
+}
+
 impl Node for TapEngine {
     fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         if req.path == REALTIME_NOTIFY_PATH && req.method == Method::Post {
@@ -1099,11 +1303,23 @@ impl Node for TapEngine {
             TK_POLL => {
                 let id = AppletId((key & !TAG_MASK) as u32);
                 let mut grouped = false;
+                let mut group = None;
                 if let Some(task) = self.tasks.get_mut(&id) {
                     task.next_poll = None;
                     grouped = task.grouped;
+                    group = Some(task.group);
                 }
-                if self.config.batch_polling && grouped {
+                // A group whose batch request just failed polls singleton
+                // for a cycle (graceful degradation), then re-coalesces.
+                let degraded = self.config.batch_polling
+                    && grouped
+                    && !self.degraded_until.is_empty()
+                    && group.is_some_and(|g| {
+                        self.degraded_until
+                            .get(&g)
+                            .is_some_and(|until| ctx.now() < *until)
+                    });
+                if self.config.batch_polling && grouped && !degraded {
                     self.send_batch_poll(ctx, id);
                 } else {
                     self.send_poll(ctx, id);
@@ -1128,34 +1344,62 @@ impl Node for TapEngine {
                 let Some(job) = self.dispatches.get(&dispatch) else {
                     return;
                 };
+                let applet = job.applet;
+                let attempts = job.attempts;
                 if resp.is_success() {
                     self.stats.actions_ok += 1;
                     if let Some(o) = &self.observer {
                         o.action_finished(true, ctx.now());
                     }
                     if ctx.tracing() {
-                        ctx.trace("engine.action_ok", format!("{:?}", job.applet));
+                        ctx.trace("engine.action_ok", format!("{applet:?}"));
                     }
                     self.dispatches.remove(&dispatch);
-                } else if job.attempts <= self.config.action_retries {
+                    if self.config.breaker.is_some() {
+                        if let Some(s) = self.tasks.get(&applet).map(|t| t.action_service) {
+                            self.breaker_record(ctx, s, true);
+                        }
+                    }
+                    return;
+                }
+                let class = FailureClass::of_status(resp.status).unwrap_or(FailureClass::Transport);
+                if self.config.breaker.is_some() {
+                    if let Some(s) = self.tasks.get(&applet).map(|t| t.action_service) {
+                        self.breaker_record(ctx, s, false);
+                    }
+                }
+                if self.config.action_retry.should_retry(attempts, class) {
                     // Retry after a backoff; the dispatch entry stays.
                     self.stats.actions_retried += 1;
-                    let backoff =
-                        SimDuration::from_secs_f64(self.config.retry_backoff.sample(ctx.rng()));
+                    if let Some(o) = &self.observer {
+                        o.action_retried(ctx.now());
+                    }
+                    let mut backoff = self
+                        .config
+                        .action_retry
+                        .backoff
+                        .delay(attempts.saturating_sub(1), ctx.rng());
+                    if let Some(ra) = retry_after_hint(&resp) {
+                        backoff = backoff.max(ra);
+                    }
                     ctx.trace(
                         "engine.action_retry",
-                        format!("{:?} attempt {} in {backoff}", job.applet, job.attempts + 1),
+                        format!("{applet:?} attempt {} in {backoff}", attempts + 1),
                     );
                     ctx.set_timer(backoff, TK_DISPATCH | dispatch);
                 } else {
+                    // Dead letter: retries exhausted, or a terminal 4xx
+                    // that no retry budget can cure.
                     self.stats.actions_failed += 1;
+                    self.stats.dead_letters += 1;
                     if let Some(o) = &self.observer {
                         o.action_finished(false, ctx.now());
+                        o.action_dead_lettered(ctx.now());
                     }
                     if ctx.tracing() {
                         ctx.trace(
                             "engine.action_failed",
-                            format!("{:?} status {}", job.applet, resp.status),
+                            format!("{applet:?} status {} ({class:?})", resp.status),
                         );
                     }
                     self.dispatches.remove(&dispatch);

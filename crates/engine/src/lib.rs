@@ -25,6 +25,7 @@ pub mod loopdetect;
 pub mod observer;
 pub mod permissions;
 pub mod polling;
+pub mod resilience;
 
 pub use applet::{substitute_fields, ActionRef, Applet, AppletId, QueryRef, TriggerRef};
 pub use conditions::Condition;
@@ -35,3 +36,4 @@ pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
 pub use observer::EngineObserver;
 pub use permissions::{AuditEntry, Capability, Granularity, PermissionManager};
 pub use polling::PollPolicy;
+pub use resilience::{BackoffPolicy, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};

@@ -45,6 +45,41 @@ pub trait EngineObserver: Send + Sync + std::fmt::Debug {
     fn action_finished(&self, ok: bool, now: SimTime) {
         let _ = (ok, now);
     }
+
+    /// A poll (or a batch member) came back failed: non-2xx, timeout, or an
+    /// unparseable body.
+    fn poll_failed(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A failed poll was rescheduled on the backoff schedule instead of
+    /// waiting a full cadence gap.
+    fn poll_retried(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A poll was shed by an open circuit breaker (deferred to the next
+    /// cadence cycle).
+    fn poll_shed(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A per-service circuit breaker tripped open (including a failed
+    /// half-open probe re-opening it).
+    fn breaker_tripped(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// A failed action dispatch was re-sent on the backoff schedule.
+    fn action_retried(&self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// An action dispatch was permanently abandoned (fires together with
+    /// `action_finished(false)`).
+    fn action_dead_lettered(&self, now: SimTime) {
+        let _ = now;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,290 @@
+//! Retry schedules and circuit breaking for the engine's outbound requests.
+//!
+//! The paper attributes the T2A tail to polling misses and transient
+//! partner-service failures (§6); related work ranks trigger-action
+//! platforms largely on delivery reliability under flaky partner APIs.
+//! This module holds the pure policy types — the engine wires them into
+//! its poll and action paths:
+//!
+//! * [`BackoffPolicy`] — capped exponential backoff with bounded jitter.
+//! * [`RetryPolicy`] — an attempt budget plus a backoff schedule.
+//! * [`BreakerPolicy`] / [`CircuitBreaker`] — a per-service breaker that
+//!   sheds polls while a partner is persistently failing, then probes.
+//!
+//! Everything here is deterministic given the caller's RNG: `delay` draws
+//! exactly one `f64` per call and only ever on a failure path, so a run
+//! with no failures consumes no extra randomness.
+
+use rand::Rng;
+use simnet::time::{SimDuration, SimTime};
+use tap_protocol::FailureClass;
+
+/// Capped exponential backoff with bounded downward jitter.
+///
+/// The nominal schedule is `min(base * factor^retry, cap)` seconds — a
+/// monotone non-decreasing sequence for `factor >= 1`. The sampled delay
+/// is `nominal * (1 - jitter * u)` with `u` uniform in `[0, 1)`, i.e.
+/// jitter only shortens a delay, by at most a `jitter` fraction, which
+/// de-synchronizes retry herds without ever exceeding the cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackoffPolicy {
+    /// First retry delay in seconds.
+    pub base_secs: f64,
+    /// Multiplier between consecutive retries (>= 1 for a monotone schedule).
+    pub factor: f64,
+    /// Upper bound on the nominal delay in seconds.
+    pub cap_secs: f64,
+    /// Fraction of the nominal delay that jitter may remove, in `[0, 1]`.
+    pub jitter: f64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy {
+            base_secs: 2.0,
+            factor: 2.0,
+            cap_secs: 60.0,
+            jitter: 0.25,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// The un-jittered delay before retry number `retry` (0-based), seconds.
+    pub fn nominal_secs(&self, retry: u32) -> f64 {
+        // powi saturates to +inf for huge exponents; min() then caps it.
+        let raw = self.base_secs * self.factor.powi(retry.min(i32::MAX as u32) as i32);
+        raw.min(self.cap_secs)
+    }
+
+    /// Draw the jittered delay before retry number `retry` (0-based).
+    pub fn delay(&self, retry: u32, rng: &mut impl Rng) -> SimDuration {
+        let nominal = self.nominal_secs(retry);
+        let jitter = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - jitter * rng.gen::<f64>();
+        SimDuration::from_secs_f64((nominal * scale).max(0.0))
+    }
+}
+
+/// An attempt budget plus the backoff schedule between attempts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries *after* the first attempt; 0 disables retrying entirely.
+    pub max_retries: u32,
+    pub backoff: BackoffPolicy,
+}
+
+impl RetryPolicy {
+    /// No retries: the first failure is terminal (the engine's historical
+    /// default, and still the default config).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+
+    /// Up to `max_retries` retries on the default backoff schedule.
+    pub fn retries(max_retries: u32) -> Self {
+        RetryPolicy {
+            max_retries,
+            backoff: BackoffPolicy::default(),
+        }
+    }
+
+    /// Whether this policy ever retries.
+    pub fn enabled(&self) -> bool {
+        self.max_retries > 0
+    }
+
+    /// Decide whether to retry after a failure of class `class`, given that
+    /// `attempts_made` attempts (>= 1) have already been sent. Client
+    /// errors are terminal regardless of budget.
+    pub fn should_retry(&self, attempts_made: u32, class: FailureClass) -> bool {
+        class.is_retryable() && attempts_made <= self.max_retries
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+/// Tuning for a [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long the breaker stays open before allowing one probe.
+    pub open_for: SimDuration,
+}
+
+impl Default for BreakerPolicy {
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 5,
+            open_for: SimDuration::from_secs(30),
+        }
+    }
+}
+
+/// Breaker position. See [`CircuitBreaker`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BreakerState {
+    /// Normal operation; counting consecutive failures.
+    #[default]
+    Closed,
+    /// Shedding requests until `open_for` elapses.
+    Open,
+    /// One probe request is in flight; everything else sheds.
+    HalfOpen,
+}
+
+/// The classic three-state circuit breaker, driven by virtual time.
+///
+/// ```text
+///            failure_threshold consecutive failures
+///   Closed ──────────────────────────────────────────▶ Open
+///     ▲                                                 │ open_for elapses
+///     │ probe succeeds                                  ▼ (next allow() passes
+///     └───────────────────────────────── HalfOpen ◀─────  as the probe)
+///                     probe fails: back to Open ──▶
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CircuitBreaker {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: SimTime,
+}
+
+impl CircuitBreaker {
+    pub fn new() -> Self {
+        CircuitBreaker::default()
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Gate one outbound request. `true` means send it; `false` means shed.
+    /// In `Open`, the first call after `open_for` transitions to `HalfOpen`
+    /// and passes as the probe.
+    pub fn allow(&mut self, now: SimTime, policy: &BreakerPolicy) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if now >= self.opened_at + policy.open_for {
+                    self.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Record a successful response: any state resets to `Closed`.
+    pub fn record_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    /// Record a failed response. Returns `true` when this failure *trips*
+    /// the breaker (Closed→Open on hitting the threshold, or a failed
+    /// HalfOpen probe re-opening it).
+    pub fn record_failure(&mut self, now: SimTime, policy: &BreakerPolicy) -> bool {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            BreakerState::Closed => {
+                if self.consecutive_failures >= policy.failure_threshold {
+                    self.state = BreakerState::Open;
+                    self.opened_at = now;
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open;
+                self.opened_at = now;
+                true
+            }
+            BreakerState::Open => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nominal_schedule_doubles_then_caps() {
+        let b = BackoffPolicy::default();
+        assert_eq!(b.nominal_secs(0), 2.0);
+        assert_eq!(b.nominal_secs(1), 4.0);
+        assert_eq!(b.nominal_secs(4), 32.0);
+        assert_eq!(b.nominal_secs(5), 60.0);
+        assert_eq!(b.nominal_secs(40), 60.0);
+    }
+
+    #[test]
+    fn jitter_only_shortens_within_bounds() {
+        let b = BackoffPolicy::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        for retry in 0..8 {
+            let nominal = b.nominal_secs(retry);
+            for _ in 0..50 {
+                let d = b.delay(retry, &mut rng).as_secs_f64();
+                assert!(d <= nominal + 1e-9, "delay {d} above nominal {nominal}");
+                assert!(
+                    d >= nominal * (1.0 - b.jitter) - 1e-9,
+                    "delay {d} below jitter floor"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn retry_policy_budget_and_classes() {
+        let p = RetryPolicy::retries(3);
+        assert!(p.should_retry(1, FailureClass::Timeout));
+        assert!(p.should_retry(3, FailureClass::ServerError));
+        assert!(!p.should_retry(4, FailureClass::ServerError));
+        assert!(!p.should_retry(1, FailureClass::ClientError));
+        assert!(!RetryPolicy::none().should_retry(1, FailureClass::Timeout));
+    }
+
+    #[test]
+    fn breaker_trips_probes_and_recovers() {
+        let pol = BreakerPolicy {
+            failure_threshold: 3,
+            open_for: SimDuration::from_secs(10),
+        };
+        let mut b = CircuitBreaker::new();
+        let t0 = SimTime::from_secs(100);
+        assert!(b.allow(t0, &pol));
+        assert!(!b.record_failure(t0, &pol));
+        assert!(!b.record_failure(t0, &pol));
+        assert!(b.record_failure(t0, &pol), "third failure trips");
+        assert_eq!(b.state(), BreakerState::Open);
+        // Shedding while open.
+        assert!(!b.allow(SimTime::from_secs(105), &pol));
+        // After open_for: one probe passes, the next call sheds.
+        assert!(b.allow(SimTime::from_secs(110), &pol));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.allow(SimTime::from_secs(110), &pol));
+        // Probe failure re-opens (and counts as a trip).
+        assert!(b.record_failure(SimTime::from_secs(111), &pol));
+        assert_eq!(b.state(), BreakerState::Open);
+        // Next probe succeeds: closed again, counters reset.
+        assert!(b.allow(SimTime::from_secs(130), &pol));
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(!b.record_failure(SimTime::from_secs(131), &pol));
+    }
+}

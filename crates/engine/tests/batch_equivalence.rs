@@ -44,6 +44,7 @@ impl Node for EchoService {
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 }

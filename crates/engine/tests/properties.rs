@@ -2,11 +2,14 @@
 
 use engine::applet::substitute_fields;
 use engine::loopdetect::{RuntimeLoopDetector, StaticLoopDetector};
-use engine::{ActionRef, Applet, AppletId, Condition, PollPolicy, TriggerRef};
+use engine::{
+    ActionRef, Applet, AppletId, BackoffPolicy, Condition, PollPolicy, RetryPolicy, TriggerRef,
+};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simnet::time::{SimDuration, SimTime};
+use tap_protocol::FailureClass;
 use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
 
 fn arb_fields() -> impl Strategy<Value = FieldMap> {
@@ -123,6 +126,75 @@ proptest! {
         base.sort();
         shuffled.sort();
         prop_assert_eq!(base, shuffled);
+    }
+
+    /// The nominal backoff schedule is monotone non-decreasing and capped
+    /// for any policy with `factor >= 1`.
+    #[test]
+    fn backoff_nominal_monotone_up_to_cap(
+        base in 0.01f64..30.0,
+        factor in 1.0f64..4.0,
+        cap in 0.01f64..120.0,
+    ) {
+        let b = BackoffPolicy { base_secs: base, factor, cap_secs: cap, jitter: 0.25 };
+        let mut prev = 0.0f64;
+        for retry in 0..64u32 {
+            let n = b.nominal_secs(retry);
+            prop_assert!(n >= prev - 1e-12, "schedule decreased at retry {retry}: {n} < {prev}");
+            prop_assert!(n <= cap + 1e-12, "retry {retry} exceeded cap: {n} > {cap}");
+            prev = n;
+        }
+        // Once capped, the schedule stays exactly at the cap.
+        prop_assert_eq!(b.nominal_secs(200), b.nominal_secs(201));
+    }
+
+    /// Sampled delays stay inside the jitter band for any seed: jitter
+    /// only shortens, by at most the configured fraction, and the cap
+    /// bounds every draw.
+    #[test]
+    fn backoff_jitter_within_bounds(
+        seed in any::<u64>(),
+        jitter in 0.0f64..=1.0,
+        retry in 0u32..40,
+    ) {
+        let b = BackoffPolicy { jitter, ..BackoffPolicy::default() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let nominal = b.nominal_secs(retry);
+        for _ in 0..8 {
+            let d = b.delay(retry, &mut rng).as_secs_f64();
+            prop_assert!(d <= nominal + 1e-9, "delay {d} above nominal {nominal}");
+            prop_assert!(d >= nominal * (1.0 - jitter) - 1e-9, "delay {d} below jitter floor");
+            prop_assert!(d <= b.cap_secs + 1e-9, "delay {d} above cap {}", b.cap_secs);
+        }
+    }
+
+    /// Driving a retry loop with `should_retry` never exceeds the
+    /// configured budget: at most `1 + max_retries` attempts for retryable
+    /// failures, exactly 1 for terminal client errors.
+    #[test]
+    fn retry_budget_never_exceeded(
+        max_retries in 0u32..10,
+        class_idx in 0usize..4,
+    ) {
+        let classes = [
+            FailureClass::Timeout,
+            FailureClass::ServerError,
+            FailureClass::Transport,
+            FailureClass::ClientError,
+        ];
+        let class = classes[class_idx];
+        let p = RetryPolicy { max_retries, ..RetryPolicy::none() };
+        // Every attempt fails; count how many the policy authorizes.
+        let mut attempts = 1u32;
+        while p.should_retry(attempts, class) {
+            attempts += 1;
+            prop_assert!(attempts <= max_retries + 1, "attempt {attempts} over budget");
+        }
+        if class.is_retryable() {
+            prop_assert_eq!(attempts, max_retries + 1);
+        } else {
+            prop_assert_eq!(attempts, 1, "client errors are terminal");
+        }
     }
 }
 

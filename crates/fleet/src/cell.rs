@@ -13,7 +13,7 @@
 //! many shards) ran the cell.
 
 use crate::metrics::FleetMetrics;
-use crate::runner::FleetConfig;
+use crate::runner::{ChaosProfile, FleetConfig};
 use crate::shard::CellSpec;
 use devices::service_core::{Processed, ServiceCore};
 use ecosystem::population::MAX_INSTALLS_PER_USER;
@@ -21,6 +21,8 @@ use ecosystem::PopulationSampler;
 use engine::{ActionRef, Applet, AppletId, TapEngine, TriggerRef};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use simnet::chaos::{FaultPlan, ServerFault, ServerFaultPlan};
+use simnet::net::LinkId;
 use simnet::prelude::*;
 use simnet::rng::derive_seed;
 use std::collections::{HashMap, VecDeque};
@@ -145,6 +147,7 @@ impl Node for FleetService {
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 }
@@ -171,7 +174,10 @@ pub fn run_cell(
         e
     });
     let svc = sim.add_node(SERVICE_SLUG, FleetService::new(metrics.clone()));
-    sim.link(engine, svc, LinkSpec::datacenter());
+    let link = sim.link(engine, svc, LinkSpec::datacenter());
+    if cfg.chaos.enabled() {
+        apply_chaos(&mut sim, cfg, link, svc);
+    }
 
     // Install every user's applets: one applet per install slot, trigger
     // `fired_k` → action `noop_k`, all on the cell's service.
@@ -256,11 +262,70 @@ pub fn run_cell(
     metrics
         .lost
         .add(sim.node_ref::<FleetService>(svc).unmatched());
+    metrics
+        .faults_injected
+        .add(sim.node_ref::<FleetService>(svc).core.faults_injected);
     metrics.sim_events.add(sim.events_processed());
     metrics.engine_events.add(sim.node_events(engine));
     metrics.users.add(spec.users);
     metrics.applets.add(installs_total);
     metrics.cells.incr();
+}
+
+/// Degrade the cell per `cfg.chaos`: elevated loss on the engine↔service
+/// link for the whole run, plus a scheduled outage pattern on the partner
+/// service. Everything derives from the cell's virtual clock — no RNG, no
+/// wall time — so the same `(seed, profile)` always produces the same run.
+fn apply_chaos(sim: &mut Sim, cfg: &FleetConfig, link: LinkId, svc: NodeId) {
+    let horizon = SimTime::from_micros(
+        SimDuration::from_secs_f64(cfg.settle_secs + cfg.window_secs + cfg.drain_secs).as_micros(),
+    );
+    sim.apply_fault_plan(&FaultPlan::new().link_loss(
+        link,
+        cfg.chaos.link_loss(),
+        SimTime::ZERO,
+        horizon,
+    ));
+    let after_settle = |secs: f64| {
+        SimTime::from_micros(SimDuration::from_secs_f64(cfg.settle_secs + secs).as_micros())
+    };
+    let outages = match cfg.chaos {
+        ChaosProfile::Off => return,
+        ChaosProfile::Mild => ServerFaultPlan::new().periodic(
+            ServerFault::Http503 {
+                retry_after_secs: 5,
+            },
+            after_settle(20.0),
+            SimDuration::from_secs(120),
+            SimDuration::from_secs(10),
+            horizon,
+        ),
+        ChaosProfile::Harsh => ServerFaultPlan::new()
+            .periodic(
+                ServerFault::Http503 {
+                    retry_after_secs: 5,
+                },
+                after_settle(20.0),
+                SimDuration::from_secs(180),
+                SimDuration::from_secs(20),
+                horizon,
+            )
+            .periodic(
+                ServerFault::Timeout,
+                after_settle(110.0),
+                SimDuration::from_secs(180),
+                SimDuration::from_secs(10),
+                horizon,
+            )
+            .periodic(
+                ServerFault::MalformedBody,
+                after_settle(65.0),
+                SimDuration::from_secs(180),
+                SimDuration::from_secs(5),
+                horizon,
+            ),
+    };
+    sim.with_node::<FleetService, _>(svc, move |s, _| s.core.fault_plan = Some(outages));
 }
 
 #[cfg(test)]

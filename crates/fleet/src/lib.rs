@@ -38,5 +38,7 @@ pub mod shard;
 
 pub use metrics::{Counter, FleetMetrics, Histogram, HistogramSnapshot};
 pub use report::{FleetReport, ShardSummary, PAPER_T2A_QUARTILES_SECS};
-pub use runner::{run_fleet, run_fleet_with_progress, FleetConfig, FleetPolicy, Progress};
+pub use runner::{
+    run_fleet, run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy, Progress,
+};
 pub use shard::{assign_round_robin, plan_cells, CellSpec};

@@ -68,6 +68,17 @@ impl FleetReport {
         (q(0.25), q(0.5), q(0.75))
     }
 
+    /// Fraction of fired activations whose action was delivered by the
+    /// cell horizon (1.0 when nothing fired).
+    pub fn delivery_ratio(&self) -> f64 {
+        let fired = self.merged.activations.get();
+        if fired == 0 {
+            1.0
+        } else {
+            self.merged.t2a_micros.count() as f64 / fired as f64
+        }
+    }
+
     /// Simulation events processed per wall-clock second, across shards.
     pub fn events_per_sec(&self) -> f64 {
         if self.wall_secs > 0.0 {
@@ -107,6 +118,21 @@ impl FleetReport {
                 m.polls_batched.get(),
                 m.polls_coalesced.get(),
                 m.polls_sent.get() - m.polls_coalesced.get()
+            ));
+        }
+        // The resilience line only appears when something failed or was
+        // injected — clean-run output is unchanged.
+        if m.polls_failed.get() > 0 || m.faults_injected.get() > 0 || m.dead_letters.get() > 0 {
+            out.push_str(&format!(
+                "  delivery ratio {:.4}  poll fail/retry/shed {}/{}/{}  breaker trips {}  action retries {}  dead letters {}  faults injected {}\n",
+                self.delivery_ratio(),
+                m.polls_failed.get(),
+                m.polls_retried.get(),
+                m.polls_shed.get(),
+                m.breaker_trips.get(),
+                m.actions_retried.get(),
+                m.dead_letters.get(),
+                m.faults_injected.get()
             ));
         }
         out.push_str(&format!(

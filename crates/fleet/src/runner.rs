@@ -65,6 +65,67 @@ impl std::fmt::Display for FleetPolicy {
     }
 }
 
+/// Deterministic fault-injection profile for a fleet run.
+///
+/// A profile is pure data: every cell derives the same fault windows from
+/// its own virtual clock, so a chaos run is as reproducible (and as
+/// shard-count-invariant) as a clean one. `Off` schedules nothing and
+/// leaves the engine's resilience machinery disabled — the run is
+/// byte-identical to one built before chaos existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChaosProfile {
+    /// No faults, no retries: the historical clean run.
+    #[default]
+    Off,
+    /// 0.5 % packet loss plus a 10 s `503 Retry-After` outage of the
+    /// partner service every 120 s.
+    Mild,
+    /// 2 % packet loss plus a 20 s outage every 90 s that alternates 503s
+    /// with silent timeouts, and an occasional malformed poll body.
+    Harsh,
+}
+
+impl ChaosProfile {
+    /// Parse a CLI profile name.
+    pub fn parse(s: &str) -> Option<ChaosProfile> {
+        match s {
+            "off" => Some(ChaosProfile::Off),
+            "mild" => Some(ChaosProfile::Mild),
+            "harsh" => Some(ChaosProfile::Harsh),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosProfile::Off => "off",
+            ChaosProfile::Mild => "mild",
+            ChaosProfile::Harsh => "harsh",
+        }
+    }
+
+    /// Whether any fault injection is active.
+    pub fn enabled(self) -> bool {
+        self != ChaosProfile::Off
+    }
+
+    /// Packet-loss probability injected on every cell's engine↔service link.
+    pub(crate) fn link_loss(self) -> f64 {
+        match self {
+            ChaosProfile::Off => 0.0,
+            ChaosProfile::Mild => 0.005,
+            ChaosProfile::Harsh => 0.02,
+        }
+    }
+}
+
+impl std::fmt::Display for ChaosProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Everything a fleet run needs; [`FleetConfig::new`] picks defaults that
 /// scale from smoke tests to the million-user run.
 #[derive(Debug, Clone)]
@@ -95,6 +156,8 @@ pub struct FleetConfig {
     /// requests (on by default — the fleet is exactly the workload the
     /// fan-in was built for; `--no-batch` turns it off for comparison).
     pub batch_polling: bool,
+    /// Fault-injection profile (`Off` by default; `--chaos` turns it on).
+    pub chaos: ChaosProfile,
 }
 
 impl FleetConfig {
@@ -117,6 +180,7 @@ impl FleetConfig {
             },
             hot_threshold: None,
             batch_polling: true,
+            chaos: ChaosProfile::default(),
         }
     }
 
@@ -131,6 +195,9 @@ impl FleetConfig {
             },
         };
         cfg.batch_polling = self.batch_polling;
+        if self.chaos.enabled() {
+            cfg = cfg.resilient();
+        }
         cfg
     }
 }

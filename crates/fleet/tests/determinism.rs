@@ -9,7 +9,7 @@
 //! behaviour-preserving (like swapping the kernel's heap for a timing
 //! wheel, or interning identifier strings) must keep them byte-identical.
 
-use fleet::{run_fleet, FleetConfig, FleetPolicy};
+use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
 
 fn cfg(shards: usize, seed: u64) -> FleetConfig {
     let mut cfg = FleetConfig::new(200, shards, FleetPolicy::Fast);
@@ -93,6 +93,62 @@ fn golden_digest_100k_users_is_shard_invariant() {
             report.digest(),
             GOLDEN,
             "100k-user digest drifted at {shards} shard(s)"
+        );
+    }
+}
+
+/// The chaos config the chaos goldens below pin: the small fast fleet
+/// under the mild profile (0.5% link loss + periodic 503 outages), with
+/// the drain stretched the way `ifttt-lab --chaos` stretches it so retry
+/// chains finish inside the cell horizon.
+fn chaos_cfg(shards: usize, seed: u64) -> FleetConfig {
+    let mut c = cfg(shards, seed);
+    c.chaos = ChaosProfile::Mild;
+    c.drain_secs = 120.0;
+    c
+}
+
+/// Chaos must be deterministic too: the same `(seed, profile)` produces
+/// the same faults, retries, and breaker trips no matter how many shards
+/// execute the cells. Pinned like the clean golden above; any change to
+/// fault scheduling, retry backoff, or breaker behaviour moves this.
+#[test]
+fn golden_digest_small_chaotic_fleet_is_shard_invariant() {
+    const GOLDEN: &str = "cb8eaede0bf587b3";
+    for shards in [1usize, 2, 8] {
+        let report = run_fleet(&chaos_cfg(shards, 2017));
+        assert_eq!(
+            report.digest(),
+            GOLDEN,
+            "chaos-on digest drifted at {shards} shard(s):\n{}",
+            report.merged_json()
+        );
+        // The profile actually injected faults and the engine recovered.
+        assert!(report.merged.faults_injected.get() > 0);
+        assert!(report.delivery_ratio() >= 0.99, "delivery under mild chaos");
+    }
+}
+
+/// The 100k chaos run, pinned at three shard counts like the clean 100k
+/// golden. Expensive; CI's release job runs it via `--ignored`.
+#[test]
+#[ignore = "minutes in debug; CI runs it in release via --ignored"]
+fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
+    const GOLDEN: &str = "0f2284d6358e4e11";
+    for shards in [1usize, 2, 8] {
+        let mut c = FleetConfig::new(100_000, shards, FleetPolicy::Fast);
+        c.chaos = ChaosProfile::Mild;
+        c.drain_secs = c.drain_secs.max(120.0);
+        let report = run_fleet(&c);
+        assert_eq!(
+            report.digest(),
+            GOLDEN,
+            "100k chaos digest drifted at {shards} shard(s)"
+        );
+        assert!(
+            report.delivery_ratio() >= 0.99,
+            "mild chaos delivery ratio {:.4} under 99%",
+            report.delivery_ratio()
         );
     }
 }

@@ -56,6 +56,7 @@
 //! assert_eq!(sim.node_ref::<Client>(client).got, Some(200));
 //! ```
 
+pub mod chaos;
 pub mod error;
 pub mod http;
 pub mod net;
@@ -66,6 +67,7 @@ pub mod time;
 pub mod trace;
 pub mod wheel;
 
+pub use chaos::{FaultPlan, FaultTarget, LinkFault, ServerFault, ServerFaultPlan};
 pub use error::SimError;
 pub use http::{Method, Request, RequestId, RequestOpts, Response, Token};
 pub use net::{LatencyModel, LinkId, LinkSpec};
@@ -77,6 +79,7 @@ pub use wheel::TimerWheel;
 
 /// Convenient glob import for simulation authors.
 pub mod prelude {
+    pub use crate::chaos::{FaultPlan, FaultTarget, LinkFault, ServerFault, ServerFaultPlan};
     pub use crate::http::{Method, Request, RequestId, RequestOpts, Response, Token};
     pub use crate::net::{LatencyModel, LinkSpec};
     pub use crate::node::{Context, HandlerResult, Node, NodeId, TimerId, TimerKey};

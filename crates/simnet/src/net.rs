@@ -175,6 +175,33 @@ impl Topology {
         }
     }
 
+    /// Replace the latency model of a link.
+    pub fn set_link_latency(&mut self, id: LinkId, latency: LatencyModel) {
+        if let Some(l) = self.links.get_mut(id.0 as usize) {
+            l.spec.latency = latency;
+        }
+    }
+
+    /// The current spec of a link.
+    pub fn link_spec(&self, id: LinkId) -> Option<LinkSpec> {
+        self.links.get(id.0 as usize).map(|l| l.spec)
+    }
+
+    /// Whether a link is currently up.
+    pub fn is_link_up(&self, id: LinkId) -> Option<bool> {
+        self.links.get(id.0 as usize).map(|l| l.up)
+    }
+
+    /// All links with `node` as an endpoint.
+    pub fn links_touching(&self, node: NodeId) -> Vec<LinkId> {
+        self.links
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.a == node || l.b == node)
+            .map(|(i, _)| LinkId(i as u32))
+            .collect()
+    }
+
     /// Number of links (up or down).
     pub fn link_count(&self) -> usize {
         self.links.len()

@@ -1,6 +1,7 @@
 //! The simulation kernel: event queue, dispatch loop, and the public
 //! [`Sim`] driver.
 
+use crate::chaos::{FaultPlan, FaultTarget, LinkFault};
 use crate::error::SimError;
 use crate::http::{Request, RequestId, RequestOpts, Response, Token};
 use crate::net::{Delivery, LinkId, LinkSpec, Topology};
@@ -41,6 +42,20 @@ enum Ev {
         dst: NodeId,
         payload: Bytes,
     },
+    /// A fault window opening (`begin`) or closing on `kernel.faults[entry]`.
+    Fault {
+        entry: usize,
+        begin: bool,
+    },
+}
+
+/// One applied fault window, resolved to concrete links.
+struct FaultEntry {
+    links: Vec<LinkId>,
+    fault: LinkFault,
+    /// Pre-fault state captured when the window opens, restored when it
+    /// closes: `(link, spec, up)`.
+    saved: Vec<(LinkId, LinkSpec, bool)>,
 }
 
 struct Pending {
@@ -50,6 +65,10 @@ struct Pending {
     /// Set once a response has been *scheduled for delivery* (so a timeout
     /// racing a scheduled response loses) or delivered.
     answered: bool,
+    /// Whether the origin armed a timeout. A response lost in transit can
+    /// then still resolve as [`Response::timeout`] instead of silently
+    /// hanging the requester forever.
+    has_timeout: bool,
 }
 
 /// Internal kernel state shared with [`Context`].
@@ -70,6 +89,8 @@ pub struct Kernel {
     trace: TraceLog,
     processed: u64,
     signal_fronts: HashMap<(NodeId, NodeId), SimTime>,
+    /// Applied fault windows; indexed by `Ev::Fault::entry`.
+    faults: Vec<FaultEntry>,
     /// Handler invocations per node (start/request/response/timeout/timer/
     /// signal deliveries), indexed by `NodeId`.
     node_events: Vec<u64>,
@@ -94,6 +115,7 @@ impl Kernel {
             trace: TraceLog::default(),
             processed: 0,
             signal_fronts: HashMap::new(),
+            faults: Vec::new(),
             node_events: Vec::new(),
         }
     }
@@ -149,6 +171,7 @@ impl Kernel {
                 responder: dst,
                 token,
                 answered: false,
+                has_timeout: opts.timeout.is_some(),
             },
         );
         match self.topology.deliver(src, dst, &mut self.net_rng) {
@@ -193,10 +216,10 @@ impl Kernel {
         if p.answered || p.responder != from {
             return;
         }
-        p.answered = true;
         let origin = p.origin;
         match self.topology.deliver(from, origin, &mut self.net_rng) {
             Delivery::Arrives(d) => {
+                p.answered = true;
                 let at = self.now + d;
                 self.schedule(at, Ev::DeliverResponse { req_id, resp });
             }
@@ -207,9 +230,13 @@ impl Kernel {
                     "net.response_lost",
                     format!("req={}", req_id.0),
                 );
-                // The origin can only learn of this via its timeout; if it
-                // set none, the pending entry is dropped here.
-                self.pending.remove(&req_id);
+                // The origin can only learn of this via its timeout, so the
+                // pending entry must stay un-answered until that fires.
+                // Without a timeout nothing will ever conclude the request:
+                // drop the entry here rather than leak it.
+                if !p.has_timeout {
+                    self.pending.remove(&req_id);
+                }
             }
         }
     }
@@ -223,6 +250,46 @@ impl Kernel {
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
         self.cancelled_timers.insert(id.0);
+    }
+
+    /// Open (`begin`) or close a fault window: degrade the entry's links,
+    /// or restore the state captured when the window opened.
+    fn toggle_fault(&mut self, entry: usize, begin: bool) {
+        let e = &mut self.faults[entry];
+        if begin {
+            e.saved.clear();
+            for &link in &e.links {
+                let (Some(spec), Some(up)) = (
+                    self.topology.link_spec(link),
+                    self.topology.is_link_up(link),
+                ) else {
+                    continue;
+                };
+                e.saved.push((link, spec, up));
+                match e.fault {
+                    LinkFault::Outage => self.topology.set_link_up(link, false),
+                    LinkFault::Loss(loss) => self.topology.set_link_loss(link, loss),
+                    LinkFault::Latency(lat) => self.topology.set_link_latency(link, lat),
+                }
+            }
+            if let Some(&(link, _, _)) = e.saved.first() {
+                let fault = e.fault;
+                self.trace.record(
+                    self.now,
+                    NodeId(u32::MAX),
+                    "chaos.fault_begin",
+                    format!("link={} {fault:?}", link.0),
+                );
+            }
+        } else {
+            for (link, spec, up) in std::mem::take(&mut e.saved) {
+                self.topology.set_link_loss(link, spec.loss);
+                self.topology.set_link_latency(link, spec.latency);
+                self.topology.set_link_up(link, up);
+            }
+            self.trace
+                .record(self.now, NodeId(u32::MAX), "chaos.fault_end", String::new());
+        }
     }
 
     pub(crate) fn send_signal(&mut self, src: NodeId, dst: NodeId, payload: Bytes) {
@@ -297,6 +364,55 @@ impl Sim {
     /// Mutable access to the topology (take links down, change loss, …).
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.kernel.topology
+    }
+
+    /// Schedule a [`FaultPlan`] on the kernel queue.
+    ///
+    /// Each window resolves to the concrete links it degrades (node targets
+    /// expand to every link touching the node *now*) and contributes two
+    /// queue events — open and close — that interleave deterministically
+    /// with traffic. Link state is captured at open and restored at close.
+    /// Applying an empty plan schedules nothing, so a disabled chaos path
+    /// leaves the event sequence untouched.
+    ///
+    /// # Panics
+    /// Panics if a window references an unknown link or a node with no
+    /// links: a plan that silently degrades nothing is a harness bug.
+    pub fn apply_fault_plan(&mut self, plan: &FaultPlan) {
+        for w in &plan.windows {
+            let links = match w.target {
+                FaultTarget::Link(id) => {
+                    assert!(
+                        self.kernel.topology.link_spec(id).is_some(),
+                        "fault plan references unknown link {id:?}"
+                    );
+                    vec![id]
+                }
+                FaultTarget::Node(node) => {
+                    let links = self.kernel.topology.links_touching(node);
+                    assert!(
+                        !links.is_empty(),
+                        "fault plan targets node {node:?} which has no links"
+                    );
+                    links
+                }
+            };
+            let entry = self.kernel.faults.len();
+            self.kernel.faults.push(FaultEntry {
+                links,
+                fault: w.fault,
+                saved: Vec::new(),
+            });
+            self.kernel
+                .schedule(w.start, Ev::Fault { entry, begin: true });
+            self.kernel.schedule(
+                w.end,
+                Ev::Fault {
+                    entry,
+                    begin: false,
+                },
+            );
+        }
     }
 
     /// Current virtual time.
@@ -505,6 +621,9 @@ impl Sim {
             }
             Ev::Signal { src, dst, payload } => {
                 self.with_taken(dst, |n, ctx| n.on_signal(ctx, src, payload));
+            }
+            Ev::Fault { entry, begin } => {
+                self.kernel.toggle_fault(entry, begin);
             }
         }
     }

@@ -17,6 +17,9 @@ pub const AUTHORIZATION_HEADER: &str = "Authorization";
 /// Header carrying a per-request random id (the paper observes one in every
 /// polling query).
 pub const REQUEST_ID_HEADER: &str = "X-Request-ID";
+/// Header a 503 response uses to tell the client how long to back off
+/// (whole seconds), honored by the engine's retry schedule.
+pub const RETRY_AFTER_HEADER: &str = "Retry-After";
 
 /// The per-service shared secret issued by the engine at publication time.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -57,6 +57,47 @@ impl fmt::Display for ProtocolError {
 
 impl std::error::Error for ProtocolError {}
 
+/// Coarse classification of a *failed* engine request, driving the
+/// retry/breaker policy.
+///
+/// The engine cares about one distinction: is retrying plausibly useful?
+/// A timeout, a dropped message, or a 5xx is transient — the same request
+/// may succeed seconds later. A 4xx means the request itself is bad (wrong
+/// token, unknown trigger, malformed body); replaying it verbatim can only
+/// fail again, so those dead-letter immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureClass {
+    /// No response arrived before the deadline (simnet status 0), or the
+    /// message was lost in transit.
+    Timeout,
+    /// The service answered 5xx: it is up but unhealthy.
+    ServerError,
+    /// The service answered 4xx: the request is wrong, not the network.
+    ClientError,
+    /// Any other non-success status — on the simulated wire this only
+    /// covers anomalies (1xx/3xx), treated like a transport fault.
+    Transport,
+}
+
+impl FailureClass {
+    /// Classify a response status. `None` means success (2xx) — nothing to
+    /// classify.
+    pub fn of_status(status: u16) -> Option<FailureClass> {
+        match status {
+            0 => Some(FailureClass::Timeout),
+            200..=299 => None,
+            400..=499 => Some(FailureClass::ClientError),
+            500..=599 => Some(FailureClass::ServerError),
+            _ => Some(FailureClass::Transport),
+        }
+    }
+
+    /// Whether a retry of the same request can plausibly succeed.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, FailureClass::ClientError)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -78,5 +119,37 @@ mod tests {
         assert!(ProtocolError::UnknownTrigger("rain".into())
             .to_string()
             .contains("rain"));
+    }
+
+    #[test]
+    fn failure_classification_covers_the_status_space() {
+        assert_eq!(FailureClass::of_status(0), Some(FailureClass::Timeout));
+        assert_eq!(FailureClass::of_status(200), None);
+        assert_eq!(FailureClass::of_status(204), None);
+        assert_eq!(
+            FailureClass::of_status(400),
+            Some(FailureClass::ClientError)
+        );
+        assert_eq!(
+            FailureClass::of_status(404),
+            Some(FailureClass::ClientError)
+        );
+        assert_eq!(
+            FailureClass::of_status(500),
+            Some(FailureClass::ServerError)
+        );
+        assert_eq!(
+            FailureClass::of_status(503),
+            Some(FailureClass::ServerError)
+        );
+        assert_eq!(FailureClass::of_status(302), Some(FailureClass::Transport));
+    }
+
+    #[test]
+    fn only_client_errors_are_terminal() {
+        assert!(FailureClass::Timeout.is_retryable());
+        assert!(FailureClass::ServerError.is_retryable());
+        assert!(FailureClass::Transport.is_retryable());
+        assert!(!FailureClass::ClientError.is_retryable());
     }
 }

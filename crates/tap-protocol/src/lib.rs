@@ -33,7 +33,7 @@ pub mod service;
 pub mod wire;
 
 pub use auth::{AccessToken, ServiceKey};
-pub use error::ProtocolError;
+pub use error::{FailureClass, ProtocolError};
 pub use ids::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
 pub use intern::{Interner, Symbol};
 pub use service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};

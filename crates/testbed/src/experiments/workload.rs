@@ -65,6 +65,7 @@ impl Node for BurstService {
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 }

@@ -2,11 +2,16 @@
 //! both local WiFi and the Internet connectivity are good so the network
 //! never becomes the performance bottleneck"); these tests probe what
 //! happens when it is *not* — the system must degrade, not wedge.
+//!
+//! Faults are declared as [`FaultPlan`] windows on the sim clock (instead
+//! of hand-rolled link flips), and the engine runs its full resilience
+//! stack so the tests can assert not only *that* delivery recovers but
+//! *how*: retry counters, breaker trips, and dead-letter accounting.
 
 use devices::hue::HueLamp;
 use devices::wemo::WemoSwitch;
 use engine::{EngineConfig, TapEngine};
-use simnet::net::LinkId;
+use simnet::chaos::FaultPlan;
 use simnet::prelude::*;
 use testbed::applets::{paper_applet, PaperApplet, ServiceVariant};
 use testbed::{TestController, Testbed, TestbedConfig};
@@ -14,7 +19,7 @@ use testbed::{TestController, Testbed, TestbedConfig};
 fn a2_world(seed: u64) -> Testbed {
     let mut tb = Testbed::build(TestbedConfig {
         seed,
-        engine: EngineConfig::fast(),
+        engine: EngineConfig::fast().resilient(),
     });
     let applet = paper_applet(PaperApplet::A2, ServiceVariant::Official);
     tb.sim
@@ -24,45 +29,30 @@ fn a2_world(seed: u64) -> Testbed {
     tb
 }
 
-/// Take down (or restore) every link touching `node` except those to the
-/// `keep` peers. Single-link cuts are routed around by the min-hop mesh —
-/// exactly like the real Internet — so isolating a *host* is the way to
-/// simulate its outage.
-fn set_node_up(tb: &mut Testbed, node: NodeId, keep: &[NodeId], up: bool) {
-    let topo = tb.sim.topology_mut();
-    for i in 0..topo.link_count() {
-        let id = LinkId(i as u32);
-        if let Some((x, y)) = topo.link_endpoints(id) {
-            let peer = if x == node {
-                y
-            } else if y == node {
-                x
-            } else {
-                continue;
-            };
-            if !keep.contains(&peer) {
-                topo.set_link_up(id, up);
-            }
-        }
-    }
-}
-
 #[test]
 fn engine_poll_chain_survives_a_wan_outage() {
     let mut tb = a2_world(1);
-    // The WeMo cloud goes dark for a minute: polls time out.
+    // The WeMo cloud goes dark for a minute: every link touching the host
+    // is down for the window, then restored by the plan itself. (Single
+    // link cuts are routed around by the min-hop mesh — exactly like the
+    // real Internet — so isolating the *host* simulates its outage.)
     let svc = tb.nodes.wemo_service;
-    set_node_up(&mut tb, svc, &[], false);
+    let now = tb.sim.now();
+    let plan = FaultPlan::new().node_outage(svc, now, now + SimDuration::from_secs(60));
+    tb.sim.apply_fault_plan(&plan);
     tb.sim.run_for(SimDuration::from_secs(60));
-    let failed = tb
-        .sim
-        .node_ref::<TapEngine>(tb.nodes.engine)
-        .stats
-        .polls_failed;
-    assert!(failed > 0, "polls must fail during the outage");
-    // Restore; press the switch; the applet still executes.
-    set_node_up(&mut tb, svc, &[], true);
-    tb.sim.run_for(SimDuration::from_secs(40)); // let timed-out polls clear
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert!(stats.polls_failed > 0, "polls must fail during the outage");
+    assert!(
+        stats.polls_retried > 0,
+        "failed polls are retried on the backoff schedule: {stats:?}"
+    );
+    assert!(
+        stats.breaker_trips >= 1,
+        "a sustained outage trips the service breaker: {stats:?}"
+    );
+    // The window is over; press the switch; the applet still executes.
+    tb.sim.run_for(SimDuration::from_secs(40)); // breaker probe closes it
     let t0 = tb.sim.now();
     tb.sim
         .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
@@ -79,20 +69,12 @@ fn engine_poll_chain_survives_a_wan_outage() {
 #[test]
 fn lossy_wan_still_delivers_eventually() {
     let mut tb = a2_world(2);
-    // 30% loss on every path into the WeMo cloud: polls are retried by
-    // the next scheduled poll, so the action still happens, just later.
+    // 30% loss on every path into the WeMo cloud for the whole test:
+    // polls fail and are retried, so the action still happens, just later.
     let svc = tb.nodes.wemo_service;
-    {
-        let topo = tb.sim.topology_mut();
-        for i in 0..topo.link_count() {
-            let id = LinkId(i as u32);
-            if let Some((x, y)) = topo.link_endpoints(id) {
-                if x == svc || y == svc {
-                    topo.set_link_loss(id, 0.3);
-                }
-            }
-        }
-    }
+    let now = tb.sim.now();
+    let plan = FaultPlan::new().node_loss(svc, 0.3, now, now + SimDuration::from_mins(10));
+    tb.sim.apply_fault_plan(&plan);
     let t0 = tb.sim.now();
     tb.sim
         .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
@@ -104,19 +86,35 @@ fn lossy_wan_still_delivers_eventually() {
             .is_some(),
         "a lossy link delays but does not lose the execution"
     );
+    let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert!(
+        stats.polls_retried > 0,
+        "lost polls resolve as timeouts and are retried: {stats:?}"
+    );
 }
 
 #[test]
 fn dead_action_service_is_counted_not_wedged() {
     let mut tb = a2_world(3);
-    // The Hue cloud goes dark: actions fail, polls continue.
+    // The Hue cloud goes dark: actions fail through their whole retry
+    // budget and dead-letter; polls of the (healthy) WeMo cloud continue.
     let svc = tb.nodes.hue_service;
-    set_node_up(&mut tb, svc, &[], false);
+    let now = tb.sim.now();
+    let plan = FaultPlan::new().node_outage(svc, now, now + SimDuration::from_secs(300));
+    tb.sim.apply_fault_plan(&plan);
     tb.sim
         .with_node::<TestController, _>(tb.nodes.controller, |c, ctx| c.press_switch(ctx));
     tb.sim.run_for(SimDuration::from_secs(90));
     let stats = tb.sim.node_ref::<TapEngine>(tb.nodes.engine).stats;
+    assert!(
+        stats.actions_retried >= 1,
+        "the action is retried before giving up: {stats:?}"
+    );
     assert!(stats.actions_failed >= 1, "action failure must be recorded");
+    assert!(
+        stats.dead_letters >= 1,
+        "an exhausted retry budget dead-letters the dispatch: {stats:?}"
+    );
     assert!(!tb.sim.node_ref::<HueLamp>(tb.nodes.lamp).state.on);
     // The poll chain kept running the whole time.
     let polls_before = stats.polls_sent;
@@ -133,13 +131,17 @@ fn dead_action_service_is_counted_not_wedged() {
 #[test]
 fn home_lan_outage_blocks_the_device_not_the_cloud() {
     let mut tb = a2_world(4);
-    // The switch falls off the network (keeping only the physical channel
-    // to the controller's finger): its trigger pushes go nowhere, so the
-    // engine just sees empty polls.
-    // (The press below is a direct physical actuation, not a network
-    // message, so the switch can be isolated completely.)
+    // The switch falls off the network: its trigger pushes go nowhere, so
+    // the engine just sees empty polls. (The press below is a direct
+    // physical actuation, not a network message, so the switch can be
+    // isolated completely.)
     let sw = tb.nodes.wemo_switch;
-    set_node_up(&mut tb, sw, &[], false);
+    let now = tb.sim.now();
+    let plan = FaultPlan::new().node_outage(sw, now, now + SimDuration::from_secs(120));
+    tb.sim.apply_fault_plan(&plan);
+    // Let the window-open event process before pressing: the fault plan
+    // acts through the event queue, not synchronously.
+    tb.sim.run_for(SimDuration::from_secs(1));
     let t0 = tb.sim.now();
     tb.sim
         .with_node::<WemoSwitch, _>(tb.nodes.wemo_switch, |s, ctx| s.press(ctx));

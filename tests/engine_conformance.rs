@@ -4,7 +4,7 @@
 
 use ifttt_core::devices::service_core::{Processed, ServiceCore};
 use ifttt_core::engine::{
-    ActionRef, Applet, AppletId, EngineConfig, PollPolicy, TapEngine, TriggerRef,
+    ActionRef, Applet, AppletId, EngineConfig, PollPolicy, RetryPolicy, TapEngine, TriggerRef,
 };
 use ifttt_core::simnet::prelude::*;
 use ifttt_core::tap_protocol::auth::{ServiceKey, REQUEST_ID_HEADER, SERVICE_KEY_HEADER};
@@ -59,6 +59,7 @@ impl Node for RecordingService {
             Processed::Query { fields, .. } => {
                 HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
             }
+            Processed::NoReply => HandlerResult::Deferred,
         }
     }
 }
@@ -286,6 +287,7 @@ fn action_retries_recover_from_transient_failures() {
                 ifttt_core::devices::service_core::Processed::Query { fields, .. } => {
                     HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
                 }
+                ifttt_core::devices::service_core::Processed::NoReply => HandlerResult::Deferred,
             }
         }
     }
@@ -294,7 +296,7 @@ fn action_retries_recover_from_transient_failures() {
     let svc = sim.add_node("flaky", FlakyActions::new());
     let mut cfg = EngineConfig::fast();
     cfg.polling = PollPolicy::fixed(2.0);
-    cfg.action_retries = 3;
+    cfg.action_retry = RetryPolicy::retries(3);
     let engine = sim.add_node("engine", TapEngine::new(cfg));
     sim.link(engine, svc, LinkSpec::datacenter());
     let user = UserId::new("u");
@@ -342,7 +344,7 @@ fn action_retries_recover_from_transient_failures() {
 
 #[test]
 fn without_retries_a_failed_action_is_lost() {
-    // Baseline (production-IFTTT-like): action_retries = 0; a 503 means
+    // Baseline (production-IFTTT-like): no action retries; a 503 means
     // the event's action never happens (the engine's dedup prevents a
     // later poll from redelivering it).
     let (mut sim, engine, svc, _) = world(2.0);
@@ -353,7 +355,7 @@ fn without_retries_a_failed_action_is_lost() {
     // verify the accounting path directly with a bogus action slug.
     sim.run_until(SimTime::from_secs(3));
     sim.with_node::<TapEngine, _>(engine, |e, _| {
-        assert_eq!(e.config.action_retries, 0);
+        assert!(!e.config.action_retry.enabled());
     });
     feed_events(&mut sim, svc, 1, 9000);
     sim.run_until(SimTime::from_secs(20));
