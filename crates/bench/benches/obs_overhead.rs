@@ -1,0 +1,127 @@
+//! Observation-sink overhead: what the typed event stream costs.
+//!
+//! The engine emits one `ObsEvent` per observable transition whether or
+//! not a sink is attached; the default fleet sink only folds events into
+//! counters. This bench pins that cost from two directions:
+//!
+//! * **Micro** — events-per-second through the counting sink
+//!   (`FleetMetrics::on_event`), the full attribution sink, and a
+//!   sampled `FlightRecorder`.
+//! * **Macro** — wall-clock of an identical fleet run with attribution
+//!   off vs. on. The counting sink is the fleet default, so its cost is
+//!   already inside every `fleet_throughput` number; the delta measured
+//!   here is the *additional* price of span recording, and the artifact
+//!   records it as a percentage.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ifttt_bench::emit;
+use ifttt_core::engine::{AppletId, ObsEvent, ObsSink};
+use ifttt_core::fleet::{
+    run_fleet, AttributionRecorder, CellSink, FleetConfig, FleetMetrics, FleetPolicy,
+};
+use ifttt_core::simnet::prelude::*;
+use std::sync::Arc;
+
+fn sample_events() -> Vec<ObsEvent> {
+    let t = SimTime::from_secs(1);
+    let a = AppletId(7);
+    let svc = ifttt_core::tap_protocol::Interner::new().intern("svc");
+    vec![
+        ObsEvent::PollSent {
+            applet: a,
+            service: svc,
+            at: t,
+        },
+        ObsEvent::BatchPollSent {
+            service: svc,
+            members: 8,
+            at: t,
+        },
+        ObsEvent::PollDelivered {
+            applet: a,
+            received: 3,
+            fresh: 2,
+            sent_at: t,
+            at: t,
+        },
+        ObsEvent::DispatchEnqueued {
+            applet: a,
+            dispatch: 1,
+            depth: 2,
+            poll_sent_at: t,
+            at: t,
+        },
+        ObsEvent::ActionSent {
+            applet: a,
+            dispatch: 1,
+            attempt: 1,
+            at: t,
+        },
+        ObsEvent::ActionFinished {
+            applet: a,
+            dispatch: 1,
+            ok: true,
+            at: t,
+        },
+    ]
+}
+
+fn fleet_cfg(attribution: bool) -> FleetConfig {
+    FleetConfig::new(10_000, 1, FleetPolicy::IftttLike)
+        .with_phases(10.0, 120.0, 400.0)
+        .with_attribution(attribution)
+}
+
+fn bench(c: &mut Criterion) {
+    let events = sample_events();
+
+    // Macro: same run, attribution off vs on.
+    let off = run_fleet(&fleet_cfg(false));
+    let on = run_fleet(&fleet_cfg(true));
+    let overhead = (on.wall_secs - off.wall_secs) / off.wall_secs.max(1e-9) * 100.0;
+    let text = format!(
+        "# Observation overhead (10k-user fleet, 1 shard)\n\n\
+         counting sink (fleet default): {:.2} s wall\n\
+         + attribution recorder:        {:.2} s wall ({overhead:+.1}%)\n\
+         t2a samples {} / attribution samples {}\n",
+        off.wall_secs,
+        on.wall_secs,
+        off.merged.t2a_micros.count(),
+        on.merged.attribution.total.count(),
+    );
+    emit("obs_overhead.txt", &text);
+
+    let mut group = c.benchmark_group("obs");
+    group.bench_function("counting_sink_6_events", |b| {
+        let metrics = Arc::new(FleetMetrics::new());
+        b.iter(|| {
+            for ev in &events {
+                metrics.on_event(std::hint::black_box(ev));
+            }
+        })
+    });
+    group.bench_function("attribution_sink_6_events", |b| {
+        let metrics = Arc::new(FleetMetrics::new());
+        let rec = Arc::new(AttributionRecorder::new(metrics.clone()));
+        let sink = CellSink::new(metrics, rec.clone());
+        b.iter(|| {
+            for ev in &events {
+                sink.on_event(std::hint::black_box(ev));
+            }
+            // Close the span so the recorder's maps stay bounded.
+            rec.on_arrival(7, SimTime::ZERO, SimTime::from_secs(2));
+        })
+    });
+    group.bench_function("flight_recorder_sampled_64", |b| {
+        let rec = ifttt_core::engine::FlightRecorder::sampled(1024, 64);
+        b.iter(|| {
+            for ev in &events {
+                rec.on_event(std::hint::black_box(ev));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -11,7 +11,7 @@
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]
-//!                 [--chaos off|mild|harsh]
+//!                 [--chaos off|mild|harsh] [--attribution]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -41,6 +41,7 @@ fn main() {
     let mut policy = FleetPolicy::IftttLike;
     let mut batch_polling = true;
     let mut chaos = ChaosProfile::Off;
+    let mut attribution = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -71,6 +72,7 @@ fn main() {
                     .unwrap_or_else(|| usage("--policy is ifttt, fast, or smart"));
             }
             "--no-batch" => batch_polling = false,
+            "--attribution" => attribution = true,
             "--chaos" => {
                 chaos = it
                     .next()
@@ -166,10 +168,11 @@ fn main() {
             );
         }
         "fleet" => {
-            let mut cfg = FleetConfig::new(users, shards, policy);
-            cfg.master_seed = seed;
-            cfg.batch_polling = batch_polling;
-            cfg.chaos = chaos;
+            let mut cfg = FleetConfig::new(users, shards, policy)
+                .with_seed(seed)
+                .with_batch_polling(batch_polling)
+                .with_chaos(chaos)
+                .with_attribution(attribution);
             if cfg.chaos.enabled() {
                 // Give retries and breaker recovery room to finish after the
                 // last activation window before stragglers count as lost.
@@ -236,7 +239,7 @@ fn usage(err: &str) -> ! {
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
          fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch] \
-         [--chaos off|mild|harsh]>"
+         [--chaos off|mild|harsh] [--attribution]>"
     );
     std::process::exit(2)
 }

@@ -23,7 +23,7 @@
 
 use crate::applet::{substitute_fields, Applet, AppletId};
 use crate::loopdetect::{RuntimeLoopDetector, RuntimeVerdict, StaticLoopDetector};
-use crate::observer::EngineObserver;
+use crate::obs::{ObsEvent, ObsSink};
 use crate::permissions::{Capability, Granularity, PermissionManager};
 use crate::polling::PollPolicy;
 use crate::resilience::{BreakerPolicy, CircuitBreaker, RetryPolicy};
@@ -157,10 +157,7 @@ impl EngineConfig {
     /// Production-like config with Alexa on the realtime allowlist, as the
     /// paper infers from the low latency of A5–A7.
     pub fn ifttt_like() -> Self {
-        let mut cfg = EngineConfig::default();
-        cfg.realtime_allowlist
-            .insert(ServiceSlug::new("amazon_alexa"));
-        cfg
+        EngineConfig::default().allow_realtime(ServiceSlug::new("amazon_alexa"))
     }
 
     /// The authors' fast engine of E3: 1-second polling.
@@ -177,14 +174,73 @@ impl EngineConfig {
     /// backoff, poll retry, circuit breaking) on top of `self`. Used by
     /// chaos experiments; leaves every scheduling distribution untouched,
     /// so a fault-free run behaves identically to the base config.
-    pub fn resilient(mut self) -> Self {
-        self.action_retry = RetryPolicy::retries(3);
-        self.poll_retry = RetryPolicy::retries(2);
-        self.breaker = Some(BreakerPolicy::default());
-        // A lost response stalls its chain for a whole request timeout
-        // before the retry machinery can react; under injected loss the
-        // default 30 s dominates recovery latency, so tighten it.
-        self.request_timeout = SimDuration::from_secs(10);
+    pub fn resilient(self) -> Self {
+        self.with_action_retry(RetryPolicy::retries(3))
+            .with_poll_retry(RetryPolicy::retries(2))
+            .with_breaker(BreakerPolicy::default())
+            // A lost response stalls its chain for a whole request timeout
+            // before the retry machinery can react; under injected loss the
+            // default 30 s dominates recovery latency, so tighten it.
+            .with_request_timeout(SimDuration::from_secs(10))
+    }
+
+    /// Replace the poll scheduling policy.
+    pub fn with_polling(mut self, polling: PollPolicy) -> Self {
+        self.polling = polling;
+        self
+    }
+
+    /// Turn sibling-subscription batch polling on or off.
+    pub fn with_batch_polling(mut self, on: bool) -> Self {
+        self.batch_polling = on;
+        self
+    }
+
+    /// Set the poll/action request timeout.
+    pub fn with_request_timeout(mut self, timeout: SimDuration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Set the retry budget for failed action dispatches.
+    pub fn with_action_retry(mut self, policy: RetryPolicy) -> Self {
+        self.action_retry = policy;
+        self
+    }
+
+    /// Set the retry budget for failed subscription polls.
+    pub fn with_poll_retry(mut self, policy: RetryPolicy) -> Self {
+        self.poll_retry = policy;
+        self
+    }
+
+    /// Install a per-trigger-service circuit-breaker policy.
+    pub fn with_breaker(mut self, policy: BreakerPolicy) -> Self {
+        self.breaker = Some(policy);
+        self
+    }
+
+    /// Set the permission model granularity (§6).
+    pub fn with_permission_granularity(mut self, granularity: Granularity) -> Self {
+        self.permission_granularity = granularity;
+        self
+    }
+
+    /// Enable or disable the static install-time loop check (§6).
+    pub fn with_static_loop_check(mut self, on: bool) -> Self {
+        self.static_loop_check = on;
+        self
+    }
+
+    /// Install a runtime loop-detection configuration (§6).
+    pub fn with_runtime_loop(mut self, cfg: RuntimeLoopConfig) -> Self {
+        self.runtime_loop = Some(cfg);
+        self
+    }
+
+    /// Add a service to the realtime-hint allowlist.
+    pub fn allow_realtime(mut self, slug: ServiceSlug) -> Self {
+        self.realtime_allowlist.insert(slug);
         self
     }
 }
@@ -284,6 +340,11 @@ struct PollTask {
     /// Consecutive failed polls for this subscription (resets on success;
     /// bounds the poll-retry budget).
     retries: u32,
+    /// When the in-flight poll (single or batched) left the engine. The
+    /// engine keeps at most one poll in flight per subscription, so the
+    /// value read at response time is the matching request's send time —
+    /// attribution sinks use it to split cadence wait from poll RTT.
+    poll_sent_at: SimTime,
 }
 
 #[derive(Debug)]
@@ -347,8 +408,8 @@ pub struct TapEngine {
     /// Groups temporarily demoted to singleton polls after a batch poll
     /// failure, until the stored instant.
     degraded_until: HashMap<(Symbol, Symbol, u8), SimTime>,
-    /// Optional instrumentation sink (see [`crate::observer`]).
-    observer: Option<std::sync::Arc<dyn EngineObserver>>,
+    /// Optional instrumentation sink (see [`crate::obs`]).
+    sink: Option<std::sync::Arc<dyn ObsSink>>,
 }
 
 impl TapEngine {
@@ -382,14 +443,24 @@ impl TapEngine {
             stats: EngineStats::default(),
             breakers: HashMap::new(),
             degraded_until: HashMap::new(),
-            observer: None,
+            sink: None,
         }
     }
 
-    /// Attach an instrumentation observer. One observer may be shared by
-    /// many engines (fleet shards do exactly that).
-    pub fn set_observer(&mut self, observer: std::sync::Arc<dyn EngineObserver>) {
-        self.observer = Some(observer);
+    /// Attach an instrumentation sink. One sink may be shared by many
+    /// engines (fleet shards do exactly that).
+    pub fn set_sink(&mut self, sink: std::sync::Arc<dyn ObsSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Emit one instrumentation event: apply its counter increments to
+    /// [`TapEngine::stats`] and forward it to the sink, if any. Every
+    /// stats mutation in the engine goes through here.
+    fn obs(&mut self, ev: ObsEvent) {
+        self.stats.apply(&ev);
+        if let Some(sink) = &self.sink {
+            sink.on_event(&ev);
+        }
     }
 
     /// Register a partner service (what service publication does).
@@ -559,14 +630,13 @@ impl TapEngine {
                     limit: DEFAULT_POLL_LIMIT,
                 },
                 retries: 0,
+                poll_sent_at: SimTime::ZERO,
             },
         );
         self.applets.insert(id, applet);
         let delay = SimDuration::from_secs_f64(self.config.initial_poll_delay.sample(ctx.rng()));
         self.schedule_poll(ctx, id, delay);
-        if ctx.tracing() {
-            ctx.trace("engine.applet_installed", format!("{id:?}"));
-        }
+        ctx.trace("engine.applet_installed", TraceDetail::Applet(id.0));
         Ok(id)
     }
 
@@ -609,10 +679,10 @@ impl TapEngine {
     /// A poll the breaker refused: count it and keep the chain alive by
     /// rescheduling on the normal cadence.
     fn shed_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
-        self.stats.polls_shed += 1;
-        if let Some(o) = &self.observer {
-            o.poll_shed(ctx.now());
-        }
+        self.obs(ObsEvent::PollShed {
+            applet: id,
+            at: ctx.now(),
+        });
         if ctx.tracing() {
             ctx.trace("engine.poll_shed", format!("{id:?} breaker open"));
         }
@@ -631,13 +701,17 @@ impl TapEngine {
             return;
         };
         let breaker = self.breakers.entry(service).or_default();
-        if ok {
+        let tripped = if ok {
             breaker.record_success();
-        } else if breaker.record_failure(ctx.now(), policy) {
-            self.stats.breaker_trips += 1;
-            if let Some(o) = &self.observer {
-                o.breaker_tripped(ctx.now());
-            }
+            false
+        } else {
+            breaker.record_failure(ctx.now(), policy)
+        };
+        if tripped {
+            self.obs(ObsEvent::BreakerTripped {
+                service,
+                at: ctx.now(),
+            });
             if ctx.tracing() {
                 ctx.trace("engine.breaker_tripped", String::new());
             }
@@ -661,6 +735,10 @@ impl TapEngine {
             self.shed_poll(ctx, id);
             return;
         }
+        self.tasks
+            .get_mut(&id)
+            .expect("task checked above")
+            .poll_sent_at = ctx.now();
         let applet = &self.applets[&id];
         let task = &self.tasks[&id];
         let reg = &self.services[&trigger_service];
@@ -671,10 +749,6 @@ impl TapEngine {
             .with_header(AUTHORIZATION_HEADER, bearer.clone())
             .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
             .with_body(task.poll_body.clone());
-        self.stats.polls_sent += 1;
-        if let Some(o) = &self.observer {
-            o.poll_sent(ctx.now());
-        }
         if ctx.tracing() {
             ctx.trace(
                 "engine.poll_sent",
@@ -682,6 +756,11 @@ impl TapEngine {
             );
         }
         let node = reg.node;
+        self.obs(ObsEvent::PollSent {
+            applet: id,
+            service: trigger_service,
+            at: ctx.now(),
+        });
         ctx.send_request(
             node,
             req,
@@ -744,6 +823,7 @@ impl TapEngine {
             if let Some(old) = task.next_poll.take() {
                 ctx.cancel_timer(old);
             }
+            task.poll_sent_at = ctx.now();
         }
         let cached = self
             .batch_bodies
@@ -773,18 +853,6 @@ impl TapEngine {
             .with_header(AUTHORIZATION_HEADER, bearer.clone())
             .with_header(REQUEST_ID_HEADER, format!("{request_id:016x}"))
             .with_body(body);
-        // Each member still counts as one subscription poll; the batch and
-        // coalesced counters record what the fan-in saved (HTTP round
-        // trips = polls_sent - polls_coalesced).
-        self.stats.polls_sent += n;
-        self.stats.polls_batched += 1;
-        self.stats.polls_coalesced += n - 1;
-        if let Some(o) = &self.observer {
-            for _ in 0..n {
-                o.poll_sent(ctx.now());
-            }
-            o.poll_batched(n, ctx.now());
-        }
         if ctx.tracing() {
             ctx.trace(
                 "engine.batch_poll_sent",
@@ -792,6 +860,11 @@ impl TapEngine {
             );
         }
         let node = reg.node;
+        self.obs(ObsEvent::BatchPollSent {
+            service: trigger_service,
+            members: n,
+            at: ctx.now(),
+        });
         ctx.send_request(
             node,
             req,
@@ -821,12 +894,10 @@ impl TapEngine {
         }
         let n = members.len() as u64;
         if !resp.is_success() {
-            self.stats.polls_failed += n;
-            if let Some(o) = &self.observer {
-                for _ in 0..n {
-                    o.poll_failed(ctx.now());
-                }
-            }
+            self.obs(ObsEvent::PollFailed {
+                polls: n,
+                at: ctx.now(),
+            });
             if ctx.tracing() {
                 ctx.trace(
                     "engine.batch_poll_failed",
@@ -845,7 +916,10 @@ impl TapEngine {
             // so demote the group to singleton polls for the next cycle.
             // Each member then succeeds/fails (and retries) on its own, and
             // the group re-coalesces once the window passes.
-            self.stats.batch_fallbacks += 1;
+            self.obs(ObsEvent::BatchDegraded {
+                service,
+                at: ctx.now(),
+            });
             self.degraded_until
                 .insert(group, ctx.now() + gap + SimDuration::from_secs(1));
             return;
@@ -862,19 +936,20 @@ impl TapEngine {
         // Canonical all-empty reply, recognized by bytes like the single
         // poll's empty fast path.
         if *resp.body == *wire::EMPTY_BATCH_JSON {
-            self.stats.polls_empty += n;
+            self.obs(ObsEvent::PollEmpty {
+                polls: n,
+                at: ctx.now(),
+            });
             return;
         }
         let Ok(body) = wire::from_bytes::<BatchPollResponseBody>(&resp.body) else {
             // A 200 with an unparseable body: the service is up (no breaker
             // signal) and the events stay buffered server-side, so the next
             // cycle re-fetches them — no retry needed for delivery.
-            self.stats.polls_failed += n;
-            if let Some(o) = &self.observer {
-                for _ in 0..n {
-                    o.poll_failed(ctx.now());
-                }
-            }
+            self.obs(ObsEvent::PollFailed {
+                polls: n,
+                at: ctx.now(),
+            });
             return;
         };
         // Results come back in entry order; demux by position. Entries are
@@ -895,10 +970,10 @@ impl TapEngine {
         self.schedule_poll(ctx, id, gap);
 
         if !resp.is_success() {
-            self.stats.polls_failed += 1;
-            if let Some(o) = &self.observer {
-                o.poll_failed(ctx.now());
-            }
+            self.obs(ObsEvent::PollFailed {
+                polls: 1,
+                at: ctx.now(),
+            });
             if ctx.tracing() {
                 ctx.trace(
                     "engine.poll_failed",
@@ -923,10 +998,10 @@ impl TapEngine {
                 if let Some(task) = self.tasks.get_mut(&id) {
                     task.retries += 1;
                 }
-                self.stats.polls_retried += 1;
-                if let Some(o) = &self.observer {
-                    o.poll_retried(ctx.now());
-                }
+                self.obs(ObsEvent::PollRetried {
+                    applet: id,
+                    at: ctx.now(),
+                });
                 let mut delay = self
                     .config
                     .poll_retry
@@ -952,16 +1027,19 @@ impl TapEngine {
         // Recognize the canonical empty reply by bytes: no parse needed,
         // and nothing below observes anything an empty body would change.
         if *resp.body == *wire::EMPTY_POLL_JSON {
-            self.stats.polls_empty += 1;
+            self.obs(ObsEvent::PollEmpty {
+                polls: 1,
+                at: ctx.now(),
+            });
             return;
         }
         let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
             // 200 with garbage: counted, not retried — the events stay in
             // the service buffer and the next cycle re-fetches them.
-            self.stats.polls_failed += 1;
-            if let Some(o) = &self.observer {
-                o.poll_failed(ctx.now());
-            }
+            self.obs(ObsEvent::PollFailed {
+                polls: 1,
+                at: ctx.now(),
+            });
             return;
         };
         self.ingest_poll_events(ctx, id, body.data);
@@ -971,14 +1049,23 @@ impl TapEngine {
     /// subscription's event list against its seen-set and enqueue a
     /// dispatch per fresh event, oldest first.
     fn ingest_poll_events(&mut self, ctx: &mut Context<'_>, id: AppletId, data: Vec<TriggerEvent>) {
-        self.stats.events_received += data.len() as u64;
+        let received = data.len() as u64;
         if data.is_empty() {
-            self.stats.polls_empty += 1;
+            self.obs(ObsEvent::PollEmpty {
+                polls: 1,
+                at: ctx.now(),
+            });
             return;
         }
-        let Some(task) = self.tasks.get_mut(&id) else {
+        if !self.tasks.contains_key(&id) {
+            self.obs(ObsEvent::PollDiscarded {
+                received,
+                at: ctx.now(),
+            });
             return;
-        };
+        }
+        let sent_at = self.tasks[&id].poll_sent_at;
+        let task = self.tasks.get_mut(&id).expect("checked above");
         // Newest-first on the wire; dispatch oldest-first. Seen event ids
         // are tracked as interned symbols: a repeat (the common case, since
         // polls do not consume the service's buffer) costs one string hash
@@ -990,16 +1077,25 @@ impl TapEngine {
             .collect();
         fresh.reverse();
         if fresh.is_empty() {
-            self.stats.polls_empty += 1;
+            self.obs(ObsEvent::PollDelivered {
+                applet: id,
+                received,
+                fresh: 0,
+                sent_at,
+                at: ctx.now(),
+            });
             return;
         }
         for e in &fresh {
             task.seen.insert(syms.intern(&e.meta.id));
         }
-        self.stats.events_new += fresh.len() as u64;
-        if let Some(o) = &self.observer {
-            o.poll_result(fresh.len() as u64, ctx.now());
-        }
+        self.obs(ObsEvent::PollDelivered {
+            applet: id,
+            received,
+            fresh: fresh.len() as u64,
+            sent_at,
+            at: ctx.now(),
+        });
         if ctx.tracing() {
             ctx.trace(
                 "engine.events_received",
@@ -1023,9 +1119,13 @@ impl TapEngine {
                     attempts: 0,
                 },
             );
-            if let Some(o) = &self.observer {
-                o.dispatch_enqueued(self.dispatches.len(), ctx.now());
-            }
+            self.obs(ObsEvent::DispatchEnqueued {
+                applet: id,
+                dispatch: d,
+                depth: self.dispatches.len() as u64,
+                poll_sent_at: sent_at,
+                at: ctx.now(),
+            });
             ctx.set_timer(at, TK_DISPATCH | d);
             at += SimDuration::from_secs_f64(self.config.inter_action_gap.sample(ctx.rng()));
         }
@@ -1036,9 +1136,9 @@ impl TapEngine {
             return;
         };
         let id = job.applet;
-        let Some(applet) = self.applets.get(&id) else {
+        if !self.applets.contains_key(&id) {
             return;
-        };
+        }
         let Some((owner_sym, action_service_sym)) = self
             .tasks
             .get(&id)
@@ -1052,8 +1152,8 @@ impl TapEngine {
         // lookups before evaluating the condition or dispatching. This
         // happens before the loop detector so the query-driven re-entry
         // into this function does not double-count an execution.
-        if !applet.queries.is_empty() && !self.dispatches[&dispatch].queries_issued {
-            let applet = applet.clone();
+        if !self.applets[&id].queries.is_empty() && !self.dispatches[&dispatch].queries_issued {
+            let applet = self.applets[&id].clone();
             self.issue_queries(ctx, dispatch, &applet);
             return;
         }
@@ -1064,35 +1164,36 @@ impl TapEngine {
         // same dispatch count as one execution, not several.
         let first_attempt = self.dispatches[&dispatch].attempts == 0;
         if first_attempt {
-            if let Some(det) = &mut self.runtime_detector {
-                let now = ctx.now();
-                if det.record(id, now) == RuntimeVerdict::LoopSuspected {
-                    self.stats.loops_flagged += 1;
-                    if ctx.tracing() {
-                        ctx.trace("engine.loop_flagged", format!("{id:?}"));
+            let suspected = match &mut self.runtime_detector {
+                Some(det) => det.record(id, ctx.now()) == RuntimeVerdict::LoopSuspected,
+                None => false,
+            };
+            if suspected {
+                self.obs(ObsEvent::LoopFlagged {
+                    applet: id,
+                    at: ctx.now(),
+                });
+                ctx.trace("engine.loop_flagged", TraceDetail::Applet(id.0));
+                if self
+                    .config
+                    .runtime_loop
+                    .as_ref()
+                    .is_some_and(|c| c.auto_disable)
+                {
+                    if let Some(task) = self.tasks.get_mut(&id) {
+                        task.enabled = false;
                     }
-                    if self
-                        .config
-                        .runtime_loop
-                        .as_ref()
-                        .is_some_and(|c| c.auto_disable)
-                    {
-                        if let Some(task) = self.tasks.get_mut(&id) {
-                            task.enabled = false;
-                        }
-                        ctx.trace("engine.applet_disabled", format!("{id:?} (loop)"));
-                        self.dispatches.remove(&dispatch);
-                        return;
-                    }
+                    ctx.trace("engine.applet_disabled", format!("{id:?} (loop)"));
+                    self.dispatches.remove(&dispatch);
+                    return;
                 }
             }
         }
-        let Some(reg) = self.services.get(&action_service_sym) else {
+        if !self.services.contains_key(&action_service_sym)
+            || !self.tokens.contains_key(&(owner_sym, action_service_sym))
+        {
             return;
-        };
-        let Some(bearer) = self.tokens.get(&(owner_sym, action_service_sym)) else {
-            return;
-        };
+        }
         // Merge query results into the visible ingredient set.
         let merged = {
             let job = self.dispatches.get(&dispatch).expect("job exists");
@@ -1101,16 +1202,21 @@ impl TapEngine {
             m
         };
         // Conditions: evaluate against the merged ingredients.
-        if !applet.condition.eval(&merged) {
-            self.stats.actions_filtered += 1;
-            if ctx.tracing() {
-                ctx.trace("engine.action_filtered", format!("{id:?}"));
-            }
+        if !self.applets[&id].condition.eval(&merged) {
+            self.obs(ObsEvent::ActionFiltered {
+                applet: id,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace("engine.action_filtered", TraceDetail::Applet(id.0));
             self.dispatches.remove(&dispatch);
             return;
         }
+        let applet = &self.applets[&id];
         let job = self.dispatches.get(&dispatch).expect("job exists");
         let task = self.tasks.get(&id);
+        let reg = &self.services[&action_service_sym];
+        let bearer = &self.tokens[&(owner_sym, action_service_sym)];
         // The cached body is only present when the action has no fields to
         // substitute, in which case serializing per dispatch would produce
         // these exact bytes anyway.
@@ -1129,7 +1235,6 @@ impl TapEngine {
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
             .with_header(AUTHORIZATION_HEADER, bearer.clone())
             .with_body(body);
-        self.stats.actions_sent += 1;
         if ctx.tracing() {
             ctx.trace(
                 "engine.action_sent",
@@ -1139,8 +1244,18 @@ impl TapEngine {
                 ),
             );
         }
-        self.dispatches.get_mut(&dispatch).expect("exists").attempts += 1;
         let node = reg.node;
+        let attempt = {
+            let job = self.dispatches.get_mut(&dispatch).expect("exists");
+            job.attempts += 1;
+            job.attempts
+        };
+        self.obs(ObsEvent::ActionSent {
+            applet: id,
+            dispatch,
+            attempt,
+            at: ctx.now(),
+        });
         ctx.send_request(
             node,
             req,
@@ -1180,9 +1295,13 @@ impl TapEngine {
                 .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
                 .with_header(AUTHORIZATION_HEADER, token.clone())
                 .with_body(wire::to_bytes(&body));
-            self.stats.queries_sent += 1;
-            ctx.trace("engine.query_sent", format!("{:?} {}", applet.id, q.query));
             let node = reg.node;
+            self.obs(ObsEvent::QuerySent {
+                applet: applet.id,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace("engine.query_sent", format!("{:?} {}", applet.id, q.query));
             let timeout = self.config.request_timeout;
             ctx.send_request(
                 node,
@@ -1227,7 +1346,10 @@ impl TapEngine {
                 }
             }
         } else {
-            self.stats.queries_failed += 1;
+            self.obs(ObsEvent::QueryFailed {
+                dispatch,
+                at: ctx.now(),
+            });
             ctx.trace(
                 "engine.query_failed",
                 format!("dispatch {dispatch} q{qidx}"),
@@ -1241,7 +1363,7 @@ impl TapEngine {
     }
 
     fn on_realtime_notification(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
-        self.stats.hints_received += 1;
+        self.obs(ObsEvent::HintReceived { at: ctx.now() });
         let Some(slug) = req
             .header(SERVICE_KEY_HEADER)
             .and_then(|k| self.service_by_key.get(k))
@@ -1256,11 +1378,11 @@ impl TapEngine {
             // Accepted, acknowledged … and ignored. §4: "the IFTTT engine
             // has full control over trigger event queries and very likely
             // ignores real-time API's hints."
-            self.stats.hints_ignored += 1;
+            self.obs(ObsEvent::HintIgnored { at: ctx.now() });
             ctx.trace("engine.hint_ignored", slug.0.clone());
             return HandlerResult::Reply(Response::ok());
         }
-        self.stats.hints_honored += 1;
+        self.obs(ObsEvent::HintHonored { at: ctx.now() });
         for item in body.data {
             let ids = self
                 .syms
@@ -1347,13 +1469,13 @@ impl Node for TapEngine {
                 let applet = job.applet;
                 let attempts = job.attempts;
                 if resp.is_success() {
-                    self.stats.actions_ok += 1;
-                    if let Some(o) = &self.observer {
-                        o.action_finished(true, ctx.now());
-                    }
-                    if ctx.tracing() {
-                        ctx.trace("engine.action_ok", format!("{applet:?}"));
-                    }
+                    self.obs(ObsEvent::ActionFinished {
+                        applet,
+                        dispatch,
+                        ok: true,
+                        at: ctx.now(),
+                    });
+                    ctx.trace("engine.action_ok", TraceDetail::Applet(applet.0));
                     self.dispatches.remove(&dispatch);
                     if self.config.breaker.is_some() {
                         if let Some(s) = self.tasks.get(&applet).map(|t| t.action_service) {
@@ -1370,10 +1492,11 @@ impl Node for TapEngine {
                 }
                 if self.config.action_retry.should_retry(attempts, class) {
                     // Retry after a backoff; the dispatch entry stays.
-                    self.stats.actions_retried += 1;
-                    if let Some(o) = &self.observer {
-                        o.action_retried(ctx.now());
-                    }
+                    self.obs(ObsEvent::ActionRetried {
+                        applet,
+                        dispatch,
+                        at: ctx.now(),
+                    });
                     let mut backoff = self
                         .config
                         .action_retry
@@ -1390,12 +1513,17 @@ impl Node for TapEngine {
                 } else {
                     // Dead letter: retries exhausted, or a terminal 4xx
                     // that no retry budget can cure.
-                    self.stats.actions_failed += 1;
-                    self.stats.dead_letters += 1;
-                    if let Some(o) = &self.observer {
-                        o.action_finished(false, ctx.now());
-                        o.action_dead_lettered(ctx.now());
-                    }
+                    self.obs(ObsEvent::ActionFinished {
+                        applet,
+                        dispatch,
+                        ok: false,
+                        at: ctx.now(),
+                    });
+                    self.obs(ObsEvent::ActionDeadLettered {
+                        applet,
+                        dispatch,
+                        at: ctx.now(),
+                    });
                     if ctx.tracing() {
                         ctx.trace(
                             "engine.action_failed",

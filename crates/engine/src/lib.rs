@@ -22,7 +22,7 @@ pub mod applet;
 pub mod conditions;
 pub mod engine;
 pub mod loopdetect;
-pub mod observer;
+pub mod obs;
 pub mod permissions;
 pub mod polling;
 pub mod resilience;
@@ -33,7 +33,7 @@ pub use engine::{
     EngineConfig, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration, TapEngine,
 };
 pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
-pub use observer::EngineObserver;
+pub use obs::{FlightRecorder, ObsEvent, ObsSink, Stat};
 pub use permissions::{AuditEntry, Capability, Granularity, PermissionManager};
 pub use polling::PollPolicy;
 pub use resilience::{BackoffPolicy, BreakerPolicy, BreakerState, CircuitBreaker, RetryPolicy};

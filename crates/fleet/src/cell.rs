@@ -12,6 +12,7 @@
 //! instruments merge exactly — so it does not matter which shard (or how
 //! many shards) ran the cell.
 
+use crate::attribution::{AttributionRecorder, CellSink};
 use crate::metrics::FleetMetrics;
 use crate::runner::{ChaosProfile, FleetConfig};
 use crate::shard::CellSpec;
@@ -51,10 +52,10 @@ const ACTIVATION_STREAM: u64 = 1;
 /// distinguishable in T2A bookkeeping.
 pub(crate) struct FleetService {
     core: ServiceCore,
-    /// FIFO of emit times per `(user, slot)` awaiting their action.
-    /// Users are interned so the key is two machine words, not a `String`
-    /// clone per activation.
-    pending: HashMap<(Symbol, usize), VecDeque<SimTime>>,
+    /// FIFO of `(emit time, applet)` per `(user, slot)` awaiting their
+    /// action. Users are interned so the key is two machine words, not a
+    /// `String` clone per activation.
+    pending: HashMap<(Symbol, usize), VecDeque<(SimTime, u32)>>,
     /// Cell-local user symbol table backing `pending` keys.
     users: Interner,
     /// `fired_k` slugs, pre-built once per cell instead of per emit.
@@ -62,10 +63,12 @@ pub(crate) struct FleetService {
     /// The constant `action_ok("ok")` reply body, serialized once.
     action_ok_body: Bytes,
     metrics: Arc<FleetMetrics>,
+    /// Stage recorder fed at arrival time, when attribution is on.
+    attribution: Option<Arc<AttributionRecorder>>,
 }
 
 impl FleetService {
-    fn new(metrics: Arc<FleetMetrics>) -> Self {
+    fn new(metrics: Arc<FleetMetrics>, attribution: Option<Arc<AttributionRecorder>>) -> Self {
         let mut ep = ServiceEndpoint::new(
             ServiceSlug::new(SERVICE_SLUG),
             ServiceKey(SERVICE_KEY.into()),
@@ -87,11 +90,15 @@ impl FleetService {
             trigger_slugs,
             action_ok_body: wire::to_bytes(&ActionResponseBody::single("ok")),
             metrics,
+            attribution,
         }
     }
 
     /// Fire the trigger of `user`'s slot `k` and remember when, for T2A.
-    fn emit(&mut self, ctx: &mut Context<'_>, user: &UserId, slot: usize) {
+    /// `applet` is the engine-side id of the subscription this slot maps
+    /// to, carried along so the attribution recorder can pair the arrival
+    /// with the engine's dispatch span.
+    fn emit(&mut self, ctx: &mut Context<'_>, user: &UserId, slot: usize, applet: u32) {
         let id = self.core.next_event_id();
         let ev = TriggerEvent::new(id, ctx.now().as_secs_f64() as u64);
         let matched = self
@@ -103,7 +110,7 @@ impl FleetService {
             self.pending
                 .entry((user, slot))
                 .or_default()
-                .push_back(ctx.now());
+                .push_back((ctx.now(), applet));
         } else {
             // The engine's initial poll has not established the
             // subscription yet; the event is unobservable, like a trigger
@@ -133,10 +140,13 @@ impl Node for FleetService {
                 // A user with no pending emit was never interned; skip.
                 if let (Some(slot), Some(user)) = (slot, self.users.get(user.as_str())) {
                     if let Some(q) = self.pending.get_mut(&(user, slot)) {
-                        if let Some(t_emit) = q.pop_front() {
+                        if let Some((t_emit, applet)) = q.pop_front() {
                             self.metrics
                                 .t2a_micros
                                 .record(ctx.now().since(t_emit).as_micros());
+                            if let Some(rec) = &self.attribution {
+                                rec.on_arrival(applet, t_emit, ctx.now());
+                            }
                         }
                     }
                 }
@@ -168,12 +178,25 @@ pub fn run_cell(
     // call into a branch instead of a `format!` (no RNG or event-order
     // effect, so digests are unchanged).
     sim.trace_mut().set_enabled(false);
+    // Attribution is opt-in per run: the default sink is the counting-only
+    // FleetMetrics (digest-neutral); with attribution on, the engine's
+    // events additionally feed a per-cell span recorder. The recorder is
+    // per-cell because engine applet ids are cell-local.
+    let recorder = cfg
+        .attribution
+        .then(|| Arc::new(AttributionRecorder::new(metrics.clone())));
     let engine = sim.add_node("engine", {
         let mut e = TapEngine::new(cfg.engine_config());
-        e.set_observer(metrics.clone());
+        match &recorder {
+            Some(rec) => e.set_sink(Arc::new(CellSink::new(metrics.clone(), rec.clone()))),
+            None => e.set_sink(metrics.clone()),
+        }
         e
     });
-    let svc = sim.add_node(SERVICE_SLUG, FleetService::new(metrics.clone()));
+    let svc = sim.add_node(
+        SERVICE_SLUG,
+        FleetService::new(metrics.clone(), recorder.clone()),
+    );
     let link = sim.link(engine, svc, LinkSpec::datacenter());
     if cfg.chaos.enabled() {
         apply_chaos(&mut sim, cfg, link, svc);
@@ -234,22 +257,26 @@ pub fn run_cell(
     // comes from a dedicated RNG stream so it is independent of how the
     // simulation itself consumes randomness.
     let mut act_rng = StdRng::seed_from_u64(derive_seed(cell_seed, ACTIVATION_STREAM));
-    let mut plan: Vec<(u64, u64, usize)> = Vec::new();
-    for profile in &profiles {
+    // Entries carry the engine-side applet id of the (user, slot) pair for
+    // attribution pairing. It is a pure function of the first three sort
+    // keys, so carrying it does not reorder the plan (or any RNG draw).
+    let mut plan: Vec<(u64, u64, usize, u32)> = Vec::new();
+    for (local, profile) in profiles.iter().enumerate() {
         for k in 0..profile.installs.len() {
             let at_secs = cfg.settle_secs + act_rng.gen_range(0.0..cfg.window_secs);
             plan.push((
                 SimDuration::from_secs_f64(at_secs).as_micros(),
                 profile.user,
                 k,
+                (local * MAX_INSTALLS_PER_USER + k + 1) as u32,
             ));
         }
     }
     plan.sort_unstable();
-    for (at_micros, user, slot) in plan {
+    for (at_micros, user, slot, applet) in plan {
         sim.run_until(SimTime::from_micros(at_micros));
         let user = &user_ids[&user];
-        sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot));
+        sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot, applet));
     }
 
     // Drain: long enough for the poll policy to visit every subscription

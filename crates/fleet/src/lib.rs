@@ -30,13 +30,15 @@
 //! println!("{}", report.render()); // T2A quartiles vs the paper's 58/84/122 s
 //! ```
 
+pub mod attribution;
 pub mod cell;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod shard;
 
-pub use metrics::{Counter, FleetMetrics, Histogram, HistogramSnapshot};
+pub use attribution::{AttributionRecorder, CellSink};
+pub use metrics::{AttributionStages, Counter, FleetMetrics, Histogram, HistogramSnapshot};
 pub use report::{FleetReport, ShardSummary, PAPER_T2A_QUARTILES_SECS};
 pub use runner::{
     run_fleet, run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy, Progress,

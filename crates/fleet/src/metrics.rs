@@ -310,12 +310,74 @@ pub struct HistogramSnapshot {
     pub buckets: Vec<(u32, u64)>,
 }
 
+/// Per-stage decomposition of trigger-to-action latency, one histogram per
+/// stage (integer µs). All six histograms are recorded from the **same
+/// clamped timestamp chain**, so for every delivered activation the five
+/// stage durations sum *exactly* to the `total` sample — the conservation
+/// property `fleet/tests/attribution.rs` pins — and `total` is
+/// sample-for-sample identical to `t2a_micros`.
+///
+/// Empty (nothing recorded, `unmatched` zero) unless a run opts in via
+/// `FleetConfig::attribution`; the serialized form omits an empty value so
+/// attribution-off runs keep their pinned golden digests.
+#[derive(Debug, Default, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttributionStages {
+    /// Trigger fire → the poll request that surfaced it leaving the
+    /// engine: the polling-cadence wait, the paper's dominant T2A term.
+    pub cadence_wait: Histogram,
+    /// Poll request out → response ingested (one service round trip).
+    pub poll_rtt: Histogram,
+    /// Poll ingested → first action attempt out: dispatch overhead plus
+    /// the inter-action gap of earlier events in the batch.
+    pub dispatch_lag: Histogram,
+    /// First action attempt → last attempt out: zero without retries, the
+    /// backoff/breaker penalty under faults.
+    pub retry_penalty: Histogram,
+    /// Last action attempt out → arrival at the action service.
+    pub action_rtt: Histogram,
+    /// End-to-end trigger-to-action latency (equals `t2a_micros`).
+    pub total: Histogram,
+    /// Deliveries the recorder could not match to a dispatch span (their
+    /// stage split is recorded as all-`total`; zero in clean runs).
+    pub unmatched: Counter,
+}
+
+impl AttributionStages {
+    /// Fold `other` into `self` (exact, like every fleet instrument).
+    pub fn merge_from(&self, other: &AttributionStages) {
+        self.cadence_wait.merge_from(&other.cadence_wait);
+        self.poll_rtt.merge_from(&other.poll_rtt);
+        self.dispatch_lag.merge_from(&other.dispatch_lag);
+        self.retry_penalty.merge_from(&other.retry_penalty);
+        self.action_rtt.merge_from(&other.action_rtt);
+        self.total.merge_from(&other.total);
+        self.unmatched.merge_from(&other.unmatched);
+    }
+
+    /// True when nothing was recorded (attribution was off).
+    pub fn is_empty(&self) -> bool {
+        self.total.count() == 0 && self.unmatched.get() == 0
+    }
+
+    /// The five stages in report order, with display labels.
+    pub fn stages(&self) -> [(&'static str, &Histogram); 5] {
+        [
+            ("cadence wait", &self.cadence_wait),
+            ("poll rtt", &self.poll_rtt),
+            ("dispatch lag", &self.dispatch_lag),
+            ("retry penalty", &self.retry_penalty),
+            ("action rtt", &self.action_rtt),
+        ]
+    }
+}
+
 /// The full instrument set one fleet run records.
 ///
 /// One `FleetMetrics` is shared (via `Arc`) by every engine and workload
 /// service of a shard; shards then merge into a single instance. It also
-/// implements [`engine::EngineObserver`], so the engine's poll scheduler
-/// and dispatcher feed it directly.
+/// implements [`engine::ObsSink`], routing the engine's typed event
+/// stream into these counters through the same [`engine::Stat`] mapping
+/// `EngineStats` itself uses — the two can never drift apart.
 /// Resilience counters (`polls_failed` and friends) are only present in
 /// the serialized form when nonzero: a chaos-free run produces the exact
 /// byte string it did before the resilience layer existed, so the pinned
@@ -375,6 +437,9 @@ pub struct FleetMetrics {
     /// Requests the workload services answered with an injected fault.
     #[serde(default)]
     pub faults_injected: Counter,
+    /// Per-stage T2A latency attribution (empty unless a run opts in).
+    #[serde(default)]
+    pub attribution: AttributionStages,
 }
 
 impl FleetMetrics {
@@ -408,6 +473,7 @@ impl FleetMetrics {
         self.actions_retried.merge_from(&other.actions_retried);
         self.dead_letters.merge_from(&other.dead_letters);
         self.faults_injected.merge_from(&other.faults_injected);
+        self.attribution.merge_from(&other.attribution);
     }
 
     /// Canonical JSON of the full instrument state — the byte string the
@@ -452,58 +518,59 @@ impl Serialize for FleetMetrics {
         put_nonzero("actions_retried", &self.actions_retried);
         put_nonzero("dead_letters", &self.dead_letters);
         put_nonzero("faults_injected", &self.faults_injected);
+        // Attribution, like the resilience counters, appears only when a
+        // run actually recorded it — attribution-off digests are unmoved.
+        if !self.attribution.is_empty() {
+            m.insert("attribution".to_string(), self.attribution.to_value());
+        }
         Value::Object(m)
     }
 }
 
-impl engine::EngineObserver for FleetMetrics {
-    fn poll_sent(&self, _now: simnet::time::SimTime) {
-        self.polls_sent.incr();
-    }
-
-    fn poll_result(&self, new_events: u64, _now: simnet::time::SimTime) {
-        self.events_new.add(new_events);
-    }
-
-    fn poll_batched(&self, members: u64, _now: simnet::time::SimTime) {
-        self.polls_batched.incr();
-        self.polls_coalesced.add(members.saturating_sub(1));
-    }
-
-    fn dispatch_enqueued(&self, queue_depth: usize, _now: simnet::time::SimTime) {
-        self.dispatch_depth.record(queue_depth as u64);
-    }
-
-    fn action_finished(&self, ok: bool, _now: simnet::time::SimTime) {
-        if ok {
-            self.actions_ok.incr();
-        } else {
-            self.actions_failed.incr();
+impl FleetMetrics {
+    /// The fleet counter a [`engine::Stat`] routes to, if the fleet tracks
+    /// it. `None` for engine-local bookkeeping (empty polls, hints, …)
+    /// that the fleet report never surfaced.
+    fn counter_for(&self, stat: engine::Stat) -> Option<&Counter> {
+        use engine::Stat;
+        match stat {
+            Stat::PollsSent => Some(&self.polls_sent),
+            Stat::PollsBatched => Some(&self.polls_batched),
+            Stat::PollsCoalesced => Some(&self.polls_coalesced),
+            Stat::EventsNew => Some(&self.events_new),
+            Stat::ActionsOk => Some(&self.actions_ok),
+            Stat::ActionsFailed => Some(&self.actions_failed),
+            Stat::PollsFailed => Some(&self.polls_failed),
+            Stat::PollsRetried => Some(&self.polls_retried),
+            Stat::PollsShed => Some(&self.polls_shed),
+            Stat::BreakerTrips => Some(&self.breaker_trips),
+            Stat::ActionsRetried => Some(&self.actions_retried),
+            Stat::DeadLetters => Some(&self.dead_letters),
+            Stat::PollsEmpty
+            | Stat::EventsReceived
+            | Stat::ActionsSent
+            | Stat::HintsReceived
+            | Stat::HintsHonored
+            | Stat::HintsIgnored
+            | Stat::LoopsFlagged
+            | Stat::ActionsFiltered
+            | Stat::QueriesSent
+            | Stat::QueriesFailed
+            | Stat::BatchFallbacks => None,
         }
     }
+}
 
-    fn poll_failed(&self, _now: simnet::time::SimTime) {
-        self.polls_failed.incr();
-    }
-
-    fn poll_retried(&self, _now: simnet::time::SimTime) {
-        self.polls_retried.incr();
-    }
-
-    fn poll_shed(&self, _now: simnet::time::SimTime) {
-        self.polls_shed.incr();
-    }
-
-    fn breaker_tripped(&self, _now: simnet::time::SimTime) {
-        self.breaker_trips.incr();
-    }
-
-    fn action_retried(&self, _now: simnet::time::SimTime) {
-        self.actions_retried.incr();
-    }
-
-    fn action_dead_lettered(&self, _now: simnet::time::SimTime) {
-        self.dead_letters.incr();
+impl engine::ObsSink for FleetMetrics {
+    fn on_event(&self, ev: &engine::ObsEvent) {
+        if let engine::ObsEvent::DispatchEnqueued { depth, .. } = ev {
+            self.dispatch_depth.record(*depth);
+        }
+        ev.for_each_stat(|stat, n| {
+            if let Some(c) = self.counter_for(stat) {
+                c.add(n);
+            }
+        });
     }
 }
 
@@ -563,23 +630,77 @@ mod tests {
     }
 
     #[test]
-    fn observer_hooks_feed_the_right_instruments() {
-        use engine::EngineObserver;
+    fn sink_events_feed_the_right_instruments() {
+        use engine::{AppletId, ObsEvent, ObsSink};
         let m = FleetMetrics::new();
         let t = simnet::time::SimTime::ZERO;
-        m.poll_sent(t);
-        m.poll_result(3, t);
-        m.poll_batched(4, t);
-        m.dispatch_enqueued(7, t);
-        m.action_finished(true, t);
-        m.action_finished(false, t);
-        assert_eq!(m.polls_sent.get(), 1);
+        let a = AppletId(1);
+        let svc = tap_protocol::Interner::new().intern("svc");
+        m.on_event(&ObsEvent::PollSent {
+            applet: a,
+            service: svc,
+            at: t,
+        });
+        m.on_event(&ObsEvent::BatchPollSent {
+            service: svc,
+            members: 4,
+            at: t,
+        });
+        m.on_event(&ObsEvent::PollDelivered {
+            applet: a,
+            received: 5,
+            fresh: 3,
+            sent_at: t,
+            at: t,
+        });
+        m.on_event(&ObsEvent::DispatchEnqueued {
+            applet: a,
+            dispatch: 1,
+            depth: 7,
+            poll_sent_at: t,
+            at: t,
+        });
+        m.on_event(&ObsEvent::ActionFinished {
+            applet: a,
+            dispatch: 1,
+            ok: true,
+            at: t,
+        });
+        m.on_event(&ObsEvent::ActionFinished {
+            applet: a,
+            dispatch: 2,
+            ok: false,
+            at: t,
+        });
+        assert_eq!(m.polls_sent.get(), 5, "1 single + 4 batch members");
         assert_eq!(m.polls_batched.get(), 1);
         assert_eq!(m.polls_coalesced.get(), 3);
         assert_eq!(m.events_new.get(), 3);
         assert_eq!(m.dispatch_depth.max(), 7);
         assert_eq!(m.actions_ok.get(), 1);
         assert_eq!(m.actions_failed.get(), 1);
+    }
+
+    #[test]
+    fn attribution_merge_and_conditional_serialization() {
+        let a = FleetMetrics::new();
+        let b = FleetMetrics::new();
+        assert!(
+            !a.to_json().contains("attribution"),
+            "empty attribution must not perturb the serialized form"
+        );
+        b.attribution.cadence_wait.record(88_000_000);
+        b.attribution.total.record(92_000_000);
+        a.merge_from(&b);
+        assert_eq!(a.attribution.total.count(), 1);
+        assert_eq!(
+            a.attribution.cadence_wait.max(),
+            b.attribution.cadence_wait.max()
+        );
+        let json = a.to_json();
+        assert!(json.contains("attribution"));
+        let back: FleetMetrics = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.attribution, a.attribution);
     }
 
     fn hist_of(values: &[u64]) -> Histogram {

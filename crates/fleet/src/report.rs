@@ -144,6 +144,28 @@ impl FleetReport {
             m.dispatch_depth.quantile(0.5),
             m.dispatch_depth.quantile(0.99)
         ));
+        // Per-stage T2A attribution appears only when the run recorded it
+        // (`--attribution`); counting-only runs render unchanged.
+        if m.attribution.total.count() > 0 {
+            let a = &m.attribution;
+            let total_sum = a.total.sum().max(1) as f64;
+            out.push_str(&format!("  T2A attribution (n={}):\n", a.total.count()));
+            out.push_str("    stage            p25/p50/p75 s   share\n");
+            for (name, h) in a.stages() {
+                let q = |p| h.quantile(p) as f64 / 1e6;
+                out.push_str(&format!(
+                    "    {:<16} {:>5.1}/{:>5.1}/{:>5.1}  {:>5.1}%\n",
+                    name,
+                    q(0.25),
+                    q(0.5),
+                    q(0.75),
+                    100.0 * h.sum() as f64 / total_sum
+                ));
+            }
+            if a.unmatched.get() > 0 {
+                out.push_str(&format!("    unmatched arrivals {}\n", a.unmatched.get()));
+            }
+        }
         out.push_str(&format!(
             "  {} sim events in {:.1} s wall ({:.0} events/s)  digest {}\n",
             m.sim_events.get(),
@@ -222,6 +244,21 @@ mod tests {
         assert!(text.contains("10 users"));
         assert!(text.contains("paper"));
         assert!(text.contains(&r.digest()));
+    }
+
+    #[test]
+    fn attribution_table_renders_only_when_recorded() {
+        let m = FleetMetrics::default();
+        m.t2a_micros.record(84_000_000);
+        let plain = report_with(m.clone()).render();
+        assert!(!plain.contains("attribution"), "off by default:\n{plain}");
+        m.attribution.cadence_wait.record(50_000_000);
+        m.attribution.action_rtt.record(34_000_000);
+        m.attribution.total.record(84_000_000);
+        let text = report_with(m).render();
+        assert!(text.contains("T2A attribution (n=1)"), "{text}");
+        assert!(text.contains("cadence wait"), "{text}");
+        assert!(text.contains("action rtt"), "{text}");
     }
 
     #[test]

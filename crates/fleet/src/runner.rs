@@ -158,6 +158,10 @@ pub struct FleetConfig {
     pub batch_polling: bool,
     /// Fault-injection profile (`Off` by default; `--chaos` turns it on).
     pub chaos: ChaosProfile,
+    /// Record per-stage T2A latency attribution (off by default — the
+    /// counting-only sink keeps golden digests byte-identical;
+    /// `--attribution` turns it on).
+    pub attribution: bool,
 }
 
 impl FleetConfig {
@@ -181,7 +185,46 @@ impl FleetConfig {
             hot_threshold: None,
             batch_polling: true,
             chaos: ChaosProfile::default(),
+            attribution: false,
         }
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.master_seed = seed;
+        self
+    }
+
+    /// Set the users-per-cell work unit.
+    pub fn with_cell_users(mut self, cell_users: u64) -> Self {
+        self.cell_users = cell_users;
+        self
+    }
+
+    /// Set the settle / activation-window / drain phases (seconds).
+    pub fn with_phases(mut self, settle: f64, window: f64, drain: f64) -> Self {
+        self.settle_secs = settle;
+        self.window_secs = window;
+        self.drain_secs = drain;
+        self
+    }
+
+    /// Turn batch polling on or off.
+    pub fn with_batch_polling(mut self, on: bool) -> Self {
+        self.batch_polling = on;
+        self
+    }
+
+    /// Select a fault-injection profile.
+    pub fn with_chaos(mut self, chaos: ChaosProfile) -> Self {
+        self.chaos = chaos;
+        self
+    }
+
+    /// Turn per-stage T2A attribution on or off.
+    pub fn with_attribution(mut self, on: bool) -> Self {
+        self.attribution = on;
+        self
     }
 
     /// The engine configuration every cell runs.

@@ -1,0 +1,167 @@
+//! Conservation and invariance of per-stage T2A attribution.
+//!
+//! The attribution recorder decomposes every delivered activation into
+//! five stages (cadence wait, poll rtt, dispatch lag, retry penalty,
+//! action rtt). Three things must hold for the decomposition to be
+//! trustworthy:
+//!
+//! 1. **Conservation** — the per-sample stage durations sum exactly to
+//!    the measured trigger-to-action latency, so the `total` histogram is
+//!    bucket-for-bucket identical to `t2a_micros`.
+//! 2. **Shard invariance** — stage histograms merge like every other
+//!    fleet instrument: the same digest at 1, 2, and 8 shards.
+//! 3. **Observer neutrality** — switching attribution on must not perturb
+//!    the simulation itself: every pre-existing metric stays byte-equal
+//!    to the counting-only run.
+
+use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy, FleetReport};
+use proptest::prelude::*;
+
+fn cfg(shards: usize) -> FleetConfig {
+    FleetConfig::new(200, shards, FleetPolicy::Fast)
+        .with_seed(2017)
+        .with_cell_users(50)
+        .with_phases(10.0, 60.0, 30.0)
+        .with_attribution(true)
+}
+
+fn assert_conservation(report: &FleetReport) {
+    let a = &report.merged.attribution;
+    assert!(a.total.count() > 0, "attribution recorded samples");
+    // Totals are sample-for-sample the T2A measurement: identical
+    // bucket contents, not just close quantiles.
+    assert_eq!(
+        a.total.snapshot(),
+        report.merged.t2a_micros.snapshot(),
+        "attribution total drifted from t2a_micros"
+    );
+    // And the stage sums conserve: summed microseconds match exactly.
+    let stage_sum: u64 = a.stages().iter().map(|(_, h)| h.sum()).sum();
+    assert_eq!(stage_sum, a.total.sum(), "stage sums leak time");
+    for (name, h) in a.stages() {
+        assert_eq!(h.count(), a.total.count(), "{name} missed samples");
+    }
+}
+
+#[test]
+fn stage_totals_conserve_the_t2a_measurement() {
+    let report = run_fleet(&cfg(2));
+    assert_conservation(&report);
+    assert_eq!(report.merged.attribution.unmatched.get(), 0, "clean run");
+}
+
+#[test]
+fn conservation_survives_chaos() {
+    let mut c = cfg(2).with_chaos(ChaosProfile::Mild);
+    c.drain_secs = 120.0;
+    let report = run_fleet(&c);
+    assert!(report.merged.faults_injected.get() > 0, "chaos ran");
+    assert_conservation(&report);
+    // Retries actually happened, so the retry stage is non-trivial.
+    assert!(report.merged.actions_retried.get() > 0 || report.merged.polls_retried.get() > 0);
+}
+
+#[test]
+fn attribution_histograms_merge_shard_invariantly() {
+    let baseline = run_fleet(&cfg(1));
+    assert!(baseline.merged.attribution.total.count() > 0);
+    for shards in [2usize, 8] {
+        let sharded = run_fleet(&cfg(shards));
+        assert_eq!(
+            baseline.merged_json(),
+            sharded.merged_json(),
+            "attribution-on merge differs at {shards} shards"
+        );
+        assert_eq!(baseline.digest(), sharded.digest());
+    }
+}
+
+#[test]
+fn recording_attribution_does_not_perturb_the_run() {
+    let off = run_fleet(&cfg(2).with_attribution(false));
+    let on = run_fleet(&cfg(2));
+    // Everything the counting-only run reports is byte-equal; the
+    // attribution-on JSON differs only by the added attribution block.
+    assert!(off.merged.attribution.is_empty());
+    assert_eq!(
+        on.merged.t2a_micros.snapshot(),
+        off.merged.t2a_micros.snapshot()
+    );
+    assert_eq!(on.merged.polls_sent.get(), off.merged.polls_sent.get());
+    assert_eq!(on.merged.actions_ok.get(), off.merged.actions_ok.get());
+    assert_eq!(on.merged.activations.get(), off.merged.activations.get());
+    let mut neutral = on.merged.clone();
+    neutral.attribution = Default::default();
+    assert_eq!(
+        neutral.to_json(),
+        off.merged.to_json(),
+        "attribution changed something besides its own block"
+    );
+}
+
+// The conservation invariant is structural, not a property of nice
+// inputs: whatever order the engine-side stamps arrive in (chaos can
+// reorder, duplicate, or drop them), the clamped telescoping chain
+// must split the measured total without losing a microsecond.
+proptest! {
+    #[test]
+    fn stage_durations_always_sum_to_the_total(
+        t_emit in 0u64..400_000_000,
+        stale_poll in any::<bool>(),
+        poll_sent_delta in 0u64..200_000_000,
+        ingest_delta in 0u64..200_000_000,
+        send_delta in 0u64..50_000_000,
+        retry_delta in 0u64..100_000_000,
+        arrival_delta in 0u64..10_000_000,
+        applet in 1u32..5,
+    ) {
+        use engine::{AppletId, ObsEvent};
+        use fleet::{AttributionRecorder, FleetMetrics};
+        use simnet::time::SimTime;
+        use std::sync::Arc;
+
+        let t = SimTime::from_micros;
+        let metrics = Arc::new(FleetMetrics::new());
+        let rec = AttributionRecorder::new(metrics.clone());
+        // poll_sent may predate the emit (a stale poll already in flight)
+        // or follow it; either way the clamp keeps stages non-negative.
+        let poll_sent = if stale_poll {
+            t_emit.saturating_sub(poll_sent_delta)
+        } else {
+            t_emit + poll_sent_delta
+        };
+        let ingest = poll_sent + ingest_delta;
+        let first_send = ingest + send_delta;
+        let last_send = first_send + retry_delta;
+        let arrival = last_send + arrival_delta;
+        rec.on_engine_event(&ObsEvent::DispatchEnqueued {
+            applet: AppletId(applet),
+            dispatch: 1,
+            depth: 1,
+            poll_sent_at: t(poll_sent),
+            at: t(ingest),
+        });
+        rec.on_engine_event(&ObsEvent::ActionSent {
+            applet: AppletId(applet),
+            dispatch: 1,
+            attempt: 1,
+            at: t(first_send),
+        });
+        if retry_delta > 0 {
+            rec.on_engine_event(&ObsEvent::ActionSent {
+                applet: AppletId(applet),
+                dispatch: 1,
+                attempt: 2,
+                at: t(last_send),
+            });
+        }
+        rec.on_arrival(applet, t(t_emit), t(arrival));
+
+        let a = &metrics.attribution;
+        prop_assert_eq!(a.total.count(), 1);
+        let stage_sum: u64 = a.stages().iter().map(|(_, h)| h.sum()).sum();
+        prop_assert_eq!(stage_sum, a.total.sum());
+        prop_assert_eq!(a.total.sum(), arrival.saturating_sub(t_emit));
+        prop_assert_eq!(rec.open_spans(), 0);
+    }
+}

@@ -12,21 +12,16 @@
 use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
 
 fn cfg(shards: usize, seed: u64) -> FleetConfig {
-    let mut cfg = FleetConfig::new(200, shards, FleetPolicy::Fast);
-    cfg.master_seed = seed;
-    cfg.cell_users = 50; // 4 cells
-    cfg.window_secs = 60.0;
-    cfg.drain_secs = 30.0;
-    cfg
+    FleetConfig::new(200, shards, FleetPolicy::Fast)
+        .with_seed(seed)
+        .with_cell_users(50) // 4 cells
+        .with_phases(10.0, 60.0, 30.0)
 }
 
 /// The production-like configuration the `fleet_throughput` bench runs —
 /// golden digests below are pinned against it.
 fn ifttt_cfg(users: u64, shards: usize) -> FleetConfig {
-    let mut cfg = FleetConfig::new(users, shards, FleetPolicy::IftttLike);
-    cfg.window_secs = 120.0;
-    cfg.drain_secs = 400.0;
-    cfg
+    FleetConfig::new(users, shards, FleetPolicy::IftttLike).with_phases(10.0, 120.0, 400.0)
 }
 
 #[test]
@@ -102,8 +97,7 @@ fn golden_digest_100k_users_is_shard_invariant() {
 /// the drain stretched the way `ifttt-lab --chaos` stretches it so retry
 /// chains finish inside the cell horizon.
 fn chaos_cfg(shards: usize, seed: u64) -> FleetConfig {
-    let mut c = cfg(shards, seed);
-    c.chaos = ChaosProfile::Mild;
+    let mut c = cfg(shards, seed).with_chaos(ChaosProfile::Mild);
     c.drain_secs = 120.0;
     c
 }
@@ -136,8 +130,8 @@ fn golden_digest_small_chaotic_fleet_is_shard_invariant() {
 fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
     const GOLDEN: &str = "0f2284d6358e4e11";
     for shards in [1usize, 2, 8] {
-        let mut c = FleetConfig::new(100_000, shards, FleetPolicy::Fast);
-        c.chaos = ChaosProfile::Mild;
+        let mut c =
+            FleetConfig::new(100_000, shards, FleetPolicy::Fast).with_chaos(ChaosProfile::Mild);
         c.drain_secs = c.drain_secs.max(120.0);
         let report = run_fleet(&c);
         assert_eq!(

@@ -144,7 +144,7 @@ impl<'a> Context<'a> {
     }
 
     /// Record a trace event attributed to this node.
-    pub fn trace(&mut self, kind: impl Into<String>, detail: impl Into<String>) {
+    pub fn trace(&mut self, kind: &'static str, detail: impl Into<crate::trace::TraceDetail>) {
         let now = self.kernel.now();
         let node = self.node;
         self.kernel.trace_mut().record(now, node, kind, detail);

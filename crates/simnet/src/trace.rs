@@ -4,22 +4,135 @@
 //! The testbed reconstructs applet-execution timelines (Table 5 of the
 //! paper) from this log; tests use it to assert on protocol behaviour
 //! without reaching into node internals.
+//!
+//! The in-memory form is on a diet: `kind` is a `&'static str` (every
+//! recorded kind is a program literal) and `detail` is the small
+//! [`TraceDetail`] payload enum, so the common single-id hot-path events
+//! cost no heap allocation. For export, [`TraceRecord`] is the lossless
+//! owned serde form with both fields rendered to strings.
 
 use crate::node::NodeId;
 use crate::time::SimTime;
 use serde::{Deserialize, Serialize};
+use std::fmt;
 
-/// One recorded event.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// Small trace payload. Hot paths use the allocation-free variants
+/// ([`TraceDetail::Empty`], [`TraceDetail::Static`], [`TraceDetail::Applet`],
+/// [`TraceDetail::Num`]); anything richer falls back to an owned
+/// [`TraceDetail::Text`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDetail {
+    /// No payload.
+    Empty,
+    /// A program-literal payload.
+    Static(&'static str),
+    /// An owned free-form payload (the pre-diet representation).
+    Text(String),
+    /// An applet id; renders as `AppletId(n)` to match the old
+    /// `format!("{id:?}")` detail strings.
+    Applet(u32),
+    /// A bare number.
+    Num(u64),
+}
+
+impl TraceDetail {
+    /// Render to the string the pre-diet `String` detail would have held.
+    pub fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for TraceDetail {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDetail::Empty => Ok(()),
+            TraceDetail::Static(s) => f.write_str(s),
+            TraceDetail::Text(s) => f.write_str(s),
+            TraceDetail::Applet(n) => write!(f, "AppletId({n})"),
+            TraceDetail::Num(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<String> for TraceDetail {
+    fn from(s: String) -> Self {
+        if s.is_empty() {
+            TraceDetail::Empty
+        } else {
+            TraceDetail::Text(s)
+        }
+    }
+}
+
+impl From<&'static str> for TraceDetail {
+    fn from(s: &'static str) -> Self {
+        if s.is_empty() {
+            TraceDetail::Empty
+        } else {
+            TraceDetail::Static(s)
+        }
+    }
+}
+
+impl PartialEq<str> for TraceDetail {
+    fn eq(&self, other: &str) -> bool {
+        match self {
+            TraceDetail::Empty => other.is_empty(),
+            TraceDetail::Static(s) => *s == other,
+            TraceDetail::Text(s) => s == other,
+            TraceDetail::Applet(n) => other
+                .strip_prefix("AppletId(")
+                .and_then(|rest| rest.strip_suffix(')'))
+                .is_some_and(|digits| digits.parse() == Ok(*n)),
+            TraceDetail::Num(n) => other.parse() == Ok(*n),
+        }
+    }
+}
+
+impl PartialEq<&str> for TraceDetail {
+    fn eq(&self, other: &&str) -> bool {
+        self == *other
+    }
+}
+
+/// One recorded event (in-memory form; see [`TraceRecord`] for export).
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
     /// Virtual time at which the event was recorded.
     pub at: SimTime,
     /// The node the event belongs to.
     pub node: NodeId,
-    /// Machine-readable event kind, e.g. `"poll.sent"` or `"action.executed"`.
+    /// Machine-readable event kind, e.g. `"poll.sent"` or
+    /// `"action.executed"`. Always a program literal.
+    pub kind: &'static str,
+    /// The event payload.
+    pub detail: TraceDetail,
+}
+
+/// The lossless owned serde form of a [`TraceEvent`]: `kind` and `detail`
+/// rendered to strings, round-trippable through JSON. Timeline exports
+/// (Table 5) use this.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Virtual time at which the event was recorded.
+    pub at: SimTime,
+    /// The node the event belongs to.
+    pub node: NodeId,
+    /// The event kind, owned.
     pub kind: String,
-    /// Free-form human-readable detail.
+    /// The rendered payload.
     pub detail: String,
+}
+
+impl From<&TraceEvent> for TraceRecord {
+    fn from(e: &TraceEvent) -> Self {
+        TraceRecord {
+            at: e.at,
+            node: e.node,
+            kind: e.kind.to_string(),
+            detail: e.detail.render(),
+        }
+    }
 }
 
 /// An append-only, bounded trace log.
@@ -69,8 +182,8 @@ impl TraceLog {
         &mut self,
         at: SimTime,
         node: NodeId,
-        kind: impl Into<String>,
-        detail: impl Into<String>,
+        kind: &'static str,
+        detail: impl Into<TraceDetail>,
     ) {
         if !self.enabled {
             return;
@@ -82,7 +195,7 @@ impl TraceLog {
         self.events.push(TraceEvent {
             at,
             node,
-            kind: kind.into(),
+            kind,
             detail: detail.into(),
         });
     }
@@ -90,6 +203,11 @@ impl TraceLog {
     /// All recorded events in time order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
+    }
+
+    /// Every event in its lossless serde form, for export.
+    pub fn to_records(&self) -> Vec<TraceRecord> {
+        self.events.iter().map(TraceRecord::from).collect()
     }
 
     /// Events whose kind starts with `prefix` (e.g. `"poll."`).
@@ -167,5 +285,29 @@ mod tests {
         log.record(t(0), NodeId(0), "k", "");
         assert!(log.events().is_empty());
         assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn details_render_like_the_old_strings() {
+        assert_eq!(TraceDetail::from(String::new()), TraceDetail::Empty);
+        assert_eq!(TraceDetail::from("x"), TraceDetail::Static("x"));
+        assert_eq!(TraceDetail::Applet(7).render(), "AppletId(7)");
+        assert_eq!(TraceDetail::Num(42).render(), "42");
+        assert_eq!(TraceDetail::Applet(7), *"AppletId(7)");
+        assert_eq!(TraceDetail::Empty.render(), "");
+    }
+
+    #[test]
+    fn records_round_trip_losslessly() {
+        let mut log = TraceLog::default();
+        log.record(t(1), NodeId(3), "poll.sent", TraceDetail::Applet(9));
+        log.record(t(2), NodeId(3), "chaos.fault_end", String::new());
+        let records = log.to_records();
+        let json = serde_json::to_string(&records).expect("serializes");
+        let back: Vec<TraceRecord> = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, records);
+        assert_eq!(back[0].kind, "poll.sent");
+        assert_eq!(back[0].detail, "AppletId(9)");
+        assert_eq!(back[1].detail, "");
     }
 }

@@ -118,7 +118,7 @@ proptest! {
             sim.trace()
                 .events()
                 .iter()
-                .map(|e| (e.at.as_micros(), e.detail.clone()))
+                .map(|e| (e.at.as_micros(), e.detail.render()))
                 .collect()
         }
         prop_assert_eq!(run(seed, n_pings), run(seed, n_pings));

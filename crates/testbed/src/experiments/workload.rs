@@ -175,7 +175,7 @@ pub fn run_workload(
         .iter()
         .filter(|e| {
             matches!(
-                e.kind.as_str(),
+                e.kind,
                 "engine.poll_sent" | "engine.hint_poll" | "engine.action_sent"
             ) && e.at >= t0
         })

@@ -25,8 +25,9 @@ use devices::services::wemo_service::WemoService;
 use devices::smartthings::{SensorKind, SmartThingsHub};
 use devices::weather::WeatherStation;
 use devices::wemo::WemoSwitch;
-use engine::{EngineConfig, TapEngine};
+use engine::{EngineConfig, FlightRecorder, TapEngine};
 use simnet::prelude::*;
+use std::sync::Arc;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::{ServiceSlug, UserId};
 
@@ -88,6 +89,10 @@ impl Node for GatewayRouter {}
 pub struct Testbed {
     pub sim: Sim,
     pub nodes: Nodes,
+    /// A sampled ring of recent engine [`engine::ObsEvent`]s — the
+    /// "last n events before the interesting moment" view experiments and
+    /// failing tests can dump without replaying the run.
+    pub flight: Arc<FlightRecorder>,
 }
 
 impl Testbed {
@@ -134,6 +139,8 @@ impl Testbed {
         let our_service =
             sim.add_node("our_service", OurService::new(ServiceKey("sk_ours".into())));
         let engine = sim.add_node("ifttt_engine", TapEngine::new(config.engine));
+        let flight = Arc::new(FlightRecorder::new(4096));
+        sim.node_mut::<TapEngine>(engine).set_sink(flight.clone());
 
         // --- Home side --------------------------------------------------
         let hue_hub = sim.add_node("hue_hub", HueHub::new("hueuser"));
@@ -336,7 +343,7 @@ impl Testbed {
             };
             let c = sim.node_mut::<TestController>(controller);
             c.wire(nodes);
-            Testbed { sim, nodes }
+            Testbed { sim, nodes, flight }
         }
     }
 
@@ -368,6 +375,29 @@ mod tests {
         ] {
             assert!(e.is_connected(&author, &ServiceSlug::new(slug)), "{slug}");
         }
+    }
+
+    #[test]
+    fn flight_recorder_sees_engine_traffic() {
+        let mut tb = Testbed::build(TestbedConfig::default());
+        tb.sim.run_until(SimTime::from_secs(120));
+        // Settled engine with no applets still polls nothing, but once an
+        // applet lands the recorder fills with poll events.
+        assert_eq!(tb.flight.seen(), 0, "no applets, no events");
+        let applet = crate::applets::paper_applet(
+            crate::applets::PaperApplet::A2,
+            crate::applets::ServiceVariant::OursBoth,
+        );
+        tb.sim
+            .with_node::<TapEngine, _>(tb.nodes.engine, |e, ctx| e.install_applet(ctx, applet))
+            .expect("applet installs");
+        tb.sim.run_until(SimTime::from_secs(600));
+        assert!(tb.flight.seen() > 0, "poll traffic recorded");
+        assert!(tb
+            .flight
+            .events()
+            .iter()
+            .any(|e| matches!(e, engine::ObsEvent::PollSent { .. })));
     }
 
     #[test]

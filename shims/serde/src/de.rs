@@ -5,8 +5,8 @@ use std::fmt;
 
 /// Marker for types deserializable without borrowing from the input.
 ///
-/// The shim's [`Deserialize`](crate::Deserialize) never borrows, so every
-/// deserializable type qualifies.
+/// The shim's [`Deserialize`] never borrows, so every deserializable type
+/// qualifies.
 pub trait DeserializeOwned: Deserialize {}
 impl<T: Deserialize> DeserializeOwned for T {}
 
