@@ -11,7 +11,7 @@
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]
-//!                 [--chaos off|mild|harsh] [--attribution]
+//!                 [--chaos off|mild|harsh] [--attribution] [--realtime-share F]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -42,6 +42,7 @@ fn main() {
     let mut batch_polling = true;
     let mut chaos = ChaosProfile::Off;
     let mut attribution = false;
+    let mut realtime_share = 0.0f64;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -73,6 +74,13 @@ fn main() {
             }
             "--no-batch" => batch_polling = false,
             "--attribution" => attribution = true,
+            "--realtime-share" => {
+                realtime_share = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| (0.0..=1.0).contains(s))
+                    .unwrap_or_else(|| usage("--realtime-share needs a float in 0..=1"));
+            }
             "--chaos" => {
                 chaos = it
                     .next()
@@ -172,21 +180,23 @@ fn main() {
                 .with_seed(seed)
                 .with_batch_polling(batch_polling)
                 .with_chaos(chaos)
-                .with_attribution(attribution);
+                .with_attribution(attribution)
+                .with_realtime_share(realtime_share);
             if cfg.chaos.enabled() {
                 // Give retries and breaker recovery room to finish after the
                 // last activation window before stragglers count as lost.
                 cfg.drain_secs = cfg.drain_secs.max(120.0);
             }
             println!(
-                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {})",
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {}, realtime share {})",
                 cfg.users,
                 cfg.shards,
                 cfg.policy,
                 cfg.master_seed,
                 cfg.cell_users,
                 if cfg.batch_polling { "on" } else { "off" },
-                cfg.chaos
+                cfg.chaos,
+                cfg.realtime_share
             );
             let total_cells = cfg.users.div_ceil(cfg.cell_users);
             let mut done = 0u64;
@@ -239,7 +249,7 @@ fn usage(err: &str) -> ! {
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
          fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch] \
-         [--chaos off|mild|harsh] [--attribution]>"
+         [--chaos off|mild|harsh] [--attribution] [--realtime-share F]>"
     );
     std::process::exit(2)
 }

@@ -13,7 +13,7 @@ use tap_protocol::auth::{RETRY_AFTER_HEADER, SERVICE_KEY_HEADER};
 use tap_protocol::endpoints::{BATCH_POLL_PATH, REALTIME_NOTIFY_PATH};
 use tap_protocol::oauth::AuthCode;
 use tap_protocol::service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
-use tap_protocol::wire::{self, RealtimeNotification, TriggerEvent};
+use tap_protocol::wire::{self, TriggerEvent};
 use tap_protocol::{
     ActionSlug, FieldMap, Interner, ProtocolError, QuerySlug, Symbol, TriggerIdentity, TriggerSlug,
     UserId,
@@ -33,9 +33,16 @@ pub struct Subscription {
 struct RouteEntry {
     ti: TriggerIdentity,
     fields: FieldMap,
-    /// Pre-serialized realtime hint body (the notification for `ti` is
-    /// constant, so serializing it per event would be pure waste).
+    /// Pre-serialized realtime notification body (the versioned
+    /// [`wire::RealtimeNotificationV1`] for `ti` is constant, so
+    /// serializing it per event would be pure waste).
     hint_body: bytes::Bytes,
+    /// A notification for this subscription is outstanding: sent to the
+    /// engine and not yet followed by a poll serving the subscription.
+    /// Further events are buffered without notifying again, so a burst
+    /// costs exactly one hint — the engine's immediate poll collects the
+    /// whole burst.
+    hint_outstanding: bool,
 }
 
 /// What [`ServiceCore::process`] leaves for the embedding service to do.
@@ -82,6 +89,9 @@ pub struct ServiceCore {
     pub batch_polls_served: u64,
     /// Count of realtime hints sent.
     pub hints_sent: u64,
+    /// Count of events absorbed by an already-outstanding hint (the
+    /// per-subscription dedup of the realtime client).
+    pub hints_deduped: u64,
     /// Scheduled server-side fault injection; `None` = always healthy.
     pub fault_plan: Option<ServerFaultPlan>,
     /// Count of requests answered by an injected fault instead of the
@@ -107,6 +117,7 @@ impl ServiceCore {
             polls_served: 0,
             batch_polls_served: 0,
             hints_sent: 0,
+            hints_deduped: 0,
             fault_plan: None,
             faults_injected: 0,
             next_event: 1,
@@ -118,6 +129,11 @@ impl ServiceCore {
     /// Enable the realtime API towards `engine`.
     pub fn enable_realtime(&mut self, engine: NodeId) {
         self.realtime_engine = Some(engine);
+    }
+
+    /// Whether this service notifies an engine when trigger data arrives.
+    pub fn realtime_capable(&self) -> bool {
+        self.realtime_engine.is_some()
     }
 
     /// Register a subscription before any poll arrives (what a production
@@ -163,12 +179,41 @@ impl ServiceCore {
                 fields: fields.clone(),
             },
         );
-        let hint_body = wire::to_bytes(&RealtimeNotification::single(ti.clone()));
+        let hint_body = wire::to_bytes(&wire::RealtimeNotificationV1::single(
+            self.endpoint.slug().clone(),
+            trigger.clone(),
+            ti.clone(),
+        ));
         self.route.entry(key).or_default().push(RouteEntry {
             ti: ti.clone(),
             fields: fields.clone(),
             hint_body,
+            hint_outstanding: false,
         });
+    }
+
+    /// A poll just served `ti`: the engine has (or is fetching) everything
+    /// buffered, so the subscription may notify again on its next event.
+    fn clear_outstanding_hint(
+        &mut self,
+        user: &UserId,
+        trigger: &TriggerSlug,
+        ti: &TriggerIdentity,
+    ) {
+        let key = match (
+            self.syms.get(user.as_str()),
+            self.syms.get(trigger.as_str()),
+        ) {
+            (Some(u), Some(t)) => (u, t),
+            _ => return,
+        };
+        if let Some(entries) = self.route.get_mut(&key) {
+            for e in entries.iter_mut() {
+                if e.ti == *ti {
+                    e.hint_outstanding = false;
+                }
+            }
+        }
     }
 
     /// A fresh service-unique event id.
@@ -197,12 +242,12 @@ impl ServiceCore {
             (Some(u), Some(t)) => (u, t),
             _ => return 0,
         };
-        let entries = match self.route.get(&key) {
+        let entries = match self.route.get_mut(&key) {
             Some(entries) => entries,
             None => return 0,
         };
         let mut matched = 0;
-        for e in entries {
+        for e in entries.iter_mut() {
             if !matches_fields(&e.fields) {
                 continue;
             }
@@ -215,6 +260,21 @@ impl ServiceCore {
                 );
             }
             if let Some(engine) = self.realtime_engine {
+                // Per-subscription dedup: while a notification is
+                // outstanding the engine is already on its way to poll, so
+                // further events just accumulate in the buffer. The flag
+                // clears when a poll serves this subscription.
+                if e.hint_outstanding {
+                    self.hints_deduped += 1;
+                    if ctx.tracing() {
+                        ctx.trace(
+                            "service.hint_deduped",
+                            format!("{} {}", self.endpoint.slug(), e.ti),
+                        );
+                    }
+                    continue;
+                }
+                e.hint_outstanding = true;
                 self.hints_sent += 1;
                 let req = Request::post(REALTIME_NOTIFY_PATH)
                     .with_header(SERVICE_KEY_HEADER, self.endpoint.key().0.clone())
@@ -252,6 +312,7 @@ impl ServiceCore {
                     &body.trigger_fields,
                 );
                 self.polls_served += 1;
+                self.clear_outstanding_hint(&user, &trigger, &body.trigger_identity);
                 let events = self.buffer.latest(&body.trigger_identity, body.limit);
                 if ctx.tracing() {
                     ctx.trace(
@@ -279,6 +340,7 @@ impl ServiceCore {
                         &entry.trigger,
                         &entry.trigger_fields,
                     );
+                    self.clear_outstanding_hint(&user, &entry.trigger, &entry.trigger_identity);
                     let events = self.buffer.latest(&entry.trigger_identity, entry.limit);
                     results.push(wire::BatchPollResult {
                         trigger_identity: entry.trigger_identity,
@@ -432,10 +494,12 @@ mod tests {
         }
         fn on_request(&mut self, _ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
             if req.path == REALTIME_NOTIFY_PATH {
-                if let Ok(n) = wire::from_bytes::<RealtimeNotification>(&req.body) {
-                    self.hints
-                        .extend(n.data.into_iter().map(|i| i.trigger_identity));
-                }
+                // The core sends the versioned first-class notification.
+                let n = wire::from_bytes::<wire::RealtimeNotificationV1>(&req.body)
+                    .expect("core sends v1 bodies");
+                assert_eq!(n.version, wire::REALTIME_NOTIFICATION_VERSION);
+                self.hints
+                    .extend(n.data.into_iter().map(|i| i.trigger_identity));
                 HandlerResult::Reply(Response::ok())
             } else {
                 HandlerResult::Reply(Response::not_found())
@@ -628,6 +692,73 @@ mod tests {
         sim.run_until_idle();
         assert_eq!(sim.node_ref::<EngineStub>(engine).hints, vec![ti]);
         assert_eq!(sim.node_ref::<TestService>(svc).core.hints_sent, 1);
+    }
+
+    /// A burst of events yields exactly one outstanding hint; a poll
+    /// serving the subscription re-arms it.
+    #[test]
+    fn hint_dedup_absorbs_bursts_until_a_poll_clears_it() {
+        let mut sim = Sim::new(57);
+        let engine = sim.add_node("engine", EngineStub::default());
+        let svc = sim.add_node("svc", TestService { core: core() });
+        sim.link(engine, svc, LinkSpec::wan());
+        let user = UserId::new("u");
+        let trigger = TriggerSlug::new("ding");
+        let (ti, token_header) = sim.with_node::<TestService, _>(svc, |s, _ctx| {
+            s.core.enable_realtime(engine);
+            assert!(s.core.realtime_capable());
+            let ti = s
+                .core
+                .subscribe(user.clone(), trigger.clone(), FieldMap::new());
+            let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(9);
+            let token = s.core.endpoint.oauth.mint_token(user.clone(), &mut rng);
+            (ti, token.bearer())
+        });
+        sim.with_node::<TestService, _>(svc, |s, ctx| {
+            for k in 0..4 {
+                s.core.record_event(
+                    ctx,
+                    &trigger,
+                    &user,
+                    TriggerEvent::new(format!("e{k}"), k),
+                    |_| true,
+                );
+            }
+        });
+        sim.run_until_idle();
+        assert_eq!(
+            sim.node_ref::<TestService>(svc).core.hints_sent,
+            1,
+            "a burst costs one notification"
+        );
+        assert_eq!(sim.node_ref::<TestService>(svc).core.hints_deduped, 3);
+        assert_eq!(sim.node_ref::<EngineStub>(engine).hints, vec![ti.clone()]);
+        // A poll serving the subscription clears the outstanding flag ...
+        let poll = PollRequestBody {
+            trigger_identity: ti.clone(),
+            trigger_fields: FieldMap::new(),
+            user: user.clone(),
+            limit: 50,
+        };
+        let req = Request::post("/ifttt/v1/triggers/ding")
+            .with_header(SERVICE_KEY_HEADER, "sk_1")
+            .with_header(AUTHORIZATION_HEADER, token_header)
+            .with_body(wire::to_bytes(&poll));
+        sim.with_node::<TestService, _>(svc, |s, ctx| match s.core.process(ctx, &req) {
+            Processed::Done(resp) => assert!(resp.is_success()),
+            other => panic!("unexpected {other:?}"),
+        });
+        // ... so the next event notifies again.
+        sim.with_node::<TestService, _>(svc, |s, ctx| {
+            s.core
+                .record_event(ctx, &trigger, &user, TriggerEvent::new("e9", 9), |_| true);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node_ref::<TestService>(svc).core.hints_sent, 2);
+        assert_eq!(
+            sim.node_ref::<EngineStub>(engine).hints,
+            vec![ti.clone(), ti]
+        );
     }
 
     #[test]

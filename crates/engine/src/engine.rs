@@ -40,8 +40,8 @@ use tap_protocol::endpoints::{action_path, trigger_path, BATCH_POLL_PATH, REALTI
 use tap_protocol::error::FailureClass;
 use tap_protocol::wire::{
     self, ActionRequestBody, BatchPollEntry, BatchPollRequestBody, BatchPollResponseBody,
-    PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody, RealtimeNotification,
-    TriggerEvent, DEFAULT_POLL_LIMIT,
+    ErrorBody, PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody,
+    RealtimeAckBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
 };
 use tap_protocol::{FieldMap, Interner, ServiceSlug, Symbol, TriggerIdentity, UserId};
 
@@ -90,6 +90,11 @@ pub struct EngineConfig {
     pub realtime_allowlist: HashSet<ServiceSlug>,
     /// Delay between an honored hint and the prompt poll it schedules (s).
     pub hint_processing: Dist,
+    /// Debounce window armed after a realtime-scheduled poll resolves:
+    /// further notifications for the same subscription inside the window
+    /// are absorbed (counted as `realtime_suppressed`), so a burst of
+    /// service events costs at most one out-of-cadence poll per window.
+    pub realtime_debounce: SimDuration,
     /// Engine-internal delay between a poll response with events and the
     /// first action request (Table 5 measures ≈1 s).
     pub dispatch_overhead: Dist,
@@ -131,6 +136,7 @@ impl Default for EngineConfig {
             polling: PollPolicy::ifttt_like(),
             realtime_allowlist: HashSet::new(),
             hint_processing: Dist::Uniform { lo: 0.5, hi: 1.5 },
+            realtime_debounce: SimDuration::from_secs(5),
             dispatch_overhead: Dist::LogNormal {
                 mu: 0.0,
                 sigma: 0.35,
@@ -243,6 +249,12 @@ impl EngineConfig {
         self.realtime_allowlist.insert(slug);
         self
     }
+
+    /// Set the post-poll debounce window for realtime notifications.
+    pub fn with_realtime_debounce(mut self, window: SimDuration) -> Self {
+        self.realtime_debounce = window;
+        self
+    }
 }
 
 /// Why an applet install was rejected.
@@ -298,6 +310,18 @@ pub struct EngineStats {
     /// Batch poll failures that dropped their group to singleton polls for
     /// a cycle.
     pub batch_fallbacks: u64,
+    /// Realtime notifications accepted into the immediate-poll scheduler
+    /// (equals `hints_honored`; one per honored notification request).
+    pub realtime_notifications: u64,
+    /// Out-of-cadence polls sent because a realtime notification preempted
+    /// the subscription's pending cadence entry (subset of `polls_sent`).
+    pub realtime_polls: u64,
+    /// Hinted subscriptions whose notification was absorbed: an immediate
+    /// poll already outstanding, the debounce window open, or a cadence
+    /// poll in flight.
+    pub realtime_suppressed: u64,
+    /// Realtime notification bodies that failed to parse (answered 400).
+    pub realtime_malformed: u64,
 }
 
 #[derive(Debug)]
@@ -345,6 +369,20 @@ struct PollTask {
     /// value read at response time is the matching request's send time —
     /// attribution sinks use it to split cadence wait from poll RTT.
     poll_sent_at: SimTime,
+    /// A realtime notification preempted this subscription's cadence
+    /// timer: an immediate poll is armed or in flight, and further hints
+    /// are absorbed until its response (or shed) clears the flag. The
+    /// timer-XOR-in-flight invariant means the flag never faces two
+    /// outstanding polls.
+    rt_pending: bool,
+    /// Where the preempted cadence entry would have fired, kept for a
+    /// grouped member split out of its batch: the out-of-band poll's
+    /// response restores this schedule so the group's phase lock survives
+    /// the detour. `None` (solo subscriptions) draws a fresh cadence gap.
+    rt_resume_at: Option<SimTime>,
+    /// End of the debounce window armed when a realtime poll resolves;
+    /// notifications arriving before this are absorbed.
+    rt_debounce_until: SimTime,
 }
 
 #[derive(Debug)]
@@ -631,6 +669,9 @@ impl TapEngine {
                 },
                 retries: 0,
                 poll_sent_at: SimTime::ZERO,
+                rt_pending: false,
+                rt_resume_at: None,
+                rt_debounce_until: SimTime::ZERO,
             },
         );
         self.applets.insert(id, applet);
@@ -646,6 +687,12 @@ impl TapEngine {
             return;
         };
         task.enabled = enabled;
+        if !enabled {
+            // A disabled applet abandons any armed realtime poll; leaking
+            // the flag would absorb every hint after a re-enable.
+            task.rt_pending = false;
+            task.rt_resume_at = None;
+        }
         if enabled && task.next_poll.is_none() {
             self.schedule_poll(ctx, id, SimDuration::from_secs(1));
         }
@@ -677,7 +724,11 @@ impl TapEngine {
     }
 
     /// A poll the breaker refused: count it and keep the chain alive by
-    /// rescheduling on the normal cadence.
+    /// rescheduling on the normal cadence. A shed *realtime* poll falls
+    /// back the same way — a grouped member restores the schedule its
+    /// hint preempted (keeping the batch group's phase lock), a solo one
+    /// draws a fresh gap — and still arms the debounce window so a
+    /// notifying service cannot hammer an open breaker.
     fn shed_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
         self.obs(ObsEvent::PollShed {
             applet: id,
@@ -686,12 +737,36 @@ impl TapEngine {
         if ctx.tracing() {
             ctx.trace("engine.poll_shed", format!("{id:?} breaker open"));
         }
+        if let Some(resume_at) = self.clear_realtime(ctx.now(), id) {
+            let after = if resume_at > ctx.now() {
+                resume_at.since(ctx.now())
+            } else {
+                SimDuration::ZERO
+            };
+            self.schedule_poll(ctx, id, after);
+            return;
+        }
         let gap = self
             .applets
             .get(&id)
             .map(|a| self.config.polling.next_gap(a, ctx.rng()))
             .unwrap_or(SimDuration::from_secs(60));
         self.schedule_poll(ctx, id, gap);
+    }
+
+    /// Resolve a subscription's armed realtime poll, if any: clear the
+    /// outstanding flag, arm the debounce window, and hand back the
+    /// preempted cadence instant a grouped member should rejoin at.
+    /// Returns `None` when no realtime poll was outstanding *or* the
+    /// subscription is solo (callers then draw a fresh cadence gap).
+    fn clear_realtime(&mut self, now: SimTime, id: AppletId) -> Option<SimTime> {
+        let task = self.tasks.get_mut(&id)?;
+        if !task.rt_pending {
+            return None;
+        }
+        task.rt_pending = false;
+        task.rt_debounce_until = now + self.config.realtime_debounce;
+        task.rt_resume_at.take()
     }
 
     /// Feed one poll/action outcome for `service` into its breaker (no-op
@@ -756,11 +831,18 @@ impl TapEngine {
             );
         }
         let node = reg.node;
+        let realtime = task.rt_pending;
         self.obs(ObsEvent::PollSent {
             applet: id,
             service: trigger_service,
             at: ctx.now(),
         });
+        if realtime {
+            self.obs(ObsEvent::RealtimePollSent {
+                applet: id,
+                at: ctx.now(),
+            });
+        }
         ctx.send_request(
             node,
             req,
@@ -808,9 +890,15 @@ impl TapEngine {
             .iter()
             .copied()
             .filter(|m| {
+                // A member with an armed realtime poll keeps its
+                // out-of-band timer: sweeping it into the batch would
+                // cancel the immediate poll its notification paid for.
                 *m == id
                     || self.tasks.get(m).is_some_and(|t| {
-                        t.enabled && t.next_poll.is_some() && t.next_poll_at <= horizon
+                        t.enabled
+                            && !t.rt_pending
+                            && t.next_poll.is_some()
+                            && t.next_poll_at <= horizon
                     })
             })
             .collect();
@@ -961,13 +1049,27 @@ impl TapEngine {
     }
 
     fn on_poll_response(&mut self, ctx: &mut Context<'_>, id: AppletId, resp: Response) {
-        // Always keep the polling chain alive.
-        let gap = self
-            .applets
-            .get(&id)
-            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
-            .unwrap_or(SimDuration::from_secs(60));
-        self.schedule_poll(ctx, id, gap);
+        // Always keep the polling chain alive. The response of a realtime
+        // out-of-band poll restores the schedule its notification
+        // preempted — a grouped member rejoins its batch group at the
+        // saved phase instant (immediately, if the detour overran it) —
+        // while everything else, including a solo realtime poll, draws a
+        // fresh cadence gap.
+        if let Some(resume_at) = self.clear_realtime(ctx.now(), id) {
+            let after = if resume_at > ctx.now() {
+                resume_at.since(ctx.now())
+            } else {
+                SimDuration::ZERO
+            };
+            self.schedule_poll(ctx, id, after);
+        } else {
+            let gap = self
+                .applets
+                .get(&id)
+                .map(|a| self.config.polling.next_gap(a, ctx.rng()))
+                .unwrap_or(SimDuration::from_secs(60));
+            self.schedule_poll(ctx, id, gap);
+        }
 
         if !resp.is_success() {
             self.obs(ObsEvent::PollFailed {
@@ -1371,8 +1473,20 @@ impl TapEngine {
         else {
             return HandlerResult::Reply(Response::unauthorized());
         };
-        let Ok(body) = wire::from_bytes::<RealtimeNotification>(&req.body) else {
-            return HandlerResult::Reply(Response::bad_request());
+        // The versioned first-class message is tried first; a legacy
+        // bare-identity hint (no `version`/`service`) still parses. A
+        // body that is neither — or a v1 body speaking an unknown version
+        // or claiming a service other than the authenticated one — is a
+        // counted 400, never a silent swallow.
+        let items = match parse_realtime_items(&req.body, &slug) {
+            Some(items) => items,
+            None => {
+                self.obs(ObsEvent::HintMalformed { at: ctx.now() });
+                ctx.trace("engine.hint_malformed", slug.0.clone());
+                return HandlerResult::Reply(Response::bad_request().with_body(wire::to_bytes(
+                    &ErrorBody::message("malformed realtime notification"),
+                )));
+            }
         };
         if !self.config.realtime_allowlist.contains(&slug) {
             // Accepted, acknowledged … and ignored. §4: "the IFTTT engine
@@ -1383,26 +1497,87 @@ impl TapEngine {
             return HandlerResult::Reply(Response::ok());
         }
         self.obs(ObsEvent::HintHonored { at: ctx.now() });
-        for item in body.data {
+        let mut accepted = 0u64;
+        let mut suppressed = 0u64;
+        for ti in items {
             let ids = self
                 .syms
-                .get(item.trigger_identity.as_str())
+                .get(ti.as_str())
                 .and_then(|s| self.by_identity.get(&s))
                 .cloned();
             let Some(ids) = ids else {
                 continue;
             };
             for id in ids {
-                let delay =
-                    SimDuration::from_secs_f64(self.config.hint_processing.sample(ctx.rng()));
-                if ctx.tracing() {
-                    ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
+                if self.realtime_poll(ctx, id) {
+                    accepted += 1;
+                } else {
+                    suppressed += 1;
                 }
-                self.schedule_poll(ctx, id, delay);
             }
         }
-        HandlerResult::Reply(Response::ok())
+        HandlerResult::Reply(Response::ok().with_body(wire::to_bytes(&RealtimeAckBody {
+            accepted,
+            suppressed,
+        })))
     }
+
+    /// Arm the immediate out-of-cadence poll an honored notification asks
+    /// for: preempt the subscription's pending wheel entry (a grouped
+    /// member remembers the preempted instant so its batch group's phase
+    /// lock survives) and fire after the short hint-processing delay.
+    /// Returns `false` when the hint is absorbed instead: an immediate
+    /// poll already outstanding, an open debounce window, or no pending
+    /// timer (a poll is in flight — the data is about to be fetched
+    /// anyway). Either way the subscription keeps exactly one scheduled
+    /// or in-flight poll, so a notified member never double-polls.
+    fn realtime_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) -> bool {
+        let now = ctx.now();
+        let Some(task) = self.tasks.get(&id) else {
+            return false;
+        };
+        if !task.enabled || task.rt_pending || now < task.rt_debounce_until {
+            self.obs(ObsEvent::RealtimeSuppressed {
+                applet: id,
+                at: now,
+            });
+            return false;
+        }
+        if task.next_poll.is_none() {
+            self.obs(ObsEvent::RealtimeSuppressed {
+                applet: id,
+                at: now,
+            });
+            return false;
+        }
+        let resume = (task.grouped && self.config.batch_polling).then_some(task.next_poll_at);
+        let delay = SimDuration::from_secs_f64(self.config.hint_processing.sample(ctx.rng()));
+        let task = self.tasks.get_mut(&id).expect("checked above");
+        task.rt_pending = true;
+        task.rt_resume_at = resume;
+        if ctx.tracing() {
+            ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
+        }
+        self.schedule_poll(ctx, id, delay);
+        true
+    }
+}
+
+/// The trigger identities a realtime notification body hints at, from
+/// either wire generation: the versioned [`RealtimeNotificationV1`]
+/// (validated against the authenticated `from` service and the spoken
+/// version) or the legacy bare-identity [`RealtimeNotification`]. `None`
+/// when the body is neither.
+fn parse_realtime_items(body: &[u8], from: &ServiceSlug) -> Option<Vec<TriggerIdentity>> {
+    if let Ok(v1) = wire::from_bytes::<wire::RealtimeNotificationV1>(body) {
+        if v1.version != wire::REALTIME_NOTIFICATION_VERSION || v1.service != *from {
+            return None;
+        }
+        return Some(v1.data.into_iter().map(|c| c.trigger_identity).collect());
+    }
+    wire::from_bytes::<RealtimeNotification>(body)
+        .ok()
+        .map(|n| n.data.into_iter().map(|i| i.trigger_identity).collect())
 }
 
 /// The `Retry-After` delay a 5xx response advertises, if any. The engine's
@@ -1426,10 +1601,12 @@ impl Node for TapEngine {
                 let id = AppletId((key & !TAG_MASK) as u32);
                 let mut grouped = false;
                 let mut group = None;
+                let mut realtime = false;
                 if let Some(task) = self.tasks.get_mut(&id) {
                     task.next_poll = None;
                     grouped = task.grouped;
                     group = Some(task.group);
+                    realtime = task.rt_pending;
                 }
                 // A group whose batch request just failed polls singleton
                 // for a cycle (graceful degradation), then re-coalesces.
@@ -1441,7 +1618,10 @@ impl Node for TapEngine {
                             .get(&g)
                             .is_some_and(|until| ctx.now() < *until)
                     });
-                if self.config.batch_polling && grouped && !degraded {
+                // A realtime-armed poll goes out alone even for a grouped
+                // member: initiating a batch here would drag the whole
+                // group off its phase for one subscription's hint.
+                if self.config.batch_polling && grouped && !degraded && !realtime {
                     self.send_batch_poll(ctx, id);
                 } else {
                     self.send_poll(ctx, id);

@@ -234,6 +234,31 @@ pub enum ObsEvent {
         /// Arrival time.
         at: SimTime,
     },
+    /// A realtime notification body failed to parse (neither the versioned
+    /// nor the legacy shape) or spoke an unsupported version; answered
+    /// with a 400.
+    HintMalformed {
+        /// Arrival time.
+        at: SimTime,
+    },
+    /// An out-of-cadence poll armed by a realtime notification left the
+    /// engine (also counts as an ordinary [`ObsEvent::PollSent`], emitted
+    /// separately at the same site).
+    RealtimePollSent {
+        /// Subscription polled ahead of cadence.
+        applet: AppletId,
+        /// Emission time.
+        at: SimTime,
+    },
+    /// A realtime notification for a subscription was absorbed: an
+    /// immediate poll is already outstanding, the debounce window is
+    /// open, or a cadence poll is in flight and will observe the data.
+    RealtimeSuppressed {
+        /// Subscription whose hint was absorbed.
+        applet: AppletId,
+        /// Suppression time.
+        at: SimTime,
+    },
     /// The runtime loop detector flagged an applet.
     LoopFlagged {
         /// Flagged subscription.
@@ -294,6 +319,14 @@ pub enum Stat {
     DeadLetters,
     /// `batch_fallbacks`
     BatchFallbacks,
+    /// `realtime_notifications`
+    RealtimeNotifications,
+    /// `realtime_polls`
+    RealtimePolls,
+    /// `realtime_suppressed`
+    RealtimeSuppressed,
+    /// `realtime_malformed`
+    RealtimeMalformed,
 }
 
 impl ObsEvent {
@@ -321,6 +354,9 @@ impl ObsEvent {
             | ObsEvent::HintReceived { at }
             | ObsEvent::HintHonored { at }
             | ObsEvent::HintIgnored { at }
+            | ObsEvent::HintMalformed { at }
+            | ObsEvent::RealtimePollSent { at, .. }
+            | ObsEvent::RealtimeSuppressed { at, .. }
             | ObsEvent::LoopFlagged { at, .. } => at,
         }
     }
@@ -371,8 +407,17 @@ impl ObsEvent {
             ObsEvent::QuerySent { .. } => f(Stat::QueriesSent, 1),
             ObsEvent::QueryFailed { .. } => f(Stat::QueriesFailed, 1),
             ObsEvent::HintReceived { .. } => f(Stat::HintsReceived, 1),
-            ObsEvent::HintHonored { .. } => f(Stat::HintsHonored, 1),
+            ObsEvent::HintHonored { .. } => {
+                // An honored hint *is* a realtime notification accepted
+                // into the immediate-poll scheduler; both the legacy hint
+                // counter and the realtime counter record it.
+                f(Stat::HintsHonored, 1);
+                f(Stat::RealtimeNotifications, 1);
+            }
             ObsEvent::HintIgnored { .. } => f(Stat::HintsIgnored, 1),
+            ObsEvent::HintMalformed { .. } => f(Stat::RealtimeMalformed, 1),
+            ObsEvent::RealtimePollSent { .. } => f(Stat::RealtimePolls, 1),
+            ObsEvent::RealtimeSuppressed { .. } => f(Stat::RealtimeSuppressed, 1),
             ObsEvent::LoopFlagged { .. } => f(Stat::LoopsFlagged, 1),
         }
     }
@@ -413,6 +458,10 @@ impl EngineStats {
             Stat::BreakerTrips => &mut self.breaker_trips,
             Stat::DeadLetters => &mut self.dead_letters,
             Stat::BatchFallbacks => &mut self.batch_fallbacks,
+            Stat::RealtimeNotifications => &mut self.realtime_notifications,
+            Stat::RealtimePolls => &mut self.realtime_polls,
+            Stat::RealtimeSuppressed => &mut self.realtime_suppressed,
+            Stat::RealtimeMalformed => &mut self.realtime_malformed,
         }
     }
 }
@@ -626,6 +675,10 @@ mod tests {
             Stat::BreakerTrips,
             Stat::DeadLetters,
             Stat::BatchFallbacks,
+            Stat::RealtimeNotifications,
+            Stat::RealtimePolls,
+            Stat::RealtimeSuppressed,
+            Stat::RealtimeMalformed,
         ] {
             *stats.slot(stat) += 1;
         }
@@ -651,8 +704,12 @@ mod tests {
             + stats.polls_shed
             + stats.breaker_trips
             + stats.dead_letters
-            + stats.batch_fallbacks;
-        assert_eq!(total, 23, "every field hit exactly once");
+            + stats.batch_fallbacks
+            + stats.realtime_notifications
+            + stats.realtime_polls
+            + stats.realtime_suppressed
+            + stats.realtime_malformed;
+        assert_eq!(total, 27, "every field hit exactly once");
     }
 
     #[test]

@@ -185,6 +185,116 @@ fn batching_delivers_the_same_events_in_the_same_order() {
     assert!(stats_on.polls_sent - stats_on.polls_coalesced < stats_off.polls_sent);
 }
 
+/// A realtime-notified member of a coalesced batch group polls out of band
+/// exactly once, and the group's phase lock and membership survive the
+/// preemption.
+#[test]
+fn realtime_member_splits_out_once_and_rejoins_its_group() {
+    // Long fixed cadence so the out-of-band poll is unambiguous, batch
+    // polling on, and the echo service allow-listed + realtime-enabled.
+    let mut cfg = EngineConfig::fast().allow_realtime(ServiceSlug::new(SLUG));
+    cfg.polling = engine::PollPolicy::fixed(120.0);
+    cfg.batch_polling = true;
+    let mut sim = Sim::new(77);
+    let mut ep = ServiceEndpoint::new(ServiceSlug::new(SLUG), ServiceKey("sk_echo".into()));
+    for k in 0..SLOTS {
+        ep = ep
+            .with_trigger(format!("t{k}").as_str())
+            .with_action(format!("act{k}").as_str());
+    }
+    let svc = sim.add_node(
+        SLUG,
+        EchoService {
+            core: ServiceCore::new(ep),
+            received: HashMap::new(),
+        },
+    );
+    let engine = sim.add_node("engine", TapEngine::new(cfg));
+    sim.with_node::<EchoService, _>(svc, |s, _| s.core.enable_realtime(engine));
+    sim.link(engine, svc, LinkSpec::datacenter());
+
+    let user = UserId::new("u");
+    let token = sim.with_node::<EchoService, _>(svc, |s, ctx| {
+        s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
+    });
+    sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+        e.register_service(ServiceSlug::new(SLUG), svc, ServiceKey("sk_echo".into()));
+        e.set_token(user.clone(), ServiceSlug::new(SLUG), token);
+        for k in 0..SLOTS {
+            let mut action_fields = FieldMap::new();
+            action_fields.insert("eid".into(), "{{id}}".into());
+            e.install_applet(
+                ctx,
+                Applet::new(
+                    AppletId(k as u32 + 1),
+                    format!("echo slot {k}"),
+                    user.clone(),
+                    TriggerRef {
+                        service: ServiceSlug::new(SLUG),
+                        trigger: TriggerSlug::new(format!("t{k}")),
+                        fields: FieldMap::new(),
+                    },
+                    ActionRef {
+                        service: ServiceSlug::new(SLUG),
+                        action: ActionSlug::new(format!("act{k}")),
+                        fields: action_fields,
+                    },
+                ),
+            )
+            .expect("applet installs");
+        }
+    });
+
+    // Initial polls establish the subscriptions well before the first
+    // 120 s cadence tick.
+    sim.run_until(SimTime::from_secs(10));
+    let t_emit = sim.now();
+    sim.with_node::<EchoService, _>(svc, |s, ctx| {
+        let ev =
+            TriggerEvent::new("rt01", ctx.now().as_secs_f64() as u64).with_ingredient("id", "rt01");
+        let matched = s
+            .core
+            .record_event(ctx, &TriggerSlug::new("t0"), &user, ev, |_| true);
+        assert_eq!(matched, 1, "subscription t0 is established");
+    });
+
+    // Within seconds — not the 110 s left on the cadence — the hinted
+    // member has polled out of band and its event is delivered.
+    sim.run_until(SimTime::from_secs(25));
+    let mid = sim.node_ref::<TapEngine>(engine).stats;
+    assert_eq!(mid.realtime_notifications, 1, "{mid:?}");
+    assert_eq!(mid.realtime_polls, 1, "exactly one immediate poll: {mid:?}");
+    assert_eq!(mid.events_new, 1, "the hinted event arrived early: {mid:?}");
+    assert_eq!(
+        sim.node_ref::<EchoService>(svc)
+            .received
+            .get(&0)
+            .map(Vec::len),
+        Some(1),
+        "one action, no double-poll duplicate"
+    );
+    let _ = t_emit;
+
+    // Run through two full cadence cycles: the preempted member rejoined
+    // its group at the preempted instant, so every subsequent batch still
+    // coalesces all four members (3 coalesced riders per batch request).
+    let before = sim.node_ref::<TapEngine>(engine).stats;
+    sim.run_until(SimTime::from_secs(10 + 2 * 120 + 30));
+    let after = sim.node_ref::<TapEngine>(engine).stats;
+    let batched = after.polls_batched - before.polls_batched;
+    let coalesced = after.polls_coalesced - before.polls_coalesced;
+    assert!(batched >= 2, "two cadence cycles batched: {after:?}");
+    assert_eq!(
+        coalesced,
+        (SLOTS as u64 - 1) * batched,
+        "full {SLOTS}-member batches — membership survived the preemption: {after:?}"
+    );
+    assert_eq!(
+        after.realtime_polls, 1,
+        "no further out-of-band polls: {after:?}"
+    );
+}
+
 #[test]
 fn batched_groups_phase_lock_and_stay_coalesced() {
     let (_, stats) = run_scenario(true);

@@ -73,10 +73,17 @@ struct Harness {
 /// the full resilience stack, and subscriptions established before any
 /// fault is applied.
 fn harness(batch_polling: bool, breaker: bool) -> Harness {
+    harness_with(batch_polling, breaker, false)
+}
+
+fn harness_with(batch_polling: bool, breaker: bool, realtime: bool) -> Harness {
     let mut cfg = EngineConfig::fast().resilient();
     cfg.batch_polling = batch_polling;
     if !breaker {
         cfg.breaker = None;
+    }
+    if realtime {
+        cfg = cfg.allow_realtime(ServiceSlug::new(SLUG));
     }
     let mut sim = Sim::new(chaos_seed());
     let mut ep = ServiceEndpoint::new(ServiceSlug::new(SLUG), ServiceKey("sk_chaos".into()));
@@ -93,6 +100,9 @@ fn harness(batch_polling: bool, breaker: bool) -> Harness {
         },
     );
     let engine = sim.add_node("engine", TapEngine::new(cfg));
+    if realtime {
+        sim.with_node::<ChaoticService, _>(svc, |s, _| s.core.enable_realtime(engine));
+    }
     let link = sim.link(engine, svc, LinkSpec::datacenter());
 
     let user = UserId::new("u");
@@ -276,6 +286,56 @@ fn breaker_trips_during_outage_and_recovers() {
     assert!(
         healthy_window_polls > 30,
         "polling resumed post-outage: {healthy_window_polls} polls in 120 s"
+    );
+}
+
+/// (d) An immediate poll armed by a realtime notification that fires into
+/// an open circuit breaker is shed like any other poll, and the
+/// subscription falls back to cadence polling — the hinted event is still
+/// delivered once the service heals, with no breaker bypass.
+#[test]
+fn realtime_poll_into_open_breaker_is_shed_and_falls_back_to_cadence() {
+    let mut h = harness_with(false, true, true);
+    // Total outage from t=10 s to t=70 s; plenty to trip the breaker.
+    let outage = ServerFaultPlan::new().window(
+        ServerFault::Http500,
+        SimTime::from_secs(10),
+        SimTime::from_secs(70),
+    );
+    h.sim.with_node::<ChaoticService, _>(h.svc, move |s, _| {
+        s.core.fault_plan = Some(outage);
+    });
+
+    // Wait until the breaker is open, then fire a trigger: the service
+    // pushes a notification, the engine honors it and arms an immediate
+    // poll — which the open breaker must shed.
+    h.sim.run_until(SimTime::from_secs(30));
+    let pre = h.stats();
+    assert!(pre.breaker_trips >= 1, "breaker is open: {pre:?}");
+    h.emit(0);
+    h.sim.run_until(SimTime::from_secs(40));
+    let mid = h.stats();
+    assert_eq!(
+        mid.realtime_notifications, 1,
+        "the hint was honored: {mid:?}"
+    );
+    assert_eq!(
+        mid.realtime_polls, 0,
+        "the armed poll was shed, not sent: {mid:?}"
+    );
+    assert!(mid.polls_shed > pre.polls_shed, "shed count grew: {mid:?}");
+    assert_eq!(mid.events_new, 0, "nothing fetched through an open breaker");
+
+    // After the outage the ordinary cadence (plus breaker probes) fetches
+    // the buffered event — the realtime path stayed out of the way.
+    h.sim.run_until(SimTime::from_secs(150));
+    let stats = h.stats();
+    assert_eq!(stats.events_new, 1, "cadence polling recovered: {stats:?}");
+    assert_eq!(stats.actions_ok, 1, "the event was delivered: {stats:?}");
+    assert_eq!(stats.dead_letters, 0);
+    assert_eq!(
+        stats.realtime_polls, 0,
+        "no realtime poll ever bypassed the breaker: {stats:?}"
     );
 }
 

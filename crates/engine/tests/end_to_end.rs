@@ -248,7 +248,7 @@ fn oauth_connect_flow_stores_a_working_token() {
 fn alexa_realtime_hints_cut_latency() {
     // Build an Alexa → Hue world (applet A5 style, but turn_on for
     // observability) and compare hint-honored vs hint-ignored latency.
-    fn run(allowlist: bool, seed: u64) -> SimDuration {
+    fn run(allowlist: bool, seed: u64) -> (SimDuration, engine::EngineStats) {
         let mut sim = Sim::new(seed);
         let (hub, lamps) = install_hue(&mut sim, "hueuser", "author", 1);
         let hue_svc = sim.add_node("hue_service", HueService::new(ServiceKey("sk_hue".into())));
@@ -339,15 +339,109 @@ fn alexa_realtime_hints_cut_latency() {
             .map(|e| e.at)
             .unwrap_or(SimTime::MAX);
         let _ = lamps;
-        lamp_on.since(t0)
+        (lamp_on.since(t0), sim.node_ref::<TapEngine>(engine).stats)
     }
-    let hinted = run(true, 21);
-    let unhinted = run(false, 22);
+    let (hinted, honored) = run(true, 21);
+    let (unhinted, ignored) = run(false, 22);
     assert!(hinted < SimDuration::from_secs(10), "hinted t2a = {hinted}");
     assert!(
         unhinted > SimDuration::from_secs(30),
         "unhinted t2a = {unhinted}"
     );
+    // The fast path is the realtime scheduler, visibly: the notification
+    // was honored and produced exactly one out-of-cadence poll.
+    assert_eq!(honored.realtime_notifications, 1, "{honored:?}");
+    assert_eq!(honored.realtime_polls, 1, "{honored:?}");
+    assert_eq!(honored.realtime_malformed, 0);
+    // Off the allowlist the hint is acknowledged and dropped; the poll
+    // cadence is untouched.
+    assert_eq!(ignored.hints_ignored, 1, "{ignored:?}");
+    assert_eq!(ignored.realtime_notifications, 0);
+    assert_eq!(ignored.realtime_polls, 0);
+}
+
+/// A hint sender for exercising the notification endpoint directly: fires
+/// one POST at the engine on start and remembers the response.
+struct HintSender {
+    engine: NodeId,
+    body: Vec<u8>,
+    key: &'static str,
+    status: Option<u16>,
+}
+
+impl Node for HintSender {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let req = Request::post(tap_protocol::endpoints::REALTIME_NOTIFY_PATH)
+            .with_header(tap_protocol::auth::SERVICE_KEY_HEADER, self.key)
+            .with_body(self.body.clone());
+        ctx.send_request(self.engine, req, Token(1), RequestOpts::default());
+    }
+
+    fn on_response(&mut self, _ctx: &mut Context<'_>, _token: Token, resp: Response) {
+        self.status = Some(resp.status);
+    }
+}
+
+/// Drive one realtime notification with `body` into an A2-style engine
+/// (authenticated as the wemo service) and return the HTTP status plus the
+/// engine stats.
+fn drive_hint(body: Vec<u8>, seed: u64) -> (u16, engine::EngineStats) {
+    let mut w = build_a2(
+        EngineConfig::fast().allow_realtime(ServiceSlug::new(WemoService::SLUG)),
+        seed,
+    );
+    let sender = w.sim.add_node(
+        "hint_sender",
+        HintSender {
+            engine: w.engine,
+            body,
+            key: "sk_wemo",
+            status: None,
+        },
+    );
+    w.sim.link(sender, w.engine, LinkSpec::datacenter());
+    w.sim.run_until(SimTime::from_secs(2));
+    let status = w
+        .sim
+        .node_ref::<HintSender>(sender)
+        .status
+        .expect("hint answered");
+    (status, w.sim.node_ref::<TapEngine>(w.engine).stats)
+}
+
+#[test]
+fn malformed_realtime_notification_is_a_counted_400() {
+    // Garbage bytes: not a v1 notification, not a legacy one.
+    let (status, stats) = drive_hint(b"{\"not\": \"a notification\"}".to_vec(), 31);
+    assert_eq!(
+        status, 400,
+        "malformed body must be rejected, not swallowed"
+    );
+    assert_eq!(stats.realtime_malformed, 1, "{stats:?}");
+    assert_eq!(stats.hints_received, 1);
+    assert_eq!(stats.realtime_polls, 0);
+
+    // A well-formed v1 body claiming a service other than the
+    // authenticated sender is equally malformed.
+    let spoofed = tap_protocol::wire::RealtimeNotificationV1::single(
+        ServiceSlug::new("somebody_else"),
+        TriggerSlug::new("switch_activated"),
+        tap_protocol::TriggerIdentity("spoof".into()),
+    );
+    let (status, stats) = drive_hint(tap_protocol::wire::to_bytes(&spoofed).to_vec(), 32);
+    assert_eq!(status, 400, "service mismatch is a counted 400");
+    assert_eq!(stats.realtime_malformed, 1, "{stats:?}");
+
+    // An unknown wire version is refused rather than half-understood.
+    let mut future = tap_protocol::wire::RealtimeNotificationV1::single(
+        ServiceSlug::new(WemoService::SLUG),
+        TriggerSlug::new("switch_activated"),
+        tap_protocol::TriggerIdentity("future".into()),
+    );
+    future.version = 99;
+    let (status, stats) = drive_hint(tap_protocol::wire::to_bytes(&future).to_vec(), 33);
+    assert_eq!(status, 400, "unknown version is a counted 400");
+    assert_eq!(stats.realtime_malformed, 1, "{stats:?}");
 }
 
 #[test]

@@ -46,6 +46,11 @@ pub const CELL_STREAM_BASE: u64 = 0xce11_0000;
 /// Sub-stream of a cell seed that drives the activation schedule.
 const ACTIVATION_STREAM: u64 = 1;
 
+/// Sub-stream of a cell seed that decides realtime capability. Like the
+/// activation stream it hangs off the *cell* seed, never the shard, so a
+/// given cell draws the same capability at any shard count.
+const REALTIME_STREAM: u64 = 2;
+
 /// The synthetic partner service every cell user connects to. It exposes
 /// one trigger/action pair per install slot (`fired_k` / `noop_k`,
 /// `k < MAX_INSTALLS_PER_USER`) so concurrent installs of one user stay
@@ -185,8 +190,20 @@ pub fn run_cell(
     let recorder = cfg
         .attribution
         .then(|| Arc::new(AttributionRecorder::new(metrics.clone())));
+    // Adoption draw: with `--realtime-share s`, this cell's partner
+    // service is realtime-capable with probability `s`. Guarded so the
+    // default share of 0.0 touches nothing (not even an RNG construction
+    // matters — the stream is private — but the allowlist stays empty and
+    // the digests stay byte-identical).
+    let realtime = cfg.realtime_share > 0.0
+        && StdRng::seed_from_u64(derive_seed(cell_seed, REALTIME_STREAM)).gen::<f64>()
+            < cfg.realtime_share;
     let engine = sim.add_node("engine", {
-        let mut e = TapEngine::new(cfg.engine_config());
+        let mut engine_cfg = cfg.engine_config();
+        if realtime {
+            engine_cfg = engine_cfg.allow_realtime(ServiceSlug::new(SERVICE_SLUG));
+        }
+        let mut e = TapEngine::new(engine_cfg);
         match &recorder {
             Some(rec) => e.set_sink(Arc::new(CellSink::new(metrics.clone(), rec.clone()))),
             None => e.set_sink(metrics.clone()),
@@ -197,6 +214,9 @@ pub fn run_cell(
         SERVICE_SLUG,
         FleetService::new(metrics.clone(), recorder.clone()),
     );
+    if realtime {
+        sim.with_node::<FleetService, _>(svc, |s, _| s.core.enable_realtime(engine));
+    }
     let link = sim.link(engine, svc, LinkSpec::datacenter());
     if cfg.chaos.enabled() {
         apply_chaos(&mut sim, cfg, link, svc);

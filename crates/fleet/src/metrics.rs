@@ -437,6 +437,18 @@ pub struct FleetMetrics {
     /// Requests the workload services answered with an injected fault.
     #[serde(default)]
     pub faults_injected: Counter,
+    /// Realtime notifications the engines honored (allow-listed services).
+    #[serde(default)]
+    pub realtime_notifications: Counter,
+    /// Immediate out-of-band polls fired in response to a notification.
+    #[serde(default)]
+    pub realtime_polls: Counter,
+    /// Notifications absorbed by the debounce window or an in-flight poll.
+    #[serde(default)]
+    pub realtime_suppressed: Counter,
+    /// Notification bodies that failed to parse (answered 400).
+    #[serde(default)]
+    pub realtime_malformed: Counter,
     /// Per-stage T2A latency attribution (empty unless a run opts in).
     #[serde(default)]
     pub attribution: AttributionStages,
@@ -473,6 +485,13 @@ impl FleetMetrics {
         self.actions_retried.merge_from(&other.actions_retried);
         self.dead_letters.merge_from(&other.dead_letters);
         self.faults_injected.merge_from(&other.faults_injected);
+        self.realtime_notifications
+            .merge_from(&other.realtime_notifications);
+        self.realtime_polls.merge_from(&other.realtime_polls);
+        self.realtime_suppressed
+            .merge_from(&other.realtime_suppressed);
+        self.realtime_malformed
+            .merge_from(&other.realtime_malformed);
         self.attribution.merge_from(&other.attribution);
     }
 
@@ -518,6 +537,12 @@ impl Serialize for FleetMetrics {
         put_nonzero("actions_retried", &self.actions_retried);
         put_nonzero("dead_letters", &self.dead_letters);
         put_nonzero("faults_injected", &self.faults_injected);
+        // Realtime counters follow the same rule: a realtime-off run (the
+        // default) serializes exactly as before the subsystem existed.
+        put_nonzero("realtime_notifications", &self.realtime_notifications);
+        put_nonzero("realtime_polls", &self.realtime_polls);
+        put_nonzero("realtime_suppressed", &self.realtime_suppressed);
+        put_nonzero("realtime_malformed", &self.realtime_malformed);
         // Attribution, like the resilience counters, appears only when a
         // run actually recorded it — attribution-off digests are unmoved.
         if !self.attribution.is_empty() {
@@ -546,6 +571,10 @@ impl FleetMetrics {
             Stat::BreakerTrips => Some(&self.breaker_trips),
             Stat::ActionsRetried => Some(&self.actions_retried),
             Stat::DeadLetters => Some(&self.dead_letters),
+            Stat::RealtimeNotifications => Some(&self.realtime_notifications),
+            Stat::RealtimePolls => Some(&self.realtime_polls),
+            Stat::RealtimeSuppressed => Some(&self.realtime_suppressed),
+            Stat::RealtimeMalformed => Some(&self.realtime_malformed),
             Stat::PollsEmpty
             | Stat::EventsReceived
             | Stat::ActionsSent

@@ -120,6 +120,17 @@ impl FleetReport {
                 m.polls_sent.get() - m.polls_coalesced.get()
             ));
         }
+        // The realtime line only appears when a notification was honored
+        // or rejected — realtime-off runs render unchanged.
+        if m.realtime_notifications.get() > 0 || m.realtime_malformed.get() > 0 {
+            out.push_str(&format!(
+                "  realtime notifications {}  immediate polls {}  suppressed {}  malformed {}\n",
+                m.realtime_notifications.get(),
+                m.realtime_polls.get(),
+                m.realtime_suppressed.get(),
+                m.realtime_malformed.get()
+            ));
+        }
         // The resilience line only appears when something failed or was
         // injected — clean-run output is unchanged.
         if m.polls_failed.get() > 0 || m.faults_injected.get() > 0 || m.dead_letters.get() > 0 {

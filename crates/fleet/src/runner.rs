@@ -162,6 +162,12 @@ pub struct FleetConfig {
     /// counting-only sink keeps golden digests byte-identical;
     /// `--attribution` turns it on).
     pub attribution: bool,
+    /// Fraction of cells whose partner service is realtime-capable
+    /// (§6's adoption sweep). Each capable cell's service pushes a
+    /// notification on new trigger data and its engine allow-lists the
+    /// service for immediate polls. `0.0` (the default) leaves the
+    /// realtime path entirely cold, preserving pinned digests.
+    pub realtime_share: f64,
 }
 
 impl FleetConfig {
@@ -186,6 +192,7 @@ impl FleetConfig {
             batch_polling: true,
             chaos: ChaosProfile::default(),
             attribution: false,
+            realtime_share: 0.0,
         }
     }
 
@@ -224,6 +231,12 @@ impl FleetConfig {
     /// Turn per-stage T2A attribution on or off.
     pub fn with_attribution(mut self, on: bool) -> Self {
         self.attribution = on;
+        self
+    }
+
+    /// Set the realtime-capable share of cells (clamped to `0..=1`).
+    pub fn with_realtime_share(mut self, share: f64) -> Self {
+        self.realtime_share = share.clamp(0.0, 1.0);
         self
     }
 

@@ -147,6 +147,32 @@ fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
     }
 }
 
+/// Realtime adoption must be as deterministic as everything else: the
+/// per-cell capability draw comes from the cell seed (never the shard), so
+/// a half-adopted fleet merges to one byte string at any shard count.
+/// Pinned like the other goldens; any change to the notification wire
+/// format, the immediate-poll scheduler, or the debounce/dedup machinery
+/// moves this digest.
+#[test]
+fn golden_digest_small_realtime_fleet_is_shard_invariant() {
+    const GOLDEN: &str = "3e9fa714a42a73d9";
+    for shards in [1usize, 2, 8] {
+        let report = run_fleet(&cfg(shards, 2017).with_realtime_share(0.5));
+        assert_eq!(
+            report.digest(),
+            GOLDEN,
+            "realtime-on digest drifted at {shards} shard(s):\n{}",
+            report.merged_json()
+        );
+        // The draw really selected cells and the push path really ran.
+        assert!(report.merged.realtime_notifications.get() > 0);
+        assert!(report.merged.realtime_polls.get() > 0);
+        assert_eq!(report.merged.realtime_malformed.get(), 0);
+        // Push never loses events: delivery stays total.
+        assert_eq!(report.merged.lost.get(), 0);
+    }
+}
+
 /// Interner state must never leak into anything a fleet run reports:
 /// symbols are per-component indices whose values depend on first-seen
 /// order, so a single `sym#N` (or raw `Symbol`) in the serialized report

@@ -39,5 +39,6 @@ pub use intern::{Interner, Symbol};
 pub use service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
 pub use wire::{
     ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
-    RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
+    RealtimeAckBody, RealtimeNotification, RealtimeNotificationV1, TriggerEvent,
+    DEFAULT_POLL_LIMIT, REALTIME_NOTIFICATION_VERSION,
 };

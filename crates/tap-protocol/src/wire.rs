@@ -3,7 +3,7 @@
 //! Bodies are serialized with `serde_json` into real JSON bytes, so message
 //! sizes and parse failures behave like the production protocol.
 
-use crate::ids::{FieldMap, TriggerIdentity, TriggerSlug, UserId};
+use crate::ids::{FieldMap, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
 
 use bytes::Bytes;
 use serde::de::DeserializeOwned;
@@ -205,6 +205,61 @@ impl RealtimeNotification {
     }
 }
 
+/// Version tag carried by [`RealtimeNotificationV1`] bodies. Bumping the
+/// wire shape bumps this; the engine rejects versions it does not speak.
+pub const REALTIME_NOTIFICATION_VERSION: u32 = 1;
+
+/// Service → engine: the first-class realtime notification.
+///
+/// Unlike the legacy [`RealtimeNotification`] hint (bare trigger
+/// identities), this body is versioned and names both the sending service
+/// and the affected trigger *channel*, so the engine can validate the
+/// notification against the authenticated service key and schedule an
+/// immediate poll without reverse-mapping identities first.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeNotificationV1 {
+    /// Body-shape version ([`REALTIME_NOTIFICATION_VERSION`]).
+    pub version: u32,
+    /// The service asserting it has fresh trigger data.
+    pub service: ServiceSlug,
+    /// Affected subscriptions, one item per hinted channel.
+    pub data: Vec<RealtimeChannel>,
+}
+
+/// One affected subscription inside a [`RealtimeNotificationV1`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeChannel {
+    /// Stable identity of the subscription with fresh data.
+    pub trigger_identity: TriggerIdentity,
+    /// The trigger channel the data arrived on.
+    pub channel: TriggerSlug,
+}
+
+impl RealtimeNotificationV1 {
+    /// A notification for a single subscription.
+    pub fn single(service: ServiceSlug, channel: TriggerSlug, ti: TriggerIdentity) -> Self {
+        RealtimeNotificationV1 {
+            version: REALTIME_NOTIFICATION_VERSION,
+            service,
+            data: vec![RealtimeChannel {
+                trigger_identity: ti,
+                channel,
+            }],
+        }
+    }
+}
+
+/// Engine → service: acknowledgement of a realtime notification, telling
+/// the service how its hint was scheduled.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RealtimeAckBody {
+    /// Subscriptions for which an immediate poll was armed.
+    pub accepted: u64,
+    /// Subscriptions whose hint was absorbed by an outstanding immediate
+    /// poll or an open debounce window (cadence polling will cover them).
+    pub suppressed: u64,
+}
+
 /// Engine → service: run one read-only query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct QueryRequestBody {
@@ -399,6 +454,39 @@ mod tests {
         let n = RealtimeNotification::single(TriggerIdentity("ti_1".into()));
         let back: RealtimeNotification = from_bytes(&to_bytes(&n)).unwrap();
         assert_eq!(back, n);
+    }
+
+    #[test]
+    fn realtime_notification_v1_roundtrips() {
+        let n = RealtimeNotificationV1::single(
+            ServiceSlug::new("amazon_alexa"),
+            TriggerSlug::new("new_command"),
+            TriggerIdentity("ti_9".into()),
+        );
+        assert_eq!(n.version, REALTIME_NOTIFICATION_VERSION);
+        let back: RealtimeNotificationV1 = from_bytes(&to_bytes(&n)).unwrap();
+        assert_eq!(back, n);
+    }
+
+    /// The two notification generations must stay distinguishable on the
+    /// wire: a legacy body (no `version`/`service`) must not parse as v1,
+    /// so the engine can try v1 first and fall back.
+    #[test]
+    fn legacy_notification_is_not_a_v1_body() {
+        let legacy = to_bytes(&RealtimeNotification::single(TriggerIdentity(
+            "ti_1".into(),
+        )));
+        assert!(from_bytes::<RealtimeNotificationV1>(&legacy).is_err());
+    }
+
+    #[test]
+    fn realtime_ack_roundtrips() {
+        let ack = RealtimeAckBody {
+            accepted: 3,
+            suppressed: 1,
+        };
+        let back: RealtimeAckBody = from_bytes(&to_bytes(&ack)).unwrap();
+        assert_eq!(back, ack);
     }
 
     /// The static fast-path bytes must be what serde would have produced,
