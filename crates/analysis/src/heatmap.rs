@@ -123,6 +123,7 @@ mod tests {
             author: Author::User(1),
             add_count: adds,
             created_week: 0,
+            steps: Vec::new(),
         };
         Snapshot {
             week: 18,

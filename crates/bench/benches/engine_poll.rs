@@ -47,6 +47,7 @@ fn bench(c: &mut Criterion) {
     let eco = Ecosystem::generate(GeneratorConfig {
         seed: derive_seed(master_seed, ECO_STREAM),
         scale: 0.02,
+        multi_step_share: 0.0,
     });
     let snap = eco.canonical_snapshot();
     let sampler = PopulationSampler::new(&snap, derive_seed(master_seed, POP_STREAM));

@@ -10,8 +10,9 @@
 //! ifttt-lab loops                    §4: explicit & implicit infinite loops
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
-//! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch]
+//! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch]
 //!                 [--chaos off|mild|harsh] [--attribution] [--realtime-share F]
+//!                 [--multi-step-share F]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -43,6 +44,7 @@ fn main() {
     let mut chaos = ChaosProfile::Off;
     let mut attribution = false;
     let mut realtime_share = 0.0f64;
+    let mut multi_step_share = 0.0f64;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -70,7 +72,7 @@ fn main() {
                 policy = it
                     .next()
                     .and_then(|v| FleetPolicy::parse(&v))
-                    .unwrap_or_else(|| usage("--policy is ifttt, fast, or smart"));
+                    .unwrap_or_else(|| usage("--policy is ifttt, fast, smart, or zapier"));
             }
             "--no-batch" => batch_polling = false,
             "--attribution" => attribution = true,
@@ -80,6 +82,13 @@ fn main() {
                     .and_then(|v| v.parse::<f64>().ok())
                     .filter(|s| (0.0..=1.0).contains(s))
                     .unwrap_or_else(|| usage("--realtime-share needs a float in 0..=1"));
+            }
+            "--multi-step-share" => {
+                multi_step_share = it
+                    .next()
+                    .and_then(|v| v.parse::<f64>().ok())
+                    .filter(|s| (0.0..=1.0).contains(s))
+                    .unwrap_or_else(|| usage("--multi-step-share needs a float in 0..=1"));
             }
             "--chaos" => {
                 chaos = it
@@ -181,14 +190,15 @@ fn main() {
                 .with_batch_polling(batch_polling)
                 .with_chaos(chaos)
                 .with_attribution(attribution)
-                .with_realtime_share(realtime_share);
+                .with_realtime_share(realtime_share)
+                .with_multi_step_share(multi_step_share);
             if cfg.chaos.enabled() {
                 // Give retries and breaker recovery room to finish after the
                 // last activation window before stragglers count as lost.
                 cfg.drain_secs = cfg.drain_secs.max(120.0);
             }
             println!(
-                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {}, realtime share {})",
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {}, realtime share {}, multi-step share {})",
                 cfg.users,
                 cfg.shards,
                 cfg.policy,
@@ -196,7 +206,8 @@ fn main() {
                 cfg.cell_users,
                 if cfg.batch_polling { "on" } else { "off" },
                 cfg.chaos,
-                cfg.realtime_share
+                cfg.realtime_share,
+                cfg.multi_step_share
             );
             let total_cells = cfg.users.div_ceil(cfg.cell_users);
             let mut done = 0u64;
@@ -213,7 +224,11 @@ fn main() {
         }
         "crawl" => {
             let scale = arg1.unwrap_or(0.05);
-            let eco = Ecosystem::generate(GeneratorConfig { seed, scale });
+            let eco = Ecosystem::generate(GeneratorConfig {
+                seed,
+                scale,
+                multi_step_share: 0.0,
+            });
             let week = GROWTH.week_canonical as u32;
             let mut sim = Sim::new(seed);
             let frontend = IftttFrontend::new(eco, week);
@@ -248,8 +263,8 @@ fn usage(err: &str) -> ! {
     eprintln!(
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
-         fleet [--users N] [--shards N] [--policy ifttt|fast|smart] [--no-batch] \
-         [--chaos off|mild|harsh] [--attribution] [--realtime-share F]>"
+         fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch] \
+         [--chaos off|mild|harsh] [--attribution] [--realtime-share F] [--multi-step-share F]>"
     );
     std::process::exit(2)
 }

@@ -77,6 +77,7 @@ impl Lab {
             Ecosystem::generate(GeneratorConfig {
                 seed: self.seed,
                 scale: self.scale,
+                multi_step_share: 0.0,
             })
         })
     }

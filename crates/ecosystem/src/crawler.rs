@@ -105,6 +105,9 @@ pub fn parse_applet_page(html: &str) -> Option<AppletRecord> {
         author,
         add_count,
         created_week: 0,
+        // The crawler sees the paper's public pages, which render only the
+        // classic trigger→action pair.
+        steps: Vec::new(),
     })
 }
 

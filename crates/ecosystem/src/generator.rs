@@ -36,6 +36,12 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use simnet::rng::derive_seed;
+use tap_protocol::{FieldMap, StepNode, StepPredicate, StepSpec};
+
+/// Derived-seed stream for the multi-step shape post-pass, so enabling
+/// `multi_step_share` perturbs no draw of the base ecosystem RNG.
+const MULTI_STEP_STREAM: u64 = 0x57e9_0001;
 
 /// Generator configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,6 +52,12 @@ pub struct GeneratorConfig {
     /// analyses are scale-invariant). Service counts stay at 408 so that
     /// Table 1 remains meaningful. Must be ≥ 0.02.
     pub scale: f64,
+    /// Fraction of applets given a Zapier-style multi-step execution DAG
+    /// (0.0 = the paper's pure trigger→action model). Shapes are drawn in
+    /// a post-pass on a derived RNG stream, so 0.0 is byte-identical to
+    /// the pre-multi-step generator.
+    #[serde(default)]
+    pub multi_step_share: f64,
 }
 
 impl Default for GeneratorConfig {
@@ -53,6 +65,7 @@ impl Default for GeneratorConfig {
         GeneratorConfig {
             seed: 2017,
             scale: 1.0,
+            multi_step_share: 0.0,
         }
     }
 }
@@ -60,7 +73,11 @@ impl Default for GeneratorConfig {
 impl GeneratorConfig {
     /// A reduced-scale config for fast tests (~6.4K applets).
     pub fn test_scale(seed: u64) -> Self {
-        GeneratorConfig { seed, scale: 0.02 }
+        GeneratorConfig {
+            seed,
+            scale: 0.02,
+            multi_step_share: 0.0,
+        }
     }
 }
 
@@ -103,6 +120,85 @@ fn apportion(total: usize, weights: &[f64]) -> Vec<usize> {
         remaining -= 1;
     }
     counts
+}
+
+/// One of five canonical multi-step DAG shapes, picked by a uniform draw
+/// in `[0, 1)`. The applet's classic `action` slug stays the DAG's first
+/// terminal action, so runtimes resolve endpoints exactly as before;
+/// fan-out shapes add a second abstract action slot that installers remap.
+fn multi_step_shape(pick: f64, action: &str) -> Vec<StepNode> {
+    let fm = |pairs: &[(&str, &str)]| -> FieldMap {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    };
+    let act = |slug: &str| {
+        StepNode::new(StepSpec::Action {
+            action: slug.to_string(),
+            fields: FieldMap::new(),
+        })
+    };
+    if pick < 0.30 {
+        // filter_pass: a permissive gate in front of the action.
+        vec![
+            StepNode::new(StepSpec::Filter {
+                predicate: StepPredicate::NotHas {
+                    key: "blocked".into(),
+                },
+            }),
+            act(action).after(&[0]),
+        ]
+    } else if pick < 0.55 {
+        // transform_chain: rewrite, gate on the rewrite, then act.
+        vec![
+            StepNode::new(StepSpec::Transform {
+                fields: fm(&[("status", "armed")]),
+            }),
+            StepNode::new(StepSpec::Filter {
+                predicate: StepPredicate::Equals {
+                    key: "status".into(),
+                    value: "armed".into(),
+                },
+            })
+            .after(&[0]),
+            act(action).after(&[1]),
+        ]
+    } else if pick < 0.80 {
+        // query_enrich: network lookup feeding a transform, then act.
+        vec![
+            StepNode::new(StepSpec::Query {
+                query: "lookup".into(),
+                prefix: "ctx".into(),
+                fields: fm(&[("q", "{{when}}")]),
+            }),
+            StepNode::new(StepSpec::Transform {
+                fields: fm(&[("note", "{{ctx.echo}}")]),
+            })
+            .after(&[0]),
+            act(action).after(&[1]),
+        ]
+    } else if pick < 0.90 {
+        // fanout: one transform feeding two parallel actions.
+        vec![
+            StepNode::new(StepSpec::Transform {
+                fields: fm(&[("copy", "{{when}}")]),
+            }),
+            act(action).after(&[0]),
+            act("aux").after(&[0]),
+        ]
+    } else {
+        // filter_drop: a gate that always cuts (the activation is
+        // filtered, not dead-lettered).
+        vec![
+            StepNode::new(StepSpec::Filter {
+                predicate: StepPredicate::Has {
+                    key: "never_set".into(),
+                },
+            }),
+            act(action).after(&[0]),
+        ]
+    }
 }
 
 /// Well-known non-IoT services seeded into their categories (referenced by
@@ -800,6 +896,7 @@ impl Ecosystem {
                 author: Author::User(0), // reassigned later
                 add_count: adds,
                 created_week: 0,
+                steps: Vec::new(),
             });
             let _ = i;
         }
@@ -1017,6 +1114,7 @@ impl Ecosystem {
                 author: Author::User(0),
                 add_count: adds,
                 created_week: 0,
+                steps: Vec::new(),
             });
             let _ = k;
         }
@@ -1044,6 +1142,7 @@ impl Ecosystem {
                 author: Author::User(0),
                 add_count: 1 + rng.gen_range(0..20),
                 created_week: rng.gen_range(GROWTH.week_canonical as u32 + 1..=24),
+                steps: Vec::new(),
             });
         }
 
@@ -1132,6 +1231,20 @@ impl Ecosystem {
         ids.shuffle(&mut rng);
         for (a, id) in applets.iter_mut().zip(ids) {
             a.id = id;
+        }
+
+        // ---- 7. Multi-step DAGs (opt-in) --------------------------------
+        // Assign Zapier-style execution DAGs to a share of applets. Drawn
+        // on a derived stream and guarded so the default share of 0.0
+        // performs zero extra draws and emits a byte-identical ecosystem.
+        if config.multi_step_share > 0.0 {
+            let share = config.multi_step_share.clamp(0.0, 1.0);
+            let mut ms_rng = StdRng::seed_from_u64(derive_seed(config.seed, MULTI_STEP_STREAM));
+            for a in applets.iter_mut() {
+                if ms_rng.gen::<f64>() < share {
+                    a.steps = multi_step_shape(ms_rng.gen::<f64>(), &a.action);
+                }
+            }
         }
 
         Ecosystem {
@@ -1229,6 +1342,33 @@ mod tests {
 
     fn small() -> Ecosystem {
         Ecosystem::generate(GeneratorConfig::test_scale(7))
+    }
+
+    #[test]
+    fn multi_step_share_assigns_valid_dags_without_perturbing_base() {
+        use tap_protocol::validate_steps;
+        let base = small();
+        let mut cfg = GeneratorConfig::test_scale(7);
+        cfg.multi_step_share = 0.25;
+        let multi = Ecosystem::generate(cfg);
+        // The post-pass only fills `steps`: everything else is identical.
+        assert_eq!(base.applets.len(), multi.applets.len());
+        for (b, m) in base.applets.iter().zip(&multi.applets) {
+            assert!(b.steps.is_empty());
+            assert_eq!(b.id, m.id);
+            assert_eq!(b.name, m.name);
+            assert_eq!(b.add_count, m.add_count);
+            validate_steps(&m.steps).expect("generated DAGs validate");
+        }
+        let with_steps = multi.applets.iter().filter(|a| !a.steps.is_empty()).count();
+        let share = with_steps as f64 / multi.applets.len() as f64;
+        assert!(
+            (share - 0.25).abs() < 0.03,
+            "multi-step share {share:.3} vs 0.25"
+        );
+        // Snapshots carry the DAGs through.
+        let snap = multi.canonical_snapshot();
+        assert!(snap.applets.iter().any(|a| !a.steps.is_empty()));
     }
 
     #[test]
@@ -1421,6 +1561,7 @@ mod tests {
         Ecosystem::generate(GeneratorConfig {
             seed: 1,
             scale: 0.001,
+            multi_step_share: 0.0,
         });
     }
 }

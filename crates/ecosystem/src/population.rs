@@ -14,6 +14,7 @@ use crate::snapshot::Snapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::rng::derive_seed;
+use tap_protocol::StepNode;
 
 /// The most applets a synthetic user channel installs. Kept small so one
 /// user maps onto a fixed set of per-user trigger slots in the fleet's
@@ -45,6 +46,9 @@ pub struct PopulationSampler {
     /// weighs `max(add_count, 1)` so zero-add applets stay reachable).
     cum: Vec<u64>,
     adds: Vec<u64>,
+    /// Per-applet execution DAGs (empty for classic trigger→action
+    /// applets); indexed like `adds`.
+    steps: Vec<Vec<StepNode>>,
     total: u64,
     seed: u64,
 }
@@ -57,16 +61,19 @@ impl PopulationSampler {
     pub fn new(snap: &Snapshot, seed: u64) -> Self {
         let mut cum = Vec::with_capacity(snap.applets.len());
         let mut adds = Vec::with_capacity(snap.applets.len());
+        let mut steps = Vec::with_capacity(snap.applets.len());
         let mut total = 0u64;
         for a in &snap.applets {
             total += a.add_count.max(1);
             cum.push(total);
             adds.push(a.add_count);
+            steps.push(a.steps.clone());
         }
         assert!(total > 0, "population sampler needs a non-empty snapshot");
         PopulationSampler {
             cum,
             adds,
+            steps,
             total,
             seed,
         }
@@ -75,6 +82,12 @@ impl PopulationSampler {
     /// Number of applets in the sampled catalog.
     pub fn applet_count(&self) -> usize {
         self.cum.len()
+    }
+
+    /// The execution DAG of applet `idx` (empty for classic single-step
+    /// applets). Installers clone and re-slug it per installation.
+    pub fn steps_of(&self, idx: usize) -> &[StepNode] {
+        &self.steps[idx]
     }
 
     /// The add count at percentile `p` (0–100) of the catalog — e.g. the

@@ -4,6 +4,7 @@
 use crate::taxonomy::Category;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use tap_protocol::StepNode;
 
 /// Who published an applet.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -38,7 +39,7 @@ pub struct ServiceRecord {
 /// One public applet as seen by the crawler (§3.1 lists exactly these
 /// fields: name, description, trigger, trigger service, action name, action
 /// service, and add count).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct AppletRecord {
     /// Six-digit page id (the crawler enumerates these).
     pub id: u32,
@@ -51,6 +52,36 @@ pub struct AppletRecord {
     pub add_count: u64,
     /// Week the applet was published.
     pub created_week: u32,
+    /// Multi-step execution DAG (Zapier-style), empty for the classic
+    /// trigger→action applets the paper crawled. Node slugs are abstract:
+    /// runtimes resolve query/action slugs against the services they
+    /// actually install the applet on.
+    #[serde(default)]
+    pub steps: Vec<StepNode>,
+}
+
+// Manual `Serialize` so an all-classic snapshot keeps its exact
+// pre-multi-step byte representation: `steps` appears only when nonempty.
+impl Serialize for AppletRecord {
+    fn to_value(&self) -> serde::Value {
+        let mut m = BTreeMap::new();
+        let mut put = |name: &str, v: serde::Value| {
+            m.insert(name.to_string(), v);
+        };
+        put("id", self.id.to_value());
+        put("name", self.name.to_value());
+        put("trigger_service", self.trigger_service.to_value());
+        put("trigger", self.trigger.to_value());
+        put("action_service", self.action_service.to_value());
+        put("action", self.action.to_value());
+        put("author", self.author.to_value());
+        put("add_count", self.add_count.to_value());
+        put("created_week", self.created_week.to_value());
+        if !self.steps.is_empty() {
+            put("steps", self.steps.to_value());
+        }
+        serde::Value::Object(m)
+    }
 }
 
 /// One weekly snapshot of the ecosystem.
@@ -182,6 +213,7 @@ mod tests {
             author,
             add_count: adds,
             created_week: 0,
+            steps: Vec::new(),
         }
     }
 

@@ -2,7 +2,7 @@
 
 use crate::conditions::Condition;
 use serde::{Deserialize, Serialize};
-use tap_protocol::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerSlug, UserId};
+use tap_protocol::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, StepNode, TriggerSlug, UserId};
 
 /// Unique applet identifier (IFTTT used six-digit numeric IDs, which is how
 /// the paper's crawler enumerated the public applet space).
@@ -64,6 +64,13 @@ pub struct Applet {
     /// dispatch; their results join the ingredients under their prefixes.
     #[serde(default)]
     pub queries: Vec<QueryRef>,
+    /// Multi-step execution DAG (Zapier-style). Empty for classic
+    /// single-step applets; when non-empty, the DAG's query/action nodes
+    /// run against `action.service` and the `action`/`condition`/`queries`
+    /// fields above are ignored by the executor. A degenerate one-action
+    /// DAG is normalized back onto the classic path at install time.
+    #[serde(default)]
+    pub steps: Vec<StepNode>,
 }
 
 impl Applet {
@@ -84,6 +91,7 @@ impl Applet {
             add_count: 0,
             condition: Condition::Always,
             queries: Vec::new(),
+            steps: Vec::new(),
         }
     }
 
@@ -96,6 +104,12 @@ impl Applet {
     /// Attach a pre-dispatch query.
     pub fn with_query(mut self, query: QueryRef) -> Self {
         self.queries.push(query);
+        self
+    }
+
+    /// Attach a multi-step execution DAG (validated at install time).
+    pub fn with_steps(mut self, steps: Vec<StepNode>) -> Self {
+        self.steps = steps;
         self
     }
 }

@@ -43,7 +43,10 @@ use tap_protocol::wire::{
     ErrorBody, PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody,
     RealtimeAckBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
 };
-use tap_protocol::{FieldMap, Interner, ServiceSlug, Symbol, TriggerIdentity, UserId};
+use tap_protocol::{
+    is_degenerate, validate_steps, ActionSlug, FieldMap, Interner, QuerySlug, ServiceSlug,
+    StepFailurePolicy, StepKind, StepNode, StepSpec, Symbol, TriggerIdentity, UserId,
+};
 
 // Correlation-token tags (top byte).
 const TAG_SHIFT: u64 = 56;
@@ -53,6 +56,7 @@ const TAG_OAUTH_AUTH: u64 = 3 << TAG_SHIFT;
 const TAG_OAUTH_TOKEN: u64 = 4 << TAG_SHIFT;
 const TAG_QUERY: u64 = 5 << TAG_SHIFT;
 const TAG_BATCH: u64 = 6 << TAG_SHIFT;
+const TAG_DAG: u64 = 7 << TAG_SHIFT;
 const TAG_MASK: u64 = 0xFF << TAG_SHIFT;
 /// Query tokens pack (dispatch << 4 | query index); 16 queries per applet.
 const QUERY_IDX_BITS: u64 = 4;
@@ -60,6 +64,16 @@ const QUERY_IDX_BITS: u64 = 4;
 // Timer-key tags.
 const TK_POLL: u64 = 1 << TAG_SHIFT;
 const TK_DISPATCH: u64 = 2 << TAG_SHIFT;
+const TK_DAG: u64 = 3 << TAG_SHIFT;
+
+/// DAG tokens and timers pack `(run << 6) | node index`; the all-ones
+/// node sentinel marks a run-start timer rather than a node retry.
+const DAG_NODE_BITS: u64 = 6;
+const DAG_NODE_MASK: u64 = (1 << DAG_NODE_BITS) - 1;
+const DAG_RUN_START: u64 = DAG_NODE_MASK;
+/// Dispatch ids of DAG runs carry this bit, keeping the id space (and the
+/// attribution chains keyed on it) disjoint from single-step dispatches.
+const DAG_DISPATCH_BIT: u64 = 1 << 63;
 
 /// A partner service as the engine knows it.
 #[derive(Debug, Clone)]
@@ -80,12 +94,31 @@ pub struct RuntimeLoopConfig {
     pub auto_disable: bool,
 }
 
+/// Which TAP ecosystem's execution semantics the engine mimics for
+/// multi-step applet DAGs. Single-step applets behave identically under
+/// both policies, so the switch never perturbs a classic workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EnginePolicy {
+    /// IFTTT-style: network steps of a run launch as soon as their
+    /// predecessors complete (parallel where the DAG allows), and a
+    /// terminally failed step defaults to resolving empty while the rest
+    /// of the run continues.
+    #[default]
+    IftttLike,
+    /// Zapier-style: network steps run strictly one at a time in node
+    /// order, and a terminally failed step defaults to halting the run —
+    /// remaining nodes are skipped and the run dead-letters.
+    ZapierLike,
+}
+
 /// Engine behaviour knobs. Defaults reproduce production IFTTT as measured
 /// by the paper; experiment E3 swaps `polling` for `PollPolicy::fixed(1.0)`.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Poll scheduling policy.
     pub polling: PollPolicy,
+    /// Multi-step execution semantics (see [`EnginePolicy`]).
+    pub policy: EnginePolicy,
     /// Services whose realtime hints are honored (the paper: Alexa).
     pub realtime_allowlist: HashSet<ServiceSlug>,
     /// Delay between an honored hint and the prompt poll it schedules (s).
@@ -134,6 +167,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             polling: PollPolicy::ifttt_like(),
+            policy: EnginePolicy::IftttLike,
             realtime_allowlist: HashSet::new(),
             hint_processing: Dist::Uniform { lo: 0.5, hi: 1.5 },
             realtime_debounce: SimDuration::from_secs(5),
@@ -193,6 +227,12 @@ impl EngineConfig {
     /// Replace the poll scheduling policy.
     pub fn with_polling(mut self, polling: PollPolicy) -> Self {
         self.polling = polling;
+        self
+    }
+
+    /// Select the multi-step execution semantics.
+    pub fn with_policy(mut self, policy: EnginePolicy) -> Self {
+        self.policy = policy;
         self
     }
 
@@ -265,6 +305,8 @@ pub enum InstallError {
     NotConnected(ServiceSlug),
     /// Static loop check rejected the applet.
     LoopDetected(Vec<AppletId>),
+    /// The applet's multi-step DAG failed validation.
+    InvalidSteps(String),
 }
 
 /// Aggregate engine counters.
@@ -322,6 +364,18 @@ pub struct EngineStats {
     pub realtime_suppressed: u64,
     /// Realtime notification bodies that failed to parse (answered 400).
     pub realtime_malformed: u64,
+    /// Multi-step DAG runs started.
+    pub dag_runs: u64,
+    /// Filter nodes executed (both predicate outcomes count).
+    pub dag_nodes_filter: u64,
+    /// Transform nodes executed.
+    pub dag_nodes_transform: u64,
+    /// Query nodes completed successfully.
+    pub dag_nodes_query: u64,
+    /// Action nodes completed successfully.
+    pub dag_nodes_action: u64,
+    /// Failed DAG query/action attempts re-sent on the backoff schedule.
+    pub dag_node_retries: u64,
 }
 
 #[derive(Debug)]
@@ -399,6 +453,56 @@ struct DispatchJob {
     attempts: u32,
 }
 
+/// Execution state of one DAG node within a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum NodeStatus {
+    /// Not started; waiting on predecessors (or a free launch slot).
+    #[default]
+    Pending,
+    /// A network request (or retry timer) is outstanding.
+    InFlight,
+    /// Completed successfully; `out` holds its contribution.
+    Done,
+    /// A filter predicate evaluated false: downstream nodes are skipped
+    /// without any failure being recorded.
+    Cut,
+    /// Never ran because a predecessor was cut, skipped, or failed.
+    Skipped,
+    /// Failed terminally under a halting failure policy.
+    Failed,
+}
+
+#[derive(Debug, Default)]
+struct RunNode {
+    status: NodeStatus,
+    /// Network attempts already sent (query/action nodes only).
+    attempts: u32,
+    /// Ingredients this node contributes to its dependents: a transform's
+    /// substituted fields, or a query's prefixed result keys.
+    out: FieldMap,
+}
+
+/// One activation walking a multi-step applet DAG — the multi-step
+/// counterpart of [`DispatchJob`]. A run ends with exactly one terminal
+/// event (ok / dead letter / filtered), so the single-step conservation
+/// invariant extends unchanged to multi-step applets.
+#[derive(Debug)]
+struct DagRun {
+    applet: AppletId,
+    event: TriggerEvent,
+    nodes: Vec<RunNode>,
+    /// Network requests (or pending retry timers) outstanding.
+    outstanding: usize,
+    /// A halting node failure marked the whole run failed.
+    failed: bool,
+    any_action_ok: bool,
+    /// An action node failed terminally under a `Continue` policy.
+    any_action_failed: bool,
+    /// ZapierLike step semantics: at most one network node in flight,
+    /// lowest index first.
+    serial: bool,
+}
+
 /// The engine node.
 #[derive(Debug)]
 pub struct TapEngine {
@@ -433,6 +537,10 @@ pub struct TapEngine {
     batch_bodies: HashMap<(Symbol, Symbol, u8), (Vec<AppletId>, bytes::Bytes)>,
     dispatches: HashMap<u64, DispatchJob>,
     next_dispatch: u64,
+    /// In-flight multi-step runs, keyed by run id (the low bits of the
+    /// run's tagged dispatch id).
+    dag_runs: HashMap<u64, DagRun>,
+    next_dag_run: u64,
     /// Permission manager (service-level by default, §6).
     pub permissions: PermissionManager,
     /// Static loop detector (consulted only if configured).
@@ -475,6 +583,8 @@ impl TapEngine {
             batch_bodies: HashMap::new(),
             dispatches: HashMap::new(),
             next_dispatch: 1,
+            dag_runs: HashMap::new(),
+            next_dag_run: 1,
             permissions,
             static_detector: StaticLoopDetector::new(),
             runtime_detector,
@@ -567,8 +677,23 @@ impl TapEngine {
     pub fn install_applet(
         &mut self,
         ctx: &mut Context<'_>,
-        applet: Applet,
+        mut applet: Applet,
     ) -> Result<AppletId, InstallError> {
+        // Degenerate-DAG fast path: a one-node action DAG *is* a classic
+        // applet, so fold it back onto the single-step path at install
+        // time. Everything downstream — cached bodies, dispatch timers,
+        // RNG draw order — is then byte-identical to an applet that never
+        // had steps.
+        if is_degenerate(&applet.steps) {
+            let node = applet.steps.pop().expect("degenerate DAG has one node");
+            if let StepSpec::Action { action, fields } = node.spec {
+                applet.action.action = ActionSlug::new(action);
+                applet.action.fields = fields;
+            }
+        }
+        if !applet.steps.is_empty() {
+            validate_steps(&applet.steps).map_err(|e| InstallError::InvalidSteps(e.to_string()))?;
+        }
         for service in [&applet.trigger.service, &applet.action.service] {
             if !self
                 .service_sym(service)
@@ -1204,31 +1329,62 @@ impl TapEngine {
                 format!("{id:?} {} new events", fresh.len()),
             );
         }
-        // Batch dispatch: one action per event, back-to-back.
+        // Batch dispatch: one action (or one DAG run) per event,
+        // back-to-back. Both branches draw the same overhead and gap
+        // samples, so a population mixing multi-step and classic applets
+        // keeps every classic applet's schedule untouched.
+        let dag = self.applets.get(&id).is_some_and(|a| !a.steps.is_empty());
         let overhead = SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
         let mut at = overhead;
         for event in fresh {
-            let d = self.next_dispatch;
-            self.next_dispatch += 1;
-            self.dispatches.insert(
-                d,
-                DispatchJob {
+            if dag {
+                let run = self.next_dag_run;
+                self.next_dag_run += 1;
+                let n = self.applets[&id].steps.len();
+                self.dag_runs.insert(
+                    run,
+                    DagRun {
+                        applet: id,
+                        event,
+                        nodes: (0..n).map(|_| RunNode::default()).collect(),
+                        outstanding: 0,
+                        failed: false,
+                        any_action_ok: false,
+                        any_action_failed: false,
+                        serial: self.config.policy == EnginePolicy::ZapierLike,
+                    },
+                );
+                self.obs(ObsEvent::DispatchEnqueued {
                     applet: id,
-                    event,
-                    pending_queries: 0,
-                    extra: tap_protocol::FieldMap::new(),
-                    queries_issued: false,
-                    attempts: 0,
-                },
-            );
-            self.obs(ObsEvent::DispatchEnqueued {
-                applet: id,
-                dispatch: d,
-                depth: self.dispatches.len() as u64,
-                poll_sent_at: sent_at,
-                at: ctx.now(),
-            });
-            ctx.set_timer(at, TK_DISPATCH | d);
+                    dispatch: DAG_DISPATCH_BIT | run,
+                    depth: (self.dispatches.len() + self.dag_runs.len()) as u64,
+                    poll_sent_at: sent_at,
+                    at: ctx.now(),
+                });
+                ctx.set_timer(at, TK_DAG | (run << DAG_NODE_BITS) | DAG_RUN_START);
+            } else {
+                let d = self.next_dispatch;
+                self.next_dispatch += 1;
+                self.dispatches.insert(
+                    d,
+                    DispatchJob {
+                        applet: id,
+                        event,
+                        pending_queries: 0,
+                        extra: tap_protocol::FieldMap::new(),
+                        queries_issued: false,
+                        attempts: 0,
+                    },
+                );
+                self.obs(ObsEvent::DispatchEnqueued {
+                    applet: id,
+                    dispatch: d,
+                    depth: self.dispatches.len() as u64,
+                    poll_sent_at: sent_at,
+                    at: ctx.now(),
+                });
+                ctx.set_timer(at, TK_DISPATCH | d);
+            }
             at += SimDuration::from_secs_f64(self.config.inter_action_gap.sample(ctx.rng()));
         }
     }
@@ -1464,6 +1620,419 @@ impl TapEngine {
         }
     }
 
+    /// Drive one DAG run as far as it can go without waiting on the
+    /// network: skip nodes whose predecessors were cut or failed, execute
+    /// filter/transform nodes synchronously, launch ready query/action
+    /// nodes (one at a time under ZapierLike serial semantics), and
+    /// finish the run once nothing is pending or in flight.
+    fn dag_advance(&mut self, ctx: &mut Context<'_>, run_id: u64) {
+        enum Act {
+            Skip(usize),
+            Sync(usize),
+            Launch(usize),
+            Finish,
+            Wait,
+        }
+        loop {
+            let act = {
+                let Some(run) = self.dag_runs.get(&run_id) else {
+                    return;
+                };
+                let Some(applet) = self.applets.get(&run.applet) else {
+                    self.dag_runs.remove(&run_id);
+                    return;
+                };
+                let steps = &applet.steps;
+                let mut act = Act::Wait;
+                for (i, node) in run.nodes.iter().enumerate() {
+                    if node.status != NodeStatus::Pending {
+                        continue;
+                    }
+                    if steps[i].deps.iter().any(|&d| {
+                        matches!(
+                            run.nodes[d as usize].status,
+                            NodeStatus::Cut | NodeStatus::Skipped | NodeStatus::Failed
+                        )
+                    }) {
+                        act = Act::Skip(i);
+                        break;
+                    }
+                    if !steps[i]
+                        .deps
+                        .iter()
+                        .all(|&d| run.nodes[d as usize].status == NodeStatus::Done)
+                    {
+                        continue;
+                    }
+                    match steps[i].spec {
+                        StepSpec::Filter { .. } | StepSpec::Transform { .. } => {
+                            act = Act::Sync(i);
+                            break;
+                        }
+                        StepSpec::Query { .. } | StepSpec::Action { .. } => {
+                            if run.serial && run.outstanding > 0 {
+                                continue;
+                            }
+                            act = Act::Launch(i);
+                            break;
+                        }
+                    }
+                }
+                if matches!(act, Act::Wait)
+                    && run.outstanding == 0
+                    && run.nodes.iter().all(|n| {
+                        n.status != NodeStatus::Pending && n.status != NodeStatus::InFlight
+                    })
+                {
+                    act = Act::Finish;
+                }
+                act
+            };
+            match act {
+                Act::Wait => return,
+                Act::Finish => {
+                    self.dag_finish(ctx, run_id);
+                    return;
+                }
+                Act::Skip(i) => {
+                    let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                    run.nodes[i].status = NodeStatus::Skipped;
+                }
+                Act::Sync(i) => {
+                    let (applet_id, done, out, kind) = {
+                        let run = &self.dag_runs[&run_id];
+                        let applet = &self.applets[&run.applet];
+                        let input = dag_node_input(run, &applet.steps, i);
+                        match &applet.steps[i].spec {
+                            StepSpec::Filter { predicate } => (
+                                run.applet,
+                                predicate.eval(&input),
+                                FieldMap::new(),
+                                StepKind::Filter,
+                            ),
+                            StepSpec::Transform { fields } => (
+                                run.applet,
+                                true,
+                                substitute_fields(fields, &input),
+                                StepKind::Transform,
+                            ),
+                            _ => unreachable!("scan yields Sync only for filter/transform"),
+                        }
+                    };
+                    let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                    run.nodes[i].status = if done {
+                        NodeStatus::Done
+                    } else {
+                        NodeStatus::Cut
+                    };
+                    run.nodes[i].out = out;
+                    self.obs(ObsEvent::DagNodeExecuted {
+                        applet: applet_id,
+                        dispatch: DAG_DISPATCH_BIT | run_id,
+                        node: i as u16,
+                        kind,
+                        at: ctx.now(),
+                    });
+                }
+                Act::Launch(i) => {
+                    {
+                        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                        run.nodes[i].status = NodeStatus::InFlight;
+                        run.outstanding += 1;
+                    }
+                    self.dag_send(ctx, run_id, i);
+                }
+            }
+        }
+    }
+
+    /// Send (or re-send, from a retry timer) the network request of one
+    /// query/action node. The node is `InFlight` and counted in
+    /// `outstanding`; a breaker shed is treated as a retryable transport
+    /// failure that consumes an attempt, so query steps face the same
+    /// breaker/retry stack polls do.
+    fn dag_send(&mut self, ctx: &mut Context<'_>, run_id: u64, idx: usize) {
+        let Some(run) = self.dag_runs.get(&run_id) else {
+            return;
+        };
+        if run.nodes.get(idx).map(|n| n.status) != Some(NodeStatus::InFlight) {
+            return;
+        }
+        let id = run.applet;
+        if run.failed {
+            // The run halted while this node waited on a retry timer:
+            // resolve it without wasting the request.
+            let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+            run.outstanding -= 1;
+            run.nodes[idx].status = NodeStatus::Failed;
+            self.dag_advance(ctx, run_id);
+            return;
+        }
+        let Some((owner, action_service)) =
+            self.tasks.get(&id).map(|t| (t.owner, t.action_service))
+        else {
+            return;
+        };
+        {
+            let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+            run.nodes[idx].attempts += 1;
+        }
+        if self.breaker_sheds(ctx.now(), action_service) {
+            self.dag_node_failure(ctx, run_id, idx, FailureClass::Transport, None);
+            return;
+        }
+        let (req, sent_ev, node) = {
+            let Some(reg) = self.services.get(&action_service) else {
+                return;
+            };
+            let Some(bearer) = self.tokens.get(&(owner, action_service)) else {
+                return;
+            };
+            let run = &self.dag_runs[&run_id];
+            let applet = &self.applets[&id];
+            let input = dag_node_input(run, &applet.steps, idx);
+            let attempt = run.nodes[idx].attempts;
+            match &applet.steps[idx].spec {
+                StepSpec::Query { query, fields, .. } => (
+                    Request::post(query_path(&QuerySlug::new(query.clone())))
+                        .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+                        .with_header(AUTHORIZATION_HEADER, bearer.clone())
+                        .with_body(wire::to_bytes(&QueryRequestBody {
+                            query_fields: substitute_fields(fields, &input),
+                            user: applet.owner.clone(),
+                        })),
+                    ObsEvent::QuerySent {
+                        applet: id,
+                        dispatch: DAG_DISPATCH_BIT | run_id,
+                        at: ctx.now(),
+                    },
+                    reg.node,
+                ),
+                StepSpec::Action { action, fields } => (
+                    Request::post(action_path(&ActionSlug::new(action.clone())))
+                        .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
+                        .with_header(AUTHORIZATION_HEADER, bearer.clone())
+                        .with_body(wire::to_bytes(&ActionRequestBody {
+                            action_fields: substitute_fields(fields, &input),
+                            user: applet.owner.clone(),
+                        })),
+                    ObsEvent::ActionSent {
+                        applet: id,
+                        dispatch: DAG_DISPATCH_BIT | run_id,
+                        attempt,
+                        at: ctx.now(),
+                    },
+                    reg.node,
+                ),
+                _ => return,
+            }
+        };
+        self.obs(sent_ev);
+        if ctx.tracing() {
+            ctx.trace("engine.dag_node_sent", format!("{id:?} node {idx}"));
+        }
+        ctx.send_request(
+            node,
+            req,
+            Token(TAG_DAG | (run_id << DAG_NODE_BITS) | idx as u64),
+            RequestOpts {
+                timeout: Some(self.config.request_timeout),
+            },
+        );
+    }
+
+    /// A network node's attempt failed (bad status, timeout, or a breaker
+    /// shed). Either re-arm a retry on the backoff schedule — query nodes
+    /// draw on the poll-retry budget, action nodes on the action-retry
+    /// budget, with the node's `max_retries` overriding either — or
+    /// resolve the node terminally under its effective failure policy.
+    fn dag_node_failure(
+        &mut self,
+        ctx: &mut Context<'_>,
+        run_id: u64,
+        idx: usize,
+        class: FailureClass,
+        retry_after: Option<SimDuration>,
+    ) {
+        let Some(run) = self.dag_runs.get(&run_id) else {
+            return;
+        };
+        let id = run.applet;
+        let attempts = run.nodes[idx].attempts;
+        let Some(applet) = self.applets.get(&id) else {
+            return;
+        };
+        let step = &applet.steps[idx];
+        let is_action = matches!(step.spec, StepSpec::Action { .. });
+        let base = if is_action {
+            &self.config.action_retry
+        } else {
+            &self.config.poll_retry
+        };
+        let retry = match step.max_retries {
+            Some(budget) => class.is_retryable() && attempts <= budget,
+            None => base.should_retry(attempts, class),
+        };
+        let on_failure = step.on_failure;
+        if retry {
+            let mut delay = base.backoff.delay(attempts.saturating_sub(1), ctx.rng());
+            if let Some(ra) = retry_after {
+                delay = delay.max(ra);
+            }
+            self.obs(ObsEvent::DagNodeRetried {
+                applet: id,
+                dispatch: DAG_DISPATCH_BIT | run_id,
+                node: idx as u16,
+                at: ctx.now(),
+            });
+            if is_action {
+                self.obs(ObsEvent::ActionRetried {
+                    applet: id,
+                    dispatch: DAG_DISPATCH_BIT | run_id,
+                    at: ctx.now(),
+                });
+            }
+            ctx.set_timer(delay, TK_DAG | (run_id << DAG_NODE_BITS) | idx as u64);
+            return; // node stays InFlight; outstanding keeps counting it
+        }
+        let policy = match on_failure {
+            StepFailurePolicy::PolicyDefault => match self.config.policy {
+                EnginePolicy::IftttLike => StepFailurePolicy::Continue,
+                EnginePolicy::ZapierLike => StepFailurePolicy::Halt,
+            },
+            explicit => explicit,
+        };
+        if !is_action {
+            self.obs(ObsEvent::QueryFailed {
+                dispatch: DAG_DISPATCH_BIT | run_id,
+                at: ctx.now(),
+            });
+        }
+        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+        run.outstanding -= 1;
+        match policy {
+            StepFailurePolicy::Continue => {
+                // The node resolves empty and downstream nodes still run —
+                // the single-step engine's historical treatment of a
+                // failed pre-dispatch query.
+                run.nodes[idx].status = NodeStatus::Done;
+                run.nodes[idx].out = FieldMap::new();
+                if is_action {
+                    run.any_action_failed = true;
+                }
+            }
+            _ => {
+                run.nodes[idx].status = NodeStatus::Failed;
+                run.failed = true;
+                for n in &mut run.nodes {
+                    if n.status == NodeStatus::Pending {
+                        n.status = NodeStatus::Skipped;
+                    }
+                }
+            }
+        }
+        self.dag_advance(ctx, run_id);
+    }
+
+    /// One DAG run reached quiescence: emit exactly one terminal event —
+    /// dead letter if the run failed (or an action failed with no sibling
+    /// succeeding), success if any action landed, filtered otherwise — so
+    /// `events_new == actions_ok + actions_filtered + dead_letters` holds
+    /// for multi-step applets exactly as it does for single-step ones.
+    fn dag_finish(&mut self, ctx: &mut Context<'_>, run_id: u64) {
+        let Some(run) = self.dag_runs.remove(&run_id) else {
+            return;
+        };
+        let dispatch = DAG_DISPATCH_BIT | run_id;
+        let applet = run.applet;
+        if run.failed || (run.any_action_failed && !run.any_action_ok) {
+            self.obs(ObsEvent::ActionFinished {
+                applet,
+                dispatch,
+                ok: false,
+                at: ctx.now(),
+            });
+            self.obs(ObsEvent::ActionDeadLettered {
+                applet,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace("engine.dag_dead_letter", TraceDetail::Applet(applet.0));
+        } else if run.any_action_ok {
+            self.obs(ObsEvent::ActionFinished {
+                applet,
+                dispatch,
+                ok: true,
+                at: ctx.now(),
+            });
+            ctx.trace("engine.dag_ok", TraceDetail::Applet(applet.0));
+        } else {
+            self.obs(ObsEvent::ActionFiltered {
+                applet,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace("engine.dag_filtered", TraceDetail::Applet(applet.0));
+        }
+    }
+
+    /// A response for one DAG node came back.
+    fn on_dag_response(&mut self, ctx: &mut Context<'_>, run_id: u64, idx: usize, resp: Response) {
+        let Some(run) = self.dag_runs.get(&run_id) else {
+            return;
+        };
+        if run.nodes.get(idx).map(|n| n.status) != Some(NodeStatus::InFlight) {
+            return;
+        }
+        let id = run.applet;
+        let service = self.tasks.get(&id).map(|t| t.action_service);
+        if !resp.is_success() {
+            if let Some(s) = service {
+                self.breaker_record(ctx, s, false);
+            }
+            let class = FailureClass::of_status(resp.status).unwrap_or(FailureClass::Transport);
+            self.dag_node_failure(ctx, run_id, idx, class, retry_after_hint(&resp));
+            return;
+        }
+        if let Some(s) = service {
+            self.breaker_record(ctx, s, true);
+        }
+        let Some(applet) = self.applets.get(&id) else {
+            return;
+        };
+        let (kind, is_action, out) = match &applet.steps[idx].spec {
+            StepSpec::Query { prefix, .. } => {
+                // Merge the result keys under the node's prefix, exactly
+                // like the single-step query path; an unparseable 200
+                // resolves empty without a failure.
+                let mut out = FieldMap::new();
+                if let Ok(body) = wire::from_bytes::<QueryResponseBody>(&resp.body) {
+                    for (k, v) in body.data {
+                        out.insert(format!("{prefix}.{k}"), v);
+                    }
+                }
+                (StepKind::Query, false, out)
+            }
+            StepSpec::Action { .. } => (StepKind::Action, true, FieldMap::new()),
+            _ => return,
+        };
+        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+        run.outstanding -= 1;
+        run.nodes[idx].status = NodeStatus::Done;
+        run.nodes[idx].out = out;
+        if is_action {
+            run.any_action_ok = true;
+        }
+        self.obs(ObsEvent::DagNodeExecuted {
+            applet: id,
+            dispatch: DAG_DISPATCH_BIT | run_id,
+            node: idx as u16,
+            kind,
+            at: ctx.now(),
+        });
+        self.dag_advance(ctx, run_id);
+    }
+
     fn on_realtime_notification(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
         self.obs(ObsEvent::HintReceived { at: ctx.now() });
         let Some(slug) = req
@@ -1580,6 +2149,35 @@ fn parse_realtime_items(body: &[u8], from: &ServiceSlug) -> Option<Vec<TriggerId
         .map(|n| n.data.into_iter().map(|i| i.trigger_identity).collect())
 }
 
+/// The ingredient view a DAG node executes against: the trigger event's
+/// ingredients overlaid with the outputs of every *transitive* ancestor,
+/// applied in node-index order (later ancestors win key collisions,
+/// mirroring the query-merge precedence of the single-step path).
+fn dag_node_input(run: &DagRun, steps: &[StepNode], node: usize) -> FieldMap {
+    let mask = ancestor_mask(steps, node);
+    let mut input = run.event.ingredients.clone();
+    for i in 0..node {
+        if mask & (1 << i) != 0 {
+            for (k, v) in &run.nodes[i].out {
+                input.insert(k.clone(), v.clone());
+            }
+        }
+    }
+    input
+}
+
+/// Transitive ancestor set of `node` as a bitmask. Deps always point at
+/// strictly lower indices (enforced by `validate_steps`), so the
+/// recursion is bounded by the node count (≤ 16).
+fn ancestor_mask(steps: &[StepNode], node: usize) -> u32 {
+    let mut mask = 0u32;
+    for &d in &steps[node].deps {
+        let d = d as usize;
+        mask |= (1u32 << d) | ancestor_mask(steps, d);
+    }
+    mask
+}
+
 /// The `Retry-After` delay a 5xx response advertises, if any. The engine's
 /// backoff never retries *sooner* than the service asked.
 fn retry_after_hint(resp: &Response) -> Option<SimDuration> {
@@ -1630,6 +2228,25 @@ impl Node for TapEngine {
             TK_DISPATCH => {
                 let dispatch = key & !TAG_MASK;
                 self.send_action(ctx, dispatch);
+            }
+            TK_DAG => {
+                let packed = key & !TAG_MASK;
+                let run_id = packed >> DAG_NODE_BITS;
+                let idx = packed & DAG_NODE_MASK;
+                if idx == DAG_RUN_START {
+                    if let Some(run) = self.dag_runs.get(&run_id) {
+                        let applet = run.applet;
+                        self.obs(ObsEvent::DagRunStarted {
+                            applet,
+                            dispatch: DAG_DISPATCH_BIT | run_id,
+                            at: ctx.now(),
+                        });
+                        self.dag_advance(ctx, run_id);
+                    }
+                } else {
+                    // A node retry timer fired.
+                    self.dag_send(ctx, run_id, idx as usize);
+                }
             }
             _ => {}
         }
@@ -1722,6 +2339,12 @@ impl Node for TapEngine {
                 let dispatch = packed >> QUERY_IDX_BITS;
                 let qidx = (packed & ((1 << QUERY_IDX_BITS) - 1)) as usize;
                 self.on_query_response(ctx, dispatch, qidx, resp);
+            }
+            TAG_DAG => {
+                let packed = token.0 & !TAG_MASK;
+                let run_id = packed >> DAG_NODE_BITS;
+                let idx = (packed & DAG_NODE_MASK) as usize;
+                self.on_dag_response(ctx, run_id, idx, resp);
             }
             TAG_OAUTH_AUTH => {
                 let seq = token.0 & !TAG_MASK;

@@ -30,7 +30,8 @@ pub mod resilience;
 pub use applet::{substitute_fields, ActionRef, Applet, AppletId, QueryRef, TriggerRef};
 pub use conditions::Condition;
 pub use engine::{
-    EngineConfig, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration, TapEngine,
+    EngineConfig, EnginePolicy, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration,
+    TapEngine,
 };
 pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
 pub use obs::{FlightRecorder, ObsEvent, ObsSink, Stat};

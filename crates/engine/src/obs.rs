@@ -32,7 +32,7 @@ use crate::engine::EngineStats;
 use simnet::time::SimTime;
 use std::collections::VecDeque;
 use std::sync::Mutex;
-use tap_protocol::Symbol;
+use tap_protocol::{StepKind, Symbol};
 
 /// One typed instrumentation event, emitted by the engine at a hot spot.
 ///
@@ -266,6 +266,44 @@ pub enum ObsEvent {
         /// Flag time.
         at: SimTime,
     },
+    /// A multi-step DAG run started for one fresh trigger event. The run
+    /// shares the dispatch-id space with single-step jobs (its high bit
+    /// set), so attribution chains stay collision-free.
+    DagRunStarted {
+        /// Subscription whose DAG is executing.
+        applet: AppletId,
+        /// Tagged dispatch id of the run.
+        dispatch: u64,
+        /// Start time.
+        at: SimTime,
+    },
+    /// One DAG node finished executing (synchronously for filter and
+    /// transform nodes; on the final response for query and action nodes).
+    DagNodeExecuted {
+        /// Subscription whose DAG is executing.
+        applet: AppletId,
+        /// Tagged dispatch id of the run.
+        dispatch: u64,
+        /// Node index within the DAG.
+        node: u16,
+        /// What kind of step ran.
+        kind: StepKind,
+        /// Completion time.
+        at: SimTime,
+    },
+    /// A failed DAG query or action node was re-sent on the backoff
+    /// schedule (distinct from the single-step `ActionRetried`, which DAG
+    /// action nodes also emit for attribution).
+    DagNodeRetried {
+        /// Subscription whose DAG is executing.
+        applet: AppletId,
+        /// Tagged dispatch id of the run.
+        dispatch: u64,
+        /// Node index within the DAG.
+        node: u16,
+        /// Scheduling time.
+        at: SimTime,
+    },
 }
 
 /// The counters of [`EngineStats`], named. [`ObsEvent::for_each_stat`]
@@ -327,6 +365,18 @@ pub enum Stat {
     RealtimeSuppressed,
     /// `realtime_malformed`
     RealtimeMalformed,
+    /// `dag_runs`
+    DagRuns,
+    /// `dag_nodes_filter`
+    DagNodesFilter,
+    /// `dag_nodes_transform`
+    DagNodesTransform,
+    /// `dag_nodes_query`
+    DagNodesQuery,
+    /// `dag_nodes_action`
+    DagNodesAction,
+    /// `dag_node_retries`
+    DagNodeRetries,
 }
 
 impl ObsEvent {
@@ -357,7 +407,10 @@ impl ObsEvent {
             | ObsEvent::HintMalformed { at }
             | ObsEvent::RealtimePollSent { at, .. }
             | ObsEvent::RealtimeSuppressed { at, .. }
-            | ObsEvent::LoopFlagged { at, .. } => at,
+            | ObsEvent::LoopFlagged { at, .. }
+            | ObsEvent::DagRunStarted { at, .. }
+            | ObsEvent::DagNodeExecuted { at, .. }
+            | ObsEvent::DagNodeRetried { at, .. } => at,
         }
     }
 
@@ -419,6 +472,17 @@ impl ObsEvent {
             ObsEvent::RealtimePollSent { .. } => f(Stat::RealtimePolls, 1),
             ObsEvent::RealtimeSuppressed { .. } => f(Stat::RealtimeSuppressed, 1),
             ObsEvent::LoopFlagged { .. } => f(Stat::LoopsFlagged, 1),
+            ObsEvent::DagRunStarted { .. } => f(Stat::DagRuns, 1),
+            ObsEvent::DagNodeExecuted { kind, .. } => f(
+                match kind {
+                    StepKind::Filter => Stat::DagNodesFilter,
+                    StepKind::Transform => Stat::DagNodesTransform,
+                    StepKind::Query => Stat::DagNodesQuery,
+                    StepKind::Action => Stat::DagNodesAction,
+                },
+                1,
+            ),
+            ObsEvent::DagNodeRetried { .. } => f(Stat::DagNodeRetries, 1),
         }
     }
 }
@@ -462,6 +526,12 @@ impl EngineStats {
             Stat::RealtimePolls => &mut self.realtime_polls,
             Stat::RealtimeSuppressed => &mut self.realtime_suppressed,
             Stat::RealtimeMalformed => &mut self.realtime_malformed,
+            Stat::DagRuns => &mut self.dag_runs,
+            Stat::DagNodesFilter => &mut self.dag_nodes_filter,
+            Stat::DagNodesTransform => &mut self.dag_nodes_transform,
+            Stat::DagNodesQuery => &mut self.dag_nodes_query,
+            Stat::DagNodesAction => &mut self.dag_nodes_action,
+            Stat::DagNodeRetries => &mut self.dag_node_retries,
         }
     }
 }
@@ -631,6 +701,45 @@ mod tests {
                 dispatch: 2,
                 at: t(3),
             },
+            ObsEvent::DagRunStarted {
+                applet: a,
+                dispatch: 9,
+                at: t(4),
+            },
+            ObsEvent::DagNodeExecuted {
+                applet: a,
+                dispatch: 9,
+                node: 0,
+                kind: StepKind::Filter,
+                at: t(4),
+            },
+            ObsEvent::DagNodeExecuted {
+                applet: a,
+                dispatch: 9,
+                node: 1,
+                kind: StepKind::Transform,
+                at: t(4),
+            },
+            ObsEvent::DagNodeExecuted {
+                applet: a,
+                dispatch: 9,
+                node: 2,
+                kind: StepKind::Query,
+                at: t(4),
+            },
+            ObsEvent::DagNodeExecuted {
+                applet: a,
+                dispatch: 9,
+                node: 3,
+                kind: StepKind::Action,
+                at: t(4),
+            },
+            ObsEvent::DagNodeRetried {
+                applet: a,
+                dispatch: 9,
+                node: 3,
+                at: t(4),
+            },
         ] {
             stats.apply(&ev);
         }
@@ -644,6 +753,12 @@ mod tests {
         assert_eq!(stats.actions_ok, 1);
         assert_eq!(stats.actions_failed, 1);
         assert_eq!(stats.dead_letters, 1);
+        assert_eq!(stats.dag_runs, 1);
+        assert_eq!(stats.dag_nodes_filter, 1);
+        assert_eq!(stats.dag_nodes_transform, 1);
+        assert_eq!(stats.dag_nodes_query, 1);
+        assert_eq!(stats.dag_nodes_action, 1);
+        assert_eq!(stats.dag_node_retries, 1);
     }
 
     #[test]
@@ -679,6 +794,12 @@ mod tests {
             Stat::RealtimePolls,
             Stat::RealtimeSuppressed,
             Stat::RealtimeMalformed,
+            Stat::DagRuns,
+            Stat::DagNodesFilter,
+            Stat::DagNodesTransform,
+            Stat::DagNodesQuery,
+            Stat::DagNodesAction,
+            Stat::DagNodeRetries,
         ] {
             *stats.slot(stat) += 1;
         }
@@ -708,8 +829,14 @@ mod tests {
             + stats.realtime_notifications
             + stats.realtime_polls
             + stats.realtime_suppressed
-            + stats.realtime_malformed;
-        assert_eq!(total, 27, "every field hit exactly once");
+            + stats.realtime_malformed
+            + stats.dag_runs
+            + stats.dag_nodes_filter
+            + stats.dag_nodes_transform
+            + stats.dag_nodes_query
+            + stats.dag_nodes_action
+            + stats.dag_node_retries;
+        assert_eq!(total, 33, "every field hit exactly once");
     }
 
     #[test]

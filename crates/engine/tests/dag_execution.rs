@@ -1,0 +1,703 @@
+//! Multi-step DAG execution semantics.
+//!
+//! The PR-7 satellite suite for the trigger → [filter|transform|query]* →
+//! [action]+ generalization:
+//!
+//! * **Degenerate differential** — a classic applet and the same applet
+//!   wrapped in a one-node action DAG produce byte-identical [`ObsEvent`]
+//!   streams and engine stats (the fast path really is the same path).
+//! * **Isolation** — a failing filter cuts downstream nodes without a
+//!   dead letter; a transform's output feeds the next node's payload; a
+//!   query node's result keys land under its prefix.
+//! * **Policy split** — `IftttLike` continues past a terminally failed
+//!   query where `ZapierLike` halts and dead-letters, and a per-node
+//!   `on_failure` override beats the engine default.
+//! * **Chaos** — query/action nodes ride the same breaker/retry stack as
+//!   polls, and activation conservation holds under fault injection.
+//! * **Proptest** — arbitrary ≤ 6-node DAGs under arbitrary fault windows
+//!   conserve activations and never execute a node before all of its
+//!   predecessors.
+//!
+//! The seed comes from `CHAOS_SEED` (default 2017) so CI can sweep a seed
+//! matrix over the same invariants.
+
+use devices::service_core::{Processed, ServiceCore};
+use engine::{
+    ActionRef, Applet, AppletId, EngineConfig, EnginePolicy, EngineStats, FlightRecorder, ObsEvent,
+    TapEngine, TriggerRef,
+};
+use proptest::prelude::*;
+use rand::Rng;
+use simnet::chaos::{FaultPlan, ServerFault, ServerFaultPlan};
+use simnet::net::LinkId;
+use simnet::prelude::*;
+use std::sync::Arc;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{
+    ActionSlug, FieldMap, ServiceSlug, StepFailurePolicy, StepNode, StepPredicate, StepSpec,
+    TriggerSlug, UserId,
+};
+
+const SLUG: &str = "dagsvc";
+
+fn chaos_seed() -> u64 {
+    std::env::var("CHAOS_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2017)
+}
+
+/// A service that records the `eid` ingredient of every action request it
+/// executes and echoes the substituted request fields back from queries
+/// (so a query node's output is observable downstream).
+struct DagService {
+    core: ServiceCore,
+    received: Vec<String>,
+    queries_served: u64,
+}
+
+impl Node for DagService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { fields, .. } => {
+                self.received
+                    .push(fields.get("eid").cloned().unwrap_or_default());
+                HandlerResult::Reply(ServiceEndpoint::action_ok("ok"))
+            }
+            Processed::Query { fields, .. } => {
+                self.queries_served += 1;
+                HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
+            }
+            Processed::NoReply => HandlerResult::Deferred,
+        }
+    }
+}
+
+struct Harness {
+    sim: Sim,
+    engine: NodeId,
+    svc: NodeId,
+    link: LinkId,
+    recorder: Arc<FlightRecorder>,
+    next_eid: u32,
+}
+
+/// Engine + service with one subscription per entry of `slot_steps`
+/// (trigger `t{k}` → action `act{k}`), the given engine config, a flight
+/// recorder sink, and subscriptions established before any fault applies.
+/// An empty step list installs the classic single-step applet; a
+/// non-empty one attaches the DAG. Every applet's base action carries
+/// `eid = {{id}}` so deliveries are observable either way.
+fn dag_harness(cfg: EngineConfig, slot_steps: &[Vec<StepNode>]) -> Harness {
+    let mut sim = Sim::new(chaos_seed());
+    let mut ep = ServiceEndpoint::new(ServiceSlug::new(SLUG), ServiceKey("sk_dag".into()));
+    for k in 0..slot_steps.len() {
+        ep = ep
+            .with_trigger(format!("t{k}").as_str())
+            .with_action(format!("act{k}").as_str());
+    }
+    ep = ep.with_action("aux").with_query("look");
+    let svc = sim.add_node(
+        SLUG,
+        DagService {
+            core: ServiceCore::new(ep),
+            received: Vec::new(),
+            queries_served: 0,
+        },
+    );
+    let engine = sim.add_node("engine", TapEngine::new(cfg));
+    let recorder = Arc::new(FlightRecorder::new(200_000));
+    let sink = recorder.clone();
+    let link = sim.link(engine, svc, LinkSpec::datacenter());
+
+    let user = UserId::new("u");
+    let token = sim.with_node::<DagService, _>(svc, |s, ctx| {
+        s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
+    });
+    sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+        e.set_sink(sink);
+        e.register_service(ServiceSlug::new(SLUG), svc, ServiceKey("sk_dag".into()));
+        e.set_token(user.clone(), ServiceSlug::new(SLUG), token);
+        for (k, steps) in slot_steps.iter().enumerate() {
+            let mut action_fields = FieldMap::new();
+            action_fields.insert("eid".into(), "{{id}}".into());
+            let mut applet = Applet::new(
+                AppletId(k as u32 + 1),
+                format!("dag slot {k}"),
+                user.clone(),
+                TriggerRef {
+                    service: ServiceSlug::new(SLUG),
+                    trigger: TriggerSlug::new(format!("t{k}")),
+                    fields: FieldMap::new(),
+                },
+                ActionRef {
+                    service: ServiceSlug::new(SLUG),
+                    action: ActionSlug::new(format!("act{k}")),
+                    fields: action_fields,
+                },
+            );
+            if !steps.is_empty() {
+                applet = applet.with_steps(steps.clone());
+            }
+            e.install_applet(ctx, applet).expect("applet installs");
+        }
+    });
+    // Clean settle: every subscription is learned before faults start.
+    sim.run_until(SimTime::from_secs(5));
+    Harness {
+        sim,
+        engine,
+        svc,
+        link,
+        recorder,
+        next_eid: 0,
+    }
+}
+
+impl Harness {
+    /// Fire slot `k`'s trigger now; the emit must match the (established)
+    /// subscription. Returns the event id.
+    fn emit(&mut self, k: usize) -> String {
+        let eid = format!("e{:04}", self.next_eid);
+        self.next_eid += 1;
+        let id = eid.clone();
+        self.sim.with_node::<DagService, _>(self.svc, |s, ctx| {
+            let ev = TriggerEvent::new(id.clone(), ctx.now().as_secs_f64() as u64)
+                .with_ingredient("id", id);
+            let matched = s.core.record_event(
+                ctx,
+                &TriggerSlug::new(format!("t{k}")),
+                &UserId::new("u"),
+                ev,
+                |_| true,
+            );
+            assert_eq!(matched, 1, "subscription t{k} is established");
+        });
+        eid
+    }
+
+    fn stats(&self) -> EngineStats {
+        self.sim.node_ref::<TapEngine>(self.engine).stats
+    }
+
+    fn received(&self) -> Vec<String> {
+        self.sim.node_ref::<DagService>(self.svc).received.clone()
+    }
+
+    fn queries_served(&self) -> u64 {
+        self.sim.node_ref::<DagService>(self.svc).queries_served
+    }
+
+    /// `events_new == actions_ok + actions_filtered + dead_letters` —
+    /// every fetched event concludes exactly once, DAG or not.
+    fn assert_conservation(&self) {
+        let s = self.stats();
+        assert_eq!(
+            s.events_new,
+            s.actions_ok + s.actions_filtered + s.dead_letters,
+            "conservation: new {} ok {} filtered {} dead {}",
+            s.events_new,
+            s.actions_ok,
+            s.actions_filtered,
+            s.dead_letters
+        );
+    }
+}
+
+fn act(slug: &str) -> StepNode {
+    StepNode::new(StepSpec::Action {
+        action: slug.into(),
+        fields: {
+            let mut f = FieldMap::new();
+            f.insert("eid".into(), "{{id}}".into());
+            f
+        },
+    })
+}
+
+// ---------------------------------------------------------------------
+// Degenerate differential: wrapped single-action DAG == classic applet.
+// ---------------------------------------------------------------------
+
+/// The same population and emission schedule through the legacy
+/// single-step path and through degenerate one-node DAGs produces
+/// byte-identical observable event streams, stats, and deliveries — the
+/// install-time normalization really lands on the same code path.
+#[test]
+fn degenerate_dag_matches_legacy_event_for_event() {
+    let legacy: Vec<Vec<StepNode>> = vec![Vec::new(); 3];
+    let wrapped: Vec<Vec<StepNode>> = (0..3).map(|k| vec![act(&format!("act{k}"))]).collect();
+    let mut a = dag_harness(EngineConfig::fast().resilient(), &legacy);
+    let mut b = dag_harness(EngineConfig::fast().resilient(), &wrapped);
+    for round in 0..3u64 {
+        let at = SimTime::from_secs(10 + round * 15);
+        a.sim.run_until(at);
+        b.sim.run_until(at);
+        for k in 0..3 {
+            a.emit(k);
+            b.emit(k);
+        }
+    }
+    let horizon = SimTime::from_secs(120);
+    a.sim.run_until(horizon);
+    b.sim.run_until(horizon);
+
+    assert_eq!(a.stats(), b.stats(), "engine stats diverge");
+    assert_eq!(a.received(), b.received(), "deliveries diverge");
+    let (ea, eb) = (a.recorder.events(), b.recorder.events());
+    assert_eq!(ea.len(), eb.len(), "event stream length diverges");
+    assert_eq!(ea, eb, "observable event streams diverge");
+    // And the wrapped run never took the DAG machinery at all.
+    assert_eq!(b.stats().dag_runs, 0, "degenerate DAG must not start runs");
+    assert_eq!(a.stats().actions_ok, 9);
+    a.assert_conservation();
+}
+
+// ---------------------------------------------------------------------
+// Isolation: filter short-circuit, transform feed, query enrichment.
+// ---------------------------------------------------------------------
+
+/// A filter whose predicate fails cuts everything downstream: the run
+/// ends `filtered`, no action request leaves the engine, and no dead
+/// letter is recorded. A sibling slot whose filter passes still delivers.
+#[test]
+fn filter_cut_short_circuits_without_dead_letter() {
+    let cut = vec![
+        StepNode::new(StepSpec::Filter {
+            predicate: StepPredicate::Has {
+                key: "never_set".into(),
+            },
+        }),
+        act("act0").after(&[0]),
+    ];
+    let pass = vec![
+        StepNode::new(StepSpec::Filter {
+            predicate: StepPredicate::NotHas {
+                key: "never_set".into(),
+            },
+        }),
+        act("act1").after(&[0]),
+    ];
+    let mut h = dag_harness(EngineConfig::fast(), &[cut, pass]);
+    h.sim.run_until(SimTime::from_secs(10));
+    let cut_eid = h.emit(0);
+    let pass_eid = h.emit(1);
+    h.sim.run_until(SimTime::from_secs(60));
+
+    let s = h.stats();
+    assert_eq!(s.events_new, 2);
+    assert_eq!(s.dag_runs, 2);
+    assert_eq!(s.dag_nodes_filter, 2, "both filters executed");
+    assert_eq!(s.actions_filtered, 1, "the cut run ends filtered");
+    assert_eq!(s.dead_letters, 0, "a cut is not a failure");
+    assert_eq!(s.actions_ok, 1, "the passing run delivers");
+    assert_eq!(s.dag_nodes_action, 1, "only the passing action ran");
+    assert_eq!(h.received(), vec![pass_eid.clone()]);
+    assert_ne!(cut_eid, pass_eid);
+    h.assert_conservation();
+}
+
+/// A transform's substituted output overlays the trigger payload for its
+/// successors: the action's `eid` template reads the transform's key, and
+/// the service receives the rewritten value.
+#[test]
+fn transform_output_feeds_downstream_payload() {
+    let steps = vec![
+        StepNode::new(StepSpec::Transform {
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("tag".into(), "on-{{id}}".into());
+                f
+            },
+        }),
+        StepNode::new(StepSpec::Action {
+            action: "act0".into(),
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("eid".into(), "{{tag}}".into());
+                f
+            },
+        })
+        .after(&[0]),
+    ];
+    let mut h = dag_harness(EngineConfig::fast(), &[steps]);
+    h.sim.run_until(SimTime::from_secs(10));
+    let eid = h.emit(0);
+    h.sim.run_until(SimTime::from_secs(60));
+
+    assert_eq!(h.received(), vec![format!("on-{eid}")]);
+    let s = h.stats();
+    assert_eq!(s.dag_nodes_transform, 1);
+    assert_eq!(s.actions_ok, 1);
+    h.assert_conservation();
+}
+
+/// A query node's result keys are merged under its prefix and visible to
+/// downstream templates — the multi-step analogue of the single-step
+/// pre-dispatch query.
+#[test]
+fn query_result_lands_under_its_prefix() {
+    let steps = vec![
+        StepNode::new(StepSpec::Query {
+            query: "look".into(),
+            prefix: "ctx".into(),
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("q".into(), "{{id}}".into());
+                f
+            },
+        }),
+        StepNode::new(StepSpec::Action {
+            action: "act0".into(),
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("eid".into(), "{{ctx.q}}".into());
+                f
+            },
+        })
+        .after(&[0]),
+    ];
+    let mut h = dag_harness(EngineConfig::fast(), &[steps]);
+    h.sim.run_until(SimTime::from_secs(10));
+    let eid = h.emit(0);
+    h.sim.run_until(SimTime::from_secs(60));
+
+    // The service echoes the substituted request fields, so the action's
+    // `{{ctx.q}}` template resolves back to the event id.
+    assert_eq!(h.received(), vec![eid]);
+    assert_eq!(h.queries_served(), 1);
+    let s = h.stats();
+    assert_eq!(s.dag_nodes_query, 1);
+    assert_eq!(s.actions_ok, 1);
+    h.assert_conservation();
+}
+
+// ---------------------------------------------------------------------
+// Policy split: IftttLike continues, ZapierLike halts.
+// ---------------------------------------------------------------------
+
+/// The three-slot probe DAG: a query against an unregistered slug (404 —
+/// terminal, never retried), an action gated on it, and an independent
+/// action.
+fn failing_query_dag() -> Vec<StepNode> {
+    vec![
+        StepNode::new(StepSpec::Query {
+            query: "missing".into(),
+            prefix: "ctx".into(),
+            fields: FieldMap::new(),
+        }),
+        act("act0").after(&[0]),
+        act("aux"),
+    ]
+}
+
+/// Under `IftttLike` a terminally failed query resolves empty and both
+/// actions still run (the single-step engine's historical treatment);
+/// under `ZapierLike` the run halts and dead-letters with no delivery.
+/// A per-node `Continue` override restores delivery even under Zapier.
+#[test]
+fn ifttt_continues_where_zapier_halts() {
+    let ifttt = EngineConfig::fast().with_policy(EnginePolicy::IftttLike);
+    let zapier = EngineConfig::fast().with_policy(EnginePolicy::ZapierLike);
+
+    let mut a = dag_harness(ifttt, &[failing_query_dag()]);
+    a.sim.run_until(SimTime::from_secs(10));
+    let eid = a.emit(0);
+    a.sim.run_until(SimTime::from_secs(90));
+    let s = a.stats();
+    assert_eq!(s.actions_ok, 1, "the run concludes ok");
+    assert_eq!(s.dead_letters, 0);
+    assert_eq!(s.queries_failed, 1, "the 404 is counted");
+    assert_eq!(s.dag_nodes_action, 2, "both actions executed");
+    assert_eq!(
+        a.received(),
+        vec![eid.clone(), eid.clone()],
+        "both actions delivered under IftttLike"
+    );
+    a.assert_conservation();
+
+    let mut b = dag_harness(zapier.clone(), &[failing_query_dag()]);
+    b.sim.run_until(SimTime::from_secs(10));
+    b.emit(0);
+    b.sim.run_until(SimTime::from_secs(90));
+    let s = b.stats();
+    assert_eq!(s.dead_letters, 1, "Zapier halts and dead-letters");
+    assert_eq!(s.actions_ok, 0);
+    assert_eq!(s.dag_nodes_action, 0, "no action ran after the halt");
+    assert!(
+        b.received().is_empty(),
+        "nothing delivered under ZapierLike"
+    );
+    b.assert_conservation();
+
+    // Per-node override: marking the query `Continue` beats the engine
+    // default, so the Zapier run delivers like the IFTTT one.
+    let mut dag = failing_query_dag();
+    dag[0] = dag[0].clone().on_failure(StepFailurePolicy::Continue);
+    let mut c = dag_harness(zapier, &[dag]);
+    c.sim.run_until(SimTime::from_secs(10));
+    c.emit(0);
+    c.sim.run_until(SimTime::from_secs(90));
+    let s = c.stats();
+    assert_eq!(s.actions_ok, 1, "per-node Continue overrides Halt default");
+    assert_eq!(s.dead_letters, 0);
+    assert_eq!(s.dag_nodes_action, 2);
+    c.assert_conservation();
+}
+
+// ---------------------------------------------------------------------
+// Chaos: query/action nodes ride the breaker/retry stack like polls.
+// ---------------------------------------------------------------------
+
+/// Under link loss plus a sustained 503 outage, DAG query/action nodes
+/// retry on the backoff schedule (through the same per-service breaker
+/// that polls trip), and every fetched event still concludes exactly
+/// once — delivered, filtered, or dead-lettered.
+#[test]
+fn dag_nodes_retry_through_the_breaker_under_chaos() {
+    let steps = vec![
+        StepNode::new(StepSpec::Query {
+            query: "look".into(),
+            prefix: "ctx".into(),
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("q".into(), "{{id}}".into());
+                f
+            },
+        }),
+        StepNode::new(StepSpec::Action {
+            action: "act0".into(),
+            fields: {
+                let mut f = FieldMap::new();
+                f.insert("eid".into(), "{{ctx.q}}".into());
+                f
+            },
+        })
+        .after(&[0]),
+    ];
+    let mut h = dag_harness(EngineConfig::fast().resilient(), &[steps]);
+    let horizon = SimTime::from_secs(420);
+    let plan = FaultPlan::new().link_loss(h.link, 0.25, SimTime::from_secs(5), horizon);
+    h.sim.apply_fault_plan(&plan);
+    let outages = ServerFaultPlan::new().periodic(
+        ServerFault::Http503 {
+            retry_after_secs: 2,
+        },
+        SimTime::from_secs(10),
+        SimDuration::from_secs(40),
+        SimDuration::from_secs(12),
+        SimTime::from_secs(200),
+    );
+    h.sim.with_node::<DagService, _>(h.svc, move |s, _| {
+        s.core.fault_plan = Some(outages);
+    });
+    for i in 0..12u64 {
+        h.sim.run_until(SimTime::from_secs(12 + i * 15));
+        h.emit(0);
+    }
+    // Long drain: loss has ended, retries and breaker probes settle.
+    h.sim.run_until(SimTime::from_secs(900));
+
+    let s = h.stats();
+    assert_eq!(s.events_new, 12, "every event is eventually fetched");
+    assert!(s.dag_runs >= 12, "every fetched event starts a run");
+    assert!(
+        s.dag_node_retries > 0,
+        "chaos must force at least one node retry: {s:?}"
+    );
+    assert!(
+        s.breaker_trips > 0,
+        "the sustained outage trips the shared breaker: {s:?}"
+    );
+    h.assert_conservation();
+    // Anything that did land carries a real event id (query output fed
+    // the action payload even across retries).
+    for eid in h.received() {
+        assert!(eid.starts_with('e'), "delivered payload {eid:?}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Proptest: arbitrary DAGs conserve activations & respect dependencies.
+// ---------------------------------------------------------------------
+
+/// One generated node: spec choice, dependencies on lower indices, and a
+/// failure-policy/retry override.
+#[derive(Debug, Clone)]
+struct NodePlan {
+    kind: u8,
+    pred: u8,
+    deps: Vec<u16>,
+    on_failure: u8,
+    max_retries: Option<u32>,
+}
+
+/// Strategy for a well-formed plan: 1–6 nodes, each depending only on
+/// lower indices, with at least one action node (so `validate_steps`
+/// always accepts the built DAG).
+struct DagPlanStrategy;
+
+impl Strategy for DagPlanStrategy {
+    type Value = Vec<NodePlan>;
+    fn generate(&self, rng: &mut rand::StdRng) -> Vec<NodePlan> {
+        let n = rng.gen_range(1usize..=6);
+        let mut nodes: Vec<NodePlan> = (0..n)
+            .map(|i| NodePlan {
+                kind: rng.gen_range(0u8..4),
+                pred: rng.gen_range(0u8..5),
+                deps: (0..i as u16).filter(|_| rng.gen_bool(0.4)).collect(),
+                on_failure: rng.gen_range(0u8..3),
+                max_retries: if rng.gen_bool(0.3) {
+                    Some(rng.gen_range(0u32..3))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        // Every applet needs at least one action so the run can conclude
+        // ok; force the last node when none was drawn.
+        if !nodes.iter().any(|p| p.kind == 3) {
+            nodes.last_mut().expect("n >= 1").kind = 3;
+        }
+        nodes
+    }
+}
+
+fn build_steps(plan: &[NodePlan]) -> Vec<StepNode> {
+    plan.iter()
+        .enumerate()
+        .map(|(i, p)| {
+            let spec = match p.kind {
+                0 => StepSpec::Filter {
+                    predicate: match p.pred {
+                        0 => StepPredicate::Always,
+                        1 => StepPredicate::Has { key: "id".into() },
+                        2 => StepPredicate::NotHas { key: "id".into() },
+                        3 => StepPredicate::Equals {
+                            key: "id".into(),
+                            value: "nope".into(),
+                        },
+                        _ => StepPredicate::Contains {
+                            key: "id".into(),
+                            needle: "e".into(),
+                        },
+                    },
+                },
+                1 => StepSpec::Transform {
+                    fields: {
+                        let mut f = FieldMap::new();
+                        f.insert(format!("x{i}"), "{{id}}".into());
+                        f
+                    },
+                },
+                2 => StepSpec::Query {
+                    query: "look".into(),
+                    prefix: format!("p{i}"),
+                    fields: {
+                        let mut f = FieldMap::new();
+                        f.insert("q".into(), "{{id}}".into());
+                        f
+                    },
+                },
+                _ => StepSpec::Action {
+                    action: "act0".into(),
+                    fields: {
+                        let mut f = FieldMap::new();
+                        f.insert("eid".into(), "{{id}}".into());
+                        f
+                    },
+                },
+            };
+            let mut node = StepNode::new(spec).after(&p.deps);
+            node = match p.on_failure {
+                1 => node.on_failure(StepFailurePolicy::Continue),
+                2 => node.on_failure(StepFailurePolicy::Halt),
+                _ => node,
+            };
+            if let Some(r) = p.max_retries {
+                node = node.with_max_retries(r);
+            }
+            node
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any well-formed DAG, under any of these fault plans and either
+    /// engine policy, (a) conserves activations — every fetched event
+    /// concludes exactly once — and (b) never executes a node before all
+    /// of its predecessors.
+    #[test]
+    fn arbitrary_dags_conserve_activations_and_respect_deps(
+        plan in DagPlanStrategy,
+        loss in 0.0f64..0.3,
+        outage_len in 0u64..40,
+        zapier in any::<bool>(),
+    ) {
+        let steps = build_steps(&plan);
+        prop_assert!(tap_protocol::validate_steps(&steps).is_ok(), "{plan:?}");
+        let mut cfg = EngineConfig::fast().resilient();
+        if zapier {
+            cfg = cfg.with_policy(EnginePolicy::ZapierLike);
+        }
+        let mut h = dag_harness(cfg, std::slice::from_ref(&steps));
+        let fault_end = SimTime::from_secs(100);
+        if loss > 0.0 {
+            let fp = FaultPlan::new().link_loss(h.link, loss, SimTime::from_secs(5), fault_end);
+            h.sim.apply_fault_plan(&fp);
+        }
+        if outage_len > 0 {
+            let sp = ServerFaultPlan::new().window(
+                ServerFault::Http503 { retry_after_secs: 2 },
+                SimTime::from_secs(10),
+                SimTime::from_secs(10 + outage_len),
+            );
+            h.sim.with_node::<DagService, _>(h.svc, move |s, _| {
+                s.core.fault_plan = Some(sp);
+            });
+        }
+        for i in 0..3u64 {
+            h.sim.run_until(SimTime::from_secs(6 + i * 17));
+            h.emit(0);
+        }
+        // Faults end by t=100; a long drain lets every retry chain and
+        // breaker probe resolve.
+        h.sim.run_until(SimTime::from_secs(600));
+
+        let s = h.stats();
+        prop_assert_eq!(s.events_new, 3, "all events fetched once loss ends: {:?}", s);
+        prop_assert_eq!(
+            s.events_new,
+            s.actions_ok + s.actions_filtered + s.dead_letters,
+            "conservation: {:?}", s
+        );
+
+        // Topology: within one run, a node's DagNodeExecuted must come
+        // after its predecessor's. A predecessor with no execution event
+        // at all is legitimate — it failed terminally and resolved under
+        // a Continue policy (or was cut/skipped, in which case the
+        // successor never runs) — but a *later* one is an ordering bug.
+        let events = h.recorder.events();
+        for (i, ev) in events.iter().enumerate() {
+            if let ObsEvent::DagNodeExecuted { dispatch, node, .. } = ev {
+                for &dep in &steps[*node as usize].deps {
+                    let dep_after = events[i..].iter().any(|e| matches!(
+                        e,
+                        ObsEvent::DagNodeExecuted { dispatch: d, node: n, .. }
+                            if d == dispatch && *n == dep
+                    ));
+                    prop_assert!(
+                        !dep_after,
+                        "node {} executed before predecessor {} in run {:x}",
+                        node, dep, dispatch
+                    );
+                }
+            }
+        }
+    }
+}

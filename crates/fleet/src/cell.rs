@@ -31,7 +31,9 @@ use std::sync::Arc;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
 use tap_protocol::wire::{self, ActionResponseBody, TriggerEvent};
-use tap_protocol::{ActionSlug, FieldMap, Interner, ServiceSlug, Symbol, TriggerSlug, UserId};
+use tap_protocol::{
+    ActionSlug, FieldMap, Interner, ServiceSlug, StepNode, StepSpec, Symbol, TriggerSlug, UserId,
+};
 
 /// Seed-stream offset for cell simulations: cell `i` runs under
 /// `derive_seed(master, CELL_STREAM_BASE + i)`.
@@ -88,6 +90,10 @@ impl FleetService {
                 .with_trigger(slug.as_str())
                 .with_action(format!("noop_{k}").as_str());
         }
+        // Multi-step DAG endpoints: the lookup query and the unpaired
+        // fan-out action (registering them is digest-neutral — they only
+        // matter once a DAG actually calls them).
+        ep = ep.with_query("lookup").with_action("noop_aux");
         FleetService {
             core: ServiceCore::new(ep),
             pending: HashMap::new(),
@@ -265,6 +271,11 @@ pub fn run_cell(
                     },
                 );
                 applet.add_count = install.add_count;
+                let steps =
+                    instantiate_steps(sampler.steps_of(install.applet), k, cfg.wrap_degenerate_dag);
+                if !steps.is_empty() {
+                    applet = applet.with_steps(steps);
+                }
                 e.install_applet(ctx, applet)
                     .expect("fleet applet installs");
                 installs_total += 1;
@@ -317,6 +328,43 @@ pub fn run_cell(
     metrics.users.add(spec.users);
     metrics.applets.add(installs_total);
     metrics.cells.incr();
+}
+
+/// Re-slug a catalog DAG for the cell's service: the first action node
+/// lands on the T2A-paired `noop_{slot}` endpoint, further fan-out actions
+/// on the unpaired `noop_aux`, and query nodes on the cell's `lookup`
+/// endpoint. With `wrap` set and no catalog DAG, the classic applet is
+/// wrapped in a degenerate one-node DAG instead — which the engine
+/// normalizes back onto the legacy path, making wrapped and unwrapped runs
+/// byte-identical (the differential test's whole point).
+fn instantiate_steps(catalog: &[StepNode], slot: usize, wrap: bool) -> Vec<StepNode> {
+    if catalog.is_empty() {
+        return if wrap {
+            vec![StepNode::new(StepSpec::Action {
+                action: format!("noop_{slot}"),
+                fields: FieldMap::new(),
+            })]
+        } else {
+            Vec::new()
+        };
+    }
+    let mut steps = catalog.to_vec();
+    let mut first_action = true;
+    for node in &mut steps {
+        match &mut node.spec {
+            StepSpec::Action { action, .. } => {
+                *action = if first_action {
+                    format!("noop_{slot}")
+                } else {
+                    "noop_aux".to_string()
+                };
+                first_action = false;
+            }
+            StepSpec::Query { query, .. } => *query = "lookup".to_string(),
+            StepSpec::Filter { .. } | StepSpec::Transform { .. } => {}
+        }
+    }
+    steps
 }
 
 /// Degrade the cell per `cfg.chaos`: elevated loss on the engine↔service

@@ -449,6 +449,24 @@ pub struct FleetMetrics {
     /// Notification bodies that failed to parse (answered 400).
     #[serde(default)]
     pub realtime_malformed: Counter,
+    /// Multi-step DAG runs started (one per fresh event on a DAG applet).
+    #[serde(default)]
+    pub dag_runs: Counter,
+    /// Filter nodes executed across DAG runs.
+    #[serde(default)]
+    pub dag_nodes_filter: Counter,
+    /// Transform nodes executed across DAG runs.
+    #[serde(default)]
+    pub dag_nodes_transform: Counter,
+    /// Query nodes completed across DAG runs.
+    #[serde(default)]
+    pub dag_nodes_query: Counter,
+    /// Action nodes completed across DAG runs.
+    #[serde(default)]
+    pub dag_nodes_action: Counter,
+    /// Network-node retries scheduled inside DAG runs.
+    #[serde(default)]
+    pub dag_node_retries: Counter,
     /// Per-stage T2A latency attribution (empty unless a run opts in).
     #[serde(default)]
     pub attribution: AttributionStages,
@@ -492,6 +510,13 @@ impl FleetMetrics {
             .merge_from(&other.realtime_suppressed);
         self.realtime_malformed
             .merge_from(&other.realtime_malformed);
+        self.dag_runs.merge_from(&other.dag_runs);
+        self.dag_nodes_filter.merge_from(&other.dag_nodes_filter);
+        self.dag_nodes_transform
+            .merge_from(&other.dag_nodes_transform);
+        self.dag_nodes_query.merge_from(&other.dag_nodes_query);
+        self.dag_nodes_action.merge_from(&other.dag_nodes_action);
+        self.dag_node_retries.merge_from(&other.dag_node_retries);
         self.attribution.merge_from(&other.attribution);
     }
 
@@ -543,6 +568,14 @@ impl Serialize for FleetMetrics {
         put_nonzero("realtime_polls", &self.realtime_polls);
         put_nonzero("realtime_suppressed", &self.realtime_suppressed);
         put_nonzero("realtime_malformed", &self.realtime_malformed);
+        // DAG counters likewise: a single-step run (the default) serializes
+        // exactly as before multi-step applets existed.
+        put_nonzero("dag_runs", &self.dag_runs);
+        put_nonzero("dag_nodes_filter", &self.dag_nodes_filter);
+        put_nonzero("dag_nodes_transform", &self.dag_nodes_transform);
+        put_nonzero("dag_nodes_query", &self.dag_nodes_query);
+        put_nonzero("dag_nodes_action", &self.dag_nodes_action);
+        put_nonzero("dag_node_retries", &self.dag_node_retries);
         // Attribution, like the resilience counters, appears only when a
         // run actually recorded it — attribution-off digests are unmoved.
         if !self.attribution.is_empty() {
@@ -575,6 +608,12 @@ impl FleetMetrics {
             Stat::RealtimePolls => Some(&self.realtime_polls),
             Stat::RealtimeSuppressed => Some(&self.realtime_suppressed),
             Stat::RealtimeMalformed => Some(&self.realtime_malformed),
+            Stat::DagRuns => Some(&self.dag_runs),
+            Stat::DagNodesFilter => Some(&self.dag_nodes_filter),
+            Stat::DagNodesTransform => Some(&self.dag_nodes_transform),
+            Stat::DagNodesQuery => Some(&self.dag_nodes_query),
+            Stat::DagNodesAction => Some(&self.dag_nodes_action),
+            Stat::DagNodeRetries => Some(&self.dag_node_retries),
             Stat::PollsEmpty
             | Stat::EventsReceived
             | Stat::ActionsSent

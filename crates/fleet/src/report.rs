@@ -131,6 +131,19 @@ impl FleetReport {
                 m.realtime_malformed.get()
             ));
         }
+        // The DAG line only appears when a multi-step run actually started
+        // — single-step runs (the default) render unchanged.
+        if m.dag_runs.get() > 0 {
+            out.push_str(&format!(
+                "  dag runs {}  nodes filter/transform/query/action {}/{}/{}/{}  node retries {}\n",
+                m.dag_runs.get(),
+                m.dag_nodes_filter.get(),
+                m.dag_nodes_transform.get(),
+                m.dag_nodes_query.get(),
+                m.dag_nodes_action.get(),
+                m.dag_node_retries.get()
+            ));
+        }
         // The resilience line only appears when something failed or was
         // injected — clean-run output is unchanged.
         if m.polls_failed.get() > 0 || m.faults_injected.get() > 0 || m.dead_letters.get() > 0 {

@@ -15,7 +15,7 @@ use crate::metrics::FleetMetrics;
 use crate::report::{FleetReport, ShardSummary};
 use crate::shard::{assign_round_robin, plan_cells};
 use ecosystem::{Ecosystem, GeneratorConfig, PopulationSampler};
-use engine::{EngineConfig, PollPolicy};
+use engine::{EngineConfig, EnginePolicy, PollPolicy};
 use simnet::rng::derive_seed;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -36,6 +36,10 @@ pub enum FleetPolicy {
     /// §6 popularity-weighted polling; the hot threshold is the p90 knee
     /// of the catalog's add counts.
     Smart,
+    /// Zapier-style engine: popularity-weighted cadence (5 min hot / 15 min
+    /// cold, matching Zapier's published plan tiers) and *halt-on-failure*
+    /// multi-step semantics ([`engine::EnginePolicy::ZapierLike`]).
+    Zapier,
 }
 
 impl FleetPolicy {
@@ -45,6 +49,7 @@ impl FleetPolicy {
             "ifttt" => Some(FleetPolicy::IftttLike),
             "fast" => Some(FleetPolicy::Fast),
             "smart" => Some(FleetPolicy::Smart),
+            "zapier" => Some(FleetPolicy::Zapier),
             _ => None,
         }
     }
@@ -55,6 +60,7 @@ impl FleetPolicy {
             FleetPolicy::IftttLike => "ifttt",
             FleetPolicy::Fast => "fast",
             FleetPolicy::Smart => "smart",
+            FleetPolicy::Zapier => "zapier",
         }
     }
 }
@@ -168,6 +174,15 @@ pub struct FleetConfig {
     /// service for immediate polls. `0.0` (the default) leaves the
     /// realtime path entirely cold, preserving pinned digests.
     pub realtime_share: f64,
+    /// Fraction of catalog applets carrying a multi-step execution DAG
+    /// (forwarded to the ecosystem generator). `0.0` (the default) keeps
+    /// the catalog — and every pinned digest — byte-identical.
+    pub multi_step_share: f64,
+    /// Differential-testing knob: wrap every classic single-step applet in
+    /// a degenerate one-node DAG at install time. The engine normalizes the
+    /// wrapper away, so the run must be byte-identical to the unwrapped
+    /// one — which is exactly what the differential test asserts.
+    pub wrap_degenerate_dag: bool,
 }
 
 impl FleetConfig {
@@ -186,13 +201,15 @@ impl FleetConfig {
             window_secs: 240.0,
             drain_secs: match policy {
                 FleetPolicy::Fast => 30.0,
-                FleetPolicy::IftttLike | FleetPolicy::Smart => 1000.0,
+                FleetPolicy::IftttLike | FleetPolicy::Smart | FleetPolicy::Zapier => 1000.0,
             },
             hot_threshold: None,
             batch_polling: true,
             chaos: ChaosProfile::default(),
             attribution: false,
             realtime_share: 0.0,
+            multi_step_share: 0.0,
+            wrap_degenerate_dag: false,
         }
     }
 
@@ -240,6 +257,19 @@ impl FleetConfig {
         self
     }
 
+    /// Set the multi-step applet share of the catalog (clamped to `0..=1`).
+    pub fn with_multi_step_share(mut self, share: f64) -> Self {
+        self.multi_step_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Wrap classic applets in degenerate one-node DAGs (differential
+    /// testing of the DAG executor's fast path).
+    pub fn with_wrap_degenerate_dag(mut self, on: bool) -> Self {
+        self.wrap_degenerate_dag = on;
+        self
+    }
+
     /// The engine configuration every cell runs.
     pub(crate) fn engine_config(&self) -> EngineConfig {
         let mut cfg = match self.policy {
@@ -249,6 +279,17 @@ impl FleetConfig {
                 polling: PollPolicy::smart(self.hot_threshold.unwrap_or(1)),
                 ..EngineConfig::default()
             },
+            // Zapier's plan tiers poll every 5–15 minutes; popular Zaps get
+            // the fast tier. Step semantics switch to halt-on-failure.
+            FleetPolicy::Zapier => EngineConfig {
+                polling: PollPolicy::Smart {
+                    hot_threshold: self.hot_threshold.unwrap_or(1),
+                    fast_seconds: 300.0,
+                    slow_seconds: 900.0,
+                },
+                ..EngineConfig::default()
+            }
+            .with_policy(EnginePolicy::ZapierLike),
         };
         cfg.batch_polling = self.batch_polling;
         if self.chaos.enabled() {
@@ -284,6 +325,7 @@ pub fn run_fleet_with_progress(
     let eco = Ecosystem::generate(GeneratorConfig {
         seed: derive_seed(cfg.master_seed, ECO_STREAM),
         scale: cfg.eco_scale,
+        multi_step_share: cfg.multi_step_share,
     });
     let snap = eco.canonical_snapshot();
     let sampler = PopulationSampler::new(&snap, derive_seed(cfg.master_seed, POP_STREAM));
@@ -407,6 +449,7 @@ mod tests {
             FleetPolicy::IftttLike,
             FleetPolicy::Fast,
             FleetPolicy::Smart,
+            FleetPolicy::Zapier,
         ] {
             assert_eq!(FleetPolicy::parse(p.name()), Some(p));
         }

@@ -61,6 +61,25 @@ fn conservation_survives_chaos() {
     assert!(report.merged.actions_retried.get() > 0 || report.merged.polls_retried.get() > 0);
 }
 
+/// The decomposition must survive the Zapier policy with a multi-step
+/// population: DAG dispatches carry tagged ids through the same recorder,
+/// and the serial one-in-flight schedule still splits every delivered
+/// activation exactly.
+#[test]
+fn conservation_survives_zapier_policy_with_multi_step_dags() {
+    let c = FleetConfig::new(200, 2, FleetPolicy::Zapier)
+        .with_seed(2017)
+        .with_cell_users(50)
+        // The Zapier smart cadence polls every 5–15 min; stretch the
+        // window and drain so deliveries land inside the horizon.
+        .with_phases(10.0, 120.0, 900.0)
+        .with_multi_step_share(0.5)
+        .with_attribution(true);
+    let report = run_fleet(&c);
+    assert!(report.merged.dag_runs.get() > 0, "multi-step DAGs ran");
+    assert_conservation(&report);
+}
+
 #[test]
 fn attribution_histograms_merge_shard_invariantly() {
     let baseline = run_fleet(&cfg(1));
@@ -114,6 +133,7 @@ proptest! {
         retry_delta in 0u64..100_000_000,
         arrival_delta in 0u64..10_000_000,
         applet in 1u32..5,
+        dag_dispatch in any::<bool>(),
     ) {
         use engine::{AppletId, ObsEvent};
         use fleet::{AttributionRecorder, FleetMetrics};
@@ -123,6 +143,9 @@ proptest! {
         let t = SimTime::from_micros;
         let metrics = Arc::new(FleetMetrics::new());
         let rec = AttributionRecorder::new(metrics.clone());
+        // DAG runs tag their dispatch ids with the high bit; the recorder
+        // must treat tagged and plain ids identically.
+        let dispatch = if dag_dispatch { (1u64 << 63) | 7 } else { 1 };
         // poll_sent may predate the emit (a stale poll already in flight)
         // or follow it; either way the clamp keeps stages non-negative.
         let poll_sent = if stale_poll {
@@ -136,21 +159,21 @@ proptest! {
         let arrival = last_send + arrival_delta;
         rec.on_engine_event(&ObsEvent::DispatchEnqueued {
             applet: AppletId(applet),
-            dispatch: 1,
+            dispatch,
             depth: 1,
             poll_sent_at: t(poll_sent),
             at: t(ingest),
         });
         rec.on_engine_event(&ObsEvent::ActionSent {
             applet: AppletId(applet),
-            dispatch: 1,
+            dispatch,
             attempt: 1,
             at: t(first_send),
         });
         if retry_delta > 0 {
             rec.on_engine_event(&ObsEvent::ActionSent {
                 applet: AppletId(applet),
-                dispatch: 1,
+                dispatch,
                 attempt: 2,
                 at: t(last_send),
             });

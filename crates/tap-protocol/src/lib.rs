@@ -30,6 +30,7 @@ pub mod ids;
 pub mod intern;
 pub mod oauth;
 pub mod service;
+pub mod steps;
 pub mod wire;
 
 pub use auth::{AccessToken, ServiceKey};
@@ -37,6 +38,10 @@ pub use error::{FailureClass, ProtocolError};
 pub use ids::{ActionSlug, FieldMap, QuerySlug, ServiceSlug, TriggerIdentity, TriggerSlug, UserId};
 pub use intern::{Interner, Symbol};
 pub use service::{ParsedServiceRequest, ServiceEndpoint, TriggerBuffer};
+pub use steps::{
+    is_degenerate, validate_steps, StepError, StepFailurePolicy, StepKind, StepNode, StepPredicate,
+    StepSpec, MAX_STEPS,
+};
 pub use wire::{
     ActionRequestBody, ActionResponseBody, ErrorBody, PollRequestBody, PollResponseBody,
     RealtimeAckBody, RealtimeNotification, RealtimeNotificationV1, TriggerEvent,
