@@ -12,7 +12,7 @@
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch]
 //!                 [--chaos off|mild|harsh] [--attribution] [--realtime-share F]
-//!                 [--multi-step-share F]
+//!                 [--multi-step-share F] [--max-allocs-per-event F]
 //!                                    sharded fleet-scale workload run
 //! ```
 //!
@@ -45,6 +45,7 @@ fn main() {
     let mut attribution = false;
     let mut realtime_share = 0.0f64;
     let mut multi_step_share = 0.0f64;
+    let mut max_allocs_per_event: Option<f64> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -89,6 +90,14 @@ fn main() {
                     .and_then(|v| v.parse::<f64>().ok())
                     .filter(|s| (0.0..=1.0).contains(s))
                     .unwrap_or_else(|| usage("--multi-step-share needs a float in 0..=1"));
+            }
+            "--max-allocs-per-event" => {
+                max_allocs_per_event = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|&f| f > 0.0)
+                        .unwrap_or_else(|| usage("--max-allocs-per-event needs a positive float")),
+                );
             }
             "--chaos" => {
                 chaos = it
@@ -221,6 +230,25 @@ fn main() {
                 }
             });
             print!("{}", report.render());
+            // Allocation regression gate (CI's alloc-count smoke job):
+            // requires the counting allocator, so a budget given to a
+            // default build fails loudly instead of passing vacuously.
+            if let Some(budget) = max_allocs_per_event {
+                if report.allocs == 0 {
+                    eprintln!(
+                        "--max-allocs-per-event requires a build with --features alloc-count"
+                    );
+                    std::process::exit(1);
+                }
+                let per_event = report.allocs as f64 / report.merged.sim_events.get().max(1) as f64;
+                if per_event > budget {
+                    eprintln!(
+                        "allocation regression: {per_event:.2} allocs/event exceeds the budget of {budget:.2}"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("alloc gate ok: {per_event:.2} allocs/event <= {budget:.2}");
+            }
         }
         "crawl" => {
             let scale = arg1.unwrap_or(0.05);

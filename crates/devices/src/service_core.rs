@@ -6,9 +6,11 @@
 //! [`ServiceCore::process`] and only implement what is genuinely theirs:
 //! feeding trigger events from their backend and executing actions.
 
+use bytes::Bytes;
+use mem::FxHashMap;
 use simnet::chaos::{ServerFault, ServerFaultPlan};
+use simnet::http::Method;
 use simnet::prelude::*;
-use std::collections::HashMap;
 use tap_protocol::auth::{RETRY_AFTER_HEADER, SERVICE_KEY_HEADER};
 use tap_protocol::endpoints::{BATCH_POLL_PATH, REALTIME_NOTIFY_PATH};
 use tap_protocol::oauth::AuthCode;
@@ -72,6 +74,29 @@ pub enum Processed {
     NoReply,
 }
 
+/// Upper bound on memoized poll bodies; beyond it new bodies are simply
+/// not cached (the resident set of a steady fleet sits far below this).
+const PARSE_CACHE_MAX: usize = 1 << 20;
+
+/// A previously parsed poll request, memoized by its exact body bytes.
+///
+/// A subscription's poll body never changes between cycles, so after one
+/// full parse the steady-state cost collapses to authentication plus one
+/// hash of the body. Authentication, the path, the claimed user, and
+/// subscription existence are re-verified on every hit; only work derived
+/// purely from the bytes is reused.
+#[derive(Debug)]
+enum CachedParse {
+    Poll {
+        path: String,
+        trigger: TriggerSlug,
+        body: wire::PollRequestBody,
+    },
+    Batch {
+        body: wire::BatchPollRequestBody,
+    },
+}
+
 /// The shared protocol front of a partner service.
 #[derive(Debug)]
 pub struct ServiceCore {
@@ -80,7 +105,7 @@ pub struct ServiceCore {
     /// Buffered trigger events per subscription.
     pub buffer: TriggerBuffer,
     /// Subscriptions learned from polls or registered out of band.
-    pub subs: HashMap<TriggerIdentity, Subscription>,
+    pub subs: FxHashMap<TriggerIdentity, Subscription>,
     /// If set, send realtime hints to this engine node when events arrive.
     pub realtime_engine: Option<NodeId>,
     /// Count of subscription polls served (batch entries each count once).
@@ -103,7 +128,9 @@ pub struct ServiceCore {
     /// `(user, trigger)` → subscriptions, in first-subscription order.
     /// [`ServiceCore::record_event`] resolves deliveries through this index
     /// instead of scanning (and string-comparing) every subscription.
-    route: HashMap<(Symbol, Symbol), Vec<RouteEntry>>,
+    route: FxHashMap<(Symbol, Symbol), Vec<RouteEntry>>,
+    /// Memoized poll parses keyed by exact request bytes.
+    parse_cache: FxHashMap<Bytes, CachedParse>,
 }
 
 impl ServiceCore {
@@ -112,7 +139,7 @@ impl ServiceCore {
         ServiceCore {
             endpoint,
             buffer: TriggerBuffer::new(),
-            subs: HashMap::new(),
+            subs: FxHashMap::default(),
             realtime_engine: None,
             polls_served: 0,
             batch_polls_served: 0,
@@ -122,7 +149,8 @@ impl ServiceCore {
             faults_injected: 0,
             next_event: 1,
             syms: Interner::new(),
-            route: HashMap::new(),
+            route: FxHashMap::default(),
+            parse_cache: FxHashMap::default(),
         }
     }
 
@@ -194,25 +222,62 @@ impl ServiceCore {
 
     /// A poll just served `ti`: the engine has (or is fetching) everything
     /// buffered, so the subscription may notify again on its next event.
-    fn clear_outstanding_hint(
-        &mut self,
+    ///
+    /// Associated (not a method) so callers holding a borrow into another
+    /// `ServiceCore` field — the memo fast path borrows `parse_cache` —
+    /// can still clear flags through disjoint field borrows.
+    fn clear_hint(
+        syms: &Interner,
+        route: &mut FxHashMap<(Symbol, Symbol), Vec<RouteEntry>>,
         user: &UserId,
         trigger: &TriggerSlug,
         ti: &TriggerIdentity,
     ) {
-        let key = match (
-            self.syms.get(user.as_str()),
-            self.syms.get(trigger.as_str()),
-        ) {
+        let key = match (syms.get(user.as_str()), syms.get(trigger.as_str())) {
             (Some(u), Some(t)) => (u, t),
             _ => return,
         };
-        if let Some(entries) = self.route.get_mut(&key) {
+        if let Some(entries) = route.get_mut(&key) {
             for e in entries.iter_mut() {
                 if e.ti == *ti {
                     e.hint_outstanding = false;
                 }
             }
+        }
+    }
+
+    /// Assemble a batch-poll reply body from the buffer's cached per-entry
+    /// fragments, clearing each served entry's outstanding hint. Returns
+    /// the JSON body and the total number of events. Byte-identical to
+    /// serializing a [`wire::BatchPollResponseBody`] built from
+    /// [`TriggerBuffer::latest`] vectors.
+    fn serve_batch(
+        syms: &Interner,
+        route: &mut FxHashMap<(Symbol, Symbol), Vec<RouteEntry>>,
+        buffer: &mut TriggerBuffer,
+        user: &UserId,
+        entries: &[wire::BatchPollEntry],
+    ) -> (String, usize) {
+        let mut out = String::from("{\"data\":[");
+        let mut total = 0usize;
+        for (i, entry) in entries.iter().enumerate() {
+            Self::clear_hint(syms, route, user, &entry.trigger, &entry.trigger_identity);
+            if i > 0 {
+                out.push(',');
+            }
+            total += buffer.write_batch_result(&entry.trigger_identity, entry.limit, &mut out);
+        }
+        out.push_str("]}");
+        (out, total)
+    }
+
+    /// The batch reply: static empty-batch bytes when no entry had events
+    /// (the steady-state common case the engine recognizes unparsed).
+    fn batch_reply(out: String, total: usize) -> Response {
+        if total == 0 {
+            Response::ok().with_body(wire::empty_batch_body())
+        } else {
+            Response::ok().with_body(out)
         }
     }
 
@@ -293,6 +358,80 @@ impl ServiceCore {
         if let Some(p) = self.inject_fault(ctx, req) {
             return p;
         }
+        // Memo fast path: a poll body seen before skips endpoint routing
+        // and body parsing entirely. Any verification mismatch falls
+        // through to the full parse, which reproduces the exact slow-path
+        // outcome (including the error response).
+        if req.method == Method::Post {
+            match self.parse_cache.get(&req.body) {
+                Some(CachedParse::Poll {
+                    path,
+                    trigger,
+                    body,
+                }) if *path == req.path => {
+                    if let Ok(user) = self.endpoint.authenticate(req) {
+                        if *user == body.user && self.subs.contains_key(&body.trigger_identity) {
+                            self.polls_served += 1;
+                            Self::clear_hint(
+                                &self.syms,
+                                &mut self.route,
+                                user,
+                                trigger,
+                                &body.trigger_identity,
+                            );
+                            let (reply, count) = self
+                                .buffer
+                                .poll_response(&body.trigger_identity, body.limit);
+                            if ctx.tracing() {
+                                ctx.trace(
+                                    "service.poll",
+                                    format!(
+                                        "{} {} -> {} events",
+                                        self.endpoint.slug(),
+                                        body.trigger_identity,
+                                        count
+                                    ),
+                                );
+                            }
+                            return Processed::Done(Response::ok().with_body(reply));
+                        }
+                    }
+                }
+                Some(CachedParse::Batch { body }) if req.path == BATCH_POLL_PATH => {
+                    if let Ok(user) = self.endpoint.authenticate(req) {
+                        if *user == body.user
+                            && body
+                                .entries
+                                .iter()
+                                .all(|e| self.subs.contains_key(&e.trigger_identity))
+                        {
+                            self.polls_served += body.entries.len() as u64;
+                            self.batch_polls_served += 1;
+                            let (out, total) = Self::serve_batch(
+                                &self.syms,
+                                &mut self.route,
+                                &mut self.buffer,
+                                user,
+                                &body.entries,
+                            );
+                            if ctx.tracing() {
+                                ctx.trace(
+                                    "service.batch_poll",
+                                    format!(
+                                        "{} {} entries -> {} events",
+                                        self.endpoint.slug(),
+                                        body.entries.len(),
+                                        total
+                                    ),
+                                );
+                            }
+                            return Processed::Done(Self::batch_reply(out, total));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
         match self.endpoint.parse(req) {
             Err(e) => Processed::Done(ServiceEndpoint::error_response(&e)),
             Ok(ParsedServiceRequest::Status) => Processed::Done(Response::ok()),
@@ -312,8 +451,16 @@ impl ServiceCore {
                     &body.trigger_fields,
                 );
                 self.polls_served += 1;
-                self.clear_outstanding_hint(&user, &trigger, &body.trigger_identity);
-                let events = self.buffer.latest(&body.trigger_identity, body.limit);
+                Self::clear_hint(
+                    &self.syms,
+                    &mut self.route,
+                    &user,
+                    &trigger,
+                    &body.trigger_identity,
+                );
+                let (reply, count) = self
+                    .buffer
+                    .poll_response(&body.trigger_identity, body.limit);
                 if ctx.tracing() {
                     ctx.trace(
                         "service.poll",
@@ -321,45 +468,58 @@ impl ServiceCore {
                             "{} {} -> {} events",
                             self.endpoint.slug(),
                             body.trigger_identity,
-                            events.len()
+                            count
                         ),
                     );
                 }
-                Processed::Done(ServiceEndpoint::poll_ok(events))
+                if self.parse_cache.len() < PARSE_CACHE_MAX {
+                    self.parse_cache.insert(
+                        req.body.clone(),
+                        CachedParse::Poll {
+                            path: req.path.clone(),
+                            trigger,
+                            body,
+                        },
+                    );
+                }
+                Processed::Done(Response::ok().with_body(reply))
             }
             Ok(ParsedServiceRequest::BatchPoll { user, body }) => {
                 // Each entry is one subscription poll: learn it and gather
                 // its buffered events, exactly as the single path would.
                 self.polls_served += body.entries.len() as u64;
                 self.batch_polls_served += 1;
-                let mut results = Vec::with_capacity(body.entries.len());
-                for entry in body.entries {
+                for entry in &body.entries {
                     self.learn(
                         &entry.trigger_identity,
                         &user,
                         &entry.trigger,
                         &entry.trigger_fields,
                     );
-                    self.clear_outstanding_hint(&user, &entry.trigger, &entry.trigger_identity);
-                    let events = self.buffer.latest(&entry.trigger_identity, entry.limit);
-                    results.push(wire::BatchPollResult {
-                        trigger_identity: entry.trigger_identity,
-                        data: events,
-                    });
                 }
+                let (out, total) = Self::serve_batch(
+                    &self.syms,
+                    &mut self.route,
+                    &mut self.buffer,
+                    &user,
+                    &body.entries,
+                );
                 if ctx.tracing() {
-                    let total: usize = results.iter().map(|r| r.data.len()).sum();
                     ctx.trace(
                         "service.batch_poll",
                         format!(
                             "{} {} entries -> {} events",
                             self.endpoint.slug(),
-                            results.len(),
+                            body.entries.len(),
                             total
                         ),
                     );
                 }
-                Processed::Done(ServiceEndpoint::batch_poll_ok(results))
+                if self.parse_cache.len() < PARSE_CACHE_MAX {
+                    self.parse_cache
+                        .insert(req.body.clone(), CachedParse::Batch { body });
+                }
+                Processed::Done(Self::batch_reply(out, total))
             }
             Ok(ParsedServiceRequest::Action {
                 user, action, body, ..
@@ -377,21 +537,23 @@ impl ServiceCore {
             },
             Ok(ParsedServiceRequest::OAuthAuthorize { user }) => {
                 let code = self.endpoint.oauth.authorize(user, ctx.rng());
-                Processed::Done(
-                    Response::ok().with_body(serde_json::json!({ "code": code.0 }).to_string()),
-                )
+                let mut body = String::with_capacity(code.0.len() + 12);
+                body.push_str("{\"code\":");
+                serde_json::write_json_str(&mut body, &code.0);
+                body.push('}');
+                Processed::Done(Response::ok().with_body(body))
             }
             Ok(ParsedServiceRequest::OAuthToken { code }) => {
                 match self.endpoint.oauth.exchange(&AuthCode(code.0), ctx.rng()) {
-                    Ok(token) => Processed::Done(
-                        Response::ok().with_body(
-                            serde_json::json!({
-                                "access_token": token.0,
-                                "token_type": "Bearer"
-                            })
-                            .to_string(),
-                        ),
-                    ),
+                    Ok(token) => {
+                        // Key order matches what `json!` emitted (BTreeMap
+                        // order): access_token before token_type.
+                        let mut body = String::with_capacity(token.0.len() + 48);
+                        body.push_str("{\"access_token\":");
+                        serde_json::write_json_str(&mut body, &token.0);
+                        body.push_str(",\"token_type\":\"Bearer\"}");
+                        Processed::Done(Response::ok().with_body(body))
+                    }
                     Err(_) => Processed::Done(ServiceEndpoint::error_response(
                         &ProtocolError::BadAccessToken,
                     )),

@@ -27,10 +27,12 @@ use crate::obs::{ObsEvent, ObsSink};
 use crate::permissions::{Capability, Granularity, PermissionManager};
 use crate::polling::PollPolicy;
 use crate::resilience::{BreakerPolicy, CircuitBreaker, RetryPolicy};
+use mem::{Arena, FxHashMap, FxHashSet};
 use rand::Rng;
 use simnet::prelude::*;
 use simnet::rng::Dist;
-use std::collections::{HashMap, HashSet};
+use std::borrow::Cow;
+use std::collections::HashSet;
 use tap_protocol::auth::{
     AccessToken, ServiceKey, AUTHORIZATION_HEADER, REQUEST_ID_HEADER, RETRY_AFTER_HEADER,
     SERVICE_KEY_HEADER,
@@ -40,8 +42,8 @@ use tap_protocol::endpoints::{action_path, trigger_path, BATCH_POLL_PATH, REALTI
 use tap_protocol::error::FailureClass;
 use tap_protocol::wire::{
     self, ActionRequestBody, BatchPollEntry, BatchPollRequestBody, BatchPollResponseBody,
-    ErrorBody, PollRequestBody, PollResponseBody, QueryRequestBody, QueryResponseBody,
-    RealtimeAckBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
+    BatchPollResult, ErrorBody, PollRequestBody, PollResponseBody, QueryRequestBody,
+    QueryResponseBody, RealtimeAckBody, RealtimeNotification, TriggerEvent, DEFAULT_POLL_LIMIT,
 };
 use tap_protocol::{
     is_degenerate, validate_steps, ActionSlug, FieldMap, Interner, QuerySlug, ServiceSlug,
@@ -378,8 +380,16 @@ pub struct EngineStats {
     pub dag_node_retries: u64,
 }
 
+/// Dense per-applet index: slots are assigned sequentially at install and
+/// applets are never uninstalled, so hot paths index straight into the
+/// engine's `tasks`/`applets` vectors instead of hashing an [`AppletId`].
+type Slot = u32;
+
 #[derive(Debug)]
 struct PollTask {
+    /// The public applet id this slot was assigned to (observability
+    /// events and traces speak applet ids, not slots).
+    id: AppletId,
     /// Interned symbols for the hot (user, service) token lookups — the
     /// strings are hashed once at install, never per poll.
     owner: Symbol,
@@ -398,7 +408,7 @@ struct PollTask {
     /// `None` means the body depends on the triggering event.
     action_body: Option<bytes::Bytes>,
     /// Event ids already dispatched, as interned symbols.
-    seen: HashSet<Symbol>,
+    seen: FxHashSet<Symbol>,
     enabled: bool,
     next_poll: Option<TimerId>,
     /// Absolute time the pending poll timer fires (meaningful only while
@@ -441,7 +451,7 @@ struct PollTask {
 
 #[derive(Debug)]
 struct DispatchJob {
-    applet: AppletId,
+    slot: Slot,
     event: TriggerEvent,
     /// Query responses still outstanding before the action can go out.
     pending_queries: usize,
@@ -488,7 +498,7 @@ struct RunNode {
 /// invariant extends unchanged to multi-step applets.
 #[derive(Debug)]
 struct DagRun {
-    applet: AppletId,
+    slot: Slot,
     event: TriggerEvent,
     nodes: Vec<RunNode>,
     /// Network requests (or pending retry timers) outstanding.
@@ -512,35 +522,41 @@ pub struct TapEngine {
     /// identities, and event ids. Symbols never leave the engine: stats,
     /// traces, and wire bodies all use the resolved strings.
     syms: Interner,
-    services: HashMap<Symbol, ServiceRegistration>,
-    service_by_key: HashMap<String, ServiceSlug>,
+    services: FxHashMap<Symbol, ServiceRegistration>,
+    /// Service keys are interned at registration, so the per-notification
+    /// authentication lookup hashes a `Symbol`, not the key string.
+    service_by_key: FxHashMap<Symbol, ServiceSlug>,
     /// Per-(user, service) `Authorization` header values, precomputed
     /// at token install so poll/action/query sends clone a string
     /// instead of formatting one.
-    tokens: HashMap<(Symbol, Symbol), String>,
-    pending_oauth: HashMap<u64, (UserId, ServiceSlug)>,
+    tokens: FxHashMap<(Symbol, Symbol), String>,
+    pending_oauth: FxHashMap<u64, (UserId, ServiceSlug)>,
     next_oauth: u64,
-    applets: HashMap<AppletId, Applet>,
-    tasks: HashMap<AppletId, PollTask>,
-    by_identity: HashMap<Symbol, Vec<AppletId>>,
+    /// [`AppletId`] → dense slot, consulted only on the public id-keyed
+    /// API; internal paths carry slots.
+    slot_of: FxHashMap<u32, Slot>,
+    /// Applet catalog, indexed by slot (install order; never removed).
+    applets: Vec<Applet>,
+    /// Per-applet polling state, indexed by slot parallel to `applets`.
+    tasks: Vec<PollTask>,
+    by_identity: FxHashMap<Symbol, Vec<Slot>>,
     /// Coalescing groups, in install order (the order batch entries are
     /// listed on the wire and demuxed back).
-    poll_groups: HashMap<(Symbol, Symbol, u8), Vec<AppletId>>,
-    /// In-flight batch polls: sequence number → member applets, in entry
-    /// order.
-    pending_batches: HashMap<u64, Vec<AppletId>>,
-    next_batch: u64,
+    poll_groups: FxHashMap<(Symbol, Symbol, u8), Vec<Slot>>,
+    /// In-flight batch polls: the arena handle is the wire sequence
+    /// number; the value is the member slots, in entry order.
+    pending_batches: Arena<Vec<Slot>>,
     /// Serialized batch request body per group, reused verbatim while the
     /// group's membership is unchanged — after the first response
     /// phase-locks a group this is every round, so a steady-state batch
     /// poll clones a `Bytes` handle exactly like a single poll does.
-    batch_bodies: HashMap<(Symbol, Symbol, u8), (Vec<AppletId>, bytes::Bytes)>,
-    dispatches: HashMap<u64, DispatchJob>,
-    next_dispatch: u64,
-    /// In-flight multi-step runs, keyed by run id (the low bits of the
-    /// run's tagged dispatch id).
-    dag_runs: HashMap<u64, DagRun>,
-    next_dag_run: u64,
+    batch_bodies: FxHashMap<(Symbol, Symbol, u8), (Vec<Slot>, bytes::Bytes)>,
+    /// In-flight single-step dispatches; the generation-checked arena
+    /// handle is the dispatch id carried by tokens and timer keys.
+    dispatches: Arena<DispatchJob>,
+    /// In-flight multi-step runs; the arena handle is the run id (the low
+    /// bits of the run's tagged dispatch id).
+    dag_runs: Arena<DagRun>,
     /// Permission manager (service-level by default, §6).
     pub permissions: PermissionManager,
     /// Static loop detector (consulted only if configured).
@@ -550,12 +566,37 @@ pub struct TapEngine {
     pub stats: EngineStats,
     /// Per-trigger-service circuit breakers (allocated lazily; only
     /// consulted when `config.breaker` is set).
-    breakers: HashMap<Symbol, CircuitBreaker>,
+    breakers: FxHashMap<Symbol, CircuitBreaker>,
     /// Groups temporarily demoted to singleton polls after a batch poll
     /// failure, until the stored instant.
-    degraded_until: HashMap<(Symbol, Symbol, u8), SimTime>,
+    degraded_until: FxHashMap<(Symbol, Symbol, u8), SimTime>,
     /// Optional instrumentation sink (see [`crate::obs`]).
     sink: Option<std::sync::Arc<dyn ObsSink>>,
+    /// Recycled batch member lists: popped when a batch poll assembles its
+    /// members, pushed back (cleared, capacity kept) when the batch
+    /// resolves. Steady-state batch polling allocates no member vectors.
+    member_pool: Vec<Vec<Slot>>,
+    /// Recycled fresh-event scratch for `ingest_poll_events`.
+    event_pool: Vec<Vec<TriggerEvent>>,
+    /// Parsed non-empty poll replies keyed by exact body bytes. Polls do
+    /// not consume the service's buffer, so an active subscription returns
+    /// the same body every cycle until a new event arrives; one parse then
+    /// serves every repeat. Cleared wholesale when it outgrows the live
+    /// working set of distinct bodies.
+    poll_parse_cache: FxHashMap<bytes::Bytes, std::sync::Arc<ParsedPollBody>>,
+}
+
+/// Upper bound on distinct memoized poll reply bodies. Bodies churn as new
+/// events arrive, so the cache is cleared (capacity kept) at the cap; the
+/// steady-state working set — subscriptions currently re-serving buffered
+/// events — re-fills it within one poll cycle.
+const POLL_PARSE_CACHE_MAX: usize = 4096;
+
+/// A memoized parse of a non-empty poll reply body.
+#[derive(Debug)]
+enum ParsedPollBody {
+    Single(Vec<TriggerEvent>),
+    Batch(Vec<BatchPollResult>),
 }
 
 impl TapEngine {
@@ -569,30 +610,48 @@ impl TapEngine {
         TapEngine {
             config,
             syms: Interner::new(),
-            services: HashMap::new(),
-            service_by_key: HashMap::new(),
-            tokens: HashMap::new(),
-            pending_oauth: HashMap::new(),
+            services: FxHashMap::default(),
+            service_by_key: FxHashMap::default(),
+            tokens: FxHashMap::default(),
+            pending_oauth: FxHashMap::default(),
             next_oauth: 1,
-            applets: HashMap::new(),
-            tasks: HashMap::new(),
-            by_identity: HashMap::new(),
-            poll_groups: HashMap::new(),
-            pending_batches: HashMap::new(),
-            next_batch: 1,
-            batch_bodies: HashMap::new(),
-            dispatches: HashMap::new(),
-            next_dispatch: 1,
-            dag_runs: HashMap::new(),
-            next_dag_run: 1,
+            slot_of: FxHashMap::default(),
+            applets: Vec::new(),
+            tasks: Vec::new(),
+            by_identity: FxHashMap::default(),
+            poll_groups: FxHashMap::default(),
+            pending_batches: Arena::new(),
+            batch_bodies: FxHashMap::default(),
+            dispatches: Arena::new(),
+            dag_runs: Arena::new(),
             permissions,
             static_detector: StaticLoopDetector::new(),
             runtime_detector,
             stats: EngineStats::default(),
-            breakers: HashMap::new(),
-            degraded_until: HashMap::new(),
+            breakers: FxHashMap::default(),
+            degraded_until: FxHashMap::default(),
             sink: None,
+            member_pool: Vec::new(),
+            event_pool: Vec::new(),
+            poll_parse_cache: FxHashMap::default(),
         }
+    }
+
+    /// Swap the slab-backed in-flight stores for their `HashMap` reference
+    /// implementation (identical handle sequences, associative storage).
+    /// Differential tests use this to assert the slab migration is
+    /// behaviour-preserving; must be called before any applet activity.
+    #[doc(hidden)]
+    pub fn use_reference_storage(&mut self) {
+        assert!(
+            self.dispatches.is_empty()
+                && self.dag_runs.is_empty()
+                && self.pending_batches.is_empty(),
+            "reference storage must be selected before any in-flight state exists"
+        );
+        self.pending_batches = Arena::new_reference();
+        self.dispatches = Arena::new_reference();
+        self.dag_runs = Arena::new_reference();
     }
 
     /// Attach an instrumentation sink. One sink may be shared by many
@@ -613,7 +672,8 @@ impl TapEngine {
 
     /// Register a partner service (what service publication does).
     pub fn register_service(&mut self, slug: ServiceSlug, node: NodeId, key: ServiceKey) {
-        self.service_by_key.insert(key.0.clone(), slug.clone());
+        let key_sym = self.syms.intern(&key.0);
+        self.service_by_key.insert(key_sym, slug.clone());
         let sym = self.syms.intern(slug.as_str());
         self.services
             .insert(sym, ServiceRegistration { slug, node, key });
@@ -656,8 +716,11 @@ impl TapEngine {
         self.next_oauth += 1;
         self.pending_oauth
             .insert(seq, (user.clone(), service.clone()));
-        let req = Request::post("/oauth2/authorize")
-            .with_body(serde_json::json!({ "user": user.0 }).to_string());
+        let mut body = String::with_capacity(user.0.len() + 12);
+        body.push_str("{\"user\":");
+        serde_json::write_json_str(&mut body, &user.0);
+        body.push('}');
+        let req = Request::post("/oauth2/authorize").with_body(body);
         ctx.send_request(
             reg.node,
             req,
@@ -670,7 +733,7 @@ impl TapEngine {
 
     /// The applet catalog.
     pub fn applet(&self, id: AppletId) -> Option<&Applet> {
-        self.applets.get(&id)
+        self.slot_of.get(&id.0).map(|&s| &self.applets[s as usize])
     }
 
     /// Install and enable an applet. Schedules its first trigger poll.
@@ -706,13 +769,13 @@ impl TapEngine {
             }
         }
         if self.config.static_loop_check {
-            let mut all: Vec<Applet> = self.applets.values().cloned().collect();
+            let mut all: Vec<Applet> = self.applets.clone();
             all.push(applet.clone());
             let cycles = self.static_detector.find_cycles(&all);
             let involved: Vec<AppletId> = cycles
                 .into_iter()
                 .flatten()
-                .filter(|id| *id == applet.id || self.applets.contains_key(id))
+                .filter(|id| *id == applet.id || self.slot_of.contains_key(&id.0))
                 .collect();
             if involved.contains(&applet.id) {
                 return Err(InstallError::LoopDetected(involved));
@@ -736,8 +799,9 @@ impl TapEngine {
             &applet.trigger.fields,
         );
         let id = applet.id;
+        let slot: Slot = self.tasks.len() as Slot;
         let identity_sym = self.syms.intern(identity.as_str());
-        self.by_identity.entry(identity_sym).or_default().push(id);
+        self.by_identity.entry(identity_sym).or_default().push(slot);
         let poll_body = wire::to_bytes(&PollRequestBody {
             trigger_identity: identity.clone(),
             trigger_fields: applet.trigger.fields.clone(),
@@ -760,57 +824,55 @@ impl TapEngine {
             self.config.polling.cadence_class(&applet),
         );
         let siblings = self.poll_groups.entry(group).or_default();
-        siblings.push(id);
+        siblings.push(slot);
         let grouped = siblings.len() >= 2;
         if siblings.len() == 2 {
             // The group just gained its first sibling: the existing member
             // was installed solo and must start taking the batch path too.
             let first = siblings[0];
-            if let Some(t) = self.tasks.get_mut(&first) {
-                t.grouped = true;
-            }
+            self.tasks[first as usize].grouped = true;
         }
-        self.tasks.insert(
+        self.tasks.push(PollTask {
             id,
-            PollTask {
-                owner: owner_sym,
-                trigger_service: trigger_service_sym,
-                action_service: self.syms.intern(applet.action.service.as_str()),
-                poll_path: trigger_path(&applet.trigger.trigger),
-                poll_body,
-                action_path: action_path(&applet.action.action),
-                action_body,
-                seen: HashSet::new(),
-                enabled: true,
-                next_poll: None,
-                next_poll_at: SimTime::ZERO,
-                group,
-                grouped,
-                batch_entry: BatchPollEntry {
-                    trigger: applet.trigger.trigger.clone(),
-                    trigger_identity: identity,
-                    trigger_fields: applet.trigger.fields.clone(),
-                    limit: DEFAULT_POLL_LIMIT,
-                },
-                retries: 0,
-                poll_sent_at: SimTime::ZERO,
-                rt_pending: false,
-                rt_resume_at: None,
-                rt_debounce_until: SimTime::ZERO,
+            owner: owner_sym,
+            trigger_service: trigger_service_sym,
+            action_service: self.syms.intern(applet.action.service.as_str()),
+            poll_path: trigger_path(&applet.trigger.trigger),
+            poll_body,
+            action_path: action_path(&applet.action.action),
+            action_body,
+            seen: FxHashSet::default(),
+            enabled: true,
+            next_poll: None,
+            next_poll_at: SimTime::ZERO,
+            group,
+            grouped,
+            batch_entry: BatchPollEntry {
+                trigger: applet.trigger.trigger.clone(),
+                trigger_identity: identity,
+                trigger_fields: applet.trigger.fields.clone(),
+                limit: DEFAULT_POLL_LIMIT,
             },
-        );
-        self.applets.insert(id, applet);
+            retries: 0,
+            poll_sent_at: SimTime::ZERO,
+            rt_pending: false,
+            rt_resume_at: None,
+            rt_debounce_until: SimTime::ZERO,
+        });
+        self.applets.push(applet);
+        self.slot_of.insert(id.0, slot);
         let delay = SimDuration::from_secs_f64(self.config.initial_poll_delay.sample(ctx.rng()));
-        self.schedule_poll(ctx, id, delay);
+        self.schedule_poll(ctx, slot, delay);
         ctx.trace("engine.applet_installed", TraceDetail::Applet(id.0));
         Ok(id)
     }
 
     /// Enable or disable an applet (disabled applets stop polling).
     pub fn set_enabled(&mut self, ctx: &mut Context<'_>, id: AppletId, enabled: bool) {
-        let Some(task) = self.tasks.get_mut(&id) else {
+        let Some(&slot) = self.slot_of.get(&id.0) else {
             return;
         };
+        let task = &mut self.tasks[slot as usize];
         task.enabled = enabled;
         if !enabled {
             // A disabled applet abandons any armed realtime poll; leaking
@@ -819,24 +881,26 @@ impl TapEngine {
             task.rt_resume_at = None;
         }
         if enabled && task.next_poll.is_none() {
-            self.schedule_poll(ctx, id, SimDuration::from_secs(1));
+            self.schedule_poll(ctx, slot, SimDuration::from_secs(1));
         }
     }
 
     /// Is the applet currently enabled?
     pub fn is_enabled(&self, id: AppletId) -> bool {
-        self.tasks.get(&id).is_some_and(|t| t.enabled)
+        self.slot_of
+            .get(&id.0)
+            .is_some_and(|&s| self.tasks[s as usize].enabled)
     }
 
-    fn schedule_poll(&mut self, ctx: &mut Context<'_>, id: AppletId, after: SimDuration) {
-        let Some(task) = self.tasks.get_mut(&id) else {
+    fn schedule_poll(&mut self, ctx: &mut Context<'_>, slot: Slot, after: SimDuration) {
+        let Some(task) = self.tasks.get_mut(slot as usize) else {
             return;
         };
         if let Some(old) = task.next_poll.take() {
             ctx.cancel_timer(old);
         }
         task.next_poll_at = ctx.now() + after;
-        task.next_poll = Some(ctx.set_timer(after, TK_POLL | id.0 as u64));
+        task.next_poll = Some(ctx.set_timer(after, TK_POLL | slot as u64));
     }
 
     /// Consult the per-service breaker gate. `false` whenever breaking is
@@ -854,7 +918,8 @@ impl TapEngine {
     /// hint preempted (keeping the batch group's phase lock), a solo one
     /// draws a fresh gap — and still arms the debounce window so a
     /// notifying service cannot hammer an open breaker.
-    fn shed_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
+    fn shed_poll(&mut self, ctx: &mut Context<'_>, slot: Slot) {
+        let id = self.tasks[slot as usize].id;
         self.obs(ObsEvent::PollShed {
             applet: id,
             at: ctx.now(),
@@ -862,21 +927,20 @@ impl TapEngine {
         if ctx.tracing() {
             ctx.trace("engine.poll_shed", format!("{id:?} breaker open"));
         }
-        if let Some(resume_at) = self.clear_realtime(ctx.now(), id) {
+        if let Some(resume_at) = self.clear_realtime(ctx.now(), slot) {
             let after = if resume_at > ctx.now() {
                 resume_at.since(ctx.now())
             } else {
                 SimDuration::ZERO
             };
-            self.schedule_poll(ctx, id, after);
+            self.schedule_poll(ctx, slot, after);
             return;
         }
         let gap = self
-            .applets
-            .get(&id)
-            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
-            .unwrap_or(SimDuration::from_secs(60));
-        self.schedule_poll(ctx, id, gap);
+            .config
+            .polling
+            .next_gap(&self.applets[slot as usize], ctx.rng());
+        self.schedule_poll(ctx, slot, gap);
     }
 
     /// Resolve a subscription's armed realtime poll, if any: clear the
@@ -884,8 +948,8 @@ impl TapEngine {
     /// preempted cadence instant a grouped member should rejoin at.
     /// Returns `None` when no realtime poll was outstanding *or* the
     /// subscription is solo (callers then draw a fresh cadence gap).
-    fn clear_realtime(&mut self, now: SimTime, id: AppletId) -> Option<SimTime> {
-        let task = self.tasks.get_mut(&id)?;
+    fn clear_realtime(&mut self, now: SimTime, slot: Slot) -> Option<SimTime> {
+        let task = self.tasks.get_mut(slot as usize)?;
         if !task.rt_pending {
             return None;
         }
@@ -918,11 +982,9 @@ impl TapEngine {
         }
     }
 
-    fn send_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
-        let Some(task) = self.tasks.get(&id) else {
-            return;
-        };
-        if !task.enabled || !self.applets.contains_key(&id) {
+    fn send_poll(&mut self, ctx: &mut Context<'_>, slot: Slot) {
+        let task = &self.tasks[slot as usize];
+        if !task.enabled {
             return;
         }
         let (owner, trigger_service) = (task.owner, task.trigger_service);
@@ -932,15 +994,13 @@ impl TapEngine {
             return;
         }
         if self.breaker_sheds(ctx.now(), trigger_service) {
-            self.shed_poll(ctx, id);
+            self.shed_poll(ctx, slot);
             return;
         }
-        self.tasks
-            .get_mut(&id)
-            .expect("task checked above")
-            .poll_sent_at = ctx.now();
-        let applet = &self.applets[&id];
-        let task = &self.tasks[&id];
+        self.tasks[slot as usize].poll_sent_at = ctx.now();
+        let applet = &self.applets[slot as usize];
+        let task = &self.tasks[slot as usize];
+        let id = task.id;
         let reg = &self.services[&trigger_service];
         let bearer = &self.tokens[&(owner, trigger_service)];
         let request_id: u64 = ctx.rng().gen();
@@ -971,7 +1031,7 @@ impl TapEngine {
         ctx.send_request(
             node,
             req,
-            Token(TAG_POLL | id.0 as u64),
+            Token(TAG_POLL | slot as u64),
             RequestOpts {
                 timeout: Some(self.config.request_timeout),
             },
@@ -983,16 +1043,15 @@ impl TapEngine {
     /// cadence class) — whose next poll falls inside the jittered window
     /// into one multi-trigger request. Falls back to the plain single poll
     /// when no sibling is close enough.
-    fn send_batch_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) {
-        let Some(task) = self.tasks.get(&id) else {
-            return;
-        };
+    fn send_batch_poll(&mut self, ctx: &mut Context<'_>, slot: Slot) {
+        let task = &self.tasks[slot as usize];
         if !task.enabled {
             return;
         }
         let group = task.group;
         let owner = task.owner;
         let trigger_service = task.trigger_service;
+        let id = task.id;
         if !self.services.contains_key(&trigger_service)
             || !self.tokens.contains_key(&(owner, trigger_service))
         {
@@ -1001,43 +1060,46 @@ impl TapEngine {
         if self.breaker_sheds(ctx.now(), trigger_service) {
             // Shed only the initiator; siblings keep their own timers and
             // take their own gate decision when those fire.
-            self.shed_poll(ctx, id);
+            self.shed_poll(ctx, slot);
             return;
         }
-        let reg = &self.services[&trigger_service];
-        let bearer = &self.tokens[&(owner, trigger_service)];
         let window =
             SimDuration::from_secs_f64(self.config.coalesce_window.sample(ctx.rng()).max(0.0));
         let horizon = ctx.now() + window;
         // Members in install order: the initiator (whose timer just fired)
-        // plus every sibling with a pending poll inside the window.
-        let members: Vec<AppletId> = self.poll_groups[&group]
-            .iter()
-            .copied()
-            .filter(|m| {
-                // A member with an armed realtime poll keeps its
-                // out-of-band timer: sweeping it into the batch would
-                // cancel the immediate poll its notification paid for.
-                *m == id
-                    || self.tasks.get(m).is_some_and(|t| {
-                        t.enabled
-                            && !t.rt_pending
-                            && t.next_poll.is_some()
-                            && t.next_poll_at <= horizon
-                    })
-            })
-            .collect();
+        // plus every sibling with a pending poll inside the window. The
+        // list comes from (and returns to) the member pool, so the
+        // steady-state batch path allocates nothing here.
+        let mut members = self.member_pool.pop().unwrap_or_default();
+        for &m in &self.poll_groups[&group] {
+            // A member with an armed realtime poll keeps its out-of-band
+            // timer: sweeping it into the batch would cancel the immediate
+            // poll its notification paid for.
+            let t = &self.tasks[m as usize];
+            if m == slot
+                || (t.enabled
+                    && !t.rt_pending
+                    && t.next_poll.is_some()
+                    && t.next_poll_at <= horizon)
+            {
+                members.push(m);
+            }
+        }
         if members.len() < 2 {
-            self.send_poll(ctx, id);
+            members.clear();
+            self.member_pool.push(members);
+            self.send_poll(ctx, slot);
             return;
         }
-        for m in &members {
-            let task = self.tasks.get_mut(m).expect("member task exists");
+        for &m in &members {
+            let task = &mut self.tasks[m as usize];
             if let Some(old) = task.next_poll.take() {
                 ctx.cancel_timer(old);
             }
             task.poll_sent_at = ctx.now();
         }
+        let reg = &self.services[&trigger_service];
+        let bearer = &self.tokens[&(owner, trigger_service)];
         let cached = self
             .batch_bodies
             .get(&group)
@@ -1046,10 +1108,10 @@ impl TapEngine {
         let body = cached.unwrap_or_else(|| {
             let entries = members
                 .iter()
-                .map(|m| self.tasks[m].batch_entry.clone())
+                .map(|&m| self.tasks[m as usize].batch_entry.clone())
                 .collect();
             let bytes = wire::to_bytes(&BatchPollRequestBody {
-                user: self.applets[&id].owner.clone(),
+                user: self.applets[slot as usize].owner.clone(),
                 entries,
             });
             self.batch_bodies
@@ -1057,9 +1119,7 @@ impl TapEngine {
             bytes
         });
         let n = members.len() as u64;
-        let seq = self.next_batch;
-        self.next_batch += 1;
-        self.pending_batches.insert(seq, members);
+        let seq = self.pending_batches.insert(members);
         let request_id: u64 = ctx.rng().gen();
         let req = Request::post(BATCH_POLL_PATH)
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
@@ -1089,9 +1149,15 @@ impl TapEngine {
     }
 
     fn on_batch_poll_response(&mut self, ctx: &mut Context<'_>, seq: u64, resp: Response) {
-        let Some(members) = self.pending_batches.remove(&seq) else {
+        let Some(mut members) = self.pending_batches.remove(seq) else {
             return;
         };
+        self.handle_batch_response(ctx, &members, resp);
+        members.clear();
+        self.member_pool.push(members);
+    }
+
+    fn handle_batch_response(&mut self, ctx: &mut Context<'_>, members: &[Slot], resp: Response) {
         // Keep every member's polling chain alive with ONE shared gap draw.
         // Phase-locking the group is what keeps it coalescing round after
         // round, and because all members share a cadence class the draw has
@@ -1099,11 +1165,14 @@ impl TapEngine {
         // would give each of them — T2A quartiles are preserved.
         let gap = members
             .first()
-            .and_then(|m| self.applets.get(m))
-            .map(|a| self.config.polling.next_gap(a, ctx.rng()))
+            .map(|&m| {
+                self.config
+                    .polling
+                    .next_gap(&self.applets[m as usize], ctx.rng())
+            })
             .unwrap_or(SimDuration::from_secs(60));
-        for m in &members {
-            self.schedule_poll(ctx, *m, gap);
+        for &m in members {
+            self.schedule_poll(ctx, m, gap);
         }
         let n = members.len() as u64;
         if !resp.is_success() {
@@ -1119,7 +1188,7 @@ impl TapEngine {
             }
             let Some((group, service)) = members
                 .first()
-                .and_then(|m| self.tasks.get(m))
+                .map(|&m| &self.tasks[m as usize])
                 .map(|t| (t.group, t.trigger_service))
             else {
                 return;
@@ -1140,8 +1209,7 @@ impl TapEngine {
         if self.config.breaker.is_some() {
             if let Some(service) = members
                 .first()
-                .and_then(|m| self.tasks.get(m))
-                .map(|t| t.trigger_service)
+                .map(|&m| self.tasks[m as usize].trigger_service)
             {
                 self.breaker_record(ctx, service, true);
             }
@@ -1155,7 +1223,7 @@ impl TapEngine {
             });
             return;
         }
-        let Ok(body) = wire::from_bytes::<BatchPollResponseBody>(&resp.body) else {
+        let Some(parsed) = self.parse_poll_body(&resp.body, false) else {
             // A 200 with an unparseable body: the service is up (no breaker
             // signal) and the events stay buffered server-side, so the next
             // cycle re-fetches them — no retry needed for delivery.
@@ -1165,35 +1233,69 @@ impl TapEngine {
             });
             return;
         };
+        let ParsedPollBody::Batch(data) = &*parsed else {
+            unreachable!("parse_poll_body(single=false) returns Batch");
+        };
         // Results come back in entry order; demux by position. Entries are
         // ingested in member order and each entry's dispatch timers are set
         // immediately, so per-subscription FIFO is preserved.
-        for (m, result) in members.into_iter().zip(body.data) {
-            self.ingest_poll_events(ctx, m, result.data);
+        for (&m, result) in members.iter().zip(data.iter()) {
+            self.ingest_poll_events(ctx, m, &result.data);
         }
     }
 
-    fn on_poll_response(&mut self, ctx: &mut Context<'_>, id: AppletId, resp: Response) {
+    /// Look up (or parse and memoize) a non-empty poll reply body.
+    /// `single` selects the expected shape; a cached entry of the other
+    /// shape is impossible for bytes that parsed successfully (the two wire
+    /// types have disjoint required fields), but is treated as a miss
+    /// rather than trusted.
+    fn parse_poll_body(
+        &mut self,
+        body: &bytes::Bytes,
+        single: bool,
+    ) -> Option<std::sync::Arc<ParsedPollBody>> {
+        if let Some(hit) = self.poll_parse_cache.get(body) {
+            let shape_matches = matches!(
+                (&**hit, single),
+                (ParsedPollBody::Single(_), true) | (ParsedPollBody::Batch(_), false)
+            );
+            if shape_matches {
+                return Some(hit.clone());
+            }
+        }
+        let parsed = if single {
+            ParsedPollBody::Single(wire::from_bytes::<PollResponseBody>(body).ok()?.data)
+        } else {
+            ParsedPollBody::Batch(wire::from_bytes::<BatchPollResponseBody>(body).ok()?.data)
+        };
+        let parsed = std::sync::Arc::new(parsed);
+        if self.poll_parse_cache.len() >= POLL_PARSE_CACHE_MAX {
+            self.poll_parse_cache.clear();
+        }
+        self.poll_parse_cache.insert(body.clone(), parsed.clone());
+        Some(parsed)
+    }
+
+    fn on_poll_response(&mut self, ctx: &mut Context<'_>, slot: Slot, resp: Response) {
         // Always keep the polling chain alive. The response of a realtime
         // out-of-band poll restores the schedule its notification
         // preempted — a grouped member rejoins its batch group at the
         // saved phase instant (immediately, if the detour overran it) —
         // while everything else, including a solo realtime poll, draws a
         // fresh cadence gap.
-        if let Some(resume_at) = self.clear_realtime(ctx.now(), id) {
+        if let Some(resume_at) = self.clear_realtime(ctx.now(), slot) {
             let after = if resume_at > ctx.now() {
                 resume_at.since(ctx.now())
             } else {
                 SimDuration::ZERO
             };
-            self.schedule_poll(ctx, id, after);
+            self.schedule_poll(ctx, slot, after);
         } else {
             let gap = self
-                .applets
-                .get(&id)
-                .map(|a| self.config.polling.next_gap(a, ctx.rng()))
-                .unwrap_or(SimDuration::from_secs(60));
-            self.schedule_poll(ctx, id, gap);
+                .config
+                .polling
+                .next_gap(&self.applets[slot as usize], ctx.rng());
+            self.schedule_poll(ctx, slot, gap);
         }
 
         if !resp.is_success() {
@@ -1201,15 +1303,14 @@ impl TapEngine {
                 polls: 1,
                 at: ctx.now(),
             });
+            let task = &self.tasks[slot as usize];
+            let id = task.id;
             if ctx.tracing() {
                 ctx.trace(
                     "engine.poll_failed",
                     format!("{id:?} status {}", resp.status),
                 );
             }
-            let Some(task) = self.tasks.get(&id) else {
-                return;
-            };
             let service = task.trigger_service;
             let retries_made = task.retries;
             self.breaker_record(ctx, service, false);
@@ -1222,9 +1323,7 @@ impl TapEngine {
                 // instead of waiting a whole cadence gap. schedule_poll
                 // cancels the cadence timer set above, so the chain still
                 // carries exactly one pending poll.
-                if let Some(task) = self.tasks.get_mut(&id) {
-                    task.retries += 1;
-                }
+                self.tasks[slot as usize].retries += 1;
                 self.obs(ObsEvent::PollRetried {
                     applet: id,
                     at: ctx.now(),
@@ -1237,19 +1336,16 @@ impl TapEngine {
                 if let Some(ra) = retry_after_hint(&resp) {
                     delay = delay.max(ra);
                 }
-                self.schedule_poll(ctx, id, delay);
+                self.schedule_poll(ctx, slot, delay);
             }
             return;
         }
         if self.config.poll_retry.enabled() {
-            if let Some(task) = self.tasks.get_mut(&id) {
-                task.retries = 0;
-            }
+            self.tasks[slot as usize].retries = 0;
         }
         if self.config.breaker.is_some() {
-            if let Some(service) = self.tasks.get(&id).map(|t| t.trigger_service) {
-                self.breaker_record(ctx, service, true);
-            }
+            let service = self.tasks[slot as usize].trigger_service;
+            self.breaker_record(ctx, service, true);
         }
         // Recognize the canonical empty reply by bytes: no parse needed,
         // and nothing below observes anything an empty body would change.
@@ -1260,7 +1356,7 @@ impl TapEngine {
             });
             return;
         }
-        let Ok(body) = wire::from_bytes::<PollResponseBody>(&resp.body) else {
+        let Some(parsed) = self.parse_poll_body(&resp.body, true) else {
             // 200 with garbage: counted, not retried — the events stay in
             // the service buffer and the next cycle re-fetches them.
             self.obs(ObsEvent::PollFailed {
@@ -1269,13 +1365,16 @@ impl TapEngine {
             });
             return;
         };
-        self.ingest_poll_events(ctx, id, body.data);
+        let ParsedPollBody::Single(data) = &*parsed else {
+            unreachable!("parse_poll_body(single=true) returns Single");
+        };
+        self.ingest_poll_events(ctx, slot, data);
     }
 
     /// Shared tail of the single and batched poll paths: dedupe one
     /// subscription's event list against its seen-set and enqueue a
     /// dispatch per fresh event, oldest first.
-    fn ingest_poll_events(&mut self, ctx: &mut Context<'_>, id: AppletId, data: Vec<TriggerEvent>) {
+    fn ingest_poll_events(&mut self, ctx: &mut Context<'_>, slot: Slot, data: &[TriggerEvent]) {
         let received = data.len() as u64;
         if data.is_empty() {
             self.obs(ObsEvent::PollEmpty {
@@ -1284,26 +1383,30 @@ impl TapEngine {
             });
             return;
         }
-        if !self.tasks.contains_key(&id) {
-            self.obs(ObsEvent::PollDiscarded {
-                received,
-                at: ctx.now(),
-            });
-            return;
-        }
-        let sent_at = self.tasks[&id].poll_sent_at;
-        let task = self.tasks.get_mut(&id).expect("checked above");
+        let (id, sent_at) = {
+            let t = &self.tasks[slot as usize];
+            (t.id, t.poll_sent_at)
+        };
         // Newest-first on the wire; dispatch oldest-first. Seen event ids
         // are tracked as interned symbols: a repeat (the common case, since
         // polls do not consume the service's buffer) costs one string hash
-        // and a u32 set probe.
-        let syms = &mut self.syms;
-        let mut fresh: Vec<TriggerEvent> = data
-            .into_iter()
-            .filter(|e| !syms.get(&e.meta.id).is_some_and(|s| task.seen.contains(&s)))
-            .collect();
+        // and a u32 set probe. Only genuinely fresh events are cloned out
+        // of the (possibly memoized) parsed body, and the scratch vector
+        // comes from the engine's pool, so steady-state ingestion — all
+        // repeats — allocates nothing here.
+        let mut fresh = self.event_pool.pop().unwrap_or_default();
+        {
+            let task = &self.tasks[slot as usize];
+            let syms = &self.syms;
+            fresh.extend(
+                data.iter()
+                    .filter(|e| !syms.get(&e.meta.id).is_some_and(|s| task.seen.contains(&s)))
+                    .cloned(),
+            );
+        }
         fresh.reverse();
         if fresh.is_empty() {
+            self.event_pool.push(fresh);
             self.obs(ObsEvent::PollDelivered {
                 applet: id,
                 received,
@@ -1313,8 +1416,12 @@ impl TapEngine {
             });
             return;
         }
-        for e in &fresh {
-            task.seen.insert(syms.intern(&e.meta.id));
+        {
+            let task = &mut self.tasks[slot as usize];
+            let syms = &mut self.syms;
+            for e in &fresh {
+                task.seen.insert(syms.intern(&e.meta.id));
+            }
         }
         self.obs(ObsEvent::PollDelivered {
             applet: id,
@@ -1333,27 +1440,22 @@ impl TapEngine {
         // back-to-back. Both branches draw the same overhead and gap
         // samples, so a population mixing multi-step and classic applets
         // keeps every classic applet's schedule untouched.
-        let dag = self.applets.get(&id).is_some_and(|a| !a.steps.is_empty());
+        let dag = !self.applets[slot as usize].steps.is_empty();
         let overhead = SimDuration::from_secs_f64(self.config.dispatch_overhead.sample(ctx.rng()));
         let mut at = overhead;
-        for event in fresh {
+        for event in fresh.drain(..) {
             if dag {
-                let run = self.next_dag_run;
-                self.next_dag_run += 1;
-                let n = self.applets[&id].steps.len();
-                self.dag_runs.insert(
-                    run,
-                    DagRun {
-                        applet: id,
-                        event,
-                        nodes: (0..n).map(|_| RunNode::default()).collect(),
-                        outstanding: 0,
-                        failed: false,
-                        any_action_ok: false,
-                        any_action_failed: false,
-                        serial: self.config.policy == EnginePolicy::ZapierLike,
-                    },
-                );
+                let n = self.applets[slot as usize].steps.len();
+                let run = self.dag_runs.insert(DagRun {
+                    slot,
+                    event,
+                    nodes: (0..n).map(|_| RunNode::default()).collect(),
+                    outstanding: 0,
+                    failed: false,
+                    any_action_ok: false,
+                    any_action_failed: false,
+                    serial: self.config.policy == EnginePolicy::ZapierLike,
+                });
                 self.obs(ObsEvent::DispatchEnqueued {
                     applet: id,
                     dispatch: DAG_DISPATCH_BIT | run,
@@ -1363,19 +1465,14 @@ impl TapEngine {
                 });
                 ctx.set_timer(at, TK_DAG | (run << DAG_NODE_BITS) | DAG_RUN_START);
             } else {
-                let d = self.next_dispatch;
-                self.next_dispatch += 1;
-                self.dispatches.insert(
-                    d,
-                    DispatchJob {
-                        applet: id,
-                        event,
-                        pending_queries: 0,
-                        extra: tap_protocol::FieldMap::new(),
-                        queries_issued: false,
-                        attempts: 0,
-                    },
-                );
+                let d = self.dispatches.insert(DispatchJob {
+                    slot,
+                    event,
+                    pending_queries: 0,
+                    extra: tap_protocol::FieldMap::new(),
+                    queries_issued: false,
+                    attempts: 0,
+                });
                 self.obs(ObsEvent::DispatchEnqueued {
                     applet: id,
                     dispatch: d,
@@ -1387,40 +1484,37 @@ impl TapEngine {
             }
             at += SimDuration::from_secs_f64(self.config.inter_action_gap.sample(ctx.rng()));
         }
+        self.event_pool.push(fresh);
     }
 
     fn send_action(&mut self, ctx: &mut Context<'_>, dispatch: u64) {
-        let Some(job) = self.dispatches.get(&dispatch) else {
+        let Some(job) = self.dispatches.get(dispatch) else {
             return;
         };
-        let id = job.applet;
-        if !self.applets.contains_key(&id) {
+        let slot = job.slot;
+        let task = &self.tasks[slot as usize];
+        let id = task.id;
+        if !task.enabled {
+            self.dispatches.remove(dispatch);
             return;
         }
-        let Some((owner_sym, action_service_sym)) = self
-            .tasks
-            .get(&id)
-            .filter(|t| t.enabled)
-            .map(|t| (t.owner, t.action_service))
-        else {
-            self.dispatches.remove(&dispatch);
-            return;
-        };
+        let (owner_sym, action_service_sym) = (task.owner, task.action_service);
         // Queries (the paper's future-work feature): resolve read-only
         // lookups before evaluating the condition or dispatching. This
         // happens before the loop detector so the query-driven re-entry
         // into this function does not double-count an execution.
-        if !self.applets[&id].queries.is_empty() && !self.dispatches[&dispatch].queries_issued {
-            let applet = self.applets[&id].clone();
+        let job = self.dispatches.get(dispatch).expect("job exists");
+        if !self.applets[slot as usize].queries.is_empty() && !job.queries_issued {
+            let applet = self.applets[slot as usize].clone();
             self.issue_queries(ctx, dispatch, &applet);
             return;
         }
-        if self.dispatches[&dispatch].pending_queries > 0 {
+        if job.pending_queries > 0 {
             return; // responses still in flight; they re-enter here
         }
         // Runtime loop detection at execution time (§6). Retries of the
         // same dispatch count as one execution, not several.
-        let first_attempt = self.dispatches[&dispatch].attempts == 0;
+        let first_attempt = job.attempts == 0;
         if first_attempt {
             let suspected = match &mut self.runtime_detector {
                 Some(det) => det.record(id, ctx.now()) == RuntimeVerdict::LoopSuspected,
@@ -1438,11 +1532,9 @@ impl TapEngine {
                     .as_ref()
                     .is_some_and(|c| c.auto_disable)
                 {
-                    if let Some(task) = self.tasks.get_mut(&id) {
-                        task.enabled = false;
-                    }
+                    self.tasks[slot as usize].enabled = false;
                     ctx.trace("engine.applet_disabled", format!("{id:?} (loop)"));
-                    self.dispatches.remove(&dispatch);
+                    self.dispatches.remove(dispatch);
                     return;
                 }
             }
@@ -1454,42 +1546,38 @@ impl TapEngine {
         }
         // Merge query results into the visible ingredient set.
         let merged = {
-            let job = self.dispatches.get(&dispatch).expect("job exists");
+            let job = self.dispatches.get(dispatch).expect("job exists");
             let mut m = job.event.ingredients.clone();
             m.extend(job.extra.clone());
             m
         };
         // Conditions: evaluate against the merged ingredients.
-        if !self.applets[&id].condition.eval(&merged) {
+        if !self.applets[slot as usize].condition.eval(&merged) {
             self.obs(ObsEvent::ActionFiltered {
                 applet: id,
                 dispatch,
                 at: ctx.now(),
             });
             ctx.trace("engine.action_filtered", TraceDetail::Applet(id.0));
-            self.dispatches.remove(&dispatch);
+            self.dispatches.remove(dispatch);
             return;
         }
-        let applet = &self.applets[&id];
-        let job = self.dispatches.get(&dispatch).expect("job exists");
-        let task = self.tasks.get(&id);
+        let applet = &self.applets[slot as usize];
+        let job = self.dispatches.get(dispatch).expect("job exists");
+        let task = &self.tasks[slot as usize];
         let reg = &self.services[&action_service_sym];
         let bearer = &self.tokens[&(owner_sym, action_service_sym)];
         // The cached body is only present when the action has no fields to
         // substitute, in which case serializing per dispatch would produce
         // these exact bytes anyway.
-        let body = match task.and_then(|t| t.action_body.clone()) {
+        let body = match task.action_body.clone() {
             Some(cached) => cached,
             None => wire::to_bytes(&ActionRequestBody {
                 action_fields: substitute_fields(&applet.action.fields, &merged),
                 user: applet.owner.clone(),
             }),
         };
-        let path = match task {
-            Some(t) => t.action_path.clone(),
-            None => action_path(&applet.action.action),
-        };
-        let req = Request::post(path)
+        let req = Request::post(task.action_path.clone())
             .with_header(SERVICE_KEY_HEADER, reg.key.0.clone())
             .with_header(AUTHORIZATION_HEADER, bearer.clone())
             .with_body(body);
@@ -1504,7 +1592,7 @@ impl TapEngine {
         }
         let node = reg.node;
         let attempt = {
-            let job = self.dispatches.get_mut(&dispatch).expect("exists");
+            let job = self.dispatches.get_mut(dispatch).expect("exists");
             job.attempts += 1;
             job.attempts
         };
@@ -1527,7 +1615,13 @@ impl TapEngine {
     /// Fire every query of `applet` for this dispatch; the action resumes
     /// when the last response (or failure) arrives.
     fn issue_queries(&mut self, ctx: &mut Context<'_>, dispatch: u64, applet: &Applet) {
-        let ingredients = self.dispatches[&dispatch].event.ingredients.clone();
+        let ingredients = self
+            .dispatches
+            .get(dispatch)
+            .expect("job exists")
+            .event
+            .ingredients
+            .clone();
         let mut issued = 0usize;
         for (qidx, q) in applet.queries.iter().enumerate().take(1 << QUERY_IDX_BITS) {
             let Some(reg) = self
@@ -1571,7 +1665,7 @@ impl TapEngine {
             );
             issued += 1;
         }
-        let job = self.dispatches.get_mut(&dispatch).expect("job exists");
+        let job = self.dispatches.get_mut(dispatch).expect("job exists");
         job.queries_issued = true;
         job.pending_queries = issued;
         if issued == 0 {
@@ -1589,12 +1683,11 @@ impl TapEngine {
     ) {
         let prefix = self
             .dispatches
-            .get(&dispatch)
-            .and_then(|job| self.applets.get(&job.applet))
-            .and_then(|a| a.queries.get(qidx))
+            .get(dispatch)
+            .and_then(|job| self.applets[job.slot as usize].queries.get(qidx))
             .map(|q| q.prefix.clone());
         let Some(prefix) = prefix else { return };
-        let Some(job) = self.dispatches.get_mut(&dispatch) else {
+        let Some(job) = self.dispatches.get_mut(dispatch) else {
             return;
         };
         if resp.is_success() {
@@ -1613,7 +1706,7 @@ impl TapEngine {
                 format!("dispatch {dispatch} q{qidx}"),
             );
         }
-        let job = self.dispatches.get_mut(&dispatch).expect("exists");
+        let job = self.dispatches.get_mut(dispatch).expect("exists");
         job.pending_queries = job.pending_queries.saturating_sub(1);
         if job.pending_queries == 0 {
             self.send_action(ctx, dispatch);
@@ -1635,14 +1728,10 @@ impl TapEngine {
         }
         loop {
             let act = {
-                let Some(run) = self.dag_runs.get(&run_id) else {
+                let Some(run) = self.dag_runs.get(run_id) else {
                     return;
                 };
-                let Some(applet) = self.applets.get(&run.applet) else {
-                    self.dag_runs.remove(&run_id);
-                    return;
-                };
-                let steps = &applet.steps;
+                let steps = &self.applets[run.slot as usize].steps;
                 let mut act = Act::Wait;
                 for (i, node) in run.nodes.iter().enumerate() {
                     if node.status != NodeStatus::Pending {
@@ -1695,23 +1784,23 @@ impl TapEngine {
                     return;
                 }
                 Act::Skip(i) => {
-                    let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                    let run = self.dag_runs.get_mut(run_id).expect("run checked above");
                     run.nodes[i].status = NodeStatus::Skipped;
                 }
                 Act::Sync(i) => {
                     let (applet_id, done, out, kind) = {
-                        let run = &self.dag_runs[&run_id];
-                        let applet = &self.applets[&run.applet];
+                        let run = self.dag_runs.get(run_id).expect("run checked above");
+                        let applet = &self.applets[run.slot as usize];
                         let input = dag_node_input(run, &applet.steps, i);
                         match &applet.steps[i].spec {
                             StepSpec::Filter { predicate } => (
-                                run.applet,
+                                applet.id,
                                 predicate.eval(&input),
                                 FieldMap::new(),
                                 StepKind::Filter,
                             ),
                             StepSpec::Transform { fields } => (
-                                run.applet,
+                                applet.id,
                                 true,
                                 substitute_fields(fields, &input),
                                 StepKind::Transform,
@@ -1719,7 +1808,7 @@ impl TapEngine {
                             _ => unreachable!("scan yields Sync only for filter/transform"),
                         }
                     };
-                    let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                    let run = self.dag_runs.get_mut(run_id).expect("run checked above");
                     run.nodes[i].status = if done {
                         NodeStatus::Done
                     } else {
@@ -1736,7 +1825,7 @@ impl TapEngine {
                 }
                 Act::Launch(i) => {
                     {
-                        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+                        let run = self.dag_runs.get_mut(run_id).expect("run checked above");
                         run.nodes[i].status = NodeStatus::InFlight;
                         run.outstanding += 1;
                     }
@@ -1752,29 +1841,29 @@ impl TapEngine {
     /// failure that consumes an attempt, so query steps face the same
     /// breaker/retry stack polls do.
     fn dag_send(&mut self, ctx: &mut Context<'_>, run_id: u64, idx: usize) {
-        let Some(run) = self.dag_runs.get(&run_id) else {
+        let Some(run) = self.dag_runs.get(run_id) else {
             return;
         };
         if run.nodes.get(idx).map(|n| n.status) != Some(NodeStatus::InFlight) {
             return;
         }
-        let id = run.applet;
+        let slot = run.slot;
+        let id = self.tasks[slot as usize].id;
         if run.failed {
             // The run halted while this node waited on a retry timer:
             // resolve it without wasting the request.
-            let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+            let run = self.dag_runs.get_mut(run_id).expect("run checked above");
             run.outstanding -= 1;
             run.nodes[idx].status = NodeStatus::Failed;
             self.dag_advance(ctx, run_id);
             return;
         }
-        let Some((owner, action_service)) =
-            self.tasks.get(&id).map(|t| (t.owner, t.action_service))
-        else {
-            return;
+        let (owner, action_service) = {
+            let t = &self.tasks[slot as usize];
+            (t.owner, t.action_service)
         };
         {
-            let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+            let run = self.dag_runs.get_mut(run_id).expect("run checked above");
             run.nodes[idx].attempts += 1;
         }
         if self.breaker_sheds(ctx.now(), action_service) {
@@ -1788,8 +1877,8 @@ impl TapEngine {
             let Some(bearer) = self.tokens.get(&(owner, action_service)) else {
                 return;
             };
-            let run = &self.dag_runs[&run_id];
-            let applet = &self.applets[&id];
+            let run = self.dag_runs.get(run_id).expect("run checked above");
+            let applet = &self.applets[slot as usize];
             let input = dag_node_input(run, &applet.steps, idx);
             let attempt = run.nodes[idx].attempts;
             match &applet.steps[idx].spec {
@@ -1854,14 +1943,13 @@ impl TapEngine {
         class: FailureClass,
         retry_after: Option<SimDuration>,
     ) {
-        let Some(run) = self.dag_runs.get(&run_id) else {
+        let Some(run) = self.dag_runs.get(run_id) else {
             return;
         };
-        let id = run.applet;
+        let slot = run.slot;
         let attempts = run.nodes[idx].attempts;
-        let Some(applet) = self.applets.get(&id) else {
-            return;
-        };
+        let applet = &self.applets[slot as usize];
+        let id = applet.id;
         let step = &applet.steps[idx];
         let is_action = matches!(step.spec, StepSpec::Action { .. });
         let base = if is_action {
@@ -1908,7 +1996,7 @@ impl TapEngine {
                 at: ctx.now(),
             });
         }
-        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+        let run = self.dag_runs.get_mut(run_id).expect("run checked above");
         run.outstanding -= 1;
         match policy {
             StepFailurePolicy::Continue => {
@@ -1940,11 +2028,11 @@ impl TapEngine {
     /// `events_new == actions_ok + actions_filtered + dead_letters` holds
     /// for multi-step applets exactly as it does for single-step ones.
     fn dag_finish(&mut self, ctx: &mut Context<'_>, run_id: u64) {
-        let Some(run) = self.dag_runs.remove(&run_id) else {
+        let Some(run) = self.dag_runs.remove(run_id) else {
             return;
         };
         let dispatch = DAG_DISPATCH_BIT | run_id;
-        let applet = run.applet;
+        let applet = self.tasks[run.slot as usize].id;
         if run.failed || (run.any_action_failed && !run.any_action_ok) {
             self.obs(ObsEvent::ActionFinished {
                 applet,
@@ -1978,28 +2066,23 @@ impl TapEngine {
 
     /// A response for one DAG node came back.
     fn on_dag_response(&mut self, ctx: &mut Context<'_>, run_id: u64, idx: usize, resp: Response) {
-        let Some(run) = self.dag_runs.get(&run_id) else {
+        let Some(run) = self.dag_runs.get(run_id) else {
             return;
         };
         if run.nodes.get(idx).map(|n| n.status) != Some(NodeStatus::InFlight) {
             return;
         }
-        let id = run.applet;
-        let service = self.tasks.get(&id).map(|t| t.action_service);
+        let slot = run.slot;
+        let id = self.tasks[slot as usize].id;
+        let service = self.tasks[slot as usize].action_service;
         if !resp.is_success() {
-            if let Some(s) = service {
-                self.breaker_record(ctx, s, false);
-            }
+            self.breaker_record(ctx, service, false);
             let class = FailureClass::of_status(resp.status).unwrap_or(FailureClass::Transport);
             self.dag_node_failure(ctx, run_id, idx, class, retry_after_hint(&resp));
             return;
         }
-        if let Some(s) = service {
-            self.breaker_record(ctx, s, true);
-        }
-        let Some(applet) = self.applets.get(&id) else {
-            return;
-        };
+        self.breaker_record(ctx, service, true);
+        let applet = &self.applets[slot as usize];
         let (kind, is_action, out) = match &applet.steps[idx].spec {
             StepSpec::Query { prefix, .. } => {
                 // Merge the result keys under the node's prefix, exactly
@@ -2016,7 +2099,7 @@ impl TapEngine {
             StepSpec::Action { .. } => (StepKind::Action, true, FieldMap::new()),
             _ => return,
         };
-        let run = self.dag_runs.get_mut(&run_id).expect("run checked above");
+        let run = self.dag_runs.get_mut(run_id).expect("run checked above");
         run.outstanding -= 1;
         run.nodes[idx].status = NodeStatus::Done;
         run.nodes[idx].out = out;
@@ -2037,7 +2120,8 @@ impl TapEngine {
         self.obs(ObsEvent::HintReceived { at: ctx.now() });
         let Some(slug) = req
             .header(SERVICE_KEY_HEADER)
-            .and_then(|k| self.service_by_key.get(k))
+            .and_then(|k| self.syms.get(k))
+            .and_then(|sym| self.service_by_key.get(&sym))
             .cloned()
         else {
             return HandlerResult::Reply(Response::unauthorized());
@@ -2069,16 +2153,16 @@ impl TapEngine {
         let mut accepted = 0u64;
         let mut suppressed = 0u64;
         for ti in items {
-            let ids = self
+            let slots = self
                 .syms
                 .get(ti.as_str())
                 .and_then(|s| self.by_identity.get(&s))
                 .cloned();
-            let Some(ids) = ids else {
+            let Some(slots) = slots else {
                 continue;
             };
-            for id in ids {
-                if self.realtime_poll(ctx, id) {
+            for slot in slots {
+                if self.realtime_poll(ctx, slot) {
                     accepted += 1;
                 } else {
                     suppressed += 1;
@@ -2100,11 +2184,10 @@ impl TapEngine {
     /// timer (a poll is in flight — the data is about to be fetched
     /// anyway). Either way the subscription keeps exactly one scheduled
     /// or in-flight poll, so a notified member never double-polls.
-    fn realtime_poll(&mut self, ctx: &mut Context<'_>, id: AppletId) -> bool {
+    fn realtime_poll(&mut self, ctx: &mut Context<'_>, slot: Slot) -> bool {
         let now = ctx.now();
-        let Some(task) = self.tasks.get(&id) else {
-            return false;
-        };
+        let task = &self.tasks[slot as usize];
+        let id = task.id;
         if !task.enabled || task.rt_pending || now < task.rt_debounce_until {
             self.obs(ObsEvent::RealtimeSuppressed {
                 applet: id,
@@ -2121,13 +2204,13 @@ impl TapEngine {
         }
         let resume = (task.grouped && self.config.batch_polling).then_some(task.next_poll_at);
         let delay = SimDuration::from_secs_f64(self.config.hint_processing.sample(ctx.rng()));
-        let task = self.tasks.get_mut(&id).expect("checked above");
+        let task = &mut self.tasks[slot as usize];
         task.rt_pending = true;
         task.rt_resume_at = resume;
         if ctx.tracing() {
             ctx.trace("engine.hint_poll", format!("{id:?} in {delay}"));
         }
-        self.schedule_poll(ctx, id, delay);
+        self.schedule_poll(ctx, slot, delay);
         true
     }
 }
@@ -2153,8 +2236,14 @@ fn parse_realtime_items(body: &[u8], from: &ServiceSlug) -> Option<Vec<TriggerId
 /// ingredients overlaid with the outputs of every *transitive* ancestor,
 /// applied in node-index order (later ancestors win key collisions,
 /// mirroring the query-merge precedence of the single-step path).
-fn dag_node_input(run: &DagRun, steps: &[StepNode], node: usize) -> FieldMap {
+/// Borrows the event's ingredients directly when no ancestor contributed
+/// anything — the common case for early nodes and pure action chains.
+fn dag_node_input<'r>(run: &'r DagRun, steps: &[StepNode], node: usize) -> Cow<'r, FieldMap> {
     let mask = ancestor_mask(steps, node);
+    let any_overlay = (0..node).any(|i| mask & (1 << i) != 0 && !run.nodes[i].out.is_empty());
+    if !any_overlay {
+        return Cow::Borrowed(&run.event.ingredients);
+    }
     let mut input = run.event.ingredients.clone();
     for i in 0..node {
         if mask & (1 << i) != 0 {
@@ -2163,7 +2252,7 @@ fn dag_node_input(run: &DagRun, steps: &[StepNode], node: usize) -> FieldMap {
             }
         }
     }
-    input
+    Cow::Owned(input)
 }
 
 /// Transitive ancestor set of `node` as a bitmask. Deps always point at
@@ -2196,33 +2285,30 @@ impl Node for TapEngine {
     fn on_timer(&mut self, ctx: &mut Context<'_>, key: TimerKey) {
         match key & TAG_MASK {
             TK_POLL => {
-                let id = AppletId((key & !TAG_MASK) as u32);
-                let mut grouped = false;
-                let mut group = None;
-                let mut realtime = false;
-                if let Some(task) = self.tasks.get_mut(&id) {
-                    task.next_poll = None;
-                    grouped = task.grouped;
-                    group = Some(task.group);
-                    realtime = task.rt_pending;
-                }
+                let slot = (key & !TAG_MASK) as Slot;
+                let Some(task) = self.tasks.get_mut(slot as usize) else {
+                    return;
+                };
+                task.next_poll = None;
+                let grouped = task.grouped;
+                let group = task.group;
+                let realtime = task.rt_pending;
                 // A group whose batch request just failed polls singleton
                 // for a cycle (graceful degradation), then re-coalesces.
                 let degraded = self.config.batch_polling
                     && grouped
                     && !self.degraded_until.is_empty()
-                    && group.is_some_and(|g| {
-                        self.degraded_until
-                            .get(&g)
-                            .is_some_and(|until| ctx.now() < *until)
-                    });
+                    && self
+                        .degraded_until
+                        .get(&group)
+                        .is_some_and(|until| ctx.now() < *until);
                 // A realtime-armed poll goes out alone even for a grouped
                 // member: initiating a batch here would drag the whole
                 // group off its phase for one subscription's hint.
                 if self.config.batch_polling && grouped && !degraded && !realtime {
-                    self.send_batch_poll(ctx, id);
+                    self.send_batch_poll(ctx, slot);
                 } else {
-                    self.send_poll(ctx, id);
+                    self.send_poll(ctx, slot);
                 }
             }
             TK_DISPATCH => {
@@ -2234,8 +2320,8 @@ impl Node for TapEngine {
                 let run_id = packed >> DAG_NODE_BITS;
                 let idx = packed & DAG_NODE_MASK;
                 if idx == DAG_RUN_START {
-                    if let Some(run) = self.dag_runs.get(&run_id) {
-                        let applet = run.applet;
+                    if let Some(run) = self.dag_runs.get(run_id) {
+                        let applet = self.tasks[run.slot as usize].id;
                         self.obs(ObsEvent::DagRunStarted {
                             applet,
                             dispatch: DAG_DISPATCH_BIT | run_id,
@@ -2255,15 +2341,16 @@ impl Node for TapEngine {
     fn on_response(&mut self, ctx: &mut Context<'_>, token: Token, resp: Response) {
         match token.0 & TAG_MASK {
             TAG_POLL => {
-                let id = AppletId((token.0 & !TAG_MASK) as u32);
-                self.on_poll_response(ctx, id, resp);
+                let slot = (token.0 & !TAG_MASK) as Slot;
+                self.on_poll_response(ctx, slot, resp);
             }
             TAG_ACTION => {
                 let dispatch = token.0 & !TAG_MASK;
-                let Some(job) = self.dispatches.get(&dispatch) else {
+                let Some(job) = self.dispatches.get(dispatch) else {
                     return;
                 };
-                let applet = job.applet;
+                let slot = job.slot;
+                let applet = self.tasks[slot as usize].id;
                 let attempts = job.attempts;
                 if resp.is_success() {
                     self.obs(ObsEvent::ActionFinished {
@@ -2273,19 +2360,17 @@ impl Node for TapEngine {
                         at: ctx.now(),
                     });
                     ctx.trace("engine.action_ok", TraceDetail::Applet(applet.0));
-                    self.dispatches.remove(&dispatch);
+                    self.dispatches.remove(dispatch);
                     if self.config.breaker.is_some() {
-                        if let Some(s) = self.tasks.get(&applet).map(|t| t.action_service) {
-                            self.breaker_record(ctx, s, true);
-                        }
+                        let s = self.tasks[slot as usize].action_service;
+                        self.breaker_record(ctx, s, true);
                     }
                     return;
                 }
                 let class = FailureClass::of_status(resp.status).unwrap_or(FailureClass::Transport);
                 if self.config.breaker.is_some() {
-                    if let Some(s) = self.tasks.get(&applet).map(|t| t.action_service) {
-                        self.breaker_record(ctx, s, false);
-                    }
+                    let s = self.tasks[slot as usize].action_service;
+                    self.breaker_record(ctx, s, false);
                 }
                 if self.config.action_retry.should_retry(attempts, class) {
                     // Retry after a backoff; the dispatch entry stays.
@@ -2327,7 +2412,7 @@ impl Node for TapEngine {
                             format!("{applet:?} status {} ({class:?})", resp.status),
                         );
                     }
-                    self.dispatches.remove(&dispatch);
+                    self.dispatches.remove(dispatch);
                 }
             }
             TAG_BATCH => {
@@ -2371,8 +2456,11 @@ impl Node for TapEngine {
                 };
                 let node = reg.node;
                 let _ = user;
-                let req = Request::post("/oauth2/token")
-                    .with_body(serde_json::json!({ "code": b.code }).to_string());
+                let mut body = String::with_capacity(b.code.len() + 12);
+                body.push_str("{\"code\":");
+                serde_json::write_json_str(&mut body, &b.code);
+                body.push('}');
+                let req = Request::post("/oauth2/token").with_body(body);
                 let timeout = self.config.request_timeout;
                 ctx.send_request(
                     node,

@@ -20,13 +20,14 @@ use devices::service_core::{Processed, ServiceCore};
 use ecosystem::population::MAX_INSTALLS_PER_USER;
 use ecosystem::PopulationSampler;
 use engine::{ActionRef, Applet, AppletId, TapEngine, TriggerRef};
+use mem::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use simnet::chaos::{FaultPlan, ServerFault, ServerFaultPlan};
 use simnet::net::LinkId;
 use simnet::prelude::*;
 use simnet::rng::derive_seed;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 use tap_protocol::auth::ServiceKey;
 use tap_protocol::service::ServiceEndpoint;
@@ -62,7 +63,7 @@ pub(crate) struct FleetService {
     /// FIFO of `(emit time, applet)` per `(user, slot)` awaiting their
     /// action. Users are interned so the key is two machine words, not a
     /// `String` clone per activation.
-    pending: HashMap<(Symbol, usize), VecDeque<(SimTime, u32)>>,
+    pending: FxHashMap<(Symbol, usize), VecDeque<(SimTime, u32)>>,
     /// Cell-local user symbol table backing `pending` keys.
     users: Interner,
     /// `fired_k` slugs, pre-built once per cell instead of per emit.
@@ -96,7 +97,7 @@ impl FleetService {
         ep = ep.with_query("lookup").with_action("noop_aux");
         FleetService {
             core: ServiceCore::new(ep),
-            pending: HashMap::new(),
+            pending: FxHashMap::default(),
             users: Interner::new(),
             trigger_slugs,
             action_ok_body: wire::to_bytes(&ActionResponseBody::single("ok")),
@@ -210,6 +211,9 @@ pub fn run_cell(
             engine_cfg = engine_cfg.allow_realtime(ServiceSlug::new(SERVICE_SLUG));
         }
         let mut e = TapEngine::new(engine_cfg);
+        if cfg.reference_storage {
+            e.use_reference_storage();
+        }
         match &recorder {
             Some(rec) => e.set_sink(Arc::new(CellSink::new(metrics.clone(), rec.clone()))),
             None => e.set_sink(metrics.clone()),
@@ -243,7 +247,7 @@ pub fn run_cell(
     });
     // Each `user_n` id is formatted exactly once; installs, the emit loop,
     // and the token mint all share the same `UserId`.
-    let user_ids: HashMap<u64, UserId> = profiles
+    let user_ids: FxHashMap<u64, UserId> = profiles
         .iter()
         .map(|p| (p.user, UserId::new(format!("user_{}", p.user))))
         .collect();

@@ -38,6 +38,13 @@ pub struct FleetReport {
     pub per_shard: Vec<ShardSummary>,
     /// End-to-end wall-clock seconds (plan + run + merge).
     pub wall_secs: f64,
+    /// Heap allocations during the run (execution fact, 0 unless the
+    /// `alloc-count` feature is on). Process-wide: includes planning and
+    /// report assembly, which is what a regression gate wants anyway.
+    pub allocs: u64,
+    /// Bytes requested from the allocator during the run (0 unless the
+    /// `alloc-count` feature is on).
+    pub alloc_bytes: u64,
 }
 
 /// The paper's Figure 4 trigger-to-action quartiles for polling-bound
@@ -190,6 +197,17 @@ impl FleetReport {
                 out.push_str(&format!("    unmatched arrivals {}\n", a.unmatched.get()));
             }
         }
+        // Allocation accounting appears only when the counting allocator
+        // ran (`alloc-count` feature) — default builds render unchanged.
+        if self.allocs > 0 {
+            let events = m.sim_events.get().max(1);
+            out.push_str(&format!(
+                "  {} heap allocations ({:.2}/event, {:.1} bytes/event)\n",
+                self.allocs,
+                self.allocs as f64 / events as f64,
+                self.alloc_bytes as f64 / events as f64
+            ));
+        }
         out.push_str(&format!(
             "  {} sim events in {:.1} s wall ({:.0} events/s)  digest {}\n",
             m.sim_events.get(),
@@ -221,7 +239,27 @@ mod tests {
             merged: metrics,
             per_shard: vec![],
             wall_secs: 2.0,
+            allocs: 0,
+            alloc_bytes: 0,
         }
+    }
+
+    #[test]
+    fn alloc_line_renders_only_when_counted() {
+        let m = FleetMetrics::default();
+        m.sim_events.add(100);
+        let mut r = report_with(m);
+        assert!(!r.render().contains("heap allocations"));
+        let digest_before = r.digest();
+        r.allocs = 250;
+        r.alloc_bytes = 4000;
+        let text = r.render();
+        assert!(
+            text.contains("250 heap allocations (2.50/event, 40.0 bytes/event)"),
+            "{text}"
+        );
+        // Allocation counts are execution facts, not simulation outcomes.
+        assert_eq!(r.digest(), digest_before);
     }
 
     #[test]

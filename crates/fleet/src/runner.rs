@@ -183,6 +183,12 @@ pub struct FleetConfig {
     /// wrapper away, so the run must be byte-identical to the unwrapped
     /// one — which is exactly what the differential test asserts.
     pub wrap_degenerate_dag: bool,
+    /// Differential-testing knob: every cell engine swaps its slab-backed
+    /// in-flight stores (dispatches, DAG runs, pending batches) for the
+    /// `HashMap` reference implementation. Storage strategy must be
+    /// unobservable, so the run must be byte-identical to the slab one —
+    /// which is exactly what the differential test asserts.
+    pub reference_storage: bool,
 }
 
 impl FleetConfig {
@@ -210,6 +216,7 @@ impl FleetConfig {
             realtime_share: 0.0,
             multi_step_share: 0.0,
             wrap_degenerate_dag: false,
+            reference_storage: false,
         }
     }
 
@@ -270,6 +277,13 @@ impl FleetConfig {
         self
     }
 
+    /// Run every cell engine on the `HashMap` reference storage instead of
+    /// the slab arenas (differential testing of the slab migration).
+    pub fn with_reference_storage(mut self, on: bool) -> Self {
+        self.reference_storage = on;
+        self
+    }
+
     /// The engine configuration every cell runs.
     pub(crate) fn engine_config(&self) -> EngineConfig {
         let mut cfg = match self.policy {
@@ -320,6 +334,7 @@ pub fn run_fleet_with_progress(
     mut on_progress: impl FnMut(&Progress),
 ) -> FleetReport {
     let started = Instant::now();
+    let alloc_start = mem::alloc_counts();
 
     // One catalog + sampler serves every shard read-only.
     let eco = Ecosystem::generate(GeneratorConfig {
@@ -388,6 +403,15 @@ pub fn run_fleet_with_progress(
         });
     }
 
+    // Allocation accounting (only when mem's `alloc-count` feature is on):
+    // diff process-wide counters around the whole run. The snapshots are
+    // taken on this thread, but the counters are global, so shard-worker
+    // allocations are included.
+    let (allocs, alloc_bytes) = match (alloc_start, mem::alloc_counts()) {
+        (Some((a0, b0)), Some((a1, b1))) => (a1 - a0, b1 - b0),
+        _ => (0, 0),
+    };
+
     FleetReport {
         users: cfg.users,
         shards: cfg.shards,
@@ -397,6 +421,8 @@ pub fn run_fleet_with_progress(
         merged,
         per_shard,
         wall_secs: started.elapsed().as_secs_f64(),
+        allocs,
+        alloc_bytes,
     }
 }
 

@@ -1,0 +1,71 @@
+//! Fleet-level differential for the slab-backed engine stores.
+//!
+//! `FleetConfig::with_reference_storage(true)` swaps every cell engine's
+//! slab arenas (dispatches, DAG runs, pending batch polls) for the
+//! `HashMap` reference implementation. Storage is an implementation
+//! detail: the merged report of the 2k golden scenario must be
+//! byte-identical under both backends — same metrics JSON, same digest —
+//! with and without a multi-step population and under fault injection.
+
+use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
+
+/// The same 2k-user differential population `multi_step.rs` pins: large
+/// enough that batching, retries, and every generator DAG shape appear;
+/// small enough for the debug tier.
+fn cfg_2k(shards: usize) -> FleetConfig {
+    FleetConfig::new(2000, shards, FleetPolicy::Fast)
+        .with_seed(2017)
+        .with_cell_users(500)
+        .with_phases(10.0, 60.0, 30.0)
+}
+
+#[test]
+fn reference_storage_reproduces_the_2k_digest() {
+    let slab = run_fleet(&cfg_2k(2));
+    let reference = run_fleet(&cfg_2k(2).with_reference_storage(true));
+    assert!(
+        slab.merged.t2a_micros.count() > 0,
+        "run produced deliveries"
+    );
+    assert_eq!(
+        slab.merged_json(),
+        reference.merged_json(),
+        "reference storage perturbed the merged metrics"
+    );
+    assert_eq!(slab.digest(), reference.digest());
+}
+
+#[test]
+fn reference_storage_reproduces_the_multi_step_2k_digest() {
+    let slab = run_fleet(&cfg_2k(1).with_multi_step_share(0.5));
+    let reference = run_fleet(
+        &cfg_2k(1)
+            .with_multi_step_share(0.5)
+            .with_reference_storage(true),
+    );
+    assert!(slab.merged.dag_runs.get() > 0, "no DAG runs engaged");
+    assert_eq!(
+        slab.merged_json(),
+        reference.merged_json(),
+        "reference storage perturbed the multi-step run"
+    );
+    assert_eq!(slab.digest(), reference.digest());
+}
+
+#[test]
+fn reference_storage_reproduces_the_chaotic_2k_digest() {
+    let mut base = cfg_2k(2).with_chaos(ChaosProfile::Mild);
+    base.drain_secs = 120.0;
+    let slab = run_fleet(&base);
+    let reference = run_fleet(&base.clone().with_reference_storage(true));
+    assert!(
+        slab.merged.faults_injected.get() > 0,
+        "chaos injected no faults"
+    );
+    assert_eq!(
+        slab.merged_json(),
+        reference.merged_json(),
+        "reference storage perturbed the chaotic run"
+    );
+    assert_eq!(slab.digest(), reference.digest());
+}

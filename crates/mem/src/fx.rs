@@ -1,0 +1,133 @@
+//! The rustc-hash ("FxHash") multiply-rotate hasher.
+//!
+//! SipHash — the std default — exists to resist hash-flooding from
+//! attacker-chosen keys. Every map this workspace keys by [`u64`] handles,
+//! interned symbols, or small tuples of them holds *simulator-chosen*
+//! keys, so the DoS defense buys nothing and costs a full SipHash
+//! permutation per probe. Fx folds each word in with one multiply and a
+//! rotate instead.
+//!
+//! Determinism: the hash function changes bucket order, and bucket order
+//! changes map iteration order — which is exactly why this type may only
+//! back maps whose iteration order is never observable (the project-wide
+//! rule reports and digests are tested against). Lookups, inserts, and
+//! removals are order-free, and `FxHasher::default()` is stable across
+//! builds and processes, so handle/symbol lookups behave identically
+//! everywhere.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` with the Fx hasher. Interior use only — see module docs.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// `HashSet` with the Fx hasher. Interior use only — see module docs.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// Stateless builder: every hasher starts from the same (zero) state.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// The odd multiplier rustc uses: truncated golden-ratio bits.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// One-at-a-time word hasher; see the module docs for when it is safe.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some(chunk) = bytes.first_chunk::<8>() {
+            self.add(u64::from_le_bytes(*chunk));
+            bytes = &bytes[8..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<4>() {
+            self.add(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = &bytes[4..];
+        }
+        if let Some(chunk) = bytes.first_chunk::<2>() {
+            self.add(u64::from(u16::from_le_bytes(*chunk)));
+            bytes = &bytes[2..];
+        }
+        if let Some(&b) = bytes.first() {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn stable_across_hashers_and_equal_keys() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        assert_eq!(hash_of(&(7u32, 9u32)), hash_of(&(7u32, 9u32)));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_slices_hash_by_content_not_chunking_state() {
+        // 11 bytes exercises the 8/2/1 tail decomposition.
+        let a: &[u8] = b"hello world";
+        let b: Vec<u8> = a.to_vec();
+        assert_eq!(hash_of(&a), hash_of(&b.as_slice()));
+    }
+
+    #[test]
+    fn maps_behave_like_std_maps() {
+        let mut m: FxHashMap<(u32, u32), &str> = FxHashMap::default();
+        m.insert((1, 2), "a");
+        m.insert((3, 4), "b");
+        assert_eq!(m.get(&(1, 2)), Some(&"a"));
+        assert_eq!(m.remove(&(3, 4)), Some("b"));
+        assert!(!m.contains_key(&(3, 4)));
+
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(9));
+        assert!(!s.insert(9));
+        assert!(s.contains(&9));
+    }
+}

@@ -1,0 +1,417 @@
+//! Generation-checked slot arenas.
+//!
+//! A [`Slab`] stores values in a dense `Vec` and hands out 48-bit
+//! [`Handle`]s packing `generation:16 | index:32`. Freed slots go on a
+//! LIFO free list; re-inserting bumps the slot's generation, so a stale
+//! handle held across a remove *misses* instead of aliasing the slot's
+//! new occupant. Lookups are an index plus a 16-bit compare — no hashing.
+//!
+//! Handle invariants the packing relies on elsewhere:
+//!
+//! * handles fit in 48 bits, leaving the top byte (and more) free for the
+//!   engine's token/timer tags, including the 6-bit DAG node shift
+//!   (`48 + 6 = 54 < 56`);
+//! * a handle is never zero — generations start at 1 — so sentinel ids
+//!   (e.g. the kernel's "unset" `RequestId(0)`) cannot collide;
+//! * live handles are unique. A *dead* handle value can recur after its
+//!   slot's generation wraps (65 535 frees later), which is harmless for
+//!   the in-flight tables backed by these arenas: entries are removed at
+//!   their terminal event, before the slot can be recycled.
+//!
+//! [`Arena`] wraps a `Slab` with an alternative `HashMap`-backed storage
+//! mode that shares the *same* handle-allocation policy. Both modes hand
+//! out identical handle sequences for identical call sequences, which is
+//! what lets a differential test assert full event-stream equality
+//! between a slab-backed and a map-backed engine.
+
+use std::collections::HashMap;
+
+/// Packed `generation:16 | index:32` slot handle. See the module docs.
+pub type Handle = u64;
+
+const INDEX_BITS: u32 = 32;
+const GEN_MASK: u64 = 0xFFFF;
+
+#[inline]
+fn pack(gen: u16, index: u32) -> Handle {
+    (u64::from(gen) << INDEX_BITS) | u64::from(index)
+}
+
+#[inline]
+fn unpack(handle: Handle) -> (u16, u32) {
+    (((handle >> INDEX_BITS) & GEN_MASK) as u16, handle as u32)
+}
+
+/// The shared allocation policy: per-slot generations plus a LIFO free
+/// list. `Slab` and the map-backed `Arena` mode both drive one of these,
+/// which is what makes their handle sequences identical.
+#[derive(Debug, Clone, Default)]
+struct HandleAlloc {
+    /// Current generation per slot (1-based; bumped on free).
+    gens: Vec<u16>,
+    free: Vec<u32>,
+}
+
+impl HandleAlloc {
+    /// Claim a slot and return its handle. Reuses the most recently freed
+    /// slot first (LIFO keeps the hot end of the arena cache-resident).
+    fn claim(&mut self) -> Handle {
+        match self.free.pop() {
+            Some(index) => pack(self.gens[index as usize], index),
+            None => {
+                let index = u32::try_from(self.gens.len()).expect("slab grew past 2^32 slots");
+                self.gens.push(1);
+                pack(1, index)
+            }
+        }
+    }
+
+    /// Release a slot: bump its generation (skipping 0, the never-issued
+    /// generation) and put it back on the free list.
+    fn release(&mut self, index: u32) {
+        let gen = &mut self.gens[index as usize];
+        *gen = if *gen == u16::MAX { 1 } else { *gen + 1 };
+        self.free.push(index);
+    }
+
+    /// Does this handle name the slot's current generation?
+    fn is_current(&self, handle: Handle) -> Option<u32> {
+        let (gen, index) = unpack(handle);
+        (self.gens.get(index as usize) == Some(&gen)).then_some(index)
+    }
+}
+
+/// Dense generation-checked arena. See the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct Slab<T> {
+    alloc: HandleAlloc,
+    /// Parallel to `alloc.gens`; `None` exactly for free slots.
+    vals: Vec<Option<T>>,
+    live: usize,
+}
+
+impl<T> Slab<T> {
+    pub fn new() -> Self {
+        Slab {
+            alloc: HandleAlloc::default(),
+            vals: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// Store `val`, returning its handle.
+    pub fn insert(&mut self, val: T) -> Handle {
+        let handle = self.alloc.claim();
+        let index = handle as u32 as usize;
+        if index == self.vals.len() {
+            self.vals.push(Some(val));
+        } else {
+            debug_assert!(self.vals[index].is_none(), "free slot holds a value");
+            self.vals[index] = Some(val);
+        }
+        self.live += 1;
+        handle
+    }
+
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        let index = self.alloc.is_current(handle)?;
+        self.vals[index as usize].as_ref()
+    }
+
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        let index = self.alloc.is_current(handle)?;
+        self.vals[index as usize].as_mut()
+    }
+
+    /// Remove and return the value, freeing the slot (and invalidating
+    /// every copy of this handle).
+    pub fn remove(&mut self, handle: Handle) -> Option<T> {
+        let index = self.alloc.is_current(handle)?;
+        let val = self.vals[index as usize].take()?;
+        self.alloc.release(index);
+        self.live -= 1;
+        Some(val)
+    }
+
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.get(handle).is_some()
+    }
+
+    /// Number of live entries (matches what a map's `len()` would say).
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Iterate live entries in slot order (not insertion order). Interior
+    /// use only: like Fx map iteration, the order must never reach
+    /// anything observable.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        self.vals.iter().enumerate().filter_map(|(i, v)| {
+            let val = v.as_ref()?;
+            Some((pack(self.alloc.gens[i], i as u32), val))
+        })
+    }
+}
+
+/// Storage mode of an [`Arena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArenaMode {
+    /// Dense slab storage (the default; the fast path).
+    Slab,
+    /// `HashMap`-backed reference storage with identical handle sequences
+    /// — the differential-testing oracle.
+    Map,
+}
+
+#[derive(Debug)]
+enum ArenaInner<T> {
+    Slab(Slab<T>),
+    Map {
+        map: HashMap<Handle, T>,
+        alloc: HandleAlloc,
+    },
+}
+
+/// A [`Slab`] with a swappable `HashMap` reference mode. The engine's
+/// in-flight tables are `Arena`s so a differential test can run the exact
+/// same workload over both storages and demand identical event streams.
+#[derive(Debug)]
+pub struct Arena<T> {
+    inner: ArenaInner<T>,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Arena::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// Slab-backed arena (the production mode).
+    pub fn new() -> Self {
+        Arena {
+            inner: ArenaInner::Slab(Slab::new()),
+        }
+    }
+
+    /// Map-backed reference arena. Same handles, different storage.
+    pub fn new_reference() -> Self {
+        Arena {
+            inner: ArenaInner::Map {
+                map: HashMap::new(),
+                alloc: HandleAlloc::default(),
+            },
+        }
+    }
+
+    pub fn mode(&self) -> ArenaMode {
+        match &self.inner {
+            ArenaInner::Slab(_) => ArenaMode::Slab,
+            ArenaInner::Map { .. } => ArenaMode::Map,
+        }
+    }
+
+    pub fn insert(&mut self, val: T) -> Handle {
+        match &mut self.inner {
+            ArenaInner::Slab(s) => s.insert(val),
+            ArenaInner::Map { map, alloc } => {
+                let handle = alloc.claim();
+                let prev = map.insert(handle, val);
+                debug_assert!(prev.is_none(), "reference arena reissued a live handle");
+                handle
+            }
+        }
+    }
+
+    pub fn get(&self, handle: Handle) -> Option<&T> {
+        match &self.inner {
+            ArenaInner::Slab(s) => s.get(handle),
+            ArenaInner::Map { map, .. } => map.get(&handle),
+        }
+    }
+
+    pub fn get_mut(&mut self, handle: Handle) -> Option<&mut T> {
+        match &mut self.inner {
+            ArenaInner::Slab(s) => s.get_mut(handle),
+            ArenaInner::Map { map, .. } => map.get_mut(&handle),
+        }
+    }
+
+    pub fn remove(&mut self, handle: Handle) -> Option<T> {
+        match &mut self.inner {
+            ArenaInner::Slab(s) => s.remove(handle),
+            ArenaInner::Map { map, alloc } => {
+                let val = map.remove(&handle)?;
+                alloc.release(handle as u32);
+                Some(val)
+            }
+        }
+    }
+
+    pub fn contains(&self, handle: Handle) -> bool {
+        self.get(handle).is_some()
+    }
+
+    pub fn len(&self) -> usize {
+        match &self.inner {
+            ArenaInner::Slab(s) => s.len(),
+            ArenaInner::Map { map, .. } => map.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut slab: Slab<&str> = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_ne!(a, b);
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get_mut(b).map(|v| *v), Some("b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.remove(a), None, "double remove misses");
+        assert_eq!(slab.get(a), None);
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn handles_are_nonzero_and_fit_48_bits() {
+        let mut slab: Slab<u32> = Slab::new();
+        for i in 0..1000 {
+            let h = slab.insert(i);
+            assert_ne!(h, 0);
+            assert!(h < 1 << 48, "handle {h:#x} exceeds 48 bits");
+        }
+    }
+
+    #[test]
+    fn stale_handle_never_aliases_the_recycled_slot() {
+        let mut slab: Slab<&str> = Slab::new();
+        let old = slab.insert("old");
+        assert_eq!(slab.remove(old), Some("old"));
+        let new = slab.insert("new");
+        // Same slot, different generation.
+        assert_eq!(old as u32, new as u32);
+        assert_ne!(old, new);
+        assert_eq!(slab.get(old), None);
+        assert_eq!(slab.remove(old), None);
+        assert_eq!(slab.get(new), Some(&"new"));
+    }
+
+    #[test]
+    fn generation_wrap_skips_zero() {
+        let mut slab: Slab<u8> = Slab::new();
+        let mut h = slab.insert(0);
+        // Cycle one slot through a full generation wrap.
+        for _ in 0..(u16::MAX as u32 + 10) {
+            slab.remove(h);
+            h = slab.insert(0);
+            assert_ne!(h >> 32, 0, "generation 0 must never be issued");
+            assert!(slab.contains(h));
+        }
+    }
+
+    #[test]
+    fn lifo_reuse_keeps_the_arena_dense() {
+        let mut slab: Slab<u32> = Slab::new();
+        let handles: Vec<_> = (0..4).map(|i| slab.insert(i)).collect();
+        slab.remove(handles[1]);
+        slab.remove(handles[3]);
+        // Most recently freed slot (index 3) comes back first.
+        assert_eq!(slab.insert(10) as u32, handles[3] as u32);
+        assert_eq!(slab.insert(11) as u32, handles[1] as u32);
+    }
+
+    #[test]
+    fn iter_visits_exactly_the_live_entries() {
+        let mut slab: Slab<u32> = Slab::new();
+        let a = slab.insert(1);
+        let b = slab.insert(2);
+        slab.insert(3);
+        slab.remove(b);
+        let got: Vec<(Handle, u32)> = slab.iter().map(|(h, v)| (h, *v)).collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().any(|&(h, v)| h == a && v == 1));
+        assert!(got.iter().all(|&(h, _)| h != b));
+    }
+
+    /// One interleaved op sequence, applied to both arena modes: handles
+    /// and observable outcomes must match step for step.
+    fn apply_ops(ops: &[(bool, usize)]) {
+        let mut slab: Arena<usize> = Arena::new();
+        let mut map: Arena<usize> = Arena::new_reference();
+        let mut live: Vec<Handle> = Vec::new();
+        let mut dead: Vec<Handle> = Vec::new();
+        for &(is_insert, x) in ops {
+            if is_insert || live.is_empty() {
+                let h1 = slab.insert(x);
+                let h2 = map.insert(x);
+                assert_eq!(h1, h2, "modes diverged on handle allocation");
+                live.push(h1);
+            } else {
+                let h = live.remove(x % live.len());
+                assert_eq!(slab.remove(h), map.remove(h));
+                dead.push(h);
+            }
+            assert_eq!(slab.len(), map.len());
+            for &h in &live {
+                assert_eq!(slab.get(h), map.get(h));
+                assert!(slab.contains(h));
+            }
+            for &h in &dead {
+                assert_eq!(slab.get(h), None, "stale handle resolved");
+                assert_eq!(map.get(h), None);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn slab_and_reference_modes_are_indistinguishable(
+            ops in proptest::collection::vec((any::<bool>(), 0usize..64), 1..200)
+        ) {
+            apply_ops(&ops);
+        }
+
+        /// Generation reuse under heavy churn: a handle freed at any point
+        /// must never read back a later occupant of its slot.
+        #[test]
+        fn stale_handles_stay_dead_under_churn(
+            seeds in proptest::collection::vec(0usize..8, 1..300)
+        ) {
+            let mut slab: Slab<usize> = Slab::new();
+            let mut live: Vec<(Handle, usize)> = Vec::new();
+            let mut dead: Vec<Handle> = Vec::new();
+            for (step, s) in seeds.iter().enumerate() {
+                if s % 2 == 0 || live.is_empty() {
+                    let h = slab.insert(step);
+                    live.push((h, step));
+                } else {
+                    let (h, v) = live.remove(s % live.len());
+                    prop_assert_eq!(slab.remove(h), Some(v));
+                    dead.push(h);
+                }
+                for &(h, v) in &live {
+                    prop_assert_eq!(slab.get(h).copied(), Some(v));
+                }
+                for &h in &dead {
+                    prop_assert!(slab.get(h).is_none(), "stale handle aliased a slot");
+                }
+            }
+        }
+    }
+}

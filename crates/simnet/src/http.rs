@@ -10,7 +10,13 @@
 use crate::node::NodeId;
 use bytes::Bytes;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
+
+/// A header name. Almost every header in the modeled protocols is a
+/// `&'static str` constant, so names are borrowed by default and only
+/// computed names pay for an owned `String`.
+pub type HeaderName = Cow<'static, str>;
 
 /// Kernel-assigned unique identifier of an in-flight request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -64,7 +70,7 @@ pub struct Request {
     pub dst: NodeId,
     pub method: Method,
     pub path: String,
-    pub headers: Vec<(String, String)>,
+    pub headers: Vec<(HeaderName, String)>,
     pub body: Bytes,
 }
 
@@ -103,7 +109,7 @@ impl Request {
     }
 
     /// Attach a header (appends; duplicate names allowed, first wins on read).
-    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_header(mut self, name: impl Into<HeaderName>, value: impl Into<String>) -> Self {
         self.headers.push((name.into(), value.into()));
         self
     }
@@ -136,7 +142,7 @@ impl Request {
 #[derive(Debug, Clone)]
 pub struct Response {
     pub status: u16,
-    pub headers: Vec<(String, String)>,
+    pub headers: Vec<(HeaderName, String)>,
     pub body: Bytes,
 }
 
@@ -187,7 +193,7 @@ impl Response {
     }
 
     /// Attach a header.
-    pub fn with_header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+    pub fn with_header(mut self, name: impl Into<HeaderName>, value: impl Into<String>) -> Self {
         self.headers.push((name.into(), value.into()));
         self
     }

@@ -225,11 +225,14 @@ impl Topology {
             // node never observes its own message synchronously.
             return Delivery::Arrives(SimDuration::from_micros(1));
         }
-        let Some(path) = self.route(src, dst) else {
+        self.ensure_route(src, dst);
+        // Borrow the cached path in place; cloning it per delivery was one
+        // heap allocation on every request AND response.
+        let Some(Some(path)) = self.route_cache.get(&(src, dst)) else {
             return Delivery::NoRoute;
         };
         let mut total = SimDuration::ZERO;
-        for idx in path {
+        for &idx in path {
             let link = &self.links[idx];
             if link.spec.loss > 0.0 && rng.gen::<f64>() < link.spec.loss {
                 return Delivery::Lost;
@@ -240,13 +243,17 @@ impl Topology {
     }
 
     /// Min-hop path (as link indices) via BFS, with caching.
-    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<Vec<usize>> {
-        if let Some(cached) = self.route_cache.get(&(src, dst)) {
-            return cached.clone();
+    fn route(&mut self, src: NodeId, dst: NodeId) -> Option<&[usize]> {
+        self.ensure_route(src, dst);
+        self.route_cache[&(src, dst)].as_deref()
+    }
+
+    /// Populate the route cache entry for `(src, dst)` if absent.
+    fn ensure_route(&mut self, src: NodeId, dst: NodeId) {
+        if !self.route_cache.contains_key(&(src, dst)) {
+            let path = self.bfs(src, dst);
+            self.route_cache.insert((src, dst), path);
         }
-        let path = self.bfs(src, dst);
-        self.route_cache.insert((src, dst), path.clone());
-        path
     }
 
     fn bfs(&self, src: NodeId, dst: NodeId) -> Option<Vec<usize>> {

@@ -11,9 +11,9 @@ use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceLog;
 use crate::wheel::TimerWheel;
 use bytes::Bytes;
+use mem::{FxHashMap, FxHashSet, Slab};
 use rand::rngs::StdRng;
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
 
 /// Reserved RNG stream indices (node streams start at `STREAM_NODE_BASE`).
 const STREAM_NET: u64 = 1;
@@ -82,13 +82,16 @@ pub struct Kernel {
     net_rng: StdRng,
     harness_rng: StdRng,
     master_seed: u64,
-    next_request: u64,
     next_timer: u64,
-    pending: HashMap<RequestId, Pending>,
-    cancelled_timers: HashSet<u64>,
+    /// In-flight requests. A [`RequestId`] *is* the slab handle — never
+    /// zero (so `Request::new`'s `RequestId(0)` sentinel cannot collide),
+    /// generation-checked (a concluded request's id misses instead of
+    /// aliasing a recycled slot), and resolved by index, not by hashing.
+    pending: Slab<Pending>,
+    cancelled_timers: FxHashSet<u64>,
     trace: TraceLog,
     processed: u64,
-    signal_fronts: HashMap<(NodeId, NodeId), SimTime>,
+    signal_fronts: FxHashMap<(NodeId, NodeId), SimTime>,
     /// Applied fault windows; indexed by `Ev::Fault::entry`.
     faults: Vec<FaultEntry>,
     /// Handler invocations per node (start/request/response/timeout/timer/
@@ -108,13 +111,12 @@ impl Kernel {
             net_rng: stream_rng(master_seed, STREAM_NET),
             harness_rng: stream_rng(master_seed, STREAM_HARNESS),
             master_seed,
-            next_request: 1,
             next_timer: 1,
-            pending: HashMap::new(),
-            cancelled_timers: HashSet::new(),
+            pending: Slab::new(),
+            cancelled_timers: FxHashSet::default(),
             trace: TraceLog::default(),
             processed: 0,
-            signal_fronts: HashMap::new(),
+            signal_fronts: FxHashMap::default(),
             faults: Vec::new(),
             node_events: Vec::new(),
         }
@@ -159,21 +161,16 @@ impl Kernel {
         token: Token,
         opts: RequestOpts,
     ) -> RequestId {
-        let id = RequestId(self.next_request);
-        self.next_request += 1;
+        let id = RequestId(self.pending.insert(Pending {
+            origin: src,
+            responder: dst,
+            token,
+            answered: false,
+            has_timeout: opts.timeout.is_some(),
+        }));
         req.id = id;
         req.src = src;
         req.dst = dst;
-        self.pending.insert(
-            id,
-            Pending {
-                origin: src,
-                responder: dst,
-                token,
-                answered: false,
-                has_timeout: opts.timeout.is_some(),
-            },
-        );
         match self.topology.deliver(src, dst, &mut self.net_rng) {
             Delivery::Arrives(d) => {
                 let at = self.now + d;
@@ -209,7 +206,7 @@ impl Kernel {
     }
 
     pub(crate) fn send_response(&mut self, from: NodeId, req_id: RequestId, resp: Response) {
-        let Some(p) = self.pending.get_mut(&req_id) else {
+        let Some(p) = self.pending.get_mut(req_id.0) else {
             // Request already concluded (timed out, or duplicate reply).
             return;
         };
@@ -235,7 +232,7 @@ impl Kernel {
                 // Without a timeout nothing will ever conclude the request:
                 // drop the entry here rather than leak it.
                 if !p.has_timeout {
-                    self.pending.remove(&req_id);
+                    self.pending.remove(req_id.0);
                 }
             }
         }
@@ -592,7 +589,7 @@ impl Sim {
                 }
             }
             Ev::DeliverResponse { req_id, resp } => {
-                if let Some(p) = self.kernel.pending.remove(&req_id) {
+                if let Some(p) = self.kernel.pending.remove(req_id.0) {
                     self.with_taken(p.origin, |node, ctx| node.on_response(ctx, p.token, resp));
                 }
             }
@@ -602,12 +599,12 @@ impl Sim {
                 // the timeout (it was too late), unless already answered and
                 // in flight — in that case we let the in-flight copy win by
                 // checking `answered`.
-                let fire = match self.kernel.pending.get(&req_id) {
+                let fire = match self.kernel.pending.get(req_id.0) {
                     Some(p) => !p.answered,
                     None => false,
                 };
                 if fire {
-                    let p = self.kernel.pending.remove(&req_id).expect("checked");
+                    let p = self.kernel.pending.remove(req_id.0).expect("checked");
                     self.with_taken(p.origin, |node, ctx| {
                         node.on_response(ctx, p.token, Response::timeout())
                     });

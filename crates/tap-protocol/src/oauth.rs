@@ -64,6 +64,13 @@ impl OAuthProvider {
         self.tokens.get(&token.0)
     }
 
+    /// Borrow-based variant of [`OAuthProvider::validate`] for hot paths
+    /// that have a raw token string and need not allocate an
+    /// [`AccessToken`].
+    pub fn validate_str(&self, token: &str) -> Option<&UserId> {
+        self.tokens.get(token)
+    }
+
     /// Revoke a single token.
     pub fn revoke_token(&mut self, token: &AccessToken) -> bool {
         self.tokens.remove(&token.0).is_some()

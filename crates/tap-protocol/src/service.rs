@@ -219,6 +219,22 @@ impl ServiceEndpoint {
         }
     }
 
+    /// Authenticate an API request without allocating: service key plus
+    /// bearer token, resolved to the token's user. Performs exactly the
+    /// checks [`ServiceEndpoint::parse`] runs for API endpoints, so a
+    /// caller that verified everything else about a memoized request can
+    /// re-authenticate per delivery and skip the parse.
+    pub fn authenticate(&self, req: &Request) -> Result<&UserId, ProtocolError> {
+        self.check_key(req)?;
+        let token = req
+            .header(AUTHORIZATION_HEADER)
+            .and_then(|h| h.strip_prefix("Bearer "))
+            .ok_or(ProtocolError::BadAccessToken)?;
+        self.oauth
+            .validate_str(token)
+            .ok_or(ProtocolError::BadAccessToken)
+    }
+
     fn check_key(&self, req: &Request) -> Result<(), ProtocolError> {
         match req.header(SERVICE_KEY_HEADER) {
             Some(k) if self.key.matches(k) => Ok(()),
@@ -296,6 +312,23 @@ pub struct TriggerBuffer {
 struct BufferSlot {
     events: VecDeque<TriggerEvent>,
     seen: HashSet<String>,
+    /// Serialized form of the newest `limit` events, rebuilt lazily and
+    /// dropped whenever `events` changes. Polls don't consume the buffer,
+    /// so an active subscription serves the same events poll after poll;
+    /// steady-state replies are refcounted clones of one serialization
+    /// instead of fresh serde passes.
+    cache: Option<SerializedPoll>,
+}
+
+#[derive(Debug)]
+struct SerializedPoll {
+    limit: usize,
+    /// Number of events serialized (≤ `limit`).
+    count: usize,
+    /// The events array fragment, newest first: `[{...},...]`.
+    frag: String,
+    /// The complete single-poll reply body: `{"data":<frag>}`.
+    body: bytes::Bytes,
 }
 
 impl TriggerBuffer {
@@ -346,6 +379,7 @@ impl TriggerBuffer {
                 slot.seen.remove(&evicted.meta.id);
             }
         }
+        slot.cache = None;
         true
     }
 
@@ -373,8 +407,89 @@ impl TriggerBuffer {
             if let Some(slot) = self.slots.get_mut(sym.index() as usize) {
                 slot.events.clear();
                 slot.seen.clear();
+                slot.cache = None;
             }
         }
+    }
+
+    /// The subscription's slot, if it exists and holds any events.
+    fn live_slot_mut(&mut self, identity: &TriggerIdentity) -> Option<&mut BufferSlot> {
+        let sym = self.syms.get(identity.as_str())?;
+        let slot = self.slots.get_mut(sym.index() as usize)?;
+        if slot.events.is_empty() {
+            None
+        } else {
+            Some(slot)
+        }
+    }
+
+    /// (Re)build the slot's serialization for `limit` if it is missing or
+    /// was built for a different limit. Byte-identical to what
+    /// [`ServiceEndpoint::poll_ok`] would serialize from
+    /// [`TriggerBuffer::latest`].
+    fn ensure_serialized(slot: &mut BufferSlot, limit: usize) -> &SerializedPoll {
+        let stale = !matches!(&slot.cache, Some(c) if c.limit == limit);
+        if stale {
+            let events: Vec<&TriggerEvent> = slot.events.iter().rev().take(limit).collect();
+            let frag = serde_json::to_string(&events).expect("wire types serialize");
+            let mut body = String::with_capacity(frag.len() + 9);
+            body.push_str("{\"data\":");
+            body.push_str(&frag);
+            body.push('}');
+            slot.cache = Some(SerializedPoll {
+                limit,
+                count: events.len(),
+                frag,
+                body: bytes::Bytes::from(body),
+            });
+        }
+        slot.cache.as_ref().expect("just ensured")
+    }
+
+    /// The full reply body for a single-subscription poll, plus the number
+    /// of events it carries. Repeat polls of an unchanged buffer reuse the
+    /// cached serialization (the returned [`bytes::Bytes`] is a refcount
+    /// clone, not a fresh allocation).
+    pub fn poll_response(
+        &mut self,
+        identity: &TriggerIdentity,
+        limit: usize,
+    ) -> (bytes::Bytes, usize) {
+        match self.live_slot_mut(identity) {
+            Some(slot) => {
+                let c = Self::ensure_serialized(slot, limit);
+                (c.body.clone(), c.count)
+            }
+            None => (wire::empty_poll_body(), 0),
+        }
+    }
+
+    /// Append one batch-poll result fragment
+    /// (`{"data":[…],"trigger_identity":"…"}`) for `identity` to `out`;
+    /// returns the number of events included. Key order matches the derived
+    /// [`wire::BatchPollResult`] serialization (alphabetical).
+    pub fn write_batch_result(
+        &mut self,
+        identity: &TriggerIdentity,
+        limit: usize,
+        out: &mut String,
+    ) -> usize {
+        out.push_str("{\"data\":");
+        let count = match self.live_slot_mut(identity) {
+            Some(slot) => {
+                let c = Self::ensure_serialized(slot, limit);
+                out.push_str(&c.frag);
+                c.count
+            }
+            None => {
+                out.push_str("[]");
+                0
+            }
+        };
+        out.push_str(",\"trigger_identity\":");
+        serde_json::write_json_str(out, identity.as_str());
+        out.push('}');
+        count
     }
 }
 
@@ -668,6 +783,63 @@ mod tests {
         b.push(&ti(1), TriggerEvent::new("e1", 0));
         assert!(b.is_empty(&ti(2)));
         assert_eq!(b.latest(&ti(2), 10), Vec::new());
+    }
+
+    /// The cached serializations must be byte-identical to serializing the
+    /// `latest()` vectors through serde — otherwise wire sizes (and with
+    /// them latency digests) would shift.
+    #[test]
+    fn cached_poll_response_matches_serde() {
+        let mut b = TriggerBuffer::new();
+        for i in 0..5 {
+            b.push(
+                &ti(1),
+                TriggerEvent::new(format!("e{i}"), i).with_ingredient("k", format!("v{i}")),
+            );
+        }
+        let (body, count) = b.poll_response(&ti(1), 3);
+        assert_eq!(count, 3);
+        let via_serde = ServiceEndpoint::poll_ok(b.latest(&ti(1), 3));
+        assert_eq!(&*body, &*via_serde.body);
+        // Second poll returns the same storage (refcount clone).
+        let (again, _) = b.poll_response(&ti(1), 3);
+        assert_eq!(&*again, &*body);
+        // A push invalidates the cache.
+        b.push(&ti(1), TriggerEvent::new("e9", 9));
+        let (fresh, count) = b.poll_response(&ti(1), 3);
+        assert_eq!(count, 3);
+        assert_eq!(
+            &*fresh,
+            &*ServiceEndpoint::poll_ok(b.latest(&ti(1), 3)).body
+        );
+        // Empty subscription: the static fast-path bytes.
+        let (empty, count) = b.poll_response(&ti(2), 3);
+        assert_eq!(count, 0);
+        assert_eq!(&*empty, wire::EMPTY_POLL_JSON);
+    }
+
+    #[test]
+    fn cached_batch_fragment_matches_serde() {
+        let mut b = TriggerBuffer::new();
+        b.push(&ti(1), TriggerEvent::new("e1", 1).with_ingredient("a", "x"));
+        b.push(&ti(1), TriggerEvent::new("e2", 2));
+        let mut out = String::from("{\"data\":[");
+        let n1 = b.write_batch_result(&ti(1), 50, &mut out);
+        out.push(',');
+        let n2 = b.write_batch_result(&ti(2), 50, &mut out);
+        out.push_str("]}");
+        assert_eq!((n1, n2), (2, 0));
+        let via_serde = ServiceEndpoint::batch_poll_ok(vec![
+            wire::BatchPollResult {
+                trigger_identity: ti(1),
+                data: b.latest(&ti(1), 50),
+            },
+            wire::BatchPollResult {
+                trigger_identity: ti(2),
+                data: vec![],
+            },
+        ]);
+        assert_eq!(out.as_bytes(), &*via_serde.body);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 pub mod de;
 pub mod value;
 
-pub use value::{Number, Value};
+pub use value::{write_json_str, Number, Value};
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};

@@ -169,6 +169,14 @@ impl Value {
     }
 }
 
+/// Append `s` to `out` as a JSON string literal (quoted and escaped),
+/// producing exactly the bytes `Value::String(s).write_json(out)` would
+/// without materializing a `Value`. Lets callers assemble small fixed-shape
+/// objects directly into a `String` instead of building a map first.
+pub fn write_json_str(out: &mut String, s: &str) {
+    push_escaped(out, s);
+}
+
 /// Append a JSON-escaped string, copying escape-free spans in bulk.
 /// Only `"`, `\` and control bytes need escaping, and all are ASCII, so
 /// a byte scan never splits a multi-byte UTF-8 sequence.

@@ -10,7 +10,7 @@
 #![allow(clippy::vec_init_then_push)]
 
 pub use serde::de::Error;
-pub use serde::{Number, Value};
+pub use serde::{write_json_str, Number, Value};
 
 use serde::de::DeserializeOwned;
 use serde::Serialize;
