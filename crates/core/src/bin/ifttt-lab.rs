@@ -13,12 +13,16 @@
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch]
 //!                 [--chaos off|mild|harsh] [--attribution] [--realtime-share F]
 //!                 [--multi-step-share F] [--max-allocs-per-event F]
-//!                                    sharded fleet-scale workload run
+//!                 [--distributed N]      sharded fleet-scale workload run;
+//!                                    --distributed runs it across N
+//!                                    fleet-shard worker processes instead
+//!                                    of in-process threads (same digest)
 //! ```
 //!
 //! Every subcommand accepts `--seed <u64>` (default 2017). `--users`
 //! tolerates `_` separators (`--users 1_000_000`).
 
+use fleet_wire::{run_fleet_distributed_with_progress, DistributedConfig};
 use ifttt_core::analysis::tables::HeadlineIot;
 use ifttt_core::ecosystem::crawler::{Crawler, CrawlerConfig};
 use ifttt_core::ecosystem::frontend::IftttFrontend;
@@ -46,6 +50,7 @@ fn main() {
     let mut realtime_share = 0.0f64;
     let mut multi_step_share = 0.0f64;
     let mut max_allocs_per_event: Option<f64> = None;
+    let mut distributed: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -97,6 +102,14 @@ fn main() {
                         .and_then(|v| v.parse::<f64>().ok())
                         .filter(|&f| f > 0.0)
                         .unwrap_or_else(|| usage("--max-allocs-per-event needs a positive float")),
+                );
+            }
+            "--distributed" => {
+                distributed = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n > 0)
+                        .unwrap_or_else(|| usage("--distributed needs a positive worker count")),
                 );
             }
             "--chaos" => {
@@ -221,14 +234,50 @@ fn main() {
             let total_cells = cfg.users.div_ceil(cfg.cell_users);
             let mut done = 0u64;
             let mut last_pct = u64::MAX;
-            let report = run_fleet_with_progress(&cfg, |_| {
+            let on_progress = |_: &ifttt_core::fleet::Progress| {
                 done += 1;
                 let pct = done * 100 / total_cells.max(1);
                 if pct / 5 != last_pct / 5 {
                     eprintln!("  {pct:>3}% ({done}/{total_cells} cells)");
                     last_pct = pct;
                 }
-            });
+            };
+            let report = match distributed {
+                None => run_fleet_with_progress(&cfg, on_progress),
+                Some(workers) => {
+                    // The worker binary ships next to this one; both come
+                    // out of the same cargo build.
+                    let shard_bin = std::env::current_exe()
+                        .ok()
+                        .and_then(|p| p.parent().map(std::path::Path::to_path_buf))
+                        .map(|d| d.join(format!("fleet-shard{}", std::env::consts::EXE_SUFFIX)))
+                        .filter(|p| p.exists())
+                        .unwrap_or_else(|| {
+                            eprintln!(
+                                "--distributed needs the fleet-shard binary next to ifttt-lab \
+                                 (build the whole workspace)"
+                            );
+                            std::process::exit(1);
+                        });
+                    eprintln!("  distributed: {workers} fleet-shard worker processes");
+                    let dcfg = DistributedConfig::new(workers, shard_bin);
+                    match run_fleet_distributed_with_progress(&cfg, &dcfg, on_progress) {
+                        Ok(outcome) => {
+                            if outcome.rejoins > 0 {
+                                eprintln!(
+                                    "  recovered from {} worker loss(es); {} workers spawned in total",
+                                    outcome.rejoins, outcome.workers_spawned
+                                );
+                            }
+                            outcome.report
+                        }
+                        Err(e) => {
+                            eprintln!("distributed fleet run failed: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                }
+            };
             print!("{}", report.render());
             // Allocation regression gate (CI's alloc-count smoke job):
             // requires the counting allocator, so a budget given to a
@@ -292,7 +341,8 @@ fn usage(err: &str) -> ! {
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
          fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch] \
-         [--chaos off|mild|harsh] [--attribution] [--realtime-share F] [--multi-step-share F]>"
+         [--chaos off|mild|harsh] [--attribution] [--realtime-share F] [--multi-step-share F] \
+         [--distributed N]>"
     );
     std::process::exit(2)
 }

@@ -1,0 +1,42 @@
+//! # fleet-wire — distributed fleet execution over a framed TCP protocol
+//!
+//! The fleet crate proves the repo's central determinism claim across
+//! *threads*: merged metrics, and therefore the report digest, are
+//! invariant to how cells are dealt across shards. This crate extends
+//! the same claim across **processes**: `ifttt-lab fleet --distributed N`
+//! spawns `fleet-shard` workers, hands each a contiguous cell range over
+//! a version-tagged, length-prefixed TCP frame protocol, streams back
+//! per-cell metric deltas, and assembles a [`fleet::FleetReport`] whose
+//! digest is **byte-for-byte equal** to the in-process run's
+//! (`fleet-wire/tests/distributed.rs` pins this against the golden
+//! digests in `fleet::test_support`).
+//!
+//! The layering, bottom up:
+//!
+//! * [`frame`] — the 8-byte header (version, type, flags, length), the
+//!   typed [`frame::WireError`], reusable encode/decode buffers. Never
+//!   panics on peer bytes; never allocates per frame at steady state.
+//! * [`messages`] — typed payloads. The hot frames encode straight from
+//!   (and apply straight into) `FleetMetrics` via the canonical
+//!   `wire_counters()` / `wire_histograms()` arrays, and applies are
+//!   transactional: full validation before the first merge.
+//! * [`worker`] — the `fleet-shard` runtime: bounded-channel
+//!   backpressure, buffer recycling, heartbeats, chaos hooks.
+//! * [`coordinator`] — spawn/accept/push, exactly-once cell commit,
+//!   crash detection by read timeout, deterministic rejoin (a lost
+//!   worker's uncommitted cells re-run on a replacement), the drain and
+//!   per-worker digest handshake, and worker-summed alloc accounting.
+//!
+//! DESIGN.md §13 documents the protocol and the determinism argument.
+
+pub mod coordinator;
+pub mod frame;
+pub mod messages;
+pub mod worker;
+
+pub use coordinator::{
+    run_fleet_distributed, run_fleet_distributed_with_progress, DistributedConfig,
+    DistributedError, DistributedOutcome, WorkerChaos,
+};
+pub use frame::{FrameBuf, FrameType, WireError, MAX_PAYLOAD, PROTOCOL_VERSION};
+pub use messages::{FinalReport, Frame, Hello, ProgressBeat};

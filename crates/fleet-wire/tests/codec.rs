@@ -1,0 +1,419 @@
+//! Wire-codec correctness: every frame type round-trips exactly, and no
+//! adversarial input — truncation, oversized lengths, wrong versions,
+//! garbage payloads — can make a decoder panic. Peer bytes are untrusted
+//! input; the only acceptable failure mode is a typed [`WireError`].
+
+use fleet::shard::CellSpec;
+use fleet::{AttributionStages, ChaosProfile, FleetConfig, FleetMetrics, FleetPolicy};
+use fleet_wire::frame::{
+    read_frame, FrameBuf, FrameType, WireError, HEADER_LEN, MAX_PAYLOAD, PROTOCOL_VERSION,
+};
+use fleet_wire::messages::{
+    apply_metrics_delta, encode_attribution_delta, encode_config_push, encode_final_report,
+    encode_hello, encode_metrics_delta, encode_progress, DeltaHead, FinalReport, Frame, Hello,
+    ProgressBeat,
+};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng, StdRng};
+
+/// Encode a finished frame and read it back through the real frame
+/// reader, returning the decoded payload + type.
+fn round_trip(fb: &mut FrameBuf) -> (FrameType, Vec<u8>) {
+    let frame = fb.finish().to_vec();
+    let mut payload = Vec::new();
+    let mut cursor = std::io::Cursor::new(&frame);
+    let ftype = read_frame(&mut cursor, &mut payload)
+        .expect("well-formed frame decodes")
+        .expect("frame present");
+    assert!(
+        read_frame(&mut cursor, &mut payload.clone())
+            .unwrap()
+            .is_none(),
+        "exactly one frame on the stream"
+    );
+    (ftype, payload)
+}
+
+/// A randomized FleetMetrics touching every wire counter and histogram.
+fn arbitrary_metrics(rng: &mut StdRng) -> FleetMetrics {
+    let m = FleetMetrics::default();
+    for c in m.wire_counters() {
+        if rng.gen_bool(0.7) {
+            c.add(rng.gen_range(0u64..1 << 40));
+        }
+    }
+    for h in m.wire_histograms() {
+        for _ in 0..rng.gen_range(0usize..40) {
+            h.record(rng.gen_range(0u64..1 << 50));
+        }
+    }
+    m
+}
+
+fn arbitrary_stages(rng: &mut StdRng) -> AttributionStages {
+    let a = AttributionStages::default();
+    a.unmatched.add(rng.gen_range(0u64..100));
+    for h in a.wire_histograms() {
+        for _ in 0..rng.gen_range(0usize..25) {
+            h.record(rng.gen_range(0u64..1 << 45));
+        }
+    }
+    a
+}
+
+proptest! {
+    #[test]
+    fn hello_round_trips(worker_id in any::<u32>(), pid in any::<u32>()) {
+        let msg = Hello { worker_id, pid };
+        let mut fb = FrameBuf::new();
+        encode_hello(&mut fb, &msg);
+        let (ftype, payload) = round_trip(&mut fb);
+        prop_assert_eq!(ftype, FrameType::Hello);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::Hello(got) => prop_assert_eq!(got, msg),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn progress_round_trips(
+        worker_id in any::<u32>(),
+        cells_done in any::<u32>(),
+        cells_total in any::<u32>(),
+        users_done in any::<u64>(),
+    ) {
+        let msg = ProgressBeat { worker_id, cells_done, cells_total, users_done };
+        let mut fb = FrameBuf::new();
+        encode_progress(&mut fb, &msg);
+        let (ftype, payload) = round_trip(&mut fb);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::Progress(got) => prop_assert_eq!(got, msg),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn final_report_round_trips(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let msg = FinalReport {
+            worker_id: rng.gen(),
+            cells: rng.gen(),
+            users: rng.gen(),
+            sim_events: rng.gen(),
+            wall_micros: rng.gen(),
+            allocs: rng.gen(),
+            alloc_bytes: rng.gen(),
+            digest: rng.gen(),
+        };
+        let mut fb = FrameBuf::new();
+        encode_final_report(&mut fb, &msg);
+        let (ftype, payload) = round_trip(&mut fb);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::FinalReport(got) => prop_assert_eq!(got, msg),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn config_push_round_trips_bit_for_bit(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let policies = [FleetPolicy::IftttLike, FleetPolicy::Fast, FleetPolicy::Smart, FleetPolicy::Zapier];
+        let chaos = [ChaosProfile::Off, ChaosProfile::Mild, ChaosProfile::Harsh];
+        let mut config = FleetConfig::new(
+            rng.gen_range(1u64..1 << 32),
+            rng.gen_range(1usize..64),
+            policies[rng.gen_range(0usize..4)],
+        )
+        .with_seed(rng.gen())
+        .with_cell_users(rng.gen_range(1u64..10_000))
+        // Dyadic fractions exercise exact f64 round-tripping.
+        .with_phases(
+            rng.gen_range(0u32..1 << 20) as f64 / 64.0,
+            rng.gen_range(0u32..1 << 20) as f64 / 64.0,
+            rng.gen_range(0u32..1 << 20) as f64 / 64.0,
+        )
+        .with_batch_polling(rng.gen_bool(0.5))
+        .with_chaos(chaos[rng.gen_range(0usize..3)])
+        .with_attribution(rng.gen_bool(0.5))
+        .with_realtime_share(rng.gen_range(0u32..=64) as f64 / 64.0)
+        .with_multi_step_share(rng.gen_range(0u32..=64) as f64 / 64.0);
+        config.hot_threshold = rng.gen_bool(0.5).then(|| rng.gen());
+        let cells: Vec<CellSpec> = (0..rng.gen_range(0u64..50))
+            .map(|i| CellSpec { cell: i, first_user: i * 50, users: rng.gen_range(1u64..51) })
+            .collect();
+
+        let mut fb = FrameBuf::new();
+        encode_config_push(&mut fb, &config, &cells);
+        let (ftype, payload) = round_trip(&mut fb);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::ConfigPush(got) => {
+                // FleetConfig has no PartialEq; Debug shows every field
+                // (f64 bits included via the shortest round-trip form).
+                prop_assert_eq!(format!("{:?}", got.config), format!("{:?}", config));
+                prop_assert_eq!(got.cells, cells);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn metrics_delta_round_trips_exactly(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = arbitrary_metrics(&mut rng);
+        let head = DeltaHead { worker_id: rng.gen(), cell: rng.gen() };
+        let mut fb = FrameBuf::new();
+        encode_metrics_delta(&mut fb, head, &m);
+        let (ftype, payload) = round_trip(&mut fb);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::MetricsDelta { head: got_head, metrics } => {
+                prop_assert_eq!(got_head, head);
+                // Exact instrument equality — buckets, counts, sums,
+                // mins, maxes — which is precisely what digest equality
+                // across the process boundary requires.
+                prop_assert_eq!(*metrics, m);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn attribution_delta_round_trips_exactly(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = arbitrary_stages(&mut rng);
+        let head = DeltaHead { worker_id: rng.gen(), cell: rng.gen() };
+        let mut fb = FrameBuf::new();
+        encode_attribution_delta(&mut fb, head, &a);
+        let (ftype, payload) = round_trip(&mut fb);
+        match Frame::decode(ftype, &payload).unwrap() {
+            Frame::AttributionDelta { head: got_head, stages } => {
+                prop_assert_eq!(got_head, head);
+                prop_assert_eq!(*stages, a);
+            }
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncating_a_metrics_delta_anywhere_yields_an_error_not_a_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = arbitrary_metrics(&mut rng);
+        let mut fb = FrameBuf::new();
+        encode_metrics_delta(&mut fb, DeltaHead { worker_id: 1, cell: 2 }, &m);
+        let full = fb.finish().to_vec();
+        let payload = &full[HEADER_LEN..];
+        let cut = rng.gen_range(0usize..payload.len().max(1));
+        let target = FleetMetrics::default();
+        // Every strict prefix must fail typed — and leave the target
+        // untouched (transactional apply).
+        prop_assert!(apply_metrics_delta(&payload[..cut], &target).is_err());
+        prop_assert_eq!(&target, &FleetMetrics::default());
+    }
+
+    #[test]
+    fn garbage_payloads_never_panic_any_decoder(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = rng.gen_range(0usize..256);
+        let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        for t in [
+            FrameType::Hello,
+            FrameType::ConfigPush,
+            FrameType::Progress,
+            FrameType::MetricsDelta,
+            FrameType::AttributionDelta,
+            FrameType::Drain,
+            FrameType::FinalReport,
+        ] {
+            // Ok is allowed (random bytes can form a valid fixed-width
+            // message); panicking is not.
+            let _ = Frame::decode(t, &garbage);
+        }
+    }
+}
+
+// ------------------------------------------------------- deterministic
+// adversarial cases: each malformed input maps to its typed error.
+
+fn header(version: u8, ftype: u8, flags: u16, len: u32) -> Vec<u8> {
+    let mut h = vec![version, ftype];
+    h.extend_from_slice(&flags.to_le_bytes());
+    h.extend_from_slice(&len.to_le_bytes());
+    h
+}
+
+fn read_one(bytes: &[u8]) -> Result<Option<FrameType>, WireError> {
+    let mut payload = Vec::new();
+    read_frame(&mut std::io::Cursor::new(bytes), &mut payload)
+}
+
+#[test]
+fn clean_eof_is_none_but_mid_header_eof_is_truncated() {
+    assert!(matches!(read_one(&[]), Ok(None)));
+    assert!(matches!(
+        read_one(&[PROTOCOL_VERSION]),
+        Err(WireError::Truncated { .. })
+    ));
+    assert!(matches!(
+        read_one(&header(PROTOCOL_VERSION, 3, 0, 0)[..5]),
+        Err(WireError::Truncated { .. })
+    ));
+}
+
+#[test]
+fn truncated_payload_is_truncated() {
+    let mut bytes = header(PROTOCOL_VERSION, 3, 0, 100);
+    bytes.extend_from_slice(&[0u8; 10]); // 90 bytes short
+    assert!(matches!(read_one(&bytes), Err(WireError::Truncated { .. })));
+}
+
+#[test]
+fn oversized_length_prefix_is_rejected_before_any_read() {
+    let bytes = header(PROTOCOL_VERSION, 3, 0, MAX_PAYLOAD + 1);
+    assert!(
+        matches!(read_one(&bytes), Err(WireError::Oversized { len }) if len == MAX_PAYLOAD + 1)
+    );
+}
+
+#[test]
+fn wrong_protocol_version_is_rejected() {
+    let bytes = header(PROTOCOL_VERSION + 1, 3, 0, 0);
+    assert!(
+        matches!(read_one(&bytes), Err(WireError::BadVersion { got }) if got == PROTOCOL_VERSION + 1)
+    );
+    let bytes = header(0, 3, 0, 0);
+    assert!(matches!(
+        read_one(&bytes),
+        Err(WireError::BadVersion { got: 0 })
+    ));
+}
+
+#[test]
+fn unknown_frame_type_is_rejected() {
+    for t in [0u8, 8, 200, 255] {
+        let bytes = header(PROTOCOL_VERSION, t, 0, 0);
+        assert!(matches!(read_one(&bytes), Err(WireError::BadFrameType { got }) if got == t));
+    }
+}
+
+#[test]
+fn nonzero_flags_are_rejected_in_version_one() {
+    let bytes = header(PROTOCOL_VERSION, 3, 1, 0);
+    assert!(matches!(
+        read_one(&bytes),
+        Err(WireError::BadPayload { .. })
+    ));
+}
+
+#[test]
+fn drain_with_payload_is_rejected() {
+    assert!(matches!(
+        Frame::decode(FrameType::Drain, &[0]),
+        Err(WireError::BadPayload { .. })
+    ));
+}
+
+#[test]
+fn metrics_delta_with_out_of_range_counter_index_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.begin(FrameType::MetricsDelta);
+    fb.put_u32(1); // worker
+    fb.put_u64(2); // cell
+    fb.put_u8(1); // one counter entry
+    fb.put_u8(30); // index out of range (0..30 valid)
+    fb.put_u64(5);
+    fb.put_u64(0); // empty histogram 1
+    fb.put_u64(0); // empty histogram 2
+    let frame = fb.finish().to_vec();
+    let err = apply_metrics_delta(&frame[HEADER_LEN..], &FleetMetrics::default()).unwrap_err();
+    assert!(matches!(err, WireError::BadPayload { context } if context.contains("counter index")));
+}
+
+#[test]
+fn metrics_delta_with_unsorted_counters_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.begin(FrameType::MetricsDelta);
+    fb.put_u32(1);
+    fb.put_u64(2);
+    fb.put_u8(2);
+    fb.put_u8(5);
+    fb.put_u64(1);
+    fb.put_u8(5); // duplicate index
+    fb.put_u64(1);
+    fb.put_u64(0);
+    fb.put_u64(0);
+    let frame = fb.finish().to_vec();
+    let err = apply_metrics_delta(&frame[HEADER_LEN..], &FleetMetrics::default()).unwrap_err();
+    assert!(matches!(err, WireError::BadPayload { context } if context.contains("increasing")));
+}
+
+#[test]
+fn histogram_with_inconsistent_bucket_sum_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.begin(FrameType::MetricsDelta);
+    fb.put_u32(1);
+    fb.put_u64(2);
+    fb.put_u8(0); // no counters
+    fb.put_u64(5); // histogram 1 claims 5 samples...
+    fb.put_u64(100); // sum
+    fb.put_u64(1); // min
+    fb.put_u64(50); // max
+    fb.put_u16(1); // one bucket
+    fb.put_u16(0);
+    fb.put_u64(3); // ...but buckets only hold 3
+    fb.put_u64(0); // empty histogram 2
+    let frame = fb.finish().to_vec();
+    let err = apply_metrics_delta(&frame[HEADER_LEN..], &FleetMetrics::default()).unwrap_err();
+    assert!(matches!(err, WireError::BadPayload { context } if context.contains("disagree")));
+}
+
+#[test]
+fn histogram_with_out_of_range_bucket_index_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.begin(FrameType::MetricsDelta);
+    fb.put_u32(1);
+    fb.put_u64(2);
+    fb.put_u8(0);
+    fb.put_u64(1);
+    fb.put_u64(10);
+    fb.put_u64(10);
+    fb.put_u64(10);
+    fb.put_u16(1);
+    fb.put_u16(fleet::metrics::BUCKETS as u16); // one past the end
+    fb.put_u64(1);
+    fb.put_u64(0);
+    let frame = fb.finish().to_vec();
+    let err = apply_metrics_delta(&frame[HEADER_LEN..], &FleetMetrics::default()).unwrap_err();
+    assert!(matches!(err, WireError::BadPayload { context } if context.contains("bucket index")));
+}
+
+#[test]
+fn trailing_bytes_after_a_valid_message_are_rejected() {
+    let mut fb = FrameBuf::new();
+    encode_hello(
+        &mut fb,
+        &Hello {
+            worker_id: 1,
+            pid: 2,
+        },
+    );
+    fb.put_u8(0xff); // one byte too many
+    let frame = fb.finish().to_vec();
+    assert!(matches!(
+        Frame::decode(FrameType::Hello, &frame[HEADER_LEN..]),
+        Err(WireError::BadPayload { .. })
+    ));
+}
+
+#[test]
+fn config_push_with_bad_json_is_rejected() {
+    let mut fb = FrameBuf::new();
+    fb.begin(FrameType::ConfigPush);
+    let json = b"{not json";
+    fb.put_u32(json.len() as u32);
+    fb.put_bytes(json);
+    fb.put_u32(0);
+    let frame = fb.finish().to_vec();
+    assert!(matches!(
+        Frame::decode(FrameType::ConfigPush, &frame[HEADER_LEN..]),
+        Err(WireError::BadPayload { .. })
+    ));
+}

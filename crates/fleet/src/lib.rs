@@ -36,11 +36,13 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod shard;
+pub mod test_support;
 
 pub use attribution::{AttributionRecorder, CellSink};
 pub use metrics::{AttributionStages, Counter, FleetMetrics, Histogram, HistogramSnapshot};
-pub use report::{FleetReport, ShardSummary, PAPER_T2A_QUARTILES_SECS};
+pub use report::{fnv1a, FleetReport, ShardSummary, PAPER_T2A_QUARTILES_SECS};
 pub use runner::{
-    run_fleet, run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy, Progress,
+    population, run_fleet, run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy,
+    Progress,
 };
-pub use shard::{assign_round_robin, plan_cells, CellSpec};
+pub use shard::{assign_contiguous, assign_round_robin, plan_cells, CellSpec};

@@ -223,6 +223,46 @@ impl Histogram {
         points
     }
 
+    /// Visit every nonzero bucket as `(index, count)`, in index order,
+    /// without materializing a snapshot. This is the wire encoder's view
+    /// of the histogram: together with [`Histogram::merge_bucket`] and
+    /// [`Histogram::merge_summary`] it lets a codec stream the exact
+    /// integer state across a process boundary with no allocation.
+    pub fn for_each_bucket(&self, mut f: impl FnMut(u32, u64)) {
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 {
+                f(i as u32, c);
+            }
+        }
+    }
+
+    /// Fold `n` occurrences into bucket `index` (one leg of a remote
+    /// merge). Returns `false` — folding nothing — when `index` is out of
+    /// range, so codecs can reject corrupt frames instead of panicking.
+    #[must_use]
+    pub fn merge_bucket(&self, index: usize, n: u64) -> bool {
+        match self.buckets.get(index) {
+            Some(b) => {
+                b.fetch_add(n, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Fold remote summary state (count, sum, and real min/max of a
+    /// **non-empty** histogram) into `self`. The other leg of a remote
+    /// merge: a codec replays nonzero buckets through
+    /// [`Histogram::merge_bucket`] and the scalars through here, which is
+    /// exactly what [`Histogram::merge_from`] does in-process.
+    pub fn merge_summary(&self, count: u64, sum: u64, min: u64, max: u64) {
+        self.count.fetch_add(count, Ordering::Relaxed);
+        self.sum.fetch_add(sum, Ordering::Relaxed);
+        self.min.fetch_min(min, Ordering::Relaxed);
+        self.max.fetch_max(max, Ordering::Relaxed);
+    }
+
     /// Fold `other` into `self` (exact; commutative and associative).
     pub fn merge_from(&self, other: &Histogram) {
         for (a, b) in self.buckets.iter().zip(&other.buckets) {
@@ -357,6 +397,21 @@ impl AttributionStages {
     /// True when nothing was recorded (attribution was off).
     pub fn is_empty(&self) -> bool {
         self.total.count() == 0 && self.unmatched.get() == 0
+    }
+
+    /// Every stage histogram (the five stages plus `total`) in the fixed
+    /// canonical order the distributed wire protocol streams them in.
+    /// Both codec directions index this same array, so the attribution
+    /// frame layout can never drift between encoder and decoder.
+    pub fn wire_histograms(&self) -> [&Histogram; 6] {
+        [
+            &self.cadence_wait,
+            &self.poll_rtt,
+            &self.dispatch_lag,
+            &self.retry_penalty,
+            &self.action_rtt,
+            &self.total,
+        ]
     }
 
     /// The five stages in report order, with display labels.
@@ -524,6 +579,52 @@ impl FleetMetrics {
     /// determinism invariant compares across shard counts.
     pub fn to_json(&self) -> String {
         serde_json::to_string(self).expect("metrics serialize")
+    }
+
+    /// Every plain counter in the fixed canonical order the distributed
+    /// wire protocol streams them in (attribution's `unmatched` rides the
+    /// attribution frame instead). Encoder and decoder both walk this one
+    /// array, so adding a counter here automatically extends the metrics
+    /// delta frame on both sides — the layouts cannot drift apart.
+    pub fn wire_counters(&self) -> [&Counter; 30] {
+        [
+            &self.polls_sent,
+            &self.polls_batched,
+            &self.polls_coalesced,
+            &self.events_new,
+            &self.actions_ok,
+            &self.actions_failed,
+            &self.activations,
+            &self.lost,
+            &self.sim_events,
+            &self.engine_events,
+            &self.cells,
+            &self.users,
+            &self.applets,
+            &self.polls_failed,
+            &self.polls_retried,
+            &self.polls_shed,
+            &self.breaker_trips,
+            &self.actions_retried,
+            &self.dead_letters,
+            &self.faults_injected,
+            &self.realtime_notifications,
+            &self.realtime_polls,
+            &self.realtime_suppressed,
+            &self.realtime_malformed,
+            &self.dag_runs,
+            &self.dag_nodes_filter,
+            &self.dag_nodes_transform,
+            &self.dag_nodes_query,
+            &self.dag_nodes_action,
+            &self.dag_node_retries,
+        ]
+    }
+
+    /// The non-attribution histograms in wire order, like
+    /// [`FleetMetrics::wire_counters`].
+    pub fn wire_histograms(&self) -> [&Histogram; 2] {
+        [&self.t2a_micros, &self.dispatch_depth]
     }
 }
 

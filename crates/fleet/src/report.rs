@@ -51,6 +51,18 @@ pub struct FleetReport {
 /// applets: 58 / 84 / 122 seconds (§4).
 pub const PAPER_T2A_QUARTILES_SECS: (f64, f64, f64) = (58.0, 84.0, 122.0);
 
+/// FNV-1a over `bytes` — the fingerprint function behind every fleet
+/// digest. Public so the distributed protocol's final-digest handshake
+/// hashes worker-local metrics with byte-identical arithmetic.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 impl FleetReport {
     /// The deterministic part of the report, serialized.
     pub fn merged_json(&self) -> String {
@@ -59,14 +71,10 @@ impl FleetReport {
 
     /// FNV-1a fingerprint of [`FleetReport::merged_json`]. Two runs with
     /// the same master seed and population must produce the same digest no
-    /// matter how many shards executed them.
+    /// matter how many shards executed them — nor whether those shards
+    /// were threads in this process or `fleet-shard` worker processes.
     pub fn digest(&self) -> String {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in self.merged_json().as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        format!("{h:016x}")
+        format!("{:016x}", fnv1a(self.merged_json().as_bytes()))
     }
 
     /// Merged T2A 25th/50th/75th percentiles in seconds.

@@ -16,6 +16,7 @@ use crate::report::{FleetReport, ShardSummary};
 use crate::shard::{assign_round_robin, plan_cells};
 use ecosystem::{Ecosystem, GeneratorConfig, PopulationSampler};
 use engine::{EngineConfig, EnginePolicy, PollPolicy};
+use serde::{de, Deserialize, Serialize, Value};
 use simnet::rng::derive_seed;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -68,6 +69,20 @@ impl FleetPolicy {
 impl std::fmt::Display for FleetPolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+impl Serialize for FleetPolicy {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for FleetPolicy {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .and_then(FleetPolicy::parse)
+            .ok_or_else(|| de::Error::expected("fleet policy name", v))
     }
 }
 
@@ -132,9 +147,30 @@ impl std::fmt::Display for ChaosProfile {
     }
 }
 
+impl Serialize for ChaosProfile {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for ChaosProfile {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .and_then(ChaosProfile::parse)
+            .ok_or_else(|| de::Error::expected("chaos profile name", v))
+    }
+}
+
 /// Everything a fleet run needs; [`FleetConfig::new`] picks defaults that
 /// scale from smoke tests to the million-user run.
-#[derive(Debug, Clone)]
+///
+/// Serializable because the distributed coordinator pushes the resolved
+/// configuration to `fleet-shard` worker processes over the wire; the
+/// JSON form must round-trip exactly (every field is an integer, a flag,
+/// a policy name, or an f64 whose shortest decimal form re-parses to the
+/// same bits) so a worker reconstructs cell-for-cell the run the
+/// coordinator planned.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetConfig {
     /// Total synthetic user channels.
     pub users: u64,
@@ -327,16 +363,16 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetReport {
     run_fleet_with_progress(cfg, |_| {})
 }
 
-/// Run the fleet; `on_progress` is invoked on the calling thread for every
-/// cell any shard completes.
-pub fn run_fleet_with_progress(
-    cfg: &FleetConfig,
-    mut on_progress: impl FnMut(&Progress),
-) -> FleetReport {
-    let started = Instant::now();
-    let alloc_start = mem::alloc_counts();
-
-    // One catalog + sampler serves every shard read-only.
+/// Build the population sampler a fleet run draws user profiles from, and
+/// resolve the smart policy's hot threshold against it (honoring an
+/// explicit `cfg.hot_threshold`).
+///
+/// Pure in `(master_seed, eco_scale, multi_step_share)`: the in-process
+/// runner calls it once and shares the sampler across shard threads, and
+/// every `fleet-shard` worker process calls it again and gets the
+/// identical catalog — which is why a config (with the threshold already
+/// resolved by the coordinator) is all that has to cross the wire.
+pub fn population(cfg: &FleetConfig) -> (PopulationSampler, u64) {
     let eco = Ecosystem::generate(GeneratorConfig {
         seed: derive_seed(cfg.master_seed, ECO_STREAM),
         scale: cfg.eco_scale,
@@ -347,6 +383,20 @@ pub fn run_fleet_with_progress(
     let hot_threshold = cfg
         .hot_threshold
         .unwrap_or_else(|| sampler.add_count_percentile(90.0));
+    (sampler, hot_threshold)
+}
+
+/// Run the fleet; `on_progress` is invoked on the calling thread for every
+/// cell any shard completes.
+pub fn run_fleet_with_progress(
+    cfg: &FleetConfig,
+    mut on_progress: impl FnMut(&Progress),
+) -> FleetReport {
+    let started = Instant::now();
+    let alloc_start = mem::alloc_counts();
+
+    // One catalog + sampler serves every shard read-only.
+    let (sampler, hot_threshold) = population(cfg);
     let cfg = FleetConfig {
         hot_threshold: Some(hot_threshold),
         ..cfg.clone()
@@ -467,6 +517,30 @@ mod tests {
         let shard_events: u64 = report.per_shard.iter().map(|s| s.sim_events).sum();
         assert_eq!(shard_events, report.merged.sim_events.get());
         assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn fleet_config_round_trips_exactly_through_json() {
+        // The distributed path serializes the resolved config for worker
+        // processes; any lossy field would silently fork the simulation.
+        let mut cfg = FleetConfig::new(123_456, 7, FleetPolicy::Zapier)
+            .with_seed(0xdead_beef)
+            .with_cell_users(37)
+            .with_phases(10.5, 242.25, 999.125)
+            .with_batch_polling(false)
+            .with_chaos(ChaosProfile::Harsh)
+            .with_attribution(true)
+            .with_realtime_share(0.3)
+            .with_multi_step_share(0.07)
+            .with_wrap_degenerate_dag(true)
+            .with_reference_storage(true);
+        cfg.hot_threshold = Some(42);
+        cfg.eco_scale = 0.02;
+        let json = serde_json::to_string(&cfg).expect("config serializes");
+        let back: FleetConfig = serde_json::from_str(&json).expect("config parses");
+        // Exact equality, f64 bits included.
+        assert_eq!(format!("{cfg:?}"), format!("{back:?}"));
+        assert_eq!(json, serde_json::to_string(&back).unwrap());
     }
 
     #[test]

@@ -14,15 +14,12 @@
 //!    the simulation itself: every pre-existing metric stays byte-equal
 //!    to the counting-only run.
 
+use fleet::test_support::small_fast_cfg;
 use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy, FleetReport};
 use proptest::prelude::*;
 
 fn cfg(shards: usize) -> FleetConfig {
-    FleetConfig::new(200, shards, FleetPolicy::Fast)
-        .with_seed(2017)
-        .with_cell_users(50)
-        .with_phases(10.0, 60.0, 30.0)
-        .with_attribution(true)
+    small_fast_cfg(shards, 2017).with_attribution(true)
 }
 
 fn assert_conservation(report: &FleetReport) {

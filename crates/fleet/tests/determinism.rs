@@ -9,19 +9,13 @@
 //! behaviour-preserving (like swapping the kernel's heap for a timing
 //! wheel, or interning identifier strings) must keep them byte-identical.
 
+use fleet::test_support::{goldens, ifttt_bench_cfg, small_chaos_cfg, small_fast_cfg};
 use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
 
+/// The cheap always-on scenario (see `fleet::test_support`): 200 users,
+/// fast policy, 4 cells of 50.
 fn cfg(shards: usize, seed: u64) -> FleetConfig {
-    FleetConfig::new(200, shards, FleetPolicy::Fast)
-        .with_seed(seed)
-        .with_cell_users(50) // 4 cells
-        .with_phases(10.0, 60.0, 30.0)
-}
-
-/// The production-like configuration the `fleet_throughput` bench runs —
-/// golden digests below are pinned against it.
-fn ifttt_cfg(users: u64, shards: usize) -> FleetConfig {
-    FleetConfig::new(users, shards, FleetPolicy::IftttLike).with_phases(10.0, 120.0, 400.0)
+    small_fast_cfg(shards, seed)
 }
 
 #[test]
@@ -57,17 +51,16 @@ fn rerunning_the_same_config_reproduces_the_digest() {
     assert_eq!(a.merged_json(), b.merged_json());
 }
 
-/// Cheap always-on golden: 200 users, fast policy, seed 2017. Re-pinned
-/// when coalesced batch polling became the fleet default: batching changes
-/// which requests exist and how the engine consumes randomness, so the old
-/// unbatched digest ("2aafbbf2ca69879f") cannot be preserved. The new
-/// digest was cross-checked for shard invariance the same way.
+/// Cheap always-on golden: 200 users, fast policy, seed 2017. Batching
+/// changed which requests exist and how the engine consumes randomness,
+/// so this was re-pinned when coalescing became the fleet default; the
+/// current constant (and its history) lives in `fleet::test_support`.
 #[test]
 fn golden_digest_small_fast_fleet() {
     let report = run_fleet(&cfg(1, 2017));
     assert_eq!(
         report.digest(),
-        "a3663e4dce1af97c",
+        goldens::SMALL_FAST,
         "merged metrics drifted for the pinned 200-user config:\n{}",
         report.merged_json()
     );
@@ -81,12 +74,11 @@ fn golden_digest_small_fast_fleet() {
 #[test]
 #[ignore = "minutes in debug; CI runs it in release via --ignored"]
 fn golden_digest_100k_users_is_shard_invariant() {
-    const GOLDEN: &str = "d19f6cc3f574bc8a";
     for shards in [1usize, 2, 8] {
-        let report = run_fleet(&ifttt_cfg(100_000, shards));
+        let report = run_fleet(&ifttt_bench_cfg(100_000, shards));
         assert_eq!(
             report.digest(),
-            GOLDEN,
+            goldens::IFTTT_100K,
             "100k-user digest drifted at {shards} shard(s)"
         );
     }
@@ -97,9 +89,7 @@ fn golden_digest_100k_users_is_shard_invariant() {
 /// the drain stretched the way `ifttt-lab --chaos` stretches it so retry
 /// chains finish inside the cell horizon.
 fn chaos_cfg(shards: usize, seed: u64) -> FleetConfig {
-    let mut c = cfg(shards, seed).with_chaos(ChaosProfile::Mild);
-    c.drain_secs = 120.0;
-    c
+    small_chaos_cfg(shards, seed)
 }
 
 /// Chaos must be deterministic too: the same `(seed, profile)` produces
@@ -108,12 +98,11 @@ fn chaos_cfg(shards: usize, seed: u64) -> FleetConfig {
 /// fault scheduling, retry backoff, or breaker behaviour moves this.
 #[test]
 fn golden_digest_small_chaotic_fleet_is_shard_invariant() {
-    const GOLDEN: &str = "cb8eaede0bf587b3";
     for shards in [1usize, 2, 8] {
         let report = run_fleet(&chaos_cfg(shards, 2017));
         assert_eq!(
             report.digest(),
-            GOLDEN,
+            goldens::SMALL_CHAOS,
             "chaos-on digest drifted at {shards} shard(s):\n{}",
             report.merged_json()
         );
@@ -128,7 +117,6 @@ fn golden_digest_small_chaotic_fleet_is_shard_invariant() {
 #[test]
 #[ignore = "minutes in debug; CI runs it in release via --ignored"]
 fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
-    const GOLDEN: &str = "0f2284d6358e4e11";
     for shards in [1usize, 2, 8] {
         let mut c =
             FleetConfig::new(100_000, shards, FleetPolicy::Fast).with_chaos(ChaosProfile::Mild);
@@ -136,7 +124,7 @@ fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
         let report = run_fleet(&c);
         assert_eq!(
             report.digest(),
-            GOLDEN,
+            goldens::CHAOS_100K,
             "100k chaos digest drifted at {shards} shard(s)"
         );
         assert!(
@@ -155,12 +143,11 @@ fn golden_digest_100k_chaotic_fleet_is_shard_invariant() {
 /// moves this digest.
 #[test]
 fn golden_digest_small_realtime_fleet_is_shard_invariant() {
-    const GOLDEN: &str = "3e9fa714a42a73d9";
     for shards in [1usize, 2, 8] {
-        let report = run_fleet(&cfg(shards, 2017).with_realtime_share(0.5));
+        let report = run_fleet(&fleet::test_support::small_realtime_cfg(shards, 2017));
         assert_eq!(
             report.digest(),
-            GOLDEN,
+            goldens::SMALL_REALTIME,
             "realtime-on digest drifted at {shards} shard(s):\n{}",
             report.merged_json()
         );

@@ -18,14 +18,11 @@
 
 use fleet::{run_fleet, FleetConfig, FleetPolicy, FleetReport};
 
-/// The 2k-user differential population: big enough that every generator
-/// DAG shape (filter pass/drop, transform chain, query enrich, fanout)
-/// appears, small enough for the debug test tier.
+/// The shared 2k-user differential population (`fleet::test_support`):
+/// big enough that every generator DAG shape (filter pass/drop, transform
+/// chain, query enrich, fanout) appears, small enough for the debug tier.
 fn cfg_2k(shards: usize) -> FleetConfig {
-    FleetConfig::new(2000, shards, FleetPolicy::Fast)
-        .with_seed(2017)
-        .with_cell_users(500)
-        .with_phases(10.0, 60.0, 30.0)
+    fleet::test_support::differential_2k_cfg(shards)
 }
 
 #[test]

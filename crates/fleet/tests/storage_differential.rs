@@ -7,16 +7,13 @@
 //! byte-identical under both backends — same metrics JSON, same digest —
 //! with and without a multi-step population and under fault injection.
 
-use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
+use fleet::{run_fleet, ChaosProfile, FleetConfig};
 
-/// The same 2k-user differential population `multi_step.rs` pins: large
-/// enough that batching, retries, and every generator DAG shape appear;
-/// small enough for the debug tier.
+/// The same 2k-user differential population `multi_step.rs` pins, from
+/// `fleet::test_support`: large enough that batching, retries, and every
+/// generator DAG shape appear; small enough for the debug tier.
 fn cfg_2k(shards: usize) -> FleetConfig {
-    FleetConfig::new(2000, shards, FleetPolicy::Fast)
-        .with_seed(2017)
-        .with_cell_users(500)
-        .with_phases(10.0, 60.0, 30.0)
+    fleet::test_support::differential_2k_cfg(shards)
 }
 
 #[test]
