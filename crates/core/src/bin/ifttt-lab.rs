@@ -11,12 +11,21 @@
 //! ifttt-lab workload                 §6: push-vs-poll engine burstiness
 //! ifttt-lab crawl [scale]            §3.1: run the crawler pipeline once
 //! ifttt-lab fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch]
-//!                 [--chaos off|mild|harsh] [--attribution] [--realtime-share F]
+//!                 [--chaos off|mild|harsh] [--churn off|weekly|accelerated]
+//!                 [--attribution] [--realtime-share F]
 //!                 [--multi-step-share F] [--max-allocs-per-event F]
-//!                 [--distributed N]      sharded fleet-scale workload run;
-//!                                    --distributed runs it across N
-//!                                    fleet-shard worker processes instead
-//!                                    of in-process threads (same digest)
+//!                 [--scenario FILE] [--distributed N]
+//!                                    sharded fleet-scale workload run;
+//!                                    --churn drives live ecosystem churn
+//!                                    (mid-run installs/uninstalls, service
+//!                                    onboarding/retirement) and appends the
+//!                                    §3.2 weekly growth table from crawls
+//!                                    of the live catalog; --scenario loads
+//!                                    a JSON ScenarioSpec (explicit flags
+//!                                    still override it); --distributed
+//!                                    runs across N fleet-shard worker
+//!                                    processes instead of in-process
+//!                                    threads (same digest)
 //! ```
 //!
 //! Every subcommand accepts `--seed <u64>` (default 2017). `--users`
@@ -29,7 +38,10 @@ use ifttt_core::ecosystem::frontend::IftttFrontend;
 use ifttt_core::ecosystem::generator::{Ecosystem, GeneratorConfig};
 use ifttt_core::ecosystem::model::GROWTH;
 use ifttt_core::engine::RuntimeLoopConfig;
-use ifttt_core::fleet::{run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy};
+use ifttt_core::fleet::{
+    run_fleet_with_progress, ChaosProfile, ChurnProfile, FleetConfig, FleetPolicy, LiveGrowth,
+    ScenarioSpec,
+};
 use ifttt_core::simnet::prelude::*;
 use ifttt_core::testbed::experiments::{
     explicit_loop_experiment, implicit_loop_experiment, run_workload,
@@ -43,13 +55,17 @@ fn main() {
     let mut shards = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut policy = FleetPolicy::IftttLike;
+    // Scenario-coverable knobs stay `None` unless the flag was given, so
+    // a `--scenario` file only loses to flags the user actually typed.
+    let mut policy: Option<FleetPolicy> = None;
     let mut batch_polling = true;
-    let mut chaos = ChaosProfile::Off;
+    let mut chaos: Option<ChaosProfile> = None;
+    let mut churn: Option<ChurnProfile> = None;
     let mut attribution = false;
-    let mut realtime_share = 0.0f64;
-    let mut multi_step_share = 0.0f64;
+    let mut realtime_share: Option<f64> = None;
+    let mut multi_step_share: Option<f64> = None;
     let mut max_allocs_per_event: Option<f64> = None;
+    let mut scenario_path: Option<String> = None;
     let mut distributed: Option<usize> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = args.into_iter();
@@ -75,26 +91,29 @@ fn main() {
                     .unwrap_or_else(|| usage("--shards needs a positive integer"));
             }
             "--policy" => {
-                policy = it
-                    .next()
-                    .and_then(|v| FleetPolicy::parse(&v))
-                    .unwrap_or_else(|| usage("--policy is ifttt, fast, smart, or zapier"));
+                policy = Some(
+                    it.next()
+                        .and_then(|v| FleetPolicy::parse(&v))
+                        .unwrap_or_else(|| usage("--policy is ifttt, fast, smart, or zapier")),
+                );
             }
             "--no-batch" => batch_polling = false,
             "--attribution" => attribution = true,
             "--realtime-share" => {
-                realtime_share = it
-                    .next()
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .filter(|s| (0.0..=1.0).contains(s))
-                    .unwrap_or_else(|| usage("--realtime-share needs a float in 0..=1"));
+                realtime_share = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|s| (0.0..=1.0).contains(s))
+                        .unwrap_or_else(|| usage("--realtime-share needs a float in 0..=1")),
+                );
             }
             "--multi-step-share" => {
-                multi_step_share = it
-                    .next()
-                    .and_then(|v| v.parse::<f64>().ok())
-                    .filter(|s| (0.0..=1.0).contains(s))
-                    .unwrap_or_else(|| usage("--multi-step-share needs a float in 0..=1"));
+                multi_step_share = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<f64>().ok())
+                        .filter(|s| (0.0..=1.0).contains(s))
+                        .unwrap_or_else(|| usage("--multi-step-share needs a float in 0..=1")),
+                );
             }
             "--max-allocs-per-event" => {
                 max_allocs_per_event = Some(
@@ -113,10 +132,24 @@ fn main() {
                 );
             }
             "--chaos" => {
-                chaos = it
-                    .next()
-                    .and_then(|v| ChaosProfile::parse(&v))
-                    .unwrap_or_else(|| usage("--chaos is off, mild, or harsh"));
+                chaos = Some(
+                    it.next()
+                        .and_then(|v| ChaosProfile::parse(&v))
+                        .unwrap_or_else(|| usage("--chaos is off, mild, or harsh")),
+                );
+            }
+            "--churn" => {
+                churn = Some(
+                    it.next()
+                        .and_then(|v| ChurnProfile::parse(&v))
+                        .unwrap_or_else(|| usage("--churn is off, weekly, or accelerated")),
+                );
+            }
+            "--scenario" => {
+                scenario_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage("--scenario needs a file path")),
+                );
             }
             _ => positional.push(a),
         }
@@ -207,20 +240,44 @@ fn main() {
             );
         }
         "fleet" => {
-            let mut cfg = FleetConfig::new(users, shards, policy)
+            // Resolution order: defaults, then the scenario file, then any
+            // explicitly-typed flags — a flag always wins over the file.
+            let mut cfg = FleetConfig::new(users, shards, policy.unwrap_or(FleetPolicy::IftttLike))
                 .with_seed(seed)
-                .with_batch_polling(batch_polling)
-                .with_chaos(chaos)
-                .with_attribution(attribution)
-                .with_realtime_share(realtime_share)
-                .with_multi_step_share(multi_step_share);
+                .with_batch_polling(batch_polling);
+            if let Some(path) = &scenario_path {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| usage(&format!("--scenario: cannot read {path}: {e}")));
+                let spec = ScenarioSpec::from_json(&text)
+                    .unwrap_or_else(|e| usage(&format!("--scenario: {path} does not parse: {e}")));
+                cfg = cfg.with_scenario(spec);
+            }
+            if let Some(p) = policy {
+                cfg.policy = p;
+                cfg.drain_secs = p.default_drain_secs();
+            }
+            if let Some(c) = chaos {
+                cfg = cfg.with_chaos(c);
+            }
+            if let Some(c) = churn {
+                cfg = cfg.with_churn(c);
+            }
+            if attribution {
+                cfg = cfg.with_attribution(true);
+            }
+            if let Some(s) = realtime_share {
+                cfg = cfg.with_realtime_share(s);
+            }
+            if let Some(s) = multi_step_share {
+                cfg = cfg.with_multi_step_share(s);
+            }
             if cfg.chaos.enabled() {
                 // Give retries and breaker recovery room to finish after the
                 // last activation window before stragglers count as lost.
                 cfg.drain_secs = cfg.drain_secs.max(120.0);
             }
             println!(
-                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {}, realtime share {}, multi-step share {})",
+                "fleet: {} users, {} shards, policy {}, seed {} (cells of {}, batch polling {}, chaos {}, churn {}, realtime share {}, multi-step share {})",
                 cfg.users,
                 cfg.shards,
                 cfg.policy,
@@ -228,6 +285,7 @@ fn main() {
                 cfg.cell_users,
                 if cfg.batch_polling { "on" } else { "off" },
                 cfg.chaos,
+                cfg.churn,
                 cfg.realtime_share,
                 cfg.multi_step_share
             );
@@ -279,6 +337,12 @@ fn main() {
                 }
             };
             print!("{}", report.render());
+            // Churn runs close the §3 loop: crawl the live catalog's weekly
+            // snapshots after the fleet finishes (render-only — the crawl
+            // runs in its own simulation and never touches the digest).
+            if let Some(growth) = LiveGrowth::crawl(&cfg) {
+                print!("{}", growth.render());
+            }
             // Allocation regression gate (CI's alloc-count smoke job):
             // requires the counting allocator, so a budget given to a
             // default build fails loudly instead of passing vacuously.
@@ -341,8 +405,8 @@ fn usage(err: &str) -> ! {
         "usage: ifttt-lab [--seed N] <report [scale] | t2a [runs] | substitution [runs] | \
          timeline | sequential [n] | concurrent [runs] | loops | workload | crawl [scale] | \
          fleet [--users N] [--shards N] [--policy ifttt|fast|smart|zapier] [--no-batch] \
-         [--chaos off|mild|harsh] [--attribution] [--realtime-share F] [--multi-step-share F] \
-         [--distributed N]>"
+         [--chaos off|mild|harsh] [--churn off|weekly|accelerated] [--attribution] \
+         [--realtime-share F] [--multi-step-share F] [--scenario FILE] [--distributed N]>"
     );
     std::process::exit(2)
 }

@@ -311,6 +311,69 @@ pub enum InstallError {
     InvalidSteps(String),
 }
 
+/// One applet- or service-lifecycle transition, applied through the
+/// single [`TapEngine::apply_lifecycle`] entry point. This is the churn
+/// op the fleet's live-world driver speaks: every install path the engine
+/// ever had (legacy single-step, degenerate-DAG wrap, multi-step) and
+/// every teardown the static workload never needed route through here.
+#[derive(Debug, Clone)]
+#[allow(clippy::large_enum_variant)] // transient op value, consumed immediately
+pub enum LifecycleEvent {
+    /// Install and enable an applet (schedules its first trigger poll).
+    /// Degenerate one-node action DAGs fold onto the single-step path
+    /// exactly as the legacy constructor did.
+    InstallApplet(Applet),
+    /// Remove an applet permanently: cancel its pending poll timer, shrink
+    /// its coalescing group (evicting the cached batch body and reverting
+    /// the survivor's `grouped` hint when membership drops to 1), clear
+    /// realtime state, prune identity routing, and dead-letter its
+    /// in-flight dispatches and DAG runs. The slot is tombstoned, never
+    /// compacted, so in-flight tokens and timers miss instead of aliasing.
+    UninstallApplet(AppletId),
+    /// Register a partner service mid-run (what service publication does),
+    /// optionally adding it to the realtime allowlist.
+    OnboardService {
+        /// Service slug new installs will reference.
+        slug: ServiceSlug,
+        /// Simulation node serving the partner API.
+        node: NodeId,
+        /// Service key presented on every request.
+        key: ServiceKey,
+        /// Honor this service's realtime hints (§4's Alexa treatment).
+        realtime: bool,
+    },
+    /// A service dies permanently — a terminal outage, distinct from a
+    /// chaos blip: every applet touching it (as trigger or action) is
+    /// uninstalled with full unwind, its tokens and breaker state are
+    /// dropped, and its realtime allowlist entry is revoked.
+    RetireService(ServiceSlug),
+}
+
+/// Successful outcome of one [`TapEngine::apply_lifecycle`] application.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleAck {
+    Installed(AppletId),
+    Uninstalled(AppletId),
+    Onboarded(ServiceSlug),
+    Retired {
+        service: ServiceSlug,
+        /// Live applets uninstalled by the retirement cascade.
+        applets_removed: u32,
+    },
+}
+
+/// Why a lifecycle event was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LifecycleError {
+    /// An install was rejected (see [`InstallError`]).
+    Install(InstallError),
+    /// Uninstall of an applet id that is not installed (or already gone).
+    UnknownApplet(AppletId),
+    /// Retirement of a service that was never registered (or already
+    /// retired).
+    UnknownService(ServiceSlug),
+}
+
 /// Aggregate engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -381,8 +444,9 @@ pub struct EngineStats {
 }
 
 /// Dense per-applet index: slots are assigned sequentially at install and
-/// applets are never uninstalled, so hot paths index straight into the
-/// engine's `tasks`/`applets` vectors instead of hashing an [`AppletId`].
+/// never reused — an uninstalled applet leaves a tombstone, not a hole —
+/// so hot paths index straight into the engine's `tasks`/`applets`
+/// vectors instead of hashing an [`AppletId`].
 type Slot = u32;
 
 #[derive(Debug)]
@@ -447,6 +511,11 @@ struct PollTask {
     /// End of the debounce window armed when a realtime poll resolves;
     /// notifications arriving before this are absorbed.
     rt_debounce_until: SimTime,
+    /// The applet was uninstalled: the slot is a tombstone. It stays
+    /// allocated (in-flight tokens and timer keys carry slot numbers, so
+    /// compaction would alias them) but is removed from every routing
+    /// structure, and late poll responses for it are discarded.
+    uninstalled: bool,
 }
 
 #[derive(Debug)]
@@ -671,6 +740,13 @@ impl TapEngine {
     }
 
     /// Register a partner service (what service publication does).
+    ///
+    /// Deprecated surface for new code: prefer applying a
+    /// [`LifecycleEvent::OnboardService`] through
+    /// [`TapEngine::apply_lifecycle`], which also covers the realtime
+    /// allowlist and pairs with [`LifecycleEvent::RetireService`] for the
+    /// teardown path. This method remains as the shared implementation
+    /// both surfaces call.
     pub fn register_service(&mut self, slug: ServiceSlug, node: NodeId, key: ServiceKey) {
         let key_sym = self.syms.intern(&key.0);
         self.service_by_key.insert(key_sym, slug.clone());
@@ -736,8 +812,64 @@ impl TapEngine {
         self.slot_of.get(&id.0).map(|&s| &self.applets[s as usize])
     }
 
+    /// Apply one lifecycle transition — the single entry point for every
+    /// install, uninstall, onboarding, and retirement the engine supports.
+    /// The legacy constructors ([`TapEngine::install_applet`],
+    /// [`TapEngine::register_service`]) are thin wrappers over this.
+    ///
+    /// Determinism contract: an event sequence that is never applied
+    /// consumes no randomness and perturbs no state, and applying events
+    /// draws RNG only where the equivalent legacy path already did (the
+    /// initial-poll delay of an install), so a churn-free run is
+    /// byte-identical to one built through the legacy surface.
+    pub fn apply_lifecycle(
+        &mut self,
+        ctx: &mut Context<'_>,
+        ev: LifecycleEvent,
+    ) -> Result<LifecycleAck, LifecycleError> {
+        match ev {
+            LifecycleEvent::InstallApplet(applet) => self
+                .do_install(ctx, applet)
+                .map(LifecycleAck::Installed)
+                .map_err(LifecycleError::Install),
+            LifecycleEvent::UninstallApplet(id) => self.do_uninstall(ctx, id),
+            LifecycleEvent::OnboardService {
+                slug,
+                node,
+                key,
+                realtime,
+            } => {
+                if realtime {
+                    self.config.realtime_allowlist.insert(slug.clone());
+                }
+                self.register_service(slug.clone(), node, key);
+                ctx.trace("engine.service_onboarded", slug.0.clone());
+                Ok(LifecycleAck::Onboarded(slug))
+            }
+            LifecycleEvent::RetireService(slug) => self.do_retire(ctx, slug),
+        }
+    }
+
     /// Install and enable an applet. Schedules its first trigger poll.
+    ///
+    /// Deprecated: thin compatibility wrapper over
+    /// [`TapEngine::apply_lifecycle`] with
+    /// [`LifecycleEvent::InstallApplet`] — new code should apply a
+    /// lifecycle event so installs and uninstalls go through one surface.
     pub fn install_applet(
+        &mut self,
+        ctx: &mut Context<'_>,
+        applet: Applet,
+    ) -> Result<AppletId, InstallError> {
+        match self.apply_lifecycle(ctx, LifecycleEvent::InstallApplet(applet)) {
+            Ok(LifecycleAck::Installed(id)) => Ok(id),
+            Ok(ack) => unreachable!("install acked {ack:?}"),
+            Err(LifecycleError::Install(e)) => Err(e),
+            Err(e) => unreachable!("install failed with {e:?}"),
+        }
+    }
+
+    fn do_install(
         &mut self,
         ctx: &mut Context<'_>,
         mut applet: Applet,
@@ -858,6 +990,7 @@ impl TapEngine {
             rt_pending: false,
             rt_resume_at: None,
             rt_debounce_until: SimTime::ZERO,
+            uninstalled: false,
         });
         self.applets.push(applet);
         self.slot_of.insert(id.0, slot);
@@ -865,6 +998,176 @@ impl TapEngine {
         self.schedule_poll(ctx, slot, delay);
         ctx.trace("engine.applet_installed", TraceDetail::Applet(id.0));
         Ok(id)
+    }
+
+    fn do_uninstall(
+        &mut self,
+        ctx: &mut Context<'_>,
+        id: AppletId,
+    ) -> Result<LifecycleAck, LifecycleError> {
+        let Some(slot) = self.slot_of.remove(&id.0) else {
+            return Err(LifecycleError::UnknownApplet(id));
+        };
+        self.retire_slot(ctx, slot);
+        ctx.trace("engine.applet_uninstalled", TraceDetail::Applet(id.0));
+        Ok(LifecycleAck::Uninstalled(id))
+    }
+
+    /// Tear down one slot's runtime state: the shared unwind behind both
+    /// uninstall and the per-applet half of service retirement. The caller
+    /// has already removed the public `slot_of` mapping.
+    fn retire_slot(&mut self, ctx: &mut Context<'_>, slot: Slot) {
+        // Timing wheel: the pending cadence (or realtime-armed) poll dies
+        // with the applet, and every realtime flag is cleared so the
+        // tombstone can never absorb or arm anything again.
+        let task = &mut self.tasks[slot as usize];
+        task.uninstalled = true;
+        task.enabled = false;
+        task.rt_pending = false;
+        task.rt_resume_at = None;
+        task.rt_debounce_until = SimTime::ZERO;
+        if let Some(timer) = task.next_poll.take() {
+            ctx.cancel_timer(timer);
+        }
+        // The seen-set is the slot's only unbounded allocation; a
+        // tombstone does not need it.
+        task.seen = FxHashSet::default();
+        let group = task.group;
+        let identity_sym = self.syms.get(task.batch_entry.trigger_identity.as_str());
+        // Coalescing group: shrink the membership, evict the cached batch
+        // body (it was serialized for the old member list and would
+        // otherwise be replayed stale), and revert the survivor's
+        // `grouped` hint when the group drops back to one member so it
+        // returns to the singleton fast path.
+        if let Some(members) = self.poll_groups.get_mut(&group) {
+            members.retain(|&m| m != slot);
+            self.batch_bodies.remove(&group);
+            if members.len() == 1 {
+                let survivor = members[0];
+                self.tasks[survivor as usize].grouped = false;
+            } else if members.is_empty() {
+                self.poll_groups.remove(&group);
+                self.degraded_until.remove(&group);
+            }
+        }
+        // Identity routing: realtime notifications resolve through this,
+        // so pruning it is what makes later hints miss.
+        if let Some(sym) = identity_sym {
+            if let Some(slots) = self.by_identity.get_mut(&sym) {
+                slots.retain(|&m| m != slot);
+                if slots.is_empty() {
+                    self.by_identity.remove(&sym);
+                }
+            }
+        }
+        // In-flight work owned by the slot dead-letters now — the slab
+        // handles are reclaimed and the conservation invariant
+        // (`events_new == actions_ok + actions_filtered + dead_letters`)
+        // holds through the teardown.
+        self.dead_letter_in_flight(ctx, |s| s == slot);
+    }
+
+    /// Dead-letter every in-flight dispatch and DAG run whose slot
+    /// matches, emitting the same terminal pair an exhausted retry budget
+    /// would. Handles are drained in sorted order: arena iteration order
+    /// is storage-dependent (slab vs reference map), the handle values are
+    /// not.
+    fn dead_letter_in_flight(&mut self, ctx: &mut Context<'_>, doomed: impl Fn(Slot) -> bool) {
+        let mut jobs: Vec<u64> = self
+            .dispatches
+            .iter()
+            .filter(|(_, job)| doomed(job.slot))
+            .map(|(h, _)| h)
+            .collect();
+        jobs.sort_unstable();
+        for dispatch in jobs {
+            let job = self.dispatches.remove(dispatch).expect("collected live");
+            let applet = self.tasks[job.slot as usize].id;
+            self.obs(ObsEvent::ActionFinished {
+                applet,
+                dispatch,
+                ok: false,
+                at: ctx.now(),
+            });
+            self.obs(ObsEvent::ActionDeadLettered {
+                applet,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace(
+                "engine.uninstall_dead_letter",
+                TraceDetail::Applet(applet.0),
+            );
+        }
+        let mut runs: Vec<u64> = self
+            .dag_runs
+            .iter()
+            .filter(|(_, run)| doomed(run.slot))
+            .map(|(h, _)| h)
+            .collect();
+        runs.sort_unstable();
+        for run_id in runs {
+            let run = self.dag_runs.remove(run_id).expect("collected live");
+            let applet = self.tasks[run.slot as usize].id;
+            let dispatch = DAG_DISPATCH_BIT | run_id;
+            self.obs(ObsEvent::ActionFinished {
+                applet,
+                dispatch,
+                ok: false,
+                at: ctx.now(),
+            });
+            self.obs(ObsEvent::ActionDeadLettered {
+                applet,
+                dispatch,
+                at: ctx.now(),
+            });
+            ctx.trace(
+                "engine.uninstall_dead_letter",
+                TraceDetail::Applet(applet.0),
+            );
+        }
+    }
+
+    fn do_retire(
+        &mut self,
+        ctx: &mut Context<'_>,
+        slug: ServiceSlug,
+    ) -> Result<LifecycleAck, LifecycleError> {
+        let Some(sym) = self
+            .service_sym(&slug)
+            .filter(|s| self.services.contains_key(s))
+        else {
+            return Err(LifecycleError::UnknownService(slug));
+        };
+        // Every live applet touching the dying service — polling it or
+        // dispatching to it — goes through the full uninstall unwind.
+        let doomed: Vec<Slot> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !t.uninstalled && (t.trigger_service == sym || t.action_service == sym)
+            })
+            .map(|(i, _)| i as Slot)
+            .collect();
+        let applets_removed = doomed.len() as u32;
+        for slot in doomed {
+            let id = self.tasks[slot as usize].id;
+            self.slot_of.remove(&id.0);
+            self.retire_slot(ctx, slot);
+        }
+        let reg = self.services.remove(&sym).expect("registration checked");
+        if let Some(key_sym) = self.syms.get(&reg.key.0) {
+            self.service_by_key.remove(&key_sym);
+        }
+        self.tokens.retain(|&(_, s), _| s != sym);
+        self.config.realtime_allowlist.remove(&slug);
+        self.breakers.remove(&sym);
+        ctx.trace("engine.service_retired", slug.0.clone());
+        Ok(LifecycleAck::Retired {
+            service: slug,
+            applets_removed,
+        })
     }
 
     /// Enable or disable an applet (disabled applets stop polling).
@@ -896,6 +1199,11 @@ impl TapEngine {
         let Some(task) = self.tasks.get_mut(slot as usize) else {
             return;
         };
+        // A tombstoned slot never re-enters the timing wheel; without this
+        // backstop a response racing the uninstall could revive the chain.
+        if task.uninstalled {
+            return;
+        }
         if let Some(old) = task.next_poll.take() {
             ctx.cancel_timer(old);
         }
@@ -1172,7 +1480,11 @@ impl TapEngine {
             })
             .unwrap_or(SimDuration::from_secs(60));
         for &m in members {
-            self.schedule_poll(ctx, m, gap);
+            // Members uninstalled while the batch was in flight stay off
+            // the wheel (schedule_poll also backstops this).
+            if !self.tasks[m as usize].uninstalled {
+                self.schedule_poll(ctx, m, gap);
+            }
         }
         let n = members.len() as u64;
         if !resp.is_success() {
@@ -1238,9 +1550,17 @@ impl TapEngine {
         };
         // Results come back in entry order; demux by position. Entries are
         // ingested in member order and each entry's dispatch timers are set
-        // immediately, so per-subscription FIFO is preserved.
+        // immediately, so per-subscription FIFO is preserved. An entry for
+        // a member uninstalled mid-flight is discarded, not ingested.
         for (&m, result) in members.iter().zip(data.iter()) {
-            self.ingest_poll_events(ctx, m, &result.data);
+            if self.tasks[m as usize].uninstalled {
+                self.obs(ObsEvent::PollDiscarded {
+                    received: result.data.len() as u64,
+                    at: ctx.now(),
+                });
+            } else {
+                self.ingest_poll_events(ctx, m, &result.data);
+            }
         }
     }
 
@@ -1277,6 +1597,23 @@ impl TapEngine {
     }
 
     fn on_poll_response(&mut self, ctx: &mut Context<'_>, slot: Slot, resp: Response) {
+        // A response racing the uninstall: drop the payload (counted, not
+        // ingested) and never reschedule — the subscription is gone.
+        if self.tasks[slot as usize].uninstalled {
+            let received = if resp.is_success() && *resp.body != *wire::EMPTY_POLL_JSON {
+                match self.parse_poll_body(&resp.body, true).as_deref() {
+                    Some(ParsedPollBody::Single(data)) => data.len() as u64,
+                    _ => 0,
+                }
+            } else {
+                0
+            };
+            self.obs(ObsEvent::PollDiscarded {
+                received,
+                at: ctx.now(),
+            });
+            return;
+        }
         // Always keep the polling chain alive. The response of a realtime
         // out-of-band poll restores the schedule its notification
         // preempted — a grouped member rejoins its batch group at the

@@ -13,6 +13,9 @@
 //!
 //! Entry points:
 //! * [`TapEngine`] — the engine node; configure with [`EngineConfig`].
+//! * [`LifecycleEvent`] / [`TapEngine::apply_lifecycle`] — the single
+//!   applet/service lifecycle surface (install, uninstall, onboard,
+//!   retire); the legacy install constructors wrap it.
 //! * [`PollPolicy`] — production-like, fixed (E3), or smart (§6) polling.
 //! * [`Applet`] / [`AppletId`] — the automation rules.
 //! * [`permissions::PermissionManager`] — §6 permission models + audit.
@@ -30,8 +33,8 @@ pub mod resilience;
 pub use applet::{substitute_fields, ActionRef, Applet, AppletId, QueryRef, TriggerRef};
 pub use conditions::Condition;
 pub use engine::{
-    EngineConfig, EnginePolicy, EngineStats, InstallError, RuntimeLoopConfig, ServiceRegistration,
-    TapEngine,
+    EngineConfig, EnginePolicy, EngineStats, InstallError, LifecycleAck, LifecycleError,
+    LifecycleEvent, RuntimeLoopConfig, ServiceRegistration, TapEngine,
 };
 pub use loopdetect::{FeedRule, RuntimeLoopDetector, StaticLoopDetector};
 pub use obs::{FlightRecorder, ObsEvent, ObsSink, Stat};

@@ -1,0 +1,454 @@
+//! Lifecycle API tests: the single [`TapEngine::apply_lifecycle`] surface
+//! (install / uninstall / onboard / retire) and the per-applet unwind the
+//! static workload never needed.
+//!
+//! The invariants under test are the ones churn leans on at fleet scale:
+//! an uninstall ack means *done* — the timing-wheel entry is gone, armed
+//! realtime state is cleared, identity routing is pruned, a coalescing
+//! group shrinks (evicting its cached batch body and reverting the
+//! survivor's `grouped` hint), and in-flight work dead-letters so the
+//! conservation invariant `events_new == actions_ok + actions_filtered +
+//! dead_letters` holds through arbitrary churn. Slab handles reclaimed by
+//! churn must be reused identically across both arena storage modes.
+
+use devices::service_core::{Processed, ServiceCore};
+use engine::{
+    ActionRef, Applet, AppletId, EngineConfig, FlightRecorder, LifecycleAck, LifecycleError,
+    LifecycleEvent, ObsEvent, TapEngine, TriggerRef,
+};
+use proptest::prelude::*;
+use simnet::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tap_protocol::auth::ServiceKey;
+use tap_protocol::service::ServiceEndpoint;
+use tap_protocol::wire::TriggerEvent;
+use tap_protocol::{ActionSlug, FieldMap, ServiceSlug, TriggerSlug, UserId};
+
+const SLUG: &str = "lifesvc";
+const SLOTS: usize = 3;
+
+/// Partner service under churn: counts action deliveries per slot and can
+/// swallow action requests (no reply, ever) so dispatches stay in flight
+/// long enough for a retirement to have something to drain.
+struct LifeService {
+    core: ServiceCore,
+    blackhole_actions: bool,
+    received: HashMap<usize, u32>,
+}
+
+impl LifeService {
+    fn new(slug: &str, key: &str) -> Self {
+        let mut ep = ServiceEndpoint::new(ServiceSlug::new(slug), ServiceKey(key.into()));
+        for k in 0..SLOTS {
+            ep = ep
+                .with_trigger(format!("t{k}").as_str())
+                .with_action(format!("act{k}").as_str());
+        }
+        LifeService {
+            core: ServiceCore::new(ep),
+            blackhole_actions: false,
+            received: HashMap::new(),
+        }
+    }
+}
+
+impl Node for LifeService {
+    fn on_request(&mut self, ctx: &mut Context<'_>, req: &Request) -> HandlerResult {
+        match self.core.process(ctx, req) {
+            Processed::Done(resp) => HandlerResult::Reply(resp),
+            Processed::Action { action, .. } => {
+                let slot: usize = action
+                    .as_str()
+                    .strip_prefix("act")
+                    .and_then(|s| s.parse().ok())
+                    .expect("action slot");
+                *self.received.entry(slot).or_default() += 1;
+                if self.blackhole_actions {
+                    HandlerResult::Deferred
+                } else {
+                    HandlerResult::Reply(ServiceEndpoint::action_ok("ok"))
+                }
+            }
+            Processed::Query { fields, .. } => {
+                HandlerResult::Reply(ServiceEndpoint::query_ok(fields))
+            }
+            Processed::NoReply => HandlerResult::Deferred,
+        }
+    }
+}
+
+fn applet(k: usize, id: u32, user: &UserId) -> Applet {
+    let mut action_fields = FieldMap::new();
+    action_fields.insert("eid".into(), "{{id}}".into());
+    Applet::new(
+        AppletId(id),
+        format!("life slot {k}"),
+        user.clone(),
+        TriggerRef {
+            service: ServiceSlug::new(SLUG),
+            trigger: TriggerSlug::new(format!("t{k}")),
+            fields: FieldMap::new(),
+        },
+        ActionRef {
+            service: ServiceSlug::new(SLUG),
+            action: ActionSlug::new(format!("act{k}")),
+            fields: action_fields,
+        },
+    )
+}
+
+struct World {
+    sim: Sim,
+    engine: NodeId,
+    svc: NodeId,
+    user: UserId,
+}
+
+/// One engine, one service, `installs` applets t0..t<installs> installed
+/// through the lifecycle surface.
+fn world(cfg: EngineConfig, seed: u64, installs: usize) -> World {
+    let mut sim = Sim::new(seed);
+    let svc = sim.add_node(SLUG, LifeService::new(SLUG, "sk_life"));
+    let engine = sim.add_node("engine", TapEngine::new(cfg));
+    sim.link(engine, svc, LinkSpec::datacenter());
+    let user = UserId::new("u");
+    let token = sim.with_node::<LifeService, _>(svc, |s, ctx| {
+        s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
+    });
+    sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+        e.register_service(ServiceSlug::new(SLUG), svc, ServiceKey("sk_life".into()));
+        e.set_token(user.clone(), ServiceSlug::new(SLUG), token);
+        for k in 0..installs {
+            let ack = e
+                .apply_lifecycle(
+                    ctx,
+                    LifecycleEvent::InstallApplet(applet(k, k as u32 + 1, &user)),
+                )
+                .expect("applet installs");
+            assert_eq!(ack, LifecycleAck::Installed(AppletId(k as u32 + 1)));
+        }
+    });
+    World {
+        sim,
+        engine,
+        svc,
+        user,
+    }
+}
+
+impl World {
+    fn emit(&mut self, k: usize, eid: u32) {
+        let user = self.user.clone();
+        self.sim.with_node::<LifeService, _>(self.svc, |s, ctx| {
+            let id = format!("e{eid:04}");
+            let ev = TriggerEvent::new(id.clone(), ctx.now().as_secs_f64() as u64)
+                .with_ingredient("id", id);
+            s.core
+                .record_event(ctx, &TriggerSlug::new(format!("t{k}")), &user, ev, |_| true)
+        });
+    }
+
+    fn stats(&self) -> engine::EngineStats {
+        self.sim.node_ref::<TapEngine>(self.engine).stats
+    }
+
+    fn apply(&mut self, ev: LifecycleEvent) -> Result<LifecycleAck, LifecycleError> {
+        self.sim
+            .with_node::<TapEngine, _>(self.engine, |e, ctx| e.apply_lifecycle(ctx, ev))
+    }
+}
+
+/// Conservation through churn: every new event either completed, was
+/// filtered, or dead-lettered — nothing leaks in flight once idle.
+fn assert_conserved(stats: &engine::EngineStats) {
+    assert_eq!(
+        stats.events_new,
+        stats.actions_ok + stats.actions_filtered + stats.dead_letters,
+        "conservation violated: {stats:?}"
+    );
+}
+
+#[test]
+fn uninstall_ack_means_done_no_poll_no_activation_after() {
+    let mut w = world(EngineConfig::fast(), 101, 1);
+    w.sim.run_until(SimTime::from_secs(5));
+    let ack = w.apply(LifecycleEvent::UninstallApplet(AppletId(1)));
+    assert_eq!(ack, Ok(LifecycleAck::Uninstalled(AppletId(1))));
+    let at_uninstall = w.stats();
+    // Events emitted after the ack must never activate.
+    w.emit(0, 0);
+    w.sim.run_until(SimTime::from_secs(90));
+    let after = w.stats();
+    // Timing-wheel entry gone: 1-second polling would have added dozens.
+    assert_eq!(
+        after.polls_sent, at_uninstall.polls_sent,
+        "pending poll survived the uninstall"
+    );
+    assert_eq!(after.events_new, 0, "activation after uninstall ack");
+    assert_eq!(after.actions_sent, 0);
+    assert_conserved(&after);
+    // A second uninstall of the same id is a clean error, not a panic.
+    assert_eq!(
+        w.apply(LifecycleEvent::UninstallApplet(AppletId(1))),
+        Err(LifecycleError::UnknownApplet(AppletId(1)))
+    );
+}
+
+#[test]
+fn uninstall_clears_realtime_state_and_identity_routing() {
+    // Long cadence so any poll in the window is attributable: either the
+    // leaked wheel entry (120 s tick) or a leaked realtime arm.
+    let mut cfg = EngineConfig::fast().allow_realtime(ServiceSlug::new(SLUG));
+    cfg.polling = engine::PollPolicy::fixed(120.0);
+    let mut w = world(cfg, 102, 1);
+    let engine = w.engine;
+    w.sim
+        .with_node::<LifeService, _>(w.svc, |s, _| s.core.enable_realtime(engine));
+    w.sim.run_until(SimTime::from_secs(10));
+    // First hint: honored, one out-of-cadence poll, one delivery.
+    w.emit(0, 0);
+    w.sim.run_until(SimTime::from_secs(30));
+    let before = w.stats();
+    assert_eq!(before.realtime_notifications, 1, "{before:?}");
+    assert_eq!(before.realtime_polls, 1, "{before:?}");
+    assert_eq!(before.events_new, 1, "{before:?}");
+    let ack = w.apply(LifecycleEvent::UninstallApplet(AppletId(1)));
+    assert_eq!(ack, Ok(LifecycleAck::Uninstalled(AppletId(1))));
+    let at_uninstall = w.stats();
+    // A hint after the ack resolves through identity routing — pruned, so
+    // it neither arms a poll nor counts as suppressed-against-a-live-arm.
+    w.emit(0, 1);
+    // Run through two full 120 s cadence periods.
+    w.sim.run_until(SimTime::from_secs(280));
+    let after = w.stats();
+    assert_eq!(
+        after.polls_sent, at_uninstall.polls_sent,
+        "cadence wheel entry survived the uninstall: {after:?}"
+    );
+    assert_eq!(
+        after.realtime_polls, before.realtime_polls,
+        "a hint armed a poll on a tombstone: {after:?}"
+    );
+    assert_eq!(
+        after.realtime_suppressed, before.realtime_suppressed,
+        "a hint matched a tombstoned slot: {after:?}"
+    );
+    assert_eq!(after.events_new, before.events_new);
+    assert_conserved(&after);
+}
+
+/// Satellite regression: uninstalling one member of a two-applet
+/// coalescing group must evict the group's cached batch body and revert
+/// the survivor's `grouped` hint — the survivor returns to the singleton
+/// fast path instead of replaying a stale two-member batch forever.
+#[test]
+fn uninstalling_a_grouped_member_reverts_the_survivor_to_solo() {
+    let cfg = EngineConfig::fast().with_batch_polling(true);
+    let mut w = world(cfg, 103, 2);
+    w.sim.run_until(SimTime::from_secs(30));
+    let before = w.stats();
+    assert!(before.polls_batched > 0, "pair never coalesced: {before:?}");
+    let ack = w.apply(LifecycleEvent::UninstallApplet(AppletId(1)));
+    assert_eq!(ack, Ok(LifecycleAck::Uninstalled(AppletId(1))));
+    w.sim.run_until(SimTime::from_secs(90));
+    let mid = w.stats();
+    assert_eq!(
+        mid.polls_batched, before.polls_batched,
+        "survivor kept batch-polling solo (stale cached body): {mid:?}"
+    );
+    assert!(
+        mid.polls_sent > before.polls_sent + 30,
+        "survivor stopped polling entirely: {mid:?}"
+    );
+    // The survivor still delivers: an event on its trigger activates.
+    w.emit(1, 0);
+    w.sim.run_until(SimTime::from_secs(120));
+    let after = w.stats();
+    assert_eq!(after.events_new, mid.events_new + 1, "{after:?}");
+    assert_eq!(after.actions_ok, mid.actions_ok + 1, "{after:?}");
+    assert_eq!(
+        w.sim
+            .node_ref::<LifeService>(w.svc)
+            .received
+            .get(&1)
+            .copied(),
+        Some(1),
+        "survivor's action arrived"
+    );
+    assert_conserved(&after);
+}
+
+#[test]
+fn retirement_drains_in_flight_dispatches_to_dead_letters() {
+    let mut w = world(EngineConfig::fast(), 104, 2);
+    w.sim
+        .with_node::<LifeService, _>(w.svc, |s, _| s.blackhole_actions = true);
+    w.sim.run_until(SimTime::from_secs(5));
+    // One activation whose dispatch the service swallows: in flight, and
+    // with a 10 s request timeout still far from its retry.
+    w.emit(0, 0);
+    w.sim.run_until(SimTime::from_secs(8));
+    let before = w.stats();
+    assert_eq!(before.actions_sent, 1, "{before:?}");
+    assert_eq!(before.actions_ok, 0, "{before:?}");
+    let ack = w.apply(LifecycleEvent::RetireService(ServiceSlug::new(SLUG)));
+    assert_eq!(
+        ack,
+        Ok(LifecycleAck::Retired {
+            service: ServiceSlug::new(SLUG),
+            applets_removed: 2,
+        })
+    );
+    let at_retire = w.stats();
+    assert_eq!(at_retire.dead_letters, 1, "{at_retire:?}");
+    assert_conserved(&at_retire);
+    // Run far past the request timeout: the late timeout fires against a
+    // reclaimed slab handle and must miss — no retry, no double count.
+    w.sim.run_until(SimTime::from_secs(120));
+    let after = w.stats();
+    assert_eq!(after.dead_letters, at_retire.dead_letters, "{after:?}");
+    assert_eq!(after.actions_retried, 0, "{after:?}");
+    assert_eq!(
+        after.polls_sent, at_retire.polls_sent,
+        "a retired service is still being polled: {after:?}"
+    );
+    assert_conserved(&after);
+    // Retiring it again is a clean error.
+    assert_eq!(
+        w.apply(LifecycleEvent::RetireService(ServiceSlug::new(SLUG))),
+        Err(LifecycleError::UnknownService(ServiceSlug::new(SLUG)))
+    );
+}
+
+#[test]
+fn onboard_service_opens_installs_and_realtime_mid_run() {
+    let mut w = world(EngineConfig::fast(), 105, 1);
+    w.sim.run_until(SimTime::from_secs(5));
+    // A second partner exists as a node but was never registered: an
+    // install referencing it is rejected.
+    let late = w
+        .sim
+        .add_node("latesvc", LifeService::new("late", "sk_late"));
+    w.sim.link(w.engine, late, LinkSpec::datacenter());
+    let user = w.user.clone();
+    let token = w.sim.with_node::<LifeService, _>(late, |s, ctx| {
+        s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
+    });
+    let mut orphan = applet(0, 50, &user);
+    orphan.trigger.service = ServiceSlug::new("late");
+    orphan.action.service = ServiceSlug::new("late");
+    let err = w.apply(LifecycleEvent::InstallApplet(orphan.clone()));
+    assert!(
+        matches!(err, Err(LifecycleError::Install(_))),
+        "install against an unonboarded service must fail: {err:?}"
+    );
+    // Onboard it mid-run (realtime-honored), connect the user, reinstall.
+    let ack = w.apply(LifecycleEvent::OnboardService {
+        slug: ServiceSlug::new("late"),
+        node: late,
+        key: ServiceKey("sk_late".into()),
+        realtime: true,
+    });
+    assert_eq!(ack, Ok(LifecycleAck::Onboarded(ServiceSlug::new("late"))));
+    let engine = w.engine;
+    w.sim.with_node::<TapEngine, _>(engine, |e, _| {
+        e.set_token(user.clone(), ServiceSlug::new("late"), token);
+    });
+    w.sim
+        .with_node::<LifeService, _>(late, |s, _| s.core.enable_realtime(engine));
+    assert_eq!(
+        w.apply(LifecycleEvent::InstallApplet(orphan)),
+        Ok(LifecycleAck::Installed(AppletId(50)))
+    );
+    w.sim.run_until(SimTime::from_secs(12));
+    // Its realtime hints are honored (the onboard added the allowlist
+    // entry), and its trigger activates end to end.
+    let user2 = w.user.clone();
+    w.sim.with_node::<LifeService, _>(late, |s, ctx| {
+        let ev = TriggerEvent::new("late01", ctx.now().as_secs_f64() as u64)
+            .with_ingredient("id", "late01");
+        s.core
+            .record_event(ctx, &TriggerSlug::new("t0"), &user2, ev, |_| true);
+    });
+    w.sim.run_until(SimTime::from_secs(40));
+    let stats = w.stats();
+    assert!(stats.hints_honored >= 1, "{stats:?}");
+    assert_eq!(stats.hints_ignored, 0, "{stats:?}");
+    assert!(stats.events_new >= 1, "{stats:?}");
+    assert_conserved(&stats);
+}
+
+/// One churn run: install SLOTS applets, then per round emit on every
+/// live slot and toggle one applet (uninstall if live, fresh install if
+/// not) so slab handles are freed and reused mid-traffic. Returns the
+/// full observable event stream.
+fn churn_run(seed: u64, ops: &[usize], reference: bool) -> Vec<ObsEvent> {
+    let cfg = EngineConfig::fast().with_batch_polling(true);
+    let mut w = world(cfg, seed, SLOTS);
+    if reference {
+        w.sim
+            .node_mut::<TapEngine>(w.engine)
+            .use_reference_storage();
+    }
+    let flight = Arc::new(FlightRecorder::new(1 << 20));
+    w.sim
+        .node_mut::<TapEngine>(w.engine)
+        .set_sink(flight.clone());
+    w.sim.run_until(SimTime::from_secs(5));
+    // installed[k] holds slot k's current applet id, None while churned
+    // out; fresh installs take ids from 100 up so they never collide.
+    let mut installed: Vec<Option<u32>> = (0..SLOTS).map(|k| Some(k as u32 + 1)).collect();
+    let mut next_id = 100u32;
+    let mut eid = 0u32;
+    for (round, &k) in ops.iter().enumerate() {
+        for (slot, state) in installed.iter().enumerate() {
+            if state.is_some() {
+                w.emit(slot, eid);
+            }
+            eid += 1;
+        }
+        match installed[k] {
+            Some(id) => {
+                w.apply(LifecycleEvent::UninstallApplet(AppletId(id)))
+                    .expect("live applet uninstalls");
+                installed[k] = None;
+            }
+            None => {
+                let id = next_id;
+                next_id += 1;
+                let user = w.user.clone();
+                w.apply(LifecycleEvent::InstallApplet(applet(k, id, &user)))
+                    .expect("fresh applet installs");
+                installed[k] = Some(id);
+            }
+        }
+        w.sim
+            .run_until(SimTime::from_secs(5 + (round as u64 + 1) * 7));
+    }
+    let base = w.sim.now();
+    w.sim.run_until(base + SimDuration::from_secs(60));
+    assert_conserved(&w.stats());
+    flight.events()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Slab-handle reuse across churn bursts is storage-invariant: the
+    /// slab and reference arenas hand out the same handles in the same
+    /// order through any install/uninstall interleaving, so the full
+    /// observable event stream matches element for element.
+    #[test]
+    fn churn_bursts_reuse_handles_identically_across_storage_modes(
+        seed in 0u64..1_000_000,
+        ops in proptest::collection::vec(0usize..SLOTS, 1..6),
+    ) {
+        let slab = churn_run(seed, &ops, false);
+        let refr = churn_run(seed, &ops, true);
+        prop_assert_eq!(slab.len(), refr.len(), "stream lengths diverge");
+        for (i, (a, b)) in slab.iter().zip(refr.iter()).enumerate() {
+            prop_assert_eq!(a, b, "streams diverge at event {}", i);
+        }
+    }
+}

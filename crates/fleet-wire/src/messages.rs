@@ -26,7 +26,7 @@ use fleet::{AttributionStages, FleetConfig, FleetMetrics, Histogram};
 /// sides validate counter indices against it, so a frame from a build
 /// with a *newer* counter set fails loudly instead of merging into the
 /// wrong instrument.
-const N_COUNTERS: usize = 30;
+const N_COUNTERS: usize = 35;
 
 /// `worker_id` + `cell`: the routing prefix shared by both delta frames.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -473,6 +473,7 @@ mod tests {
         // N_COUNTERS is the decoder's bounds check; it must track the
         // accessor array, or a newly added counter would be rejected.
         assert_eq!(FleetMetrics::default().wire_counters().len(), N_COUNTERS);
+        assert!(N_COUNTERS <= u8::MAX as usize + 1, "indices fit in u8");
         assert_eq!(FleetMetrics::default().wire_histograms().len(), 2);
         assert_eq!(AttributionStages::default().wire_histograms().len(), 6);
     }

@@ -12,7 +12,9 @@
 //! chaos matrix): at the default seed 2017 they assert the pinned
 //! golden; at any other seed they assert distributed == in-process.
 
-use fleet::test_support::{goldens, small_chaos_cfg, small_fast_cfg, small_realtime_cfg};
+use fleet::test_support::{
+    goldens, small_chaos_cfg, small_churn_cfg, small_fast_cfg, small_realtime_cfg,
+};
 use fleet::{run_fleet, FleetConfig};
 use fleet_wire::coordinator::{
     run_fleet_distributed, run_fleet_distributed_with_progress, DistributedError,
@@ -114,6 +116,41 @@ fn distributed_realtime_run_matches_the_pinned_golden() {
     let cfg = small_realtime_cfg(1, 2017);
     let report = run_fleet_distributed(&cfg, &dcfg(2)).expect("run");
     assert_eq!(report.digest(), goldens::SMALL_REALTIME);
+}
+
+/// Churn crosses the wire as plain config: the coordinator's ConfigPush
+/// carries the `churn` profile (and any scenario spec) verbatim, every
+/// worker replans the same per-cell lifecycle timeline from the cell
+/// seed stream, and the merged digest equals the pinned in-process
+/// golden — including the churn counters, which ride the same delta
+/// frames as every other counter.
+#[test]
+fn distributed_churn_run_matches_the_pinned_golden() {
+    let seed = chaos_seed();
+    let cfg = small_churn_cfg(1, seed);
+    let expected = expected_digest(&cfg, goldens::SMALL_CHURN);
+    let report = run_fleet_distributed(&cfg, &dcfg(2)).expect("run");
+    assert_eq!(report.digest(), expected, "seed {seed}");
+    // The lifecycle transitions really happened in the worker processes
+    // and their counters really crossed the wire.
+    assert!(report.merged.churn_installs.get() > 0);
+    assert!(report.merged.churn_uninstalls.get() > 0);
+    assert!(report.merged.churn_retirements.get() > 0);
+}
+
+/// A scenario file's spec rides ConfigPush verbatim: a distributed run
+/// configured through `ScenarioSpec` matches the equivalent flag-built
+/// in-process run byte for byte.
+#[test]
+fn distributed_scenario_run_matches_in_process() {
+    let spec = fleet::ScenarioSpec::from_json(r#"{"churn": "accelerated", "realtime_share": 0.5}"#)
+        .expect("spec parses");
+    let cfg = small_fast_cfg(1, chaos_seed()).with_scenario(spec);
+    let in_process = run_fleet(&cfg);
+    let distributed = run_fleet_distributed(&cfg, &dcfg(2)).expect("run");
+    assert_eq!(distributed.digest(), in_process.digest());
+    assert!(distributed.merged.churn_installs.get() > 0);
+    assert!(distributed.merged.realtime_notifications.get() > 0);
 }
 
 #[test]

@@ -19,7 +19,7 @@ use crate::shard::CellSpec;
 use devices::service_core::{Processed, ServiceCore};
 use ecosystem::population::MAX_INSTALLS_PER_USER;
 use ecosystem::PopulationSampler;
-use engine::{ActionRef, Applet, AppletId, TapEngine, TriggerRef};
+use engine::{ActionRef, Applet, AppletId, LifecycleAck, LifecycleEvent, TapEngine, TriggerRef};
 use mem::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -54,6 +54,29 @@ const ACTIVATION_STREAM: u64 = 1;
 /// given cell draws the same capability at any shard count.
 const REALTIME_STREAM: u64 = 2;
 
+/// Sub-stream of a cell seed that drives the ecosystem-churn plan —
+/// mid-run installs, uninstalls, the late-service onboarding, and the
+/// terminal retirement. A dedicated stream keeps churn independent of the
+/// activation schedule (a churn-off run draws nothing from it) and, like
+/// the other sub-streams, hangs off the cell seed so the plan is
+/// shard-count-invariant and identical in-process vs distributed.
+const CHURN_STREAM: u64 = 3;
+
+/// The service that onboards mid-run in a churn cell (and later dies).
+const LIVE_SLUG: &str = "fleet_svc_live";
+const LIVE_KEY: &str = "sk_fleet_live";
+
+/// Engine-side applet ids for churn installs live far above the static
+/// range (`local * MAX_INSTALLS_PER_USER + k + 1`), so the two id spaces
+/// can never collide at any cell size.
+const CHURN_APPLET_BASE: u32 = 0x4000_0000;
+
+/// §3.2-calibrated weekly churn rates, as a fraction of installed applets
+/// (the UT-Austin usage dataset's install/uninstall dynamics): applied per
+/// activation window, scaled by [`crate::runner::ChurnProfile::multiplier`].
+const WEEKLY_INSTALL_RATE: f64 = 0.037;
+const WEEKLY_UNINSTALL_RATE: f64 = 0.025;
+
 /// The synthetic partner service every cell user connects to. It exposes
 /// one trigger/action pair per install slot (`fired_k` / `noop_k`,
 /// `k < MAX_INSTALLS_PER_USER`) so concurrent installs of one user stay
@@ -76,11 +99,13 @@ pub(crate) struct FleetService {
 }
 
 impl FleetService {
-    fn new(metrics: Arc<FleetMetrics>, attribution: Option<Arc<AttributionRecorder>>) -> Self {
-        let mut ep = ServiceEndpoint::new(
-            ServiceSlug::new(SERVICE_SLUG),
-            ServiceKey(SERVICE_KEY.into()),
-        );
+    fn new(
+        slug: &str,
+        key: &str,
+        metrics: Arc<FleetMetrics>,
+        attribution: Option<Arc<AttributionRecorder>>,
+    ) -> Self {
+        let mut ep = ServiceEndpoint::new(ServiceSlug::new(slug), ServiceKey(key.into()));
         // Build each `fired_k` slug once and share it between the endpoint
         // registration and the per-emit lookup table.
         let trigger_slugs: Vec<TriggerSlug> = (0..MAX_INSTALLS_PER_USER)
@@ -222,7 +247,7 @@ pub fn run_cell(
     });
     let svc = sim.add_node(
         SERVICE_SLUG,
-        FleetService::new(metrics.clone(), recorder.clone()),
+        FleetService::new(SERVICE_SLUG, SERVICE_KEY, metrics.clone(), recorder.clone()),
     );
     if realtime {
         sim.with_node::<FleetService, _>(svc, |s, _| s.core.enable_realtime(engine));
@@ -308,11 +333,31 @@ pub fn run_cell(
         }
     }
     plan.sort_unstable();
-    for (at_micros, user, slot, applet) in plan {
-        sim.run_until(SimTime::from_micros(at_micros));
-        let user = &user_ids[&user];
-        sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot, applet));
-    }
+    let live = if cfg.churn.enabled() {
+        // The live world: interleave the static activation plan with the
+        // cell's churn plan (drawn from its own seed stream) and drive the
+        // whole timeline through the engine's lifecycle API.
+        Some(run_churn_timeline(
+            &mut sim,
+            cfg,
+            spec,
+            sampler,
+            &user_ids,
+            engine,
+            svc,
+            metrics,
+            cell_seed,
+            plan,
+            &mut installs_total,
+        ))
+    } else {
+        for (at_micros, user, slot, applet) in plan {
+            sim.run_until(SimTime::from_micros(at_micros));
+            let user = &user_ids[&user];
+            sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot, applet));
+        }
+        None
+    };
 
     // Drain: long enough for the poll policy to visit every subscription
     // once more and the dispatches to finish; stragglers count as lost.
@@ -324,6 +369,16 @@ pub fn run_cell(
     metrics
         .lost
         .add(sim.node_ref::<FleetService>(svc).unmatched());
+    if let Some(live) = live {
+        // Events emitted to the churn cell's late service but undelivered
+        // when it retired (or when the cell ended) are lost like any other.
+        metrics
+            .lost
+            .add(sim.node_ref::<FleetService>(live).unmatched());
+        metrics
+            .faults_injected
+            .add(sim.node_ref::<FleetService>(live).core.faults_injected);
+    }
     metrics
         .faults_injected
         .add(sim.node_ref::<FleetService>(svc).core.faults_injected);
@@ -332,6 +387,273 @@ pub fn run_cell(
     metrics.users.add(spec.users);
     metrics.applets.add(installs_total);
     metrics.cells.incr();
+}
+
+/// One entry of a churn cell's unified timeline. Ordered by
+/// `(time, priority, seq)`: onboarding opens before installs, installs
+/// before activations, uninstalls and the retirement close after them —
+/// so a same-instant tie (already vanishingly rare with f64 offsets)
+/// still resolves identically on every shard layout.
+enum ChurnOp {
+    /// A static-population activation (the churn-off plan, interleaved).
+    Activate { user: u64, slot: usize, applet: u32 },
+    /// A new user joins mid-run and installs one applet.
+    Install { joiner: u32 },
+    /// The activation of a churn-installed applet.
+    ChurnActivate { joiner: u32 },
+    /// A static applet is uninstalled through the lifecycle API.
+    Uninstall { applet: u32 },
+    /// The late service onboards (opens installs on [`LIVE_SLUG`]).
+    Onboard,
+    /// The late service dies permanently (terminal, not a chaos blip).
+    Retire,
+}
+
+/// Build and execute a churn cell's unified timeline: the static
+/// activation plan plus lifecycle events sampled from [`CHURN_STREAM`] at
+/// the §3.2 weekly rates times the profile's multiplier. Returns the late
+/// service's node id so `run_cell` can fold its leftovers into `lost`.
+///
+/// Orphan accounting: an activation whose applet was uninstalled (or
+/// whose service retired) before the fire time is *dropped*, not emitted —
+/// it counts as `churn_orphans`, never as an activation or a loss.
+/// Activations already emitted when their applet dies keep flowing through
+/// the normal bookkeeping: delivered ones record T2A, undelivered ones
+/// count as `lost` at the horizon.
+#[allow(clippy::too_many_arguments)]
+fn run_churn_timeline(
+    sim: &mut Sim,
+    cfg: &FleetConfig,
+    spec: &CellSpec,
+    sampler: &PopulationSampler,
+    user_ids: &FxHashMap<u64, UserId>,
+    engine: NodeId,
+    svc: NodeId,
+    metrics: &Arc<FleetMetrics>,
+    cell_seed: u64,
+    static_plan: Vec<(u64, u64, usize, u32)>,
+    installs_total: &mut u64,
+) -> NodeId {
+    // The late service exists from t=0 as a sim node (nodes are inert until
+    // addressed) but the *engine* only learns of it at the onboard event.
+    let live = sim.add_node(
+        LIVE_SLUG,
+        FleetService::new(LIVE_SLUG, LIVE_KEY, metrics.clone(), None),
+    );
+    sim.link(engine, live, LinkSpec::datacenter());
+
+    let mut churn_rng = StdRng::seed_from_u64(derive_seed(cell_seed, CHURN_STREAM));
+    let mult = cfg.churn.multiplier();
+    let static_installs = *installs_total;
+    let n_install = ((static_installs as f64 * WEEKLY_INSTALL_RATE * mult).round() as usize).max(1);
+    let n_uninstall = ((static_installs as f64 * WEEKLY_UNINSTALL_RATE * mult).round() as usize)
+        .clamp(1, static_installs as usize);
+    let onboard_secs = cfg.settle_secs + 0.25 * cfg.window_secs;
+    let retire_secs = cfg.settle_secs + 0.75 * cfg.window_secs;
+    let at_micros = |secs: f64| SimDuration::from_secs_f64(secs).as_micros();
+
+    let mut seq = 0u32;
+    let mut timeline: Vec<(u64, u8, u32, ChurnOp)> = Vec::new();
+    let mut push = |timeline: &mut Vec<(u64, u8, u32, ChurnOp)>, at: u64, prio: u8, op: ChurnOp| {
+        timeline.push((at, prio, seq, op));
+        seq += 1;
+    };
+    push(&mut timeline, at_micros(onboard_secs), 0, ChurnOp::Onboard);
+    push(&mut timeline, at_micros(retire_secs), 4, ChurnOp::Retire);
+    for (at, user, slot, applet) in static_plan {
+        push(
+            &mut timeline,
+            at,
+            2,
+            ChurnOp::Activate { user, slot, applet },
+        );
+    }
+
+    // Joiners: fresh users (indices past the cell's own range — profiles
+    // are pure functions of the index, so any index is a valid donor)
+    // installing one applet each, some on the late service while it lives.
+    // All RNG draws happen here, in planning order, never at execution.
+    struct Joiner {
+        donor: u64,
+        on_live: bool,
+        add_count: u64,
+        catalog_applet: usize,
+    }
+    let mut joiners: Vec<Joiner> = Vec::with_capacity(n_install);
+    for j in 0..n_install as u32 {
+        let install_secs = cfg.settle_secs + churn_rng.gen_range(0.0..cfg.window_secs);
+        let on_live = install_secs > onboard_secs
+            && install_secs < retire_secs
+            && churn_rng.gen::<f64>() < 0.25;
+        let act_secs = (install_secs
+            + cfg.settle_secs
+            + churn_rng.gen_range(0.0..(0.25 * cfg.window_secs).max(1.0)))
+        .min(cfg.settle_secs + cfg.window_secs);
+        let donor = spec.first_user + spec.users + j as u64;
+        let profile = sampler.user(donor);
+        let install = &profile.installs[0];
+        joiners.push(Joiner {
+            donor,
+            on_live,
+            add_count: install.add_count,
+            catalog_applet: install.applet,
+        });
+        push(
+            &mut timeline,
+            at_micros(install_secs),
+            1,
+            ChurnOp::Install { joiner: j },
+        );
+        push(
+            &mut timeline,
+            at_micros(act_secs),
+            2,
+            ChurnOp::ChurnActivate { joiner: j },
+        );
+    }
+
+    // Uninstall victims: a partial Fisher-Yates over the static slots
+    // picks `n_uninstall` distinct applets, each at its own drawn time.
+    let mut victims: Vec<(u64, usize, u32)> = Vec::with_capacity(static_installs as usize);
+    for (local, user) in (spec.first_user..spec.first_user + spec.users).enumerate() {
+        for k in 0..sampler.user(user).installs.len() {
+            victims.push((user, k, (local * MAX_INSTALLS_PER_USER + k + 1) as u32));
+        }
+    }
+    for j in 0..n_uninstall {
+        let pick = churn_rng.gen_range(j..victims.len());
+        victims.swap(j, pick);
+        let (_user, _slot, applet) = victims[j];
+        let uninstall_secs = cfg.settle_secs + churn_rng.gen_range(0.0..cfg.window_secs);
+        push(
+            &mut timeline,
+            at_micros(uninstall_secs),
+            3,
+            ChurnOp::Uninstall { applet },
+        );
+    }
+
+    timeline.sort_unstable_by_key(|&(at, prio, seq, _)| (at, prio, seq));
+
+    // Execute. `doomed` mirrors the engine's view of which applets are
+    // gone, so planned activations for dead applets become orphans.
+    let mut doomed: mem::FxHashSet<u32> = mem::FxHashSet::default();
+    let mut live_applets: Vec<u32> = Vec::new();
+    let mut live_open = false;
+    let live_slug = || ServiceSlug::new(LIVE_SLUG);
+    for (at, _prio, _seq, op) in timeline {
+        sim.run_until(SimTime::from_micros(at));
+        match op {
+            ChurnOp::Activate { user, slot, applet } => {
+                if doomed.contains(&applet) {
+                    metrics.churn_orphans.incr();
+                } else {
+                    let user = &user_ids[&user];
+                    sim.with_node::<FleetService, _>(svc, |s, ctx| s.emit(ctx, user, slot, applet));
+                }
+            }
+            ChurnOp::Install { joiner } => {
+                let info = &joiners[joiner as usize];
+                let applet_id = AppletId(CHURN_APPLET_BASE + joiner);
+                let (node, slug) = if info.on_live {
+                    (live, live_slug())
+                } else {
+                    (svc, ServiceSlug::new(SERVICE_SLUG))
+                };
+                let user = UserId::new(format!("user_{}", info.donor));
+                let token = sim.with_node::<FleetService, _>(node, |s, ctx| {
+                    s.core.endpoint.oauth.mint_token(user.clone(), ctx.rng())
+                });
+                let steps = instantiate_steps(sampler.steps_of(info.catalog_applet), 0, false);
+                let add_count = info.add_count;
+                sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+                    e.set_token(user.clone(), slug.clone(), token);
+                    let mut applet = Applet::new(
+                        applet_id,
+                        format!("churn join {}", info.donor),
+                        user.clone(),
+                        TriggerRef {
+                            service: slug.clone(),
+                            trigger: TriggerSlug::new("fired_0"),
+                            fields: FieldMap::new(),
+                        },
+                        ActionRef {
+                            service: slug.clone(),
+                            action: ActionSlug::new("noop_0"),
+                            fields: FieldMap::new(),
+                        },
+                    );
+                    applet.add_count = add_count;
+                    if !steps.is_empty() {
+                        applet = applet.with_steps(steps);
+                    }
+                    let ack = e
+                        .apply_lifecycle(ctx, LifecycleEvent::InstallApplet(applet))
+                        .expect("churn install applies");
+                    assert_eq!(ack, LifecycleAck::Installed(applet_id));
+                });
+                if info.on_live {
+                    live_applets.push(applet_id.0);
+                }
+                *installs_total += 1;
+                metrics.churn_installs.incr();
+            }
+            ChurnOp::ChurnActivate { joiner } => {
+                let info = &joiners[joiner as usize];
+                let applet_id = CHURN_APPLET_BASE + joiner;
+                if doomed.contains(&applet_id) {
+                    metrics.churn_orphans.incr();
+                } else {
+                    let node = if info.on_live { live } else { svc };
+                    let user = UserId::new(format!("user_{}", info.donor));
+                    sim.with_node::<FleetService, _>(node, |s, ctx| {
+                        s.emit(ctx, &user, 0, applet_id)
+                    });
+                }
+            }
+            ChurnOp::Uninstall { applet } => {
+                sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+                    e.apply_lifecycle(ctx, LifecycleEvent::UninstallApplet(AppletId(applet)))
+                        .expect("churn uninstall applies");
+                });
+                doomed.insert(applet);
+                metrics.churn_uninstalls.incr();
+            }
+            ChurnOp::Onboard => {
+                sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+                    e.apply_lifecycle(
+                        ctx,
+                        LifecycleEvent::OnboardService {
+                            slug: live_slug(),
+                            node: live,
+                            key: ServiceKey(LIVE_KEY.into()),
+                            realtime: false,
+                        },
+                    )
+                    .expect("churn onboard applies");
+                });
+                live_open = true;
+                metrics.churn_onboards.incr();
+            }
+            ChurnOp::Retire => {
+                debug_assert!(live_open, "retirement follows onboarding");
+                sim.with_node::<TapEngine, _>(engine, |e, ctx| {
+                    let ack = e
+                        .apply_lifecycle(ctx, LifecycleEvent::RetireService(live_slug()))
+                        .expect("churn retirement applies");
+                    if let LifecycleAck::Retired {
+                        applets_removed, ..
+                    } = ack
+                    {
+                        debug_assert_eq!(applets_removed as usize, live_applets.len());
+                    }
+                });
+                doomed.extend(live_applets.drain(..));
+                metrics.churn_retirements.incr();
+            }
+        }
+    }
+    live
 }
 
 /// Re-slug a catalog DAG for the cell's service: the first action node

@@ -32,17 +32,21 @@
 
 pub mod attribution;
 pub mod cell;
+pub mod live;
 pub mod metrics;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod shard;
 pub mod test_support;
 
 pub use attribution::{AttributionRecorder, CellSink};
+pub use live::{LiveGrowth, LiveGrowthRow};
 pub use metrics::{AttributionStages, Counter, FleetMetrics, Histogram, HistogramSnapshot};
 pub use report::{fnv1a, FleetReport, ShardSummary, PAPER_T2A_QUARTILES_SECS};
 pub use runner::{
-    population, run_fleet, run_fleet_with_progress, ChaosProfile, FleetConfig, FleetPolicy,
-    Progress,
+    population, run_fleet, run_fleet_with_progress, ChaosProfile, ChurnProfile, FleetConfig,
+    FleetPolicy, Progress,
 };
+pub use scenario::ScenarioSpec;
 pub use shard::{assign_contiguous, assign_round_robin, plan_cells, CellSpec};

@@ -522,6 +522,22 @@ pub struct FleetMetrics {
     /// Network-node retries scheduled inside DAG runs.
     #[serde(default)]
     pub dag_node_retries: Counter,
+    /// Mid-run applet installs applied through the lifecycle API.
+    #[serde(default)]
+    pub churn_installs: Counter,
+    /// Mid-run applet uninstalls applied through the lifecycle API.
+    #[serde(default)]
+    pub churn_uninstalls: Counter,
+    /// Services onboarded mid-run (opened for installs and realtime).
+    #[serde(default)]
+    pub churn_onboards: Counter,
+    /// Services retired mid-run (terminal; in-flight work dead-lettered).
+    #[serde(default)]
+    pub churn_retirements: Counter,
+    /// Planned activations dropped because churn removed their applet
+    /// before the fire time (never emitted, so not `lost`).
+    #[serde(default)]
+    pub churn_orphans: Counter,
     /// Per-stage T2A latency attribution (empty unless a run opts in).
     #[serde(default)]
     pub attribution: AttributionStages,
@@ -572,6 +588,11 @@ impl FleetMetrics {
         self.dag_nodes_query.merge_from(&other.dag_nodes_query);
         self.dag_nodes_action.merge_from(&other.dag_nodes_action);
         self.dag_node_retries.merge_from(&other.dag_node_retries);
+        self.churn_installs.merge_from(&other.churn_installs);
+        self.churn_uninstalls.merge_from(&other.churn_uninstalls);
+        self.churn_onboards.merge_from(&other.churn_onboards);
+        self.churn_retirements.merge_from(&other.churn_retirements);
+        self.churn_orphans.merge_from(&other.churn_orphans);
         self.attribution.merge_from(&other.attribution);
     }
 
@@ -586,7 +607,7 @@ impl FleetMetrics {
     /// attribution frame instead). Encoder and decoder both walk this one
     /// array, so adding a counter here automatically extends the metrics
     /// delta frame on both sides — the layouts cannot drift apart.
-    pub fn wire_counters(&self) -> [&Counter; 30] {
+    pub fn wire_counters(&self) -> [&Counter; 35] {
         [
             &self.polls_sent,
             &self.polls_batched,
@@ -618,6 +639,11 @@ impl FleetMetrics {
             &self.dag_nodes_query,
             &self.dag_nodes_action,
             &self.dag_node_retries,
+            &self.churn_installs,
+            &self.churn_uninstalls,
+            &self.churn_onboards,
+            &self.churn_retirements,
+            &self.churn_orphans,
         ]
     }
 
@@ -677,6 +703,13 @@ impl Serialize for FleetMetrics {
         put_nonzero("dag_nodes_query", &self.dag_nodes_query);
         put_nonzero("dag_nodes_action", &self.dag_nodes_action);
         put_nonzero("dag_node_retries", &self.dag_node_retries);
+        // Churn counters likewise: a frozen-population run (the default)
+        // serializes exactly as before the churn subsystem existed.
+        put_nonzero("churn_installs", &self.churn_installs);
+        put_nonzero("churn_uninstalls", &self.churn_uninstalls);
+        put_nonzero("churn_onboards", &self.churn_onboards);
+        put_nonzero("churn_retirements", &self.churn_retirements);
+        put_nonzero("churn_orphans", &self.churn_orphans);
         // Attribution, like the resilience counters, appears only when a
         // run actually recorded it — attribution-off digests are unmoved.
         if !self.attribution.is_empty() {

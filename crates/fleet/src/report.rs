@@ -159,6 +159,18 @@ impl FleetReport {
                 m.dag_node_retries.get()
             ));
         }
+        // The churn line only appears when the population actually moved —
+        // frozen-world runs (the default) render unchanged.
+        if m.churn_installs.get() > 0 || m.churn_uninstalls.get() > 0 {
+            out.push_str(&format!(
+                "  churn installs {}  uninstalls {}  services onboarded/retired {}/{}  orphaned activations {}\n",
+                m.churn_installs.get(),
+                m.churn_uninstalls.get(),
+                m.churn_onboards.get(),
+                m.churn_retirements.get(),
+                m.churn_orphans.get()
+            ));
+        }
         // The resilience line only appears when something failed or was
         // injected — clean-run output is unchanged.
         if m.polls_failed.get() > 0 || m.faults_injected.get() > 0 || m.dead_letters.get() > 0 {
@@ -329,6 +341,26 @@ mod tests {
         assert!(text.contains("T2A attribution (n=1)"), "{text}");
         assert!(text.contains("cadence wait"), "{text}");
         assert!(text.contains("action rtt"), "{text}");
+    }
+
+    #[test]
+    fn churn_line_renders_only_when_the_population_moved() {
+        let m = FleetMetrics::default();
+        m.t2a_micros.record(84_000_000);
+        let plain = report_with(m.clone()).render();
+        assert!(!plain.contains("churn"), "frozen world:\n{plain}");
+        m.churn_installs.add(7);
+        m.churn_uninstalls.add(5);
+        m.churn_onboards.incr();
+        m.churn_retirements.incr();
+        m.churn_orphans.add(2);
+        let text = report_with(m).render();
+        assert!(
+            text.contains(
+                "churn installs 7  uninstalls 5  services onboarded/retired 1/1  orphaned activations 2"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Seed stream for the generated ecosystem catalog.
-const ECO_STREAM: u64 = 0xec0_0001;
+pub(crate) const ECO_STREAM: u64 = 0xec0_0001;
 /// Seed stream for the population sampler.
 const POP_STREAM: u64 = 0xb0b_0001;
 
@@ -62,6 +62,19 @@ impl FleetPolicy {
             FleetPolicy::Fast => "fast",
             FleetPolicy::Smart => "smart",
             FleetPolicy::Zapier => "zapier",
+        }
+    }
+
+    /// The policy-aware drain default: production-like polling needs to
+    /// survive a full backlog gap (up to 900 s), the 1-second poller needs
+    /// almost none. Every path that sets a policy after construction
+    /// ([`ScenarioSpec::apply_to`](crate::ScenarioSpec), the CLI flag
+    /// override) must re-derive the drain through this, or a scenario-set
+    /// policy would run with the constructor policy's horizon.
+    pub fn default_drain_secs(self) -> f64 {
+        match self {
+            FleetPolicy::Fast => 30.0,
+            FleetPolicy::IftttLike | FleetPolicy::Smart | FleetPolicy::Zapier => 1000.0,
         }
     }
 }
@@ -161,6 +174,94 @@ impl Deserialize for ChaosProfile {
     }
 }
 
+/// Deterministic ecosystem-churn profile for a fleet run (§3.2's moving
+/// world): mid-run applet installs/uninstalls, a late service onboarding,
+/// and a terminal service retirement, all driven through the engine's
+/// [`engine::LifecycleEvent`] surface.
+///
+/// Like [`ChaosProfile`], a churn profile is pure data: every cell derives
+/// its own churn plan from a dedicated seed stream, so the run digest is
+/// shard-count-invariant and identical in-process vs distributed. `Off`
+/// draws nothing from the stream and allocates nothing — the run is
+/// byte-identical to one built before churn existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ChurnProfile {
+    /// Static population: the historical frozen-at-t=0 run.
+    #[default]
+    Off,
+    /// Paper-calibrated weekly rates (§3.2: ~+3.7 %/week installs,
+    /// ~2.5 %/week uninstalls) compressed onto the activation window.
+    Weekly,
+    /// The weekly rates scaled 10×, for stress runs and smoke tests that
+    /// must see every lifecycle transition inside a short window.
+    Accelerated,
+}
+
+impl ChurnProfile {
+    /// Parse a CLI profile name.
+    pub fn parse(s: &str) -> Option<ChurnProfile> {
+        match s {
+            "off" => Some(ChurnProfile::Off),
+            "weekly" => Some(ChurnProfile::Weekly),
+            "accelerated" => Some(ChurnProfile::Accelerated),
+            _ => None,
+        }
+    }
+
+    /// The CLI name of this profile.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChurnProfile::Off => "off",
+            ChurnProfile::Weekly => "weekly",
+            ChurnProfile::Accelerated => "accelerated",
+        }
+    }
+
+    /// Whether any churn is active.
+    pub fn enabled(self) -> bool {
+        self != ChurnProfile::Off
+    }
+
+    /// Rate multiplier applied to the paper's weekly churn rates.
+    pub fn multiplier(self) -> f64 {
+        match self {
+            ChurnProfile::Off => 0.0,
+            ChurnProfile::Weekly => 1.0,
+            ChurnProfile::Accelerated => 10.0,
+        }
+    }
+
+    /// How many simulated weeks of ecosystem growth the activation window
+    /// represents (drives the live crawler-snapshot growth table).
+    pub fn weeks(self) -> u32 {
+        match self {
+            ChurnProfile::Off => 0,
+            ChurnProfile::Weekly => 4,
+            ChurnProfile::Accelerated => 10,
+        }
+    }
+}
+
+impl std::fmt::Display for ChurnProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Serialize for ChurnProfile {
+    fn to_value(&self) -> Value {
+        Value::String(self.name().to_string())
+    }
+}
+
+impl Deserialize for ChurnProfile {
+    fn from_value(v: &Value) -> Result<Self, de::Error> {
+        v.as_str()
+            .and_then(ChurnProfile::parse)
+            .ok_or_else(|| de::Error::expected("churn profile name", v))
+    }
+}
+
 /// Everything a fleet run needs; [`FleetConfig::new`] picks defaults that
 /// scale from smoke tests to the million-user run.
 ///
@@ -200,6 +301,15 @@ pub struct FleetConfig {
     pub batch_polling: bool,
     /// Fault-injection profile (`Off` by default; `--chaos` turns it on).
     pub chaos: ChaosProfile,
+    /// Ecosystem-churn profile (`Off` by default; `--churn` turns it on).
+    /// Deserialize-default so pre-churn config JSON still parses.
+    #[serde(default)]
+    pub churn: ChurnProfile,
+    /// The scenario file this config was resolved from, carried verbatim so
+    /// the distributed ConfigPush ships the exact spec the operator wrote
+    /// (`None` when the run was configured by flags alone).
+    #[serde(default)]
+    pub scenario: Option<crate::scenario::ScenarioSpec>,
     /// Record per-stage T2A latency attribution (off by default — the
     /// counting-only sink keeps golden digests byte-identical;
     /// `--attribution` turns it on).
@@ -241,13 +351,12 @@ impl FleetConfig {
             cell_users: 50,
             settle_secs: 10.0,
             window_secs: 240.0,
-            drain_secs: match policy {
-                FleetPolicy::Fast => 30.0,
-                FleetPolicy::IftttLike | FleetPolicy::Smart | FleetPolicy::Zapier => 1000.0,
-            },
+            drain_secs: policy.default_drain_secs(),
             hot_threshold: None,
             batch_polling: true,
             chaos: ChaosProfile::default(),
+            churn: ChurnProfile::default(),
+            scenario: None,
             attribution: false,
             realtime_share: 0.0,
             multi_step_share: 0.0,
@@ -285,6 +394,21 @@ impl FleetConfig {
     /// Select a fault-injection profile.
     pub fn with_chaos(mut self, chaos: ChaosProfile) -> Self {
         self.chaos = chaos;
+        self
+    }
+
+    /// Select an ecosystem-churn profile.
+    pub fn with_churn(mut self, churn: ChurnProfile) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Apply a [`crate::scenario::ScenarioSpec`]: every field the spec
+    /// sets overwrites this config, and the spec itself is kept so the
+    /// distributed coordinator pushes it verbatim to workers.
+    pub fn with_scenario(mut self, spec: crate::scenario::ScenarioSpec) -> Self {
+        spec.apply_to(&mut self);
+        self.scenario = Some(spec);
         self
     }
 
@@ -529,6 +653,11 @@ mod tests {
             .with_phases(10.5, 242.25, 999.125)
             .with_batch_polling(false)
             .with_chaos(ChaosProfile::Harsh)
+            .with_churn(ChurnProfile::Accelerated)
+            .with_scenario(crate::scenario::ScenarioSpec {
+                realtime_share: Some(0.25),
+                ..Default::default()
+            })
             .with_attribution(true)
             .with_realtime_share(0.3)
             .with_multi_step_share(0.07)
@@ -554,5 +683,37 @@ mod tests {
             assert_eq!(FleetPolicy::parse(p.name()), Some(p));
         }
         assert_eq!(FleetPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn churn_profile_names_round_trip() {
+        for c in [
+            ChurnProfile::Off,
+            ChurnProfile::Weekly,
+            ChurnProfile::Accelerated,
+        ] {
+            assert_eq!(ChurnProfile::parse(c.name()), Some(c));
+        }
+        assert_eq!(ChurnProfile::parse("bogus"), None);
+        assert!(!ChurnProfile::Off.enabled());
+        assert!(ChurnProfile::Weekly.enabled());
+        assert_eq!(ChurnProfile::Accelerated.multiplier(), 10.0);
+    }
+
+    #[test]
+    fn pre_churn_config_json_still_parses() {
+        // Wire compatibility: a coordinator config serialized before the
+        // churn/scenario fields existed must deserialize with defaults.
+        let cfg = FleetConfig::new(100, 2, FleetPolicy::Fast);
+        let mut v = cfg.to_value();
+        if let Value::Object(map) = &mut v {
+            map.remove("churn");
+            map.remove("scenario");
+        } else {
+            panic!("config serializes to an object");
+        }
+        let back: FleetConfig = serde_json::from_str(&v.to_string()).expect("legacy config parses");
+        assert_eq!(back.churn, ChurnProfile::Off);
+        assert!(back.scenario.is_none());
     }
 }

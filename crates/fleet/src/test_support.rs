@@ -13,7 +13,7 @@
 //! something relative to the exact configuration that produced it, so the
 //! configuration lives next to the digest it feeds.
 
-use crate::runner::{ChaosProfile, FleetConfig, FleetPolicy};
+use crate::runner::{ChaosProfile, ChurnProfile, FleetConfig, FleetPolicy};
 
 /// Pinned golden digests (`FleetReport::digest` values), one constant per
 /// scenario. Every constant names the config constructor it pairs with.
@@ -50,6 +50,10 @@ pub mod goldens {
     /// [`super::cli_default_cfg`] at 1M users (PR 8); informational — no
     /// test runs it, BENCH_fleet.json records it.
     pub const CLI_1M: &str = "f7920cbd9b0d9984";
+
+    /// [`super::small_churn_cfg`] — the small fast fleet under 10×
+    /// accelerated ecosystem churn (PR 10).
+    pub const SMALL_CHURN: &str = "a3a22e994abac6eb";
 }
 
 /// The cheap always-on golden scenario: 200 users, fast policy, seed-
@@ -75,6 +79,14 @@ pub fn small_chaos_cfg(shards: usize, seed: u64) -> FleetConfig {
 /// [`goldens::SMALL_REALTIME`].
 pub fn small_realtime_cfg(shards: usize, seed: u64) -> FleetConfig {
     small_fast_cfg(shards, seed).with_realtime_share(0.5)
+}
+
+/// [`small_fast_cfg`] under 10× accelerated ecosystem churn, so every
+/// lifecycle transition (install, uninstall, onboard, retire, orphaned
+/// activations) occurs inside the short window. Pairs with
+/// [`goldens::SMALL_CHURN`].
+pub fn small_churn_cfg(shards: usize, seed: u64) -> FleetConfig {
+    small_fast_cfg(shards, seed).with_churn(ChurnProfile::Accelerated)
 }
 
 /// The production-like configuration the `fleet_throughput` bench runs;

@@ -9,7 +9,9 @@
 //! behaviour-preserving (like swapping the kernel's heap for a timing
 //! wheel, or interning identifier strings) must keep them byte-identical.
 
-use fleet::test_support::{goldens, ifttt_bench_cfg, small_chaos_cfg, small_fast_cfg};
+use fleet::test_support::{
+    goldens, ifttt_bench_cfg, small_chaos_cfg, small_churn_cfg, small_fast_cfg,
+};
 use fleet::{run_fleet, ChaosProfile, FleetConfig, FleetPolicy};
 
 /// The cheap always-on scenario (see `fleet::test_support`): 200 users,
@@ -158,6 +160,51 @@ fn golden_digest_small_realtime_fleet_is_shard_invariant() {
         // Push never loses events: delivery stays total.
         assert_eq!(report.merged.lost.get(), 0);
     }
+}
+
+/// Ecosystem churn must be as deterministic as chaos: every cell draws its
+/// churn plan (mid-run installs, uninstalls, the late-service onboarding,
+/// the terminal retirement) from its own seed stream, so the live-world
+/// run merges to one byte string at any shard count. Pinned like the other
+/// goldens; any change to the lifecycle API's unwind order, the churn
+/// sampling, or the orphan accounting moves this digest.
+#[test]
+fn golden_digest_small_churn_fleet_is_shard_invariant() {
+    for shards in [1usize, 2, 8] {
+        let report = run_fleet(&small_churn_cfg(shards, 2017));
+        assert_eq!(
+            report.digest(),
+            goldens::SMALL_CHURN,
+            "churn-on digest drifted at {shards} shard(s):\n{}",
+            report.merged_json()
+        );
+        // The accelerated profile really exercised every transition.
+        assert!(report.merged.churn_installs.get() > 0);
+        assert!(report.merged.churn_uninstalls.get() > 0);
+        assert!(report.merged.churn_onboards.get() > 0);
+        assert!(report.merged.churn_retirements.get() > 0);
+        // Conservation: activations either delivered or lost; orphans were
+        // never emitted at all.
+        assert_eq!(
+            report.merged.t2a_micros.count() + report.merged.lost.get(),
+            report.merged.activations.get()
+        );
+    }
+}
+
+/// Churn off must stay byte-identical to the pre-churn world: the frozen
+/// run draws nothing from the churn stream and serializes no churn
+/// counters, so the original pinned golden still holds (this is also
+/// implicitly covered by `golden_digest_small_fast_fleet`, but stating it
+/// against the churn knob makes the digest-neutrality contract explicit).
+#[test]
+fn churn_off_run_matches_the_pre_churn_golden() {
+    let mut c = cfg(1, 2017);
+    c.churn = fleet::ChurnProfile::Off;
+    let report = run_fleet(&c);
+    assert_eq!(report.digest(), goldens::SMALL_FAST);
+    assert_eq!(report.merged.churn_installs.get(), 0);
+    assert!(!report.merged_json().contains("churn"));
 }
 
 /// Interner state must never leak into anything a fleet run reports:

@@ -266,6 +266,36 @@ impl<T> Arena<T> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Iterate live entries in **storage order**: slot order for the slab
+    /// mode, hash order for the reference mode. The two modes visit the
+    /// same set of `(handle, value)` pairs but in different sequences, so
+    /// a caller whose behaviour depends on iteration order (e.g. draining
+    /// in-flight entries deterministically) must collect the handles and
+    /// sort them before acting.
+    pub fn iter(&self) -> impl Iterator<Item = (Handle, &T)> {
+        match &self.inner {
+            ArenaInner::Slab(s) => Iter::Slab(s.iter()),
+            ArenaInner::Map { map, .. } => Iter::Map(map.iter()),
+        }
+    }
+}
+
+/// Unified iterator over either arena storage (see [`Arena::iter`]).
+enum Iter<'a, T, S: Iterator<Item = (Handle, &'a T)>> {
+    Slab(S),
+    Map(std::collections::hash_map::Iter<'a, Handle, T>),
+}
+
+impl<'a, T, S: Iterator<Item = (Handle, &'a T)>> Iterator for Iter<'a, T, S> {
+    type Item = (Handle, &'a T);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Iter::Slab(it) => it.next(),
+            Iter::Map(it) => it.next().map(|(&h, v)| (h, v)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +377,29 @@ mod tests {
         assert_eq!(got.len(), 2);
         assert!(got.iter().any(|&(h, v)| h == a && v == 1));
         assert!(got.iter().all(|&(h, _)| h != b));
+    }
+
+    #[test]
+    fn arena_iter_agrees_across_modes_once_sorted() {
+        let mut slab: Arena<u32> = Arena::new();
+        let mut map: Arena<u32> = Arena::new_reference();
+        let mut live = Vec::new();
+        for i in 0..6u32 {
+            let h1 = slab.insert(i);
+            let h2 = map.insert(i);
+            assert_eq!(h1, h2);
+            live.push(h1);
+        }
+        for &h in &[live[1], live[4]] {
+            slab.remove(h);
+            map.remove(h);
+        }
+        let mut a: Vec<(Handle, u32)> = slab.iter().map(|(h, v)| (h, *v)).collect();
+        let mut b: Vec<(Handle, u32)> = map.iter().map(|(h, v)| (h, *v)).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "modes visit the same live set");
+        assert_eq!(a.len(), 4);
     }
 
     /// One interleaved op sequence, applied to both arena modes: handles
